@@ -1,0 +1,136 @@
+package ontoaccess
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/triplestore"
+	"ontoaccess/internal/update"
+	"ontoaccess/internal/workload"
+)
+
+// TestPublicAPIQuickstart drives the facade exactly like the README
+// quick start.
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, err := NewDatabase("demo", `
+CREATE TABLE city (
+  id INTEGER PRIMARY KEY,
+  name VARCHAR NOT NULL,
+  population INTEGER
+);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := GenerateMapping(db, r3m.GenerateOptions{
+		URIPrefix: "http://example.org/data/",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(db, mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.ExecuteString(`
+PREFIX ont: <http://example.org/ontology#>
+PREFIX d: <http://example.org/data/>
+INSERT DATA { d:city1 ont:cityName "Zurich" ; ont:cityPopulation "421878" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SQL()) != 1 || !strings.HasPrefix(res.SQL()[0], "INSERT INTO city") {
+		t.Errorf("SQL = %v", res.SQL())
+	}
+	qr, err := m.Query(`
+PREFIX ont: <http://example.org/ontology#>
+SELECT ?n WHERE { ?c ont:cityName ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Solutions) != 1 || qr.Solutions[0]["n"].Value != "Zurich" {
+		t.Errorf("solutions = %v", qr.Solutions)
+	}
+	// Violations surface through the facade types.
+	_, err = m.ExecuteString(`
+PREFIX ont: <http://example.org/ontology#>
+PREFIX d: <http://example.org/data/>
+INSERT DATA { d:city2 ont:cityPopulation "1" . }`)
+	var v *Violation
+	if !errors.As(err, &v) || v.Column != "name" {
+		t.Fatalf("err = %v, want *Violation on name", err)
+	}
+}
+
+func TestLoadMappingFacade(t *testing.T) {
+	mapping, err := LoadMapping(workload.MappingTTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapping.Tables) != 5 {
+		t.Errorf("tables = %d", len(mapping.Tables))
+	}
+	if _, err := LoadMapping("not turtle"); err == nil {
+		t.Error("bad mapping accepted")
+	}
+	if _, err := NewDatabase("x", "not sql"); err == nil {
+		t.Error("bad DDL accepted")
+	}
+}
+
+// TestRandomStreamBijectivity is the system-level property test:
+// for arbitrary seeds, a generated update stream leaves the mediated
+// RDF view and the native triple store in the same state.
+func TestRandomStreamBijectivity(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := workload.NewMediator(Options{})
+		if err != nil {
+			return false
+		}
+		native := triplestore.New()
+		g := workload.NewGenerator(seed)
+		stream := append(g.SetupRequests(), g.Stream(40, 1)...)
+		for _, src := range stream {
+			if _, err := m.ExecuteString(src); err != nil {
+				t.Logf("mediator rejected: %v", err)
+				return false
+			}
+			req, err := update.Parse(src)
+			if err != nil {
+				return false
+			}
+			if _, err := update.Apply(native, req); err != nil {
+				return false
+			}
+		}
+		exported, err := m.Export()
+		if err != nil {
+			return false
+		}
+		nativeGraph := native.Graph()
+		exported.Each(func(tr rdf.Triple) bool {
+			if tr.P == rdf.IRI(rdf.RDFType) {
+				nativeGraph.Add(tr)
+			}
+			return true
+		})
+		return exported.Equal(nativeGraph)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEndpointThroughFacade wires the HTTP server from the facade.
+func TestEndpointThroughFacade(t *testing.T) {
+	m, err := workload.NewMediator(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewServer(m) == nil {
+		t.Fatal("NewServer returned nil")
+	}
+}

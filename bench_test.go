@@ -1,0 +1,517 @@
+// Benchmark harness for the reproduction. The E-series regenerates
+// the paper's Section 7 feasibility artifacts under measurement; the
+// B-series quantifies the claims the paper makes qualitatively (see
+// EXPERIMENTS.md for the index and DESIGN.md section 5 for the
+// mapping to paper artifacts).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+package ontoaccess
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/core"
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/sparql"
+	"ontoaccess/internal/triplestore"
+	"ontoaccess/internal/update"
+	"ontoaccess/internal/workload"
+)
+
+func newMediator(b *testing.B, opts core.Options) *core.Mediator {
+	b.Helper()
+	m, err := workload.NewMediator(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func exec(b *testing.B, m *core.Mediator, src string) {
+	b.Helper()
+	if _, err := m.ExecuteString(src); err != nil {
+		b.Fatalf("request failed: %v\n%s", err, src)
+	}
+}
+
+// ---- E-series: the paper's feasibility artifacts under measurement ----
+
+// BenchmarkE1_MappingLoad measures loading and validating the Table 1
+// mapping (experiment E1).
+func BenchmarkE1_MappingLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r3m.Load(workload.MappingTTL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_InsertDataSingle measures the Listing 9 -> Listing 10
+// translation and execution (experiment E2).
+func BenchmarkE2_InsertDataSingle(b *testing.B) {
+	m := newMediator(b, core.Options{})
+	exec(b, m, seedTeams(1, 1000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec(b, m, authorInsert(i+1, i%1000+1))
+	}
+}
+
+// BenchmarkE3_InsertDataTeam measures the Listing 13 -> Listing 14
+// pair (experiment E3).
+func BenchmarkE3_InsertDataTeam(b *testing.B) {
+	m := newMediator(b, core.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec(b, m, fmt.Sprintf(`%s
+INSERT DATA { ex:team%d foaf:name "Team %d" ; ont:teamCode "T%d" . }`,
+			workload.Prologue, i+1, i+1, i+1))
+	}
+}
+
+// BenchmarkE4_InsertDataFull measures the Listing 15 -> Listing 16
+// complete-data-set insert with foreign-key sorting (experiment E4).
+func BenchmarkE4_InsertDataFull(b *testing.B) {
+	m := newMediator(b, core.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec(b, m, fullDatasetInsert(i))
+	}
+}
+
+// BenchmarkE5_DeleteDataPartial measures the Listing 17 -> Listing 18
+// partial delete (experiment E5).
+func BenchmarkE5_DeleteDataPartial(b *testing.B) {
+	m := newMediator(b, core.Options{})
+	exec(b, m, seedTeams(1, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		exec(b, m, authorInsert(i+1, 1))
+		b.StartTimer()
+		exec(b, m, fmt.Sprintf(`%s
+DELETE DATA { ex:author%d foaf:mbox <mailto:a%d@example.org> . }`, workload.Prologue, i+1, i+1))
+	}
+}
+
+// BenchmarkE6_Modify measures the Listing 11 MODIFY (experiment E6).
+func BenchmarkE6_Modify(b *testing.B) {
+	m := newMediator(b, core.Options{})
+	exec(b, m, seedTeams(1, 1))
+	exec(b, m, authorInsert(1, 1))
+	g := workload.NewGenerator(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec(b, m, g.EmailModifyBGP(1))
+	}
+}
+
+// BenchmarkE7_InsertAsUpdate measures the INSERT-becomes-UPDATE path
+// (experiment E7).
+func BenchmarkE7_InsertAsUpdate(b *testing.B) {
+	m := newMediator(b, core.Options{})
+	exec(b, m, workload.Prologue+`INSERT DATA { ex:author1 foaf:family_name "Hert" . }`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec(b, m, fmt.Sprintf(`%s
+INSERT DATA { ex:author1 foaf:firstName "M%d" . }`, workload.Prologue, i))
+	}
+}
+
+// BenchmarkE8_DeleteDataRow measures the DELETE-becomes-row-DELETE
+// path (experiment E8).
+func BenchmarkE8_DeleteDataRow(b *testing.B) {
+	m := newMediator(b, core.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		exec(b, m, fmt.Sprintf(`%s
+INSERT DATA { ex:team%d foaf:name "T" ; ont:teamCode "C" . }`, workload.Prologue, i+1))
+		b.StartTimer()
+		exec(b, m, fmt.Sprintf(`%s
+DELETE DATA { ex:team%d foaf:name "T" ; ont:teamCode "C" . }`, workload.Prologue, i+1))
+	}
+}
+
+// ---- B-series: quantifying the paper's qualitative claims ----
+
+// BenchmarkB1_MediatorVsNative compares per-request update cost of
+// the OntoAccess mediator (translation + constraint checks + SQL
+// execution) against the native triple store baseline, across
+// preloaded database sizes (experiment B1; the paper's introduction
+// argues mediation preserves RDB performance characteristics while
+// triple stores lag, citing the Berlin SPARQL benchmark).
+func BenchmarkB1_MediatorVsNative(b *testing.B) {
+	for _, preload := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("OntoAccess/preload=%d", preload), func(b *testing.B) {
+			m := newMediator(b, core.Options{})
+			exec(b, m, seedTeams(1, 50))
+			for i := 0; i < preload; i++ {
+				exec(b, m, authorInsert(i+1, i%50+1))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				exec(b, m, authorInsert(preload+i+1, i%50+1))
+			}
+		})
+		b.Run(fmt.Sprintf("NativeStore/preload=%d", preload), func(b *testing.B) {
+			store := triplestore.New()
+			apply := func(src string) {
+				req, err := update.Parse(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := update.Apply(store, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			apply(seedTeams(1, 50))
+			for i := 0; i < preload; i++ {
+				apply(authorInsert(i+1, i%50+1))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				apply(authorInsert(preload+i+1, i%50+1))
+			}
+		})
+	}
+}
+
+// BenchmarkB1_MixedStream runs the generator's realistic write mix
+// (60% author inserts, 25% publication inserts with link rows, 15%
+// MODIFYs) through both systems.
+func BenchmarkB1_MixedStream(b *testing.B) {
+	b.Run("OntoAccess", func(b *testing.B) {
+		m := newMediator(b, core.Options{})
+		g := workload.NewGenerator(99)
+		for _, req := range g.SetupRequests() {
+			exec(b, m, req)
+		}
+		stream := g.Stream(b.N, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for _, req := range stream {
+			exec(b, m, req)
+		}
+	})
+	b.Run("NativeStore", func(b *testing.B) {
+		store := triplestore.New()
+		g := workload.NewGenerator(99)
+		apply := func(src string) {
+			req, err := update.Parse(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := update.Apply(store, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, req := range g.SetupRequests() {
+			apply(req)
+		}
+		stream := g.Stream(b.N, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for _, req := range stream {
+			apply(req)
+		}
+	})
+}
+
+// BenchmarkB2_SortAblation measures Algorithm 1 step five: with
+// sorting, the Listing 15-shaped insert succeeds; without it, the
+// transaction is rejected by the immediate foreign-key check (the
+// bench measures the cost of each path and demonstrates the failure).
+func BenchmarkB2_SortAblation(b *testing.B) {
+	b.Run("Sorted", func(b *testing.B) {
+		m := newMediator(b, core.Options{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exec(b, m, fullDatasetInsert(i))
+		}
+	})
+	b.Run("UnsortedRejected", func(b *testing.B) {
+		m := newMediator(b, core.Options{DisableSort: true})
+		b.ReportAllocs()
+		b.ResetTimer()
+		failures := 0
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ExecuteString(fullDatasetInsert(i)); err != nil {
+				failures++
+			}
+		}
+		b.StopTimer()
+		if failures != b.N {
+			b.Fatalf("unsorted execution succeeded %d times, expected 0", b.N-failures)
+		}
+		b.ReportMetric(float64(failures)/float64(b.N), "failures/op")
+	})
+}
+
+// BenchmarkB3_ModifyOptimizationAblation measures the Section 5.2
+// redundant-delete optimization: statements per MODIFY with and
+// without it.
+func BenchmarkB3_ModifyOptimizationAblation(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"Optimized", core.Options{}},
+		{"Unoptimized", core.Options{DisableModifyOptimization: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			m := newMediator(b, variant.opts)
+			exec(b, m, seedTeams(1, 1))
+			exec(b, m, authorInsert(1, 1))
+			stmts := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fresh target address each iteration, so the delete
+				// and insert objects always differ (the optimization's
+				// precondition).
+				req := fmt.Sprintf(`%s
+MODIFY
+DELETE { ex:author1 foaf:mbox ?m . }
+INSERT { ex:author1 foaf:mbox <mailto:new%d@example.org> . }
+WHERE { ex:author1 foaf:mbox ?m . }`, workload.Prologue, i)
+				res, err := m.ExecuteString(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stmts += len(res.SQL())
+			}
+			b.ReportMetric(float64(stmts)/float64(b.N), "sqlstmts/op")
+		})
+	}
+}
+
+// BenchmarkB4_ValidationOverhead compares accepted requests against
+// requests rejected by the mapping-level constraint checks (Section
+// 3: invalid updates are detected during translation, with rich
+// feedback, before any SQL executes).
+func BenchmarkB4_ValidationOverhead(b *testing.B) {
+	b.Run("ValidInsert", func(b *testing.B) {
+		m := newMediator(b, core.Options{})
+		exec(b, m, seedTeams(1, 50))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exec(b, m, authorInsert(i+1, i%50+1))
+		}
+	})
+	b.Run("RejectedMissingMandatory", func(b *testing.B) {
+		m := newMediator(b, core.Options{})
+		req := workload.Prologue + `INSERT DATA { ex:author1 foaf:firstName "Anon" . }`
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ExecuteString(req); err == nil {
+				b.Fatal("invalid request accepted")
+			}
+		}
+	})
+	b.Run("RejectedUnknownProperty", func(b *testing.B) {
+		m := newMediator(b, core.Options{})
+		req := workload.Prologue + `INSERT DATA { ex:team1 foaf:firstName "nope" . }`
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ExecuteString(req); err == nil {
+				b.Fatal("invalid request accepted")
+			}
+		}
+	})
+}
+
+// BenchmarkB5_PipelineStages decomposes the translation pipeline:
+// request parsing, WHERE-clause SQL generation, and full execution.
+func BenchmarkB5_PipelineStages(b *testing.B) {
+	b.Run("ParseInsertData", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := update.Parse(workload.Listing15); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ParseModify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := update.Parse(workload.Listing11); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TranslateSelect", func(b *testing.B) {
+		m := newMediator(b, core.Options{})
+		exec(b, m, workload.Listing15)
+		q, err := sparql.ParseQuery(workload.Prologue + `
+SELECT ?x ?mbox WHERE {
+  ?x rdf:type foaf:Person ; foaf:firstName "Matthias" ;
+     foaf:family_name "Hert" ; foaf:mbox ?mbox . }`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := m.DB().View(func(tx *rdb.Tx) error {
+				_, terr := m.TranslateSelect(tx, q.Where, nil)
+				return terr
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ExecuteFullInsert", func(b *testing.B) {
+		m := newMediator(b, core.Options{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exec(b, m, fullDatasetInsert(i))
+		}
+	})
+}
+
+// BenchmarkB6_QueryMediatorVsNative compares the read path: the
+// paper's SPARQL-to-SQL translation versus native triple-store
+// evaluation of the same query over equivalent data.
+func BenchmarkB6_QueryMediatorVsNative(b *testing.B) {
+	const size = 2000
+	query := workload.Prologue + `
+SELECT ?x ?mbox WHERE {
+  ?x rdf:type foaf:Person ;
+     foaf:family_name "Hert42" ;
+     foaf:mbox ?mbox .
+}`
+	b.Run("OntoAccessSQL", func(b *testing.B) {
+		m := newMediator(b, core.Options{})
+		exec(b, m, seedTeams(1, 50))
+		for i := 0; i < size; i++ {
+			exec(b, m, fmt.Sprintf(`%s
+INSERT DATA {
+  ex:author%d foaf:family_name "Hert%d" ;
+      foaf:mbox <mailto:a%d@example.org> .
+}`, workload.Prologue, i+1, i+1, i+1))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := m.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Solutions) != 1 {
+				b.Fatalf("solutions = %d", len(res.Solutions))
+			}
+		}
+	})
+	b.Run("NativeStore", func(b *testing.B) {
+		store := triplestore.New()
+		for i := 0; i < size; i++ {
+			src := fmt.Sprintf(`%s
+INSERT DATA {
+  ex:author%d rdf:type foaf:Person ;
+      foaf:family_name "Hert%d" ;
+      foaf:mbox <mailto:a%d@example.org> .
+}`, workload.Prologue, i+1, i+1, i+1)
+			req, err := update.Parse(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := update.Apply(store, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		q, err := sparql.ParseQuery(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sols, err := sparql.Eval(store, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sols) != 1 {
+				b.Fatalf("solutions = %d", len(sols))
+			}
+		}
+	})
+}
+
+// ---- request builders ----
+
+func seedTeams(from, to int) string {
+	var sb strings.Builder
+	sb.WriteString(workload.Prologue)
+	sb.WriteString("\nINSERT DATA {\n")
+	for i := from; i <= to; i++ {
+		fmt.Fprintf(&sb, "  ex:team%d foaf:name \"Team %d\" ; ont:teamCode \"T%d\" .\n", i, i, i)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func authorInsert(id, team int) string {
+	return fmt.Sprintf(`%s
+INSERT DATA {
+  ex:author%d foaf:title "Dr" ;
+      foaf:firstName "F%d" ;
+      foaf:family_name "L%d" ;
+      foaf:mbox <mailto:a%d@example.org> ;
+      ont:team ex:team%d .
+}`, workload.Prologue, id, id, id, id, team)
+}
+
+// fullDatasetInsert builds a Listing 15-shaped request with fresh ids
+// derived from i (all six tables touched, foreign keys inside the
+// request).
+func fullDatasetInsert(i int) string {
+	base := i*10 + 100
+	return fmt.Sprintf(`%s
+INSERT DATA {
+  ex:pub%d dc:title "Title %d" ;
+      ont:pubYear "2009" ;
+      ont:pubType ex:pubtype%d ;
+      dc:publisher ex:publisher%d ;
+      dc:creator ex:author%d .
+
+  ex:author%d foaf:title "Mr" ;
+      foaf:firstName "F%d" ;
+      foaf:family_name "L%d" ;
+      foaf:mbox <mailto:p%d@example.org> ;
+      ont:team ex:team%d .
+
+  ex:team%d foaf:name "Team %d" ;
+      ont:teamCode "T%d" .
+
+  ex:pubtype%d ont:type "inproceedings" .
+
+  ex:publisher%d ont:name "Publisher %d" .
+}`, workload.Prologue,
+		base, base, base+1, base+2, base+3,
+		base+3, base+3, base+3, base+3, base+4,
+		base+4, base+4, base+4,
+		base+1,
+		base+2, base+2)
+}

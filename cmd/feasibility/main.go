@@ -1,0 +1,58 @@
+// Command feasibility regenerates the paper's Section 7 feasibility
+// study: the Table 1 mapping overview and every listing pair
+// (SPARQL/Update request -> translated SQL), produced by the real
+// translation pipeline.
+//
+// Usage:
+//
+//	feasibility                  # run every experiment
+//	feasibility -experiment id   # run one (table1, listing9, ...)
+//	feasibility -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ontoaccess/internal/experiments"
+)
+
+func main() {
+	id := flag.String("experiment", "", "run a single experiment by id")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *id != "" {
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *id)
+			os.Exit(2)
+		}
+		runOne(e)
+		return
+	}
+	for i, e := range experiments.All() {
+		if i > 0 {
+			fmt.Printf("\n%s\n\n", ruler)
+		}
+		runOne(e)
+	}
+}
+
+const ruler = "================================================================"
+
+func runOne(e experiments.Experiment) {
+	out, err := e.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,114 @@
+// Command ontoupdate applies a SPARQL/Update request to a mapped
+// database from the command line and prints the translated SQL plus
+// the RDF feedback report — the offline equivalent of POSTing to
+// ontoaccessd's /update route.
+//
+// Usage:
+//
+//	ontoupdate -request update.ru               # paper schema+mapping
+//	ontoupdate -ddl s.sql -mapping m.ttl -request update.ru
+//	echo 'INSERT DATA {...}' | ontoupdate       # request from stdin
+//
+// With -seed the paper's Listing 15 data set is loaded first; with
+// -export the resulting RDF view is printed after the update.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"ontoaccess/internal/core"
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlexec"
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/turtle"
+	"ontoaccess/internal/workload"
+)
+
+func main() {
+	ddlPath := flag.String("ddl", "", "SQL DDL file (default: paper schema)")
+	mappingPath := flag.String("mapping", "", "R3M mapping file (default: paper mapping)")
+	requestPath := flag.String("request", "", "SPARQL/Update request file (default: stdin)")
+	seed := flag.Bool("seed", false, "preload the paper's Listing 15 data set")
+	export := flag.Bool("export", false, "print the RDF view after the update")
+	flag.Parse()
+
+	m, err := buildMediator(*ddlPath, *mappingPath)
+	if err != nil {
+		log.Fatalf("ontoupdate: %v", err)
+	}
+	if *seed {
+		if _, err := m.ExecuteString(workload.Listing15); err != nil {
+			log.Fatalf("ontoupdate: seeding: %v", err)
+		}
+	}
+	src, err := readRequest(*requestPath)
+	if err != nil {
+		log.Fatalf("ontoupdate: %v", err)
+	}
+
+	res, execErr := m.ExecuteString(src)
+	if res != nil {
+		if sql := res.SQL(); len(sql) > 0 {
+			fmt.Println("-- translated SQL (execution order):")
+			for _, s := range sql {
+				fmt.Println(s)
+			}
+			fmt.Println()
+		}
+		if res.Report != nil {
+			fmt.Println("# feedback report:")
+			fmt.Print(res.Report.Turtle())
+		}
+	}
+	if execErr != nil {
+		os.Exit(1)
+	}
+	if *export {
+		g, err := m.Export()
+		if err != nil {
+			log.Fatalf("ontoupdate: export: %v", err)
+		}
+		fmt.Println("\n# RDF view after update:")
+		fmt.Print(turtle.Serialize(g, rdf.CommonPrefixes()))
+	}
+}
+
+func buildMediator(ddlPath, mappingPath string) (*core.Mediator, error) {
+	if ddlPath == "" && mappingPath == "" {
+		return workload.NewMediator(core.Options{})
+	}
+	if ddlPath == "" || mappingPath == "" {
+		return nil, fmt.Errorf("provide both -ddl and -mapping, or neither")
+	}
+	ddl, err := os.ReadFile(ddlPath)
+	if err != nil {
+		return nil, err
+	}
+	db := rdb.NewDatabase("ontoupdate")
+	if _, err := sqlexec.Run(db, string(ddl)); err != nil {
+		return nil, err
+	}
+	ttl, err := os.ReadFile(mappingPath)
+	if err != nil {
+		return nil, err
+	}
+	mapping, err := r3m.Load(string(ttl))
+	if err != nil {
+		return nil, err
+	}
+	return core.New(db, mapping, core.Options{})
+}
+
+func readRequest(path string) (string, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		return string(data), err
+	}
+	data, err := io.ReadAll(os.Stdin)
+	return string(data), err
+}

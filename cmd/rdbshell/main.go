@@ -1,0 +1,96 @@
+// Command rdbshell is a minimal interactive SQL shell over the
+// embedded relational engine — a substrate demo and a debugging tool
+// for inspecting the database behind an OntoAccess mediator.
+//
+// Usage:
+//
+//	rdbshell                  # empty database
+//	rdbshell -paper           # the paper's Figure 1 schema
+//	rdbshell -ddl schema.sql
+//
+// Statements end with ';'. DDL auto-commits, DML statements run in
+// their own transaction. Type \d to list tables, \q to quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlexec"
+	"ontoaccess/internal/workload"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "start with the paper's Figure 1 schema")
+	ddlPath := flag.String("ddl", "", "SQL DDL file to apply at startup")
+	flag.Parse()
+
+	db := rdb.NewDatabase("shell")
+	if *paper {
+		if _, err := sqlexec.Run(db, workload.SchemaSQL); err != nil {
+			log.Fatalf("rdbshell: %v", err)
+		}
+	}
+	if *ddlPath != "" {
+		ddl, err := os.ReadFile(*ddlPath)
+		if err != nil {
+			log.Fatalf("rdbshell: %v", err)
+		}
+		if _, err := sqlexec.Run(db, string(ddl)); err != nil {
+			log.Fatalf("rdbshell: %v", err)
+		}
+	}
+
+	fmt.Println("rdbshell — embedded OntoAccess engine. \\d lists tables, \\q quits.")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "sql> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, "exit", "quit":
+			return
+		case `\d`:
+			for _, name := range db.TableNames() {
+				n, _ := db.RowCount(name)
+				schema, _ := db.Schema(name)
+				fmt.Printf("%s (%d rows)\n%s\n", name, n, schema.DDL())
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "...> "
+			continue
+		}
+		prompt = "sql> "
+		script := buf.String()
+		buf.Reset()
+		results, err := sqlexec.Run(db, script)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		for _, r := range results {
+			if r.Set != nil {
+				fmt.Print(r.Set.Format())
+				fmt.Printf("(%d rows)\n", len(r.Set.Rows))
+			} else {
+				fmt.Printf("ok (%d rows affected)\n", r.RowsAffected)
+			}
+		}
+	}
+}

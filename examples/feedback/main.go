@@ -1,0 +1,91 @@
+// Feedback: the paper's Sections 3 and 8 motivate semantically rich
+// error reporting when SPARQL/Update requests violate relational
+// constraints. This example fires a series of invalid requests at the
+// paper's use case and prints the RDF feedback report each produces.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ontoaccess/internal/core"
+	"ontoaccess/internal/workload"
+)
+
+func main() {
+	m, err := workload.NewMediator(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.ExecuteString(workload.Listing15); err != nil {
+		log.Fatal(err)
+	}
+
+	bad := []struct {
+		title   string
+		request string
+	}{
+		{
+			"Missing mandatory attribute (author.lastname is NOT NULL)",
+			workload.Prologue + `INSERT DATA { ex:author9 foaf:firstName "Anon" . }`,
+		},
+		{
+			"Dangling foreign key (team99 does not exist)",
+			workload.Prologue + `INSERT DATA { ex:author9 foaf:family_name "X" ; ont:team ex:team99 . }`,
+		},
+		{
+			"Unknown property for the class (teams have no firstName)",
+			workload.Prologue + `INSERT DATA { ex:team5 foaf:firstName "nope" . }`,
+		},
+		{
+			"Type violation (pubYear must be an integer)",
+			workload.Prologue + `INSERT DATA { ex:pub13 dc:title "T" ; ont:pubYear "two thousand" . }`,
+		},
+		{
+			"Removing a mandatory property without deleting the entity",
+			workload.Prologue + `DELETE DATA { ex:author6 foaf:family_name "Hert" . }`,
+		},
+		{
+			"Deleting an entity other rows still reference (RESTRICT)",
+			workload.Prologue + `DELETE DATA { ex:team5 foaf:name "Software Engineering" ;
+  ont:teamCode "SEAL" . }`,
+		},
+	}
+	for _, tc := range bad {
+		fmt.Println("==", tc.title)
+		res, err := m.ExecuteString(tc.request)
+		if err == nil {
+			fmt.Println("   unexpectedly accepted!")
+			continue
+		}
+		fmt.Println("   rejected:", err)
+		if res != nil && res.Report != nil {
+			fmt.Println("   feedback report (Turtle):")
+			fmt.Println(indent(res.Report.Turtle()))
+		}
+		fmt.Println()
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "      " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

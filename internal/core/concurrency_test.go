@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMediation fires requests from several goroutines; the
+// mediator serializes them through the database's transaction lock,
+// and every accepted request lands exactly once.
+func TestConcurrentMediation(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := w*perWorker + i + 1
+				req := fmt.Sprintf(`%s
+INSERT DATA {
+  ex:author%d foaf:family_name "L%d" ;
+      foaf:mbox <mailto:a%d@example.org> ;
+      ont:team ex:team5 .
+}`, paperPrologue, id, id, id)
+				if _, err := m.ExecuteString(req); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent request failed: %v", err)
+	}
+	if n, _ := m.DB().RowCount("author"); n != workers*perWorker {
+		t.Errorf("author rows = %d, want %d", n, workers*perWorker)
+	}
+}
+
+// TestConcurrentReadsDuringWrites interleaves queries with updates.
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req := fmt.Sprintf(`%s
+INSERT DATA { ex:author%d foaf:family_name "L%d" . }`, paperPrologue, i, i)
+			if _, err := m.ExecuteString(req); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := m.Query(paperPrologue + `SELECT ?x WHERE { ?x foaf:family_name ?n . }`); err != nil {
+			t.Fatalf("query during writes: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

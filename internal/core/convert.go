@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ontoaccess/internal/feedback"
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdf"
+)
+
+// literalToValue converts a triple object into the engine value for a
+// column, driven by the column's declared type (the paper's Listing
+// 15 writes ont:pubYear "2009" as a string literal that lands in an
+// INTEGER column).
+func literalToValue(o rdf.Term, col *rdb.Column, subject, property string) (rdb.Value, error) {
+	if !o.IsLiteral() {
+		return rdb.Null, &feedback.Violation{
+			Constraint: "Mapping", Subject: subject, Property: property,
+			Value: o.String(),
+			Hint:  "this property maps to a data attribute and requires a literal object",
+		}
+	}
+	lex := o.Value
+	switch col.Type {
+	case rdb.TInt:
+		v, err := strconv.ParseInt(strings.TrimSpace(lex), 10, 64)
+		if err != nil {
+			return rdb.Null, &feedback.Violation{
+				Constraint: "Type", Column: col.Name, Subject: subject, Property: property,
+				Value: lex, Hint: "the column requires an integer value",
+			}
+		}
+		return rdb.Int(v), nil
+	case rdb.TFloat:
+		v, err := strconv.ParseFloat(strings.TrimSpace(lex), 64)
+		if err != nil {
+			return rdb.Null, &feedback.Violation{
+				Constraint: "Type", Column: col.Name, Subject: subject, Property: property,
+				Value: lex, Hint: "the column requires a numeric value",
+			}
+		}
+		return rdb.Float(v), nil
+	case rdb.TBool:
+		switch lex {
+		case "true", "1":
+			return rdb.Bool(true), nil
+		case "false", "0":
+			return rdb.Bool(false), nil
+		}
+		return rdb.Null, &feedback.Violation{
+			Constraint: "Type", Column: col.Name, Subject: subject, Property: property,
+			Value: lex, Hint: "the column requires a boolean value",
+		}
+	default:
+		return rdb.String_(lex), nil
+	}
+}
+
+// valueToTerm converts a stored value back into the RDF object term
+// for a data attribute, honouring a declared datatype.
+func valueToTerm(v rdb.Value, am *r3m.AttributeMap) rdf.Term {
+	if am.Datatype != "" {
+		return rdf.TypedLiteral(v.Text(), am.Datatype)
+	}
+	// Without a declared datatype the view uses plain literals, as the
+	// paper's listings do (ont:pubYear "2009").
+	return rdf.Literal(v.Text())
+}
+
+// objectToKeyValue resolves the object of a foreign-key property: it
+// must be an instance URI of the referenced table; the referenced
+// primary key value is extracted from the URI and converted to the
+// referenced column's type.
+func (m *Mediator) objectToKeyValue(tx *rdb.Tx, o rdf.Term, refTM *r3m.TableMap, subject, property string) (rdb.Value, error) {
+	if !o.IsIRI() {
+		return rdb.Null, &feedback.Violation{
+			Constraint: "Mapping", Subject: subject, Property: property, Value: o.String(),
+			RefTable: refTM.Name,
+			Hint:     "this property maps to a foreign key and requires an instance URI of the referenced class",
+		}
+	}
+	tm, vals, err := m.mapping.IdentifyTable(o.Value)
+	if err != nil || tm.Name != refTM.Name {
+		return rdb.Null, &feedback.Violation{
+			Constraint: "Mapping", Subject: subject, Property: property, Value: o.Value,
+			RefTable: refTM.Name,
+			Hint:     fmt.Sprintf("the object URI must match the %q URI pattern %q", refTM.Name, refTM.URIPattern),
+		}
+	}
+	schema, schemaErr := tx.Schema(refTM.Name)
+	if schemaErr != nil {
+		return rdb.Null, schemaErr
+	}
+	return m.keyValueFromPattern(schema, vals, subject, property)
+}
+
+// keyValueFromPattern converts the single extracted key lexical value
+// to the referenced table's primary key type.
+func (m *Mediator) keyValueFromPattern(schema *rdb.TableSchema, vals map[string]string, subject, property string) (rdb.Value, error) {
+	if len(schema.PrimaryKey) != 1 {
+		return rdb.Null, fmt.Errorf("core: table %q must have a single-column primary key", schema.Name)
+	}
+	pkName := schema.PrimaryKey[0]
+	lex, ok := vals[pkName]
+	if !ok {
+		// Pattern attribute names are case-preserving; fall back to a
+		// case-insensitive scan.
+		for k, v := range vals {
+			if strings.EqualFold(k, pkName) {
+				lex, ok = v, true
+				break
+			}
+		}
+	}
+	if !ok {
+		return rdb.Null, fmt.Errorf("core: URI pattern for %q did not bind primary key %q", schema.Name, pkName)
+	}
+	col, _ := schema.Column(pkName)
+	return literalToValue(rdf.Literal(lex), col, subject, property)
+}
+
+// subjectEntity is a subject URI resolved to its table and key.
+type subjectEntity struct {
+	uri    string
+	tm     *r3m.TableMap
+	schema *rdb.TableSchema
+	pkName string
+	pkVal  rdb.Value
+}
+
+// resolveSubject implements Algorithm 1 step two for one subject.
+func (m *Mediator) resolveSubject(tx *rdb.Tx, s rdf.Term) (*subjectEntity, error) {
+	if !s.IsIRI() {
+		return nil, &feedback.Violation{
+			Constraint: "Mapping", Subject: s.String(),
+			Hint: "subjects must be instance URIs matching a mapped URI pattern (blank nodes cannot address rows)",
+		}
+	}
+	tm, vals, err := m.mapping.IdentifyTable(s.Value)
+	if err != nil {
+		return nil, &feedback.Violation{
+			Constraint: "Mapping", Subject: s.Value,
+			Hint: "the subject URI matches no table mapping; check the URI pattern and prefix",
+		}
+	}
+	schema, err := tx.Schema(tm.Name)
+	if err != nil {
+		return nil, err
+	}
+	pkVal, err := m.keyValueFromPattern(schema, vals, s.Value, "")
+	if err != nil {
+		return nil, err
+	}
+	return &subjectEntity{
+		uri: s.Value, tm: tm, schema: schema,
+		pkName: schema.PrimaryKey[0], pkVal: pkVal,
+	}, nil
+}
+
+// instanceURIFor builds the RDF instance URI for a row of tm.
+func (m *Mediator) instanceURIFor(tm *r3m.TableMap, schema *rdb.TableSchema, row []rdb.Value) (string, error) {
+	attrs, err := tm.PatternAttributes(m.mapping.URIPrefix)
+	if err != nil {
+		return "", err
+	}
+	vals := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		ci := schema.ColumnIndex(a)
+		if ci < 0 {
+			return "", fmt.Errorf("core: pattern attribute %q missing from table %q", a, tm.Name)
+		}
+		vals[a] = row[ci].Text()
+	}
+	return m.mapping.InstanceURI(tm, vals)
+}

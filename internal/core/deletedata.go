@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+
+	"ontoaccess/internal/feedback"
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/sqlgen"
+	"ontoaccess/internal/update"
+)
+
+// execDeleteData implements Algorithm 1 for DELETE DATA (Section
+// 5.1): per subject group the affected tuple is retrieved and
+// analyzed; if the request covers only a subset of the entity's
+// remaining data, the translation is an UPDATE setting the mentioned
+// attributes to NULL (with the requested values as conditions, as in
+// Listing 18); only if it covers all remaining non-NULL data does it
+// become a row DELETE.
+func (m *Mediator) execDeleteData(tx *rdb.Tx, op update.DeleteData) (*OpResult, error) {
+	res := &OpResult{Operation: op.Kind()}
+	var stmts []plannedStmt
+	seq := 0
+	for _, g := range groupTriples(op.Triples) {
+		pg, err := m.partitionGroup(tx, g)
+		if err != nil {
+			return res, err
+		}
+		ent := pg.ent
+		_, row, exists, err := tx.LookupPK(ent.tm.Name, []rdb.Value{ent.pkVal})
+		if err != nil {
+			return res, err
+		}
+		if !exists {
+			return res, &feedback.Violation{
+				Constraint: "Mapping", Subject: ent.uri, Table: ent.tm.Name,
+				Hint: "the entity does not exist; DELETE DATA removes known triples only",
+			}
+		}
+		// The requested values must match the stored tuple (the tuple
+		// "must be retrieved and analyzed during the translation").
+		for _, name := range sortedKeys(pg.attrValues) {
+			want := pg.attrValues[name]
+			ci := ent.schema.ColumnIndex(name)
+			if !rdb.Equal(row[ci], want) {
+				return res, &feedback.Violation{
+					Constraint: "Mapping", Subject: ent.uri, Property: pg.attrProps[name],
+					Table: ent.tm.Name, Column: name, Value: want.Text(),
+					Hint: "the triple to delete is not present in the data",
+				}
+			}
+		}
+		// Link rows requested for deletion must exist.
+		for _, link := range pg.links {
+			found, err := m.linkRowExists(tx, link)
+			if err != nil {
+				return res, err
+			}
+			if !found {
+				return res, &feedback.Violation{
+					Constraint: "Mapping", Subject: ent.uri, Property: link.property,
+					Table: link.lt.Name, Value: link.objKey.Text(),
+					Hint: "the relationship to delete is not present in the data",
+				}
+			}
+			stmts = append(stmts, plannedStmt{
+				sql: sqlgen.Delete(link.lt.Name, []sqlgen.Cond{
+					{Column: link.lt.SubjectAttr.Name, Value: link.subjKey},
+					{Column: link.lt.ObjectAttr.Name, Value: link.objKey},
+				}),
+				table: link.lt.Name, kind: kindDelete, subject: ent.uri, seq: seq,
+			})
+			seq++
+		}
+
+		if len(pg.attrValues) == 0 && !pg.hasType {
+			continue // only link triples for this subject
+		}
+
+		covers := m.coversAllRemaining(ent, row, pg)
+		switch {
+		case covers:
+			stmts = append(stmts, plannedStmt{
+				sql:   sqlgen.Delete(ent.tm.Name, []sqlgen.Cond{{Column: ent.pkName, Value: ent.pkVal}}),
+				table: ent.tm.Name, kind: kindDelete, subject: ent.uri, seq: seq,
+			})
+			seq++
+		case pg.hasType:
+			return res, &feedback.Violation{
+				Constraint: "Mapping", Subject: ent.uri, Table: ent.tm.Name,
+				Hint: "removing the rdf:type triple deletes the entity; the request must also cover all its remaining data",
+			}
+		default:
+			// Partial delete: NULL out the mentioned attributes, with
+			// the paper's NOT NULL protection applied at check time.
+			var set []sqlgen.Assign
+			conds := []sqlgen.Cond{{Column: ent.pkName, Value: ent.pkVal}}
+			for _, name := range sortedKeys(pg.attrValues) {
+				am, _ := ent.tm.Attribute(name)
+				if am != nil && am.HasConstraint(r3m.ConstraintNotNull) {
+					return res, &feedback.Violation{
+						Constraint: "NotNull", Subject: ent.uri, Property: pg.attrProps[name],
+						Table: ent.tm.Name, Column: name,
+						Hint: "this mandatory property can only be removed by deleting the whole entity",
+					}
+				}
+				set = append(set, sqlgen.Assign{Column: name, Value: rdb.Null})
+				conds = append(conds, sqlgen.Cond{Column: name, Value: pg.attrValues[name]})
+			}
+			stmts = append(stmts, plannedStmt{
+				sql:   sqlgen.Update(ent.tm.Name, set, conds),
+				table: ent.tm.Name, kind: kindUpdate, subject: ent.uri, seq: seq,
+			})
+			seq++
+		}
+	}
+	sorted, err := m.sortStatements(tx, stmts)
+	if err != nil {
+		return res, err
+	}
+	return res, m.executeStatements(tx, sorted, res)
+}
+
+// coversAllRemaining reports whether the request mentions every
+// non-NULL mapped attribute of the stored row (the paper's condition
+// for translating to a row DELETE).
+func (m *Mediator) coversAllRemaining(ent *subjectEntity, row []rdb.Value, pg *partitionedGroup) bool {
+	for _, am := range ent.tm.Attributes {
+		if strings.EqualFold(am.Name, ent.pkName) {
+			continue
+		}
+		ci := ent.schema.ColumnIndex(am.Name)
+		if ci < 0 || row[ci].IsNull() {
+			continue
+		}
+		if am.Property.IsZero() {
+			// Unmapped attribute values are invisible in the RDF view
+			// and do not block deletion.
+			continue
+		}
+		if _, mentioned := pg.attrValues[am.Name]; !mentioned {
+			return false
+		}
+	}
+	return len(pg.attrValues) > 0 || pg.hasType
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlexec"
+	"ontoaccess/internal/turtle"
+	"ontoaccess/internal/update"
+)
+
+// TestDeleteTwoEntitiesChildFirst deletes an author and its team in
+// one operation: the generated row DELETEs must run child-first
+// (author before team) or the RESTRICT check fires.
+func TestDeleteTwoEntitiesChildFirst(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, paperPrologue+`
+INSERT DATA {
+  ex:team5 foaf:name "SE" ; ont:teamCode "S" .
+  ex:author6 foaf:family_name "Hert" ; ont:team ex:team5 .
+}`)
+	res := mustExec(t, m, paperPrologue+`
+DELETE DATA {
+  ex:author6 foaf:family_name "Hert" ; ont:team ex:team5 .
+  ex:team5 foaf:name "SE" ; ont:teamCode "S" .
+}`)
+	sql := res.Ops[0].SQL
+	if len(sql) != 2 {
+		t.Fatalf("SQL = %v", sql)
+	}
+	if !strings.HasPrefix(sql[0], "DELETE FROM author") || !strings.HasPrefix(sql[1], "DELETE FROM team") {
+		t.Errorf("child-first ordering violated:\n%s", strings.Join(sql, "\n"))
+	}
+	if m.DB().TotalRows() != 0 {
+		t.Errorf("rows = %d", m.DB().TotalRows())
+	}
+	// The unsorted variant fails when generation order puts a row
+	// delete before the link-row delete that references it: subject
+	// groups are processed alphabetically, so ex:author6 (the row)
+	// comes before ex:pub12 (whose group holds the link deletion).
+	m2 := paperMediator(t, Options{DisableSort: true})
+	// Seed in dependency order, one subject per operation, so the
+	// unsorted mediator accepts the setup.
+	for _, seed := range []string{
+		seedTeam5,
+		paperPrologue + `INSERT DATA { ex:pubtype4 ont:type "inproceedings" . }`,
+		paperPrologue + `INSERT DATA { ex:publisher3 ont:name "Springer" . }`,
+		listing9,
+		paperPrologue + `INSERT DATA {
+  ex:pub12 dc:title "Relational..." ; ont:pubYear "2009" ;
+      ont:pubType ex:pubtype4 ; dc:publisher ex:publisher3 ;
+      dc:creator ex:author6 . }`,
+	} {
+		mustExec(t, m2, seed)
+	}
+	req := paperPrologue + `
+DELETE DATA {
+  ex:pub12 dc:creator ex:author6 .
+  ex:author6 foaf:title "Mr" ;
+      foaf:firstName "Matthias" ;
+      foaf:family_name "Hert" ;
+      foaf:mbox <mailto:hert@ifi.uzh.ch> ;
+      ont:team ex:team5 .
+}`
+	if _, err := m2.ExecuteString(req); err == nil {
+		t.Error("unsorted row-before-link delete should fail under RESTRICT")
+	}
+	// With sorting the identical request succeeds.
+	m3 := paperMediator(t, Options{})
+	mustExec(t, m3, listing15)
+	mustExec(t, m3, req)
+	if n, _ := m3.DB().RowCount("author"); n != 0 {
+		t.Errorf("author rows = %d", n)
+	}
+}
+
+// TestDeleteForeignKeyTriple NULLs the FK column.
+func TestDeleteForeignKeyTriple(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	mustExec(t, m, listing9)
+	res := mustExec(t, m, paperPrologue+`
+DELETE DATA { ex:author6 ont:team ex:team5 . }`)
+	want := "UPDATE author SET team = NULL WHERE id = 6 AND team = 5;"
+	if len(res.Ops[0].SQL) != 1 || res.Ops[0].SQL[0] != want {
+		t.Fatalf("SQL = %v", res.Ops[0].SQL)
+	}
+	rs, _ := sqlexec.Query(m.DB(), `SELECT team FROM author WHERE id = 6`)
+	if !rs.Rows[0][0].IsNull() {
+		t.Errorf("team = %v", rs.Rows[0][0])
+	}
+}
+
+// TestModifyWithFilterFallsBack drives a MODIFY whose WHERE has a
+// FILTER: not expressible as a single SELECT, so it evaluates on the
+// virtual view; the effect must be identical.
+func TestModifyWithFilterFallsBack(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	mustExec(t, m, listing9)
+	res := mustExec(t, m, paperPrologue+`
+MODIFY
+DELETE { ?x foaf:mbox ?mm . }
+INSERT { ?x foaf:mbox <mailto:filtered@example.org> . }
+WHERE { ?x foaf:mbox ?mm . FILTER REGEX(STR(?mm), "uzh") }`)
+	if res.Ops[0].Bindings != 1 {
+		t.Fatalf("bindings = %d", res.Ops[0].Bindings)
+	}
+	// No translated SELECT recorded on the fallback path.
+	for _, s := range res.Ops[0].SQL {
+		if strings.HasPrefix(s, "SELECT") {
+			t.Errorf("unexpected SELECT in fallback path: %s", s)
+		}
+	}
+	rs, _ := sqlexec.Query(m.DB(), `SELECT email FROM author WHERE id = 6`)
+	if rs.Rows[0][0] != rdb.String_("filtered@example.org") {
+		t.Errorf("email = %v", rs.Rows[0][0])
+	}
+}
+
+// TestModifyInsertForNewEntity uses MODIFY to create a row for a new
+// entity based on matches of existing ones ("not limited to replacing
+// triples", Section 5.2).
+func TestModifyInsertForNewEntity(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	mustExec(t, m, listing9)
+	res := mustExec(t, m, paperPrologue+`
+MODIFY
+DELETE { }
+INSERT { ex:team77 foaf:name "Derived" ; ont:teamCode "DRV" . }
+WHERE { ex:author6 foaf:family_name "Hert" . }`)
+	if res.Ops[0].Bindings != 1 {
+		t.Fatalf("bindings = %d", res.Ops[0].Bindings)
+	}
+	if _, found, _ := rowByPK(m, "team", 77); !found {
+		t.Error("derived team row missing")
+	}
+}
+
+func rowByPK(m *Mediator, table string, id int64) ([]rdb.Value, bool, error) {
+	var row []rdb.Value
+	found := false
+	err := m.DB().View(func(tx *rdb.Tx) error {
+		_, r, ok, err := tx.LookupPK(table, []rdb.Value{rdb.Int(id)})
+		row, found = r, ok
+		return err
+	})
+	return row, found, err
+}
+
+// TestMixedRequestSequence runs a request with several operations of
+// different kinds; atomicity is per operation.
+func TestMixedRequestSequence(t *testing.T) {
+	m := paperMediator(t, Options{})
+	res := mustExec(t, m, paperPrologue+`
+INSERT DATA { ex:team5 foaf:name "SE" ; ont:teamCode "S" . } ;
+INSERT DATA { ex:author6 foaf:family_name "Hert" ; foaf:mbox <mailto:a@b.c> ; ont:team ex:team5 . } ;
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x foaf:mbox <mailto:new@b.c> . }
+WHERE { ?x foaf:mbox ?m . } ;
+DELETE DATA { ex:author6 foaf:mbox <mailto:new@b.c> . }`)
+	if len(res.Ops) != 4 {
+		t.Fatalf("ops = %d", len(res.Ops))
+	}
+	rs, _ := sqlexec.Query(m.DB(), `SELECT email FROM author WHERE id = 6`)
+	if !rs.Rows[0][0].IsNull() {
+		t.Errorf("email = %v", rs.Rows[0][0])
+	}
+}
+
+// TestImportGraph bulk-loads a Turtle document through Algorithm 1.
+func TestImportGraph(t *testing.T) {
+	m := paperMediator(t, Options{})
+	g := turtle.MustParse(`
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix dc: <http://purl.org/dc/elements/1.1/> .
+@prefix ont: <http://example.org/ontology#> .
+@prefix ex: <http://example.org/db/> .
+
+ex:team1 foaf:name "Imported Team" ; ont:teamCode "IMP" .
+ex:author1 foaf:family_name "Importer" ; ont:team ex:team1 .
+ex:pubtype1 ont:type "article" .
+ex:publisher1 ont:name "Imported Press" .
+ex:pub1 dc:title "Imported Paper" ; ont:pubYear "2010" ;
+    ont:pubType ex:pubtype1 ; dc:publisher ex:publisher1 ;
+    dc:creator ex:author1 .
+`)
+	res, err := m.ImportGraph(g)
+	if err != nil {
+		t.Fatalf("ImportGraph: %v", err)
+	}
+	if m.DB().TotalRows() != 6 {
+		t.Errorf("rows = %d, want 6", m.DB().TotalRows())
+	}
+	if res.RowsAffected != 6 {
+		t.Errorf("affected = %d", res.RowsAffected)
+	}
+	// Round trip: exporting yields a supergraph of the import (plus
+	// type triples).
+	exported, err := m.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := g.Diff(exported)
+	if len(missing) != 0 {
+		t.Errorf("imported triples missing from export: %v", missing)
+	}
+	// Importing a graph that violates constraints fails atomically.
+	bad := turtle.MustParse(`
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex: <http://example.org/db/> .
+ex:team2 foaf:name "T2" .
+ex:author2 foaf:firstName "NoLast" .
+`)
+	before := m.DB().TotalRows()
+	if _, err := m.ImportGraph(bad); err == nil {
+		t.Fatal("invalid import accepted")
+	}
+	if m.DB().TotalRows() != before {
+		t.Error("failed import leaked rows")
+	}
+}
+
+// TestEmptyInsertAndDeleteData: empty operations are valid no-ops.
+func TestEmptyOperations(t *testing.T) {
+	m := paperMediator(t, Options{})
+	res, err := m.ExecuteRequest(&update.Request{Ops: []update.Operation{
+		update.InsertData{},
+		update.DeleteData{},
+	}})
+	if err != nil {
+		t.Fatalf("empty ops: %v", err)
+	}
+	if len(res.Ops) != 2 || len(res.SQL()) != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// TestInsertExistingIdenticalLinkAndNewAttr mixes an UPDATE with an
+// idempotent link insert in one group.
+func TestInsertExistingWithLink(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, listing15)
+	mustExec(t, m, paperPrologue+`INSERT DATA { ex:author7 foaf:family_name "Reif" . }`)
+	res := mustExec(t, m, paperPrologue+`
+INSERT DATA {
+  ex:pub12 ont:pubYear "2010" ;
+      dc:creator ex:author7 .
+}`)
+	sql := res.Ops[0].SQL
+	if len(sql) != 2 {
+		t.Fatalf("SQL = %v", sql)
+	}
+	joined := strings.Join(sql, "\n")
+	if !strings.Contains(joined, "UPDATE publication SET year = 2010") {
+		t.Errorf("missing year update:\n%s", joined)
+	}
+	if !strings.Contains(joined, "INSERT INTO publication_author (publication, author) VALUES (12, 7);") {
+		t.Errorf("missing link insert:\n%s", joined)
+	}
+}
+
+// TestNonIntegerPrimaryKeyTable exercises a schema keyed by VARCHAR.
+func TestNonIntegerPrimaryKey(t *testing.T) {
+	db := rdb.NewDatabase("d")
+	if _, err := sqlexec.Run(db, `
+CREATE TABLE country (
+  code VARCHAR PRIMARY KEY,
+  name VARCHAR NOT NULL
+);`); err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := loadMappingTTL(`
+@prefix r3m: <http://ontoaccess.org/r3m#> .
+@prefix map: <http://example.org/mapping#> .
+@prefix geo: <http://example.org/geo#> .
+
+map:database a r3m:DatabaseMap ;
+    r3m:uriPrefix "http://example.org/data/" ;
+    r3m:hasTable map:country .
+
+map:country a r3m:TableMap ;
+    r3m:hasTableName "country" ;
+    r3m:mapsToClass geo:Country ;
+    r3m:uriPattern "country-%%code%%" ;
+    r3m:hasAttribute map:country_code , map:country_name .
+
+map:country_code a r3m:AttributeMap ;
+    r3m:hasAttributeName "code" ;
+    r3m:hasConstraint [ a r3m:PrimaryKey ] .
+
+map:country_name a r3m:AttributeMap ;
+    r3m:hasAttributeName "name" ;
+    r3m:mapsToDataProperty geo:countryName ;
+    r3m:hasConstraint [ a r3m:NotNull ] .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(db, mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.ExecuteString(`
+PREFIX geo: <http://example.org/geo#>
+PREFIX d: <http://example.org/data/>
+INSERT DATA { d:country-CH geo:countryName "Switzerland" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SQL()[0] != "INSERT INTO country (code, name) VALUES ('CH', 'Switzerland');" {
+		t.Errorf("SQL = %v", res.SQL())
+	}
+	qr, err := m.Query(`
+PREFIX geo: <http://example.org/geo#>
+SELECT ?c WHERE { ?c geo:countryName "Switzerland" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Solutions) != 1 || qr.Solutions[0]["c"].Value != "http://example.org/data/country-CH" {
+		t.Errorf("solutions = %v", qr.Solutions)
+	}
+}
+
+func loadMappingTTL(src string) (*r3m.Mapping, error) {
+	return r3m.Load(src)
+}

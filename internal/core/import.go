@@ -1,0 +1,20 @@
+package core
+
+import (
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/update"
+)
+
+// ImportGraph bulk-loads an RDF graph into the mapped database: the
+// graph is treated as one big INSERT DATA operation, so Algorithm 1
+// applies unchanged — triples are grouped by subject, validated
+// against the mapping's constraints, translated to SQL, sorted along
+// foreign-key dependencies and executed in a single transaction.
+//
+// This generalizes the member submission's LOAD operation to
+// in-memory graphs (the paper's prototype deferred LOAD; the
+// translation path is identical to INSERT DATA).
+func (m *Mediator) ImportGraph(g *rdf.Graph) (*OpResult, error) {
+	op := update.InsertData{Triples: g.Triples()}
+	return m.ExecuteOp(op)
+}

@@ -1,0 +1,248 @@
+// Package core implements the OntoAccess translation engine — the
+// paper's primary contribution. It mediates between SPARQL/Update
+// requests expressed against a domain ontology and SQL DML executed
+// on a relational database, guided by an R3M mapping:
+//
+//   - Algorithm 1 (Section 5.1) translates the triples of INSERT DATA
+//     and DELETE DATA operations to SQL: group triples by subject,
+//     identify the target table through the subject URI, check the
+//     request against the recorded integrity constraints, generate
+//     SQL, sort the statements along foreign-key dependencies, and
+//     execute them in one transaction.
+//   - INSERT DATA becomes INSERT or UPDATE depending on whether the
+//     entity already exists; DELETE DATA becomes UPDATE ... = NULL or
+//     a row DELETE depending on whether the operation covers all
+//     remaining data of the entity.
+//   - Algorithm 2 (Section 5.2) decomposes MODIFY into a SELECT over
+//     the WHERE pattern plus per-binding DELETE DATA / INSERT DATA
+//     operations, with the redundant-delete optimization.
+//
+// The package also provides read access: SPARQL queries are evaluated
+// over a virtual RDF view of the database (SQL-backed pattern
+// matching), and Export materializes the whole view for comparisons
+// against the native triple-store baseline.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ontoaccess/internal/feedback"
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/update"
+)
+
+// Options tune translation behaviour; the zero value is the paper's
+// behaviour. The flags exist for the ablation benchmarks (B2, B3).
+type Options struct {
+	// DisableSort skips Algorithm 1 step five (foreign-key sorting of
+	// generated statements). With immediate constraint checking this
+	// makes multi-table inserts fail, as Section 5.1 predicts.
+	DisableSort bool
+	// DisableModifyOptimization keeps DELETE DATA operations whose
+	// triples are superseded by an INSERT of the same subject and
+	// property (Section 5.2's optimization turned off).
+	DisableModifyOptimization bool
+}
+
+// Mediator translates and executes SPARQL/Update against a mapped
+// relational database.
+type Mediator struct {
+	db      *rdb.Database
+	mapping *r3m.Mapping
+	opts    Options
+}
+
+// New builds a mediator and cross-validates the mapping against the
+// database schema: every mapped table, attribute and foreign key must
+// exist and agree.
+func New(db *rdb.Database, mapping *r3m.Mapping, opts Options) (*Mediator, error) {
+	if err := mapping.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mediator{db: db, mapping: mapping, opts: opts}
+	if err := m.checkSchemaAlignment(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DB exposes the backing database (read-mostly helpers and tooling).
+func (m *Mediator) DB() *rdb.Database { return m.db }
+
+// Mapping exposes the R3M mapping.
+func (m *Mediator) Mapping() *r3m.Mapping { return m.mapping }
+
+// checkSchemaAlignment verifies the mapping matches the live schema.
+func (m *Mediator) checkSchemaAlignment() error {
+	for _, tm := range m.mapping.Tables {
+		schema, ok := m.db.Schema(tm.Name)
+		if !ok {
+			return fmt.Errorf("core: mapping references missing table %q", tm.Name)
+		}
+		for _, am := range tm.Attributes {
+			col, ok := schema.Column(am.Name)
+			if !ok {
+				return fmt.Errorf("core: mapping references missing attribute %s.%s", tm.Name, am.Name)
+			}
+			if am.HasConstraint(r3m.ConstraintPrimaryKey) && !schema.IsPrimaryKey(am.Name) {
+				return fmt.Errorf("core: mapping marks %s.%s as primary key but the schema does not", tm.Name, am.Name)
+			}
+			if ref, ok := am.ForeignKeyRef(); ok {
+				fk, has := schema.ForeignKeyOn(am.Name)
+				if !has {
+					return fmt.Errorf("core: mapping marks %s.%s as foreign key but the schema does not", tm.Name, am.Name)
+				}
+				refTM, found := m.mapping.ResolveTableRef(ref)
+				if !found || !strings.EqualFold(refTM.Name, fk.RefTable) {
+					return fmt.Errorf("core: foreign key %s.%s references %q in the mapping but %q in the schema",
+						tm.Name, am.Name, ref, fk.RefTable)
+				}
+			}
+			_ = col
+		}
+		if len(schema.PrimaryKey) != 1 {
+			return fmt.Errorf("core: mapped table %q must have a single-column primary key", tm.Name)
+		}
+	}
+	for _, lt := range m.mapping.LinkTables {
+		schema, ok := m.db.Schema(lt.Name)
+		if !ok {
+			return fmt.Errorf("core: mapping references missing link table %q", lt.Name)
+		}
+		for _, am := range []*r3m.AttributeMap{lt.SubjectAttr, lt.ObjectAttr} {
+			if _, ok := schema.Column(am.Name); !ok {
+				return fmt.Errorf("core: link table %q lacks attribute %q", lt.Name, am.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// OpResult describes the execution of one SPARQL/Update operation.
+type OpResult struct {
+	// Operation is the operation kind, e.g. "INSERT DATA".
+	Operation string
+	// SQL lists the executed statements in execution order. For
+	// MODIFY it includes the translated SELECT and the per-binding
+	// DML.
+	SQL []string
+	// RowsAffected sums the rows touched by the DML statements.
+	RowsAffected int
+	// Bindings is the number of WHERE solutions (MODIFY only).
+	Bindings int
+}
+
+// Result describes the execution of a whole request.
+type Result struct {
+	Ops []OpResult
+	// Report carries the success/failure feedback for the request.
+	Report *feedback.Report
+}
+
+// SQL returns all executed statements across operations.
+func (r *Result) SQL() []string {
+	var out []string
+	for _, op := range r.Ops {
+		out = append(out, op.SQL...)
+	}
+	return out
+}
+
+// ExecuteString parses and executes a SPARQL/Update request. On
+// constraint violations the returned error unwraps to
+// *feedback.Violation and Result.Report carries the rich feedback;
+// the failing operation's transaction is rolled back.
+func (m *Mediator) ExecuteString(src string) (*Result, error) {
+	req, err := update.Parse(src)
+	if err != nil {
+		return &Result{Report: feedback.Failure("parse", err, nil)}, err
+	}
+	return m.ExecuteRequest(req)
+}
+
+// ExecuteRequest executes a parsed request, operation by operation.
+// Each operation runs in its own transaction (the paper's atomicity
+// unit); the request stops at the first failing operation.
+func (m *Mediator) ExecuteRequest(req *update.Request) (*Result, error) {
+	res := &Result{}
+	for _, op := range req.Ops {
+		opRes, err := m.ExecuteOp(op)
+		if opRes != nil {
+			res.Ops = append(res.Ops, *opRes)
+		}
+		if err != nil {
+			res.Report = feedback.Failure(op.Kind(), err, res.SQL())
+			return res, err
+		}
+	}
+	res.Report = feedback.Success("request", res.SQL())
+	return res, nil
+}
+
+// ExecuteOp executes one operation inside a fresh transaction,
+// committing on success and rolling back on error.
+func (m *Mediator) ExecuteOp(op update.Operation) (*OpResult, error) {
+	tx := m.db.Begin()
+	defer tx.Rollback()
+	opRes, err := m.executeOpInTx(tx, op)
+	if err != nil {
+		return opRes, err
+	}
+	if err := tx.Commit(); err != nil {
+		return opRes, err
+	}
+	return opRes, nil
+}
+
+func (m *Mediator) executeOpInTx(tx *rdb.Tx, op update.Operation) (*OpResult, error) {
+	switch o := op.(type) {
+	case update.InsertData:
+		return m.execInsertData(tx, o)
+	case update.DeleteData:
+		return m.execDeleteData(tx, o)
+	case update.Modify:
+		return m.execModify(tx, o)
+	case update.Clear:
+		return m.execClear(tx)
+	default:
+		return nil, fmt.Errorf("core: unsupported operation %T", op)
+	}
+}
+
+// execClear empties every mapped table, children before parents.
+func (m *Mediator) execClear(tx *rdb.Tx) (*OpResult, error) {
+	res := &OpResult{Operation: "CLEAR"}
+	order, err := tx.TopologicalTableOrder()
+	if err != nil {
+		return res, err
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		name := order[i]
+		if !m.tableMapped(name) {
+			continue
+		}
+		var ids []int64
+		tx.Scan(name, func(id int64, _ []rdb.Value) bool {
+			ids = append(ids, id)
+			return true
+		})
+		for _, id := range ids {
+			if err := tx.DeleteByID(name, id); err != nil {
+				return res, err
+			}
+			res.RowsAffected++
+		}
+		res.SQL = append(res.SQL, "DELETE FROM "+name+";")
+	}
+	return res, nil
+}
+
+func (m *Mediator) tableMapped(name string) bool {
+	if _, ok := m.mapping.TableByName(name); ok {
+		return true
+	}
+	_, ok := m.mapping.LinkTableByName(name)
+	return ok
+}

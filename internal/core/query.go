@@ -1,0 +1,560 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlexec"
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sparql"
+	"ontoaccess/internal/sqlgen"
+)
+
+// SelectTranslation is the result of translating a SPARQL basic graph
+// pattern to a single SQL SELECT (the paper's translateSelect step in
+// Algorithm 2, and the read path the prototype had "under
+// development"). Decode turns the SQL result set back into SPARQL
+// solutions.
+type SelectTranslation struct {
+	// SQL is the generated statement.
+	SQL string
+	// Vars are the variables bound by Decode, in column order.
+	Vars []string
+
+	bindings []varBinding
+	m        *Mediator
+}
+
+type bindKind int
+
+const (
+	bindSubject bindKind = iota
+	bindColumn
+)
+
+type varBinding struct {
+	name  string
+	kind  bindKind
+	alias string
+	col   string
+	// subject bindings reconstruct an instance URI of tm.
+	tm     *r3m.TableMap
+	schema *rdb.TableSchema
+	// column bindings: refTM reconstructs a referenced-instance URI;
+	// am renders data/IRI-valued attributes.
+	refTM *r3m.TableMap
+	am    *r3m.AttributeMap
+}
+
+// node is one subject entity in the BGP, identified by variable name
+// or constant URI.
+type qnode struct {
+	alias  string
+	tm     *r3m.TableMap
+	schema *rdb.TableSchema
+	// constKey pins a constant-subject node to a primary key value.
+	constKey *rdb.Value
+}
+
+type translator struct {
+	m       *Mediator
+	tx      *rdb.Tx
+	nodes   map[string]*qnode // by var name or "<uri>"
+	order   []string
+	aliasN  int
+	joins   []sqlgen.JoinSpec
+	wheres  []sqlgen.WhereSpec
+	links   []linkUse
+	bind    map[string]varBinding
+	bindSeq []string
+}
+
+type linkUse struct {
+	alias string
+	lt    *r3m.LinkTableMap
+}
+
+// TranslateSelect translates a BGP-only group pattern into one SQL
+// SELECT over the mapped schema. Patterns using FILTER, OPTIONAL,
+// UNION, variable predicates, or variable classes are not
+// translatable and return an error; callers fall back to evaluation
+// over the virtual RDF view.
+func (m *Mediator) TranslateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projVars []string) (*SelectTranslation, error) {
+	if where == nil {
+		return nil, fmt.Errorf("core: nil WHERE pattern")
+	}
+	if len(where.Filters) > 0 || len(where.Optionals) > 0 || len(where.Unions) > 0 {
+		return nil, fmt.Errorf("core: only basic graph patterns are translatable to a single SELECT")
+	}
+	if len(where.Triples) == 0 {
+		return nil, fmt.Errorf("core: empty basic graph pattern")
+	}
+	tr := &translator{
+		m: m, tx: tx,
+		nodes: make(map[string]*qnode),
+		bind:  make(map[string]varBinding),
+	}
+	// Pass one: pin every subject to a table.
+	for _, tp := range where.Triples {
+		if err := tr.pinSubject(tp); err != nil {
+			return nil, err
+		}
+	}
+	// Pass two: conditions, joins and variable bindings.
+	for _, tp := range where.Triples {
+		if err := tr.addPattern(tp); err != nil {
+			return nil, err
+		}
+	}
+	if projVars == nil {
+		projVars = tr.bindSeq
+	}
+	st := &SelectTranslation{m: m}
+	var cols []string
+	for _, v := range projVars {
+		b, ok := tr.bind[v]
+		if !ok {
+			return nil, fmt.Errorf("core: variable ?%s is not bound by the pattern", v)
+		}
+		st.Vars = append(st.Vars, v)
+		st.bindings = append(st.bindings, b)
+		cols = append(cols, b.alias+"."+b.col)
+	}
+	if len(cols) == 0 {
+		// ASK-style probe: select the first node's key.
+		first := tr.nodes[tr.order[0]]
+		cols = []string{first.alias + "." + first.schema.PrimaryKey[0]}
+	}
+	spec, err := tr.buildSpec(cols)
+	if err != nil {
+		return nil, err
+	}
+	st.SQL = sqlgen.Select(*spec)
+	return st, nil
+}
+
+// subjectKey names a node: variable name or "<uri>".
+func subjectKey(pt sparql.PatternTerm) (string, error) {
+	if pt.IsVar {
+		return pt.Var, nil
+	}
+	if pt.Term.IsIRI() {
+		return "<" + pt.Term.Value + ">", nil
+	}
+	return "", fmt.Errorf("core: subjects must be variables or IRIs, got %s", pt.Term)
+}
+
+func (tr *translator) pinSubject(tp sparql.TriplePattern) error {
+	key, err := subjectKey(tp.S)
+	if err != nil {
+		return err
+	}
+	if !tp.P.IsVar && tp.P.Term == rdf.IRI(rdf.RDFType) {
+		if tp.O.IsVar {
+			return fmt.Errorf("core: variable classes are not translatable")
+		}
+		tm, ok := tr.m.mapping.TableForClass(tp.O.Term)
+		if !ok {
+			return fmt.Errorf("core: class %s is not mapped", tp.O.Term)
+		}
+		return tr.pinNode(key, tm)
+	}
+	if tp.P.IsVar {
+		return fmt.Errorf("core: variable predicates are not translatable")
+	}
+	// Property determines candidate tables.
+	if lt, ok := tr.m.mapping.LinkTableForProperty(tp.P.Term); ok {
+		subjRef, _ := lt.SubjectAttr.ForeignKeyRef()
+		subjTM, _ := tr.m.mapping.ResolveTableRef(subjRef)
+		if subjTM == nil {
+			return fmt.Errorf("core: link table %q unresolved", lt.Name)
+		}
+		if err := tr.pinNode(key, subjTM); err != nil {
+			return err
+		}
+		// A variable object of a link property pins that node too,
+		// when the variable is used as a subject elsewhere; handled
+		// lazily in addPattern.
+		return nil
+	}
+	var candidates []*r3m.TableMap
+	for _, tm := range tr.m.mapping.Tables {
+		if _, ok := tm.AttributeForProperty(tp.P.Term); ok {
+			candidates = append(candidates, tm)
+		}
+	}
+	switch len(candidates) {
+	case 0:
+		return fmt.Errorf("core: property %s is not mapped", tp.P.Term)
+	case 1:
+		return tr.pinNode(key, candidates[0])
+	default:
+		// Ambiguous across classes: resolvable only if the node is
+		// already pinned (by rdf:type or an earlier property).
+		if n, ok := tr.nodes[key]; ok {
+			for _, c := range candidates {
+				if c == n.tm {
+					return nil
+				}
+			}
+		}
+		// Constant subjects self-identify.
+		if strings.HasPrefix(key, "<") {
+			return tr.pinConstSubject(key)
+		}
+		return fmt.Errorf("core: property %s maps to several classes; add an rdf:type pattern for ?%s",
+			tp.P.Term, key)
+	}
+}
+
+func (tr *translator) pinConstSubject(key string) error {
+	uri := strings.TrimSuffix(strings.TrimPrefix(key, "<"), ">")
+	tm, _, err := tr.m.mapping.IdentifyTable(uri)
+	if err != nil {
+		return err
+	}
+	return tr.pinNode(key, tm)
+}
+
+func (tr *translator) pinNode(key string, tm *r3m.TableMap) error {
+	if n, ok := tr.nodes[key]; ok {
+		if n.tm != tm {
+			return fmt.Errorf("core: %s is used as both %s and %s", key, n.tm.Class, tm.Class)
+		}
+		return nil
+	}
+	schema, err := tr.tx.Schema(tm.Name)
+	if err != nil {
+		return err
+	}
+	n := &qnode{alias: fmt.Sprintf("t%d", tr.aliasN), tm: tm, schema: schema}
+	tr.aliasN++
+	tr.nodes[key] = n
+	tr.order = append(tr.order, key)
+	if strings.HasPrefix(key, "<") {
+		uri := strings.TrimSuffix(strings.TrimPrefix(key, "<"), ">")
+		_, vals, err := tr.m.mapping.IdentifyTable(uri)
+		if err != nil {
+			return err
+		}
+		pk, err := tr.m.keyValueFromPattern(schema, vals, uri, "")
+		if err != nil {
+			return err
+		}
+		n.constKey = &pk
+		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{
+			Column: n.alias + "." + schema.PrimaryKey[0], Value: pk,
+		})
+	} else {
+		tr.bindVar(key, varBinding{
+			name: key, kind: bindSubject, alias: n.alias,
+			col: schema.PrimaryKey[0], tm: tm, schema: schema,
+		})
+	}
+	return nil
+}
+
+func (tr *translator) bindVar(name string, b varBinding) {
+	if prev, ok := tr.bind[name]; ok {
+		// The variable already has a binding: require column equality.
+		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{
+			Column: prev.alias + "." + prev.col, OtherColumn: b.alias + "." + b.col,
+		})
+		return
+	}
+	tr.bind[name] = b
+	tr.bindSeq = append(tr.bindSeq, name)
+}
+
+func (tr *translator) addPattern(tp sparql.TriplePattern) error {
+	key, _ := subjectKey(tp.S)
+	n := tr.nodes[key]
+	if n == nil {
+		return fmt.Errorf("core: internal: unpinned subject %s", key)
+	}
+	prop := tp.P.Term
+	if prop == rdf.IRI(rdf.RDFType) {
+		return nil // consumed during pinning
+	}
+	if lt, ok := tr.m.mapping.LinkTableForProperty(prop); ok {
+		return tr.addLinkPattern(lt, n, tp)
+	}
+	am, ok := n.tm.AttributeForProperty(prop)
+	if !ok {
+		return fmt.Errorf("core: class %s has no attribute for property %s", n.tm.Class, prop)
+	}
+	col := n.alias + "." + am.Name
+	ref, isFK := am.ForeignKeyRef()
+	switch {
+	case tp.O.IsVar:
+		if isFK {
+			refTM, _ := tr.m.mapping.ResolveTableRef(ref)
+			// If the object variable is itself a pinned node, join the
+			// referenced table; otherwise decode the key column.
+			if on, pinned := tr.nodes[tp.O.Var]; pinned {
+				tr.wheres = append(tr.wheres, sqlgen.WhereSpec{
+					Column: col, OtherColumn: on.alias + "." + on.schema.PrimaryKey[0],
+				})
+			} else {
+				tr.bindVar(tp.O.Var, varBinding{
+					name: tp.O.Var, kind: bindColumn, alias: n.alias, col: am.Name, refTM: refTM,
+				})
+				tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: col, NotNull: true})
+				return nil
+			}
+			tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: col, NotNull: true})
+			return nil
+		}
+		tr.bindVar(tp.O.Var, varBinding{
+			name: tp.O.Var, kind: bindColumn, alias: n.alias, col: am.Name, am: am,
+		})
+		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: col, NotNull: true})
+	default:
+		schemaCol, _ := n.schema.Column(am.Name)
+		v, err := tr.m.tripleObjectToValue(tr.tx, tp.O.Term, am, schemaCol, key, prop.Value)
+		if err != nil {
+			return err
+		}
+		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: col, Value: v})
+	}
+	return nil
+}
+
+func (tr *translator) addLinkPattern(lt *r3m.LinkTableMap, n *qnode, tp sparql.TriplePattern) error {
+	objRef, _ := lt.ObjectAttr.ForeignKeyRef()
+	objTM, _ := tr.m.mapping.ResolveTableRef(objRef)
+	if objTM == nil {
+		return fmt.Errorf("core: link table %q unresolved", lt.Name)
+	}
+	alias := fmt.Sprintf("l%d", len(tr.links))
+	tr.links = append(tr.links, linkUse{alias: alias, lt: lt})
+	tr.joins = append(tr.joins, sqlgen.JoinSpec{
+		Table: lt.Name, As: alias,
+		Left: alias + "." + lt.SubjectAttr.Name, Right: n.alias + "." + n.schema.PrimaryKey[0],
+	})
+	switch {
+	case tp.O.IsVar:
+		if on, pinned := tr.nodes[tp.O.Var]; pinned {
+			tr.wheres = append(tr.wheres, sqlgen.WhereSpec{
+				Column: alias + "." + lt.ObjectAttr.Name, OtherColumn: on.alias + "." + on.schema.PrimaryKey[0],
+			})
+		} else {
+			tr.bindVar(tp.O.Var, varBinding{
+				name: tp.O.Var, kind: bindColumn, alias: alias, col: lt.ObjectAttr.Name, refTM: objTM,
+			})
+		}
+	default:
+		objKey, err := tr.m.objectToKeyValue(tr.tx, tp.O.Term, objTM, "", lt.Property.Value)
+		if err != nil {
+			return err
+		}
+		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: alias + "." + lt.ObjectAttr.Name, Value: objKey})
+	}
+	return nil
+}
+
+// buildSpec assembles the final SELECT: the first node is FROM, every
+// other node joins through a shared condition, link tables join as
+// recorded.
+func (tr *translator) buildSpec(cols []string) (*sqlgen.SelectSpec, error) {
+	if len(tr.order) == 0 {
+		return nil, fmt.Errorf("core: no tables in pattern")
+	}
+	first := tr.nodes[tr.order[0]]
+	spec := &sqlgen.SelectSpec{
+		Columns: cols,
+		From:    first.tm.Name,
+		FromAs:  first.alias,
+		Joins:   tr.joins,
+	}
+	joined := map[string]bool{first.alias: true}
+	for _, j := range tr.joins {
+		joined[j.As] = true
+	}
+	// Attach remaining nodes: find a column-equality condition
+	// linking the node to an already-joined alias and promote it to a
+	// JOIN ... ON; iterate until no progress.
+	remaining := tr.order[1:]
+	conds := tr.wheres
+	for len(remaining) > 0 {
+		progress := false
+		var still []string
+		for _, key := range remaining {
+			n := tr.nodes[key]
+			found := -1
+			for ci, c := range conds {
+				if c.OtherColumn == "" {
+					continue
+				}
+				la, _ := splitAlias(c.Column)
+				ra, _ := splitAlias(c.OtherColumn)
+				if la == n.alias && joined[ra] || ra == n.alias && joined[la] {
+					found = ci
+					break
+				}
+			}
+			if found < 0 {
+				still = append(still, key)
+				continue
+			}
+			c := conds[found]
+			conds = append(conds[:found:found], conds[found+1:]...)
+			spec.Joins = append(spec.Joins, sqlgen.JoinSpec{
+				Table: n.tm.Name, As: n.alias, Left: c.Column, Right: c.OtherColumn,
+			})
+			joined[n.alias] = true
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("core: basic graph pattern is not connected; cannot translate to joins")
+		}
+		remaining = still
+	}
+	spec.Where = conds
+	return spec, nil
+}
+
+func splitAlias(qualified string) (alias, col string) {
+	i := strings.IndexByte(qualified, '.')
+	if i < 0 {
+		return "", qualified
+	}
+	return qualified[:i], qualified[i+1:]
+}
+
+// Run executes the translation and decodes the result set into SPARQL
+// solutions.
+func (st *SelectTranslation) Run(tx *rdb.Tx) (sparql.Solutions, error) {
+	res, err := sqlexec.ExecSQL(tx, st.SQL)
+	if err != nil {
+		return nil, err
+	}
+	var sols sparql.Solutions
+	for _, row := range res.Set.Rows {
+		b := make(sparql.Binding, len(st.bindings))
+		skip := false
+		for i, vb := range st.bindings {
+			v := row[i]
+			if v.IsNull() {
+				skip = true
+				break
+			}
+			term, err := st.decodeValue(vb, v)
+			if err != nil {
+				return nil, err
+			}
+			b[vb.name] = term
+		}
+		if !skip {
+			sols = append(sols, b)
+		}
+	}
+	return sols, nil
+}
+
+func (st *SelectTranslation) decodeValue(vb varBinding, v rdb.Value) (rdf.Term, error) {
+	switch {
+	case vb.kind == bindSubject:
+		uri, err := st.m.mapping.InstanceURI(vb.tm, map[string]string{vb.col: v.Text()})
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.IRI(uri), nil
+	case vb.refTM != nil:
+		refSchema, ok := st.m.db.Schema(vb.refTM.Name)
+		if !ok {
+			return rdf.Term{}, fmt.Errorf("core: missing schema for %q", vb.refTM.Name)
+		}
+		uri, err := st.m.mapping.InstanceURI(vb.refTM, map[string]string{refSchema.PrimaryKey[0]: v.Text()})
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.IRI(uri), nil
+	case vb.am != nil && vb.am.IsObject:
+		return rdf.IRI(vb.am.ValuePrefix + v.Text()), nil
+	case vb.am != nil:
+		return valueToTerm(v, vb.am), nil
+	default:
+		return rdf.Literal(v.Text()), nil
+	}
+}
+
+// QueryResult is the outcome of Mediator.Query.
+type QueryResult struct {
+	Form sparql.QueryForm
+	// Vars and Solutions are set for SELECT.
+	Vars      []string
+	Solutions sparql.Solutions
+	// Graph is set for CONSTRUCT.
+	Graph *rdf.Graph
+	// Bool is set for ASK.
+	Bool bool
+	// SQL records the translated SELECT when the BGP fast path was
+	// used; empty means the query ran over the virtual RDF view.
+	SQL string
+}
+
+// Query evaluates a SPARQL query against the mapped database. Basic
+// graph patterns translate to a single SQL SELECT (the paper's read
+// path); richer queries (FILTER, OPTIONAL, UNION, solution modifiers)
+// evaluate over the virtual RDF view, which is backed by the same
+// tables.
+func (m *Mediator) Query(src string) (*QueryResult, error) {
+	q, err := sparql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryResult{Form: q.Form}
+	err = m.db.View(func(tx *rdb.Tx) error {
+		// Fast path: plain BGP SELECT without solution modifiers.
+		if q.Form == sparql.FormSelect && len(q.OrderBy) == 0 && q.Limit < 0 && q.Offset < 0 && !q.Distinct {
+			proj := q.Vars
+			if q.Star {
+				proj = q.Where.Vars()
+			}
+			if st, terr := m.TranslateSelect(tx, q.Where, proj); terr == nil {
+				sols, rerr := st.Run(tx)
+				if rerr == nil {
+					out.Vars = st.Vars
+					out.Solutions = sols
+					out.SQL = st.SQL
+					return nil
+				}
+			}
+		}
+		// General path: evaluate over the virtual view.
+		vg := m.VirtualGraph(tx)
+		switch q.Form {
+		case sparql.FormSelect:
+			sols, err := sparql.Eval(vg, q)
+			if err != nil {
+				return err
+			}
+			out.Solutions = sols
+			if q.Star {
+				out.Vars = q.Where.Vars()
+			} else {
+				out.Vars = q.Vars
+			}
+		case sparql.FormAsk:
+			b, err := sparql.EvalAsk(vg, q)
+			if err != nil {
+				return err
+			}
+			out.Bool = b
+		case sparql.FormConstruct:
+			g, err := sparql.EvalConstruct(vg, q)
+			if err != nil {
+				return err
+			}
+			out.Graph = g
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

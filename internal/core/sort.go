@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sort"
+
+	"ontoaccess/internal/rdb"
+)
+
+// sortStatements implements Algorithm 1 step five: order the
+// generated statements so that, under the database's immediate
+// constraint checking, referential integrity holds at every point of
+// the transaction. The order is:
+//
+//  1. INSERTs in parents-first topological order of the foreign-key
+//     graph (a referencing row only lands after its referenced rows);
+//  2. UPDATEs (they may point existing rows at freshly inserted ones);
+//  3. DELETEs in children-first (reverse topological) order.
+//
+// Within one class the original generation order is preserved, so the
+// output is deterministic. With Options.DisableSort the statements
+// run in generation order, which the B2 ablation uses to demonstrate
+// the failure mode the paper describes.
+func (m *Mediator) sortStatements(tx *rdb.Tx, stmts []plannedStmt) ([]plannedStmt, error) {
+	if m.opts.DisableSort || len(stmts) < 2 {
+		return stmts, nil
+	}
+	order, err := tx.TopologicalTableOrder()
+	if err != nil {
+		return nil, err
+	}
+	pos := make(map[string]int, len(order))
+	for i, name := range order {
+		pos[lowerASCII(name)] = i
+	}
+	rank := func(st plannedStmt) (major, minor int) {
+		tp := pos[lowerASCII(st.table)]
+		switch st.kind {
+		case kindInsert:
+			return 0, tp
+		case kindUpdate:
+			return 1, 0
+		default: // kindDelete: children first
+			return 2, -tp
+		}
+	}
+	sorted := make([]plannedStmt, len(stmts))
+	copy(sorted, stmts)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		mi, ni := rank(sorted[i])
+		mj, nj := rank(sorted[j])
+		if mi != mj {
+			return mi < mj
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+	return sorted, nil
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}

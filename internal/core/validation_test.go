@@ -1,0 +1,351 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/feedback"
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlexec"
+	"ontoaccess/internal/rdf"
+)
+
+func wantViolation(t *testing.T, err error, constraint string, hintPart string) *feedback.Violation {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a violation, got success")
+	}
+	var v *feedback.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v (%T), want *feedback.Violation", err, err)
+	}
+	if v.Constraint != constraint {
+		t.Fatalf("constraint = %q, want %q (err: %v)", v.Constraint, constraint, v)
+	}
+	if hintPart != "" && !strings.Contains(v.Hint, hintPart) {
+		t.Errorf("hint %q does not mention %q", v.Hint, hintPart)
+	}
+	return v
+}
+
+// The paper's Section 3: "a certain amount of data is known about
+// each entity (attributes declared as mandatory)" — inserting an
+// author without a lastname must be rejected with rich feedback
+// before reaching the database.
+func TestInsertMissingMandatoryAttribute(t *testing.T) {
+	m := paperMediator(t, Options{})
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:author9 foaf:firstName "Anon" . }`)
+	v := wantViolation(t, err, "NotNull", "mandatory")
+	if v.Table != "author" || v.Column != "lastname" {
+		t.Errorf("violation at %s.%s, want author.lastname", v.Table, v.Column)
+	}
+	if v.Property != "http://xmlns.com/foaf/0.1/family_name" {
+		t.Errorf("violation property = %q", v.Property)
+	}
+	if v.Subject != "http://example.org/db/author9" {
+		t.Errorf("violation subject = %q", v.Subject)
+	}
+	// And it reached no data.
+	if m.DB().TotalRows() != 0 {
+		t.Error("rejected request must not change the database")
+	}
+}
+
+// Section 3's other headline: a NOT NULL attribute cannot be removed
+// without deleting the entity.
+func TestDeleteMandatoryAttributeRejected(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, paperPrologue+`
+INSERT DATA { ex:author8 foaf:family_name "Gall" ; foaf:firstName "Harald" . }`)
+	_, err := m.ExecuteString(paperPrologue + `
+DELETE DATA { ex:author8 foaf:family_name "Gall" . }`)
+	v := wantViolation(t, err, "NotNull", "deleting the whole entity")
+	if v.Column != "lastname" {
+		t.Errorf("column = %q", v.Column)
+	}
+	// Deleting everything (family_name and firstName) is fine: a row
+	// delete.
+	res := mustExec(t, m, paperPrologue+`
+DELETE DATA { ex:author8 foaf:family_name "Gall" ; foaf:firstName "Harald" . }`)
+	if res.Ops[0].SQL[0] != "DELETE FROM author WHERE id = 8;" {
+		t.Errorf("SQL = %v", res.Ops[0].SQL)
+	}
+}
+
+func TestUnknownPropertyForClass(t *testing.T) {
+	m := paperMediator(t, Options{})
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:team1 foaf:firstName "nope" ; foaf:name "X" . }`)
+	wantViolation(t, err, "Mapping", "no attribute mapped")
+}
+
+func TestUnmappedSubjectURI(t *testing.T) {
+	m := paperMediator(t, Options{})
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { <http://other.org/thing1> foaf:name "X" . }`)
+	wantViolation(t, err, "Mapping", "URI pattern")
+}
+
+func TestBlankNodeSubjectRejected(t *testing.T) {
+	m := paperMediator(t, Options{})
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { _:b foaf:name "X" . }`)
+	wantViolation(t, err, "Mapping", "blank nodes")
+}
+
+func TestWrongClassTypeTriple(t *testing.T) {
+	m := paperMediator(t, Options{})
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:team1 a foaf:Person ; foaf:name "X" . }`)
+	wantViolation(t, err, "Mapping", "belong to class")
+}
+
+func TestForeignKeyObjectWrongClass(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	// ont:team must point at a team, not a publisher URI.
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:author1 foaf:family_name "X" ; ont:team ex:publisher3 . }`)
+	wantViolation(t, err, "Mapping", "URI pattern")
+}
+
+func TestForeignKeyObjectLiteralRejected(t *testing.T) {
+	m := paperMediator(t, Options{})
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:author1 foaf:family_name "X" ; ont:team "5" . }`)
+	wantViolation(t, err, "Mapping", "instance URI")
+}
+
+func TestDanglingForeignKeyCaughtByEngine(t *testing.T) {
+	m := paperMediator(t, Options{})
+	// team5 does not exist: the mapping-level checks pass, the engine
+	// raises the FK violation, and it is enriched with the subject.
+	_, err := m.ExecuteString(listing9)
+	v := wantViolation(t, err, "ForeignKey", "referenced entity")
+	if v.RefTable != "team" || v.Subject != "http://example.org/db/author6" {
+		t.Errorf("violation = %+v", v)
+	}
+}
+
+func TestTypeViolationLiteral(t *testing.T) {
+	m := paperMediator(t, Options{})
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:pub1 dc:title "T" ; ont:pubYear "not-a-year" . }`)
+	v := wantViolation(t, err, "Type", "integer")
+	if v.Column != "year" {
+		t.Errorf("column = %q", v.Column)
+	}
+}
+
+func TestConflictingValuesForOneAttribute(t *testing.T) {
+	m := paperMediator(t, Options{})
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:team1 foaf:name "A" , "B" . }`)
+	wantViolation(t, err, "Mapping", "one value per attribute")
+}
+
+func TestDuplicateIdenticalTripleIsFine(t *testing.T) {
+	m := paperMediator(t, Options{})
+	if _, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:team1 foaf:name "A" , "A" . }`); err != nil {
+		t.Fatalf("identical duplicate triple must be tolerated: %v", err)
+	}
+}
+
+func TestDeleteNonExistentEntity(t *testing.T) {
+	m := paperMediator(t, Options{})
+	_, err := m.ExecuteString(paperPrologue + `
+DELETE DATA { ex:team1 foaf:name "A" . }`)
+	wantViolation(t, err, "Mapping", "does not exist")
+}
+
+func TestDeleteMismatchedValue(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	_, err := m.ExecuteString(paperPrologue + `
+DELETE DATA { ex:team5 foaf:name "Wrong Name" . }`)
+	wantViolation(t, err, "Mapping", "not present")
+}
+
+func TestDeleteTypeTripleRequiresFullCoverage(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	_, err := m.ExecuteString(paperPrologue + `
+DELETE DATA { ex:team5 a foaf:Group . }`)
+	wantViolation(t, err, "Mapping", "all its remaining data")
+	// With all data covered, the type triple deletes the row.
+	res := mustExec(t, m, paperPrologue+`
+DELETE DATA { ex:team5 a foaf:Group ;
+  foaf:name "Software Engineering" ; ont:teamCode "SEAL" . }`)
+	if res.Ops[0].SQL[0] != "DELETE FROM team WHERE id = 5;" {
+		t.Errorf("SQL = %v", res.Ops[0].SQL)
+	}
+}
+
+func TestDeleteLinkTriple(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, listing15)
+	res := mustExec(t, m, paperPrologue+`
+DELETE DATA { ex:pub12 dc:creator ex:author6 . }`)
+	want := "DELETE FROM publication_author WHERE publication = 12 AND author = 6;"
+	if len(res.Ops[0].SQL) != 1 || res.Ops[0].SQL[0] != want {
+		t.Fatalf("SQL = %v", res.Ops[0].SQL)
+	}
+	// Deleting it again: violation (relationship not present).
+	_, err := m.ExecuteString(paperPrologue + `
+DELETE DATA { ex:pub12 dc:creator ex:author6 . }`)
+	wantViolation(t, err, "Mapping", "not present")
+}
+
+func TestInsertLinkTripleIdempotent(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, listing15)
+	res := mustExec(t, m, paperPrologue+`
+INSERT DATA { ex:pub12 dc:creator ex:author6 . }`)
+	if len(res.Ops[0].SQL) != 0 {
+		t.Errorf("duplicate link insert generated SQL: %v", res.Ops[0].SQL)
+	}
+	rs, _ := sqlexec.Query(m.DB(), `SELECT COUNT(*) FROM publication_author`)
+	if rs.Rows[0][0] != rdb.Int(1) {
+		t.Errorf("link rows = %v", rs.Rows[0][0])
+	}
+}
+
+func TestLinkSubjectWrongClass(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, listing15)
+	// dc:creator subjects must be publications.
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:author6 dc:creator ex:author6 . }`)
+	wantViolation(t, err, "Mapping", "instances of")
+}
+
+func TestValuePrefixViolation(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:author1 foaf:family_name "X" ; foaf:mbox <http://not-a-mailto/x> . }`)
+	wantViolation(t, err, "Mapping", "mailto:")
+}
+
+func TestMediatorRejectsMisalignedMapping(t *testing.T) {
+	db := rdb.NewDatabase("d")
+	if _, err := sqlexec.Run(db, `CREATE TABLE team (id INTEGER PRIMARY KEY, name VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(mutate func(m *r3m.Mapping)) error {
+		m := &r3m.Mapping{
+			URIPrefix: "http://e/",
+			Tables: []*r3m.TableMap{{
+				Name: "team", Class: rdf.IRI("http://o/Team"), URIPattern: "team%%id%%",
+				Attributes: []*r3m.AttributeMap{
+					{Name: "id", Constraints: []r3m.Constraint{{Kind: r3m.ConstraintPrimaryKey}}},
+					{Name: "name", Property: rdf.IRI("http://o/name")},
+				},
+			}},
+		}
+		mutate(m)
+		m.Reindex()
+		_, err := New(db, m, Options{})
+		return err
+	}
+	if err := mk(func(*r3m.Mapping) {}); err != nil {
+		t.Fatalf("aligned mapping rejected: %v", err)
+	}
+	if err := mk(func(m *r3m.Mapping) { m.Tables[0].Name = "nope" }); err == nil {
+		t.Error("missing table accepted")
+	}
+	if err := mk(func(m *r3m.Mapping) { m.Tables[0].Attributes[1].Name = "bogus" }); err == nil {
+		t.Error("missing attribute accepted")
+	}
+	if err := mk(func(m *r3m.Mapping) {
+		m.Tables[0].Attributes[1].Constraints = []r3m.Constraint{{Kind: r3m.ConstraintPrimaryKey}}
+	}); err == nil {
+		t.Error("phantom primary key accepted")
+	}
+	if err := mk(func(m *r3m.Mapping) {
+		m.Tables[0].Attributes[1].IsObject = true
+		m.Tables[0].Attributes[1].Constraints = []r3m.Constraint{{Kind: r3m.ConstraintForeignKey, References: "team"}}
+	}); err == nil {
+		t.Error("phantom foreign key accepted")
+	}
+}
+
+func TestFailedOperationRollsBackAtomically(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	before := m.DB().TotalRows()
+	// One request, one operation: valid team insert + invalid author
+	// insert (missing lastname) — the whole operation must roll back.
+	_, err := m.ExecuteString(paperPrologue + `
+INSERT DATA {
+  ex:team7 foaf:name "Valid Team" .
+  ex:author9 foaf:firstName "Anon" .
+}`)
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	if m.DB().TotalRows() != before {
+		t.Errorf("rows changed from %d to %d despite rollback", before, m.DB().TotalRows())
+	}
+}
+
+func TestRequestStopsAtFirstFailingOperation(t *testing.T) {
+	m := paperMediator(t, Options{})
+	res, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:team1 foaf:name "One" . }
+INSERT DATA { ex:author9 foaf:firstName "Anon" . }
+INSERT DATA { ex:team2 foaf:name "Two" . }`)
+	if err == nil {
+		t.Fatal("expected violation in second operation")
+	}
+	// First op committed, second rolled back, third never ran.
+	if n, _ := m.DB().RowCount("team"); n != 1 {
+		t.Errorf("team rows = %d, want 1", n)
+	}
+	if res.Report == nil || res.Report.OK {
+		t.Error("failure report missing")
+	}
+	if len(res.Report.Violations) != 1 {
+		t.Errorf("violations = %d", len(res.Report.Violations))
+	}
+}
+
+func TestFeedbackReportContent(t *testing.T) {
+	m := paperMediator(t, Options{})
+	res, err := m.ExecuteString(paperPrologue + `
+INSERT DATA { ex:author9 foaf:firstName "Anon" . }`)
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	rep := res.Report
+	if rep.OK || rep.Operation != "INSERT DATA" {
+		t.Errorf("report = %+v", rep)
+	}
+	ttl := rep.Turtle()
+	for _, want := range []string{"fb:Failure", "fb:NotNullViolation", `"author"`, `"lastname"`, "fb:hint"} {
+		if !strings.Contains(ttl, want) {
+			t.Errorf("feedback Turtle missing %s:\n%s", want, ttl)
+		}
+	}
+	// Success reports too.
+	res = mustExec(t, m, seedTeam5)
+	if !res.Report.OK || !strings.Contains(res.Report.Turtle(), "fb:Success") {
+		t.Errorf("success report = %+v", res.Report)
+	}
+}
+
+func TestClearOperation(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, listing15)
+	if m.DB().TotalRows() == 0 {
+		t.Fatal("seed failed")
+	}
+	mustExec(t, m, `CLEAR`)
+	if m.DB().TotalRows() != 0 {
+		t.Errorf("rows after CLEAR = %d", m.DB().TotalRows())
+	}
+}

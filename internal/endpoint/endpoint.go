@@ -1,0 +1,197 @@
+// Package endpoint implements the OntoAccess HTTP mediation endpoint
+// of the paper's Section 6: "Implemented as a HTTP endpoint, it
+// allows clients to remotely manipulate the relational data. Incoming
+// SPARQL/Update operations are parsed from the HTTP requests and
+// forwarded to the translation module... a confirmation or error
+// message is... converted to an RDF representation and sent back to
+// the client."
+//
+// Routes:
+//
+//	POST /update  — SPARQL/Update request in the body (or an "update"
+//	                form parameter); the response is the feedback
+//	                report in Turtle (fb:Success / fb:Failure with
+//	                violations and translated SQL).
+//	GET/POST /sparql — SPARQL query ("query" parameter); SELECT/ASK
+//	                return a plain-text table or boolean, CONSTRUCT
+//	                returns Turtle.
+//	GET /export   — the full RDF view as Turtle or N-Triples.
+//	GET /mapping  — the active R3M mapping as Turtle.
+//	GET /healthz  — liveness probe with row counts.
+package endpoint
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ontoaccess/internal/core"
+	"ontoaccess/internal/ntriples"
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sparql"
+	"ontoaccess/internal/turtle"
+)
+
+// Server wraps a mediator in HTTP handlers.
+type Server struct {
+	mediator *core.Mediator
+	mux      *http.ServeMux
+}
+
+// New builds the endpoint around a mediator.
+func New(m *core.Mediator) *Server {
+	s := &Server{mediator: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/sparql", s.handleQuery)
+	s.mux.HandleFunc("/export", s.handleExport)
+	s.mux.HandleFunc("/mapping", s.handleMapping)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+const turtleMIME = "text/turtle; charset=utf-8"
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a SPARQL/Update request", http.StatusMethodNotAllowed)
+		return
+	}
+	src, err := readUpdateBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, execErr := s.mediator.ExecuteString(src)
+	w.Header().Set("Content-Type", turtleMIME)
+	if execErr != nil {
+		// Constraint violations are client errors; everything the
+		// client needs is in the RDF feedback report.
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}
+	if res != nil && res.Report != nil {
+		io.WriteString(w, res.Report.Turtle())
+		return
+	}
+	fmt.Fprintf(w, "# no report\n")
+}
+
+// readUpdateBody accepts the raw body, a form-encoded "update"
+// parameter, or "application/sparql-update" content.
+func readUpdateBody(r *http.Request) (string, error) {
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/x-www-form-urlencoded") {
+		if err := r.ParseForm(); err != nil {
+			return "", fmt.Errorf("endpoint: parsing form: %w", err)
+		}
+		if u := r.PostForm.Get("update"); u != "" {
+			return u, nil
+		}
+		return "", fmt.Errorf("endpoint: missing 'update' form parameter")
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		return "", fmt.Errorf("endpoint: reading body: %w", err)
+	}
+	if len(body) == 0 {
+		return "", fmt.Errorf("endpoint: empty request body")
+	}
+	return string(body), nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var query string
+	switch r.Method {
+	case http.MethodGet:
+		query = r.URL.Query().Get("query")
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		query = r.PostForm.Get("query")
+		if query == "" {
+			body, _ := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+			query = string(body)
+		}
+	default:
+		http.Error(w, "GET or POST a SPARQL query", http.StatusMethodNotAllowed)
+		return
+	}
+	if strings.TrimSpace(query) == "" {
+		http.Error(w, "missing 'query' parameter", http.StatusBadRequest)
+		return
+	}
+	res, err := s.mediator.Query(query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	wantJSON := strings.Contains(r.Header.Get("Accept"), "application/sparql-results+json") ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	switch res.Form {
+	case sparql.FormSelect:
+		if wantJSON {
+			data, err := sparql.ResultsJSON(res.Vars, res.Solutions)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/sparql-results+json")
+			w.Write(data)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, sparql.FormatTable(res.Vars, res.Solutions))
+	case sparql.FormAsk:
+		if wantJSON {
+			data, err := sparql.AskJSON(res.Bool)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/sparql-results+json")
+			w.Write(data)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%v\n", res.Bool)
+	case sparql.FormConstruct:
+		w.Header().Set("Content-Type", turtleMIME)
+		io.WriteString(w, turtle.Serialize(res.Graph, rdf.CommonPrefixes()))
+	}
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	g, err := s.mediator.Export()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "application/n-triples") {
+		w.Header().Set("Content-Type", "application/n-triples")
+		io.WriteString(w, ntriples.Format(g))
+		return
+	}
+	w.Header().Set("Content-Type", turtleMIME)
+	io.WriteString(w, turtle.Serialize(g, rdf.CommonPrefixes()))
+}
+
+func (s *Server) handleMapping(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", turtleMIME)
+	io.WriteString(w, s.mediator.Mapping().Turtle())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok\ndatabase: %s\n", s.mediator.DB().Name())
+	for _, name := range s.mediator.DB().TableNames() {
+		n, _ := s.mediator.DB().RowCount(name)
+		fmt.Fprintf(w, "table %s: %d rows\n", name, n)
+	}
+}

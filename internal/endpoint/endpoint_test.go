@@ -1,0 +1,242 @@
+package endpoint
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/core"
+	"ontoaccess/internal/ntriples"
+	"ontoaccess/internal/sparql"
+	"ontoaccess/internal/workload"
+)
+
+func newServer(t *testing.T) (*Server, *core.Mediator) {
+	t.Helper()
+	m, err := workload.NewMediator(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m), m
+}
+
+func post(t *testing.T, s *Server, path, contentType, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", contentType)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestUpdateEndpointSuccess(t *testing.T) {
+	s, m := newServer(t)
+	rec := post(t, s, "/update", "application/sparql-update", workload.Listing15)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body:\n%s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "fb:Success") {
+		t.Errorf("body:\n%s", rec.Body)
+	}
+	if m.DB().TotalRows() != 6 {
+		t.Errorf("rows = %d", m.DB().TotalRows())
+	}
+}
+
+func TestUpdateEndpointFormEncoded(t *testing.T) {
+	s, _ := newServer(t)
+	form := url.Values{"update": {workload.Listing13}}
+	rec := post(t, s, "/update", "application/x-www-form-urlencoded", form.Encode())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body:\n%s", rec.Code, rec.Body)
+	}
+}
+
+func TestUpdateEndpointConstraintViolation(t *testing.T) {
+	s, _ := newServer(t)
+	rec := post(t, s, "/update", "application/sparql-update", workload.Prologue+`
+INSERT DATA { ex:author9 foaf:firstName "Anon" . }`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"fb:Failure", "fb:NotNullViolation", `"lastname"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("feedback missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestUpdateEndpointParseError(t *testing.T) {
+	s, _ := newServer(t)
+	rec := post(t, s, "/update", "application/sparql-update", "THIS IS NOT SPARQL")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "fb:Failure") {
+		t.Errorf("parse failure body:\n%s", rec.Body)
+	}
+}
+
+func TestUpdateEndpointRejectsGet(t *testing.T) {
+	s, _ := newServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/update", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestUpdateEndpointEmptyBody(t *testing.T) {
+	s, _ := newServer(t)
+	rec := post(t, s, "/update", "application/sparql-update", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestQueryEndpointSelect(t *testing.T) {
+	s, _ := newServer(t)
+	post(t, s, "/update", "application/sparql-update", workload.Listing15)
+	q := url.QueryEscape(workload.Prologue + `SELECT ?name WHERE { ex:team5 foaf:name ?name . }`)
+	req := httptest.NewRequest(http.MethodGet, "/sparql?query="+q, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body:\n%s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "Software Engineering") {
+		t.Errorf("body:\n%s", rec.Body)
+	}
+}
+
+func TestQueryEndpointAskAndConstruct(t *testing.T) {
+	s, _ := newServer(t)
+	post(t, s, "/update", "application/sparql-update", workload.Listing15)
+	ask := url.QueryEscape(workload.Prologue + `ASK { ex:author6 foaf:family_name "Hert" . }`)
+	req := httptest.NewRequest(http.MethodGet, "/sparql?query="+ask, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if strings.TrimSpace(rec.Body.String()) != "true" {
+		t.Errorf("ASK body = %q", rec.Body.String())
+	}
+	construct := url.QueryEscape(workload.Prologue + `CONSTRUCT { ?a ont:wrote ?p . } WHERE { ?p dc:creator ?a . }`)
+	req = httptest.NewRequest(http.MethodGet, "/sparql?query="+construct, nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "ont:wrote") {
+		t.Errorf("CONSTRUCT body:\n%s", rec.Body)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	s, _ := newServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/sparql", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing query: status = %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/sparql?query=garbage", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad query: status = %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodDelete, "/sparql?query=x", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("bad method: status = %d", rec.Code)
+	}
+}
+
+func TestExportEndpoint(t *testing.T) {
+	s, _ := newServer(t)
+	post(t, s, "/update", "application/sparql-update", workload.Listing15)
+	req := httptest.NewRequest(http.MethodGet, "/export", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "ex:author6") {
+		t.Errorf("turtle export:\n%s", rec.Body)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/export", nil)
+	req.Header.Set("Accept", "application/n-triples")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	g, err := ntriples.ParseString(rec.Body.String())
+	if err != nil {
+		t.Fatalf("export is not valid N-Triples: %v", err)
+	}
+	if g.Len() != 19 {
+		t.Errorf("exported %d triples", g.Len())
+	}
+}
+
+func TestMappingAndHealthEndpoints(t *testing.T) {
+	s, _ := newServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/mapping", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "r3m:DatabaseMap") {
+		t.Errorf("mapping body:\n%s", rec.Body)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "table author: 0 rows") {
+		t.Errorf("health body:\n%s", rec.Body)
+	}
+}
+
+func TestQueryEndpointJSONResults(t *testing.T) {
+	s, _ := newServer(t)
+	post(t, s, "/update", "application/sparql-update", workload.Listing15)
+	q := url.QueryEscape(workload.Prologue + `SELECT ?x ?m WHERE { ?x foaf:mbox ?m . }`)
+	req := httptest.NewRequest(http.MethodGet, "/sparql?query="+q, nil)
+	req.Header.Set("Accept", "application/sparql-results+json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	vars, sols, err := sparql.ParseResultsJSON(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("invalid results JSON: %v\n%s", err, rec.Body)
+	}
+	if len(vars) != 2 || len(sols) != 1 {
+		t.Fatalf("vars=%v sols=%v", vars, sols)
+	}
+	if sols[0]["m"].Value != "mailto:hert@ifi.uzh.ch" {
+		t.Errorf("mbox = %v", sols[0]["m"])
+	}
+	// ASK as JSON.
+	ask := url.QueryEscape(workload.Prologue + `ASK { ex:author6 foaf:family_name "Hert" . }`)
+	req = httptest.NewRequest(http.MethodGet, "/sparql?query="+ask, nil)
+	req.Header.Set("Accept", "application/json")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	b, err := sparql.ParseAskJSON(rec.Body.Bytes())
+	if err != nil || !b {
+		t.Errorf("ASK JSON = %v, %v:\n%s", b, err, rec.Body)
+	}
+}
+
+func TestEndToEndModifyOverHTTP(t *testing.T) {
+	s, m := newServer(t)
+	post(t, s, "/update", "application/sparql-update", workload.Listing15)
+	rec := post(t, s, "/update", "application/sparql-update", workload.Listing11)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("modify status = %d:\n%s", rec.Code, rec.Body)
+	}
+	res, err := m.Query(workload.Prologue + `SELECT ?m WHERE { ex:author6 foaf:mbox ?m . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["m"].Value != "mailto:hert@example.com" {
+		t.Errorf("mbox after modify = %v", res.Solutions)
+	}
+}

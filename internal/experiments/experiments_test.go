@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	out, err := e.Run()
+	if err != nil {
+		t.Fatalf("experiment %q failed: %v", id, err)
+	}
+	return out
+}
+
+func TestAllRegistered(t *testing.T) {
+	ids := []string{"figure1", "figure2", "table1", "listing9", "listing13", "listing15",
+		"listing17", "listing11", "insert-as-update", "delete-as-delete"}
+	all := All()
+	if len(all) != len(ids) {
+		t.Fatalf("experiments = %d, want %d", len(all), len(ids))
+	}
+	for i, id := range ids {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %q, want %q", i, all[i].ID, id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestFigure1Golden(t *testing.T) {
+	out := run(t, "figure1")
+	for _, want := range []string{
+		"CREATE TABLE team", "CREATE TABLE publication_author",
+		"lastname VARCHAR NOT NULL", "year INTEGER NOT NULL",
+		"team INTEGER REFERENCES team",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Golden(t *testing.T) {
+	out := run(t, "figure2")
+	for _, want := range []string{"foaf:Document a owl:Class", "ont:team a owl:ObjectProperty",
+		"rdfs:domain foaf:Person"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable1Golden locks the Table 1 reproduction to the paper's
+// content.
+func TestTable1Golden(t *testing.T) {
+	out := run(t, "table1")
+	wanted := []string{
+		"publication -> foaf:Document",
+		"title -> dc:title",
+		"year -> ont:pubYear",
+		"type -> ont:pubType",
+		"publisher -> dc:publisher",
+		"publisher -> ont:Publisher",
+		"name -> ont:name",
+		"pubtype -> ont:PubType",
+		"type -> ont:type",
+		"author -> foaf:Person",
+		"title -> foaf:title",
+		"email -> foaf:mbox",
+		"firstname -> foaf:firstName",
+		"lastname -> foaf:family_name",
+		"team -> ont:team",
+		"team -> foaf:Group",
+		"name -> foaf:name",
+		"code -> ont:teamCode",
+		"publication_author -> -",
+		"- -> dc:creator",
+	}
+	for _, w := range wanted {
+		if !strings.Contains(out, w) {
+			t.Errorf("Table 1 output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestListing9Golden(t *testing.T) {
+	out := run(t, "listing9")
+	want := "INSERT INTO author (id, title, email, firstname, lastname, team) " +
+		"VALUES (6, 'Mr', 'hert@ifi.uzh.ch', 'Matthias', 'Hert', 5);"
+	if !strings.Contains(out, want) {
+		t.Errorf("missing Listing 10 SQL:\n%s", out)
+	}
+}
+
+func TestListing13Golden(t *testing.T) {
+	out := run(t, "listing13")
+	if !strings.Contains(out, "INSERT INTO team (id, name, code) VALUES (4, 'Database Technology', 'DBTG');") {
+		t.Errorf("missing Listing 14 SQL:\n%s", out)
+	}
+}
+
+func TestListing15Golden(t *testing.T) {
+	out := run(t, "listing15")
+	stmts := []string{
+		"INSERT INTO team (id, name, code) VALUES (5, 'Software Engineering', 'SEAL');",
+		"INSERT INTO pubtype (id, type) VALUES (4, 'inproceedings');",
+		"INSERT INTO publisher (id, name) VALUES (3, 'Springer');",
+		"INSERT INTO publication (id, title, year, type, publisher) VALUES (12, 'Relational...', 2009, 4, 3);",
+		"INSERT INTO author (id, title, email, firstname, lastname, team) VALUES (6, 'Mr', 'hert@ifi.uzh.ch', 'Matthias', 'Hert', 5);",
+		"INSERT INTO publication_author (publication, author) VALUES (12, 6);",
+	}
+	for _, s := range stmts {
+		if !strings.Contains(out, s) {
+			t.Errorf("missing Listing 16 statement %q:\n%s", s, out)
+		}
+	}
+	// Ordering: publication before its link row, pubtype before
+	// publication.
+	if strings.Index(out, "INSERT INTO pubtype") > strings.Index(out, "INSERT INTO publication (") {
+		t.Error("pubtype must precede publication")
+	}
+	if strings.Index(out, "INSERT INTO publication (") > strings.Index(out, "INSERT INTO publication_author") {
+		t.Error("publication must precede the link table")
+	}
+}
+
+func TestListing17Golden(t *testing.T) {
+	out := run(t, "listing17")
+	if !strings.Contains(out, "UPDATE author SET email = NULL WHERE id = 6 AND email = 'hert@ifi.uzh.ch';") {
+		t.Errorf("missing Listing 18 SQL:\n%s", out)
+	}
+}
+
+func TestListing11Golden(t *testing.T) {
+	out := run(t, "listing11")
+	if !strings.Contains(out, "WHERE solutions (bindings): 1") {
+		t.Errorf("missing binding count:\n%s", out)
+	}
+	if !strings.Contains(out, "SELECT") {
+		t.Errorf("missing translated SELECT:\n%s", out)
+	}
+	if !strings.Contains(out, "email = 'hert@example.com'") {
+		t.Errorf("missing final update:\n%s", out)
+	}
+}
+
+func TestInsertAsUpdateGolden(t *testing.T) {
+	out := run(t, "insert-as-update")
+	if !strings.Contains(out, "UPDATE author SET") || !strings.Contains(out, "WHERE id = 7") {
+		t.Errorf("missing UPDATE:\n%s", out)
+	}
+}
+
+func TestDeleteAsDeleteGolden(t *testing.T) {
+	out := run(t, "delete-as-delete")
+	if !strings.Contains(out, "DELETE FROM team WHERE id = 9;") {
+		t.Errorf("missing DELETE:\n%s", out)
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range All() {
+		out, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if strings.Contains(out, "REJECTED") {
+			t.Errorf("%s unexpectedly rejected:\n%s", e.ID, out)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s produced no output", e.ID)
+		}
+	}
+}

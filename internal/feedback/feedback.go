@@ -1,0 +1,207 @@
+// Package feedback implements the semantically rich error reporting
+// the paper motivates in Sections 3 and 8: when a SPARQL/Update
+// request violates relational integrity constraints, the client
+// should learn *which* constraint, on *which* table and column, for
+// *which* subject and property, and how the request could be
+// repaired — rather than receiving an opaque database error. Reports
+// render to RDF so they can travel over the HTTP endpoint in the same
+// model as the data.
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/turtle"
+)
+
+// NS is the namespace of the feedback vocabulary.
+const NS = "http://ontoaccess.org/feedback#"
+
+// Violation describes one constraint violation in mapped terms.
+type Violation struct {
+	// Constraint is the violated constraint kind (NotNull,
+	// PrimaryKey, ForeignKey, Unique, Type, Restrict, Mapping).
+	Constraint string
+	// Table and Column locate the violation in the relational schema.
+	Table  string
+	Column string
+	// Subject is the RDF subject whose data caused the violation.
+	Subject string
+	// Property is the ontology property involved, when known.
+	Property string
+	// Value is the offending value's lexical form.
+	Value string
+	// RefTable is the referenced table for foreign key problems.
+	RefTable string
+	// Hint suggests how to repair the request.
+	Hint string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s violation", v.Constraint)
+	if v.Table != "" {
+		b.WriteString(" on " + v.Table)
+		if v.Column != "" {
+			b.WriteString("." + v.Column)
+		}
+	}
+	if v.Subject != "" {
+		fmt.Fprintf(&b, " for subject <%s>", v.Subject)
+	}
+	if v.Property != "" {
+		fmt.Fprintf(&b, " (property <%s>)", v.Property)
+	}
+	if v.Value != "" {
+		fmt.Fprintf(&b, " value %q", v.Value)
+	}
+	if v.RefTable != "" {
+		fmt.Fprintf(&b, " referencing %s", v.RefTable)
+	}
+	if v.Hint != "" {
+		b.WriteString(": " + v.Hint)
+	}
+	return b.String()
+}
+
+// constraintName maps engine kinds onto the feedback vocabulary's
+// CamelCase constraint names (usable in IRIs).
+func constraintName(k rdb.ConstraintKind) string {
+	switch k {
+	case rdb.ViolationNotNull:
+		return "NotNull"
+	case rdb.ViolationPrimaryKey:
+		return "PrimaryKey"
+	case rdb.ViolationForeignKey:
+		return "ForeignKey"
+	case rdb.ViolationUnique:
+		return "Unique"
+	case rdb.ViolationType:
+		return "Type"
+	case rdb.ViolationRestrict:
+		return "Restrict"
+	}
+	return "Constraint"
+}
+
+// FromConstraintError lifts an engine-level constraint error into a
+// mapped violation, attaching subject/property context.
+func FromConstraintError(err *rdb.ConstraintError, subject, property string) *Violation {
+	v := &Violation{
+		Constraint: constraintName(err.Kind),
+		Table:      err.Table,
+		Column:     err.Column,
+		Subject:    subject,
+		Property:   property,
+		RefTable:   err.RefTable,
+	}
+	if !err.Value.IsNull() {
+		v.Value = err.Value.Text()
+	}
+	switch err.Kind {
+	case rdb.ViolationNotNull:
+		v.Hint = "provide a value for the mandatory property mapped to this column"
+	case rdb.ViolationPrimaryKey:
+		v.Hint = "an entity with this identifier already exists; use a fresh instance URI"
+	case rdb.ViolationForeignKey:
+		v.Hint = "insert the referenced entity first or reference an existing one"
+	case rdb.ViolationRestrict:
+		v.Hint = "delete the referencing entities first"
+	case rdb.ViolationUnique:
+		v.Hint = "the value is already in use by another entity"
+	case rdb.ViolationType:
+		v.Hint = "the literal does not fit the column type"
+	}
+	return v
+}
+
+// Report is the outcome of processing one SPARQL/Update request.
+type Report struct {
+	// OK is true when every operation succeeded.
+	OK bool
+	// Operation names the failing operation kind, e.g. "INSERT DATA".
+	Operation string
+	// Message is the top-level summary.
+	Message string
+	// Violations carries structured constraint information.
+	Violations []*Violation
+	// SQL lists the translated statements (executed, or attempted).
+	SQL []string
+}
+
+// Success builds an all-clear report.
+func Success(operation string, sql []string) *Report {
+	return &Report{OK: true, Operation: operation, Message: "request executed", SQL: sql}
+}
+
+// Failure builds an error report from err, unwrapping violations.
+func Failure(operation string, err error, sql []string) *Report {
+	r := &Report{Operation: operation, Message: err.Error(), SQL: sql}
+	var v *Violation
+	if errors.As(err, &v) {
+		r.Violations = append(r.Violations, v)
+		return r
+	}
+	var ce *rdb.ConstraintError
+	if errors.As(err, &ce) {
+		r.Violations = append(r.Violations, FromConstraintError(ce, "", ""))
+	}
+	return r
+}
+
+// Graph renders the report in the feedback vocabulary.
+func (r *Report) Graph() *rdf.Graph {
+	g := rdf.NewGraph()
+	typ := rdf.IRI(rdf.RDFType)
+	node := rdf.Blank("report")
+	status := "Success"
+	if !r.OK {
+		status = "Failure"
+	}
+	g.Add(rdf.NewTriple(node, typ, rdf.IRI(NS+status)))
+	if r.Operation != "" {
+		g.Add(rdf.NewTriple(node, rdf.IRI(NS+"operation"), rdf.Literal(r.Operation)))
+	}
+	if r.Message != "" {
+		g.Add(rdf.NewTriple(node, rdf.IRI(NS+"message"), rdf.Literal(r.Message)))
+	}
+	for i, sql := range r.SQL {
+		g.Add(rdf.NewTriple(node, rdf.IRI(NS+"translatedStatement"),
+			rdf.Literal(fmt.Sprintf("%d: %s", i+1, sql))))
+	}
+	for i, v := range r.Violations {
+		vn := rdf.Blank(fmt.Sprintf("violation%d", i))
+		g.Add(rdf.NewTriple(node, rdf.IRI(NS+"hasViolation"), vn))
+		g.Add(rdf.NewTriple(vn, typ, rdf.IRI(NS+v.Constraint+"Violation")))
+		addIf := func(p, val string) {
+			if val != "" {
+				g.Add(rdf.NewTriple(vn, rdf.IRI(NS+p), rdf.Literal(val)))
+			}
+		}
+		addIf("table", v.Table)
+		addIf("column", v.Column)
+		addIf("value", v.Value)
+		addIf("referencedTable", v.RefTable)
+		addIf("hint", v.Hint)
+		if v.Subject != "" {
+			g.Add(rdf.NewTriple(vn, rdf.IRI(NS+"subject"), rdf.IRI(v.Subject)))
+		}
+		if v.Property != "" {
+			g.Add(rdf.NewTriple(vn, rdf.IRI(NS+"property"), rdf.IRI(v.Property)))
+		}
+	}
+	return g
+}
+
+// Turtle renders the report as a Turtle document.
+func (r *Report) Turtle() string {
+	pm := rdf.NewPrefixMap()
+	pm.Set("fb", NS)
+	pm.Set("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+	return turtle.Serialize(r.Graph(), pm)
+}

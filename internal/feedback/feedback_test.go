@@ -1,0 +1,145 @@
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/turtle"
+)
+
+func TestViolationErrorMessage(t *testing.T) {
+	v := &Violation{
+		Constraint: "ForeignKey",
+		Table:      "author", Column: "team",
+		Subject:  "http://example.org/db/author6",
+		Property: "http://example.org/ontology#team",
+		Value:    "5", RefTable: "team",
+		Hint: "insert the referenced entity first",
+	}
+	msg := v.Error()
+	for _, want := range []string{"ForeignKey violation", "author.team",
+		"<http://example.org/db/author6>", "\"5\"", "referencing team",
+		"insert the referenced entity first"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	// Minimal violation renders too.
+	minimal := &Violation{Constraint: "Mapping"}
+	if minimal.Error() != "Mapping violation" {
+		t.Errorf("minimal = %q", minimal.Error())
+	}
+}
+
+func TestFromConstraintErrorKinds(t *testing.T) {
+	cases := []struct {
+		kind rdb.ConstraintKind
+		name string
+		hint string
+	}{
+		{rdb.ViolationNotNull, "NotNull", "mandatory"},
+		{rdb.ViolationPrimaryKey, "PrimaryKey", "fresh instance URI"},
+		{rdb.ViolationForeignKey, "ForeignKey", "referenced entity"},
+		{rdb.ViolationUnique, "Unique", "already in use"},
+		{rdb.ViolationType, "Type", "column type"},
+		{rdb.ViolationRestrict, "Restrict", "referencing entities"},
+	}
+	for _, tc := range cases {
+		ce := &rdb.ConstraintError{Kind: tc.kind, Table: "t", Column: "c", Value: rdb.Int(1)}
+		v := FromConstraintError(ce, "http://e/s", "http://o/p")
+		if v.Constraint != tc.name {
+			t.Errorf("kind %v -> %q, want %q", tc.kind, v.Constraint, tc.name)
+		}
+		if !strings.Contains(v.Hint, tc.hint) {
+			t.Errorf("%s hint %q missing %q", tc.name, v.Hint, tc.hint)
+		}
+		if v.Subject != "http://e/s" || v.Property != "http://o/p" || v.Value != "1" {
+			t.Errorf("context lost: %+v", v)
+		}
+	}
+	// Constraint names must be IRI-safe (used in fb:<name>Violation).
+	for _, tc := range cases {
+		if strings.ContainsAny(tc.name, " -") {
+			t.Errorf("constraint name %q is not IRI-safe", tc.name)
+		}
+	}
+}
+
+func TestSuccessAndFailureReports(t *testing.T) {
+	s := Success("INSERT DATA", []string{"INSERT INTO t (id) VALUES (1);"})
+	if !s.OK || len(s.SQL) != 1 {
+		t.Errorf("success = %+v", s)
+	}
+	// Failure from a violation keeps the structure.
+	v := &Violation{Constraint: "NotNull", Table: "author", Column: "lastname"}
+	f := Failure("INSERT DATA", v, nil)
+	if f.OK || len(f.Violations) != 1 || f.Violations[0] != v {
+		t.Errorf("failure = %+v", f)
+	}
+	// Failure from a wrapped constraint error lifts it.
+	ce := &rdb.ConstraintError{Kind: rdb.ViolationUnique, Table: "t", Column: "email"}
+	f = Failure("INSERT DATA", fmt.Errorf("statement 2: %w", ce), []string{"sql1"})
+	if len(f.Violations) != 1 || f.Violations[0].Constraint != "Unique" {
+		t.Errorf("failure from wrapped error = %+v", f)
+	}
+	// Failure from a plain error has no violations but a message.
+	f = Failure("parse", errors.New("boom"), nil)
+	if len(f.Violations) != 0 || f.Message != "boom" {
+		t.Errorf("plain failure = %+v", f)
+	}
+}
+
+func TestReportGraphAndTurtle(t *testing.T) {
+	v := &Violation{
+		Constraint: "ForeignKey", Table: "author", Column: "team",
+		Subject: "http://e/author6", Property: "http://o/team",
+		Value: "5", RefTable: "team", Hint: "do the thing",
+	}
+	r := Failure("INSERT DATA", v, []string{"INSERT INTO x (id) VALUES (1);"})
+	g := r.Graph()
+	if g.Len() == 0 {
+		t.Fatal("empty graph")
+	}
+	ttl := r.Turtle()
+	for _, want := range []string{
+		"fb:Failure", "fb:ForeignKeyViolation", "fb:hasViolation",
+		`fb:operation "INSERT DATA"`, `fb:table "author"`, `fb:column "team"`,
+		`fb:referencedTable "team"`, `fb:hint "do the thing"`,
+		"fb:subject <http://e/author6>", "fb:property <http://o/team>",
+		"fb:translatedStatement",
+	} {
+		if !strings.Contains(ttl, want) {
+			t.Errorf("Turtle missing %q:\n%s", want, ttl)
+		}
+	}
+	// The report must be parseable RDF.
+	if _, _, err := turtle.Parse(ttl); err != nil {
+		t.Errorf("report Turtle does not parse: %v\n%s", err, ttl)
+	}
+}
+
+func TestSuccessReportTurtle(t *testing.T) {
+	r := Success("request", []string{"UPDATE t SET a = 1;"})
+	ttl := r.Turtle()
+	if !strings.Contains(ttl, "fb:Success") || !strings.Contains(ttl, "UPDATE t SET a = 1;") {
+		t.Errorf("success Turtle:\n%s", ttl)
+	}
+	if _, _, err := turtle.Parse(ttl); err != nil {
+		t.Errorf("success Turtle does not parse: %v", err)
+	}
+}
+
+func TestViolationAsError(t *testing.T) {
+	var err error = &Violation{Constraint: "NotNull"}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Error("errors.As must find *Violation")
+	}
+	wrapped := fmt.Errorf("op failed: %w", err)
+	if !errors.As(wrapped, &v) {
+		t.Error("errors.As must unwrap")
+	}
+}

@@ -1,0 +1,223 @@
+package r3m
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdf"
+)
+
+// GenerateOptions configure automatic mapping generation.
+type GenerateOptions struct {
+	// URIPrefix becomes the mapping-wide instance URI prefix
+	// (default "http://example.org/db/").
+	URIPrefix string
+	// OntologyNS is the namespace for generated classes/properties
+	// (default "http://example.org/ontology#").
+	OntologyNS string
+	// MapNS is the namespace for the mapping nodes themselves
+	// (default "http://example.org/mapping#").
+	MapNS string
+	// ClassOverrides maps table names to existing ontology classes,
+	// letting callers reuse domain vocabulary (the one step the paper
+	// says cannot be automated).
+	ClassOverrides map[string]rdf.Term
+	// PropertyOverrides maps "table.attribute" (or a link table name)
+	// to existing ontology properties.
+	PropertyOverrides map[string]rdf.Term
+}
+
+func (o *GenerateOptions) defaults() {
+	if o.URIPrefix == "" {
+		o.URIPrefix = "http://example.org/db/"
+	}
+	if o.OntologyNS == "" {
+		o.OntologyNS = "http://example.org/ontology#"
+	}
+	if o.MapNS == "" {
+		o.MapNS = "http://example.org/mapping#"
+	}
+}
+
+// Generate derives a basic R3M mapping from a database schema, as the
+// paper's Section 4 describes: "A basic R3M mapping can be generated
+// automatically from the database schema if it explicitly provides
+// information about foreign key relationships." Tables become
+// classes, attributes become properties (object properties for
+// foreign keys), and tables consisting of a primary key plus exactly
+// two foreign keys are detected as link tables. Overrides let the
+// caller assign existing domain vocabulary.
+func Generate(db *rdb.Database, opts GenerateOptions) (*Mapping, error) {
+	opts.defaults()
+	m := &Mapping{
+		Node:      rdf.IRI(opts.MapNS + "database"),
+		JDBCURL:   "embedded:" + db.Name(),
+		URIPrefix: opts.URIPrefix,
+	}
+	names := db.TableNames()
+	sort.Strings(names)
+	for _, name := range names {
+		schema, _ := db.Schema(name)
+		if isLinkTable(schema) {
+			lt, err := generateLinkTable(schema, opts)
+			if err != nil {
+				return nil, err
+			}
+			m.LinkTables = append(m.LinkTables, lt)
+			continue
+		}
+		tm, err := generateTable(schema, opts)
+		if err != nil {
+			return nil, err
+		}
+		m.Tables = append(m.Tables, tm)
+	}
+	sortTables(m)
+	m.index()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("r3m: generated mapping is invalid: %w", err)
+	}
+	return m, nil
+}
+
+// isLinkTable detects the N:M link-table shape: exactly two foreign
+// keys and no data attributes beyond the primary key.
+func isLinkTable(s *rdb.TableSchema) bool {
+	if len(s.ForeignKeys) != 2 {
+		return false
+	}
+	for _, c := range s.Columns {
+		if s.IsPrimaryKey(c.Name) {
+			continue
+		}
+		if _, isFK := s.ForeignKeyOn(c.Name); !isFK {
+			return false
+		}
+	}
+	return true
+}
+
+func generateTable(s *rdb.TableSchema, opts GenerateOptions) (*TableMap, error) {
+	tm := &TableMap{
+		Node: rdf.IRI(opts.MapNS + s.Name),
+		Name: s.Name,
+	}
+	if class, ok := opts.ClassOverrides[s.Name]; ok {
+		tm.Class = class
+	} else {
+		tm.Class = rdf.IRI(opts.OntologyNS + exportName(s.Name))
+	}
+	if len(s.PrimaryKey) != 1 {
+		return nil, fmt.Errorf("r3m: cannot generate mapping for table %q with %d-column primary key",
+			s.Name, len(s.PrimaryKey))
+	}
+	tm.URIPattern = s.Name + "%%" + s.PrimaryKey[0] + "%%"
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		am := &AttributeMap{
+			Node: rdf.IRI(opts.MapNS + s.Name + "_" + c.Name),
+			Name: c.Name,
+		}
+		fk, isFK := s.ForeignKeyOn(c.Name)
+		if !s.IsPrimaryKey(c.Name) || isFK {
+			if p, ok := opts.PropertyOverrides[s.Name+"."+c.Name]; ok {
+				am.Property = p
+			} else {
+				am.Property = rdf.IRI(opts.OntologyNS + propertyName(s.Name, c.Name))
+			}
+		}
+		switch {
+		case isFK:
+			am.IsObject = true
+			am.Constraints = append(am.Constraints, Constraint{Kind: ConstraintForeignKey, References: fk.RefTable})
+		default:
+			am.Datatype = datatypeFor(c.Type)
+		}
+		if s.IsPrimaryKey(c.Name) {
+			am.Constraints = append(am.Constraints, Constraint{Kind: ConstraintPrimaryKey})
+			// The key is encoded in the instance URI, not exposed as a
+			// property, matching the paper's use case where id maps to
+			// no property.
+			if !isFK {
+				am.Property = rdf.Term{}
+				am.Datatype = ""
+			}
+		}
+		if c.NotNull && !s.IsPrimaryKey(c.Name) {
+			am.Constraints = append(am.Constraints, Constraint{Kind: ConstraintNotNull})
+		}
+		if c.Default != nil {
+			am.Constraints = append(am.Constraints, Constraint{Kind: ConstraintDefault, Default: c.Default.Text()})
+		}
+		tm.Attributes = append(tm.Attributes, am)
+	}
+	sort.Slice(tm.Attributes, func(i, j int) bool { return tm.Attributes[i].Name < tm.Attributes[j].Name })
+	return tm, nil
+}
+
+func generateLinkTable(s *rdb.TableSchema, opts GenerateOptions) (*LinkTableMap, error) {
+	lt := &LinkTableMap{
+		Node: rdf.IRI(opts.MapNS + s.Name),
+		Name: s.Name,
+	}
+	if p, ok := opts.PropertyOverrides[s.Name]; ok {
+		lt.Property = p
+	} else {
+		lt.Property = rdf.IRI(opts.OntologyNS + lowerFirst(exportName(s.Name)))
+	}
+	// Deterministic subject/object assignment: declaration order of
+	// the foreign keys (subject first), which matches the common
+	// "subject_object" link-table naming convention.
+	fks := s.ForeignKeys
+	mk := func(fk rdb.ForeignKey, role string) *AttributeMap {
+		return &AttributeMap{
+			Node:        rdf.IRI(opts.MapNS + s.Name + "_" + role),
+			Name:        fk.Column,
+			Constraints: []Constraint{{Kind: ConstraintForeignKey, References: fk.RefTable}},
+		}
+	}
+	lt.SubjectAttr = mk(fks[0], "subject")
+	lt.ObjectAttr = mk(fks[1], "object")
+	return lt, nil
+}
+
+// datatypeFor picks the XSD datatype for a column type.
+func datatypeFor(t rdb.ColType) string {
+	switch t {
+	case rdb.TInt:
+		return rdf.XSDInt
+	case rdb.TFloat:
+		return rdf.XSDDouble
+	case rdb.TBool:
+		return rdf.XSDBoolean
+	default:
+		return rdf.XSDString
+	}
+}
+
+// exportName converts snake_case table names to CamelCase class names.
+func exportName(s string) string {
+	parts := strings.Split(s, "_")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, "")
+}
+
+// propertyName builds a camelCase property name from table and
+// attribute.
+func propertyName(table, attr string) string {
+	return lowerFirst(exportName(table)) + exportName(attr)
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}

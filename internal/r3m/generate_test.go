@@ -1,0 +1,220 @@
+package r3m
+
+import (
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdf"
+)
+
+// figure1DB builds the paper's Figure 1 schema in the engine.
+func figure1DB(t testing.TB) *rdb.Database {
+	t.Helper()
+	db := rdb.NewDatabase("publications")
+	add := func(s *rdb.TableSchema) {
+		if err := db.CreateTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&rdb.TableSchema{Name: "team", PrimaryKey: []string{"id"},
+		Columns: []rdb.Column{{Name: "id", Type: rdb.TInt}, {Name: "name", Type: rdb.TVarchar}, {Name: "code", Type: rdb.TVarchar}}})
+	add(&rdb.TableSchema{Name: "publisher", PrimaryKey: []string{"id"},
+		Columns: []rdb.Column{{Name: "id", Type: rdb.TInt}, {Name: "name", Type: rdb.TVarchar}}})
+	add(&rdb.TableSchema{Name: "pubtype", PrimaryKey: []string{"id"},
+		Columns: []rdb.Column{{Name: "id", Type: rdb.TInt}, {Name: "type", Type: rdb.TVarchar}}})
+	add(&rdb.TableSchema{Name: "author", PrimaryKey: []string{"id"},
+		Columns: []rdb.Column{{Name: "id", Type: rdb.TInt}, {Name: "title", Type: rdb.TVarchar},
+			{Name: "email", Type: rdb.TVarchar}, {Name: "firstname", Type: rdb.TVarchar},
+			{Name: "lastname", Type: rdb.TVarchar, NotNull: true}, {Name: "team", Type: rdb.TInt}},
+		ForeignKeys: []rdb.ForeignKey{{Column: "team", RefTable: "team"}}})
+	add(&rdb.TableSchema{Name: "publication", PrimaryKey: []string{"id"},
+		Columns: []rdb.Column{{Name: "id", Type: rdb.TInt}, {Name: "title", Type: rdb.TVarchar, NotNull: true},
+			{Name: "year", Type: rdb.TInt, NotNull: true}, {Name: "type", Type: rdb.TInt},
+			{Name: "publisher", Type: rdb.TInt}},
+		ForeignKeys: []rdb.ForeignKey{{Column: "type", RefTable: "pubtype"}, {Column: "publisher", RefTable: "publisher"}}})
+	add(&rdb.TableSchema{Name: "publication_author", PrimaryKey: []string{"id"},
+		Columns: []rdb.Column{{Name: "id", Type: rdb.TInt}, {Name: "publication", Type: rdb.TInt, NotNull: true},
+			{Name: "author", Type: rdb.TInt, NotNull: true}},
+		ForeignKeys: []rdb.ForeignKey{{Column: "publication", RefTable: "publication"}, {Column: "author", RefTable: "author"}}})
+	return db
+}
+
+func TestGenerateFromFigure1Schema(t *testing.T) {
+	db := figure1DB(t)
+	m, err := Generate(db, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tables) != 5 {
+		t.Errorf("tables = %d, want 5 (link table excluded)", len(m.Tables))
+	}
+	if len(m.LinkTables) != 1 {
+		t.Fatalf("link tables = %d, want 1", len(m.LinkTables))
+	}
+	lt := m.LinkTables[0]
+	if lt.Name != "publication_author" {
+		t.Errorf("link table = %q", lt.Name)
+	}
+	if lt.SubjectAttr.Name != "publication" || lt.ObjectAttr.Name != "author" {
+		t.Errorf("link attrs = %s/%s", lt.SubjectAttr.Name, lt.ObjectAttr.Name)
+	}
+	author, ok := m.TableByName("author")
+	if !ok {
+		t.Fatal("author missing")
+	}
+	if author.Class != rdf.IRI("http://example.org/ontology#Author") {
+		t.Errorf("class = %v", author.Class)
+	}
+	if author.URIPattern != "author%%id%%" {
+		t.Errorf("pattern = %q", author.URIPattern)
+	}
+	lastname, _ := author.Attribute("lastname")
+	if lastname == nil || !lastname.HasConstraint(ConstraintNotNull) {
+		t.Error("NOT NULL not carried into mapping")
+	}
+	team, _ := author.Attribute("team")
+	if team == nil || !team.IsObject {
+		t.Error("FK attribute must become object property")
+	}
+	if ref, _ := team.ForeignKeyRef(); ref != "team" {
+		t.Errorf("team FK ref = %q", ref)
+	}
+	id, _ := author.Attribute("id")
+	if !id.Property.IsZero() {
+		t.Error("primary key must not map to a property")
+	}
+	// Generated mapping validates (Generate runs Validate internally,
+	// but make it explicit).
+	if err := m.Validate(); err != nil {
+		t.Errorf("generated mapping invalid: %v", err)
+	}
+}
+
+func TestGenerateWithOverrides(t *testing.T) {
+	db := figure1DB(t)
+	m, err := Generate(db, GenerateOptions{
+		ClassOverrides: map[string]rdf.Term{
+			"author": rdf.IRI(foaf + "Person"),
+			"team":   rdf.IRI(foaf + "Group"),
+		},
+		PropertyOverrides: map[string]rdf.Term{
+			"author.lastname":    rdf.IRI(foaf + "family_name"),
+			"publication_author": rdf.IRI(dc + "creator"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	author, _ := m.TableByName("author")
+	if author.Class != rdf.IRI(foaf+"Person") {
+		t.Errorf("class override lost: %v", author.Class)
+	}
+	ln, _ := author.Attribute("lastname")
+	if ln.Property != rdf.IRI(foaf+"family_name") {
+		t.Errorf("property override lost: %v", ln.Property)
+	}
+	if _, ok := m.LinkTableForProperty(rdf.IRI(dc + "creator")); !ok {
+		t.Error("link property override lost")
+	}
+}
+
+func TestGenerateSerializeReloadCycle(t *testing.T) {
+	db := figure1DB(t)
+	m, err := Generate(db, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttl := m.Turtle()
+	m2, err := Load(ttl)
+	if err != nil {
+		t.Fatalf("reload: %v\n%s", err, ttl)
+	}
+	if len(m2.Tables) != 5 || len(m2.LinkTables) != 1 {
+		t.Errorf("reloaded mapping shape wrong: %d/%d", len(m2.Tables), len(m2.LinkTables))
+	}
+	// The Turtle must use the r3m vocabulary.
+	for _, want := range []string{"r3m:DatabaseMap", "r3m:TableMap", "r3m:LinkTableMap",
+		"r3m:hasConstraint", "r3m:PrimaryKey", "r3m:ForeignKey"} {
+		if !strings.Contains(ttl, want) {
+			t.Errorf("serialized mapping missing %s", want)
+		}
+	}
+}
+
+func TestGenerateCompositePKFails(t *testing.T) {
+	db := rdb.NewDatabase("d")
+	db.CreateTable(&rdb.TableSchema{
+		Name:       "t",
+		Columns:    []rdb.Column{{Name: "a", Type: rdb.TInt}, {Name: "b", Type: rdb.TInt}},
+		PrimaryKey: []string{"a", "b"},
+	})
+	if _, err := Generate(db, GenerateOptions{}); err == nil {
+		t.Error("composite primary key must be rejected")
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	if exportName("publication_author") != "PublicationAuthor" {
+		t.Error(exportName("publication_author"))
+	}
+	if propertyName("author", "team") != "authorTeam" {
+		t.Error(propertyName("author", "team"))
+	}
+	if lowerFirst("") != "" || lowerFirst("X") != "x" {
+		t.Error("lowerFirst")
+	}
+	if datatypeFor(rdb.TInt) != rdf.XSDInt || datatypeFor(rdb.TVarchar) != rdf.XSDString ||
+		datatypeFor(rdb.TBool) != rdf.XSDBoolean || datatypeFor(rdb.TFloat) != rdf.XSDDouble {
+		t.Error("datatypeFor")
+	}
+}
+
+func TestIsLinkTable(t *testing.T) {
+	db := figure1DB(t)
+	pa, _ := db.Schema("publication_author")
+	if !isLinkTable(pa) {
+		t.Error("publication_author must be a link table")
+	}
+	author, _ := db.Schema("author")
+	if isLinkTable(author) {
+		t.Error("author is not a link table")
+	}
+	// A table with two FKs plus a data column is not a link table.
+	db2 := rdb.NewDatabase("d")
+	db2.CreateTable(&rdb.TableSchema{Name: "a", PrimaryKey: []string{"id"},
+		Columns: []rdb.Column{{Name: "id", Type: rdb.TInt}}})
+	db2.CreateTable(&rdb.TableSchema{Name: "b", PrimaryKey: []string{"id"},
+		Columns: []rdb.Column{{Name: "id", Type: rdb.TInt}}})
+	db2.CreateTable(&rdb.TableSchema{Name: "rel", PrimaryKey: []string{"id"},
+		Columns: []rdb.Column{{Name: "id", Type: rdb.TInt}, {Name: "a", Type: rdb.TInt},
+			{Name: "b", Type: rdb.TInt}, {Name: "weight", Type: rdb.TInt}},
+		ForeignKeys: []rdb.ForeignKey{{Column: "a", RefTable: "a"}, {Column: "b", RefTable: "b"}}})
+	rel, _ := db2.Schema("rel")
+	if isLinkTable(rel) {
+		t.Error("rel with extra data column must not be a link table")
+	}
+}
+
+func BenchmarkLoadPaperMapping(b *testing.B) {
+	m := loadPaperMapping(b)
+	ttl := m.Turtle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(ttl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIdentifyTable(b *testing.B) {
+	m := loadPaperMapping(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.IdentifyTable(exdb + "publisher3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

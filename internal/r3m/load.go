@@ -1,0 +1,240 @@
+package r3m
+
+import (
+	"fmt"
+	"sort"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/turtle"
+)
+
+// Load parses an R3M mapping from a Turtle document (paper Listings
+// 1-5) and validates it.
+func Load(turtleSrc string) (*Mapping, error) {
+	g, _, err := turtle.Parse(turtleSrc)
+	if err != nil {
+		return nil, fmt.Errorf("r3m: parsing mapping: %w", err)
+	}
+	return FromGraph(g)
+}
+
+// FromGraph extracts an R3M mapping from an RDF graph and validates
+// it.
+func FromGraph(g *rdf.Graph) (*Mapping, error) {
+	r := &reader{g: g}
+	dbNodes := r.subjectsOfType(ClassDatabaseMap)
+	if len(dbNodes) == 0 {
+		return nil, fmt.Errorf("r3m: no r3m:DatabaseMap found in mapping document")
+	}
+	if len(dbNodes) > 1 {
+		return nil, fmt.Errorf("r3m: multiple r3m:DatabaseMap nodes found (%d)", len(dbNodes))
+	}
+	node := dbNodes[0]
+	m := &Mapping{
+		Node:       node,
+		JDBCDriver: r.optString(node, PropJdbcDriver),
+		JDBCURL:    r.optString(node, PropJdbcURL),
+		Username:   r.optString(node, PropUsername),
+		Password:   r.optString(node, PropPassword),
+		URIPrefix:  r.optString(node, PropURIPrefix),
+	}
+	tables := r.objects(node, PropHasTable)
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("r3m: DatabaseMap lists no tables")
+	}
+	for _, tnode := range tables {
+		switch {
+		case r.hasType(tnode, ClassTableMap):
+			tm, err := r.readTableMap(tnode)
+			if err != nil {
+				return nil, err
+			}
+			m.Tables = append(m.Tables, tm)
+		case r.hasType(tnode, ClassLinkTableMap):
+			lt, err := r.readLinkTableMap(tnode)
+			if err != nil {
+				return nil, err
+			}
+			m.LinkTables = append(m.LinkTables, lt)
+		default:
+			return nil, fmt.Errorf("r3m: node %s listed by hasTable is neither TableMap nor LinkTableMap", tnode)
+		}
+	}
+	sortTables(m)
+	m.index()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// sortTables orders tables by name so loading is deterministic
+// regardless of graph iteration order.
+func sortTables(m *Mapping) {
+	sort.Slice(m.Tables, func(i, j int) bool { return m.Tables[i].Name < m.Tables[j].Name })
+	sort.Slice(m.LinkTables, func(i, j int) bool { return m.LinkTables[i].Name < m.LinkTables[j].Name })
+}
+
+type reader struct {
+	g *rdf.Graph
+}
+
+func (r *reader) subjectsOfType(class rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	r.g.Each(func(t rdf.Triple) bool {
+		if t.P == rdf.IRI(rdf.RDFType) && t.O == class {
+			out = append(out, t.S)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTerms(out[i], out[j]) < 0 })
+	return out
+}
+
+func (r *reader) hasType(node, class rdf.Term) bool {
+	return r.g.Contains(rdf.NewTriple(node, rdf.IRI(rdf.RDFType), class))
+}
+
+func (r *reader) objects(node rdf.Term, prop rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	r.g.Each(func(t rdf.Triple) bool {
+		if t.S == node && t.P == prop {
+			out = append(out, t.O)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTerms(out[i], out[j]) < 0 })
+	return out
+}
+
+func (r *reader) optObject(node rdf.Term, prop rdf.Term) (rdf.Term, bool) {
+	objs := r.objects(node, prop)
+	if len(objs) == 0 {
+		return rdf.Term{}, false
+	}
+	return objs[0], true
+}
+
+func (r *reader) optString(node rdf.Term, prop rdf.Term) string {
+	if o, ok := r.optObject(node, prop); ok {
+		return o.Value
+	}
+	return ""
+}
+
+func (r *reader) requireString(node rdf.Term, prop rdf.Term, what string) (string, error) {
+	o, ok := r.optObject(node, prop)
+	if !ok {
+		return "", fmt.Errorf("r3m: %s %s lacks %s", what, node, prop)
+	}
+	if !o.IsLiteral() || o.Value == "" {
+		return "", fmt.Errorf("r3m: %s %s: %s must be a non-empty literal", what, node, prop)
+	}
+	return o.Value, nil
+}
+
+func (r *reader) readTableMap(node rdf.Term) (*TableMap, error) {
+	name, err := r.requireString(node, PropHasTableName, "TableMap")
+	if err != nil {
+		return nil, err
+	}
+	class, ok := r.optObject(node, PropMapsToClass)
+	if !ok || !class.IsIRI() {
+		return nil, fmt.Errorf("r3m: TableMap %s (table %q) lacks r3m:mapsToClass", node, name)
+	}
+	pattern, err := r.requireString(node, PropURIPattern, "TableMap")
+	if err != nil {
+		return nil, err
+	}
+	tm := &TableMap{Node: node, Name: name, Class: class, URIPattern: pattern}
+	for _, anode := range r.objects(node, PropHasAttribute) {
+		am, err := r.readAttributeMap(anode)
+		if err != nil {
+			return nil, err
+		}
+		tm.Attributes = append(tm.Attributes, am)
+	}
+	sort.Slice(tm.Attributes, func(i, j int) bool { return tm.Attributes[i].Name < tm.Attributes[j].Name })
+	if len(tm.Attributes) == 0 {
+		return nil, fmt.Errorf("r3m: TableMap for %q has no attributes", name)
+	}
+	return tm, nil
+}
+
+func (r *reader) readAttributeMap(node rdf.Term) (*AttributeMap, error) {
+	name, err := r.requireString(node, PropHasAttributeName, "AttributeMap")
+	if err != nil {
+		return nil, err
+	}
+	am := &AttributeMap{Node: node, Name: name}
+	if p, ok := r.optObject(node, PropMapsToDataProperty); ok {
+		am.Property = p
+	}
+	if p, ok := r.optObject(node, PropMapsToObjectProperty); ok {
+		if !am.Property.IsZero() {
+			return nil, fmt.Errorf("r3m: attribute %q maps to both a data and an object property", name)
+		}
+		am.Property = p
+		am.IsObject = true
+	}
+	am.Datatype = r.optString(node, PropHasDatatype)
+	am.ValuePrefix = r.optString(node, PropValuePrefix)
+	for _, cnode := range r.objects(node, PropHasConstraint) {
+		c, err := r.readConstraint(cnode, name)
+		if err != nil {
+			return nil, err
+		}
+		am.Constraints = append(am.Constraints, c)
+	}
+	sort.Slice(am.Constraints, func(i, j int) bool { return am.Constraints[i].Kind < am.Constraints[j].Kind })
+	return am, nil
+}
+
+func (r *reader) readConstraint(node rdf.Term, attrName string) (Constraint, error) {
+	switch {
+	case r.hasType(node, ClassPrimaryKey):
+		return Constraint{Kind: ConstraintPrimaryKey}, nil
+	case r.hasType(node, ClassForeignKey):
+		ref, ok := r.optObject(node, PropReferences)
+		if !ok {
+			return Constraint{}, fmt.Errorf("r3m: ForeignKey constraint on %q lacks r3m:references", attrName)
+		}
+		return Constraint{Kind: ConstraintForeignKey, References: ref.Value}, nil
+	case r.hasType(node, ClassNotNull):
+		return Constraint{Kind: ConstraintNotNull}, nil
+	case r.hasType(node, ClassDefault):
+		v := r.optString(node, PropHasDefaultValue)
+		return Constraint{Kind: ConstraintDefault, Default: v}, nil
+	default:
+		return Constraint{}, fmt.Errorf("r3m: constraint node %s on attribute %q has no recognized type", node, attrName)
+	}
+}
+
+func (r *reader) readLinkTableMap(node rdf.Term) (*LinkTableMap, error) {
+	name, err := r.requireString(node, PropHasTableName, "LinkTableMap")
+	if err != nil {
+		return nil, err
+	}
+	prop, ok := r.optObject(node, PropMapsToObjectProperty)
+	if !ok || !prop.IsIRI() {
+		return nil, fmt.Errorf("r3m: LinkTableMap for %q lacks r3m:mapsToObjectProperty", name)
+	}
+	lt := &LinkTableMap{Node: node, Name: name, Property: prop}
+	snode, ok := r.optObject(node, PropHasSubjectAttribute)
+	if !ok {
+		return nil, fmt.Errorf("r3m: LinkTableMap for %q lacks r3m:hasSubjectAttribute", name)
+	}
+	lt.SubjectAttr, err = r.readAttributeMap(snode)
+	if err != nil {
+		return nil, err
+	}
+	onode, ok := r.optObject(node, PropHasObjectAttribute)
+	if !ok {
+		return nil, fmt.Errorf("r3m: LinkTableMap for %q lacks r3m:hasObjectAttribute", name)
+	}
+	lt.ObjectAttr, err = r.readAttributeMap(onode)
+	if err != nil {
+		return nil, err
+	}
+	return lt, nil
+}

@@ -1,0 +1,191 @@
+package r3m
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Validate checks a mapping for internal consistency and for the
+// updatability (bijectivity) conditions the paper's related-work
+// section derives from the view-update literature: if the mapping is
+// not invertible, updates on the RDF view cannot be propagated
+// unambiguously to the base tables. The enforced rules are:
+//
+//  1. table names are unique across TableMaps and LinkTableMaps;
+//  2. every table maps to a distinct ontology class;
+//  3. within a table, attribute names and mapped properties are
+//     unique, and properties do not collide with link-table
+//     properties;
+//  4. every TableMap has at least one PrimaryKey attribute, and every
+//     URI pattern references exactly the primary key attributes (so
+//     the URI identifies the row and vice versa);
+//  5. URI patterns compile and are mutually distinguishable;
+//  6. every ForeignKey reference resolves to a known TableMap, and
+//     object properties are only mapped from foreign key attributes;
+//  7. link-table subject/object attributes carry resolvable
+//     ForeignKey constraints.
+func (m *Mapping) Validate() error {
+	if m.byName == nil {
+		m.index()
+	}
+	if len(m.Tables) == 0 {
+		return fmt.Errorf("r3m: mapping contains no table maps")
+	}
+
+	names := map[string]string{} // lower name -> kind
+	classes := map[string]string{}
+	props := map[string]string{} // property IRI -> "table.attr" or "link table"
+	for _, lt := range m.LinkTables {
+		props[lt.Property.Value] = "link table " + lt.Name
+	}
+
+	for _, tm := range m.Tables {
+		lower := strings.ToLower(tm.Name)
+		if prev, dup := names[lower]; dup {
+			return fmt.Errorf("r3m: table %q mapped twice (%s)", tm.Name, prev)
+		}
+		names[lower] = "TableMap"
+
+		if prev, dup := classes[tm.Class.Value]; dup {
+			return fmt.Errorf("r3m: class %s mapped from both %s and %s — not invertible",
+				tm.Class, prev, tm.Name)
+		}
+		classes[tm.Class.Value] = tm.Name
+
+		attrNames := map[string]bool{}
+		tableProps := map[string]string{}
+		pkCount := 0
+		for _, a := range tm.Attributes {
+			al := strings.ToLower(a.Name)
+			if attrNames[al] {
+				return fmt.Errorf("r3m: table %q: attribute %q mapped twice", tm.Name, a.Name)
+			}
+			attrNames[al] = true
+			if a.HasConstraint(ConstraintPrimaryKey) {
+				pkCount++
+			}
+			if !a.Property.IsZero() {
+				if prev, dup := tableProps[a.Property.Value]; dup {
+					return fmt.Errorf("r3m: table %q: property %s mapped from both %q and %q — not invertible",
+						tm.Name, a.Property, prev, a.Name)
+				}
+				tableProps[a.Property.Value] = a.Name
+				// The same property may appear on different classes
+				// (the subject's table disambiguates), but it must not
+				// collide with a link-table property, which is
+				// resolved without a class context.
+				if owner, dup := props[a.Property.Value]; dup && strings.HasPrefix(owner, "link table") {
+					return fmt.Errorf("r3m: property %s used by both %s and attribute %s.%s",
+						a.Property, owner, tm.Name, a.Name)
+				}
+			}
+			// Object properties either follow a foreign key (values are
+			// instance URIs of the referenced table) or are IRI-valued
+			// data attributes (optionally with a ValuePrefix, like the
+			// paper's mailto: mailboxes). Both are invertible; a
+			// ValuePrefix on a foreign key attribute is contradictory.
+			if a.ValuePrefix != "" {
+				if _, ok := a.ForeignKeyRef(); ok {
+					return fmt.Errorf("r3m: table %q: attribute %q has both a ForeignKey and a valuePrefix",
+						tm.Name, a.Name)
+				}
+				if !a.IsObject {
+					return fmt.Errorf("r3m: table %q: attribute %q has a valuePrefix but maps to a data property",
+						tm.Name, a.Name)
+				}
+			}
+			if ref, ok := a.ForeignKeyRef(); ok {
+				if _, found := m.ResolveTableRef(ref); !found {
+					return fmt.Errorf("r3m: table %q: attribute %q references unknown table map %q",
+						tm.Name, a.Name, ref)
+				}
+			}
+		}
+		if pkCount == 0 {
+			return fmt.Errorf("r3m: table %q has no PrimaryKey attribute — updates cannot address rows", tm.Name)
+		}
+
+		// URI pattern must reference exactly the primary key attributes.
+		patAttrs, err := tm.PatternAttributes(m.URIPrefix)
+		if err != nil {
+			return err
+		}
+		if len(patAttrs) == 0 {
+			return fmt.Errorf("r3m: table %q: URI pattern %q contains no attribute placeholder — instances are indistinguishable",
+				tm.Name, tm.URIPattern)
+		}
+		patSet := map[string]bool{}
+		for _, pa := range patAttrs {
+			if !attrNames[strings.ToLower(pa)] {
+				return fmt.Errorf("r3m: table %q: URI pattern references unknown attribute %q", tm.Name, pa)
+			}
+			patSet[strings.ToLower(pa)] = true
+		}
+		for _, a := range tm.PrimaryKeyAttributes() {
+			if !patSet[strings.ToLower(a.Name)] {
+				return fmt.Errorf("r3m: table %q: URI pattern %q omits primary key attribute %q — URIs would not be unique",
+					tm.Name, tm.URIPattern, a.Name)
+			}
+		}
+	}
+
+	for _, lt := range m.LinkTables {
+		lower := strings.ToLower(lt.Name)
+		if prev, dup := names[lower]; dup {
+			return fmt.Errorf("r3m: table %q mapped twice (%s and LinkTableMap)", lt.Name, prev)
+		}
+		names[lower] = "LinkTableMap"
+		for _, pair := range []struct {
+			role string
+			am   *AttributeMap
+		}{{"subject", lt.SubjectAttr}, {"object", lt.ObjectAttr}} {
+			if pair.am == nil {
+				return fmt.Errorf("r3m: link table %q lacks a %s attribute", lt.Name, pair.role)
+			}
+			ref, ok := pair.am.ForeignKeyRef()
+			if !ok {
+				return fmt.Errorf("r3m: link table %q: %s attribute %q lacks a ForeignKey constraint",
+					lt.Name, pair.role, pair.am.Name)
+			}
+			if _, found := m.ResolveTableRef(ref); !found {
+				return fmt.Errorf("r3m: link table %q: %s attribute references unknown table map %q",
+					lt.Name, pair.role, ref)
+			}
+		}
+	}
+
+	// Patterns must be distinguishable. Prefix-nested patterns (the
+	// paper's own pub / publisher / pubtype) are resolved by the
+	// longest-literal-match rule in IdentifyTable, so only true ties
+	// are rejected: a probe URI built from one pattern matching a
+	// different pattern with the same literal length means no rule
+	// can tell the two tables apart.
+	for _, tm := range m.Tables {
+		cp, err := tm.compiled(m.URIPrefix)
+		if err != nil {
+			return err
+		}
+		probeVals := map[string]string{}
+		for _, a := range cp.attrNames() {
+			probeVals[a] = "0"
+		}
+		probe, err := cp.build(probeVals)
+		if err != nil {
+			return err
+		}
+		for _, other := range m.Tables {
+			if other == tm {
+				continue
+			}
+			ocp, err := other.compiled(m.URIPrefix)
+			if err != nil {
+				return err
+			}
+			if _, matches := ocp.match(probe); matches && ocp.literalLen == cp.literalLen {
+				return fmt.Errorf("r3m: URI patterns of tables %q (%s) and %q (%s) are ambiguous: %q matches both",
+					tm.Name, tm.URIPattern, other.Name, other.URIPattern, probe)
+			}
+		}
+	}
+	return nil
+}

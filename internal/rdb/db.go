@@ -1,0 +1,235 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Database is a named collection of tables. All access happens
+// through transactions (Begin / View); the database serializes
+// writers with a coarse lock, which matches the single-connection
+// mediation setup of the paper's prototype.
+type Database struct {
+	name string
+
+	mu     sync.Mutex
+	tables map[string]*table
+	order  []string
+	// referencedBy maps a table name to the foreign keys (in other
+	// tables) that reference it, for RESTRICT checks on delete.
+	referencedBy map[string][]fkBackRef
+}
+
+type fkBackRef struct {
+	table  string
+	column string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{
+		name:         name,
+		tables:       make(map[string]*table),
+		referencedBy: make(map[string][]fkBackRef),
+	}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// CreateTable registers a new table. Referenced tables must either
+// already exist or be created later but before any data flows (the
+// check happens at first use), which permits mutually referencing
+// schemas to be declared in any order.
+func (db *Database) CreateTable(schema *TableSchema) error {
+	if err := schema.validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(schema.Name)
+	if _, exists := db.tables[key]; exists {
+		return fmt.Errorf("rdb: table %q already exists", schema.Name)
+	}
+	db.tables[key] = newTable(schema)
+	db.order = append(db.order, key)
+	for _, fk := range schema.ForeignKeys {
+		ref := strings.ToLower(fk.RefTable)
+		db.referencedBy[ref] = append(db.referencedBy[ref], fkBackRef{table: key, column: fk.Column})
+	}
+	return nil
+}
+
+// DropTable removes a table and its contents. It fails if other
+// tables declare foreign keys against it.
+func (db *Database) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return &TableError{Table: name}
+	}
+	if refs := db.referencedBy[key]; len(refs) > 0 {
+		return fmt.Errorf("rdb: cannot drop %q: referenced by %s.%s", name, refs[0].table, refs[0].column)
+	}
+	delete(db.tables, key)
+	for i, n := range db.order {
+		if n == key {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	// Remove back references this table held on others.
+	for ref, list := range db.referencedBy {
+		var kept []fkBackRef
+		for _, b := range list {
+			if b.table != key {
+				kept = append(kept, b)
+			}
+		}
+		if len(kept) == 0 {
+			delete(db.referencedBy, ref)
+		} else {
+			db.referencedBy[ref] = kept
+		}
+	}
+	return nil
+}
+
+// Schema returns the schema of the named table.
+func (db *Database) Schema(name string) (*TableSchema, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return t.schema, true
+}
+
+// TableNames returns all table names in creation order.
+func (db *Database) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, len(db.order))
+	for i, key := range db.order {
+		out[i] = db.tables[key].schema.Name
+	}
+	return out
+}
+
+// RowCount returns the number of rows in the named table.
+func (db *Database) RowCount(name string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return 0, &TableError{Table: name}
+	}
+	return len(t.rows), nil
+}
+
+// TotalRows returns the number of rows across all tables.
+func (db *Database) TotalRows() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for _, t := range db.tables {
+		n += len(t.rows)
+	}
+	return n
+}
+
+// TopologicalTableOrder returns the table names sorted so that every
+// table appears after the tables it references through foreign keys
+// (parents first). This is the order Algorithm 1 step five needs for
+// sorting INSERT statements; the reverse order is used for DELETEs.
+// Self-references are ignored; cycles between distinct tables yield
+// an error since no valid insert order exists under immediate
+// constraint checking.
+func (db *Database) TopologicalTableOrder() ([]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.topologicalLocked()
+}
+
+// topologicalLocked computes the order with db.mu already held (used
+// by open transactions, which own the lock).
+func (db *Database) topologicalLocked() ([]string, error) {
+	return topoOrder(db.order, func(key string) []string {
+		var deps []string
+		for _, fk := range db.tables[key].schema.ForeignKeys {
+			ref := strings.ToLower(fk.RefTable)
+			if ref != key {
+				deps = append(deps, ref)
+			}
+		}
+		return deps
+	}, func(key string) string { return db.tables[key].schema.Name })
+}
+
+// topoOrder is a deterministic Kahn topological sort; nodes is the
+// creation order, deps gives a node's prerequisites.
+func topoOrder(nodes []string, deps func(string) []string, display func(string) string) ([]string, error) {
+	indeg := make(map[string]int, len(nodes))
+	dependents := make(map[string][]string)
+	nodeSet := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		nodeSet[n] = true
+	}
+	for _, n := range nodes {
+		for _, d := range deps(n) {
+			if !nodeSet[d] {
+				continue // dangling FK target: tolerated at schema level
+			}
+			indeg[n]++
+			dependents[d] = append(dependents[d], n)
+		}
+	}
+	// Ready queue kept sorted for deterministic output.
+	var ready []string
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Strings(ready)
+	var out []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, display(n))
+		newReady := false
+		for _, m := range dependents[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+				newReady = true
+			}
+		}
+		if newReady {
+			sort.Strings(ready)
+		}
+	}
+	if len(out) != len(nodes) {
+		var cyclic []string
+		for _, n := range nodes {
+			if indeg[n] > 0 {
+				cyclic = append(cyclic, display(n))
+			}
+		}
+		return nil, fmt.Errorf("rdb: foreign key cycle among tables: %s", strings.Join(cyclic, ", "))
+	}
+	return out, nil
+}
+
+// getTable fetches a table by name; callers hold db.mu.
+func (db *Database) getTable(name string) (*table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, &TableError{Table: name}
+	}
+	return t, nil
+}

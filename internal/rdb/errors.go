@@ -1,0 +1,82 @@
+package rdb
+
+import "fmt"
+
+// ConstraintKind classifies integrity-constraint violations. The
+// feedback package maps these onto the semantically rich RDF error
+// reports the paper's Section 8 calls for.
+type ConstraintKind int
+
+// Constraint kinds.
+const (
+	ViolationNotNull ConstraintKind = iota
+	ViolationPrimaryKey
+	ViolationForeignKey
+	ViolationUnique
+	ViolationType
+	ViolationRestrict // deleting a row that other rows reference
+)
+
+func (k ConstraintKind) String() string {
+	switch k {
+	case ViolationNotNull:
+		return "NOT NULL"
+	case ViolationPrimaryKey:
+		return "PRIMARY KEY"
+	case ViolationForeignKey:
+		return "FOREIGN KEY"
+	case ViolationUnique:
+		return "UNIQUE"
+	case ViolationType:
+		return "TYPE"
+	case ViolationRestrict:
+		return "RESTRICT"
+	}
+	return "?"
+}
+
+// ConstraintError reports an integrity-constraint violation with
+// enough structure for OntoAccess to produce meaningful client
+// feedback (which table, which column, which value, which constraint).
+type ConstraintError struct {
+	Kind   ConstraintKind
+	Table  string
+	Column string
+	Value  Value
+	// RefTable is set for foreign key and restrict violations.
+	RefTable string
+	// Detail carries a human-oriented elaboration.
+	Detail string
+}
+
+// Error implements error.
+func (e *ConstraintError) Error() string {
+	msg := fmt.Sprintf("rdb: %s constraint violation on %s", e.Kind, e.Table)
+	if e.Column != "" {
+		msg += "." + e.Column
+	}
+	if !e.Value.IsNull() || e.Kind == ViolationNotNull {
+		msg += fmt.Sprintf(" (value %s)", e.Value)
+	}
+	if e.RefTable != "" {
+		msg += fmt.Sprintf(" referencing %s", e.RefTable)
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// TableError reports access to a missing table or column.
+type TableError struct {
+	Table  string
+	Column string
+}
+
+// Error implements error.
+func (e *TableError) Error() string {
+	if e.Column != "" {
+		return fmt.Sprintf("rdb: no column %q in table %q", e.Column, e.Table)
+	}
+	return fmt.Sprintf("rdb: no table %q", e.Table)
+}

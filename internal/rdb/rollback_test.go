@@ -1,0 +1,135 @@
+package rdb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRollbackKeepsIndexesConsistent verifies that after rolling back
+// arbitrary mutations, every index access path (primary key lookup,
+// FK secondary index via restrict checks) matches a full scan.
+func TestRollbackKeepsIndexesConsistent(t *testing.T) {
+	db := paperSchema(t)
+	db.Update(func(tx *Tx) error {
+		tx.Insert("team", map[string]Value{"id": Int(1), "name": String_("A"), "code": String_("a")})
+		tx.Insert("team", map[string]Value{"id": Int(2), "name": String_("B"), "code": String_("b")})
+		tx.Insert("author", map[string]Value{"id": Int(1), "lastname": String_("X"), "team": Int(1)})
+		return nil
+	})
+
+	f := func(ops []uint8) bool {
+		tx := db.Begin()
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				tx.Insert("team", map[string]Value{"id": Int(int64(op) + 10), "name": String_("T")})
+			case 1:
+				if id, _, found, _ := tx.LookupPK("team", []Value{Int(int64(op) + 10)}); found {
+					tx.DeleteByID("team", id)
+				}
+			case 2:
+				if id, _, found, _ := tx.LookupPK("author", []Value{Int(1)}); found {
+					tx.UpdateByID("author", id, map[string]Value{"team": Int(2)})
+				}
+			case 3:
+				tx.Insert("author", map[string]Value{"id": Int(int64(op) + 10), "lastname": String_("Y"), "team": Int(2)})
+			case 4:
+				if id, _, found, _ := tx.LookupPK("author", []Value{Int(1)}); found {
+					tx.UpdateByID("author", id, map[string]Value{"lastname": String_("Z")})
+				}
+			}
+		}
+		tx.Rollback()
+
+		// After rollback the database must look exactly like the seed.
+		ok := true
+		db.View(func(tx *Tx) error {
+			if n := countRows(tx, "team"); n != 2 {
+				ok = false
+			}
+			if n := countRows(tx, "author"); n != 1 {
+				ok = false
+			}
+			_, row, found, _ := tx.LookupPK("author", []Value{Int(1)})
+			if !found || row[4] != String_("X") || row[5] != Int(1) {
+				ok = false
+			}
+			return nil
+		})
+		if !ok {
+			return false
+		}
+		// The FK index must still see author1 -> team1: deleting team1
+		// must be restricted.
+		err := db.Update(func(tx *Tx) error {
+			id, _, _, _ := tx.LookupPK("team", []Value{Int(1)})
+			return tx.DeleteByID("team", id)
+		})
+		return err != nil // restrict must fire
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countRows(tx *Tx, table string) int {
+	n := 0
+	tx.Scan(table, func(int64, []Value) bool { n++; return true })
+	return n
+}
+
+// TestRollbackAfterPKChange ensures the PK index is restored when an
+// update that moved a key is rolled back.
+func TestRollbackAfterPKChange(t *testing.T) {
+	db := paperSchema(t)
+	db.Update(func(tx *Tx) error {
+		return tx.Insert("publisher", map[string]Value{"id": Int(1), "name": String_("P")})
+	})
+	tx := db.Begin()
+	id, _, _, _ := tx.LookupPK("publisher", []Value{Int(1)})
+	if err := tx.UpdateByID("publisher", id, map[string]Value{"id": Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, _ := tx.LookupPK("publisher", []Value{Int(7)}); !found {
+		t.Fatal("new key not visible inside tx")
+	}
+	tx.Rollback()
+	db.View(func(tx *Tx) error {
+		if _, _, found, _ := tx.LookupPK("publisher", []Value{Int(1)}); !found {
+			t.Error("old key lost after rollback")
+		}
+		if _, _, found, _ := tx.LookupPK("publisher", []Value{Int(7)}); found {
+			t.Error("phantom key after rollback")
+		}
+		return nil
+	})
+}
+
+// TestAutoIncrementAssignment covers the MySQL-style key assignment.
+func TestAutoIncrementAssignment(t *testing.T) {
+	db := NewDatabase("d")
+	if err := db.CreateTable(&TableSchema{
+		Name: "link",
+		Columns: []Column{
+			{Name: "id", Type: TInt, AutoIncrement: true},
+			{Name: "v", Type: TVarchar},
+		},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Update(func(tx *Tx) error {
+		tx.Insert("link", map[string]Value{"v": String_("a")})
+		tx.Insert("link", map[string]Value{"v": String_("b")})
+		tx.Insert("link", map[string]Value{"id": Int(10), "v": String_("c")})
+		return tx.Insert("link", map[string]Value{"v": String_("d")})
+	})
+	db.View(func(tx *Tx) error {
+		for _, want := range []int64{1, 2, 10, 11} {
+			if _, _, found, _ := tx.LookupPK("link", []Value{Int(want)}); !found {
+				t.Errorf("expected auto id %d", want)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,73 @@
+package sqlexec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/sqlgen"
+)
+
+// Dump writes the database as a SQL script — CREATE TABLE statements
+// followed by INSERT statements — that Restore (or any invocation of
+// Run) replays. Tables are emitted in foreign-key topological order
+// and rows in insertion order, so the script satisfies immediate
+// constraint checking when replayed.
+//
+// Rows of a self-referencing table are emitted in insertion order,
+// which replays correctly as long as parents were inserted before
+// their children originally (the engine enforced exactly that).
+func Dump(db *rdb.Database, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	order, err := db.TopologicalTableOrder()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "-- dump of database %q\n", db.Name())
+	for _, name := range order {
+		schema, ok := db.Schema(name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(bw, "\n%s\n", schema.DDL())
+	}
+	for _, name := range order {
+		schema, _ := db.Schema(name)
+		cols := make([]string, len(schema.Columns))
+		for i, c := range schema.Columns {
+			cols[i] = c.Name
+		}
+		var dumpErr error
+		err := db.View(func(tx *rdb.Tx) error {
+			return tx.Scan(name, func(_ int64, row []rdb.Value) bool {
+				if _, err := fmt.Fprintf(bw, "%s\n", sqlgen.Insert(name, cols, row)); err != nil {
+					dumpErr = err
+					return false
+				}
+				return true
+			})
+		})
+		if err != nil {
+			return err
+		}
+		if dumpErr != nil {
+			return dumpErr
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore builds a database from a script produced by Dump (or any
+// DDL+DML script).
+func Restore(name string, r io.Reader) (*rdb.Database, error) {
+	script, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	db := rdb.NewDatabase(name)
+	if _, err := Run(db, string(script)); err != nil {
+		return nil, fmt.Errorf("sqlexec: restoring dump: %w", err)
+	}
+	return db, nil
+}

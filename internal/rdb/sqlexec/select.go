@@ -1,0 +1,456 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlparser"
+)
+
+// env is the row environment for expression evaluation: one entry per
+// table in FROM/JOIN order.
+type env struct {
+	tables []envTable
+}
+
+type envTable struct {
+	name   string // effective name (alias if given), lower-cased
+	schema *rdb.TableSchema
+	row    []rdb.Value
+}
+
+func singleEnv(name string, schema *rdb.TableSchema, row []rdb.Value) *env {
+	return &env{tables: []envTable{{name: strings.ToLower(name), schema: schema, row: row}}}
+}
+
+// resolve finds the value of a column reference, enforcing uniqueness
+// for unqualified names across joined tables.
+func (e *env) resolve(ref sqlparser.ColRef) (rdb.Value, error) {
+	if ref.Table != "" {
+		want := strings.ToLower(ref.Table)
+		for _, t := range e.tables {
+			if t.name == want {
+				ci := t.schema.ColumnIndex(ref.Column)
+				if ci < 0 {
+					return rdb.Null, &rdb.TableError{Table: ref.Table, Column: ref.Column}
+				}
+				return t.row[ci], nil
+			}
+		}
+		return rdb.Null, fmt.Errorf("sqlexec: unknown table or alias %q", ref.Table)
+	}
+	found := -1
+	var val rdb.Value
+	for _, t := range e.tables {
+		if ci := t.schema.ColumnIndex(ref.Column); ci >= 0 {
+			if found >= 0 {
+				return rdb.Null, fmt.Errorf("sqlexec: ambiguous column %q", ref.Column)
+			}
+			found = 1
+			val = t.row[ci]
+		}
+	}
+	if found < 0 {
+		return rdb.Null, fmt.Errorf("sqlexec: unknown column %q", ref.Column)
+	}
+	return val, nil
+}
+
+// evalExpr evaluates an expression with SQL three-valued logic:
+// comparisons involving NULL yield NULL, which WHERE treats as not
+// true.
+func evalExpr(e *env, expr sqlparser.Expr) (rdb.Value, error) {
+	switch x := expr.(type) {
+	case sqlparser.Lit:
+		return x.Value, nil
+	case sqlparser.ColRef:
+		return e.resolve(x)
+	case sqlparser.Neg:
+		v, err := evalExpr(e, x.Inner)
+		if err != nil || v.IsNull() {
+			return rdb.Null, err
+		}
+		switch v.Kind {
+		case rdb.KInt:
+			return rdb.Int(-v.I), nil
+		case rdb.KFloat:
+			return rdb.Float(-v.F), nil
+		}
+		return rdb.Null, fmt.Errorf("sqlexec: cannot negate %s", v.Kind)
+	case sqlparser.Not:
+		v, err := evalExpr(e, x.Inner)
+		if err != nil {
+			return rdb.Null, err
+		}
+		if v.IsNull() {
+			return rdb.Null, nil
+		}
+		if v.Kind != rdb.KBool {
+			return rdb.Null, fmt.Errorf("sqlexec: NOT applied to %s", v.Kind)
+		}
+		return rdb.Bool(!v.B), nil
+	case sqlparser.IsNull:
+		v, err := evalExpr(e, x.Inner)
+		if err != nil {
+			return rdb.Null, err
+		}
+		res := v.IsNull()
+		if x.Negate {
+			res = !res
+		}
+		return rdb.Bool(res), nil
+	case sqlparser.InList:
+		v, err := evalExpr(e, x.Inner)
+		if err != nil {
+			return rdb.Null, err
+		}
+		if v.IsNull() {
+			return rdb.Null, nil
+		}
+		found := false
+		for _, item := range x.Values {
+			if rdb.Equal(v, item) {
+				found = true
+				break
+			}
+		}
+		if x.Negate {
+			found = !found
+		}
+		return rdb.Bool(found), nil
+	case sqlparser.Binary:
+		return evalBinary(e, x)
+	default:
+		return rdb.Null, fmt.Errorf("sqlexec: unsupported expression %T", expr)
+	}
+}
+
+func evalBinary(e *env, x sqlparser.Binary) (rdb.Value, error) {
+	// AND/OR implement SQL three-valued logic with short-circuit
+	// behaviour consistent with it.
+	if x.Op == sqlparser.OpAnd || x.Op == sqlparser.OpOr {
+		l, err := evalExpr(e, x.Left)
+		if err != nil {
+			return rdb.Null, err
+		}
+		r, err := evalExpr(e, x.Right)
+		if err != nil {
+			return rdb.Null, err
+		}
+		lb, lok := boolOf(l)
+		rb, rok := boolOf(r)
+		if x.Op == sqlparser.OpAnd {
+			switch {
+			case lok && !lb, rok && !rb:
+				return rdb.Bool(false), nil
+			case lok && rok:
+				return rdb.Bool(true), nil
+			default:
+				return rdb.Null, nil
+			}
+		}
+		switch {
+		case lok && lb, rok && rb:
+			return rdb.Bool(true), nil
+		case lok && rok:
+			return rdb.Bool(false), nil
+		default:
+			return rdb.Null, nil
+		}
+	}
+
+	l, err := evalExpr(e, x.Left)
+	if err != nil {
+		return rdb.Null, err
+	}
+	r, err := evalExpr(e, x.Right)
+	if err != nil {
+		return rdb.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return rdb.Null, nil // NULL propagates through comparisons and arithmetic
+	}
+	switch x.Op {
+	case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+		c, err := rdb.Compare(l, r)
+		if err != nil {
+			return rdb.Null, err
+		}
+		var res bool
+		switch x.Op {
+		case sqlparser.OpEq:
+			res = c == 0
+		case sqlparser.OpNe:
+			res = c != 0
+		case sqlparser.OpLt:
+			res = c < 0
+		case sqlparser.OpLe:
+			res = c <= 0
+		case sqlparser.OpGt:
+			res = c > 0
+		case sqlparser.OpGe:
+			res = c >= 0
+		}
+		return rdb.Bool(res), nil
+	case sqlparser.OpLike:
+		if l.Kind != rdb.KString || r.Kind != rdb.KString {
+			return rdb.Null, fmt.Errorf("sqlexec: LIKE requires strings")
+		}
+		return rdb.Bool(sqlparser.LikeToMatcher(r.S)(l.S)), nil
+	case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv:
+		lf, err := l.AsFloat()
+		if err != nil {
+			return rdb.Null, err
+		}
+		rf, err := r.AsFloat()
+		if err != nil {
+			return rdb.Null, err
+		}
+		var v float64
+		switch x.Op {
+		case sqlparser.OpAdd:
+			v = lf + rf
+		case sqlparser.OpSub:
+			v = lf - rf
+		case sqlparser.OpMul:
+			v = lf * rf
+		case sqlparser.OpDiv:
+			if rf == 0 {
+				return rdb.Null, fmt.Errorf("sqlexec: division by zero")
+			}
+			v = lf / rf
+		}
+		if l.Kind == rdb.KInt && r.Kind == rdb.KInt && x.Op != sqlparser.OpDiv {
+			return rdb.Int(int64(v)), nil
+		}
+		return rdb.Float(v), nil
+	}
+	return rdb.Null, fmt.Errorf("sqlexec: unsupported operator %d", x.Op)
+}
+
+func boolOf(v rdb.Value) (bool, bool) {
+	if v.Kind == rdb.KBool {
+		return v.B, true
+	}
+	return false, false
+}
+
+func isTrue(v rdb.Value) bool { return v.Kind == rdb.KBool && v.B }
+
+func execSelect(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
+	// Build the joined row set with nested loops.
+	refs := []sqlparser.TableRef{st.From}
+	for _, j := range st.Joins {
+		refs = append(refs, j.Ref)
+	}
+	schemas := make([]*rdb.TableSchema, len(refs))
+	for i, r := range refs {
+		s, err := tx.Schema(r.Table)
+		if err != nil {
+			return nil, err
+		}
+		schemas[i] = s
+	}
+
+	var envs []*env
+	// Seed with the FROM table.
+	err := tx.Scan(st.From.Table, func(_ int64, row []rdb.Value) bool {
+		envs = append(envs, &env{tables: []envTable{{
+			name: strings.ToLower(st.From.EffectiveName()), schema: schemas[0], row: row,
+		}}})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ji, j := range st.Joins {
+		var joinRows [][]rdb.Value
+		if err := tx.Scan(j.Ref.Table, func(_ int64, row []rdb.Value) bool {
+			joinRows = append(joinRows, row)
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		var next []*env
+		for _, base := range envs {
+			for _, row := range joinRows {
+				cand := &env{tables: append(append([]envTable{}, base.tables...), envTable{
+					name: strings.ToLower(j.Ref.EffectiveName()), schema: schemas[ji+1], row: row,
+				})}
+				v, err := evalExpr(cand, j.On)
+				if err != nil {
+					return nil, err
+				}
+				if isTrue(v) {
+					next = append(next, cand)
+				}
+			}
+		}
+		envs = next
+	}
+
+	if st.Where != nil {
+		var kept []*env
+		for _, e := range envs {
+			v, err := evalExpr(e, st.Where)
+			if err != nil {
+				return nil, err
+			}
+			if isTrue(v) {
+				kept = append(kept, e)
+			}
+		}
+		envs = kept
+	}
+
+	// COUNT(*) aggregation.
+	for _, item := range st.Items {
+		if item.Count {
+			if len(st.Items) != 1 {
+				return nil, fmt.Errorf("sqlexec: COUNT(*) cannot be combined with other select items")
+			}
+			return &ResultSet{Columns: []string{item.Alias}, Rows: [][]rdb.Value{{rdb.Int(int64(len(envs)))}}}, nil
+		}
+	}
+
+	// ORDER BY before projection so keys may use any column.
+	if len(st.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(envs, func(i, j int) bool {
+			for _, k := range st.OrderBy {
+				a, err := evalExpr(envs[i], k.Expr)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				b, err := evalExpr(envs[j], k.Expr)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				c := compareForSort(a, b)
+				if c != 0 {
+					if k.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	// Projection.
+	cols, project, err := buildProjection(st, schemas, refs)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Columns: cols}
+	for _, e := range envs {
+		row, err := project(e)
+		if err != nil {
+			return nil, err
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+
+	if st.Distinct {
+		seen := map[string]bool{}
+		var kept [][]rdb.Value
+		for _, row := range rs.Rows {
+			k := rdb.KeyOf(row)
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, row)
+			}
+		}
+		rs.Rows = kept
+	}
+	if st.Offset > 0 {
+		if st.Offset >= len(rs.Rows) {
+			rs.Rows = nil
+		} else {
+			rs.Rows = rs.Rows[st.Offset:]
+		}
+	}
+	if st.Limit >= 0 && st.Limit < len(rs.Rows) {
+		rs.Rows = rs.Rows[:st.Limit]
+	}
+	return rs, nil
+}
+
+// compareForSort orders values with NULLs first and falls back to a
+// stable cross-kind order when Compare fails.
+func compareForSort(a, b rdb.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	if c, err := rdb.Compare(a, b); err == nil {
+		return c
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// buildProjection computes the output column names and a projector
+// function from the select items.
+func buildProjection(st sqlparser.Select, schemas []*rdb.TableSchema, refs []sqlparser.TableRef) ([]string, func(*env) ([]rdb.Value, error), error) {
+	multi := len(refs) > 1
+	var cols []string
+	type getter func(*env) (rdb.Value, error)
+	var getters []getter
+
+	for _, item := range st.Items {
+		switch {
+		case item.Star:
+			for ti, s := range schemas {
+				prefix := ""
+				if multi {
+					prefix = strings.ToLower(refs[ti].EffectiveName()) + "."
+				}
+				for ci := range s.Columns {
+					cols = append(cols, prefix+s.Columns[ci].Name)
+					ti2, ci2 := ti, ci
+					getters = append(getters, func(e *env) (rdb.Value, error) {
+						return e.tables[ti2].row[ci2], nil
+					})
+				}
+			}
+		default:
+			name := item.Alias
+			if name == "" {
+				if cr, ok := item.Expr.(sqlparser.ColRef); ok {
+					name = cr.Column
+				} else {
+					name = fmt.Sprintf("expr%d", len(cols)+1)
+				}
+			}
+			cols = append(cols, name)
+			expr := item.Expr
+			getters = append(getters, func(e *env) (rdb.Value, error) {
+				return evalExpr(e, expr)
+			})
+		}
+	}
+	project := func(e *env) ([]rdb.Value, error) {
+		row := make([]rdb.Value, len(getters))
+		for i, g := range getters {
+			v, err := g(e)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		return row, nil
+	}
+	return cols, project, nil
+}

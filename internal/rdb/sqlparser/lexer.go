@@ -1,0 +1,305 @@
+// Package sqlparser implements a lexer, AST and recursive-descent
+// parser for the SQL subset OntoAccess generates and the tooling
+// needs: CREATE TABLE / DROP TABLE DDL, INSERT / UPDATE / DELETE DML,
+// and SELECT with inner joins, WHERE, ORDER BY, LIMIT and OFFSET.
+//
+// The AST reuses the engine's value and schema types from package
+// rdb; execution lives in the sibling package sqlexec.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tKeyword
+	tString
+	tNumber
+	tComma
+	tDot
+	tSemicolon
+	tLParen
+	tRParen
+	tStar
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tPlus
+	tMinus
+	tSlash
+)
+
+func (k tokKind) String() string {
+	names := map[tokKind]string{
+		tEOF: "end of input", tIdent: "identifier", tKeyword: "keyword",
+		tString: "string", tNumber: "number", tComma: "','", tDot: "'.'",
+		tSemicolon: "';'", tLParen: "'('", tRParen: "')'", tStar: "'*'",
+		tEq: "'='", tNe: "'<>'", tLt: "'<'", tLe: "'<='", tGt: "'>'", tGe: "'>='",
+		tPlus: "'+'", tMinus: "'-'", tSlash: "'/'",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var sqlKeywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "DROP": true, "PRIMARY": true, "KEY": true,
+	"FOREIGN": true, "REFERENCES": true, "NOT": true, "NULL": true,
+	"UNIQUE": true, "DEFAULT": true, "AUTO_INCREMENT": true, "INTEGER": true, "INT": true,
+	"VARCHAR": true, "TEXT": true, "DOUBLE": true, "FLOAT": true,
+	"BOOLEAN": true, "BOOL": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true,
+	"DELETE": true, "FROM": true, "WHERE": true,
+	"SELECT": true, "DISTINCT": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ON": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "OFFSET": true,
+	"AND": true, "OR": true, "IS": true, "LIKE": true, "IN": true,
+	"TRUE": true, "FALSE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"COUNT": true,
+}
+
+type token struct {
+	kind tokKind
+	val  string // identifier (original case), keyword (upper), string (unquoted), number (lexical)
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: line %d col %d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '-' && lx.peekAt(1) == '-':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipSpace()
+	t := token{line: lx.line, col: lx.col}
+	if lx.pos >= len(lx.src) {
+		t.kind = tEOF
+		return t, nil
+	}
+	c := lx.peek()
+	switch {
+	case c == '\'':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return t, lx.errorf("unterminated string literal")
+			}
+			ch := lx.advance()
+			if ch == '\'' {
+				if lx.peek() == '\'' { // '' escape
+					lx.advance()
+					b.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			b.WriteByte(ch)
+		}
+		t.kind = tString
+		t.val = b.String()
+		return t, nil
+	case c >= '0' && c <= '9' || c == '.' && lx.peekAt(1) >= '0' && lx.peekAt(1) <= '9':
+		var b strings.Builder
+		sawDot := false
+		for lx.pos < len(lx.src) {
+			ch := lx.peek()
+			if ch >= '0' && ch <= '9' {
+				b.WriteByte(lx.advance())
+			} else if ch == '.' && !sawDot && lx.peekAt(1) >= '0' && lx.peekAt(1) <= '9' {
+				sawDot = true
+				b.WriteByte(lx.advance())
+			} else if ch == 'e' || ch == 'E' {
+				b.WriteByte(lx.advance())
+				if n := lx.peek(); n == '+' || n == '-' {
+					b.WriteByte(lx.advance())
+				}
+				if p := lx.peek(); p < '0' || p > '9' {
+					return t, lx.errorf("malformed number")
+				}
+				sawDot = true // exponent implies float
+			} else {
+				break
+			}
+		}
+		t.kind = tNumber
+		t.val = b.String()
+		return t, nil
+	case c == ',':
+		lx.advance()
+		t.kind = tComma
+		return t, nil
+	case c == '.':
+		lx.advance()
+		t.kind = tDot
+		return t, nil
+	case c == ';':
+		lx.advance()
+		t.kind = tSemicolon
+		return t, nil
+	case c == '(':
+		lx.advance()
+		t.kind = tLParen
+		return t, nil
+	case c == ')':
+		lx.advance()
+		t.kind = tRParen
+		return t, nil
+	case c == '*':
+		lx.advance()
+		t.kind = tStar
+		return t, nil
+	case c == '=':
+		lx.advance()
+		t.kind = tEq
+		return t, nil
+	case c == '<':
+		lx.advance()
+		switch lx.peek() {
+		case '=':
+			lx.advance()
+			t.kind = tLe
+		case '>':
+			lx.advance()
+			t.kind = tNe
+		default:
+			t.kind = tLt
+		}
+		return t, nil
+	case c == '>':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			t.kind = tGe
+		} else {
+			t.kind = tGt
+		}
+		return t, nil
+	case c == '!':
+		lx.advance()
+		if lx.peek() != '=' {
+			return t, lx.errorf("expected '!='")
+		}
+		lx.advance()
+		t.kind = tNe
+		return t, nil
+	case c == '+':
+		lx.advance()
+		t.kind = tPlus
+		return t, nil
+	case c == '-':
+		lx.advance()
+		t.kind = tMinus
+		return t, nil
+	case c == '/':
+		lx.advance()
+		t.kind = tSlash
+		return t, nil
+	case isIdentStart(c) || c == '"':
+		quoted := c == '"'
+		if quoted {
+			lx.advance()
+		}
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			ch := lx.peek()
+			if quoted {
+				if ch == '"' {
+					lx.advance()
+					break
+				}
+				b.WriteByte(lx.advance())
+				continue
+			}
+			if isIdentPart(ch) {
+				b.WriteByte(lx.advance())
+			} else {
+				break
+			}
+		}
+		word := b.String()
+		if word == "" {
+			return t, lx.errorf("empty identifier")
+		}
+		if !quoted && sqlKeywords[strings.ToUpper(word)] {
+			t.kind = tKeyword
+			t.val = strings.ToUpper(word)
+		} else {
+			t.kind = tIdent
+			t.val = word
+		}
+		return t, nil
+	default:
+		return t, lx.errorf("unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,302 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"ontoaccess/internal/rdb"
+)
+
+func TestParseCreateTablePaperSchema(t *testing.T) {
+	stmt, err := ParseStatement(`
+CREATE TABLE author (
+  id INTEGER PRIMARY KEY,
+  title VARCHAR,
+  email VARCHAR,
+  firstname VARCHAR,
+  lastname VARCHAR NOT NULL,
+  team INTEGER REFERENCES team
+)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := stmt.(CreateTable)
+	if !ok {
+		t.Fatalf("type = %T", stmt)
+	}
+	s := ct.Schema
+	if s.Name != "author" || len(s.Columns) != 6 {
+		t.Fatalf("schema = %+v", s)
+	}
+	if len(s.PrimaryKey) != 1 || s.PrimaryKey[0] != "id" {
+		t.Errorf("pk = %v", s.PrimaryKey)
+	}
+	if c, _ := s.Column("lastname"); c == nil || !c.NotNull {
+		t.Error("lastname NOT NULL lost")
+	}
+	if fk, ok := s.ForeignKeyOn("team"); !ok || fk.RefTable != "team" {
+		t.Error("foreign key lost")
+	}
+}
+
+func TestParseCreateTableConstraintClauses(t *testing.T) {
+	stmt, err := ParseStatement(`
+CREATE TABLE t (
+  a INTEGER,
+  b INTEGER,
+  c VARCHAR(10) UNIQUE DEFAULT 'x',
+  PRIMARY KEY (a, b),
+  FOREIGN KEY (b) REFERENCES other(id)
+)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.(CreateTable).Schema
+	if len(s.PrimaryKey) != 2 {
+		t.Errorf("pk = %v", s.PrimaryKey)
+	}
+	if len(s.ForeignKeys) != 1 || s.ForeignKeys[0].RefTable != "other" {
+		t.Errorf("fks = %v", s.ForeignKeys)
+	}
+	c, _ := s.Column("c")
+	if c.Length != 10 || !c.Unique || c.Default == nil || c.Default.S != "x" {
+		t.Errorf("column c = %+v", c)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	// The paper's Listing 10.
+	stmt, err := ParseStatement(`
+INSERT INTO author (id, title, firstname, lastname, email, team)
+VALUES (6, 'Mr', 'Matthias', 'Hert', 'hert@ifi.uzh.ch', 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(Insert)
+	if ins.Table != "author" || len(ins.Columns) != 6 || len(ins.Rows) != 1 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ins.Rows[0][0] != rdb.Int(6) || ins.Rows[0][3] != rdb.String_("Hert") {
+		t.Errorf("values = %v", ins.Rows[0])
+	}
+}
+
+func TestParseInsertMultiRowAndEscapes(t *testing.T) {
+	stmt, err := ParseStatement(`
+INSERT INTO t (a, b) VALUES (1, 'it''s'), (-2, NULL), (3, TRUE)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(Insert)
+	if len(ins.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ins.Rows))
+	}
+	if ins.Rows[0][1] != rdb.String_("it's") {
+		t.Errorf("escape: %v", ins.Rows[0][1])
+	}
+	if ins.Rows[1][0] != rdb.Int(-2) || !ins.Rows[1][1].IsNull() {
+		t.Errorf("row1 = %v", ins.Rows[1])
+	}
+	if ins.Rows[2][1] != rdb.Bool(true) {
+		t.Errorf("row2 = %v", ins.Rows[2])
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	// The paper's Listing 18.
+	stmt, err := ParseStatement(`
+UPDATE author SET email = NULL WHERE id = 6 AND email = 'hert@ifi.uzh.ch'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := stmt.(Update)
+	if up.Table != "author" || len(up.Set) != 1 {
+		t.Fatalf("update = %+v", up)
+	}
+	if up.Set[0].Column != "email" {
+		t.Errorf("set column = %s", up.Set[0].Column)
+	}
+	if lit, ok := up.Set[0].Value.(Lit); !ok || !lit.Value.IsNull() {
+		t.Errorf("set value = %#v", up.Set[0].Value)
+	}
+	b, ok := up.Where.(Binary)
+	if !ok || b.Op != OpAnd {
+		t.Fatalf("where = %#v", up.Where)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	stmt, err := ParseStatement(`DELETE FROM author WHERE id = 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := stmt.(Delete)
+	if del.Table != "author" || del.Where == nil {
+		t.Fatalf("delete = %+v", del)
+	}
+	stmt, err = ParseStatement(`DELETE FROM author`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(Delete).Where != nil {
+		t.Error("where should be nil")
+	}
+}
+
+func TestParseSelectJoins(t *testing.T) {
+	stmt, err := ParseStatement(`
+SELECT a.id, a.lastname, t.name AS team_name
+FROM author a
+JOIN team t ON a.team = t.id
+WHERE a.lastname = 'Hert' AND t.code IS NOT NULL
+ORDER BY a.id DESC
+LIMIT 10 OFFSET 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(Select)
+	if sel.From.Table != "author" || sel.From.Alias != "a" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if len(sel.Joins) != 1 || sel.Joins[0].Ref.Alias != "t" {
+		t.Errorf("joins = %+v", sel.Joins)
+	}
+	if len(sel.Items) != 3 || sel.Items[2].Alias != "team_name" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 || sel.Offset != 2 {
+		t.Errorf("limit/offset = %d/%d", sel.Limit, sel.Offset)
+	}
+}
+
+func TestParseSelectStarDistinctCount(t *testing.T) {
+	stmt, err := ParseStatement(`SELECT DISTINCT * FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := stmt.(Select); !sel.Distinct || !sel.Items[0].Star {
+		t.Errorf("sel = %+v", sel)
+	}
+	stmt, err = ParseStatement(`SELECT COUNT(*) AS n FROM t WHERE a IN (1, 2, 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(Select)
+	if !sel.Items[0].Count || sel.Items[0].Alias != "n" {
+		t.Errorf("count item = %+v", sel.Items[0])
+	}
+	in, ok := sel.Where.(InList)
+	if !ok || len(in.Values) != 3 {
+		t.Errorf("where = %#v", sel.Where)
+	}
+}
+
+func TestParseScriptMultiStatement(t *testing.T) {
+	stmts, err := ParseScript(`
+-- comment line
+INSERT INTO team (id, name) VALUES (5, 'SE');
+INSERT INTO author (id, lastname, team) VALUES (6, 'Hert', 5);
+SELECT * FROM author;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+}
+
+func TestParseLikeAndNot(t *testing.T) {
+	stmt, err := ParseStatement(`SELECT * FROM t WHERE a LIKE 'x%' AND NOT b LIKE '_y' AND c NOT LIKE 'z'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(Select).Where == nil {
+		t.Fatal("where missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"empty script ok but statement required", "SELECT"},
+		{"garbage", "FOO BAR"},
+		{"unterminated string", "SELECT * FROM t WHERE a = 'x"},
+		{"missing from", "SELECT *"},
+		{"reserved as ident", "CREATE TABLE select (id INTEGER PRIMARY KEY)"},
+		{"bad type", "CREATE TABLE t (id BLOB PRIMARY KEY)"},
+		{"negative varchar", "CREATE TABLE t (id INTEGER PRIMARY KEY, s VARCHAR(0))"},
+		{"composite fk", "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a), FOREIGN KEY (a, b) REFERENCES x)"},
+		{"insert missing values", "INSERT INTO t (a)"},
+		{"negate string", "INSERT INTO t (a) VALUES (-'x')"},
+		{"negate null", "INSERT INTO t (a) VALUES (-NULL)"},
+		{"stray token after stmt", "SELECT * FROM t SELECT"},
+		{"lonely bang", "SELECT * FROM t WHERE !a"},
+		{"bad escape op", "SELECT * FROM t WHERE a ! b"},
+		{"update without set", "UPDATE t WHERE a = 1"},
+		{"not without like", "SELECT * FROM t WHERE a NOT 5"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseStatement(tc.src); err == nil {
+				t.Errorf("ParseStatement(%q) succeeded", tc.src)
+			}
+		})
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a%", "abc", true},
+		{"%c", "abc", true},
+		{"a%c", "abc", true},
+		{"a%c", "ac", true},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"%", "", true},
+		{"_", "", false},
+		{"%x%", "axb", true},
+		{"%x%", "ab", false},
+		{"a%b%c", "a123b456c", true},
+	}
+	for _, tc := range cases {
+		if got := LikeToMatcher(tc.pat)(tc.s); got != tc.want {
+			t.Errorf("LIKE %q on %q = %v, want %v", tc.pat, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	stmt, err := ParseStatement(`SELECT "select" FROM "from"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(Select)
+	if sel.From.Table != "from" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if cr, ok := sel.Items[0].Expr.(ColRef); !ok || cr.Column != "select" {
+		t.Errorf("item = %+v", sel.Items[0])
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	stmt, err := ParseStatement(`SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := stmt.(Select).Where.(Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %#v", stmt.(Select).Where)
+	}
+	and, ok := or.Right.(Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right = %#v (AND must bind tighter)", or.Right)
+	}
+}

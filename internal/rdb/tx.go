@@ -1,0 +1,379 @@
+package rdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tx is a database transaction. It holds the database's writer lock
+// from Begin until Commit or Rollback, providing serializable
+// isolation (the concurrency model of the paper's single-endpoint
+// mediator). Constraint checking is immediate: every Insert, Update
+// and Delete validates NOT NULL, type, PRIMARY KEY, UNIQUE, FOREIGN
+// KEY and RESTRICT rules at operation time — the behaviour of
+// MySQL/InnoDB that makes statement ordering inside a transaction
+// matter (paper Section 5.1, step five).
+type Tx struct {
+	db   *Database
+	done bool
+	undo []undoEntry
+}
+
+type undoKind int
+
+const (
+	undoInsert undoKind = iota // row was inserted: undo removes it
+	undoUpdate                 // row was updated: undo restores oldRow
+	undoDelete                 // row was deleted: undo reinserts oldRow
+)
+
+type undoEntry struct {
+	table  *table
+	kind   undoKind
+	id     int64
+	oldRow []Value
+}
+
+// Begin starts a transaction, blocking until the writer lock is
+// available. Nested Begin on the same goroutine deadlocks, as with
+// a single SQL connection.
+func (db *Database) Begin() *Tx {
+	db.mu.Lock()
+	return &Tx{db: db}
+}
+
+// Commit makes the transaction's changes durable and releases the
+// lock.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("rdb: transaction already finished")
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// Rollback reverts every change made in the transaction, in reverse
+// order, and releases the lock. Rolling back a finished transaction
+// is a no-op, so `defer tx.Rollback()` is safe.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := tx.undo[i]
+		switch e.kind {
+		case undoInsert:
+			e.table.remove(e.id)
+		case undoUpdate:
+			e.table.update(e.id, e.oldRow)
+		case undoDelete:
+			// Reinsert with the original row id to keep undo entries
+			// that reference the id valid.
+			e.table.rows[e.id] = e.oldRow
+			e.table.order = append(e.table.order, e.id)
+			e.table.pk[e.table.pkKey(e.oldRow)] = e.id
+			for ci, idx := range e.table.secondary {
+				addToIdx(idx, encodeKey(e.oldRow[ci:ci+1]), e.id)
+			}
+		}
+	}
+	tx.undo = nil
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// View runs fn inside a transaction that is always rolled back,
+// providing a consistent read snapshot.
+func (db *Database) View(fn func(tx *Tx) error) error {
+	tx := db.Begin()
+	defer tx.Rollback()
+	return fn(tx)
+}
+
+// Update runs fn inside a transaction, committing when fn returns nil
+// and rolling back otherwise.
+func (db *Database) Update(fn func(tx *Tx) error) error {
+	tx := db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (tx *Tx) check() error {
+	if tx.done {
+		return fmt.Errorf("rdb: transaction already finished")
+	}
+	return nil
+}
+
+// Schema returns the schema of the named table (lock already held by
+// the transaction).
+func (tx *Tx) Schema(name string) (*TableSchema, error) {
+	t, err := tx.db.getTable(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.schema, nil
+}
+
+// TopologicalTableOrder returns tables sorted parents-first by
+// foreign-key dependency (see Database.TopologicalTableOrder), usable
+// while the transaction holds the lock.
+func (tx *Tx) TopologicalTableOrder() ([]string, error) {
+	return tx.db.topologicalLocked()
+}
+
+// TableNames lists tables in creation order.
+func (tx *Tx) TableNames() []string {
+	out := make([]string, len(tx.db.order))
+	for i, key := range tx.db.order {
+		out[i] = tx.db.tables[key].schema.Name
+	}
+	return out
+}
+
+// Insert adds a row given as a column-name -> value map. Missing
+// columns receive their DEFAULT or NULL. All constraints are checked
+// immediately.
+func (tx *Tx) Insert(tableName string, vals map[string]Value) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	t, err := tx.db.getTable(tableName)
+	if err != nil {
+		return err
+	}
+	s := t.schema
+	row := make([]Value, len(s.Columns))
+	seen := make(map[int]bool, len(vals))
+	for name, v := range vals {
+		ci := s.ColumnIndex(name)
+		if ci < 0 {
+			return &TableError{Table: s.Name, Column: name}
+		}
+		row[ci] = v
+		seen[ci] = true
+	}
+	for i := range s.Columns {
+		if !seen[i] && s.Columns[i].Default != nil {
+			row[i] = *s.Columns[i].Default
+		}
+	}
+	// AUTO_INCREMENT: assign max+1 to a NULL integer primary key.
+	if len(t.pkCols) == 1 {
+		pi := t.pkCols[0]
+		if row[pi].IsNull() && s.Columns[pi].AutoIncrement && s.Columns[pi].Type == TInt {
+			row[pi] = Int(t.nextAuto)
+		}
+	}
+	if err := tx.validateRow(t, row, -1); err != nil {
+		return err
+	}
+	for i := range row {
+		row[i] = coerce(row[i], &s.Columns[i])
+	}
+	id := t.insert(row)
+	tx.undo = append(tx.undo, undoEntry{table: t, kind: undoInsert, id: id})
+	return nil
+}
+
+// UpdateByID modifies the identified row with the given column
+// assignments.
+func (tx *Tx) UpdateByID(tableName string, id int64, set map[string]Value) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	t, err := tx.db.getTable(tableName)
+	if err != nil {
+		return err
+	}
+	s := t.schema
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("rdb: table %q has no row with internal id %d", s.Name, id)
+	}
+	row := make([]Value, len(old))
+	copy(row, old)
+	pkChanged := false
+	for name, v := range set {
+		ci := s.ColumnIndex(name)
+		if ci < 0 {
+			return &TableError{Table: s.Name, Column: name}
+		}
+		row[ci] = v
+		if s.IsPrimaryKey(name) {
+			pkChanged = true
+		}
+	}
+	if err := tx.validateRow(t, row, id); err != nil {
+		return err
+	}
+	if pkChanged {
+		// Changing a referenced key is restricted, like ON UPDATE
+		// RESTRICT in SQL.
+		if err := tx.checkRestrict(t, old, "update"); err != nil {
+			return err
+		}
+	}
+	for i := range row {
+		row[i] = coerce(row[i], &s.Columns[i])
+	}
+	oldCopy := make([]Value, len(old))
+	copy(oldCopy, old)
+	t.update(id, row)
+	tx.undo = append(tx.undo, undoEntry{table: t, kind: undoUpdate, id: id, oldRow: oldCopy})
+	return nil
+}
+
+// DeleteByID removes the identified row, enforcing RESTRICT against
+// incoming foreign keys.
+func (tx *Tx) DeleteByID(tableName string, id int64) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	t, err := tx.db.getTable(tableName)
+	if err != nil {
+		return err
+	}
+	row, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("rdb: table %q has no row with internal id %d", t.schema.Name, id)
+	}
+	if err := tx.checkRestrict(t, row, "delete"); err != nil {
+		return err
+	}
+	oldCopy := make([]Value, len(row))
+	copy(oldCopy, row)
+	t.remove(id)
+	tx.undo = append(tx.undo, undoEntry{table: t, kind: undoDelete, id: id, oldRow: oldCopy})
+	return nil
+}
+
+// Scan visits all rows of a table in insertion order.
+func (tx *Tx) Scan(tableName string, fn func(id int64, row []Value) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	t, err := tx.db.getTable(tableName)
+	if err != nil {
+		return err
+	}
+	t.scan(fn)
+	return nil
+}
+
+// LookupPK returns the internal row id and row for the given primary
+// key values.
+func (tx *Tx) LookupPK(tableName string, pkVals []Value) (int64, []Value, bool, error) {
+	if err := tx.check(); err != nil {
+		return 0, nil, false, err
+	}
+	t, err := tx.db.getTable(tableName)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if len(pkVals) != len(t.pkCols) {
+		return 0, nil, false, fmt.Errorf("rdb: table %q has a %d-column primary key, got %d values",
+			t.schema.Name, len(t.pkCols), len(pkVals))
+	}
+	id, ok := t.lookupPK(pkVals)
+	if !ok {
+		return 0, nil, false, nil
+	}
+	return id, t.rows[id], true, nil
+}
+
+// validateRow checks type, NOT NULL, PRIMARY KEY, UNIQUE and FOREIGN
+// KEY constraints for a candidate row. selfID identifies the row
+// being updated (so it does not collide with itself); -1 for inserts.
+func (tx *Tx) validateRow(t *table, row []Value, selfID int64) error {
+	s := t.schema
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		v := row[i]
+		if v.IsNull() {
+			if c.NotNull || s.IsPrimaryKey(c.Name) {
+				return &ConstraintError{Kind: ViolationNotNull, Table: s.Name, Column: c.Name,
+					Detail: "column requires a value"}
+			}
+			continue
+		}
+		if err := checkType(v, c); err != nil {
+			return &ConstraintError{Kind: ViolationType, Table: s.Name, Column: c.Name, Value: v,
+				Detail: err.Error()}
+		}
+	}
+	// PRIMARY KEY uniqueness.
+	key := t.pkKey(row)
+	if id, exists := t.pk[key]; exists && id != selfID {
+		return &ConstraintError{Kind: ViolationPrimaryKey, Table: s.Name,
+			Column: strings.Join(s.PrimaryKey, ","), Value: row[t.pkCols[0]],
+			Detail: "duplicate primary key"}
+	}
+	// UNIQUE columns (NULLs exempt, as in SQL).
+	for i := range s.Columns {
+		if !s.Columns[i].Unique || row[i].IsNull() {
+			continue
+		}
+		if set, ok := t.matchSecondary(i, row[i]); ok {
+			for id := range set {
+				if id != selfID {
+					return &ConstraintError{Kind: ViolationUnique, Table: s.Name,
+						Column: s.Columns[i].Name, Value: row[i], Detail: "duplicate value"}
+				}
+			}
+		}
+	}
+	// FOREIGN KEYs: immediate existence check against the referenced
+	// table's primary key.
+	for _, fk := range s.ForeignKeys {
+		ci := s.ColumnIndex(fk.Column)
+		v := row[ci]
+		if v.IsNull() {
+			continue
+		}
+		ref, err := tx.db.getTable(fk.RefTable)
+		if err != nil {
+			return fmt.Errorf("rdb: foreign key %s.%s references missing table %q",
+				s.Name, fk.Column, fk.RefTable)
+		}
+		if len(ref.pkCols) != 1 {
+			return fmt.Errorf("rdb: foreign key %s.%s references table %q with a composite primary key",
+				s.Name, fk.Column, fk.RefTable)
+		}
+		if _, ok := ref.lookupPK([]Value{coerce(v, &ref.schema.Columns[ref.pkCols[0]])}); !ok {
+			return &ConstraintError{Kind: ViolationForeignKey, Table: s.Name, Column: fk.Column,
+				Value: v, RefTable: ref.schema.Name,
+				Detail: "referenced row does not exist"}
+		}
+	}
+	return nil
+}
+
+// checkRestrict fails when other rows reference the given row's
+// primary key (ON DELETE/UPDATE RESTRICT).
+func (tx *Tx) checkRestrict(t *table, row []Value, action string) error {
+	if len(t.pkCols) != 1 {
+		return nil // composite keys cannot be FK targets here
+	}
+	pkVal := row[t.pkCols[0]]
+	for _, back := range tx.db.referencedBy[strings.ToLower(t.schema.Name)] {
+		refTable, err := tx.db.getTable(back.table)
+		if err != nil {
+			continue
+		}
+		ci := refTable.schema.ColumnIndex(back.column)
+		if set, ok := refTable.matchSecondary(ci, pkVal); ok && len(set) > 0 {
+			return &ConstraintError{Kind: ViolationRestrict, Table: t.schema.Name,
+				Column: t.schema.PrimaryKey[0], Value: pkVal, RefTable: refTable.schema.Name,
+				Detail: fmt.Sprintf("cannot %s row still referenced by %s.%s",
+					action, refTable.schema.Name, back.column)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Triple is an RDF triple. Like Term it is a comparable value type.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple builds a triple from its three components.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple in N-Triples syntax (without final newline).
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}
+
+// CompareTriples orders triples by subject, predicate, object.
+func CompareTriples(a, b Triple) int {
+	if c := CompareTerms(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := CompareTerms(a.P, b.P); c != 0 {
+		return c
+	}
+	return CompareTerms(a.O, b.O)
+}
+
+// Graph is a set of triples. The zero value is not usable; create
+// graphs with NewGraph. Iteration order via Triples is deterministic
+// (sorted), insertion is O(1) amortized.
+type Graph struct {
+	set map[Triple]struct{}
+}
+
+// NewGraph returns an empty graph, optionally seeded with triples.
+func NewGraph(triples ...Triple) *Graph {
+	g := &Graph{set: make(map[Triple]struct{}, len(triples))}
+	for _, t := range triples {
+		g.set[t] = struct{}{}
+	}
+	return g
+}
+
+// Add inserts a triple; duplicates are ignored (set semantics). It
+// reports whether the triple was newly added.
+func (g *Graph) Add(t Triple) bool {
+	if _, ok := g.set[t]; ok {
+		return false
+	}
+	g.set[t] = struct{}{}
+	return true
+}
+
+// AddAll inserts all triples from another graph.
+func (g *Graph) AddAll(other *Graph) {
+	for t := range other.set {
+		g.set[t] = struct{}{}
+	}
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	if _, ok := g.set[t]; !ok {
+		return false
+	}
+	delete(g.set, t)
+	return true
+}
+
+// Contains reports whether the triple is in the graph.
+func (g *Graph) Contains(t Triple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
+// Len returns the number of triples.
+func (g *Graph) Len() int { return len(g.set) }
+
+// Triples returns all triples in canonical (sorted) order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, len(g.set))
+	for t := range g.set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return CompareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+// Each calls fn for every triple in unspecified order, stopping early
+// if fn returns false.
+func (g *Graph) Each(fn func(Triple) bool) {
+	for t := range g.set {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{set: make(map[Triple]struct{}, len(g.set))}
+	for t := range g.set {
+		c.set[t] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether both graphs contain exactly the same triples.
+// Blank node isomorphism is not considered; OntoAccess graphs are
+// ground (mappings use IRIs and literals), so set equality suffices.
+func (g *Graph) Equal(other *Graph) bool {
+	if g.Len() != other.Len() {
+		return false
+	}
+	for t := range g.set {
+		if !other.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the triples present in g but not in other, sorted.
+func (g *Graph) Diff(other *Graph) []Triple {
+	var out []Triple
+	for t := range g.set {
+		if !other.Contains(t) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return CompareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+// String renders the whole graph in N-Triples, sorted, one per line.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, t := range g.Triples() {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

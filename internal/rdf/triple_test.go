@@ -1,0 +1,155 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tr(s, p, o string) Triple {
+	return NewTriple(IRI(s), IRI(p), Literal(o))
+}
+
+func TestGraphSetSemantics(t *testing.T) {
+	g := NewGraph()
+	a := tr("s", "p", "o")
+	if !g.Add(a) {
+		t.Fatal("first Add must report true")
+	}
+	if g.Add(a) {
+		t.Fatal("duplicate Add must report false")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	if !g.Contains(a) {
+		t.Fatal("Contains must find added triple")
+	}
+	if !g.Remove(a) || g.Remove(a) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if g.Len() != 0 {
+		t.Fatal("graph not empty after remove")
+	}
+}
+
+func TestGraphTriplesSorted(t *testing.T) {
+	g := NewGraph(tr("b", "p", "1"), tr("a", "p", "2"), tr("a", "p", "1"))
+	ts := g.Triples()
+	if len(ts) != 3 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	if !sort.SliceIsSorted(ts, func(i, j int) bool { return CompareTriples(ts[i], ts[j]) < 0 }) {
+		t.Error("Triples() not sorted")
+	}
+	if ts[0] != tr("a", "p", "1") {
+		t.Errorf("first triple = %v", ts[0])
+	}
+}
+
+func TestGraphCloneEqualDiff(t *testing.T) {
+	g := NewGraph(tr("a", "p", "1"), tr("b", "p", "2"))
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone must equal original")
+	}
+	c.Add(tr("c", "p", "3"))
+	if g.Equal(c) {
+		t.Fatal("graphs of different size must differ")
+	}
+	d := c.Diff(g)
+	if len(d) != 1 || d[0] != tr("c", "p", "3") {
+		t.Fatalf("Diff = %v", d)
+	}
+	if len(g.Diff(c)) != 0 {
+		t.Fatal("g has nothing c lacks")
+	}
+	// Same size, different content.
+	e := NewGraph(tr("a", "p", "1"), tr("x", "p", "9"))
+	if g.Equal(e) {
+		t.Fatal("same-size different graphs must differ")
+	}
+}
+
+func TestGraphAddAllAndEach(t *testing.T) {
+	g := NewGraph(tr("a", "p", "1"))
+	h := NewGraph(tr("a", "p", "1"), tr("b", "p", "2"))
+	g.AddAll(h)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	n := 0
+	g.Each(func(Triple) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("Each visited %d", n)
+	}
+	n = 0
+	g.Each(func(Triple) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Each with early stop visited %d", n)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := NewGraph(NewTriple(IRI("http://e/s"), IRI("http://e/p"), IRI("http://e/o")))
+	want := "<http://e/s> <http://e/p> <http://e/o> .\n"
+	if got := g.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if !strings.HasSuffix(tr("s", "p", "o").String(), " .") {
+		t.Error("triple String must end with ' .'")
+	}
+}
+
+func TestCompareTriplesConsistent(t *testing.T) {
+	f := func(s1, p1, o1, s2, p2, o2 string) bool {
+		a, b := tr(s1, p1, o1), tr(s2, p2, o2)
+		c1, c2 := CompareTriples(a, b), CompareTriples(b, a)
+		if (c1 == 0) != (a == b) {
+			return false
+		}
+		return sign(c1) == -sign(c2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphAddRemoveProperty(t *testing.T) {
+	// Property: after adding a set of triples and removing a subset,
+	// the graph contains exactly the set difference.
+	f := func(keys []uint8, removeMask []bool) bool {
+		g := NewGraph()
+		want := map[Triple]bool{}
+		for i, k := range keys {
+			trp := tr("s", "p", string(rune('a'+k%26)))
+			g.Add(trp)
+			want[trp] = true
+			if i < len(removeMask) && removeMask[i] {
+				g.Remove(trp)
+				delete(want, trp)
+			}
+		}
+		if g.Len() != len(want) {
+			return false
+		}
+		for trp := range want {
+			if !g.Contains(trp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGraphAdd(b *testing.B) {
+	b.ReportAllocs()
+	g := NewGraph()
+	for i := 0; i < b.N; i++ {
+		g.Add(NewTriple(IRI("s"), IRI("p"), IntegerLiteral(int64(i))))
+	}
+}

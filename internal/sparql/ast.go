@@ -1,0 +1,232 @@
+package sparql
+
+import (
+	"sort"
+	"strings"
+
+	"ontoaccess/internal/rdf"
+)
+
+// QueryForm distinguishes the supported query forms.
+type QueryForm int
+
+// Supported query forms.
+const (
+	FormSelect QueryForm = iota
+	FormAsk
+	FormConstruct
+)
+
+func (f QueryForm) String() string {
+	switch f {
+	case FormSelect:
+		return "SELECT"
+	case FormAsk:
+		return "ASK"
+	case FormConstruct:
+		return "CONSTRUCT"
+	}
+	return "?"
+}
+
+// PatternTerm is one position of a triple pattern: either a variable
+// or a concrete RDF term.
+type PatternTerm struct {
+	// Var is the variable name (without sigil) when IsVar is set.
+	Var   string
+	IsVar bool
+	// Term is the concrete term when IsVar is unset.
+	Term rdf.Term
+}
+
+// VarTerm returns a variable pattern term.
+func VarTerm(name string) PatternTerm { return PatternTerm{Var: name, IsVar: true} }
+
+// ConstTerm returns a concrete pattern term.
+func ConstTerm(t rdf.Term) PatternTerm { return PatternTerm{Term: t} }
+
+// String renders the pattern term in SPARQL syntax.
+func (pt PatternTerm) String() string {
+	if pt.IsVar {
+		return "?" + pt.Var
+	}
+	return pt.Term.String()
+}
+
+// Resolve substitutes a binding into the term: variables bound in b
+// are replaced by their value; unbound variables yield ok=false.
+func (pt PatternTerm) Resolve(b Binding) (rdf.Term, bool) {
+	if !pt.IsVar {
+		return pt.Term, true
+	}
+	t, ok := b[pt.Var]
+	return t, ok
+}
+
+// TriplePattern is a triple with variables allowed in any position.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+// String renders the pattern in SPARQL syntax.
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String() + " ."
+}
+
+// Vars returns the variable names used in the pattern.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar {
+			out = append(out, pt.Var)
+		}
+	}
+	return out
+}
+
+// IsGround reports whether the pattern contains no variables.
+func (tp TriplePattern) IsGround() bool {
+	return !tp.S.IsVar && !tp.P.IsVar && !tp.O.IsVar
+}
+
+// AsTriple converts a ground pattern to a concrete triple.
+func (tp TriplePattern) AsTriple() (rdf.Triple, bool) {
+	if !tp.IsGround() {
+		return rdf.Triple{}, false
+	}
+	return rdf.Triple{S: tp.S.Term, P: tp.P.Term, O: tp.O.Term}, true
+}
+
+// Instantiate substitutes the binding into the pattern, producing a
+// ground triple. It fails if any variable is unbound.
+func (tp TriplePattern) Instantiate(b Binding) (rdf.Triple, bool) {
+	s, ok := tp.S.Resolve(b)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	p, ok := tp.P.Resolve(b)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	o, ok := tp.O.Resolve(b)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	return rdf.Triple{S: s, P: p, O: o}, true
+}
+
+// GroupPattern is a SPARQL group graph pattern: a sequence of triple
+// patterns, FILTER constraints, OPTIONAL sub-groups, and UNION
+// alternatives, evaluated in order.
+type GroupPattern struct {
+	Triples   []TriplePattern
+	Filters   []Expr
+	Optionals []*GroupPattern
+	// Unions holds UNION alternative lists: each element is the list
+	// of branches of one "{A} UNION {B} UNION {C}" construct.
+	Unions [][]*GroupPattern
+}
+
+// Vars returns the sorted set of variables appearing anywhere in the
+// group (including sub-groups).
+func (g *GroupPattern) Vars() []string {
+	set := map[string]bool{}
+	g.collectVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *GroupPattern) collectVars(set map[string]bool) {
+	for _, tp := range g.Triples {
+		for _, v := range tp.Vars() {
+			set[v] = true
+		}
+	}
+	for _, o := range g.Optionals {
+		o.collectVars(set)
+	}
+	for _, alts := range g.Unions {
+		for _, a := range alts {
+			a.collectVars(set)
+		}
+	}
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form     QueryForm
+	Prefixes *rdf.PrefixMap
+	// Select projection. Star means "SELECT *".
+	Vars     []string
+	Star     bool
+	Distinct bool
+	// Construct template (FormConstruct only).
+	Template []TriplePattern
+	Where    *GroupPattern
+	OrderBy  []OrderKey
+	// Limit and Offset; negative means unset.
+	Limit  int
+	Offset int
+}
+
+// Binding maps variable names to RDF terms. A missing key means the
+// variable is unbound in this solution.
+type Binding map[string]rdf.Term
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders the binding deterministically, for tests and logs.
+func (b Binding) String() string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("?" + k + "=" + b[k].String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Compatible reports whether two bindings agree on every shared
+// variable (the SPARQL join condition).
+func (b Binding) Compatible(other Binding) bool {
+	for k, v := range b {
+		if ov, ok := other[k]; ok && ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the union of two compatible bindings.
+func (b Binding) Merge(other Binding) Binding {
+	m := b.Clone()
+	for k, v := range other {
+		m[k] = v
+	}
+	return m
+}

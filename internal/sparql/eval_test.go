@@ -1,0 +1,338 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/triplestore"
+)
+
+// paperStore builds a store holding the RDF view of the paper's
+// publication use case (Figure 1 data mapped per Table 1).
+func paperStore() *triplestore.Store {
+	const foaf = "http://xmlns.com/foaf/0.1/"
+	const ont = "http://example.org/ontology#"
+	const dc = "http://purl.org/dc/elements/1.1/"
+	const ex = "http://example.org/db/"
+	s := triplestore.New()
+	add := func(sub, p string, o rdf.Term) {
+		s.Add(rdf.NewTriple(rdf.IRI(sub), rdf.IRI(p), o))
+	}
+	add(ex+"author6", rdf.RDFType, rdf.IRI(foaf+"Person"))
+	add(ex+"author6", foaf+"title", rdf.Literal("Mr"))
+	add(ex+"author6", foaf+"firstName", rdf.Literal("Matthias"))
+	add(ex+"author6", foaf+"family_name", rdf.Literal("Hert"))
+	add(ex+"author6", foaf+"mbox", rdf.IRI("mailto:hert@ifi.uzh.ch"))
+	add(ex+"author6", ont+"team", rdf.IRI(ex+"team5"))
+	add(ex+"author7", rdf.RDFType, rdf.IRI(foaf+"Person"))
+	add(ex+"author7", foaf+"firstName", rdf.Literal("Gerald"))
+	add(ex+"author7", foaf+"family_name", rdf.Literal("Reif"))
+	add(ex+"author7", foaf+"mbox", rdf.IRI("mailto:reif@ifi.uzh.ch"))
+	add(ex+"team5", rdf.RDFType, rdf.IRI(foaf+"Group"))
+	add(ex+"team5", foaf+"name", rdf.Literal("Software Engineering"))
+	add(ex+"team5", ont+"teamCode", rdf.Literal("SEAL"))
+	add(ex+"pub12", rdf.RDFType, rdf.IRI(foaf+"Document"))
+	add(ex+"pub12", dc+"title", rdf.Literal("Relational..."))
+	add(ex+"pub12", ont+"pubYear", rdf.IntegerLiteral(2009))
+	add(ex+"pub12", dc+"creator", rdf.IRI(ex+"author6"))
+	add(ex+"pub13", rdf.RDFType, rdf.IRI(foaf+"Document"))
+	add(ex+"pub13", dc+"title", rdf.Literal("OntoAccess"))
+	add(ex+"pub13", ont+"pubYear", rdf.IntegerLiteral(2010))
+	add(ex+"pub13", dc+"creator", rdf.IRI(ex+"author6"))
+	add(ex+"pub13", dc+"creator", rdf.IRI(ex+"author7"))
+	return s
+}
+
+const prologue = `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ont: <http://example.org/ontology#>
+PREFIX dc: <http://purl.org/dc/elements/1.1/>
+PREFIX ex: <http://example.org/db/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+`
+
+func mustEval(t *testing.T, store *triplestore.Store, src string) Solutions {
+	t.Helper()
+	q, err := ParseQuery(prologue + src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sols, err := Eval(store, q)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return sols
+}
+
+func TestEvalPaperModifyWhere(t *testing.T) {
+	// The WHERE clause of the paper's Listing 11.
+	sols := mustEval(t, paperStore(), `
+SELECT ?x ?mbox WHERE {
+  ?x rdf:type foaf:Person ;
+     foaf:firstName "Matthias" ;
+     foaf:family_name "Hert" ;
+     foaf:mbox ?mbox .
+}`)
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %d, want 1: %v", len(sols), sols)
+	}
+	if sols[0]["x"] != rdf.IRI("http://example.org/db/author6") {
+		t.Errorf("?x = %v", sols[0]["x"])
+	}
+	if sols[0]["mbox"] != rdf.IRI("mailto:hert@ifi.uzh.ch") {
+		t.Errorf("?mbox = %v", sols[0]["mbox"])
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	sols := mustEval(t, paperStore(), `
+SELECT ?title ?last WHERE {
+  ?pub dc:creator ?a ;
+       dc:title ?title .
+  ?a foaf:family_name ?last .
+} ORDER BY ?title ?last`)
+	if len(sols) != 3 {
+		t.Fatalf("solutions = %d, want 3: %v", len(sols), sols)
+	}
+	if sols[0]["title"] != rdf.Literal("OntoAccess") || sols[0]["last"] != rdf.Literal("Hert") {
+		t.Errorf("row0 = %v", sols[0])
+	}
+	if sols[1]["last"] != rdf.Literal("Reif") {
+		t.Errorf("row1 = %v", sols[1])
+	}
+}
+
+func TestEvalFilterNumeric(t *testing.T) {
+	sols := mustEval(t, paperStore(), `
+SELECT ?pub WHERE { ?pub ont:pubYear ?y . FILTER (?y > 2009) }`)
+	if len(sols) != 1 || sols[0]["pub"] != rdf.IRI("http://example.org/db/pub13") {
+		t.Fatalf("solutions = %v", sols)
+	}
+}
+
+func TestEvalFilterRegexAndStr(t *testing.T) {
+	sols := mustEval(t, paperStore(), `
+SELECT ?p WHERE { ?p foaf:mbox ?m . FILTER REGEX(STR(?m), "^mailto:reif") }`)
+	if len(sols) != 1 || sols[0]["p"] != rdf.IRI("http://example.org/db/author7") {
+		t.Fatalf("solutions = %v", sols)
+	}
+}
+
+func TestEvalOptional(t *testing.T) {
+	sols := mustEval(t, paperStore(), `
+SELECT ?p ?title WHERE {
+  ?p a foaf:Person .
+  OPTIONAL { ?p foaf:title ?title . }
+} ORDER BY ?p`)
+	if len(sols) != 2 {
+		t.Fatalf("solutions = %d: %v", len(sols), sols)
+	}
+	if sols[0]["title"] != rdf.Literal("Mr") {
+		t.Errorf("author6 title = %v", sols[0]["title"])
+	}
+	if _, bound := sols[1]["title"]; bound {
+		t.Errorf("author7 title should be unbound: %v", sols[1])
+	}
+}
+
+func TestEvalOptionalWithBoundFilter(t *testing.T) {
+	sols := mustEval(t, paperStore(), `
+SELECT ?p WHERE {
+  ?p a foaf:Person .
+  OPTIONAL { ?p foaf:title ?t . }
+  FILTER (!BOUND(?t))
+}`)
+	if len(sols) != 1 || sols[0]["p"] != rdf.IRI("http://example.org/db/author7") {
+		t.Fatalf("solutions = %v", sols)
+	}
+}
+
+func TestEvalUnion(t *testing.T) {
+	sols := mustEval(t, paperStore(), `
+SELECT ?name WHERE {
+  { ?x foaf:name ?name . } UNION { ?x foaf:family_name ?name . }
+} ORDER BY ?name`)
+	if len(sols) != 3 {
+		t.Fatalf("solutions = %d: %v", len(sols), sols)
+	}
+	want := []string{"Hert", "Reif", "Software Engineering"}
+	for i, w := range want {
+		if sols[i]["name"] != rdf.Literal(w) {
+			t.Errorf("row %d = %v, want %q", i, sols[i]["name"], w)
+		}
+	}
+}
+
+func TestEvalDistinctLimitOffset(t *testing.T) {
+	sols := mustEval(t, paperStore(), `
+SELECT DISTINCT ?a WHERE { ?pub dc:creator ?a . } ORDER BY ?a`)
+	if len(sols) != 2 {
+		t.Fatalf("distinct creators = %d: %v", len(sols), sols)
+	}
+	sols = mustEval(t, paperStore(), `
+SELECT DISTINCT ?a WHERE { ?pub dc:creator ?a . } ORDER BY ?a LIMIT 1 OFFSET 1`)
+	if len(sols) != 1 || sols[0]["a"] != rdf.IRI("http://example.org/db/author7") {
+		t.Fatalf("paged = %v", sols)
+	}
+	// Offset beyond result size.
+	sols = mustEval(t, paperStore(), `
+SELECT ?a WHERE { ?pub dc:creator ?a . } OFFSET 99`)
+	if len(sols) != 0 {
+		t.Fatalf("offset overflow = %v", sols)
+	}
+}
+
+func TestEvalOrderByDesc(t *testing.T) {
+	sols := mustEval(t, paperStore(), `
+SELECT ?y WHERE { ?pub ont:pubYear ?y . } ORDER BY DESC(?y)`)
+	if len(sols) != 2 {
+		t.Fatal("want 2")
+	}
+	if v, _ := sols[0]["y"].AsInt(); v != 2010 {
+		t.Errorf("first = %v", sols[0]["y"])
+	}
+}
+
+func TestEvalRepeatedVariable(t *testing.T) {
+	s := triplestore.New()
+	s.Add(rdf.NewTriple(rdf.IRI("http://e/a"), rdf.IRI("http://e/knows"), rdf.IRI("http://e/a")))
+	s.Add(rdf.NewTriple(rdf.IRI("http://e/a"), rdf.IRI("http://e/knows"), rdf.IRI("http://e/b")))
+	sols := mustEval(t, s, `SELECT ?x WHERE { ?x <http://e/knows> ?x . }`)
+	if len(sols) != 1 || sols[0]["x"] != rdf.IRI("http://e/a") {
+		t.Fatalf("self-knows = %v", sols)
+	}
+}
+
+func TestEvalAsk(t *testing.T) {
+	q, err := ParseQuery(prologue + `ASK { ex:author6 foaf:family_name "Hert" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := EvalAsk(paperStore(), q)
+	if err != nil || !ok {
+		t.Fatalf("ASK = %v, %v", ok, err)
+	}
+	q, _ = ParseQuery(prologue + `ASK { ex:author6 foaf:family_name "Nobody" . }`)
+	ok, _ = EvalAsk(paperStore(), q)
+	if ok {
+		t.Error("ASK should be false")
+	}
+}
+
+func TestEvalConstruct(t *testing.T) {
+	q, err := ParseQuery(prologue + `
+CONSTRUCT { ?a <http://e/wrote> ?pub . } WHERE { ?pub dc:creator ?a . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := EvalConstruct(paperStore(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("constructed %d triples:\n%s", g.Len(), g)
+	}
+	if !g.Contains(rdf.NewTriple(
+		rdf.IRI("http://example.org/db/author7"),
+		rdf.IRI("http://e/wrote"),
+		rdf.IRI("http://example.org/db/pub13"))) {
+		t.Error("expected triple missing")
+	}
+}
+
+func TestEvalConstructOnSelectFails(t *testing.T) {
+	q, _ := ParseQuery(`SELECT * WHERE { ?s ?p ?o . }`)
+	if _, err := EvalConstruct(paperStore(), q); err == nil {
+		t.Error("EvalConstruct must reject SELECT queries")
+	}
+}
+
+func TestEvalEmptyPatternNoMatches(t *testing.T) {
+	sols := mustEval(t, paperStore(), `SELECT ?x WHERE { ?x foaf:mbox <mailto:nobody@e> . }`)
+	if len(sols) != 0 {
+		t.Fatalf("want empty, got %v", sols)
+	}
+}
+
+func TestEvalCartesianProduct(t *testing.T) {
+	sols := mustEval(t, paperStore(), `
+SELECT ?a ?t WHERE { ?a a foaf:Person . ?t a foaf:Group . }`)
+	if len(sols) != 2 { // 2 persons x 1 group
+		t.Fatalf("product size = %d", len(sols))
+	}
+}
+
+func TestEvalFilterTypeErrorIsFalse(t *testing.T) {
+	// Comparing an IRI with < is a type error: row dropped, not panic.
+	sols := mustEval(t, paperStore(), `
+SELECT ?x WHERE { ?x foaf:mbox ?m . FILTER (?m < 5) }`)
+	if len(sols) != 0 {
+		t.Fatalf("type-error filter must drop rows: %v", sols)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	sols := Solutions{
+		{"x": rdf.Literal("a")},
+		{"x": rdf.Literal("bb"), "y": rdf.IntegerLiteral(5)},
+	}
+	out := FormatTable([]string{"x", "y"}, sols)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "?x") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestBindingHelpers(t *testing.T) {
+	b := Binding{"x": rdf.Literal("1")}
+	c := b.Clone()
+	c["y"] = rdf.Literal("2")
+	if _, ok := b["y"]; ok {
+		t.Error("Clone must not alias")
+	}
+	if !b.Compatible(Binding{"x": rdf.Literal("1"), "z": rdf.Literal("3")}) {
+		t.Error("Compatible shared-var match failed")
+	}
+	if b.Compatible(Binding{"x": rdf.Literal("other")}) {
+		t.Error("Compatible must fail on conflicting value")
+	}
+	m := b.Merge(Binding{"z": rdf.Literal("3")})
+	if len(m) != 2 {
+		t.Error("Merge failed")
+	}
+	if got := b.String(); got != `{?x="1"}` {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func BenchmarkEvalBGPJoin(b *testing.B) {
+	store := triplestore.New()
+	for i := 0; i < 1000; i++ {
+		pub := rdf.IRI(fmt.Sprintf("http://e/pub%d", i))
+		au := rdf.IRI(fmt.Sprintf("http://e/author%d", i%100))
+		store.Add(rdf.NewTriple(pub, rdf.IRI("http://purl.org/dc/elements/1.1/creator"), au))
+		store.Add(rdf.NewTriple(pub, rdf.IRI("http://example.org/ontology#pubYear"), rdf.IntegerLiteral(int64(2000+i%10))))
+		store.Add(rdf.NewTriple(au, rdf.IRI("http://xmlns.com/foaf/0.1/family_name"), rdf.Literal(fmt.Sprintf("Name%d", i%100))))
+	}
+	q, err := ParseQuery(prologue + `
+SELECT ?pub ?last WHERE {
+  ?pub dc:creator ?a ; ont:pubYear ?y .
+  ?a foaf:family_name ?last .
+  FILTER (?y >= 2005)
+}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(store, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

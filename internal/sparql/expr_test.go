@@ -1,0 +1,233 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/rdf"
+)
+
+// evalExprSrc parses and evaluates a standalone expression against a
+// binding.
+func evalExprSrc(t *testing.T, src string, b Binding) (rdf.Term, error) {
+	t.Helper()
+	p, err := NewParser(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	e, err := p.ParseExpr()
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e.Eval(b)
+}
+
+func wantBool(t *testing.T, src string, b Binding, want bool) {
+	t.Helper()
+	v, err := evalExprSrc(t, src, b)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	got, err := EffectiveBool(v)
+	if err != nil {
+		t.Fatalf("ebv %q: %v", src, err)
+	}
+	if got != want {
+		t.Errorf("%q = %v, want %v (binding %v)", src, got, want, b)
+	}
+}
+
+func wantTypeError(t *testing.T, src string, b Binding) {
+	t.Helper()
+	v, err := evalExprSrc(t, src, b)
+	if err != nil {
+		return // eval-level type error
+	}
+	if _, err := EffectiveBool(v); err == nil {
+		t.Errorf("%q = %v, want type error", src, v)
+	}
+}
+
+func TestComparisonSemantics(t *testing.T) {
+	b := Binding{
+		"i": rdf.IntegerLiteral(5),
+		"d": rdf.TypedLiteral("5.0", rdf.XSDDecimal),
+		"s": rdf.Literal("abc"),
+		"u": rdf.IRI("http://e/x"),
+		"t": rdf.BooleanLiteral(true),
+		"f": rdf.BooleanLiteral(false),
+	}
+	wantBool(t, `?i = 5`, b, true)
+	wantBool(t, `?i = ?d`, b, true) // numeric promotion
+	wantBool(t, `?i != 6`, b, true)
+	wantBool(t, `?i < 6 && ?i > 4 && ?i <= 5 && ?i >= 5`, b, true)
+	wantBool(t, `?s = "abc"`, b, true)
+	wantBool(t, `?s < "abd"`, b, true)
+	wantBool(t, `?u = <http://e/x>`, b, true)
+	wantBool(t, `?u != <http://e/y>`, b, true)
+	wantBool(t, `?t = true && ?f = false`, b, true)
+	wantBool(t, `?f < ?t`, b, true) // false < true
+	// Ordering IRIs is a type error.
+	wantTypeError(t, `?u < <http://e/y>`, b)
+	// Ordering string vs number is a type error.
+	wantTypeError(t, `?s < 5`, b)
+}
+
+func TestArithmetic(t *testing.T) {
+	b := Binding{"x": rdf.IntegerLiteral(7), "y": rdf.IntegerLiteral(2)}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{`?x + ?y`, 9},
+		{`?x - ?y`, 5},
+		{`?x * ?y`, 14},
+		{`?x / ?y`, 3.5},
+		{`-?x + 10`, 3},
+		{`?x + ?y * 10`, 27},
+		{`(?x + ?y) * 10`, 90},
+	}
+	for _, tc := range cases {
+		v, err := evalExprSrc(t, tc.src, b)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		f, err := v.AsFloat()
+		if err != nil || f != tc.want {
+			t.Errorf("%q = %v, want %v", tc.src, v, tc.want)
+		}
+	}
+	// Integer-preserving ops.
+	v, _ := evalExprSrc(t, `?x + ?y`, b)
+	if v.Datatype != rdf.XSDInteger {
+		t.Errorf("int + int datatype = %s", v.Datatype)
+	}
+	// Division by zero is a type error.
+	if _, err := evalExprSrc(t, `?x / 0`, b); err == nil {
+		t.Error("division by zero must error")
+	}
+}
+
+func TestLogicalErrorHandling(t *testing.T) {
+	// SPARQL: "unbound || true" is true; "unbound && false" is false;
+	// "unbound && true" is an error.
+	b := Binding{"ok": rdf.BooleanLiteral(true), "no": rdf.BooleanLiteral(false)}
+	wantBool(t, `BOUND(?missing) || ?ok`, b, true)
+	wantBool(t, `?ok || ?missing`, b, true)
+	wantBool(t, `?missing && ?no`, b, false)
+	wantBool(t, `!(?missing && ?no)`, b, true)
+	if _, err := evalExprSrc(t, `?missing && ?ok`, b); err == nil {
+		t.Error("error && true must stay an error")
+	}
+	if _, err := evalExprSrc(t, `?missing || ?no`, b); err == nil {
+		t.Error("error || false must stay an error")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	b := Binding{
+		"iri":  rdf.IRI("mailto:hert@ifi.uzh.ch"),
+		"lit":  rdf.Literal("Hert"),
+		"lang": rdf.LangLiteral("Zürich", "de-CH"),
+		"num":  rdf.IntegerLiteral(42),
+		"bn":   rdf.Blank("b1"),
+	}
+	wantBool(t, `BOUND(?lit)`, b, true)
+	wantBool(t, `!BOUND(?nope)`, b, true)
+	wantBool(t, `ISIRI(?iri) && ISURI(?iri)`, b, true)
+	wantBool(t, `ISLITERAL(?lit) && !ISLITERAL(?iri)`, b, true)
+	wantBool(t, `ISBLANK(?bn) && !ISBLANK(?lit)`, b, true)
+	wantBool(t, `STR(?iri) = "mailto:hert@ifi.uzh.ch"`, b, true)
+	wantBool(t, `STR(?num) = "42"`, b, true)
+	wantBool(t, `LANG(?lang) = "de-ch"`, b, true)
+	wantBool(t, `LANG(?lit) = ""`, b, true)
+	wantBool(t, `LANGMATCHES(LANG(?lang), "de")`, b, true)
+	wantBool(t, `LANGMATCHES(LANG(?lang), "*")`, b, true)
+	wantBool(t, `!LANGMATCHES(LANG(?lit), "*")`, b, true)
+	wantBool(t, `DATATYPE(?num) = <http://www.w3.org/2001/XMLSchema#integer>`, b, true)
+	wantBool(t, `DATATYPE(?lit) = <http://www.w3.org/2001/XMLSchema#string>`, b, true)
+	wantBool(t, `SAMETERM(?lit, "Hert")`, b, true)
+	wantBool(t, `!SAMETERM(?num, "42")`, b, true)
+	// STR of a blank node is an error.
+	if _, err := evalExprSrc(t, `STR(?bn)`, b); err == nil {
+		t.Error("STR(blank) must error")
+	}
+	// LANG/DATATYPE of non-literals are errors.
+	if _, err := evalExprSrc(t, `LANG(?iri)`, b); err == nil {
+		t.Error("LANG(iri) must error")
+	}
+	if _, err := evalExprSrc(t, `DATATYPE(?iri)`, b); err == nil {
+		t.Error("DATATYPE(iri) must error")
+	}
+}
+
+func TestRegex(t *testing.T) {
+	b := Binding{"m": rdf.Literal("mailto:hert@ifi.uzh.ch")}
+	wantBool(t, `REGEX(?m, "^mailto:")`, b, true)
+	wantBool(t, `REGEX(?m, "UZH", "i")`, b, true)
+	wantBool(t, `!REGEX(?m, "^http:")`, b, true)
+	if _, err := evalExprSrc(t, `REGEX(?m, "([")`, b); err == nil {
+		t.Error("invalid regex must error")
+	}
+}
+
+func TestEffectiveBool(t *testing.T) {
+	cases := []struct {
+		term    rdf.Term
+		want    bool
+		wantErr bool
+	}{
+		{rdf.BooleanLiteral(true), true, false},
+		{rdf.BooleanLiteral(false), false, false},
+		{rdf.Literal(""), false, false},
+		{rdf.Literal("x"), true, false},
+		{rdf.IntegerLiteral(0), false, false},
+		{rdf.IntegerLiteral(3), true, false},
+		{rdf.DoubleLiteral(0), false, false},
+		{rdf.LangLiteral("x", "en"), true, false},
+		{rdf.IRI("http://e/x"), false, true},
+		{rdf.Blank("b"), false, true},
+		{rdf.TypedLiteral("x", "http://unknown/dt"), false, true},
+	}
+	for _, tc := range cases {
+		got, err := EffectiveBool(tc.term)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("EBV(%s) err = %v, wantErr %v", tc.term, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("EBV(%s) = %v, want %v", tc.term, got, tc.want)
+		}
+	}
+}
+
+func TestExprStringRendering(t *testing.T) {
+	p, _ := NewParser(`!BOUND(?x) && REGEX(STR(?m), "a", "i") || -?n < 3`)
+	e, err := p.ParseExpr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.String()
+	for _, want := range []string{"!BOUND(?x)", "REGEX(STR(?m)", "-?n", "||", "&&"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %s missing %s", s, want)
+		}
+	}
+}
+
+func TestNegateNonNumeric(t *testing.T) {
+	b := Binding{"s": rdf.Literal("abc")}
+	if _, err := evalExprSrc(t, `-?s`, b); err == nil {
+		t.Error("negating a string must error")
+	}
+}
+
+func TestDateTimeComparison(t *testing.T) {
+	b := Binding{
+		"a": rdf.TypedLiteral("2009-06-01T10:00:00Z", rdf.XSDDateTime),
+		"b": rdf.TypedLiteral("2010-01-01T00:00:00Z", rdf.XSDDateTime),
+	}
+	wantBool(t, `?a < ?b`, b, true)
+	wantBool(t, `?b > ?a`, b, true)
+}

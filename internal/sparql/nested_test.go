@@ -1,0 +1,105 @@
+package sparql
+
+import (
+	"testing"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/triplestore"
+)
+
+func nestedStore() *triplestore.Store {
+	s := triplestore.New()
+	add := func(sub, p string, o rdf.Term) {
+		s.Add(rdf.NewTriple(rdf.IRI("http://e/"+sub), rdf.IRI("http://e/"+p), o))
+	}
+	add("a1", "kind", rdf.Literal("x"))
+	add("a1", "score", rdf.IntegerLiteral(10))
+	add("a2", "kind", rdf.Literal("x"))
+	add("a3", "kind", rdf.Literal("y"))
+	add("a3", "score", rdf.IntegerLiteral(30))
+	return s
+}
+
+func TestOptionalInsideUnion(t *testing.T) {
+	sols := mustEval(t, nestedStore(), `
+PREFIX e: <http://e/>
+SELECT ?s ?v WHERE {
+  { ?s e:kind "x" . OPTIONAL { ?s e:score ?v . } }
+  UNION
+  { ?s e:kind "y" . ?s e:score ?v . }
+} ORDER BY ?s`)
+	if len(sols) != 3 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	if v, ok := sols[0]["v"]; !ok || v != rdf.IntegerLiteral(10) {
+		t.Errorf("a1 score = %v", sols[0])
+	}
+	if _, ok := sols[1]["v"]; ok {
+		t.Errorf("a2 must have unbound score: %v", sols[1])
+	}
+	if sols[2]["s"] != rdf.IRI("http://e/a3") {
+		t.Errorf("a3 row = %v", sols[2])
+	}
+}
+
+func TestFilterInsideOptional(t *testing.T) {
+	sols := mustEval(t, nestedStore(), `
+PREFIX e: <http://e/>
+SELECT ?s ?v WHERE {
+  ?s e:kind ?k .
+  OPTIONAL { ?s e:score ?v . FILTER (?v > 20) }
+} ORDER BY ?s`)
+	if len(sols) != 3 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	// Only a3's score passes the inner filter; a1 keeps its row but
+	// loses the binding (left-join semantics).
+	if _, ok := sols[0]["v"]; ok {
+		t.Errorf("a1 score must be filtered out inside OPTIONAL: %v", sols[0])
+	}
+	if v, ok := sols[2]["v"]; !ok || v != rdf.IntegerLiteral(30) {
+		t.Errorf("a3 = %v", sols[2])
+	}
+}
+
+func TestUnionThreeBranches(t *testing.T) {
+	sols := mustEval(t, nestedStore(), `
+PREFIX e: <http://e/>
+SELECT ?s WHERE {
+  { ?s e:kind "x" . } UNION { ?s e:kind "y" . } UNION { ?s e:kind "z" . }
+}`)
+	if len(sols) != 3 {
+		t.Fatalf("solutions = %v", sols)
+	}
+}
+
+func TestNestedGroupActsAsConjunct(t *testing.T) {
+	// A lone nested group (no UNION) joins with the outer pattern.
+	sols := mustEval(t, nestedStore(), `
+PREFIX e: <http://e/>
+SELECT ?s WHERE {
+  ?s e:kind "x" .
+  { ?s e:score ?v . }
+}`)
+	if len(sols) != 1 || sols[0]["s"] != rdf.IRI("http://e/a1") {
+		t.Fatalf("solutions = %v", sols)
+	}
+}
+
+func TestOptionalChaining(t *testing.T) {
+	sols := mustEval(t, nestedStore(), `
+PREFIX e: <http://e/>
+SELECT ?s ?v ?k WHERE {
+  ?s e:kind ?k .
+  OPTIONAL { ?s e:score ?v . }
+  OPTIONAL { ?s e:missing ?m . }
+} ORDER BY ?s`)
+	if len(sols) != 3 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	for _, sol := range sols {
+		if _, ok := sol["m"]; ok {
+			t.Errorf("m must be unbound: %v", sol)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package sparql
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ontoaccess/internal/rdf"
+)
+
+// The W3C SPARQL 1.1 Query Results JSON Format
+// (application/sparql-results+json): SELECT results carry head.vars
+// and results.bindings; ASK results carry head and boolean.
+
+// jsonTerm is one RDF term in the results format.
+type jsonTerm struct {
+	Type     string `json:"type"` // "uri", "literal", "bnode"
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars"`
+}
+
+type jsonResults struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonSelect struct {
+	Head    jsonHead    `json:"head"`
+	Results jsonResults `json:"results"`
+}
+
+type jsonAsk struct {
+	Head    struct{} `json:"head"`
+	Boolean bool     `json:"boolean"`
+}
+
+func termToJSON(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.KindIRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.KindBlank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		jt := jsonTerm{Type: "literal", Value: t.Value}
+		if t.Lang != "" {
+			jt.Lang = t.Lang
+		} else if t.Datatype != "" && t.Datatype != rdf.XSDString {
+			jt.Datatype = t.Datatype
+		}
+		return jt
+	}
+}
+
+// ResultsJSON serializes SELECT solutions in the SPARQL results JSON
+// format. Unbound variables are omitted from their binding object,
+// per the specification.
+func ResultsJSON(vars []string, sols Solutions) ([]byte, error) {
+	doc := jsonSelect{Head: jsonHead{Vars: vars}}
+	if doc.Head.Vars == nil {
+		doc.Head.Vars = []string{}
+	}
+	doc.Results.Bindings = make([]map[string]jsonTerm, 0, len(sols))
+	for _, b := range sols {
+		row := make(map[string]jsonTerm, len(b))
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				row[v] = termToJSON(t)
+			}
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, row)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// AskJSON serializes an ASK result.
+func AskJSON(result bool) ([]byte, error) {
+	return json.MarshalIndent(jsonAsk{Boolean: result}, "", "  ")
+}
+
+// ParseResultsJSON reads a SPARQL results JSON document back into
+// solutions — used by HTTP clients of the endpoint and by round-trip
+// tests.
+func ParseResultsJSON(data []byte) ([]string, Solutions, error) {
+	var probe struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Boolean *bool            `json:"boolean"`
+		Results *json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, nil, fmt.Errorf("sparql: invalid results JSON: %w", err)
+	}
+	if probe.Boolean != nil {
+		return nil, nil, fmt.Errorf("sparql: document is an ASK result, not SELECT")
+	}
+	if probe.Results == nil {
+		return nil, nil, fmt.Errorf("sparql: results member missing")
+	}
+	var res jsonResults
+	if err := json.Unmarshal(*probe.Results, &res); err != nil {
+		return nil, nil, fmt.Errorf("sparql: invalid results member: %w", err)
+	}
+	var sols Solutions
+	for _, row := range res.Bindings {
+		b := make(Binding, len(row))
+		for v, jt := range row {
+			term, err := jsonToTerm(jt)
+			if err != nil {
+				return nil, nil, err
+			}
+			b[v] = term
+		}
+		sols = append(sols, b)
+	}
+	return probe.Head.Vars, sols, nil
+}
+
+// ParseAskJSON reads an ASK result document.
+func ParseAskJSON(data []byte) (bool, error) {
+	var doc struct {
+		Boolean *bool `json:"boolean"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return false, fmt.Errorf("sparql: invalid ASK JSON: %w", err)
+	}
+	if doc.Boolean == nil {
+		return false, fmt.Errorf("sparql: boolean member missing")
+	}
+	return *doc.Boolean, nil
+}
+
+func jsonToTerm(jt jsonTerm) (rdf.Term, error) {
+	switch jt.Type {
+	case "uri":
+		return rdf.IRI(jt.Value), nil
+	case "bnode":
+		return rdf.Blank(jt.Value), nil
+	case "literal", "typed-literal":
+		switch {
+		case jt.Lang != "":
+			return rdf.LangLiteral(jt.Value, jt.Lang), nil
+		case jt.Datatype != "":
+			return rdf.TypedLiteral(jt.Value, jt.Datatype), nil
+		default:
+			return rdf.Literal(jt.Value), nil
+		}
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: unknown term type %q", jt.Type)
+	}
+}
+
+// SortedVars returns the variables of a solution set in sorted order,
+// for SELECT * result heads.
+func SortedVars(sols Solutions) []string {
+	set := map[string]bool{}
+	for _, b := range sols {
+		for v := range b {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

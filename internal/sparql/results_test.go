@@ -1,0 +1,136 @@
+package sparql
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/rdf"
+)
+
+func sampleSolutions() ([]string, Solutions) {
+	vars := []string{"x", "name", "tag"}
+	sols := Solutions{
+		{
+			"x":    rdf.IRI("http://example.org/db/author6"),
+			"name": rdf.Literal("Hert"),
+			"tag":  rdf.LangLiteral("Zürich", "de"),
+		},
+		{
+			"x":    rdf.Blank("b0"),
+			"name": rdf.IntegerLiteral(42),
+			// tag unbound in this row
+		},
+	}
+	return vars, sols
+}
+
+func TestResultsJSONShape(t *testing.T) {
+	vars, sols := sampleSolutions()
+	data, err := ResultsJSON(vars, sols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"vars"`, `"bindings"`,
+		`"type": "uri"`, `"type": "literal"`, `"type": "bnode"`,
+		`"xml:lang": "de"`,
+		`"datatype": "http://www.w3.org/2001/XMLSchema#integer"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+	// Plain xsd:string literals must not carry a datatype member.
+	if strings.Contains(s, rdf.XSDString) {
+		t.Errorf("xsd:string must be omitted:\n%s", s)
+	}
+}
+
+func TestResultsJSONRoundTrip(t *testing.T) {
+	vars, sols := sampleSolutions()
+	data, err := ResultsJSON(vars, sols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVars, gotSols, err := ParseResultsJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotVars) != 3 || gotVars[0] != "x" {
+		t.Errorf("vars = %v", gotVars)
+	}
+	if len(gotSols) != 2 {
+		t.Fatalf("solutions = %d", len(gotSols))
+	}
+	for i := range sols {
+		for _, v := range vars {
+			want, wok := sols[i][v]
+			got, gok := gotSols[i][v]
+			if wok != gok || (wok && want != got) {
+				t.Errorf("row %d var %s: %v vs %v", i, v, want, got)
+			}
+		}
+	}
+}
+
+func TestAskJSONRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		data, err := AskJSON(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseAskJSON(data)
+		if err != nil || got != v {
+			t.Errorf("round trip %v -> %v, %v", v, got, err)
+		}
+	}
+}
+
+func TestParseResultsJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"head":{},"boolean":true}`, // ASK doc fed to SELECT parser
+		`{"head":{"vars":[]}}`,       // missing results
+		`{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"alien","value":"?"}}]}}`,
+	}
+	for _, src := range cases {
+		if _, _, err := ParseResultsJSON([]byte(src)); err == nil {
+			t.Errorf("ParseResultsJSON(%q) succeeded", src)
+		}
+	}
+	if _, err := ParseAskJSON([]byte(`{"head":{}}`)); err == nil {
+		t.Error("ASK without boolean accepted")
+	}
+	if _, err := ParseAskJSON([]byte(`nope`)); err == nil {
+		t.Error("junk ASK accepted")
+	}
+}
+
+func TestEmptyResults(t *testing.T) {
+	data, err := ResultsJSON(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"vars": []`) || !strings.Contains(s, `"bindings": []`) {
+		t.Errorf("empty doc:\n%s", s)
+	}
+	vars, sols, err := ParseResultsJSON(data)
+	if err != nil || len(vars) != 0 || len(sols) != 0 {
+		t.Errorf("round trip empty: %v %v %v", vars, sols, err)
+	}
+}
+
+func TestSortedVars(t *testing.T) {
+	_, sols := sampleSolutions()
+	vars := SortedVars(sols)
+	if len(vars) != 3 || vars[0] != "name" || vars[1] != "tag" || vars[2] != "x" {
+		t.Errorf("vars = %v", vars)
+	}
+}

@@ -1,0 +1,178 @@
+// Package sqlgen renders SQL DML statements as text. The OntoAccess
+// translator emits SQL strings — exactly like the paper's prototype,
+// which shipped generated SQL to MySQL over JDBC — and this package
+// is the single place where that text is produced, so the feasibility
+// study can compare generated statements with the paper's listings
+// verbatim.
+package sqlgen
+
+import (
+	"strings"
+
+	"ontoaccess/internal/rdb"
+)
+
+// Assign is one column assignment in an UPDATE SET clause.
+type Assign struct {
+	Column string
+	Value  rdb.Value
+}
+
+// Cond is one equality condition in a WHERE clause; a NULL value
+// renders as "col IS NULL".
+type Cond struct {
+	Column string
+	Value  rdb.Value
+}
+
+// Insert renders "INSERT INTO table (cols) VALUES (vals);".
+func Insert(table string, cols []string, vals []rdb.Value) string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(table)
+	b.WriteString(" (")
+	b.WriteString(strings.Join(cols, ", "))
+	b.WriteString(") VALUES (")
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteString(");")
+	return b.String()
+}
+
+// Update renders "UPDATE table SET a = v, ... WHERE c = w AND ...;".
+func Update(table string, set []Assign, where []Cond) string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(table)
+	b.WriteString(" SET ")
+	for i, a := range set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Column)
+		b.WriteString(" = ")
+		b.WriteString(a.Value.String())
+	}
+	writeWhere(&b, where)
+	b.WriteString(";")
+	return b.String()
+}
+
+// Delete renders "DELETE FROM table WHERE ...;".
+func Delete(table string, where []Cond) string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(table)
+	writeWhere(&b, where)
+	b.WriteString(";")
+	return b.String()
+}
+
+func writeWhere(b *strings.Builder, where []Cond) {
+	if len(where) == 0 {
+		return
+	}
+	b.WriteString(" WHERE ")
+	for i, c := range where {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(c.Column)
+		if c.Value.IsNull() {
+			b.WriteString(" IS NULL")
+		} else {
+			b.WriteString(" = ")
+			b.WriteString(c.Value.String())
+		}
+	}
+}
+
+// SelectSpec describes a SELECT statement for rendering: projected
+// columns (already qualified), a FROM table with alias, JOIN clauses,
+// and equality/IS NULL conditions.
+type SelectSpec struct {
+	Columns  []string
+	Distinct bool
+	From     string
+	FromAs   string
+	Joins    []JoinSpec
+	Where    []WhereSpec
+}
+
+// JoinSpec is one "JOIN table alias ON left = right".
+type JoinSpec struct {
+	Table string
+	As    string
+	Left  string // qualified column
+	Right string // qualified column
+}
+
+// WhereSpec is one condition: either column-vs-value (Value set) or
+// column-vs-column (OtherColumn set).
+type WhereSpec struct {
+	Column      string
+	Value       rdb.Value
+	OtherColumn string
+	// IsNull renders "column IS NULL" (Value ignored).
+	IsNull bool
+	// NotNull renders "column IS NOT NULL".
+	NotNull bool
+}
+
+// Select renders the specification as SQL text.
+func Select(spec SelectSpec) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if spec.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(spec.Columns) == 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(spec.Columns, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(spec.From)
+	if spec.FromAs != "" {
+		b.WriteString(" ")
+		b.WriteString(spec.FromAs)
+	}
+	for _, j := range spec.Joins {
+		b.WriteString(" JOIN ")
+		b.WriteString(j.Table)
+		if j.As != "" {
+			b.WriteString(" ")
+			b.WriteString(j.As)
+		}
+		b.WriteString(" ON ")
+		b.WriteString(j.Left)
+		b.WriteString(" = ")
+		b.WriteString(j.Right)
+	}
+	for i, w := range spec.Where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(w.Column)
+		switch {
+		case w.IsNull:
+			b.WriteString(" IS NULL")
+		case w.NotNull:
+			b.WriteString(" IS NOT NULL")
+		case w.OtherColumn != "":
+			b.WriteString(" = ")
+			b.WriteString(w.OtherColumn)
+		default:
+			b.WriteString(" = ")
+			b.WriteString(w.Value.String())
+		}
+	}
+	b.WriteString(";")
+	return b.String()
+}

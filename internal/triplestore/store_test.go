@@ -1,0 +1,213 @@
+package triplestore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ontoaccess/internal/rdf"
+)
+
+func trp(s, p, o string) rdf.Triple {
+	return rdf.NewTriple(rdf.IRI(s), rdf.IRI(p), rdf.Literal(o))
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New()
+	a := trp("s1", "p1", "o1")
+	if !s.Add(a) || s.Add(a) {
+		t.Fatal("Add semantics wrong")
+	}
+	if !s.Contains(a) || s.Len() != 1 {
+		t.Fatal("Contains/Len wrong")
+	}
+	if !s.Remove(a) || s.Remove(a) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if s.Contains(a) || s.Len() != 0 {
+		t.Fatal("store not empty")
+	}
+}
+
+func TestMatchAllPatterns(t *testing.T) {
+	s := New()
+	triples := []rdf.Triple{
+		trp("s1", "p1", "o1"),
+		trp("s1", "p1", "o2"),
+		trp("s1", "p2", "o1"),
+		trp("s2", "p1", "o1"),
+		trp("s2", "p2", "o3"),
+	}
+	for _, tr := range triples {
+		s.Add(tr)
+	}
+	S, P, O := rdf.IRI("s1"), rdf.IRI("p1"), rdf.Literal("o1")
+	var zero rdf.Term
+	cases := []struct {
+		name    string
+		pattern rdf.Triple
+		want    int
+	}{
+		{"spo", rdf.Triple{S: S, P: P, O: O}, 1},
+		{"sp?", rdf.Triple{S: S, P: P, O: zero}, 2},
+		{"s?o", rdf.Triple{S: S, P: zero, O: O}, 2},
+		{"?po", rdf.Triple{S: zero, P: P, O: O}, 2},
+		{"s??", rdf.Triple{S: S, P: zero, O: zero}, 3},
+		{"?p?", rdf.Triple{S: zero, P: P, O: zero}, 3},
+		{"??o", rdf.Triple{S: zero, P: zero, O: O}, 3},
+		{"???", rdf.Triple{}, 5},
+		{"miss spo", rdf.Triple{S: S, P: P, O: rdf.Literal("nope")}, 0},
+		{"miss s", rdf.Triple{S: rdf.IRI("zz"), P: zero, O: zero}, 0},
+		{"miss p", rdf.Triple{S: zero, P: rdf.IRI("zz"), O: zero}, 0},
+		{"miss o", rdf.Triple{S: zero, P: zero, O: rdf.Literal("zz")}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := s.CountMatches(tc.pattern); got != tc.want {
+				t.Errorf("CountMatches(%v) = %d, want %d", tc.pattern, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMatchEarlyStop(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Add(trp("s", "p", fmt.Sprintf("o%d", i)))
+	}
+	n := 0
+	s.Match(rdf.Triple{}, func(rdf.Triple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d, want 3", n)
+	}
+	n = 0
+	s.Match(rdf.Triple{S: rdf.IRI("s")}, func(rdf.Triple) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("s-bound early stop visited %d", n)
+	}
+}
+
+func TestIndexConsistencyAfterRemoval(t *testing.T) {
+	// Property: after any interleaving of adds and removes, every
+	// access path agrees with a reference map.
+	f := func(ops []struct {
+		S, P, O uint8
+		Del     bool
+	}) bool {
+		s := New()
+		ref := map[rdf.Triple]bool{}
+		for _, op := range ops {
+			tr := trp(
+				fmt.Sprintf("s%d", op.S%4),
+				fmt.Sprintf("p%d", op.P%4),
+				fmt.Sprintf("o%d", op.O%4))
+			if op.Del {
+				s.Remove(tr)
+				delete(ref, tr)
+			} else {
+				s.Add(tr)
+				ref[tr] = true
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for tr := range ref {
+			if !s.Contains(tr) {
+				return false
+			}
+			// Each single-position pattern must find it too.
+			for _, pat := range []rdf.Triple{
+				{S: tr.S}, {P: tr.P}, {O: tr.O},
+				{S: tr.S, P: tr.P}, {S: tr.S, O: tr.O}, {P: tr.P, O: tr.O},
+			} {
+				found := false
+				s.Match(pat, func(got rdf.Triple) bool {
+					if got == tr {
+						found = true
+						return false
+					}
+					return true
+				})
+				if !found {
+					return false
+				}
+			}
+		}
+		return s.Graph().Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromGraphAndGraph(t *testing.T) {
+	g := rdf.NewGraph(trp("a", "p", "1"), trp("b", "q", "2"))
+	s := FromGraph(g)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Graph().Equal(g) {
+		t.Error("Graph() must reproduce source graph")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromGraph(rdf.NewGraph(trp("a", "p", "1")))
+	s.Clear()
+	if s.Len() != 0 || s.CountMatches(rdf.Triple{}) != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := trp(fmt.Sprintf("s%d", w), "p", fmt.Sprintf("o%d", i))
+				s.Add(tr)
+				s.Contains(tr)
+				if i%3 == 0 {
+					s.Remove(tr)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// 8 workers each keep 2/3 of 200 triples.
+	if s.Len() == 0 {
+		t.Error("store empty after concurrent writes")
+	}
+}
+
+func BenchmarkStoreAdd(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://e/s%d", i%1000)),
+			rdf.IRI("http://e/p"),
+			rdf.IntegerLiteral(int64(i))))
+	}
+}
+
+func BenchmarkStoreMatchPO(b *testing.B) {
+	s := New()
+	for i := 0; i < 10000; i++ {
+		s.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://e/s%d", i)),
+			rdf.IRI(fmt.Sprintf("http://e/p%d", i%10)),
+			rdf.IntegerLiteral(int64(i%100))))
+	}
+	pat := rdf.Triple{P: rdf.IRI("http://e/p3"), O: rdf.IntegerLiteral(33)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CountMatches(pat)
+	}
+}

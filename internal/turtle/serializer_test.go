@@ -1,0 +1,215 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ontoaccess/internal/rdf"
+)
+
+func TestSerializeSimple(t *testing.T) {
+	g := rdf.NewGraph(rdf.NewTriple(
+		rdf.IRI("http://example.org/db/author6"),
+		rdf.IRI("http://xmlns.com/foaf/0.1/family_name"),
+		rdf.Literal("Hert")))
+	pm := rdf.CommonPrefixes()
+	out := Serialize(g, pm)
+	if !strings.Contains(out, `ex:author6 foaf:family_name "Hert" .`) {
+		t.Errorf("unexpected serialization:\n%s", out)
+	}
+	if !strings.Contains(out, "@prefix foaf: <http://xmlns.com/foaf/0.1/> .") {
+		t.Errorf("missing prefix declaration:\n%s", out)
+	}
+}
+
+func TestSerializeTypeFirstAndGrouping(t *testing.T) {
+	g := MustParse(`
+@prefix ex: <http://e/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:s ex:z "last" ; a ex:Klass ; ex:a "first" .
+`)
+	pm := rdf.NewPrefixMap()
+	pm.Set("ex", "http://e/")
+	out := Serialize(g, pm)
+	aIdx := strings.Index(out, " a ex:Klass")
+	if aIdx < 0 {
+		t.Fatalf("rdf:type not rendered as 'a':\n%s", out)
+	}
+	if zIdx := strings.Index(out, "ex:z"); zIdx < aIdx {
+		t.Errorf("rdf:type must come first:\n%s", out)
+	}
+}
+
+func TestSerializeShorthandLiterals(t *testing.T) {
+	g := rdf.NewGraph(
+		rdf.NewTriple(rdf.IRI("http://e/s"), rdf.IRI("http://e/i"), rdf.IntegerLiteral(42)),
+		rdf.NewTriple(rdf.IRI("http://e/s"), rdf.IRI("http://e/b"), rdf.BooleanLiteral(true)),
+	)
+	out := Serialize(g, nil)
+	if !strings.Contains(out, " 42") {
+		t.Errorf("integer shorthand missing:\n%s", out)
+	}
+	if !strings.Contains(out, " true") {
+		t.Errorf("boolean shorthand missing:\n%s", out)
+	}
+}
+
+func TestSerializeNilPrefixes(t *testing.T) {
+	g := rdf.NewGraph(rdf.NewTriple(rdf.IRI("http://e/s"), rdf.IRI("http://e/p"), rdf.LangLiteral("hi", "en")))
+	out := Serialize(g, nil)
+	if !strings.Contains(out, `<http://e/s> <http://e/p> "hi"@en .`) {
+		t.Errorf("got:\n%s", out)
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	src := `
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ont: <http://example.org/ontology#> .
+@prefix ex: <http://example.org/db/> .
+@prefix dc: <http://purl.org/dc/elements/1.1/> .
+
+ex:pub12 dc:title "Relational..." ;
+    ont:pubYear "2009" ;
+    ont:pubType ex:pubtype4 ;
+    dc:publisher ex:publisher3 ;
+    dc:creator ex:author6 .
+
+ex:author6 foaf:title "Mr" ;
+    foaf:firstName "Matthias" ;
+    foaf:family_name "Hert" ;
+    foaf:mbox <mailto:hert@ifi.uzh.ch> ;
+    ont:team ex:team5 .
+
+ex:team5 foaf:name "Software Engineering" ;
+    ont:teamCode "SEAL" .
+`
+	g1 := MustParse(src)
+	out := Serialize(g1, rdf.CommonPrefixes())
+	g2, _, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\noutput:\n%s", err, out)
+	}
+	if !g1.Equal(g2) {
+		t.Errorf("round trip changed graph.\nonly in g1: %v\nonly in g2: %v", g1.Diff(g2), g2.Diff(g1))
+	}
+}
+
+func TestSerializeRoundTripProperty(t *testing.T) {
+	// Property: any ground graph built from a constrained alphabet
+	// survives serialize→parse unchanged.
+	mkTerm := func(sel uint8, s string) rdf.Term {
+		if s == "" {
+			s = "x"
+		}
+		safe := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+				return r
+			}
+			return 'a' + (r % 26)
+		}, s)
+		switch sel % 4 {
+		case 0:
+			return rdf.IRI("http://e/" + safe)
+		case 1:
+			return rdf.Literal(s) // arbitrary string content
+		case 2:
+			return rdf.IntegerLiteral(int64(len(s)))
+		default:
+			return rdf.LangLiteral(s, "en")
+		}
+	}
+	f := func(items [][3]string, sels [][3]uint8) bool {
+		g := rdf.NewGraph()
+		for i, it := range items {
+			var sel [3]uint8
+			if i < len(sels) {
+				sel = sels[i]
+			}
+			s := mkTerm(0, it[0]) // subjects must be IRIs here
+			p := mkTerm(0, it[1])
+			o := mkTerm(sel[2], it[2])
+			_ = sel[0]
+			g.Add(rdf.NewTriple(s, p, o))
+		}
+		out := Serialize(g, nil)
+		g2, _, err := Parse(out)
+		if err != nil {
+			return false
+		}
+		return g.Equal(g2)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializeDatatypeCompaction(t *testing.T) {
+	g := rdf.NewGraph(rdf.NewTriple(
+		rdf.IRI("http://e/s"), rdf.IRI("http://e/p"),
+		rdf.TypedLiteral("2009", rdf.XSDInt)))
+	out := Serialize(g, rdf.CommonPrefixes())
+	if !strings.Contains(out, `"2009"^^xsd:int`) {
+		t.Errorf("datatype not compacted:\n%s", out)
+	}
+}
+
+func TestIsCanonicalInteger(t *testing.T) {
+	for _, ok := range []string{"0", "42", "-7", "+3"} {
+		if !isCanonicalInteger(ok) {
+			t.Errorf("isCanonicalInteger(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "-", "+", "1.5", "1e3", "a1", "0x10"} {
+		if isCanonicalInteger(bad) {
+			t.Errorf("isCanonicalInteger(%q) = true", bad)
+		}
+	}
+}
+
+func BenchmarkParseListing15(b *testing.B) {
+	src := `
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix dc: <http://purl.org/dc/elements/1.1/> .
+@prefix ont: <http://example.org/ontology#> .
+@prefix ex: <http://example.org/db/> .
+
+ex:pub12 dc:title "Relational..." ;
+    ont:pubYear "2009" ;
+    ont:pubType ex:pubtype4 ;
+    dc:publisher ex:publisher3 ;
+    dc:creator ex:author6 .
+ex:author6 foaf:title "Mr" ;
+    foaf:firstName "Matthias" ;
+    foaf:family_name "Hert" ;
+    foaf:mbox <mailto:hert@ifi.uzh.ch> ;
+    ont:team ex:team5 .
+ex:team5 foaf:name "Software Engineering" ;
+    ont:teamCode "SEAL" .
+ex:pubtype4 ont:type "inproceedings" .
+ex:publisher3 ont:name "Springer" .
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	g := rdf.NewGraph()
+	for i := 0; i < 200; i++ {
+		g.Add(rdf.NewTriple(
+			rdf.IRI("http://e/s"+string(rune('a'+i%26))),
+			rdf.IRI("http://e/p"),
+			rdf.IntegerLiteral(int64(i))))
+	}
+	pm := rdf.CommonPrefixes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Serialize(g, pm)
+	}
+}

@@ -1,0 +1,98 @@
+package update
+
+import (
+	"fmt"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sparql"
+)
+
+// GraphStore is the mutable triple-store interface the native
+// applicator operates on. The triplestore package's Store satisfies
+// it; it embeds the read-only sparql.Matcher.
+type GraphStore interface {
+	sparql.Matcher
+	Add(rdf.Triple) bool
+	Remove(rdf.Triple) bool
+	Clear()
+}
+
+// Stats reports what an Apply call changed.
+type Stats struct {
+	Inserted int // triples newly added
+	Deleted  int // triples actually removed
+	Bindings int // MODIFY WHERE solutions processed
+}
+
+// Apply executes a parsed request natively against a triple store,
+// with the standard SPARQL/Update semantics: operations in order; for
+// MODIFY, the WHERE pattern is evaluated first, then all deletions
+// happen before all insertions. This is the reference behaviour the
+// OntoAccess mediator must agree with on the exported RDF view.
+func Apply(store GraphStore, req *Request) (Stats, error) {
+	var st Stats
+	for _, op := range req.Ops {
+		s, err := ApplyOp(store, op)
+		if err != nil {
+			return st, err
+		}
+		st.Inserted += s.Inserted
+		st.Deleted += s.Deleted
+		st.Bindings += s.Bindings
+	}
+	return st, nil
+}
+
+// ApplyOp executes a single operation natively.
+func ApplyOp(store GraphStore, op Operation) (Stats, error) {
+	var st Stats
+	switch o := op.(type) {
+	case InsertData:
+		for _, t := range o.Triples {
+			if store.Add(t) {
+				st.Inserted++
+			}
+		}
+	case DeleteData:
+		for _, t := range o.Triples {
+			if store.Remove(t) {
+				st.Deleted++
+			}
+		}
+	case Modify:
+		q := &sparql.Query{Form: sparql.FormSelect, Star: true, Where: o.Where, Limit: -1, Offset: -1}
+		sols, err := sparql.Eval(store, q)
+		if err != nil {
+			return st, fmt.Errorf("update: MODIFY WHERE evaluation: %w", err)
+		}
+		st.Bindings = len(sols)
+		var dels, inss []rdf.Triple
+		for _, b := range sols {
+			for _, tp := range o.Delete {
+				if t, ok := tp.Instantiate(b); ok {
+					dels = append(dels, t)
+				}
+			}
+			for _, tp := range o.Insert {
+				if t, ok := tp.Instantiate(b); ok {
+					inss = append(inss, t)
+				}
+			}
+		}
+		for _, t := range dels {
+			if store.Remove(t) {
+				st.Deleted++
+			}
+		}
+		for _, t := range inss {
+			if store.Add(t) {
+				st.Inserted++
+			}
+		}
+	case Clear:
+		store.Clear()
+	default:
+		return st, fmt.Errorf("update: unsupported operation %T", op)
+	}
+	return st, nil
+}

@@ -1,0 +1,200 @@
+package update
+
+import (
+	"testing"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/triplestore"
+)
+
+func apply(t *testing.T, store *triplestore.Store, src string) Stats {
+	t.Helper()
+	req, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	st, err := Apply(store, req)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	return st
+}
+
+func TestApplyInsertData(t *testing.T) {
+	s := triplestore.New()
+	st := apply(t, s, listing9)
+	if st.Inserted != 5 {
+		t.Errorf("inserted = %d, want 5", st.Inserted)
+	}
+	if s.Len() != 5 {
+		t.Errorf("store size = %d", s.Len())
+	}
+	// Idempotency: re-inserting adds nothing (RDF set semantics).
+	st = apply(t, s, listing9)
+	if st.Inserted != 0 || s.Len() != 5 {
+		t.Errorf("second insert: inserted = %d, size = %d", st.Inserted, s.Len())
+	}
+}
+
+func TestApplyDeleteData(t *testing.T) {
+	s := triplestore.New()
+	apply(t, s, listing9)
+	st := apply(t, s, listing17)
+	if st.Deleted != 1 || s.Len() != 4 {
+		t.Errorf("deleted = %d, size = %d", st.Deleted, s.Len())
+	}
+	// Deleting an absent triple is a no-op.
+	st = apply(t, s, listing17)
+	if st.Deleted != 0 {
+		t.Errorf("re-delete removed %d", st.Deleted)
+	}
+}
+
+func TestApplyModifyPaperExample(t *testing.T) {
+	// Full paper scenario: Listing 9 inserts author6, Listing 11
+	// replaces the mbox, and the result matches Listing 12's effect.
+	s := triplestore.New()
+	apply(t, s, listing9)
+	// The WHERE clause needs rdf:type which listing9 does not insert
+	// natively; add it (the mediator derives it from the mapping).
+	s.Add(rdf.NewTriple(
+		rdf.IRI("http://example.org/db/author6"),
+		rdf.IRI(rdf.RDFType),
+		rdf.IRI("http://xmlns.com/foaf/0.1/Person")))
+	st := apply(t, s, listing11)
+	if st.Bindings != 1 {
+		t.Fatalf("bindings = %d, want 1", st.Bindings)
+	}
+	if st.Deleted != 1 || st.Inserted != 1 {
+		t.Errorf("deleted/inserted = %d/%d", st.Deleted, st.Inserted)
+	}
+	old := rdf.NewTriple(
+		rdf.IRI("http://example.org/db/author6"),
+		rdf.IRI("http://xmlns.com/foaf/0.1/mbox"),
+		rdf.IRI("mailto:hert@ifi.uzh.ch"))
+	updated := rdf.NewTriple(
+		rdf.IRI("http://example.org/db/author6"),
+		rdf.IRI("http://xmlns.com/foaf/0.1/mbox"),
+		rdf.IRI("mailto:hert@example.com"))
+	if s.Contains(old) {
+		t.Error("old mbox still present")
+	}
+	if !s.Contains(updated) {
+		t.Error("new mbox missing")
+	}
+}
+
+func TestApplyModifyMultipleBindings(t *testing.T) {
+	s := triplestore.New()
+	apply(t, s, paperPrologue+`
+INSERT DATA {
+  ex:a1 foaf:mbox <mailto:a1@old> . ex:a1 a foaf:Person .
+  ex:a2 foaf:mbox <mailto:a2@old> . ex:a2 a foaf:Person .
+  ex:a3 a foaf:Person .
+}`)
+	st := apply(t, s, paperPrologue+`
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x ont:hadMbox ?m . }
+WHERE { ?x a foaf:Person ; foaf:mbox ?m . }`)
+	if st.Bindings != 2 {
+		t.Fatalf("bindings = %d, want 2", st.Bindings)
+	}
+	if st.Deleted != 2 || st.Inserted != 2 {
+		t.Errorf("deleted/inserted = %d/%d", st.Deleted, st.Inserted)
+	}
+	if !s.Contains(rdf.NewTriple(rdf.IRI("http://example.org/db/a2"),
+		rdf.IRI("http://example.org/ontology#hadMbox"), rdf.IRI("mailto:a2@old"))) {
+		t.Error("moved triple missing")
+	}
+}
+
+func TestApplyModifyDeleteBeforeInsert(t *testing.T) {
+	// When the insert template recreates a deleted triple, delete-
+	// then-insert order means it survives.
+	s := triplestore.New()
+	apply(t, s, paperPrologue+`INSERT DATA { ex:x foaf:name "A" . }`)
+	apply(t, s, paperPrologue+`
+MODIFY
+DELETE { ?s foaf:name ?n . }
+INSERT { ?s foaf:name ?n . }
+WHERE { ?s foaf:name ?n . }`)
+	if !s.Contains(rdf.NewTriple(rdf.IRI("http://example.org/db/x"),
+		rdf.IRI("http://xmlns.com/foaf/0.1/name"), rdf.Literal("A"))) {
+		t.Error("recreated triple missing")
+	}
+}
+
+func TestApplyModifyNoBindings(t *testing.T) {
+	s := triplestore.New()
+	st := apply(t, s, paperPrologue+`
+MODIFY DELETE { ?x foaf:mbox ?m . } INSERT { } WHERE { ?x foaf:mbox ?m . }`)
+	if st.Bindings != 0 || st.Deleted != 0 || st.Inserted != 0 {
+		t.Errorf("stats = %+v, want zeros", st)
+	}
+}
+
+func TestApplyClear(t *testing.T) {
+	s := triplestore.New()
+	apply(t, s, listing9)
+	apply(t, s, `CLEAR`)
+	if s.Len() != 0 {
+		t.Errorf("store size after CLEAR = %d", s.Len())
+	}
+}
+
+func TestApplySequence(t *testing.T) {
+	s := triplestore.New()
+	st := apply(t, s, paperPrologue+`
+INSERT DATA { ex:a foaf:name "A" . }
+INSERT DATA { ex:b foaf:name "B" . }
+DELETE DATA { ex:a foaf:name "A" . }`)
+	if st.Inserted != 2 || st.Deleted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.Len() != 1 {
+		t.Errorf("size = %d", s.Len())
+	}
+}
+
+func BenchmarkApplyInsertData(b *testing.B) {
+	req, err := Parse(listing9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := triplestore.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(s, req); err != nil {
+			b.Fatal(err)
+		}
+		s.Clear()
+	}
+}
+
+func BenchmarkApplyModify(b *testing.B) {
+	insReq, _ := Parse(listing9)
+	modReq, err := Parse(listing11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	typeTriple := rdf.NewTriple(
+		rdf.IRI("http://example.org/db/author6"),
+		rdf.IRI(rdf.RDFType),
+		rdf.IRI("http://xmlns.com/foaf/0.1/Person"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := triplestore.New()
+		if _, err := Apply(s, insReq); err != nil {
+			b.Fatal(err)
+		}
+		s.Add(typeTriple)
+		b.StartTimer()
+		if _, err := Apply(s, modReq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package update
+
+import (
+	"fmt"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sparql"
+)
+
+// Parse parses a SPARQL/Update request. A request may contain several
+// operations after a shared prologue; operations may optionally be
+// separated by ';'.
+func Parse(src string) (*Request, error) {
+	p, err := sparql.NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ParsePrologue(); err != nil {
+		return nil, err
+	}
+	req := &Request{Prefixes: p.Prefixes}
+	for {
+		// Skip optional operation separators.
+		for p.Tok().Kind == sparql.TokSemicolon {
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.Tok().Kind == sparql.TokEOF {
+			break
+		}
+		op, err := parseOperation(p)
+		if err != nil {
+			return nil, err
+		}
+		req.Ops = append(req.Ops, op)
+	}
+	if len(req.Ops) == 0 {
+		return nil, fmt.Errorf("update: request contains no operations")
+	}
+	return req, nil
+}
+
+func parseOperation(p *sparql.Parser) (Operation, error) {
+	switch {
+	case p.IsKeyword("INSERT"):
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if p.IsKeyword("DATA") {
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+			ts, err := parseGroundBlock(p, "INSERT DATA")
+			if err != nil {
+				return nil, err
+			}
+			return InsertData{Triples: ts}, nil
+		}
+		// Standalone "INSERT { template } WHERE { pattern }".
+		return parseTemplateWhere(p, nil)
+	case p.IsKeyword("DELETE"):
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if p.IsKeyword("DATA") {
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+			ts, err := parseGroundBlock(p, "DELETE DATA")
+			if err != nil {
+				return nil, err
+			}
+			return DeleteData{Triples: ts}, nil
+		}
+		// Standalone "DELETE { template } WHERE { pattern }".
+		del, err := parseTemplateBlock(p)
+		if err != nil {
+			return nil, err
+		}
+		var ins []sparql.TriplePattern
+		if p.IsKeyword("INSERT") {
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+			ins, err = parseTemplateBlock(p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		where, err := parseWhere(p)
+		if err != nil {
+			return nil, err
+		}
+		return Modify{Delete: del, Insert: ins, Where: where}, nil
+	case p.IsKeyword("MODIFY"):
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if p.Tok().Kind == sparql.TokIRIRef {
+			return nil, p.Errorf("MODIFY with an explicit graph IRI is not supported (default graph only)")
+		}
+		var del, ins []sparql.TriplePattern
+		var err error
+		if p.IsKeyword("DELETE") {
+			if err = p.Advance(); err != nil {
+				return nil, err
+			}
+			del, err = parseTemplateBlock(p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if p.IsKeyword("INSERT") {
+			if err = p.Advance(); err != nil {
+				return nil, err
+			}
+			ins, err = parseTemplateBlock(p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if del == nil && ins == nil {
+			return nil, p.Errorf("MODIFY requires at least one DELETE or INSERT clause")
+		}
+		where, err := parseWhere(p)
+		if err != nil {
+			return nil, err
+		}
+		return Modify{Delete: del, Insert: ins, Where: where}, nil
+	case p.IsKeyword("CLEAR"):
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if p.IsKeyword("GRAPH") {
+			return nil, p.Errorf("CLEAR GRAPH is not supported (default graph only)")
+		}
+		return Clear{}, nil
+	case p.IsKeyword("LOAD"), p.IsKeyword("CREATE"), p.IsKeyword("DROP"):
+		return nil, p.Errorf("%s operations are not supported", p.Tok().Val)
+	default:
+		return nil, p.Errorf("expected an update operation (INSERT DATA, DELETE DATA, MODIFY), found %s %q",
+			p.Tok().Kind, p.Tok().Val)
+	}
+}
+
+// parseTemplateWhere handles "INSERT { template } WHERE { pattern }"
+// after the INSERT keyword has been consumed.
+func parseTemplateWhere(p *sparql.Parser, del []sparql.TriplePattern) (Operation, error) {
+	if p.IsKeyword("INTO") {
+		return nil, p.Errorf("INSERT INTO a named graph is not supported (default graph only)")
+	}
+	ins, err := parseTemplateBlock(p)
+	if err != nil {
+		return nil, err
+	}
+	where, err := parseWhere(p)
+	if err != nil {
+		return nil, err
+	}
+	return Modify{Delete: del, Insert: ins, Where: where}, nil
+}
+
+func parseWhere(p *sparql.Parser) (*sparql.GroupPattern, error) {
+	if err := p.ExpectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	return p.ParseGroupGraphPattern()
+}
+
+// parseTemplateBlock parses "{ triples }" allowing variables.
+func parseTemplateBlock(p *sparql.Parser) ([]sparql.TriplePattern, error) {
+	if _, err := p.Expect(sparql.TokLBrace); err != nil {
+		return nil, err
+	}
+	tps, err := p.ParseTriplesBlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.Expect(sparql.TokRBrace); err != nil {
+		return nil, err
+	}
+	if tps == nil {
+		tps = []sparql.TriplePattern{}
+	}
+	return tps, nil
+}
+
+// parseGroundBlock parses "{ triples }" and requires every pattern to
+// be ground (no variables), as INSERT DATA / DELETE DATA demand.
+func parseGroundBlock(p *sparql.Parser, opName string) ([]rdf.Triple, error) {
+	tps, err := parseTemplateBlock(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rdf.Triple, 0, len(tps))
+	for _, tp := range tps {
+		t, ok := tp.AsTriple()
+		if !ok {
+			return nil, fmt.Errorf("update: %s must not contain variables: %s", opName, tp)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/turtle"
+)
+
+// TestFigure2Ontology verifies the encoded Figure 2: the five domain
+// classes, the property set per class, and the property kinds.
+func TestFigure2Ontology(t *testing.T) {
+	g, _, err := turtle.Parse(OntologyTTL)
+	if err != nil {
+		t.Fatalf("parsing ontology: %v", err)
+	}
+	const (
+		foaf = "http://xmlns.com/foaf/0.1/"
+		dc   = "http://purl.org/dc/elements/1.1/"
+		ont  = "http://example.org/ontology#"
+		owl  = "http://www.w3.org/2002/07/owl#"
+		rdfs = "http://www.w3.org/2000/01/rdf-schema#"
+	)
+	typ := rdf.IRI(rdf.RDFType)
+	isA := func(subj, class string) bool {
+		return g.Contains(rdf.NewTriple(rdf.IRI(subj), typ, rdf.IRI(class)))
+	}
+	for _, class := range []string{foaf + "Document", foaf + "Person", foaf + "Group",
+		ont + "Publisher", ont + "PubType"} {
+		if !isA(class, owl+"Class") {
+			t.Errorf("class %s missing from Figure 2 encoding", class)
+		}
+	}
+	domains := map[string]string{
+		dc + "title":         foaf + "Document",
+		ont + "pubYear":      foaf + "Document",
+		ont + "pubType":      foaf + "Document",
+		dc + "publisher":     foaf + "Document",
+		dc + "creator":       foaf + "Document",
+		foaf + "title":       foaf + "Person",
+		foaf + "mbox":        foaf + "Person",
+		foaf + "firstName":   foaf + "Person",
+		foaf + "family_name": foaf + "Person",
+		ont + "team":         foaf + "Person",
+		foaf + "name":        foaf + "Group",
+		ont + "teamCode":     foaf + "Group",
+		ont + "name":         ont + "Publisher",
+		ont + "type":         ont + "PubType",
+	}
+	for prop, domain := range domains {
+		if !g.Contains(rdf.NewTriple(rdf.IRI(prop), rdf.IRI(rdfs+"domain"), rdf.IRI(domain))) {
+			t.Errorf("property %s lacks domain %s", prop, domain)
+		}
+	}
+	objectProps := []string{ont + "pubType", dc + "publisher", dc + "creator", foaf + "mbox", ont + "team"}
+	for _, p := range objectProps {
+		if !isA(p, owl+"ObjectProperty") {
+			t.Errorf("%s must be an ObjectProperty (Figure 2 arrows to classes/IRIs)", p)
+		}
+	}
+}
+
+// TestMappingAgreesWithOntology cross-checks Table 1 against Figure
+// 2: every class and property the mapping uses is declared in the
+// ontology, with matching object/data property kinds.
+func TestMappingAgreesWithOntology(t *testing.T) {
+	g, _, err := turtle.Parse(OntologyTTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := LoadMapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := rdf.IRI(rdf.RDFType)
+	const owl = "http://www.w3.org/2002/07/owl#"
+	for _, tm := range mapping.Tables {
+		if !g.Contains(rdf.NewTriple(tm.Class, typ, rdf.IRI(owl+"Class"))) {
+			t.Errorf("mapped class %s not declared in the ontology", tm.Class)
+		}
+		for _, am := range tm.Attributes {
+			if am.Property.IsZero() {
+				continue
+			}
+			wantKind := owl + "DatatypeProperty"
+			if am.IsObject {
+				wantKind = owl + "ObjectProperty"
+			}
+			if !g.Contains(rdf.NewTriple(am.Property, typ, rdf.IRI(wantKind))) {
+				t.Errorf("mapped property %s is not a %s in the ontology", am.Property, wantKind)
+			}
+		}
+	}
+	for _, lt := range mapping.LinkTables {
+		if !g.Contains(rdf.NewTriple(lt.Property, typ, rdf.IRI(owl+"ObjectProperty"))) {
+			t.Errorf("link property %s is not an ObjectProperty", lt.Property)
+		}
+	}
+}

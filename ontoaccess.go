@@ -1,0 +1,99 @@
+// Package ontoaccess is the public facade of the OntoAccess library,
+// a from-scratch Go implementation of "Updating Relational Data via
+// SPARQL/Update" (Hert, Reif, Gall; EDBT 2010 workshops).
+//
+// OntoAccess gives ontology-based *write* access to relational data:
+// SPARQL/Update operations (INSERT DATA, DELETE DATA, MODIFY) are
+// translated to SQL DML through an update-aware RDB-to-RDF mapping
+// (R3M) that records integrity constraints, so invalid requests are
+// detected before they reach the database and rejected with
+// semantically rich feedback.
+//
+// Quick start:
+//
+//	db, _ := ontoaccess.NewDatabase("mydb", ddlSQL)
+//	mapping, _ := ontoaccess.LoadMapping(mappingTurtle)
+//	m, _ := ontoaccess.New(db, mapping, ontoaccess.Options{})
+//	res, err := m.ExecuteString(`PREFIX ex: <http://example.org/db/>
+//	  INSERT DATA { ex:team4 <http://xmlns.com/foaf/0.1/name> "DBTG" . }`)
+//
+// The deeper layers are importable individually: internal/rdb (the
+// embedded relational engine), internal/sparql and internal/update
+// (the query and update languages), internal/r3m (the mapping
+// language), internal/core (the translation algorithms),
+// internal/triplestore (the native baseline), and internal/endpoint
+// (the HTTP mediator).
+package ontoaccess
+
+import (
+	"ontoaccess/internal/core"
+	"ontoaccess/internal/endpoint"
+	"ontoaccess/internal/feedback"
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlexec"
+	"ontoaccess/internal/rdf"
+)
+
+// Re-exported core types. The aliases keep one import path for
+// library users while the implementation stays modular.
+type (
+	// Mediator translates and executes SPARQL/Update against a mapped
+	// relational database (the paper's OntoAccess prototype).
+	Mediator = core.Mediator
+	// Options toggles the paper's algorithmic steps for ablation.
+	Options = core.Options
+	// Result reports a request execution (SQL, feedback).
+	Result = core.Result
+	// OpResult reports one operation.
+	OpResult = core.OpResult
+	// QueryResult reports a SPARQL query evaluation.
+	QueryResult = core.QueryResult
+	// Mapping is a parsed R3M mapping.
+	Mapping = r3m.Mapping
+	// Database is the embedded relational engine.
+	Database = rdb.Database
+	// Violation is a semantically rich constraint violation.
+	Violation = feedback.Violation
+	// Report is the feedback report of a request.
+	Report = feedback.Report
+	// Graph is an RDF graph.
+	Graph = rdf.Graph
+	// Server is the HTTP mediation endpoint.
+	Server = endpoint.Server
+)
+
+// New builds a mediator from a database and a validated mapping.
+func New(db *Database, mapping *Mapping, opts Options) (*Mediator, error) {
+	return core.New(db, mapping, opts)
+}
+
+// NewDatabase creates an embedded database and applies the given SQL
+// DDL script (CREATE TABLE statements).
+func NewDatabase(name, ddl string) (*Database, error) {
+	db := rdb.NewDatabase(name)
+	if ddl != "" {
+		if _, err := sqlexec.Run(db, ddl); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// LoadMapping parses an R3M mapping from Turtle and validates it.
+func LoadMapping(turtleSrc string) (*Mapping, error) {
+	return r3m.Load(turtleSrc)
+}
+
+// GenerateMapping derives a basic R3M mapping from a database schema,
+// as the paper's Section 4 describes; overrides may assign existing
+// domain vocabulary.
+func GenerateMapping(db *Database, opts r3m.GenerateOptions) (*Mapping, error) {
+	return r3m.Generate(db, opts)
+}
+
+// NewServer wraps a mediator in the HTTP endpoint of the paper's
+// Section 6.
+func NewServer(m *Mediator) *Server {
+	return endpoint.New(m)
+}

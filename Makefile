@@ -1,0 +1,37 @@
+# Reproduces the CI gate locally: `make ci` runs exactly what
+# .github/workflows/ci.yml runs.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench bench-smoke clean
+
+ci: fmt-check vet build race bench-smoke
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot without timing.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# The real measurement run (B-series + E-series).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

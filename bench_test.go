@@ -12,6 +12,7 @@ package ontoaccess
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"ontoaccess/internal/core"
@@ -457,6 +458,123 @@ INSERT DATA {
 			}
 		}
 	})
+}
+
+// BenchmarkB7_ConcurrentThroughput runs the mixed write stream across
+// goroutines at 1-16 workers and reports ops/sec, with the
+// compiled-plan pipeline on and off. With plans on, writers on
+// disjoint tables proceed under per-table locks and request
+// translation happens outside any lock; with plans off every request
+// is re-translated under the whole-database write lock (the paper's
+// single-connection model).
+func BenchmarkB7_ConcurrentThroughput(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"PlanCache", core.Options{}},
+		{"NoCache", core.Options{DisablePlanCache: true}},
+	} {
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", variant.name, workers), func(b *testing.B) {
+				m := newMediator(b, variant.opts)
+				perWorker := (b.N + workers - 1) / workers
+				cs := workload.NewConcurrentStream(7, workers, perWorker)
+				if err := cs.Setup(m); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				ops, err := cs.Run(m)
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(ops)/secs, "ops/sec")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkB7_ConcurrentReadThroughput measures the B6 query path
+// under concurrency: queries run in read-only transactions holding
+// shared locks, so they evaluate in parallel across cores (the
+// whole-database mutex the seed used serialized them).
+func BenchmarkB7_ConcurrentReadThroughput(b *testing.B) {
+	m := newMediator(b, core.Options{})
+	exec(b, m, seedTeams(1, 20))
+	for i := 0; i < 500; i++ {
+		exec(b, m, authorInsert(i+1, i%20+1))
+	}
+	query := workload.Prologue + `
+SELECT ?x ?mbox WHERE {
+  ?x rdf:type foaf:Person ;
+     foaf:family_name "L250" ;
+     foaf:mbox ?mbox .
+}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Fatal must not be called from RunParallel worker goroutines;
+	// record the first failure and report it afterwards.
+	var firstErr atomic.Value
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := m.Query(query)
+			if err == nil && len(res.Solutions) != 1 {
+				err = fmt.Errorf("solutions = %d, want 1", len(res.Solutions))
+			}
+			if err != nil {
+				// Store the message: atomic.Value requires one
+				// consistent concrete type across stores.
+				firstErr.CompareAndSwap(nil, err.Error())
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := firstErr.Load(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkB8_PlanCache measures the compiled-plan pipeline on
+// repeated requests. Repeated sends the same small working set of
+// requests over and over (the steady state of a production endpoint:
+// parse memo and plan cache both hit); FreshParams sends
+// never-repeated request strings that still share shapes (only the
+// plan cache hits); CacheOff re-translates every request.
+func BenchmarkB8_PlanCache(b *testing.B) {
+	const pool = 64
+	run := func(b *testing.B, opts core.Options, fresh bool) {
+		m := newMediator(b, opts)
+		exec(b, m, seedTeams(1, 50))
+		reqs := make([]string, pool)
+		for i := 0; i < pool; i++ {
+			reqs[i] = authorInsert(i+1, i%50+1)
+		}
+		for _, req := range reqs {
+			exec(b, m, req) // warm: rows exist, caches primed
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fresh {
+				exec(b, m, authorInsert(pool+i+1, i%50+1))
+			} else {
+				exec(b, m, reqs[i%pool])
+			}
+		}
+		b.StopTimer()
+		if s := m.PlanCacheStats(); !opts.DisablePlanCache && s.Hits == 0 {
+			b.Fatalf("plan cache never hit: %+v", s)
+		}
+	}
+	b.Run("Repeated/CacheOn", func(b *testing.B) { run(b, core.Options{}, false) })
+	b.Run("Repeated/CacheOff", func(b *testing.B) { run(b, core.Options{DisablePlanCache: true}, false) })
+	b.Run("FreshParams/CacheOn", func(b *testing.B) { run(b, core.Options{}, true) })
+	b.Run("FreshParams/CacheOff", func(b *testing.B) { run(b, core.Options{DisablePlanCache: true}, true) })
 }
 
 // ---- request builders ----

@@ -1,0 +1,3 @@
+module ontoaccess
+
+go 1.21

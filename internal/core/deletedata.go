@@ -125,11 +125,24 @@ func (m *Mediator) execDeleteData(tx *rdb.Tx, op update.DeleteData) (*OpResult, 
 // non-NULL mapped attribute of the stored row (the paper's condition
 // for translating to a row DELETE).
 func (m *Mediator) coversAllRemaining(ent *subjectEntity, row []rdb.Value, pg *partitionedGroup) bool {
-	for _, am := range ent.tm.Attributes {
-		if strings.EqualFold(am.Name, ent.pkName) {
+	mentioned := func(name string) bool {
+		_, ok := pg.attrValues[name]
+		return ok
+	}
+	return coversRemaining(ent.tm, ent.schema, ent.pkName, row, mentioned,
+		len(pg.attrValues) > 0, pg.hasType)
+}
+
+// coversRemaining is the single implementation of the DELETE-vs-
+// NULLing-UPDATE decision, shared by the uncompiled path and the
+// compiled-plan executor so the two stay in lockstep (like
+// sortByFKOrder for statement ordering).
+func coversRemaining(tm *r3m.TableMap, schema *rdb.TableSchema, pkName string, row []rdb.Value, mentioned func(string) bool, hasAttrs, hasType bool) bool {
+	for _, am := range tm.Attributes {
+		if strings.EqualFold(am.Name, pkName) {
 			continue
 		}
-		ci := ent.schema.ColumnIndex(am.Name)
+		ci := schema.ColumnIndex(am.Name)
 		if ci < 0 || row[ci].IsNull() {
 			continue
 		}
@@ -138,9 +151,9 @@ func (m *Mediator) coversAllRemaining(ent *subjectEntity, row []rdb.Value, pg *p
 			// and do not block deletion.
 			continue
 		}
-		if _, mentioned := pg.attrValues[am.Name]; !mentioned {
+		if !mentioned(am.Name) {
 			return false
 		}
 	}
-	return len(pg.attrValues) > 0 || pg.hasType
+	return hasAttrs || hasType
 }

@@ -285,22 +285,42 @@ func (m *Mediator) execInsertData(tx *rdb.Tx, op update.InsertData) (*OpResult, 
 // attributes without defaults — detected from the mapping before any
 // SQL reaches the database, enabling property-level feedback.
 func (m *Mediator) checkMandatoryAttributes(pg *partitionedGroup) error {
-	for _, am := range pg.ent.tm.Attributes {
+	am := firstMissingMandatory(pg.ent.tm, func(name string) bool {
+		_, ok := pg.attrValues[name]
+		return ok
+	})
+	if am == nil {
+		return nil
+	}
+	return mandatoryViolation(pg.ent.tm.Name, pg.ent.uri, am)
+}
+
+// firstMissingMandatory returns the first NotNull attribute without a
+// default (primary keys excluded) that the supplied set omits —
+// shared by the uncompiled path and the compiled-plan executor.
+func firstMissingMandatory(tm *r3m.TableMap, supplied func(string) bool) *r3m.AttributeMap {
+	for _, am := range tm.Attributes {
 		if !am.HasConstraint(r3m.ConstraintNotNull) || am.HasConstraint(r3m.ConstraintPrimaryKey) {
 			continue
 		}
 		if _, hasDefault := am.DefaultValue(); hasDefault {
 			continue
 		}
-		if _, supplied := pg.attrValues[am.Name]; !supplied {
-			return &feedback.Violation{
-				Constraint: "NotNull", Table: pg.ent.tm.Name, Column: am.Name,
-				Subject: pg.ent.uri, Property: propertyOf(am),
-				Hint: "the request must include a triple for this mandatory property",
-			}
+		if !supplied(am.Name) {
+			return am
 		}
 	}
 	return nil
+}
+
+// mandatoryViolation is the shared feedback for a missing mandatory
+// property.
+func mandatoryViolation(table, subject string, am *r3m.AttributeMap) error {
+	return &feedback.Violation{
+		Constraint: "NotNull", Table: table, Column: am.Name,
+		Subject: subject, Property: propertyOf(am),
+		Hint: "the request must include a triple for this mandatory property",
+	}
 }
 
 func propertyOf(am *r3m.AttributeMap) string {

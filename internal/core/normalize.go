@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/update"
+)
+
+// Request-shape normalization for the plan cache. Two requests share
+// a shape — and therefore a compiled UpdatePlan — when they differ
+// only in parameter positions: the digit runs inside IRIs (the key
+// parts of instance URIs, mailbox addresses, ...) and the lexical
+// forms of literals. Predicates and rdf:type objects are never
+// parameterized, because they select mappings at plan-compile time.
+//
+// The same walk produces both the cache key and the argument vector,
+// so argument positions always line up between the request that
+// compiled a plan and the requests that re-execute it.
+
+// shapeSeg is one segment of a parameterized lexical form: either
+// literal text or a reference to an argument slot.
+type shapeSeg struct {
+	lit  string
+	slot int // -1 for literal segments
+}
+
+// bindSegs reassembles a lexical form from its template and the
+// argument vector.
+func bindSegs(segs []shapeSeg, args []string) string {
+	if len(segs) == 1 {
+		if segs[0].slot < 0 {
+			return segs[0].lit
+		}
+		return args[segs[0].slot]
+	}
+	var b strings.Builder
+	for _, s := range segs {
+		if s.slot < 0 {
+			b.WriteString(s.lit)
+		} else {
+			b.WriteString(args[s.slot])
+		}
+	}
+	return b.String()
+}
+
+// normTerm is a term with its parameterization: segs is nil for
+// constant terms.
+type normTerm struct {
+	term rdf.Term
+	segs []shapeSeg
+}
+
+// normTriple is one data triple with parameterized subject and
+// object. Predicates stay constant.
+type normTriple struct {
+	s, o normTerm
+	p    rdf.Term
+}
+
+// normalizer accumulates the cache key and argument vector.
+type normalizer struct {
+	key  strings.Builder
+	args []string
+}
+
+const (
+	shapeFieldSep  = '\x1f'
+	shapeRecordSep = '\x1e'
+	shapeSlotMark  = '\x00'
+)
+
+// iriSegs splits an IRI value into literal text and digit-run slots,
+// appending the runs to the argument vector and the marked template
+// to the key. It returns nil segs when the IRI carries no digits.
+func (n *normalizer) iriSegs(v string) []shapeSeg {
+	var segs []shapeSeg
+	start := 0
+	i := 0
+	for i < len(v) {
+		if v[i] >= '0' && v[i] <= '9' {
+			j := i
+			for j < len(v) && v[j] >= '0' && v[j] <= '9' {
+				j++
+			}
+			if i > start {
+				segs = append(segs, shapeSeg{lit: v[start:i], slot: -1})
+			}
+			segs = append(segs, shapeSeg{slot: len(n.args)})
+			n.args = append(n.args, v[i:j])
+			start, i = j, j
+			continue
+		}
+		i++
+	}
+	if segs == nil {
+		n.key.WriteString(v)
+		return nil
+	}
+	if start < len(v) {
+		segs = append(segs, shapeSeg{lit: v[start:], slot: -1})
+	}
+	for _, s := range segs {
+		if s.slot < 0 {
+			n.key.WriteString(s.lit)
+		} else {
+			n.key.WriteByte(shapeSlotMark)
+		}
+	}
+	return segs
+}
+
+// normTermFor parameterizes one term. Literals become a single slot
+// (the whole lexical form); IRIs are split on digit runs; constant
+// terms contribute their value to the key verbatim. typeObject marks
+// the object of an rdf:type triple, which stays constant.
+func (n *normalizer) normTermFor(t rdf.Term, typeObject bool) (normTerm, bool) {
+	switch t.Kind {
+	case rdf.KindIRI:
+		n.key.WriteString("I:")
+		if typeObject {
+			n.key.WriteString(t.Value)
+			return normTerm{term: t}, true
+		}
+		return normTerm{term: t, segs: n.iriSegs(t.Value)}, true
+	case rdf.KindLiteral:
+		n.key.WriteString("L:")
+		n.key.WriteByte(shapeSlotMark)
+		n.key.WriteByte('^')
+		n.key.WriteString(t.Datatype)
+		n.key.WriteByte('@')
+		n.key.WriteString(t.Lang)
+		segs := []shapeSeg{{slot: len(n.args)}}
+		n.args = append(n.args, t.Value)
+		return normTerm{term: t, segs: segs}, true
+	default:
+		// Blank nodes cannot address rows; such requests take the
+		// uncompiled path (and fail there with proper feedback).
+		return normTerm{}, false
+	}
+}
+
+// normalizeDataOp parameterizes the triples of an INSERT DATA or
+// DELETE DATA operation. It returns the cache key, the argument
+// vector, and the parameterized triples; ok is false when the
+// operation cannot be planned (blank nodes, non-IRI predicates).
+func normalizeDataOp(kind string, triples []rdf.Triple) (key string, args []string, nts []normTriple, ok bool) {
+	n := &normalizer{}
+	n.key.WriteString(kind)
+	n.key.WriteByte(shapeRecordSep)
+	nts = make([]normTriple, 0, len(triples))
+	for _, tr := range triples {
+		if !tr.P.IsIRI() {
+			return "", nil, nil, false
+		}
+		s, sok := n.normTermFor(tr.S, false)
+		if !sok || s.term.Kind != rdf.KindIRI {
+			return "", nil, nil, false
+		}
+		n.key.WriteByte(shapeFieldSep)
+		n.key.WriteString(tr.P.Value)
+		n.key.WriteByte(shapeFieldSep)
+		o, ook := n.normTermFor(tr.O, tr.P.Value == rdf.RDFType)
+		if !ook {
+			return "", nil, nil, false
+		}
+		n.key.WriteByte(shapeRecordSep)
+		nts = append(nts, normTriple{s: s, p: tr.P, o: o})
+	}
+	return n.key.String(), n.args, nts, true
+}
+
+// normalizeOp dispatches on the operation kind. Only ground data
+// operations compile to plans; MODIFY and CLEAR take the uncompiled
+// path (their work is dominated by data-dependent evaluation).
+func normalizeOp(op update.Operation) (key string, args []string, nts []normTriple, kind string, ok bool) {
+	switch o := op.(type) {
+	case update.InsertData:
+		key, args, nts, ok = normalizeDataOp("INSERT DATA", o.Triples)
+		return key, args, nts, "INSERT DATA", ok
+	case update.DeleteData:
+		key, args, nts, ok = normalizeDataOp("DELETE DATA", o.Triples)
+		return key, args, nts, "DELETE DATA", ok
+	default:
+		return "", nil, nil, "", false
+	}
+}

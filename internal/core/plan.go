@@ -1,0 +1,1039 @@
+package core
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ontoaccess/internal/feedback"
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sqlgen"
+	"ontoaccess/internal/update"
+)
+
+// This file implements the compiled-plan pipeline. An UpdatePlan is
+// the reusable artifact of Algorithm 1's shape-level work — parse,
+// identify-table, mapping-level constraint checks, SQL statement
+// generation and foreign-key sorting — compiled once per request
+// shape and re-executed with fresh parameter bindings. Repeated
+// INSERT DATA / DELETE DATA requests of the same shape skip straight
+// to parameter binding, existence probes and direct storage
+// operations (no SQL re-parsing), inside a transaction that locks
+// only the plan's tables (rdb.BeginWrite), so writers on disjoint
+// tables run in parallel.
+//
+// The data-dependent parts of Algorithm 1 cannot be compiled away and
+// stay in the executor: the INSERT-vs-UPDATE existence probe, the
+// DELETE DATA covers-all-remaining analysis, and every storage-level
+// constraint check.
+
+// errUnplannable marks an operation whose shape the compiler does not
+// support; the caller falls back to the uncompiled path, which either
+// handles it or produces the authoritative error feedback.
+var errUnplannable = errors.New("core: operation is not plannable")
+
+// errPlanStale marks a bound execution whose parameters broke a
+// shape-level assumption (e.g. a subject URI that now identifies a
+// different table). The caller re-executes through the uncompiled
+// path.
+var errPlanStale = errors.New("core: plan is stale for these parameters")
+
+// ---- LRU cache ----------------------------------------------------
+
+// CacheStats reports plan/parse cache effectiveness.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Size                    int
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// lruCache is a concurrency-safe LRU map used for the plan cache and
+// the parse memo.
+type lruCache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+	stats    CacheStats
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(lruEntry[V]).val, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+func (c *lruCache[V]) put(key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = lruEntry[V]{key: key, val: v}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(lruEntry[V]{key: key, val: v})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(lruEntry[V]).key)
+		c.stats.Evictions++
+	}
+}
+
+func (c *lruCache[V]) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.ll.Len()
+	return s
+}
+
+// ---- plan representation -------------------------------------------
+
+// convKind selects the bind-time conversion of a parameterized
+// lexical form into a column value.
+type convKind uint8
+
+const (
+	convConst     convKind = iota // value precomputed at compile time
+	convLiteral                   // literal lexical -> column type
+	convIRIPrefix                 // IRI with ValuePrefix stripped
+	convKey                       // instance URI -> referenced key
+)
+
+// valueSrc produces one column value at bind time.
+type valueSrc struct {
+	segs     []shapeSeg // nil: constant lexical (raw)
+	raw      string     // compile-time lexical form
+	conv     convKind
+	constVal rdb.Value
+	col      *rdb.Column
+	refTM    *r3m.TableMap
+	refSch   *rdb.TableSchema
+	prefix   string
+	prop     string
+}
+
+func (v *valueSrc) lexical(args []string) string {
+	if v.segs == nil {
+		return v.raw
+	}
+	return bindSegs(v.segs, args)
+}
+
+// bind converts the source into a column value, mirroring the
+// uncompiled path's conversions and feedback exactly.
+func (m *Mediator) bindValue(v *valueSrc, subject string, args []string) (rdb.Value, error) {
+	switch v.conv {
+	case convConst:
+		return v.constVal, nil
+	case convLiteral:
+		return literalToValue(rdf.Literal(v.lexical(args)), v.col, subject, v.prop)
+	case convIRIPrefix:
+		val := v.lexical(args)
+		if v.prefix != "" {
+			if !strings.HasPrefix(val, v.prefix) {
+				return rdb.Null, &feedback.Violation{
+					Constraint: "Mapping", Subject: subject, Property: v.prop, Value: val,
+					Hint: fmt.Sprintf("object IRIs for this property must start with %q", v.prefix),
+				}
+			}
+			val = strings.TrimPrefix(val, v.prefix)
+		}
+		return rdb.String_(val), nil
+	case convKey:
+		uri := v.lexical(args)
+		tm, vals, err := m.mapping.IdentifyTable(uri)
+		if err != nil || tm != v.refTM {
+			return rdb.Null, &feedback.Violation{
+				Constraint: "Mapping", Subject: subject, Property: v.prop, Value: uri,
+				RefTable: v.refTM.Name,
+				Hint:     fmt.Sprintf("the object URI must match the %q URI pattern %q", v.refTM.Name, v.refTM.URIPattern),
+			}
+		}
+		return m.keyValueFromPattern(v.refSch, vals, subject, v.prop)
+	}
+	return rdb.Null, fmt.Errorf("core: unknown conversion")
+}
+
+// subjectSrc reconstructs a group's subject URI and primary key.
+type subjectSrc struct {
+	// occurrences holds the seg template of every triple whose subject
+	// belongs to this group; bind verifies they agree.
+	occurrences [][]shapeSeg
+	constURI    string    // set when the subject carries no slots
+	constPK     rdb.Value // precomputed key for constant subjects
+}
+
+// attrPlan is one mapped attribute supplied by the request shape.
+type attrPlan struct {
+	name string
+	col  *rdb.Column
+	am   *r3m.AttributeMap
+	prop string
+	val  valueSrc
+}
+
+// linkPlan is one link-table triple of the shape.
+type linkPlan struct {
+	lt   *r3m.LinkTableMap
+	prop string
+	obj  valueSrc
+}
+
+// groupPlan is the compiled form of one subject group (Algorithm 1
+// steps one to four for that group).
+type groupPlan struct {
+	tm      *r3m.TableMap
+	schema  *rdb.TableSchema
+	pkName  string
+	subject subjectSrc
+	// attrs in schema column order (INSERT); sortedAttrs indexes attrs
+	// in column-name order (UPDATE SET, DELETE analysis).
+	attrs       []attrPlan
+	sortedAttrs []int
+	links       []linkPlan
+	hasType     bool
+	// missingMandatory is the first NotNull-without-default attribute
+	// the shape does not supply; INSERT DATA rejects the group with it
+	// when the entity does not already exist (the check is shape-level
+	// but only applies on the INSERT branch).
+	missingMandatory *r3m.AttributeMap
+}
+
+// UpdatePlan is a compiled SPARQL/Update data operation: the
+// post-parse, post-identify, post-constraint-check artifact of
+// Algorithm 1, keyed on the request shape and re-executable with
+// fresh parameter bindings.
+//
+// Plans pin schema pointers and table ranks captured at compile
+// time. Like the mapping itself — validated against the schema once,
+// in New — they assume the mediated tables are not dropped or
+// re-created while the mediator is live; DDL on a mediated database
+// is unsupported after construction.
+type UpdatePlan struct {
+	key   string
+	kind  string // "INSERT DATA" or "DELETE DATA"
+	slots int
+	// writeTables is the exact write lock set for execution.
+	writeTables []string
+	// topoPos ranks tables parents-first for statement sorting
+	// (Algorithm 1 step five), precomputed from the schema.
+	topoPos map[string]int
+	groups  []*groupPlan
+}
+
+// Kind returns the operation kind the plan compiles.
+func (p *UpdatePlan) Kind() string { return p.kind }
+
+// Key returns the normalized request shape the plan is cached under.
+func (p *UpdatePlan) Key() string { return p.key }
+
+// Slots returns the number of parameter slots.
+func (p *UpdatePlan) Slots() int { return p.slots }
+
+// Tables returns the tables the plan writes.
+func (p *UpdatePlan) Tables() []string {
+	out := make([]string, len(p.writeTables))
+	copy(out, p.writeTables)
+	return out
+}
+
+// Explain renders the plan's statement templates with ?n parameter
+// markers, in compile order (the executor sorts the instantiated
+// statements along foreign-key dependencies).
+func (p *UpdatePlan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s plan: %d group(s), %d slot(s), writes %s\n",
+		p.kind, len(p.groups), p.slots, strings.Join(p.writeTables, ", "))
+	for _, g := range p.groups {
+		fmt.Fprintf(&b, "  %s[%s=%s]:", g.tm.Name, g.pkName, g.subject.describe())
+		for _, a := range g.attrs {
+			fmt.Fprintf(&b, " %s=%s", a.name, a.val.describe())
+		}
+		for _, l := range g.links {
+			fmt.Fprintf(&b, " link %s(%s)", l.lt.Name, l.obj.describe())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (v *valueSrc) describe() string {
+	if v.segs == nil {
+		return v.raw
+	}
+	var b strings.Builder
+	for _, s := range v.segs {
+		if s.slot < 0 {
+			b.WriteString(s.lit)
+		} else {
+			fmt.Fprintf(&b, "?%d", s.slot)
+		}
+	}
+	return b.String()
+}
+
+func (s *subjectSrc) describe() string {
+	if len(s.occurrences) == 0 {
+		return s.constURI
+	}
+	v := valueSrc{segs: s.occurrences[0]}
+	return v.describe()
+}
+
+// ---- compilation ---------------------------------------------------
+
+// compileDataPlan builds an UpdatePlan from the normalized triples of
+// an INSERT DATA / DELETE DATA operation. Shapes the compiler cannot
+// prove equivalent to the uncompiled path return errUnplannable;
+// shapes that are invalid per se also return errUnplannable so the
+// uncompiled path produces the authoritative violation feedback.
+func (m *Mediator) compileDataPlan(kind, key string, slots int, nts []normTriple) (*UpdatePlan, error) {
+	p := &UpdatePlan{key: key, kind: kind, slots: slots, topoPos: m.topoPos}
+	if p.topoPos == nil {
+		return nil, errUnplannable
+	}
+	byURI := make(map[string]*groupPlan)
+	var order []string
+	for _, nt := range nts {
+		uri := nt.s.term.Value
+		g := byURI[uri]
+		if g == nil {
+			tm, _, err := m.mapping.IdentifyTable(uri)
+			if err != nil {
+				return nil, errUnplannable
+			}
+			schema, ok := m.db.Schema(tm.Name)
+			if !ok || len(schema.PrimaryKey) != 1 {
+				return nil, errUnplannable
+			}
+			// A self-referencing foreign key makes same-table statement
+			// order significant, which plan re-binding does not preserve.
+			for _, fk := range schema.ForeignKeys {
+				if strings.EqualFold(fk.RefTable, tm.Name) {
+					return nil, errUnplannable
+				}
+			}
+			g = &groupPlan{tm: tm, schema: schema, pkName: schema.PrimaryKey[0]}
+			if nt.s.segs == nil {
+				pk, err := m.constSubjectKey(g, uri)
+				if err != nil {
+					return nil, errUnplannable
+				}
+				g.subject.constURI = uri
+				g.subject.constPK = pk
+			}
+			byURI[uri] = g
+			order = append(order, uri)
+		}
+		if nt.s.segs != nil {
+			g.subject.occurrences = append(g.subject.occurrences, nt.s.segs)
+		} else if g.subject.constURI != uri {
+			return nil, errUnplannable
+		}
+		if err := m.compileTriple(g, nt); err != nil {
+			return nil, err
+		}
+	}
+	// Deterministic group order: sort by compile-time subject, like
+	// groupTriples does. (Bind-time subjects of different groups never
+	// collide — the executor verifies that.)
+	sort.Strings(order)
+	for _, uri := range order {
+		g := byURI[uri]
+		g.finishAttrOrder()
+		p.groups = append(p.groups, g)
+	}
+	if kind == "INSERT DATA" {
+		// Algorithm 1's mandatory-attribute check is shape-level — it
+		// depends only on which properties the request supplies — but
+		// it applies only when the entity does not exist yet (the
+		// INSERT branch). Record the first missing mandatory attribute
+		// here; the executor raises the violation on that branch.
+		for _, g := range p.groups {
+			g.missingMandatory = firstMissingMandatory(g.tm, g.suppliesAttr)
+		}
+	}
+	seen := map[string]bool{}
+	for _, g := range p.groups {
+		if !seen[g.tm.Name] {
+			seen[g.tm.Name] = true
+			p.writeTables = append(p.writeTables, g.tm.Name)
+		}
+		for _, l := range g.links {
+			if !seen[l.lt.Name] {
+				seen[l.lt.Name] = true
+				p.writeTables = append(p.writeTables, l.lt.Name)
+			}
+		}
+	}
+	sort.Strings(p.writeTables)
+	return p, nil
+}
+
+// constSubjectKey precomputes the primary key of a constant subject.
+func (m *Mediator) constSubjectKey(g *groupPlan, uri string) (rdb.Value, error) {
+	_, vals, err := m.mapping.IdentifyTable(uri)
+	if err != nil {
+		return rdb.Null, err
+	}
+	return m.keyValueFromPattern(g.schema, vals, uri, "")
+}
+
+// compileTriple folds one triple into its group plan, mirroring
+// partitionGroup.
+func (m *Mediator) compileTriple(g *groupPlan, nt normTriple) error {
+	prop := nt.p.Value
+	if prop == rdf.RDFType {
+		if nt.o.term != g.tm.Class {
+			return errUnplannable // the uncompiled path reports the violation
+		}
+		g.hasType = true
+		return nil
+	}
+	if lt, ok := m.mapping.LinkTableForProperty(nt.p); ok {
+		subjRef, _ := lt.SubjectAttr.ForeignKeyRef()
+		subjTM, _ := m.mapping.ResolveTableRef(subjRef)
+		if subjTM == nil || subjTM.Name != g.tm.Name {
+			return errUnplannable
+		}
+		objRef, _ := lt.ObjectAttr.ForeignKeyRef()
+		objTM, _ := m.mapping.ResolveTableRef(objRef)
+		if objTM == nil {
+			return errUnplannable
+		}
+		objSchema, ok := m.db.Schema(objTM.Name)
+		if !ok {
+			return errUnplannable
+		}
+		src, err := m.compileValueSrc(nt.o, nil, nil, objTM, objSchema, prop)
+		if err != nil {
+			return err
+		}
+		g.links = append(g.links, linkPlan{lt: lt, prop: prop, obj: *src})
+		return nil
+	}
+	am, ok := g.tm.AttributeForProperty(nt.p)
+	if !ok {
+		return errUnplannable
+	}
+	col, ok := g.schema.Column(am.Name)
+	if !ok {
+		return errUnplannable
+	}
+	var src *valueSrc
+	var err error
+	if ref, isFK := am.ForeignKeyRef(); isFK {
+		refTM, found := m.mapping.ResolveTableRef(ref)
+		if !found {
+			return errUnplannable
+		}
+		refSchema, ok := m.db.Schema(refTM.Name)
+		if !ok {
+			return errUnplannable
+		}
+		src, err = m.compileValueSrc(nt.o, nil, nil, refTM, refSchema, prop)
+	} else if am.IsObject {
+		src, err = m.compileValueSrc(nt.o, nil, am, nil, nil, prop)
+	} else {
+		src, err = m.compileValueSrc(nt.o, col, nil, nil, nil, prop)
+	}
+	if err != nil {
+		return err
+	}
+	// The relational model stores one value per attribute; shapes that
+	// mention an attribute twice need value comparison, which is
+	// data-dependent — leave them to the uncompiled path.
+	for _, a := range g.attrs {
+		if a.name == am.Name {
+			return errUnplannable
+		}
+	}
+	g.attrs = append(g.attrs, attrPlan{name: am.Name, col: col, am: am, prop: prop, val: *src})
+	return nil
+}
+
+// compileValueSrc builds the value source for an object term. Exactly
+// one of col (data literal), am (IRI-valued attribute) or refTM/refSch
+// (foreign key / link object) is set.
+func (m *Mediator) compileValueSrc(o normTerm, col *rdb.Column, am *r3m.AttributeMap, refTM *r3m.TableMap, refSch *rdb.TableSchema, prop string) (*valueSrc, error) {
+	src := &valueSrc{raw: o.term.Value, segs: o.segs, prop: prop}
+	switch {
+	case refTM != nil:
+		if !o.term.IsIRI() {
+			return nil, errUnplannable
+		}
+		src.conv = convKey
+		src.refTM = refTM
+		src.refSch = refSch
+	case am != nil:
+		if !o.term.IsIRI() {
+			return nil, errUnplannable
+		}
+		src.conv = convIRIPrefix
+		src.prefix = am.ValuePrefix
+	default:
+		if !o.term.IsLiteral() {
+			return nil, errUnplannable
+		}
+		src.conv = convLiteral
+		src.col = col
+	}
+	if o.segs == nil {
+		v, err := m.bindValue(src, "", nil)
+		if err != nil {
+			return nil, errUnplannable
+		}
+		src.conv = convConst
+		src.constVal = v
+	}
+	return src, nil
+}
+
+// finishAttrOrder orders attrs by schema column position (the INSERT
+// column order) and records the name-sorted view.
+func (g *groupPlan) finishAttrOrder() {
+	sort.SliceStable(g.attrs, func(i, j int) bool {
+		return g.schema.ColumnIndex(g.attrs[i].name) < g.schema.ColumnIndex(g.attrs[j].name)
+	})
+	g.sortedAttrs = make([]int, len(g.attrs))
+	for i := range g.attrs {
+		g.sortedAttrs[i] = i
+	}
+	sort.Slice(g.sortedAttrs, func(i, j int) bool {
+		return g.attrs[g.sortedAttrs[i]].name < g.attrs[g.sortedAttrs[j]].name
+	})
+}
+
+// suppliesAttr reports whether the shape supplies the named
+// attribute (the `supplied` predicate for firstMissingMandatory and
+// coversRemaining).
+func (g *groupPlan) suppliesAttr(name string) bool {
+	for _, a := range g.attrs {
+		if a.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- execution -----------------------------------------------------
+
+// boundGroup is a group plan instantiated with one argument vector.
+type boundGroup struct {
+	g    *groupPlan
+	uri  string
+	pk   rdb.Value
+	vals []rdb.Value // aligned with g.attrs
+	objs []rdb.Value // aligned with g.links
+}
+
+// bindGroups instantiates every group, verifying the shape-level
+// assumptions that re-binding could break: all subject occurrences of
+// a group agree, distinct groups stay distinct, and every subject
+// still identifies the compiled table.
+func (p *UpdatePlan) bindGroups(m *Mediator, args []string) ([]boundGroup, error) {
+	if len(args) != p.slots {
+		return nil, errPlanStale
+	}
+	bound := make([]boundGroup, len(p.groups))
+	seen := make(map[string]bool, len(p.groups))
+	for gi, g := range p.groups {
+		bg := boundGroup{g: g}
+		if len(g.subject.occurrences) == 0 {
+			bg.uri = g.subject.constURI
+			bg.pk = g.subject.constPK
+		} else {
+			bg.uri = bindSegs(g.subject.occurrences[0], args)
+			for _, occ := range g.subject.occurrences[1:] {
+				if bindSegs(occ, args) != bg.uri {
+					return nil, errPlanStale
+				}
+			}
+			tm, vals, err := m.mapping.IdentifyTable(bg.uri)
+			if err != nil {
+				return nil, &feedback.Violation{
+					Constraint: "Mapping", Subject: bg.uri,
+					Hint: "the subject URI matches no table mapping; check the URI pattern and prefix",
+				}
+			}
+			if tm != g.tm {
+				return nil, errPlanStale
+			}
+			pk, err := m.keyValueFromPattern(g.schema, vals, bg.uri, "")
+			if err != nil {
+				return nil, err
+			}
+			bg.pk = pk
+		}
+		if seen[bg.uri] {
+			return nil, errPlanStale
+		}
+		seen[bg.uri] = true
+		bg.vals = make([]rdb.Value, len(g.attrs))
+		for ai := range g.attrs {
+			v, err := m.bindValue(&g.attrs[ai].val, bg.uri, args)
+			if err != nil {
+				return nil, err
+			}
+			bg.vals[ai] = v
+		}
+		bg.objs = make([]rdb.Value, len(g.links))
+		for li := range g.links {
+			v, err := m.bindValue(&g.links[li].obj, bg.uri, args)
+			if err != nil {
+				return nil, err
+			}
+			bg.objs[li] = v
+		}
+		bound[gi] = bg
+	}
+	return bound, nil
+}
+
+// planStmt is one instantiated statement awaiting sorted execution.
+type planStmt struct {
+	sql     string
+	table   string
+	kind    stmtKind
+	subject string
+	seq     int
+	apply   func(tx *rdb.Tx) (int, error)
+}
+
+// sortPlanStmts applies Algorithm 1 step five using the precomputed
+// table ranks (the shared sorter in sort.go).
+func (p *UpdatePlan) sortPlanStmts(stmts []planStmt, disable bool) []planStmt {
+	if disable || len(stmts) < 2 {
+		return stmts
+	}
+	sortByFKOrder(stmts, p.topoPos,
+		func(s *planStmt) stmtKind { return s.kind },
+		func(s *planStmt) string { return s.table },
+		func(s *planStmt) int { return s.seq })
+	return stmts
+}
+
+// run executes sorted statements, recording SQL and rows affected and
+// enriching constraint errors with subject context, like
+// executeStatements does.
+func runPlanStmts(tx *rdb.Tx, stmts []planStmt, res *OpResult) error {
+	for _, st := range stmts {
+		res.SQL = append(res.SQL, st.sql)
+		n, err := st.apply(tx)
+		if err != nil {
+			if ce, ok := asConstraintError(err); ok {
+				return feedback.FromConstraintError(ce, st.subject, "")
+			}
+			return err
+		}
+		res.RowsAffected += n
+	}
+	return nil
+}
+
+// execBound runs the plan with already-bound groups. Binding is a
+// pure function of the argument vector, so bound groups are cacheable
+// per request string; the probes and constraint checks here run per
+// execution.
+func (p *UpdatePlan) execBound(m *Mediator, tx *rdb.Tx, bound []boundGroup) (*OpResult, error) {
+	res := &OpResult{Operation: p.kind}
+	var stmts []planStmt
+	var err error
+	if p.kind == "INSERT DATA" {
+		stmts, err = p.planInsert(m, tx, bound)
+	} else {
+		stmts, err = p.planDelete(m, tx, bound)
+	}
+	if err != nil {
+		return res, err
+	}
+	stmts = p.sortPlanStmts(stmts, m.opts.DisableSort)
+	return res, runPlanStmts(tx, stmts, res)
+}
+
+// planInsert mirrors execInsertData: probe existence per group on the
+// pre-operation state, then emit INSERT or UPDATE plus idempotent
+// link-row inserts.
+func (p *UpdatePlan) planInsert(m *Mediator, tx *rdb.Tx, bound []boundGroup) ([]planStmt, error) {
+	var stmts []planStmt
+	seq := 0
+	for bi := range bound {
+		bg := &bound[bi]
+		g := bg.g
+		rowID, _, exists, err := tx.LookupPK(g.tm.Name, []rdb.Value{bg.pk})
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case exists && len(g.attrs) > 0:
+			set := make([]sqlgen.Assign, 0, len(g.attrs))
+			setMap := make(map[string]rdb.Value, len(g.attrs))
+			for _, ai := range g.sortedAttrs {
+				set = append(set, sqlgen.Assign{Column: g.attrs[ai].name, Value: bg.vals[ai]})
+				setMap[g.attrs[ai].name] = bg.vals[ai]
+			}
+			table, subject := g.tm.Name, bg.uri
+			stmts = append(stmts, planStmt{
+				sql:   sqlgen.Update(table, set, []sqlgen.Cond{{Column: g.pkName, Value: bg.pk}}),
+				table: table, kind: kindUpdate, subject: subject, seq: seq,
+				apply: func(tx *rdb.Tx) (int, error) {
+					return 1, tx.UpdateByID(table, rowID, setMap)
+				},
+			})
+			seq++
+		case !exists:
+			if am := g.missingMandatory; am != nil {
+				return nil, mandatoryViolation(g.tm.Name, bg.uri, am)
+			}
+			cols := make([]string, 0, len(g.attrs)+1)
+			vals := make([]rdb.Value, 0, len(g.attrs)+1)
+			cols = append(cols, g.pkName)
+			vals = append(vals, bg.pk)
+			insMap := make(map[string]rdb.Value, len(g.attrs)+1)
+			insMap[g.pkName] = bg.pk
+			for ai := range g.attrs {
+				// A property mapped onto the primary key column (pk
+				// doubling as FK) must not override the URI-derived
+				// key — the uncompiled path skips it the same way.
+				if strings.EqualFold(g.attrs[ai].name, g.pkName) {
+					continue
+				}
+				cols = append(cols, g.attrs[ai].name)
+				vals = append(vals, bg.vals[ai])
+				insMap[g.attrs[ai].name] = bg.vals[ai]
+			}
+			table, subject := g.tm.Name, bg.uri
+			stmts = append(stmts, planStmt{
+				sql:   sqlgen.Insert(table, cols, vals),
+				table: table, kind: kindInsert, subject: subject, seq: seq,
+				apply: func(tx *rdb.Tx) (int, error) {
+					return 1, tx.Insert(table, insMap)
+				},
+			})
+			seq++
+		}
+		for li := range g.links {
+			l := &g.links[li]
+			eq := map[string]rdb.Value{
+				l.lt.SubjectAttr.Name: bg.pk,
+				l.lt.ObjectAttr.Name:  bg.objs[li],
+			}
+			ids, err := tx.Match(l.lt.Name, eq)
+			if err != nil {
+				return nil, err
+			}
+			if len(ids) > 0 {
+				continue // RDF set semantics: the relationship exists
+			}
+			table, subject := l.lt.Name, bg.uri
+			insMap := map[string]rdb.Value{
+				l.lt.SubjectAttr.Name: bg.pk,
+				l.lt.ObjectAttr.Name:  bg.objs[li],
+			}
+			stmts = append(stmts, planStmt{
+				sql: sqlgen.Insert(table,
+					[]string{l.lt.SubjectAttr.Name, l.lt.ObjectAttr.Name},
+					[]rdb.Value{bg.pk, bg.objs[li]}),
+				table: table, kind: kindInsert, subject: subject, seq: seq,
+				apply: func(tx *rdb.Tx) (int, error) {
+					return 1, tx.Insert(table, insMap)
+				},
+			})
+			seq++
+		}
+	}
+	return stmts, nil
+}
+
+// planDelete mirrors execDeleteData: analyze each group against the
+// stored tuple, then emit link deletes plus a row DELETE or a
+// NULL-ing UPDATE.
+func (p *UpdatePlan) planDelete(m *Mediator, tx *rdb.Tx, bound []boundGroup) ([]planStmt, error) {
+	var stmts []planStmt
+	seq := 0
+	for bi := range bound {
+		bg := &bound[bi]
+		g := bg.g
+		rowID, row, exists, err := tx.LookupPK(g.tm.Name, []rdb.Value{bg.pk})
+		if err != nil {
+			return nil, err
+		}
+		if !exists {
+			return nil, &feedback.Violation{
+				Constraint: "Mapping", Subject: bg.uri, Table: g.tm.Name,
+				Hint: "the entity does not exist; DELETE DATA removes known triples only",
+			}
+		}
+		for _, ai := range g.sortedAttrs {
+			a := &g.attrs[ai]
+			ci := g.schema.ColumnIndex(a.name)
+			if !rdb.Equal(row[ci], bg.vals[ai]) {
+				return nil, &feedback.Violation{
+					Constraint: "Mapping", Subject: bg.uri, Property: a.prop,
+					Table: g.tm.Name, Column: a.name, Value: bg.vals[ai].Text(),
+					Hint: "the triple to delete is not present in the data",
+				}
+			}
+		}
+		for li := range g.links {
+			l := &g.links[li]
+			eq := map[string]rdb.Value{
+				l.lt.SubjectAttr.Name: bg.pk,
+				l.lt.ObjectAttr.Name:  bg.objs[li],
+			}
+			ids, err := tx.Match(l.lt.Name, eq)
+			if err != nil {
+				return nil, err
+			}
+			if len(ids) == 0 {
+				return nil, &feedback.Violation{
+					Constraint: "Mapping", Subject: bg.uri, Property: l.prop,
+					Table: l.lt.Name, Value: bg.objs[li].Text(),
+					Hint: "the relationship to delete is not present in the data",
+				}
+			}
+			table, subject := l.lt.Name, bg.uri
+			stmts = append(stmts, planStmt{
+				sql: sqlgen.Delete(table, []sqlgen.Cond{
+					{Column: l.lt.SubjectAttr.Name, Value: bg.pk},
+					{Column: l.lt.ObjectAttr.Name, Value: bg.objs[li]},
+				}),
+				table: table, kind: kindDelete, subject: subject, seq: seq,
+				apply: func(tx *rdb.Tx) (int, error) {
+					ids, err := tx.Match(table, eq)
+					if err != nil {
+						return 0, err
+					}
+					for _, id := range ids {
+						if err := tx.DeleteByID(table, id); err != nil {
+							return 0, err
+						}
+					}
+					return len(ids), nil
+				},
+			})
+			seq++
+		}
+
+		if len(g.attrs) == 0 && !g.hasType {
+			continue // only link triples for this subject
+		}
+
+		covers := planCoversAllRemaining(g, row)
+		switch {
+		case covers:
+			table, subject := g.tm.Name, bg.uri
+			stmts = append(stmts, planStmt{
+				sql:   sqlgen.Delete(table, []sqlgen.Cond{{Column: g.pkName, Value: bg.pk}}),
+				table: table, kind: kindDelete, subject: subject, seq: seq,
+				apply: func(tx *rdb.Tx) (int, error) {
+					return 1, tx.DeleteByID(table, rowID)
+				},
+			})
+			seq++
+		case g.hasType:
+			return nil, &feedback.Violation{
+				Constraint: "Mapping", Subject: bg.uri, Table: g.tm.Name,
+				Hint: "removing the rdf:type triple deletes the entity; the request must also cover all its remaining data",
+			}
+		default:
+			set := make([]sqlgen.Assign, 0, len(g.attrs))
+			conds := []sqlgen.Cond{{Column: g.pkName, Value: bg.pk}}
+			setMap := make(map[string]rdb.Value, len(g.attrs))
+			for _, ai := range g.sortedAttrs {
+				a := &g.attrs[ai]
+				if a.am != nil && a.am.HasConstraint(r3m.ConstraintNotNull) {
+					return nil, &feedback.Violation{
+						Constraint: "NotNull", Subject: bg.uri, Property: a.prop,
+						Table: g.tm.Name, Column: a.name,
+						Hint: "this mandatory property can only be removed by deleting the whole entity",
+					}
+				}
+				set = append(set, sqlgen.Assign{Column: a.name, Value: rdb.Null})
+				conds = append(conds, sqlgen.Cond{Column: a.name, Value: bg.vals[ai]})
+				setMap[a.name] = rdb.Null
+			}
+			table, subject := g.tm.Name, bg.uri
+			stmts = append(stmts, planStmt{
+				sql:   sqlgen.Update(table, set, conds),
+				table: table, kind: kindUpdate, subject: subject, seq: seq,
+				apply: func(tx *rdb.Tx) (int, error) {
+					return 1, tx.UpdateByID(table, rowID, setMap)
+				},
+			})
+			seq++
+		}
+	}
+	return stmts, nil
+}
+
+// planCoversAllRemaining applies the shared DELETE-vs-UPDATE decision
+// (coversRemaining) to a compiled group.
+func planCoversAllRemaining(g *groupPlan, row []rdb.Value) bool {
+	return coversRemaining(g.tm, g.schema, g.pkName, row, g.suppliesAttr,
+		len(g.attrs) > 0, g.hasType)
+}
+
+// ---- mediator integration ------------------------------------------
+
+// plannedUnit is a plan bound to one concrete argument vector —
+// everything shape- and parameter-dependent precomputed, with only
+// the data-dependent probes left for execution time. Cached per
+// request string alongside the parse memo.
+type plannedUnit struct {
+	plan  *UpdatePlan
+	bound []boundGroup
+}
+
+// cachedRequest is a parse-memo entry: the parsed request plus the
+// bound plan of every plannable operation (nil entries take the
+// uncompiled path).
+type cachedRequest struct {
+	req     *update.Request
+	planned []*plannedUnit
+}
+
+// buildCachedRequest compiles and binds every plannable operation of
+// a parsed request. Operations that are unplannable — or whose shape
+// or parameters are invalid, so the uncompiled path must produce the
+// authoritative feedback — get a nil entry.
+func (m *Mediator) buildCachedRequest(req *update.Request) *cachedRequest {
+	cr := &cachedRequest{req: req, planned: make([]*plannedUnit, len(req.Ops))}
+	for i, op := range req.Ops {
+		key, args, nts, kind, ok := normalizeOp(op)
+		if !ok {
+			continue
+		}
+		plan, ok := m.planForShape(kind, key, len(args), nts)
+		if !ok {
+			continue
+		}
+		bound, err := plan.bindGroups(m, args)
+		if err != nil {
+			continue
+		}
+		cr.planned[i] = &plannedUnit{plan: plan, bound: bound}
+	}
+	return cr
+}
+
+// planForShape returns the cached or freshly compiled plan for a
+// shape. Unplannable shapes are cached as negative entries, so hot
+// shapes the compiler rejects pay for compilation once, not per
+// request; ok is false for them.
+func (m *Mediator) planForShape(kind, key string, slots int, nts []normTriple) (*UpdatePlan, bool) {
+	if plan, hit := m.plans.get(key); hit {
+		return plan, plan != nil
+	}
+	plan, err := m.compileDataPlan(kind, key, slots, nts)
+	if err != nil {
+		m.plans.put(key, nil)
+		return nil, false
+	}
+	m.plans.put(key, plan)
+	return plan, true
+}
+
+// runPlanned executes a bound plan in its own transaction, locking
+// only the plan's tables. Staleness is fully decided during binding
+// (bindGroups), so a bound plan always executes to a result or a
+// genuine error.
+func (m *Mediator) runPlanned(plan *UpdatePlan, bound []boundGroup) (*OpResult, error) {
+	tx := m.db.BeginWrite(plan.writeTables...)
+	defer tx.Rollback()
+	res, err := plan.execBound(m, tx, bound)
+	if err != nil {
+		return res, err
+	}
+	if err := tx.Commit(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// tryPlanned attempts the compiled path for one operation. handled is
+// false when the operation is unplannable or the bound execution went
+// stale; the caller then runs the uncompiled path.
+func (m *Mediator) tryPlanned(op update.Operation) (*OpResult, error, bool) {
+	key, args, nts, kind, ok := normalizeOp(op)
+	if !ok {
+		return nil, nil, false
+	}
+	plan, ok := m.planForShape(kind, key, len(args), nts)
+	if !ok {
+		return nil, nil, false
+	}
+	bound, err := plan.bindGroups(m, args)
+	if err != nil {
+		if errors.Is(err, errPlanStale) {
+			return nil, nil, false
+		}
+		return &OpResult{Operation: plan.kind}, err, true
+	}
+	res, err := m.runPlanned(plan, bound)
+	return res, err, true
+}
+
+// PlanCacheStats reports hit/miss/eviction counters and current size
+// of the plan cache.
+func (m *Mediator) PlanCacheStats() CacheStats {
+	if m.plans == nil {
+		return CacheStats{}
+	}
+	return m.plans.snapshot()
+}
+
+// ParseCacheStats reports the request parse memo's counters.
+func (m *Mediator) ParseCacheStats() CacheStats {
+	if m.parses == nil {
+		return CacheStats{}
+	}
+	return m.parses.snapshot()
+}
+
+// PlanFor compiles (or fetches) the plan for the given request source
+// without executing it — introspection for tests and tooling.
+func (m *Mediator) PlanFor(src string) (*UpdatePlan, error) {
+	req, err := update.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Ops) != 1 {
+		return nil, fmt.Errorf("core: PlanFor expects exactly one operation")
+	}
+	key, args, nts, kind, ok := normalizeOp(req.Ops[0])
+	if !ok {
+		return nil, errUnplannable
+	}
+	plan, ok := m.planForShape(kind, key, len(args), nts)
+	if !ok {
+		return nil, errUnplannable
+	}
+	return plan, nil
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ontoaccess/internal/feedback"
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlexec"
+)
+
+// twoMediators builds a plan-cached and a plan-less mediator over
+// identical fresh databases.
+func twoMediators(t *testing.T) (planned, unplanned *Mediator) {
+	t.Helper()
+	return paperMediator(t, Options{}), paperMediator(t, Options{DisablePlanCache: true})
+}
+
+// TestPlannedMatchesUnplannedSQL drives the same request sequence
+// through the compiled and uncompiled paths and requires identical
+// generated SQL, rows affected, and final row counts — the parity
+// contract of the plan pipeline.
+func TestPlannedMatchesUnplannedSQL(t *testing.T) {
+	planned, unplanned := twoMediators(t)
+	requests := []string{
+		seedTeam5,
+		listing9, // INSERT (Listing 10 shape)
+		paperPrologue + `INSERT DATA { ex:author6 foaf:firstName "Matt" . }`, // INSERT-as-UPDATE
+		paperPrologue + `INSERT DATA { ex:team4 foaf:name "DB" ; ont:teamCode "DBTG" . }`,
+		// Full data set: multi-table insert with FK sorting and a link row.
+		paperPrologue + `
+INSERT DATA {
+  ex:pub12 dc:title "Relational..." ;
+      ont:pubYear "2009" ;
+      ont:pubType ex:pubtype4 ;
+      dc:publisher ex:publisher3 ;
+      dc:creator ex:author6 .
+  ex:pubtype4 ont:type "inproceedings" .
+  ex:publisher3 ont:name "Springer" .
+}`,
+		// Partial delete (Listing 17/18 shape).
+		paperPrologue + `DELETE DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }`,
+		// Link-row delete.
+		paperPrologue + `DELETE DATA { ex:pub12 dc:creator ex:author6 . }`,
+		// Row delete: cover all remaining data of team4.
+		paperPrologue + `DELETE DATA { ex:team4 foaf:name "DB" ; ont:teamCode "DBTG" . }`,
+	}
+	for i, req := range requests {
+		pres, perr := planned.ExecuteString(req)
+		ures, uerr := unplanned.ExecuteString(req)
+		if (perr == nil) != (uerr == nil) {
+			t.Fatalf("request %d: planned err %v vs unplanned err %v", i, perr, uerr)
+		}
+		if !reflect.DeepEqual(pres.SQL(), ures.SQL()) {
+			t.Errorf("request %d SQL diverges:\nplanned:   %v\nunplanned: %v", i, pres.SQL(), ures.SQL())
+		}
+		var prows, urows int
+		for _, op := range pres.Ops {
+			prows += op.RowsAffected
+		}
+		for _, op := range ures.Ops {
+			urows += op.RowsAffected
+		}
+		if prows != urows {
+			t.Errorf("request %d rows affected: planned %d vs unplanned %d", i, prows, urows)
+		}
+	}
+	if p, u := planned.DB().TotalRows(), unplanned.DB().TotalRows(); p != u {
+		t.Errorf("final row counts diverge: planned %d vs unplanned %d", p, u)
+	}
+	if s := planned.PlanCacheStats(); s.Misses == 0 {
+		t.Errorf("plan cache unused: %+v", s)
+	}
+}
+
+// TestPlannedMatchesUnplannedViolations checks that invalid requests
+// produce the same violation feedback on both paths.
+func TestPlannedMatchesUnplannedViolations(t *testing.T) {
+	planned, unplanned := twoMediators(t)
+	for _, m := range []*Mediator{planned, unplanned} {
+		mustExec(t, m, seedTeam5)
+		mustExec(t, m, listing9)
+	}
+	cases := []string{
+		// Missing mandatory lastname on a fresh entity.
+		paperPrologue + `INSERT DATA { ex:author7 foaf:firstName "Anon" . }`,
+		// Unknown property for the class.
+		paperPrologue + `INSERT DATA { ex:team5 foaf:firstName "nope" . }`,
+		// FK to a missing team.
+		paperPrologue + `INSERT DATA { ex:author8 foaf:family_name "L" ; ont:team ex:team99 . }`,
+		// Deleting a triple that is not present.
+		paperPrologue + `DELETE DATA { ex:author6 foaf:firstName "Wrong" . }`,
+		// Deleting a mandatory property without covering the entity.
+		paperPrologue + `DELETE DATA { ex:author6 foaf:family_name "Hert" . }`,
+		// Deleting from a non-existent entity.
+		paperPrologue + `DELETE DATA { ex:author99 foaf:firstName "X" . }`,
+		// Type literal into an integer column.
+		paperPrologue + `INSERT DATA { ex:team6 foaf:name "T" ; ont:teamCode "C" . }
+INSERT DATA { ex:pub13 dc:title "T" ; ont:pubYear "not-a-year" . }`,
+	}
+	for i, req := range cases {
+		_, perr := planned.ExecuteString(req)
+		_, uerr := unplanned.ExecuteString(req)
+		if perr == nil || uerr == nil {
+			t.Fatalf("case %d: expected errors, got planned=%v unplanned=%v", i, perr, uerr)
+		}
+		var pv, uv *feedback.Violation
+		if !errors.As(perr, &pv) || !errors.As(uerr, &uv) {
+			t.Fatalf("case %d: non-violation errors: planned=%v unplanned=%v", i, perr, uerr)
+		}
+		if pv.Constraint != uv.Constraint || pv.Column != uv.Column || pv.Table != uv.Table {
+			t.Errorf("case %d: violations diverge:\nplanned:   %+v\nunplanned: %+v", i, pv, uv)
+		}
+	}
+	if p, u := planned.DB().TotalRows(), unplanned.DB().TotalRows(); p != u {
+		t.Errorf("row counts diverge after rollbacks: planned %d vs unplanned %d", p, u)
+	}
+}
+
+// TestPlanCacheHitMissEviction exercises the LRU behaviour directly.
+func TestPlanCacheHitMissEviction(t *testing.T) {
+	m := paperMediator(t, Options{PlanCacheSize: 2})
+	mustExec(t, m, seedTeam5)
+	shapes := []string{
+		paperPrologue + `INSERT DATA { ex:author%d foaf:family_name "L%d" . }`,
+		// Note: literals parameterize away, so this must differ from
+		// seedTeam5 structurally, not just in values.
+		paperPrologue + `INSERT DATA { ex:team%d foaf:name "T%d" . }`,
+		paperPrologue + `INSERT DATA { ex:publisher%d ont:name "P%d" . }`,
+	}
+	id := 10
+	build := func(shape string) string {
+		id++
+		n := 0
+		for i := 0; i < len(shape)-1; i++ {
+			if shape[i] == '%' && shape[i+1] == 'd' {
+				n++
+			}
+		}
+		args := make([]any, n)
+		for i := range args {
+			args[i] = id
+		}
+		return fmt.Sprintf(shape, args...)
+	}
+	base := m.PlanCacheStats() // seedTeam5 compiled one plan already
+	// Three distinct shapes through a 2-entry cache: the third compile
+	// evicts the oldest.
+	for _, shape := range shapes {
+		mustExec(t, m, build(shape))
+	}
+	s := m.PlanCacheStats()
+	if got := s.Misses - base.Misses; got != 3 {
+		t.Errorf("misses = %d, want 3 (stats %+v)", got, s)
+	}
+	if s.Evictions == 0 {
+		t.Errorf("expected evictions with cache size 2: %+v", s)
+	}
+	if s.Size != 2 {
+		t.Errorf("size = %d, want 2", s.Size)
+	}
+	// Re-running the most recent shape hits.
+	before := m.PlanCacheStats().Hits
+	mustExec(t, m, build(shapes[2]))
+	if m.PlanCacheStats().Hits != before+1 {
+		t.Errorf("expected a hit on the cached shape: %+v", m.PlanCacheStats())
+	}
+	// The evicted shape recompiles: a miss, not a failure.
+	beforeMiss := m.PlanCacheStats().Misses
+	mustExec(t, m, build(shapes[0]))
+	if m.PlanCacheStats().Misses != beforeMiss+1 {
+		t.Errorf("expected a miss on the evicted shape: %+v", m.PlanCacheStats())
+	}
+}
+
+// TestPlanStaleRebinding builds a plan from a request with two
+// distinct subjects and re-executes the shape with colliding
+// subjects; the executor must detect the collision and fall back to
+// the uncompiled path, which merges the group and reports the
+// one-value-per-attribute conflict.
+func TestPlanStaleRebinding(t *testing.T) {
+	planned, unplanned := twoMediators(t)
+	shape := `INSERT DATA { ex:team%d foaf:name "%s" . ex:team%d foaf:name "%s" . }`
+	for _, m := range []*Mediator{planned, unplanned} {
+		// Compile/execute with distinct subjects.
+		mustExec(t, m, paperPrologue+fmt.Sprintf(shape, 1, "A", 2, "B"))
+	}
+	// Same shape, colliding subjects, conflicting values.
+	collide := paperPrologue + fmt.Sprintf(shape, 3, "A", 3, "B")
+	_, perr := planned.ExecuteString(collide)
+	_, uerr := unplanned.ExecuteString(collide)
+	if perr == nil || uerr == nil {
+		t.Fatalf("conflicting merged group must fail: planned=%v unplanned=%v", perr, uerr)
+	}
+	var pv, uv *feedback.Violation
+	if !errors.As(perr, &pv) || !errors.As(uerr, &uv) {
+		t.Fatalf("expected violations, got planned=%v unplanned=%v", perr, uerr)
+	}
+	if pv.Constraint != uv.Constraint || pv.Column != uv.Column {
+		t.Errorf("violations diverge: planned=%+v unplanned=%+v", pv, uv)
+	}
+	// Colliding subjects with AGREEING values are valid: the groups
+	// merge into one entity on both paths.
+	agree := paperPrologue + fmt.Sprintf(shape, 4, "Same", 4, "Same")
+	pres := mustExec(t, planned, agree)
+	ures := mustExec(t, unplanned, agree)
+	if !reflect.DeepEqual(pres.SQL(), ures.SQL()) {
+		t.Errorf("merged-group SQL diverges:\nplanned:   %v\nunplanned: %v", pres.SQL(), ures.SQL())
+	}
+}
+
+// TestPlanIntrospection covers PlanFor/Explain/Tables/Slots.
+func TestPlanIntrospection(t *testing.T) {
+	m := paperMediator(t, Options{})
+	p, err := m.PlanFor(listing9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind() != "INSERT DATA" {
+		t.Errorf("kind = %q", p.Kind())
+	}
+	if got := p.Tables(); len(got) != 1 || got[0] != "author" {
+		t.Errorf("tables = %v", got)
+	}
+	if p.Slots() == 0 {
+		t.Error("expected parameter slots")
+	}
+	if p.Explain() == "" {
+		t.Error("empty Explain")
+	}
+	// MODIFY is not plannable.
+	if _, err := m.PlanFor(paperPrologue + `
+MODIFY DELETE { ?x foaf:title "Mr" . } INSERT { } WHERE { ?x foaf:title "Mr" . }`); err == nil {
+		t.Error("MODIFY must not compile to a plan")
+	}
+}
+
+// TestParseMemoReuse checks that repeated request strings skip
+// re-parsing via the memo.
+func TestParseMemoReuse(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	req := paperPrologue + `INSERT DATA { ex:author1 foaf:family_name "Hert" ; ont:team ex:team5 . }`
+	mustExec(t, m, req)
+	mustExec(t, m, req) // becomes INSERT-as-UPDATE, via the memo
+	s := m.ParseCacheStats()
+	if s.Hits == 0 {
+		t.Errorf("parse memo never hit: %+v", s)
+	}
+	if n, _ := m.DB().RowCount("author"); n != 1 {
+		t.Errorf("author rows = %d, want 1", n)
+	}
+}
+
+// TestPlannedPKMappedAttributeParity covers mappings where the
+// primary key column doubles as a foreign key carrying a property
+// (the shape r3mgen emits for pk-FK columns): the triple-supplied
+// value must not override the URI-derived key on INSERT, on either
+// path.
+func TestPlannedPKMappedAttributeParity(t *testing.T) {
+	const ddl = `
+CREATE TABLE base (id INTEGER PRIMARY KEY, name VARCHAR);
+CREATE TABLE extra (id INTEGER PRIMARY KEY REFERENCES base, note VARCHAR);
+`
+	const mapping = `
+@prefix r3m: <http://ontoaccess.org/r3m#> .
+@prefix map: <http://example.org/m#> .
+@prefix o: <http://example.org/o#> .
+map:db a r3m:DatabaseMap ;
+  r3m:uriPrefix "http://example.org/db/" ;
+  r3m:hasTable map:base , map:extra .
+map:base a r3m:TableMap ;
+  r3m:hasTableName "base" ; r3m:mapsToClass o:Base ;
+  r3m:uriPattern "base%%id%%" ;
+  r3m:hasAttribute map:base_id , map:base_name .
+map:base_id a r3m:AttributeMap ; r3m:hasAttributeName "id" ;
+  r3m:hasConstraint [ a r3m:PrimaryKey ] .
+map:base_name a r3m:AttributeMap ; r3m:hasAttributeName "name" ;
+  r3m:mapsToDataProperty o:name .
+map:extra a r3m:TableMap ;
+  r3m:hasTableName "extra" ; r3m:mapsToClass o:Extra ;
+  r3m:uriPattern "extra%%id%%" ;
+  r3m:hasAttribute map:extra_id , map:extra_note .
+map:extra_id a r3m:AttributeMap ; r3m:hasAttributeName "id" ;
+  r3m:mapsToObjectProperty o:of ;
+  r3m:hasConstraint [ a r3m:PrimaryKey ] , [ a r3m:ForeignKey ; r3m:references "base" ] .
+map:extra_note a r3m:AttributeMap ; r3m:hasAttributeName "note" ;
+  r3m:mapsToDataProperty o:note .
+`
+	build := func(opts Options) *Mediator {
+		db := rdb.NewDatabase("pkfk")
+		if _, err := sqlexec.Run(db, ddl); err != nil {
+			t.Fatal(err)
+		}
+		mp, err := r3m.Load(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(db, mp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	planned := build(Options{})
+	unplanned := build(Options{DisablePlanCache: true})
+	const pro = `PREFIX o: <http://example.org/o#>
+PREFIX db: <http://example.org/db/>
+`
+	requests := []string{
+		pro + `INSERT DATA { db:base5 o:name "B" . }`,
+		// pk-mapped property: value agrees with the URI-derived key.
+		pro + `INSERT DATA { db:extra5 o:of db:base5 ; o:note "n" . }`,
+		// Re-run the shape so the compiled plan executes (cache hit).
+		pro + `INSERT DATA { db:base6 o:name "C" . }`,
+		pro + `INSERT DATA { db:extra6 o:of db:base6 ; o:note "m" . }`,
+	}
+	for i, req := range requests {
+		pres, perr := planned.ExecuteString(req)
+		ures, uerr := unplanned.ExecuteString(req)
+		if (perr == nil) != (uerr == nil) {
+			t.Fatalf("request %d: planned err %v vs unplanned err %v", i, perr, uerr)
+		}
+		if !reflect.DeepEqual(pres.SQL(), ures.SQL()) {
+			t.Errorf("request %d SQL diverges:\nplanned:   %v\nunplanned: %v", i, pres.SQL(), ures.SQL())
+		}
+	}
+	// The URI-derived key won: db:extra5 resolves to row id=5.
+	for _, m := range []*Mediator{planned, unplanned} {
+		res, err := m.Query(pro + `SELECT ?n WHERE { db:extra5 o:note ?n . }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Solutions) != 1 || res.Solutions[0]["n"].Value != "n" {
+			t.Errorf("extra5 lookup = %v", res.Solutions)
+		}
+	}
+}

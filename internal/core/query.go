@@ -441,7 +441,7 @@ func (st *SelectTranslation) Run(tx *rdb.Tx) (sparql.Solutions, error) {
 				skip = true
 				break
 			}
-			term, err := st.decodeValue(vb, v)
+			term, err := st.decodeValue(tx, vb, v)
 			if err != nil {
 				return nil, err
 			}
@@ -454,7 +454,12 @@ func (st *SelectTranslation) Run(tx *rdb.Tx) (sparql.Solutions, error) {
 	return sols, nil
 }
 
-func (st *SelectTranslation) decodeValue(vb varBinding, v rdb.Value) (rdf.Term, error) {
+// decodeValue converts one result column back into an RDF term. It
+// resolves schemas through the open transaction — the database-level
+// Schema accessor takes the catalog lock, which this goroutine
+// already holds via tx, and a queued DDL writer would deadlock a
+// recursive read-lock.
+func (st *SelectTranslation) decodeValue(tx *rdb.Tx, vb varBinding, v rdb.Value) (rdf.Term, error) {
 	switch {
 	case vb.kind == bindSubject:
 		uri, err := st.m.mapping.InstanceURI(vb.tm, map[string]string{vb.col: v.Text()})
@@ -463,8 +468,8 @@ func (st *SelectTranslation) decodeValue(vb varBinding, v rdb.Value) (rdf.Term, 
 		}
 		return rdf.IRI(uri), nil
 	case vb.refTM != nil:
-		refSchema, ok := st.m.db.Schema(vb.refTM.Name)
-		if !ok {
+		refSchema, err := tx.Schema(vb.refTM.Name)
+		if err != nil {
 			return rdf.Term{}, fmt.Errorf("core: missing schema for %q", vb.refTM.Name)
 		}
 		uri, err := st.m.mapping.InstanceURI(vb.refTM, map[string]string{refSchema.PrimaryKey[0]: v.Text()})

@@ -32,9 +32,25 @@ func (m *Mediator) sortStatements(tx *rdb.Tx, stmts []plannedStmt) ([]plannedStm
 	for i, name := range order {
 		pos[lowerASCII(name)] = i
 	}
-	rank := func(st plannedStmt) (major, minor int) {
-		tp := pos[lowerASCII(st.table)]
-		switch st.kind {
+	sorted := make([]plannedStmt, len(stmts))
+	copy(sorted, stmts)
+	sortByFKOrder(sorted, pos,
+		func(s *plannedStmt) stmtKind { return s.kind },
+		func(s *plannedStmt) string { return s.table },
+		func(s *plannedStmt) int { return s.seq })
+	return sorted, nil
+}
+
+// sortByFKOrder is the single implementation of the Algorithm 1
+// step-five ordering, shared by the uncompiled path (table ranks
+// derived from the transaction) and the compiled-plan executor
+// (ranks precomputed at compile time). Keeping one sorter keeps the
+// two paths' statement order in lockstep, which the parity tests
+// rely on.
+func sortByFKOrder[S any](stmts []S, pos map[string]int, kindOf func(*S) stmtKind, tableOf func(*S) string, seqOf func(*S) int) {
+	rank := func(s *S) (major, minor int) {
+		tp := pos[lowerASCII(tableOf(s))]
+		switch kindOf(s) {
 		case kindInsert:
 			return 0, tp
 		case kindUpdate:
@@ -43,20 +59,17 @@ func (m *Mediator) sortStatements(tx *rdb.Tx, stmts []plannedStmt) ([]plannedStm
 			return 2, -tp
 		}
 	}
-	sorted := make([]plannedStmt, len(stmts))
-	copy(sorted, stmts)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		mi, ni := rank(sorted[i])
-		mj, nj := rank(sorted[j])
+	sort.SliceStable(stmts, func(i, j int) bool {
+		mi, ni := rank(&stmts[i])
+		mj, nj := rank(&stmts[j])
 		if mi != mj {
 			return mi < mj
 		}
 		if ni != nj {
 			return ni < nj
 		}
-		return sorted[i].seq < sorted[j].seq
+		return seqOf(&stmts[i]) < seqOf(&stmts[j])
 	})
-	return sorted, nil
 }
 
 func lowerASCII(s string) string {

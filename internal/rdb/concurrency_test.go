@@ -1,0 +1,242 @@
+package rdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func lockTestDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase("locks")
+	mustCreate := func(s *TableSchema) {
+		if err := db.CreateTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(&TableSchema{
+		Name: "parent",
+		Columns: []Column{
+			{Name: "id", Type: TInt},
+			{Name: "name", Type: TVarchar},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	mustCreate(&TableSchema{
+		Name: "child",
+		Columns: []Column{
+			{Name: "id", Type: TInt},
+			{Name: "parent", Type: TInt},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []ForeignKey{{Column: "parent", RefTable: "parent"}},
+	})
+	mustCreate(&TableSchema{
+		Name: "loner",
+		Columns: []Column{
+			{Name: "id", Type: TInt},
+			{Name: "v", Type: TVarchar},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	return db
+}
+
+// TestBeginWriteCoverage checks the lock-set contract: writes outside
+// the declared set fail, reads of the foreign-key neighbourhood work.
+func TestBeginWriteCoverage(t *testing.T) {
+	db := lockTestDB(t)
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("parent", map[string]Value{"id": Int(1), "name": String_("p")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.BeginWrite("child")
+	// Write to the declared table, with its FK parent readable.
+	if err := tx.Insert("child", map[string]Value{"id": Int(1), "parent": Int(1)}); err != nil {
+		t.Fatalf("insert into declared table: %v", err)
+	}
+	// Reading the parent is allowed (shared lock via FK closure).
+	if _, _, found, err := tx.LookupPK("parent", []Value{Int(1)}); err != nil || !found {
+		t.Fatalf("parent read under shared lock: %v %v", found, err)
+	}
+	// Writing the parent is not.
+	if err := tx.Insert("parent", map[string]Value{"id": Int(2), "name": String_("q")}); err == nil {
+		t.Fatal("insert into read-locked table must fail")
+	}
+	// Touching an unrelated table is not covered at all.
+	if err := tx.Scan("loner", func(int64, []Value) bool { return true }); err == nil {
+		t.Fatal("scan of uncovered table must fail")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.RowCount("child"); n != 1 {
+		t.Errorf("child rows = %d", n)
+	}
+}
+
+// TestBeginWriteRestrictCoverage: deleting a parent needs the child
+// table readable for the RESTRICT check; the FK closure provides it.
+func TestBeginWriteRestrictCoverage(t *testing.T) {
+	db := lockTestDB(t)
+	if err := db.Update(func(tx *Tx) error {
+		if err := tx.Insert("parent", map[string]Value{"id": Int(1), "name": String_("p")}); err != nil {
+			return err
+		}
+		return tx.Insert("child", map[string]Value{"id": Int(1), "parent": Int(1)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.BeginWrite("parent")
+	defer tx.Rollback()
+	id, _, _, err := tx.LookupPK("parent", []Value{Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tx.DeleteByID("parent", id)
+	if err == nil {
+		t.Fatal("RESTRICT violation expected")
+	}
+	if _, ok := err.(*ConstraintError); !ok {
+		t.Fatalf("want ConstraintError, got %v", err)
+	}
+}
+
+// TestDisjointWritersParallel runs writers on disjoint tables and
+// readers concurrently; under -race this validates the per-table
+// locking, and the final counts validate isolation.
+func TestDisjointWritersParallel(t *testing.T) {
+	db := lockTestDB(t)
+	const n = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			tx := db.BeginWrite("parent")
+			if err := tx.Insert("parent", map[string]Value{"id": Int(int64(i + 1)), "name": String_("p")}); err != nil {
+				tx.Rollback()
+				errCh <- err
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			tx := db.BeginWrite("loner")
+			if err := tx.Insert("loner", map[string]Value{"id": Int(int64(i + 1)), "v": String_("x")}); err != nil {
+				tx.Rollback()
+				errCh <- err
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 50; i++ {
+			err := db.View(func(tx *Tx) error {
+				c := 0
+				if err := tx.Scan("parent", func(int64, []Value) bool { c++; return true }); err != nil {
+					return err
+				}
+				return tx.Scan("loner", func(int64, []Value) bool { c++; return true })
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if c, _ := db.RowCount("parent"); c != n {
+		t.Errorf("parent rows = %d", c)
+	}
+	if c, _ := db.RowCount("loner"); c != n {
+		t.Errorf("loner rows = %d", c)
+	}
+}
+
+// TestViewIsReadOnly: writes inside View transactions fail instead of
+// racing with shared-lock readers.
+func TestViewIsReadOnly(t *testing.T) {
+	db := lockTestDB(t)
+	err := db.View(func(tx *Tx) error {
+		return tx.Insert("parent", map[string]Value{"id": Int(1), "name": String_("p")})
+	})
+	if err == nil {
+		t.Fatal("insert inside View must fail")
+	}
+}
+
+// TestMatch covers the index-backed probe.
+func TestMatch(t *testing.T) {
+	db := lockTestDB(t)
+	if err := db.Update(func(tx *Tx) error {
+		for i := 1; i <= 3; i++ {
+			if err := tx.Insert("parent", map[string]Value{"id": Int(int64(i)), "name": String_("p")}); err != nil {
+				return err
+			}
+		}
+		for i := 1; i <= 4; i++ {
+			parent := int64(1 + i%2) // parents 1 and 2
+			if err := tx.Insert("child", map[string]Value{"id": Int(int64(i)), "parent": Int(parent)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := db.View(func(tx *Tx) error {
+		// Indexed column (FK) equality.
+		ids, err := tx.Match("child", map[string]Value{"parent": Int(2)})
+		if err != nil {
+			return err
+		}
+		if len(ids) != 2 {
+			return fmt.Errorf("parent=2 matches %d rows, want 2", len(ids))
+		}
+		// Combined conditions narrow further.
+		ids, err = tx.Match("child", map[string]Value{"parent": Int(2), "id": Int(3)})
+		if err != nil {
+			return err
+		}
+		if len(ids) != 1 {
+			return fmt.Errorf("combined match %d rows, want 1", len(ids))
+		}
+		// Unindexed column falls back to a scan.
+		ids, err = tx.Match("parent", map[string]Value{"name": String_("p")})
+		if err != nil {
+			return err
+		}
+		if len(ids) != 3 {
+			return fmt.Errorf("name match %d rows, want 3", len(ids))
+		}
+		// Unknown column errors.
+		if _, err := tx.Match("parent", map[string]Value{"nope": Int(1)}); err == nil {
+			return fmt.Errorf("unknown column must error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,13 +8,21 @@ import (
 )
 
 // Database is a named collection of tables. All access happens
-// through transactions (Begin / View); the database serializes
-// writers with a coarse lock, which matches the single-connection
-// mediation setup of the paper's prototype.
+// through transactions (Begin / BeginWrite / View). Concurrency
+// control is two-level: a catalog RWMutex guards the table registry
+// (DDL takes it exclusively, transactions share it), and every table
+// carries its own RWMutex. Begin write-locks every table (the
+// serialized semantics of the paper's single-connection prototype);
+// BeginWrite locks only a declared write set plus its foreign-key
+// neighbourhood, so writers on disjoint tables proceed in parallel;
+// View read-locks all tables, so readers never block each other.
 type Database struct {
 	name string
 
-	mu     sync.Mutex
+	// mu is the catalog lock: it protects tables, order and
+	// referencedBy. Transactions hold it shared for their whole
+	// lifetime, which keeps the table registry stable under them.
+	mu     sync.RWMutex
 	tables map[string]*table
 	order  []string
 	// referencedBy maps a table name to the foreign keys (in other
@@ -98,10 +106,11 @@ func (db *Database) DropTable(name string) error {
 	return nil
 }
 
-// Schema returns the schema of the named table.
+// Schema returns the schema of the named table. Schemas are immutable
+// after CreateTable, so the catalog lock suffices.
 func (db *Database) Schema(name string) (*TableSchema, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, false
@@ -111,8 +120,8 @@ func (db *Database) Schema(name string) (*TableSchema, bool) {
 
 // TableNames returns all table names in creation order.
 func (db *Database) TableNames() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, len(db.order))
 	for i, key := range db.order {
 		out[i] = db.tables[key].schema.Name
@@ -122,22 +131,27 @@ func (db *Database) TableNames() []string {
 
 // RowCount returns the number of rows in the named table.
 func (db *Database) RowCount(name string) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
 		return 0, &TableError{Table: name}
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.rows), nil
 }
 
 // TotalRows returns the number of rows across all tables.
 func (db *Database) TotalRows() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	n := 0
-	for _, t := range db.tables {
+	for _, key := range db.order {
+		t := db.tables[key]
+		t.mu.RLock()
 		n += len(t.rows)
+		t.mu.RUnlock()
 	}
 	return n
 }
@@ -150,13 +164,13 @@ func (db *Database) TotalRows() int {
 // an error since no valid insert order exists under immediate
 // constraint checking.
 func (db *Database) TopologicalTableOrder() ([]string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.topologicalLocked()
 }
 
-// topologicalLocked computes the order with db.mu already held (used
-// by open transactions, which own the lock).
+// topologicalLocked computes the order with the catalog lock already
+// held (used by open transactions, which hold it shared).
 func (db *Database) topologicalLocked() ([]string, error) {
 	return topoOrder(db.order, func(key string) []string {
 		var deps []string
@@ -225,11 +239,76 @@ func topoOrder(nodes []string, deps func(string) []string, display func(string) 
 	return out, nil
 }
 
-// getTable fetches a table by name; callers hold db.mu.
+// getTable fetches a table by name; callers hold the catalog lock
+// (transactions hold it shared for their lifetime).
 func (db *Database) getTable(name string) (*table, error) {
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, &TableError{Table: name}
 	}
 	return t, nil
+}
+
+// lockPlanEntry is one table in a transaction's lock set.
+type lockPlanEntry struct {
+	key   string
+	t     *table
+	write bool
+}
+
+// lockPlan computes the ordered lock set for a write transaction:
+// exclusive locks on the write set, shared locks on the tables the
+// write set's integrity checks read — foreign-key parents (existence
+// checks on INSERT/UPDATE) and children (RESTRICT checks on DELETE
+// and key updates). Callers hold the catalog lock. Unknown names are
+// ignored; touching them later fails with a TableError as before.
+func (db *Database) lockPlan(writeTables []string) []lockPlanEntry {
+	mode := make(map[string]bool, len(writeTables)*2)
+	for _, name := range writeTables {
+		key := strings.ToLower(name)
+		t, ok := db.tables[key]
+		if !ok {
+			continue
+		}
+		mode[key] = true
+		// Record read entries for the FK neighbourhood without ever
+		// downgrading an existing write entry.
+		addRead := func(ref string) {
+			if _, exists := db.tables[ref]; !exists {
+				return
+			}
+			if _, present := mode[ref]; !present {
+				mode[ref] = false
+			}
+		}
+		for _, fk := range t.schema.ForeignKeys {
+			addRead(strings.ToLower(fk.RefTable))
+		}
+		for _, back := range db.referencedBy[key] {
+			addRead(back.table)
+		}
+	}
+	keys := make([]string, 0, len(mode))
+	for key := range mode {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	plan := make([]lockPlanEntry, len(keys))
+	for i, key := range keys {
+		plan[i] = lockPlanEntry{key: key, t: db.tables[key], write: mode[key]}
+	}
+	return plan
+}
+
+// allTablesPlan locks every table in the given mode; callers hold the
+// catalog lock.
+func (db *Database) allTablesPlan(write bool) []lockPlanEntry {
+	keys := make([]string, len(db.order))
+	copy(keys, db.order)
+	sort.Strings(keys)
+	plan := make([]lockPlanEntry, len(keys))
+	for i, key := range keys {
+		plan[i] = lockPlanEntry{key: key, t: db.tables[key], write: write}
+	}
+	return plan
 }

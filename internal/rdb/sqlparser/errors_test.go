@@ -27,29 +27,29 @@ func TestLexerErrorPaths(t *testing.T) {
 // position information.
 func TestParserErrorPaths(t *testing.T) {
 	bad := []string{
-		`CREATE author (id INTEGER PRIMARY KEY)`,          // missing TABLE
-		`CREATE TABLE t ()`,                               // empty column list
-		`CREATE TABLE t (id INTEGER PRIMARY)`,             // PRIMARY without KEY
-		`CREATE TABLE t (id INTEGER NOT)`,                 // NOT without NULL
-		`CREATE TABLE t (id INTEGER, FOREIGN KEY (id))`,   // FK without REFERENCES
-		`CREATE TABLE t (id INTEGER DEFAULT)`,             // DEFAULT without value
-		`CREATE TABLE t (id VARCHAR(x))`,                  // non-numeric length
-		`INSERT t (a) VALUES (1)`,                         // missing INTO
-		`INSERT INTO t (a) VALUES 1`,                      // values without parens
-		`INSERT INTO t (a) VALUES (1`,                     // unterminated values
-		`UPDATE t SET`,                                    // SET without assignments
-		`UPDATE t SET a`,                                  // assignment without '='
-		`DELETE t`,                                        // missing FROM
-		`SELECT a, FROM t`,                                // dangling comma
-		`SELECT a FROM t WHERE`,                           // empty where
-		`SELECT a FROM t ORDER a`,                         // ORDER without BY
-		`SELECT a FROM t LIMIT x`,                         // non-numeric limit
-		`SELECT a FROM t OFFSET 'x'`,                      // non-numeric offset
-		`SELECT a FROM t JOIN u`,                          // JOIN without ON
-		`SELECT COUNT(a) FROM t`,                          // COUNT requires *
-		`SELECT a FROM t WHERE a IN 1`,                    // IN without parens
-		`SELECT a FROM t WHERE a IS 5`,                    // IS without NULL
-		`SELECT a FROM t WHERE (a = 1`,                    // unbalanced paren
+		`CREATE author (id INTEGER PRIMARY KEY)`,        // missing TABLE
+		`CREATE TABLE t ()`,                             // empty column list
+		`CREATE TABLE t (id INTEGER PRIMARY)`,           // PRIMARY without KEY
+		`CREATE TABLE t (id INTEGER NOT)`,               // NOT without NULL
+		`CREATE TABLE t (id INTEGER, FOREIGN KEY (id))`, // FK without REFERENCES
+		`CREATE TABLE t (id INTEGER DEFAULT)`,           // DEFAULT without value
+		`CREATE TABLE t (id VARCHAR(x))`,                // non-numeric length
+		`INSERT t (a) VALUES (1)`,                       // missing INTO
+		`INSERT INTO t (a) VALUES 1`,                    // values without parens
+		`INSERT INTO t (a) VALUES (1`,                   // unterminated values
+		`UPDATE t SET`,                                  // SET without assignments
+		`UPDATE t SET a`,                                // assignment without '='
+		`DELETE t`,                                      // missing FROM
+		`SELECT a, FROM t`,                              // dangling comma
+		`SELECT a FROM t WHERE`,                         // empty where
+		`SELECT a FROM t ORDER a`,                       // ORDER without BY
+		`SELECT a FROM t LIMIT x`,                       // non-numeric limit
+		`SELECT a FROM t OFFSET 'x'`,                    // non-numeric offset
+		`SELECT a FROM t JOIN u`,                        // JOIN without ON
+		`SELECT COUNT(a) FROM t`,                        // COUNT requires *
+		`SELECT a FROM t WHERE a IN 1`,                  // IN without parens
+		`SELECT a FROM t WHERE a IS 5`,                  // IS without NULL
+		`SELECT a FROM t WHERE (a = 1`,                  // unbalanced paren
 	}
 	for _, src := range bad {
 		if _, err := ParseStatement(src); err == nil {

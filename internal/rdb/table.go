@@ -1,11 +1,17 @@
 package rdb
 
+import "sync"
+
 // table is the physical storage for one relation: rows addressed by
 // internal row ids, an insertion-order list for stable scans, a
 // primary-key index, and secondary indexes on foreign-key and UNIQUE
 // columns. Constraint enforcement lives in the transaction layer
 // (tx.go); this type only maintains storage and index consistency.
 type table struct {
+	// mu is the per-table lock. Transactions acquire it exclusively
+	// for tables in their write set and shared for tables their
+	// integrity checks read; see Database.Begin/BeginWrite/View.
+	mu     sync.RWMutex
 	schema *TableSchema
 	// pkCols are the column indexes of the primary key.
 	pkCols []int

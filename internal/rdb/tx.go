@@ -5,18 +5,27 @@ import (
 	"strings"
 )
 
-// Tx is a database transaction. It holds the database's writer lock
-// from Begin until Commit or Rollback, providing serializable
-// isolation (the concurrency model of the paper's single-endpoint
-// mediator). Constraint checking is immediate: every Insert, Update
-// and Delete validates NOT NULL, type, PRIMARY KEY, UNIQUE, FOREIGN
-// KEY and RESTRICT rules at operation time — the behaviour of
-// MySQL/InnoDB that makes statement ordering inside a transaction
-// matter (paper Section 5.1, step five).
+// Tx is a database transaction. It holds its table locks from Begin /
+// BeginWrite / View until Commit or Rollback, providing serializable
+// isolation over the tables it covers. Constraint checking is
+// immediate: every Insert, Update and Delete validates NOT NULL,
+// type, PRIMARY KEY, UNIQUE, FOREIGN KEY and RESTRICT rules at
+// operation time — the behaviour of MySQL/InnoDB that makes statement
+// ordering inside a transaction matter (paper Section 5.1, step
+// five).
+//
+// Lock coverage is fixed at Begin time and acquired in one globally
+// sorted pass, so transactions cannot deadlock against each other. A
+// transaction that touches a table outside its lock set fails with an
+// error instead of racing.
 type Tx struct {
 	db   *Database
 	done bool
 	undo []undoEntry
+	// locks is the acquired lock set in acquisition order; mode maps a
+	// lowercased table name to its lock entry.
+	locks []lockPlanEntry
+	mode  map[string]*lockPlanEntry
 }
 
 type undoKind int
@@ -34,28 +43,73 @@ type undoEntry struct {
 	oldRow []Value
 }
 
-// Begin starts a transaction, blocking until the writer lock is
-// available. Nested Begin on the same goroutine deadlocks, as with
-// a single SQL connection.
-func (db *Database) Begin() *Tx {
-	db.mu.Lock()
-	return &Tx{db: db}
+// begin acquires the given lock plan (already sorted) and returns the
+// transaction. The catalog lock is held shared for the transaction's
+// lifetime, keeping the table registry stable under it.
+func (db *Database) begin(plan []lockPlanEntry) *Tx {
+	mode := make(map[string]*lockPlanEntry, len(plan))
+	for i := range plan {
+		e := &plan[i]
+		if e.write {
+			e.t.mu.Lock()
+		} else {
+			e.t.mu.RLock()
+		}
+		mode[e.key] = e
+	}
+	return &Tx{db: db, locks: plan, mode: mode}
 }
 
-// Commit makes the transaction's changes durable and releases the
-// lock.
+// Begin starts a transaction that write-locks every table — the
+// serialized semantics the paper's single-connection prototype had.
+// It blocks until all locks are available. Nested Begin on the same
+// goroutine deadlocks, as with a single SQL connection.
+func (db *Database) Begin() *Tx {
+	db.mu.RLock()
+	return db.begin(db.allTablesPlan(true))
+}
+
+// BeginWrite starts a transaction that write-locks only the named
+// tables plus shared locks on their foreign-key parents and children
+// (the tables integrity checks read). Transactions with disjoint
+// write sets and non-conflicting read sets run in parallel. Touching
+// a table outside the lock set fails instead of racing, so callers
+// must declare every table they will modify.
+func (db *Database) BeginWrite(writeTables ...string) *Tx {
+	db.mu.RLock()
+	return db.begin(db.lockPlan(writeTables))
+}
+
+// release drops all table locks in reverse acquisition order plus the
+// catalog lock.
+func (tx *Tx) release() {
+	for i := len(tx.locks) - 1; i >= 0; i-- {
+		e := tx.locks[i]
+		if e.write {
+			e.t.mu.Unlock()
+		} else {
+			e.t.mu.RUnlock()
+		}
+	}
+	tx.locks = nil
+	tx.mode = nil
+	tx.db.mu.RUnlock()
+}
+
+// Commit makes the transaction's changes durable and releases its
+// locks.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("rdb: transaction already finished")
 	}
 	tx.done = true
 	tx.undo = nil
-	tx.db.mu.Unlock()
+	tx.release()
 	return nil
 }
 
 // Rollback reverts every change made in the transaction, in reverse
-// order, and releases the lock. Rolling back a finished transaction
+// order, and releases its locks. Rolling back a finished transaction
 // is a no-op, so `defer tx.Rollback()` is safe.
 func (tx *Tx) Rollback() error {
 	if tx.done {
@@ -81,14 +135,17 @@ func (tx *Tx) Rollback() error {
 		}
 	}
 	tx.undo = nil
-	tx.db.mu.Unlock()
+	tx.release()
 	return nil
 }
 
-// View runs fn inside a transaction that is always rolled back,
-// providing a consistent read snapshot.
+// View runs fn inside a read-only transaction that is always rolled
+// back, providing a consistent read snapshot. Every table is locked
+// shared, so views run in parallel with each other and with writers
+// of nothing.
 func (db *Database) View(fn func(tx *Tx) error) error {
-	tx := db.Begin()
+	db.mu.RLock()
+	tx := db.begin(db.allTablesPlan(false))
 	defer tx.Rollback()
 	return fn(tx)
 }
@@ -111,9 +168,31 @@ func (tx *Tx) check() error {
 	return nil
 }
 
-// Schema returns the schema of the named table (lock already held by
-// the transaction).
+// table resolves a table and enforces the transaction's lock
+// coverage: reads need any lock on the table, writes need the
+// exclusive one.
+func (tx *Tx) table(name string, write bool) (*table, error) {
+	t, err := tx.db.getTable(name)
+	if err != nil {
+		return nil, err
+	}
+	e, covered := tx.mode[strings.ToLower(name)]
+	if !covered {
+		return nil, fmt.Errorf("rdb: table %q is outside this transaction's lock set", name)
+	}
+	if write && !e.write {
+		return nil, fmt.Errorf("rdb: table %q is locked read-only in this transaction", name)
+	}
+	return t, nil
+}
+
+// Schema returns the schema of the named table. Schemas are immutable
+// after CreateTable, so no table lock is needed — but the transaction
+// must still be open, since the catalog lock is released on finish.
 func (tx *Tx) Schema(name string) (*TableSchema, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
 	t, err := tx.db.getTable(name)
 	if err != nil {
 		return nil, err
@@ -125,11 +204,18 @@ func (tx *Tx) Schema(name string) (*TableSchema, error) {
 // foreign-key dependency (see Database.TopologicalTableOrder), usable
 // while the transaction holds the lock.
 func (tx *Tx) TopologicalTableOrder() ([]string, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
 	return tx.db.topologicalLocked()
 }
 
-// TableNames lists tables in creation order.
+// TableNames lists tables in creation order; nil after the
+// transaction finished (the catalog is no longer pinned).
 func (tx *Tx) TableNames() []string {
+	if tx.done {
+		return nil
+	}
 	out := make([]string, len(tx.db.order))
 	for i, key := range tx.db.order {
 		out[i] = tx.db.tables[key].schema.Name
@@ -144,7 +230,7 @@ func (tx *Tx) Insert(tableName string, vals map[string]Value) error {
 	if err := tx.check(); err != nil {
 		return err
 	}
-	t, err := tx.db.getTable(tableName)
+	t, err := tx.table(tableName, true)
 	if err != nil {
 		return err
 	}
@@ -188,7 +274,7 @@ func (tx *Tx) UpdateByID(tableName string, id int64, set map[string]Value) error
 	if err := tx.check(); err != nil {
 		return err
 	}
-	t, err := tx.db.getTable(tableName)
+	t, err := tx.table(tableName, true)
 	if err != nil {
 		return err
 	}
@@ -236,7 +322,7 @@ func (tx *Tx) DeleteByID(tableName string, id int64) error {
 	if err := tx.check(); err != nil {
 		return err
 	}
-	t, err := tx.db.getTable(tableName)
+	t, err := tx.table(tableName, true)
 	if err != nil {
 		return err
 	}
@@ -259,7 +345,7 @@ func (tx *Tx) Scan(tableName string, fn func(id int64, row []Value) bool) error 
 	if err := tx.check(); err != nil {
 		return err
 	}
-	t, err := tx.db.getTable(tableName)
+	t, err := tx.table(tableName, false)
 	if err != nil {
 		return err
 	}
@@ -273,7 +359,7 @@ func (tx *Tx) LookupPK(tableName string, pkVals []Value) (int64, []Value, bool, 
 	if err := tx.check(); err != nil {
 		return 0, nil, false, err
 	}
-	t, err := tx.db.getTable(tableName)
+	t, err := tx.table(tableName, false)
 	if err != nil {
 		return 0, nil, false, err
 	}
@@ -337,7 +423,7 @@ func (tx *Tx) validateRow(t *table, row []Value, selfID int64) error {
 		if v.IsNull() {
 			continue
 		}
-		ref, err := tx.db.getTable(fk.RefTable)
+		ref, err := tx.table(fk.RefTable, false)
 		if err != nil {
 			return fmt.Errorf("rdb: foreign key %s.%s references missing table %q",
 				s.Name, fk.Column, fk.RefTable)
@@ -363,9 +449,15 @@ func (tx *Tx) checkRestrict(t *table, row []Value, action string) error {
 	}
 	pkVal := row[t.pkCols[0]]
 	for _, back := range tx.db.referencedBy[strings.ToLower(t.schema.Name)] {
-		refTable, err := tx.db.getTable(back.table)
+		refTable, err := tx.table(back.table, false)
 		if err != nil {
-			continue
+			// A vanished referencing table cannot hold references; any
+			// other failure (notably a lock-coverage bug) must surface
+			// loudly rather than silently skip the RESTRICT check.
+			if _, missing := err.(*TableError); missing {
+				continue
+			}
+			return err
 		}
 		ci := refTable.schema.ColumnIndex(back.column)
 		if set, ok := refTable.matchSecondary(ci, pkVal); ok && len(set) > 0 {
@@ -376,4 +468,63 @@ func (tx *Tx) checkRestrict(t *table, row []Value, action string) error {
 		}
 	}
 	return nil
+}
+
+// Match returns the internal row ids whose columns equal the given
+// values, using a secondary index when one exists on any of the
+// condition columns. Values are coerced to the column storage type
+// before comparison, so lexically equivalent keys match. This is the
+// index-backed probe the compiled-plan executor uses instead of
+// re-parsing a generated SELECT.
+func (tx *Tx) Match(tableName string, eq map[string]Value) ([]int64, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	t, err := tx.table(tableName, false)
+	if err != nil {
+		return nil, err
+	}
+	s := t.schema
+	type cond struct {
+		ci int
+		v  Value
+	}
+	conds := make([]cond, 0, len(eq))
+	indexed := -1
+	for name, v := range eq {
+		ci := s.ColumnIndex(name)
+		if ci < 0 {
+			return nil, &TableError{Table: s.Name, Column: name}
+		}
+		cv := coerce(v, &s.Columns[ci])
+		conds = append(conds, cond{ci: ci, v: cv})
+		if _, ok := t.secondary[ci]; ok && indexed < 0 {
+			indexed = len(conds) - 1
+		}
+	}
+	matches := func(row []Value) bool {
+		for _, c := range conds {
+			if !Equal(row[c.ci], c.v) {
+				return false
+			}
+		}
+		return true
+	}
+	var out []int64
+	if indexed >= 0 {
+		set, _ := t.matchSecondary(conds[indexed].ci, conds[indexed].v)
+		for id := range set {
+			if row, ok := t.rows[id]; ok && matches(row) {
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
+	t.scan(func(id int64, row []Value) bool {
+		if matches(row) {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, nil
 }

@@ -1,0 +1,43 @@
+-- Figure 1: the relational schema of the paper's publication
+-- database. Six tables: five entity tables plus the N:M link table
+-- publication_author. Foreign keys are single-column and reference
+-- the target table's primary key, matching the subset the embedded
+-- engine supports.
+CREATE TABLE team (
+  id INTEGER PRIMARY KEY,
+  name VARCHAR,
+  code VARCHAR
+);
+
+CREATE TABLE publisher (
+  id INTEGER PRIMARY KEY,
+  name VARCHAR
+);
+
+CREATE TABLE pubtype (
+  id INTEGER PRIMARY KEY,
+  type VARCHAR
+);
+
+CREATE TABLE author (
+  id INTEGER PRIMARY KEY,
+  title VARCHAR,
+  email VARCHAR,
+  firstname VARCHAR,
+  lastname VARCHAR NOT NULL,
+  team INTEGER REFERENCES team
+);
+
+CREATE TABLE publication (
+  id INTEGER PRIMARY KEY,
+  title VARCHAR NOT NULL,
+  year INTEGER NOT NULL,
+  type INTEGER REFERENCES pubtype,
+  publisher INTEGER REFERENCES publisher
+);
+
+CREATE TABLE publication_author (
+  id INTEGER PRIMARY KEY AUTO_INCREMENT,
+  publication INTEGER NOT NULL REFERENCES publication,
+  author INTEGER NOT NULL REFERENCES author
+);

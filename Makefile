@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-smoke clean
+.PHONY: ci fmt-check vet build test race cover fuzz-smoke bench bench-smoke clean
 
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build race cover fuzz-smoke bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -24,6 +24,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage gate: the translation core must stay above 70%.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/core
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "core coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "core coverage %.1f%% (gate 70%%)\n", $$3 }'
+
+# 30s of native fuzzing across the three parsers/normalizer targets —
+# regressions land in testdata/fuzz/ as seeds.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParseUpdate -fuzztime 10s -run '^$$' ./internal/update
+	$(GO) test -fuzz FuzzParseQuery -fuzztime 10s -run '^$$' ./internal/sparql
+	$(GO) test -fuzz FuzzNormalizeShape -fuzztime 10s -run '^$$' ./internal/core
 
 # One iteration of every benchmark: catches bit-rot without timing.
 bench-smoke:

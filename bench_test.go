@@ -539,6 +539,42 @@ SELECT ?x ?mbox WHERE {
 	}
 }
 
+// BenchmarkB7_ConcurrentModifyThroughput is B7 over the MODIFY-heavy
+// mix (55% compiled BGP MODIFYs): with plans on, each MODIFY runs its
+// compiled SELECT plus direct storage ops under per-table locks; with
+// plans off, every MODIFY re-translates its WHERE and both per-binding
+// templates under the whole-database write lock.
+func BenchmarkB7_ConcurrentModifyThroughput(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"PlanCache", core.Options{}},
+		{"NoCache", core.Options{DisablePlanCache: true}},
+	} {
+		for _, workers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", variant.name, workers), func(b *testing.B) {
+				m := newMediator(b, variant.opts)
+				perWorker := (b.N + workers - 1) / workers
+				cs := workload.NewConcurrentModifyStream(13, workers, perWorker)
+				if err := cs.Setup(m); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				ops, err := cs.Run(m)
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(ops)/secs, "ops/sec")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkB8_PlanCache measures the compiled-plan pipeline on
 // repeated requests. Repeated sends the same small working set of
 // requests over and over (the steady state of a production endpoint:
@@ -569,6 +605,53 @@ func BenchmarkB8_PlanCache(b *testing.B) {
 		b.StopTimer()
 		if s := m.PlanCacheStats(); !opts.DisablePlanCache && s.Hits == 0 {
 			b.Fatalf("plan cache never hit: %+v", s)
+		}
+	}
+	b.Run("Repeated/CacheOn", func(b *testing.B) { run(b, core.Options{}, false) })
+	b.Run("Repeated/CacheOff", func(b *testing.B) { run(b, core.Options{DisablePlanCache: true}, false) })
+	b.Run("FreshParams/CacheOn", func(b *testing.B) { run(b, core.Options{}, true) })
+	b.Run("FreshParams/CacheOff", func(b *testing.B) { run(b, core.Options{DisablePlanCache: true}, true) })
+}
+
+// BenchmarkB9_ModifyPlanCache measures the compiled-MODIFY pipeline on
+// repeated MODIFY shapes. Repeated cycles a fixed pool of request
+// strings (parse memo + bound plan both hit — the steady state of a
+// production endpoint); FreshParams sends never-repeated strings
+// sharing one shape (only the plan cache hits, re-binding per
+// request); CacheOff re-translates the WHERE SELECT and both
+// per-binding templates on every call, like the paper's prototype.
+func BenchmarkB9_ModifyPlanCache(b *testing.B) {
+	const pool = 32
+	modify := func(author, seq int) string {
+		return fmt.Sprintf(`%s
+MODIFY
+DELETE { ex:author%d foaf:mbox ?m . }
+INSERT { ex:author%d foaf:mbox <mailto:b%d@example.org> . }
+WHERE { ex:author%d foaf:mbox ?m . }`, workload.Prologue, author, author, seq, author)
+	}
+	run := func(b *testing.B, opts core.Options, fresh bool) {
+		m := newMediator(b, opts)
+		exec(b, m, seedTeams(1, 10))
+		reqs := make([]string, pool)
+		for i := 0; i < pool; i++ {
+			exec(b, m, authorInsert(i+1, i%10+1))
+			reqs[i] = modify(i+1, i+1)
+		}
+		for _, req := range reqs {
+			exec(b, m, req) // warm: caches primed, mailboxes rotated once
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fresh {
+				exec(b, m, modify(i%pool+1, pool+i+1))
+			} else {
+				exec(b, m, reqs[i%pool])
+			}
+		}
+		b.StopTimer()
+		if s := m.ModifyPlanCacheStats(); !opts.DisablePlanCache && s.Hits == 0 {
+			b.Fatalf("modify plan cache never hit: %+v", s)
 		}
 	}
 	b.Run("Repeated/CacheOn", func(b *testing.B) { run(b, core.Options{}, false) })

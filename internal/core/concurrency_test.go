@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -41,6 +42,226 @@ INSERT DATA {
 	}
 	if n, _ := m.DB().RowCount("author"); n != workers*perWorker {
 		t.Errorf("author rows = %d, want %d", n, workers*perWorker)
+	}
+}
+
+// dmlTable extracts the target table of a generated DML statement;
+// ok is false for SELECTs.
+func dmlTable(sql string) (string, bool) {
+	f := strings.Fields(sql)
+	switch {
+	case len(f) >= 3 && f[0] == "INSERT" && f[1] == "INTO":
+		return f[2], true
+	case len(f) >= 2 && f[0] == "UPDATE":
+		return f[1], true
+	case len(f) >= 3 && f[0] == "DELETE" && f[1] == "FROM":
+		return f[2], true
+	}
+	return "", false
+}
+
+// selectTables extracts the FROM and JOIN tables of a generated
+// SELECT.
+func selectTables(sql string) []string {
+	f := strings.Fields(sql)
+	var out []string
+	for i := 0; i < len(f)-1; i++ {
+		if f[i] == "FROM" || f[i] == "JOIN" {
+			out = append(out, f[i+1])
+		}
+	}
+	return out
+}
+
+// TestModifyWriteSetCoversSQL proves the lock-coverage contract of
+// compiled MODIFY plans: every DML statement a compiled execution
+// emits targets a table in the plan's declared write set, and the
+// WHERE SELECT only reads tables in the declared read or write sets —
+// so BeginWriteRead's lock set always covers the execution.
+func TestModifyWriteSetCoversSQL(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	mustExec(t, m, listing9)
+	mustExec(t, m, paperPrologue+`INSERT DATA { ex:pubtype1 ont:type "article" . }`)
+	mustExec(t, m, paperPrologue+`INSERT DATA { ex:pub1 dc:title "T1" ; ont:pubYear "2009" ; ont:pubType ex:pubtype1 . }`)
+	cases := []string{
+		paperPrologue + `
+MODIFY
+DELETE { ex:author6 foaf:mbox ?m . }
+INSERT { ex:author6 foaf:mbox <mailto:cov1@example.org> . }
+WHERE { ex:author6 foaf:mbox ?m . }`,
+		paperPrologue + `
+MODIFY
+DELETE { }
+INSERT { ?p dc:creator ex:author6 . }
+WHERE { ?p ont:pubYear "2009" . }`,
+		paperPrologue + `
+MODIFY
+DELETE { ?x foaf:title ?t . }
+INSERT { ?x foaf:title "Prof" . }
+WHERE { ?x ont:team ex:team5 ; foaf:title ?t . }`,
+	}
+	for i, req := range cases {
+		plan, err := m.ModifyPlanFor(req)
+		if err != nil {
+			t.Fatalf("case %d did not compile: %v", i, err)
+		}
+		writes := map[string]bool{}
+		for _, tb := range plan.Tables() {
+			writes[tb] = true
+		}
+		reads := map[string]bool{}
+		for _, tb := range plan.ReadTables() {
+			reads[tb] = true
+		}
+		res := mustExec(t, m, req)
+		if len(res.Ops) != 1 || res.Ops[0].Bindings == 0 {
+			t.Fatalf("case %d did not bind: %+v", i, res.Ops)
+		}
+		for _, sql := range res.SQL() {
+			if table, isDML := dmlTable(sql); isDML {
+				if !writes[table] {
+					t.Errorf("case %d: DML on %q outside declared write set %v:\n%s",
+						i, table, plan.Tables(), sql)
+				}
+				continue
+			}
+			for _, table := range selectTables(sql) {
+				if !reads[table] && !writes[table] {
+					t.Errorf("case %d: SELECT reads %q outside declared sets (w=%v r=%v):\n%s",
+						i, table, plan.Tables(), plan.ReadTables(), sql)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentDisjointModifies runs compiled MODIFYs over disjoint
+// table sets (team renames vs publication retitles) from concurrent
+// workers, with queries interleaved — under -race this validates the
+// per-table locking of the MODIFY plan path; the final values validate
+// isolation.
+func TestConcurrentDisjointModifies(t *testing.T) {
+	m := paperMediator(t, Options{})
+	const entities = 6
+	const rounds = 20
+	for i := 1; i <= entities; i++ {
+		mustExec(t, m, fmt.Sprintf(`%s
+INSERT DATA { ex:team%d foaf:name "Team %d" ; ont:teamCode "C%d" . }`, paperPrologue, i, i, i))
+		mustExec(t, m, fmt.Sprintf(`%s
+INSERT DATA { ex:pub%d dc:title "Title %d" ; ont:pubYear "2009" . }`, paperPrologue, i, i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			for i := 1; i <= entities; i++ {
+				req := fmt.Sprintf(`%s
+MODIFY
+DELETE { ex:team%d foaf:name ?n . }
+INSERT { ex:team%d foaf:name "Renamed %d-%d" . }
+WHERE { ex:team%d foaf:name ?n . }`, paperPrologue, i, i, i, r, i)
+				if _, err := m.ExecuteString(req); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			for i := 1; i <= entities; i++ {
+				req := fmt.Sprintf(`%s
+MODIFY
+DELETE { ex:pub%d dc:title ?t . }
+INSERT { ex:pub%d dc:title "Retitled %d-%d" . }
+WHERE { ex:pub%d dc:title ?t . }`, paperPrologue, i, i, i, r, i)
+				if _, err := m.ExecuteString(req); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 60; i++ {
+			if _, err := m.Query(paperPrologue + `SELECT ?n WHERE { ex:team1 foaf:name ?n . }`); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	last := rounds - 1
+	q, err := m.Query(paperPrologue + `SELECT ?n WHERE { ex:team3 foaf:name ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Solutions) != 1 || q.Solutions[0]["n"].Value != fmt.Sprintf("Renamed 3-%d", last) {
+		t.Errorf("team3 after modifies = %v", q.Solutions)
+	}
+	q, err = m.Query(paperPrologue + `SELECT ?t WHERE { ex:pub2 dc:title ?t . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Solutions) != 1 || q.Solutions[0]["t"].Value != fmt.Sprintf("Retitled 2-%d", last) {
+		t.Errorf("pub2 after modifies = %v", q.Solutions)
+	}
+	if s := m.ModifyPlanCacheStats(); s.Hits == 0 {
+		t.Errorf("concurrent modifies never hit the plan cache: %+v", s)
+	}
+}
+
+// TestConcurrentSameModifyString hammers one memoized MODIFY request
+// from many goroutines: they share the cached bound plan (including
+// the pre-parsed SELECT), so under -race this validates that bound
+// plans are read-only at execution time.
+func TestConcurrentSameModifyString(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	mustExec(t, m, listing9)
+	req := paperPrologue + `
+MODIFY
+DELETE { ex:author6 foaf:mbox ?m . }
+INSERT { ex:author6 foaf:mbox <mailto:same@example.org> . }
+WHERE { ex:author6 foaf:mbox ?m . }`
+	mustExec(t, m, req) // prime the parse memo and both plan caches
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := m.ExecuteString(req); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	q, err := m.Query(paperPrologue + `SELECT ?m WHERE { ex:author6 foaf:mbox ?m . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Solutions) != 1 || q.Solutions[0]["m"].Value != "mailto:same@example.org" {
+		t.Errorf("mailbox = %v", q.Solutions)
 	}
 }
 

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sparql"
+	"ontoaccess/internal/update"
+)
+
+// FuzzNormalizeShape drives arbitrary requests through the shape
+// normalizer. The normalizer must never panic, and parameter binding
+// must round-trip: re-assembling every parameterized term from the
+// extracted argument vector must reproduce the original lexical forms,
+// and re-normalizing must yield the identical cache key and arguments
+// (the property the whole plan cache rests on — a shape key that did
+// not determine its binding sites would execute one request's plan
+// with another request's parameters).
+func FuzzNormalizeShape(f *testing.F) {
+	seeds := []string{
+		`PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ont: <http://example.org/ontology#>
+PREFIX ex: <http://example.org/db/>
+INSERT DATA { ex:author6 foaf:firstName "Matthias" ; foaf:mbox <mailto:hert@ifi.uzh.ch> ; ont:team ex:team5 . }`,
+		`PREFIX ex: <http://example.org/db/>
+PREFIX ont: <http://example.org/ontology#>
+DELETE DATA { ex:team41 ont:teamCode "T41" . }`,
+		`PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ex: <http://example.org/db/>
+MODIFY
+DELETE { ex:author6 foaf:mbox ?m . }
+INSERT { ex:author6 foaf:mbox <mailto:new7@example.org> . }
+WHERE { ex:author6 foaf:mbox ?m . }`,
+		`PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x foaf:mbox <mailto:x@example.org> . }
+WHERE { ?x rdf:type foaf:Person ; foaf:firstName "Matthias" ; foaf:mbox ?m . }`,
+		`INSERT DATA { <http://a/s1> <http://b/p> "00123" . }`,
+		`INSERT DATA { <http://a/90s17x4> <http://b/p> "v0" ; <http://b/q> <http://a/5> . }`,
+		`INSERT DATA { <http://a/1> <http://b/p> "2009"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
+		`INSERT DATA { <http://a/1> <http://b/p> "hi"@en . }`,
+		`CLEAR`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		req, err := update.Parse(src)
+		if err != nil {
+			return
+		}
+		for _, op := range req.Ops {
+			switch o := op.(type) {
+			case update.InsertData:
+				checkDataShape(t, op, o.Triples)
+			case update.DeleteData:
+				checkDataShape(t, op, o.Triples)
+			case update.Modify:
+				key, args, nm, ok := normalizeModify(o)
+				if !ok {
+					continue
+				}
+				checkPatternRoundTrip(t, "DELETE", nm.del, o.Delete, args)
+				checkPatternRoundTrip(t, "INSERT", nm.ins, o.Insert, args)
+				checkPatternRoundTrip(t, "WHERE", nm.where, o.Where.Triples, args)
+				key2, args2, _, ok2 := normalizeModify(o)
+				if !ok2 || key2 != key || !equalStrings(args, args2) {
+					t.Fatal("MODIFY normalization is not deterministic")
+				}
+			}
+		}
+	})
+}
+
+// checkDataShape verifies the normalize/bind round trip for one
+// INSERT DATA / DELETE DATA operation.
+func checkDataShape(t *testing.T, op update.Operation, triples []rdf.Triple) {
+	t.Helper()
+	key, args, nts, kind, ok := normalizeOp(op)
+	if !ok {
+		return
+	}
+	if len(nts) != len(triples) {
+		t.Fatalf("%s: %d normalized triples for %d triples", kind, len(nts), len(triples))
+	}
+	for i, nt := range nts {
+		if got := bindNormTerm(nt.s, args); got != triples[i].S.Value {
+			t.Fatalf("subject %d does not round-trip: %q != %q", i, got, triples[i].S.Value)
+		}
+		if got := bindNormTerm(nt.o, args); got != triples[i].O.Value {
+			t.Fatalf("object %d does not round-trip: %q != %q", i, got, triples[i].O.Value)
+		}
+		if nt.p != triples[i].P {
+			t.Fatalf("predicate %d changed: %v != %v", i, nt.p, triples[i].P)
+		}
+	}
+	key2, args2, _, _, ok2 := normalizeOp(op)
+	if !ok2 || key2 != key || !equalStrings(args, args2) {
+		t.Fatalf("%s: normalization is not deterministic", kind)
+	}
+}
+
+// checkPatternRoundTrip verifies that materializing normalized MODIFY
+// patterns with the extracted arguments reproduces the original
+// patterns exactly.
+func checkPatternRoundTrip(t *testing.T, section string, nps []normPattern, pats []sparql.TriplePattern, args []string) {
+	t.Helper()
+	if len(nps) != len(pats) {
+		t.Fatalf("%s: %d normalized patterns for %d patterns", section, len(nps), len(pats))
+	}
+	got := materializePatterns(nps, args)
+	for i := range pats {
+		if got[i] != pats[i] {
+			t.Fatalf("%s pattern %d does not round-trip:\ngot  %v\nwant %v", section, i, got[i], pats[i])
+		}
+	}
+}
+
+func bindNormTerm(nt normTerm, args []string) string {
+	if nt.segs == nil {
+		return nt.term.Value
+	}
+	return bindSegs(nt.segs, args)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -70,11 +70,13 @@ type Mediator struct {
 	mapping *r3m.Mapping
 	opts    Options
 
-	// plans caches compiled UpdatePlans keyed on request shape;
-	// parses memoizes raw request strings to parsed-and-bound
-	// requests. topoPos ranks tables parents-first for plan-time
-	// statement sorting; nil disables planning (cyclic schemas).
+	// plans caches compiled UpdatePlans and mplans compiled
+	// ModifyPlans, keyed on request shape; parses memoizes raw request
+	// strings to parsed-and-bound requests. topoPos ranks tables
+	// parents-first for plan-time statement sorting; nil disables
+	// planning (cyclic schemas).
 	plans   *lruCache[*UpdatePlan]
+	mplans  *lruCache[*ModifyPlan]
 	parses  *lruCache[*cachedRequest]
 	topoPos map[string]int
 }
@@ -95,6 +97,7 @@ func New(db *rdb.Database, mapping *r3m.Mapping, opts Options) (*Mediator, error
 		size = DefaultPlanCacheSize
 	}
 	m.plans = newLRU[*UpdatePlan](size)
+	m.mplans = newLRU[*ModifyPlan](size)
 	m.parses = newLRU[*cachedRequest](defaultParseCacheSize)
 	if order, err := db.TopologicalTableOrder(); err == nil {
 		m.topoPos = make(map[string]int, len(order))
@@ -220,9 +223,18 @@ func (m *Mediator) executeCachedRequest(cr *cachedRequest) (*Result, error) {
 	for i, op := range cr.req.Ops {
 		var opRes *OpResult
 		var err error
-		if u := cr.planned[i]; u != nil {
+		switch u := cr.planned[i]; {
+		case u != nil && u.mplan != nil:
+			var handled bool
+			opRes, err, handled = m.runPlannedModify(u.mplan, u.mbound)
+			if !handled {
+				// The bound execution went stale for the current data;
+				// the uncompiled whole-database path is authoritative.
+				opRes, err = m.executeUnplannedOp(op)
+			}
+		case u != nil:
 			opRes, err = m.runPlanned(u.plan, u.bound)
-		} else {
+		default:
 			// Known unplannable (or invalid) at memoization time: go
 			// straight to the uncompiled path instead of re-probing
 			// the plan cache.

@@ -49,34 +49,49 @@ func (m *Mediator) execModify(tx *rdb.Tx, op update.Modify) (*OpResult, error) {
 
 	// Step 7: per binding, build and execute DELETE DATA and INSERT
 	// DATA operations.
+	err := m.applyModifyBindings(sols, op.Delete, op.Insert, res,
+		func(kind string, triples []rdf.Triple) (*OpResult, error) {
+			if kind == "DELETE DATA" {
+				return m.execDeleteData(tx, update.DeleteData{Triples: triples})
+			}
+			return m.execInsertData(tx, update.InsertData{Triples: triples})
+		})
+	return res, err
+}
+
+// applyModifyBindings is Algorithm 2's per-binding loop: instantiate
+// both templates for every WHERE solution, apply the Section 5.2
+// redundant-delete decision, and execute the DELETE DATA / INSERT
+// DATA pair, accumulating SQL and row counts into res. The uncompiled
+// path (execModify) and the compiled ModifyPlan executor share this
+// loop through the execOp callback, so their per-binding semantics
+// cannot drift.
+func (m *Mediator) applyModifyBindings(sols sparql.Solutions, del, ins []sparql.TriplePattern, res *OpResult,
+	execOp func(kind string, triples []rdf.Triple) (*OpResult, error)) error {
 	for _, b := range sols {
-		deleteTriples := instantiateTemplate(op.Delete, b)
-		insertTriples := instantiateTemplate(op.Insert, b)
+		deleteTriples := instantiateTemplate(del, b)
+		insertTriples := instantiateTemplate(ins, b)
 		if !m.opts.DisableModifyOptimization {
 			deleteTriples = m.dropRedundantDeletes(deleteTriples, insertTriples)
 		}
-		if len(deleteTriples) > 0 {
-			dres, err := m.execDeleteData(tx, update.DeleteData{Triples: deleteTriples})
-			if dres != nil {
-				res.SQL = append(res.SQL, dres.SQL...)
-				res.RowsAffected += dres.RowsAffected
+		for _, part := range []struct {
+			kind    string
+			triples []rdf.Triple
+		}{{"DELETE DATA", deleteTriples}, {"INSERT DATA", insertTriples}} {
+			if len(part.triples) == 0 {
+				continue
+			}
+			r, err := execOp(part.kind, part.triples)
+			if r != nil {
+				res.SQL = append(res.SQL, r.SQL...)
+				res.RowsAffected += r.RowsAffected
 			}
 			if err != nil {
-				return res, err
-			}
-		}
-		if len(insertTriples) > 0 {
-			ires, err := m.execInsertData(tx, update.InsertData{Triples: insertTriples})
-			if ires != nil {
-				res.SQL = append(res.SQL, ires.SQL...)
-				res.RowsAffected += ires.RowsAffected
-			}
-			if err != nil {
-				return res, err
+				return err
 			}
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // instantiateTemplate substitutes a binding into template patterns,

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sparql"
 	"ontoaccess/internal/update"
 )
 
@@ -71,6 +72,16 @@ const (
 	shapeSlotMark  = '\x00'
 )
 
+// keySafe reports whether a string may be written verbatim into a
+// shape key. The lexer admits arbitrary bytes inside <...>, so an IRI
+// (or datatype, language tag, variable name) containing one of the
+// separator bytes could forge another shape's key and execute that
+// shape's compiled plan; such requests are simply not plannable and
+// take the uncompiled path, which rejects them with proper feedback.
+func keySafe(s string) bool {
+	return !strings.ContainsAny(s, "\x1f\x1e\x00")
+}
+
 // iriSegs splits an IRI value into literal text and digit-run slots,
 // appending the runs to the argument vector and the marked template
 // to the key. It returns nil segs when the IRI carries no digits.
@@ -118,6 +129,9 @@ func (n *normalizer) iriSegs(v string) []shapeSeg {
 func (n *normalizer) normTermFor(t rdf.Term, typeObject bool) (normTerm, bool) {
 	switch t.Kind {
 	case rdf.KindIRI:
+		if !keySafe(t.Value) {
+			return normTerm{}, false
+		}
 		n.key.WriteString("I:")
 		if typeObject {
 			n.key.WriteString(t.Value)
@@ -125,6 +139,9 @@ func (n *normalizer) normTermFor(t rdf.Term, typeObject bool) (normTerm, bool) {
 		}
 		return normTerm{term: t, segs: n.iriSegs(t.Value)}, true
 	case rdf.KindLiteral:
+		if !keySafe(t.Datatype) || !keySafe(t.Lang) {
+			return normTerm{}, false
+		}
 		n.key.WriteString("L:")
 		n.key.WriteByte(shapeSlotMark)
 		n.key.WriteByte('^')
@@ -151,7 +168,7 @@ func normalizeDataOp(kind string, triples []rdf.Triple) (key string, args []stri
 	n.key.WriteByte(shapeRecordSep)
 	nts = make([]normTriple, 0, len(triples))
 	for _, tr := range triples {
-		if !tr.P.IsIRI() {
+		if !tr.P.IsIRI() || !keySafe(tr.P.Value) {
 			return "", nil, nil, false
 		}
 		s, sok := n.normTermFor(tr.S, false)
@@ -171,9 +188,9 @@ func normalizeDataOp(kind string, triples []rdf.Triple) (key string, args []stri
 	return n.key.String(), n.args, nts, true
 }
 
-// normalizeOp dispatches on the operation kind. Only ground data
-// operations compile to plans; MODIFY and CLEAR take the uncompiled
-// path (their work is dominated by data-dependent evaluation).
+// normalizeOp dispatches on the operation kind. Ground data
+// operations and MODIFY compile to plans (normalizeModify handles the
+// latter); CLEAR takes the uncompiled path.
 func normalizeOp(op update.Operation) (key string, args []string, nts []normTriple, kind string, ok bool) {
 	switch o := op.(type) {
 	case update.InsertData:
@@ -185,4 +202,111 @@ func normalizeOp(op update.Operation) (key string, args []string, nts []normTrip
 	default:
 		return "", nil, nil, "", false
 	}
+}
+
+// ---- MODIFY shapes --------------------------------------------------
+
+// normPatTerm is one position of a normalized triple pattern: a
+// variable, or a constant term with optional parameter slots.
+type normPatTerm struct {
+	isVar bool
+	v     string   // variable name when isVar
+	term  rdf.Term // compile-time exemplar term otherwise
+	segs  []shapeSeg
+}
+
+// normPattern is a normalized triple pattern of a MODIFY template or
+// WHERE clause.
+type normPattern struct {
+	s, p, o normPatTerm
+}
+
+// normModify is a MODIFY request with its templates and WHERE triples
+// parameterized.
+type normModify struct {
+	del, ins, where []normPattern
+}
+
+// normPatTermFor parameterizes one pattern term. Variables contribute
+// their name to the key (renaming a variable is a different shape —
+// correct, if occasionally conservative). constOnly marks positions
+// that select mappings at compile time (predicates, rdf:type objects)
+// and therefore stay constant.
+func (n *normalizer) normPatTermFor(pt sparql.PatternTerm, constOnly bool) (normPatTerm, bool) {
+	if pt.IsVar {
+		if !keySafe(pt.Var) {
+			return normPatTerm{}, false
+		}
+		n.key.WriteString("V:")
+		n.key.WriteString(pt.Var)
+		return normPatTerm{isVar: true, v: pt.Var}, true
+	}
+	if constOnly {
+		if !pt.Term.IsIRI() || !keySafe(pt.Term.Value) {
+			return normPatTerm{}, false
+		}
+		n.key.WriteString("I:")
+		n.key.WriteString(pt.Term.Value)
+		return normPatTerm{term: pt.Term}, true
+	}
+	t, ok := n.normTermFor(pt.Term, false)
+	if !ok {
+		return normPatTerm{}, false
+	}
+	return normPatTerm{term: t.term, segs: t.segs}, true
+}
+
+// normalizePatterns parameterizes one pattern list (a template or the
+// WHERE triples) into the shared normalizer.
+func (n *normalizer) normalizePatterns(tag byte, pats []sparql.TriplePattern) ([]normPattern, bool) {
+	n.key.WriteByte(tag)
+	out := make([]normPattern, 0, len(pats))
+	for _, tp := range pats {
+		s, ok := n.normPatTermFor(tp.S, false)
+		if !ok {
+			return nil, false
+		}
+		n.key.WriteByte(shapeFieldSep)
+		p, ok := n.normPatTermFor(tp.P, !tp.P.IsVar)
+		if !ok {
+			return nil, false
+		}
+		n.key.WriteByte(shapeFieldSep)
+		typeObj := !p.isVar && p.term.Value == rdf.RDFType
+		o, ok := n.normPatTermFor(tp.O, typeObj && !tp.O.IsVar)
+		if !ok {
+			return nil, false
+		}
+		n.key.WriteByte(shapeRecordSep)
+		out = append(out, normPattern{s: s, p: p, o: o})
+	}
+	return out, true
+}
+
+// normalizeModify parameterizes a MODIFY operation: literals and IRI
+// digit runs in the templates and the WHERE triples become parameter
+// slots; variables, predicates and rdf:type objects stay structural.
+// Only BGP-only WHERE clauses are plannable — FILTER, OPTIONAL and
+// UNION patterns evaluate data-dependently and take the uncompiled
+// path, as do blank nodes anywhere in the request.
+func normalizeModify(op update.Modify) (key string, args []string, nm *normModify, ok bool) {
+	w := op.Where
+	if w == nil || len(w.Triples) == 0 ||
+		len(w.Filters) > 0 || len(w.Optionals) > 0 || len(w.Unions) > 0 {
+		return "", nil, nil, false
+	}
+	n := &normalizer{}
+	n.key.WriteString("MODIFY")
+	n.key.WriteByte(shapeRecordSep)
+	nm = &normModify{}
+	if nm.del, ok = n.normalizePatterns('D', op.Delete); !ok {
+		return "", nil, nil, false
+	}
+	if nm.ins, ok = n.normalizePatterns('I', op.Insert); !ok {
+		return "", nil, nil, false
+	}
+	if nm.where, ok = n.normalizePatterns('W', w.Triples); !ok {
+		return "", nil, nil, false
+	}
+	return n.key.String(), n.args, nm, true
 }

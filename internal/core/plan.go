@@ -308,12 +308,28 @@ func (s *subjectSrc) describe() string {
 
 // ---- compilation ---------------------------------------------------
 
+// schemaFn resolves a table schema during plan compilation. Outside a
+// transaction it is Database.Schema; inside one (per-binding MODIFY
+// compiles) it must be backed by the open transaction — the
+// database-level accessor re-takes the catalog lock this goroutine
+// already holds shared, and a queued DDL writer would deadlock the
+// recursive read-lock.
+type schemaFn func(name string) (*rdb.TableSchema, bool)
+
+// txSchema adapts an open transaction to schemaFn.
+func txSchema(tx *rdb.Tx) schemaFn {
+	return func(name string) (*rdb.TableSchema, bool) {
+		s, err := tx.Schema(name)
+		return s, err == nil
+	}
+}
+
 // compileDataPlan builds an UpdatePlan from the normalized triples of
 // an INSERT DATA / DELETE DATA operation. Shapes the compiler cannot
 // prove equivalent to the uncompiled path return errUnplannable;
 // shapes that are invalid per se also return errUnplannable so the
 // uncompiled path produces the authoritative violation feedback.
-func (m *Mediator) compileDataPlan(kind, key string, slots int, nts []normTriple) (*UpdatePlan, error) {
+func (m *Mediator) compileDataPlan(kind, key string, slots int, nts []normTriple, lookupSchema schemaFn) (*UpdatePlan, error) {
 	p := &UpdatePlan{key: key, kind: kind, slots: slots, topoPos: m.topoPos}
 	if p.topoPos == nil {
 		return nil, errUnplannable
@@ -328,7 +344,7 @@ func (m *Mediator) compileDataPlan(kind, key string, slots int, nts []normTriple
 			if err != nil {
 				return nil, errUnplannable
 			}
-			schema, ok := m.db.Schema(tm.Name)
+			schema, ok := lookupSchema(tm.Name)
 			if !ok || len(schema.PrimaryKey) != 1 {
 				return nil, errUnplannable
 			}
@@ -356,7 +372,7 @@ func (m *Mediator) compileDataPlan(kind, key string, slots int, nts []normTriple
 		} else if g.subject.constURI != uri {
 			return nil, errUnplannable
 		}
-		if err := m.compileTriple(g, nt); err != nil {
+		if err := m.compileTriple(g, nt, lookupSchema); err != nil {
 			return nil, err
 		}
 	}
@@ -407,7 +423,7 @@ func (m *Mediator) constSubjectKey(g *groupPlan, uri string) (rdb.Value, error) 
 
 // compileTriple folds one triple into its group plan, mirroring
 // partitionGroup.
-func (m *Mediator) compileTriple(g *groupPlan, nt normTriple) error {
+func (m *Mediator) compileTriple(g *groupPlan, nt normTriple, lookupSchema schemaFn) error {
 	prop := nt.p.Value
 	if prop == rdf.RDFType {
 		if nt.o.term != g.tm.Class {
@@ -427,7 +443,7 @@ func (m *Mediator) compileTriple(g *groupPlan, nt normTriple) error {
 		if objTM == nil {
 			return errUnplannable
 		}
-		objSchema, ok := m.db.Schema(objTM.Name)
+		objSchema, ok := lookupSchema(objTM.Name)
 		if !ok {
 			return errUnplannable
 		}
@@ -453,7 +469,7 @@ func (m *Mediator) compileTriple(g *groupPlan, nt normTriple) error {
 		if !found {
 			return errUnplannable
 		}
-		refSchema, ok := m.db.Schema(refTM.Name)
+		refSchema, ok := lookupSchema(refTM.Name)
 		if !ok {
 			return errUnplannable
 		}
@@ -905,10 +921,14 @@ func planCoversAllRemaining(g *groupPlan, row []rdb.Value) bool {
 // plannedUnit is a plan bound to one concrete argument vector —
 // everything shape- and parameter-dependent precomputed, with only
 // the data-dependent probes left for execution time. Cached per
-// request string alongside the parse memo.
+// request string alongside the parse memo. Exactly one of plan
+// (INSERT DATA / DELETE DATA) or mplan (MODIFY) is set.
 type plannedUnit struct {
 	plan  *UpdatePlan
 	bound []boundGroup
+
+	mplan  *ModifyPlan
+	mbound *boundModify
 }
 
 // cachedRequest is a parse-memo entry: the parsed request plus the
@@ -926,11 +946,27 @@ type cachedRequest struct {
 func (m *Mediator) buildCachedRequest(req *update.Request) *cachedRequest {
 	cr := &cachedRequest{req: req, planned: make([]*plannedUnit, len(req.Ops))}
 	for i, op := range req.Ops {
+		if mo, isModify := op.(update.Modify); isModify {
+			key, args, nm, ok := normalizeModify(mo)
+			if !ok {
+				continue
+			}
+			plan, ok := m.modifyPlanForShape(key, len(args), mo, nm)
+			if !ok {
+				continue
+			}
+			bm, err := plan.bind(m, args)
+			if err != nil {
+				continue
+			}
+			cr.planned[i] = &plannedUnit{mplan: plan, mbound: bm}
+			continue
+		}
 		key, args, nts, kind, ok := normalizeOp(op)
 		if !ok {
 			continue
 		}
-		plan, ok := m.planForShape(kind, key, len(args), nts)
+		plan, ok := m.planForShape(kind, key, len(args), nts, m.db.Schema)
 		if !ok {
 			continue
 		}
@@ -947,11 +983,11 @@ func (m *Mediator) buildCachedRequest(req *update.Request) *cachedRequest {
 // shape. Unplannable shapes are cached as negative entries, so hot
 // shapes the compiler rejects pay for compilation once, not per
 // request; ok is false for them.
-func (m *Mediator) planForShape(kind, key string, slots int, nts []normTriple) (*UpdatePlan, bool) {
+func (m *Mediator) planForShape(kind, key string, slots int, nts []normTriple, lookupSchema schemaFn) (*UpdatePlan, bool) {
 	if plan, hit := m.plans.get(key); hit {
 		return plan, plan != nil
 	}
-	plan, err := m.compileDataPlan(kind, key, slots, nts)
+	plan, err := m.compileDataPlan(kind, key, slots, nts, lookupSchema)
 	if err != nil {
 		m.plans.put(key, nil)
 		return nil, false
@@ -981,11 +1017,14 @@ func (m *Mediator) runPlanned(plan *UpdatePlan, bound []boundGroup) (*OpResult, 
 // false when the operation is unplannable or the bound execution went
 // stale; the caller then runs the uncompiled path.
 func (m *Mediator) tryPlanned(op update.Operation) (*OpResult, error, bool) {
+	if mo, isModify := op.(update.Modify); isModify {
+		return m.tryPlannedModify(mo)
+	}
 	key, args, nts, kind, ok := normalizeOp(op)
 	if !ok {
 		return nil, nil, false
 	}
-	plan, ok := m.planForShape(kind, key, len(args), nts)
+	plan, ok := m.planForShape(kind, key, len(args), nts, m.db.Schema)
 	if !ok {
 		return nil, nil, false
 	}
@@ -1031,7 +1070,7 @@ func (m *Mediator) PlanFor(src string) (*UpdatePlan, error) {
 	if !ok {
 		return nil, errUnplannable
 	}
-	plan, ok := m.planForShape(kind, key, len(args), nts)
+	plan, ok := m.planForShape(kind, key, len(args), nts, m.db.Schema)
 	if !ok {
 		return nil, errUnplannable
 	}

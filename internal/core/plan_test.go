@@ -10,6 +10,7 @@ import (
 	"ontoaccess/internal/r3m"
 	"ontoaccess/internal/rdb"
 	"ontoaccess/internal/rdb/sqlexec"
+	"ontoaccess/internal/update"
 )
 
 // twoMediators builds a plan-cached and a plan-less mediator over
@@ -231,10 +232,309 @@ func TestPlanIntrospection(t *testing.T) {
 	if p.Explain() == "" {
 		t.Error("empty Explain")
 	}
-	// MODIFY is not plannable.
+	// PlanFor covers data operations; MODIFY introspection goes
+	// through ModifyPlanFor.
 	if _, err := m.PlanFor(paperPrologue + `
 MODIFY DELETE { ?x foaf:title "Mr" . } INSERT { } WHERE { ?x foaf:title "Mr" . }`); err == nil {
-		t.Error("MODIFY must not compile to a plan")
+		t.Error("PlanFor must reject MODIFY (use ModifyPlanFor)")
+	}
+}
+
+// TestModifyPlanIntrospection covers the compiled-MODIFY plan surface:
+// BGP-only MODIFYs compile, declare their lock sets, and re-executions
+// hit the cache; FILTER/OPTIONAL WHERE clauses stay unplannable and
+// fall back to the uncompiled path.
+func TestModifyPlanIntrospection(t *testing.T) {
+	m := paperMediator(t, Options{})
+	bgp := paperPrologue + `
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x foaf:mbox <mailto:new1@example.org> . }
+WHERE { ?x rdf:type foaf:Person ; foaf:mbox ?m . }`
+	p, err := m.ModifyPlanFor(bgp)
+	if err != nil {
+		t.Fatalf("plannable MODIFY did not compile: %v", err)
+	}
+	if p.Kind() != "MODIFY" {
+		t.Errorf("kind = %q", p.Kind())
+	}
+	if got := p.Tables(); len(got) != 1 || got[0] != "author" {
+		t.Errorf("write set = %v, want [author]", got)
+	}
+	if got := p.ReadTables(); len(got) != 1 || got[0] != "author" {
+		t.Errorf("read set = %v, want [author]", got)
+	}
+	if p.Slots() == 0 {
+		t.Error("expected parameter slots (the mailbox literal digits)")
+	}
+	if p.Explain() == "" {
+		t.Error("empty Explain")
+	}
+	// A link-table template extends the write set to the link table.
+	lp, err := m.ModifyPlanFor(paperPrologue + `
+MODIFY
+DELETE { }
+INSERT { ?p dc:creator ex:author1 . }
+WHERE { ?p rdf:type foaf:Document . }`)
+	if err != nil {
+		t.Fatalf("link-template MODIFY did not compile: %v", err)
+	}
+	if got := lp.Tables(); !reflect.DeepEqual(got, []string{"publication", "publication_author"}) {
+		t.Errorf("link write set = %v", got)
+	}
+	// Unplannable WHERE shapes: FILTER and OPTIONAL fall back.
+	for _, src := range []string{
+		paperPrologue + `
+MODIFY DELETE { ?x foaf:mbox ?m . } INSERT { }
+WHERE { ?x foaf:mbox ?m . FILTER (STR(?m) = "mailto:x@example.org") }`,
+		paperPrologue + `
+MODIFY DELETE { ?x foaf:title "Mr" . } INSERT { }
+WHERE { ?x foaf:family_name "Hert" . OPTIONAL { ?x foaf:title "Mr" . } }`,
+	} {
+		if _, err := m.ModifyPlanFor(src); err == nil {
+			t.Errorf("non-BGP MODIFY must not compile:\n%s", src)
+		}
+	}
+}
+
+// TestModifyPlanCacheHit proves repeated MODIFY shapes execute through
+// the cache — and that the compiled path is actually taken, not
+// silently falling back.
+func TestModifyPlanCacheHit(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	mustExec(t, m, listing9)
+	g := 0
+	modify := func(i int) string {
+		g++
+		return paperPrologue + fmt.Sprintf(`
+MODIFY
+DELETE { ex:author6 foaf:mbox ?m . }
+INSERT { ex:author6 foaf:mbox <mailto:new%d@example.org> . }
+WHERE { ex:author6 foaf:mbox ?m . }`, i)
+	}
+	base := m.ModifyPlanCacheStats()
+	res := mustExec(t, m, modify(1))
+	if len(res.Ops) != 1 || res.Ops[0].Bindings != 1 {
+		t.Fatalf("first MODIFY: %+v", res.Ops)
+	}
+	s := m.ModifyPlanCacheStats()
+	if s.Misses-base.Misses != 1 || s.Size == 0 {
+		t.Fatalf("expected one compile: %+v", s)
+	}
+	for i := 2; i <= 5; i++ {
+		mustExec(t, m, modify(i))
+	}
+	s = m.ModifyPlanCacheStats()
+	if got := s.Hits - base.Hits; got < 4 {
+		t.Errorf("modify plan cache hits = %d, want >= 4 (%+v)", got, s)
+	}
+	// The mailbox really rotated through all five modifies.
+	q, err := m.Query(paperPrologue + `SELECT ?m WHERE { ex:author6 foaf:mbox ?m . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Solutions) != 1 || q.Solutions[0]["m"].Value != "mailto:new5@example.org" {
+		t.Errorf("mailbox after modifies = %v", q.Solutions)
+	}
+	// An unplannable MODIFY (FILTER) still executes via fallback.
+	mustExec(t, m, paperPrologue+`
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x foaf:mbox <mailto:filtered@example.org> . }
+WHERE { ?x foaf:mbox ?m . FILTER (STR(?m) = "mailto:new5@example.org") }`)
+	q, err = m.Query(paperPrologue + `SELECT ?m WHERE { ex:author6 foaf:mbox ?m . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Solutions) != 1 || q.Solutions[0]["m"].Value != "mailto:filtered@example.org" {
+		t.Errorf("mailbox after FILTER fallback = %v", q.Solutions)
+	}
+}
+
+// TestModifyPlannedMatchesUnplanned drives MODIFY-heavy request
+// sequences through the compiled and uncompiled paths and requires
+// identical SQL (including the translated SELECT), bindings, rows
+// affected, and final state — the MODIFY parity contract.
+func TestModifyPlannedMatchesUnplanned(t *testing.T) {
+	planned, unplanned := twoMediators(t)
+	seed := []string{
+		seedTeam5, listing9,
+		paperPrologue + `INSERT DATA { ex:author7 foaf:family_name "Reif" ; foaf:firstName "Gerald" ; ont:team ex:team5 . }`,
+		paperPrologue + `INSERT DATA { ex:pubtype1 ont:type "article" . }`,
+		paperPrologue + `INSERT DATA { ex:pub1 dc:title "T1" ; ont:pubYear "2009" ; ont:pubType ex:pubtype1 ; dc:creator ex:author6 . }`,
+	}
+	requests := []string{
+		// Listing 11 shape: rebind a mailbox through a typed WHERE.
+		paperPrologue + `
+MODIFY
+DELETE { ?x foaf:mbox ?mbox . }
+INSERT { ?x foaf:mbox <mailto:hert@example.com> . }
+WHERE { ?x rdf:type foaf:Person ; foaf:firstName "Matthias" ; foaf:family_name "Hert" ; foaf:mbox ?mbox . }`,
+		// Constant-subject BGP (the B3/E6 shape), repeated for re-binding.
+		paperPrologue + `
+MODIFY
+DELETE { ex:author6 foaf:mbox ?m . }
+INSERT { ex:author6 foaf:mbox <mailto:new7@example.org> . }
+WHERE { ex:author6 foaf:mbox ?m . }`,
+		paperPrologue + `
+MODIFY
+DELETE { ex:author6 foaf:mbox ?m . }
+INSERT { ex:author6 foaf:mbox <mailto:new8@example.org> . }
+WHERE { ex:author6 foaf:mbox ?m . }`,
+		// Zero-solution WHERE: only the SELECT runs.
+		paperPrologue + `
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { }
+WHERE { ?x foaf:family_name "Nobody" ; foaf:mbox ?m . }`,
+		// Multi-binding MODIFY over every team member.
+		paperPrologue + `
+MODIFY
+DELETE { }
+INSERT { ?x foaf:title "Dr" . }
+WHERE { ?x ont:team ex:team5 . }`,
+		// Link-table template: connect every 2009 publication to author7.
+		paperPrologue + `
+MODIFY
+DELETE { }
+INSERT { ?p dc:creator ex:author7 . }
+WHERE { ?p ont:pubYear "2009" . }`,
+		// Delete-only MODIFY removing the link again.
+		paperPrologue + `
+MODIFY
+DELETE { ?p dc:creator ex:author7 . }
+INSERT { }
+WHERE { ?p dc:creator ex:author7 . }`,
+		// Non-BGP WHERE: both paths use virtual-view evaluation.
+		paperPrologue + `
+MODIFY
+DELETE { ?x foaf:title "Dr" . }
+INSERT { ?x foaf:title "Prof" . }
+WHERE { ?x foaf:title "Dr" . FILTER (STR(?x) = "http://example.org/db/author7") }`,
+	}
+	for _, m := range []*Mediator{planned, unplanned} {
+		for _, req := range seed {
+			mustExec(t, m, req)
+		}
+	}
+	for i, req := range requests {
+		pres, perr := planned.ExecuteString(req)
+		ures, uerr := unplanned.ExecuteString(req)
+		if (perr == nil) != (uerr == nil) {
+			t.Fatalf("request %d: planned err %v vs unplanned err %v", i, perr, uerr)
+		}
+		if !reflect.DeepEqual(pres.SQL(), ures.SQL()) {
+			t.Errorf("request %d SQL diverges:\nplanned:   %v\nunplanned: %v", i, pres.SQL(), ures.SQL())
+		}
+		for j := range pres.Ops {
+			if j < len(ures.Ops) {
+				if pres.Ops[j].Bindings != ures.Ops[j].Bindings {
+					t.Errorf("request %d bindings: planned %d vs unplanned %d",
+						i, pres.Ops[j].Bindings, ures.Ops[j].Bindings)
+				}
+				if pres.Ops[j].RowsAffected != ures.Ops[j].RowsAffected {
+					t.Errorf("request %d rows: planned %d vs unplanned %d",
+						i, pres.Ops[j].RowsAffected, ures.Ops[j].RowsAffected)
+				}
+			}
+		}
+	}
+	if p, u := planned.DB().TotalRows(), unplanned.DB().TotalRows(); p != u {
+		t.Errorf("final row counts diverge: planned %d vs unplanned %d", p, u)
+	}
+	pg, err := planned.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ug, err := unplanned.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pg.Equal(ug) {
+		t.Errorf("exported views diverge.\nonly planned:\n%v\nonly unplanned:\n%v",
+			pg.Diff(ug), ug.Diff(pg))
+	}
+	if s := planned.ModifyPlanCacheStats(); s.Hits == 0 {
+		t.Errorf("modify plan cache never hit: %+v", s)
+	}
+}
+
+// TestModifyPlanStaleSubjectCollision compiles a MODIFY shape whose
+// WHERE joins two distinct constant subjects, then re-executes the
+// shape with both subjects equal. The translator merges equal
+// subjects into one node, so the compiled SELECT's structure no
+// longer matches; binding must detect the collision and fall back to
+// the uncompiled path, keeping the SQL byte-identical across paths.
+func TestModifyPlanStaleSubjectCollision(t *testing.T) {
+	planned, unplanned := twoMediators(t)
+	for _, m := range []*Mediator{planned, unplanned} {
+		mustExec(t, m, seedTeam5)
+		mustExec(t, m, paperPrologue+`INSERT DATA { ex:author6 foaf:family_name "Hert" ; ont:team ex:team5 . }`)
+		mustExec(t, m, paperPrologue+`INSERT DATA { ex:author7 foaf:family_name "Reif" ; ont:team ex:team5 . }`)
+	}
+	shape := paperPrologue + `
+MODIFY
+DELETE { }
+INSERT { ex:author%d foaf:title "Dr%d" . }
+WHERE { ex:author%d ont:team ?t . ex:author%d ont:team ?t . }`
+	for i, pair := range [][2]int{{6, 7}, {6, 6}} {
+		req := fmt.Sprintf(shape, pair[0], i, pair[0], pair[1])
+		pres, perr := planned.ExecuteString(req)
+		ures, uerr := unplanned.ExecuteString(req)
+		if (perr == nil) != (uerr == nil) {
+			t.Fatalf("pair %v: planned err %v vs unplanned err %v", pair, perr, uerr)
+		}
+		if !reflect.DeepEqual(pres.SQL(), ures.SQL()) {
+			t.Errorf("pair %v SQL diverges:\nplanned:   %v\nunplanned: %v", pair, pres.SQL(), ures.SQL())
+		}
+	}
+}
+
+// TestShapeKeyForgeryRejected pins the shape key's injectivity: the
+// lexer admits arbitrary bytes inside IRIs, so an IRI embedding the
+// key separator bytes could forge another shape's cache key. Such
+// terms must be unplannable (both data ops and MODIFY), never a key
+// collision.
+func TestShapeKeyForgeryRejected(t *testing.T) {
+	legit := `MODIFY DELETE { } INSERT { <http://a/x> <http://u/v> <http://o/w> . }
+WHERE { <http://a/x> <http://p/q> ?m . <http://s/t> <http://u/v> <http://o/w> . }`
+	forged := "MODIFY DELETE { } INSERT { <http://a/x> <http://u/v> <http://o/w> . }\n" +
+		"WHERE { <http://a/x\x1fI:http://p/q\x1fV:m\x1eI:http://s/t> <http://u/v> <http://o/w> . }"
+	parseModify := func(src string) update.Modify {
+		req, err := update.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		mo, ok := req.Ops[0].(update.Modify)
+		if !ok {
+			t.Fatalf("not a MODIFY: %T", req.Ops[0])
+		}
+		return mo
+	}
+	legitKey, _, _, legitOK := normalizeModify(parseModify(legit))
+	if !legitOK {
+		t.Fatal("legitimate MODIFY must normalize")
+	}
+	forgedKey, _, _, forgedOK := normalizeModify(parseModify(forged))
+	if forgedOK {
+		if forgedKey == legitKey {
+			t.Fatal("forged MODIFY collides with the legitimate shape key")
+		}
+		t.Fatal("IRI with separator bytes must be unplannable")
+	}
+	// Same hole on the data-op side: forged subject and predicate.
+	for _, src := range []string{
+		"INSERT DATA { <http://a/x\x1fb> <http://u/v> \"v\" . }",
+		"INSERT DATA { <http://a/x> <http://u/v\x1eb> \"v\" . }",
+	} {
+		req, err := update.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if _, _, _, _, ok := normalizeOp(req.Ops[0]); ok {
+			t.Errorf("data op with separator bytes must be unplannable: %q", src)
+		}
 	}
 }
 

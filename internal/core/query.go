@@ -7,6 +7,7 @@ import (
 	"ontoaccess/internal/r3m"
 	"ontoaccess/internal/rdb"
 	"ontoaccess/internal/rdb/sqlexec"
+	"ontoaccess/internal/rdb/sqlparser"
 	"ontoaccess/internal/rdf"
 	"ontoaccess/internal/sparql"
 	"ontoaccess/internal/sqlgen"
@@ -54,14 +55,46 @@ type qnode struct {
 	alias  string
 	tm     *r3m.TableMap
 	schema *rdb.TableSchema
-	// constKey pins a constant-subject node to a primary key value.
-	constKey *rdb.Value
+	// uri is the constant subject URI ("" for variable nodes).
+	uri string
+	// occs collects the parameter templates of every occurrence of a
+	// parameterized constant subject (compile mode only).
+	occs [][]shapeSeg
+}
+
+// selectCompile switches the translator into plan-compilation mode:
+// constant terms whose normalized form carries parameter slots (nm is
+// aligned with the WHERE triples) contribute deferred value sources
+// instead of compile-time values, and the resulting SelectSpec marks
+// their conditions with 1-based indices into srcs.
+type selectCompile struct {
+	nm   []normPattern
+	srcs []valueSrc
+	// checks lists, per parameterized constant subject, the templates
+	// of all its occurrences; binding verifies they agree — and that
+	// distinct subject nodes stay distinct, also against constURIs,
+	// the unparameterized constant subjects. Nodes that collapse at
+	// bind time would need the translator's node merging, so the plan
+	// goes stale instead.
+	checks    [][][]shapeSeg
+	constURIs []string
+}
+
+func (c *selectCompile) subjSegs(ti int) []shapeSeg { return c.nm[ti].s.segs }
+func (c *selectCompile) objSegs(ti int) []shapeSeg  { return c.nm[ti].o.segs }
+
+// addSrc registers a deferred value source and returns its 1-based
+// parameter mark.
+func (c *selectCompile) addSrc(src valueSrc) int {
+	c.srcs = append(c.srcs, src)
+	return len(c.srcs)
 }
 
 type translator struct {
 	m       *Mediator
 	tx      *rdb.Tx
-	nodes   map[string]*qnode // by var name or "<uri>"
+	comp    *selectCompile // nil outside plan compilation
+	nodes   map[string]*qnode
 	order   []string
 	aliasN  int
 	joins   []sqlgen.JoinSpec
@@ -82,30 +115,53 @@ type linkUse struct {
 // translatable and return an error; callers fall back to evaluation
 // over the virtual RDF view.
 func (m *Mediator) TranslateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projVars []string) (*SelectTranslation, error) {
+	st, _, err := m.translateSelect(tx, where, projVars, nil)
+	return st, err
+}
+
+// translateSelect is the shared translation engine. With a non-nil
+// comp it runs in plan-compilation mode: parameterized constants defer
+// their values into comp.srcs, and the returned spec carries their
+// Param marks so a compiled MODIFY can re-render the SQL per argument
+// vector. Both modes share every structural decision, which keeps the
+// compiled SELECT byte-identical to the uncompiled translation.
+func (m *Mediator) translateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projVars []string, comp *selectCompile) (*SelectTranslation, *sqlgen.SelectSpec, error) {
 	if where == nil {
-		return nil, fmt.Errorf("core: nil WHERE pattern")
+		return nil, nil, fmt.Errorf("core: nil WHERE pattern")
 	}
 	if len(where.Filters) > 0 || len(where.Optionals) > 0 || len(where.Unions) > 0 {
-		return nil, fmt.Errorf("core: only basic graph patterns are translatable to a single SELECT")
+		return nil, nil, fmt.Errorf("core: only basic graph patterns are translatable to a single SELECT")
 	}
 	if len(where.Triples) == 0 {
-		return nil, fmt.Errorf("core: empty basic graph pattern")
+		return nil, nil, fmt.Errorf("core: empty basic graph pattern")
 	}
 	tr := &translator{
-		m: m, tx: tx,
+		m: m, tx: tx, comp: comp,
 		nodes: make(map[string]*qnode),
 		bind:  make(map[string]varBinding),
 	}
 	// Pass one: pin every subject to a table.
-	for _, tp := range where.Triples {
+	for ti, tp := range where.Triples {
 		if err := tr.pinSubject(tp); err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if comp != nil && !tp.S.IsVar {
+			if segs := comp.subjSegs(ti); segs != nil {
+				key, _ := subjectKey(tp.S)
+				if n := tr.nodes[key]; n != nil {
+					n.occs = append(n.occs, segs)
+				}
+			}
 		}
 	}
+	// Constant subjects pin their rows by primary key.
+	if err := tr.emitSubjectConds(); err != nil {
+		return nil, nil, err
+	}
 	// Pass two: conditions, joins and variable bindings.
-	for _, tp := range where.Triples {
-		if err := tr.addPattern(tp); err != nil {
-			return nil, err
+	for ti, tp := range where.Triples {
+		if err := tr.addPattern(ti, tp); err != nil {
+			return nil, nil, err
 		}
 	}
 	if projVars == nil {
@@ -116,7 +172,7 @@ func (m *Mediator) TranslateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projV
 	for _, v := range projVars {
 		b, ok := tr.bind[v]
 		if !ok {
-			return nil, fmt.Errorf("core: variable ?%s is not bound by the pattern", v)
+			return nil, nil, fmt.Errorf("core: variable ?%s is not bound by the pattern", v)
 		}
 		st.Vars = append(st.Vars, v)
 		st.bindings = append(st.bindings, b)
@@ -129,10 +185,48 @@ func (m *Mediator) TranslateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projV
 	}
 	spec, err := tr.buildSpec(cols)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	st.SQL = sqlgen.Select(*spec)
-	return st, nil
+	if comp == nil {
+		// In compile mode Param-marked conditions carry no values yet;
+		// the plan re-renders the SQL per argument vector, so a half-
+		// bound string here would only mislead.
+		st.SQL = sqlgen.Select(*spec)
+	}
+	return st, spec, nil
+}
+
+// emitSubjectConds adds the primary-key condition of every constant
+// subject node, in pin order. In compile mode a parameterized subject
+// defers its key through a convKey source, which re-verifies at bind
+// time that the bound URI still identifies the compiled table.
+func (tr *translator) emitSubjectConds() error {
+	for _, key := range tr.order {
+		n := tr.nodes[key]
+		if n.uri == "" {
+			continue
+		}
+		col := n.alias + "." + n.schema.PrimaryKey[0]
+		if tr.comp != nil && len(n.occs) > 0 {
+			src := valueSrc{segs: n.occs[0], raw: n.uri, conv: convKey, refTM: n.tm, refSch: n.schema}
+			tr.comp.checks = append(tr.comp.checks, n.occs)
+			tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: col, Param: tr.comp.addSrc(src)})
+			continue
+		}
+		if tr.comp != nil {
+			tr.comp.constURIs = append(tr.comp.constURIs, n.uri)
+		}
+		_, vals, err := tr.m.mapping.IdentifyTable(n.uri)
+		if err != nil {
+			return err
+		}
+		pk, err := tr.m.keyValueFromPattern(n.schema, vals, n.uri, "")
+		if err != nil {
+			return err
+		}
+		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: col, Value: pk})
+	}
+	return nil
 }
 
 // subjectKey names a node: variable name or "<uri>".
@@ -234,19 +328,9 @@ func (tr *translator) pinNode(key string, tm *r3m.TableMap) error {
 	tr.nodes[key] = n
 	tr.order = append(tr.order, key)
 	if strings.HasPrefix(key, "<") {
-		uri := strings.TrimSuffix(strings.TrimPrefix(key, "<"), ">")
-		_, vals, err := tr.m.mapping.IdentifyTable(uri)
-		if err != nil {
-			return err
-		}
-		pk, err := tr.m.keyValueFromPattern(schema, vals, uri, "")
-		if err != nil {
-			return err
-		}
-		n.constKey = &pk
-		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{
-			Column: n.alias + "." + schema.PrimaryKey[0], Value: pk,
-		})
+		// The primary-key condition is emitted by emitSubjectConds once
+		// all occurrences are known.
+		n.uri = strings.TrimSuffix(strings.TrimPrefix(key, "<"), ">")
 	} else {
 		tr.bindVar(key, varBinding{
 			name: key, kind: bindSubject, alias: n.alias,
@@ -268,7 +352,7 @@ func (tr *translator) bindVar(name string, b varBinding) {
 	tr.bindSeq = append(tr.bindSeq, name)
 }
 
-func (tr *translator) addPattern(tp sparql.TriplePattern) error {
+func (tr *translator) addPattern(ti int, tp sparql.TriplePattern) error {
 	key, _ := subjectKey(tp.S)
 	n := tr.nodes[key]
 	if n == nil {
@@ -279,7 +363,7 @@ func (tr *translator) addPattern(tp sparql.TriplePattern) error {
 		return nil // consumed during pinning
 	}
 	if lt, ok := tr.m.mapping.LinkTableForProperty(prop); ok {
-		return tr.addLinkPattern(lt, n, tp)
+		return tr.addLinkPattern(ti, lt, n, tp)
 	}
 	am, ok := n.tm.AttributeForProperty(prop)
 	if !ok {
@@ -312,6 +396,11 @@ func (tr *translator) addPattern(tp sparql.TriplePattern) error {
 		})
 		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: col, NotNull: true})
 	default:
+		if tr.comp != nil {
+			if segs := tr.comp.objSegs(ti); segs != nil {
+				return tr.deferObjectCond(col, am, n, normTerm{term: tp.O.Term, segs: segs}, prop.Value)
+			}
+		}
 		schemaCol, _ := n.schema.Column(am.Name)
 		v, err := tr.m.tripleObjectToValue(tr.tx, tp.O.Term, am, schemaCol, key, prop.Value)
 		if err != nil {
@@ -322,7 +411,39 @@ func (tr *translator) addPattern(tp sparql.TriplePattern) error {
 	return nil
 }
 
-func (tr *translator) addLinkPattern(lt *r3m.LinkTableMap, n *qnode, tp sparql.TriplePattern) error {
+// deferObjectCond records a parameterized constant object as a
+// deferred condition, mirroring tripleObjectToValue's three conversion
+// flavours (foreign key, IRI-valued attribute, data literal).
+func (tr *translator) deferObjectCond(col string, am *r3m.AttributeMap, n *qnode, o normTerm, prop string) error {
+	var src *valueSrc
+	var err error
+	if ref, isFK := am.ForeignKeyRef(); isFK {
+		refTM, found := tr.m.mapping.ResolveTableRef(ref)
+		if !found {
+			return fmt.Errorf("core: unresolved foreign key reference %q", ref)
+		}
+		refSchema, serr := tr.tx.Schema(refTM.Name)
+		if serr != nil {
+			return serr
+		}
+		src, err = tr.m.compileValueSrc(o, nil, nil, refTM, refSchema, prop)
+	} else if am.IsObject {
+		src, err = tr.m.compileValueSrc(o, nil, am, nil, nil, prop)
+	} else {
+		schemaCol, ok := n.schema.Column(am.Name)
+		if !ok {
+			return fmt.Errorf("core: missing column %q in %q", am.Name, n.tm.Name)
+		}
+		src, err = tr.m.compileValueSrc(o, schemaCol, nil, nil, nil, prop)
+	}
+	if err != nil {
+		return err
+	}
+	tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: col, Param: tr.comp.addSrc(*src)})
+	return nil
+}
+
+func (tr *translator) addLinkPattern(ti int, lt *r3m.LinkTableMap, n *qnode, tp sparql.TriplePattern) error {
 	objRef, _ := lt.ObjectAttr.ForeignKeyRef()
 	objTM, _ := tr.m.mapping.ResolveTableRef(objRef)
 	if objTM == nil {
@@ -346,6 +467,23 @@ func (tr *translator) addLinkPattern(lt *r3m.LinkTableMap, n *qnode, tp sparql.T
 			})
 		}
 	default:
+		if tr.comp != nil {
+			if segs := tr.comp.objSegs(ti); segs != nil {
+				objSchema, serr := tr.tx.Schema(objTM.Name)
+				if serr != nil {
+					return serr
+				}
+				src, err := tr.m.compileValueSrc(normTerm{term: tp.O.Term, segs: segs},
+					nil, nil, objTM, objSchema, lt.Property.Value)
+				if err != nil {
+					return err
+				}
+				tr.wheres = append(tr.wheres, sqlgen.WhereSpec{
+					Column: alias + "." + lt.ObjectAttr.Name, Param: tr.comp.addSrc(*src),
+				})
+				return nil
+			}
+		}
 		objKey, err := tr.m.objectToKeyValue(tr.tx, tp.O.Term, objTM, "", lt.Property.Value)
 		if err != nil {
 			return err
@@ -427,7 +565,18 @@ func splitAlias(qualified string) (alias, col string) {
 // Run executes the translation and decodes the result set into SPARQL
 // solutions.
 func (st *SelectTranslation) Run(tx *rdb.Tx) (sparql.Solutions, error) {
-	res, err := sqlexec.ExecSQL(tx, st.SQL)
+	stmt, err := sqlparser.ParseStatement(st.SQL)
+	if err != nil {
+		return nil, err
+	}
+	return st.runParsed(tx, stmt)
+}
+
+// runParsed executes an already-parsed statement of the translation —
+// compiled MODIFY plans parse the bound SELECT once per argument
+// vector and re-execute the parsed form.
+func (st *SelectTranslation) runParsed(tx *rdb.Tx, stmt sqlparser.Statement) (sparql.Solutions, error) {
+	res, err := sqlexec.Exec(tx, stmt)
 	if err != nil {
 		return nil, err
 	}

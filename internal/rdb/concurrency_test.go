@@ -39,6 +39,13 @@ func lockTestDB(t testing.TB) *Database {
 		},
 		PrimaryKey: []string{"id"},
 	})
+	mustCreate(&TableSchema{
+		Name: "isle",
+		Columns: []Column{
+			{Name: "id", Type: TInt},
+		},
+		PrimaryKey: []string{"id"},
+	})
 	return db
 }
 
@@ -153,6 +160,131 @@ func TestDisjointWritersParallel(t *testing.T) {
 					return err
 				}
 				return tx.Scan("loner", func(int64, []Value) bool { c++; return true })
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if c, _ := db.RowCount("parent"); c != n {
+		t.Errorf("parent rows = %d", c)
+	}
+	if c, _ := db.RowCount("loner"); c != n {
+		t.Errorf("loner rows = %d", c)
+	}
+}
+
+// TestBeginWriteReadCoverage checks the explicit read-set contract of
+// BeginWriteRead — the lock shape compiled MODIFY plans use: declared
+// read tables are readable but not writable, and tables in neither set
+// stay uncovered.
+func TestBeginWriteReadCoverage(t *testing.T) {
+	db := lockTestDB(t)
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("loner", map[string]Value{"id": Int(1), "v": String_("x")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.BeginWriteRead([]string{"parent"}, []string{"loner"})
+	defer tx.Rollback()
+	// The declared read table is scannable.
+	n := 0
+	if err := tx.Scan("loner", func(int64, []Value) bool { n++; return true }); err != nil || n != 1 {
+		t.Fatalf("declared read table scan: n=%d err=%v", n, err)
+	}
+	// ... but not writable; the failure is a typed LockError.
+	err := tx.Insert("loner", map[string]Value{"id": Int(2), "v": String_("y")})
+	if err == nil {
+		t.Fatal("write to read-locked table must fail")
+	}
+	le, ok := err.(*LockError)
+	if !ok || !le.ReadOnly {
+		t.Fatalf("want read-only LockError, got %v", err)
+	}
+	// The write set's FK closure stays readable (child holds the
+	// RESTRICT check for parent deletes)...
+	if err := tx.Scan("child", func(int64, []Value) bool { return true }); err != nil {
+		t.Fatalf("FK-closure read: %v", err)
+	}
+	// ... while a table in no set and no closure is uncovered, with
+	// the other LockError flavour.
+	err = tx.Scan("isle", func(int64, []Value) bool { return true })
+	if le, ok := err.(*LockError); !ok || le.ReadOnly {
+		t.Fatalf("want coverage LockError, got %v", err)
+	}
+	// The write set itself still works.
+	if err := tx.Insert("parent", map[string]Value{"id": Int(1), "name": String_("p")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisjointWriteReadParallel is the MODIFY lock shape under -race:
+// one writer stream writes parent while read-locking loner (a compiled
+// MODIFY whose WHERE scans another table), a second writes loner, and
+// View readers scan both throughout. The locks must serialize exactly
+// the conflicting pairs; final counts validate isolation.
+func TestDisjointWriteReadParallel(t *testing.T) {
+	db := lockTestDB(t)
+	const n = 150
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			tx := db.BeginWriteRead([]string{"parent"}, []string{"loner"})
+			// The read-locked table is consulted mid-write, like a
+			// MODIFY's WHERE SELECT.
+			if err := tx.Scan("loner", func(int64, []Value) bool { return true }); err != nil {
+				tx.Rollback()
+				errCh <- err
+				return
+			}
+			if err := tx.Insert("parent", map[string]Value{"id": Int(int64(i + 1)), "name": String_("p")}); err != nil {
+				tx.Rollback()
+				errCh <- err
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			tx := db.BeginWriteRead([]string{"loner"}, nil)
+			if err := tx.Insert("loner", map[string]Value{"id": Int(int64(i + 1)), "v": String_("x")}); err != nil {
+				tx.Rollback()
+				errCh <- err
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 40; i++ {
+			err := db.View(func(tx *Tx) error {
+				if err := tx.Scan("parent", func(int64, []Value) bool { return true }); err != nil {
+					return err
+				}
+				return tx.Scan("loner", func(int64, []Value) bool { return true })
 			})
 			if err != nil {
 				errCh <- err

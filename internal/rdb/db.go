@@ -260,9 +260,12 @@ type lockPlanEntry struct {
 // exclusive locks on the write set, shared locks on the tables the
 // write set's integrity checks read — foreign-key parents (existence
 // checks on INSERT/UPDATE) and children (RESTRICT checks on DELETE
-// and key updates). Callers hold the catalog lock. Unknown names are
-// ignored; touching them later fails with a TableError as before.
-func (db *Database) lockPlan(writeTables []string) []lockPlanEntry {
+// and key updates) — plus any explicitly declared read tables (the
+// tables a compiled MODIFY's WHERE SELECT scans, which need not be
+// foreign-key neighbours of the write set). Callers hold the catalog
+// lock. Unknown names are ignored; touching them later fails with a
+// TableError as before.
+func (db *Database) lockPlan(writeTables, readTables []string) []lockPlanEntry {
 	mode := make(map[string]bool, len(writeTables)*2)
 	for _, name := range writeTables {
 		key := strings.ToLower(name)
@@ -286,6 +289,15 @@ func (db *Database) lockPlan(writeTables []string) []lockPlanEntry {
 		}
 		for _, back := range db.referencedBy[key] {
 			addRead(back.table)
+		}
+	}
+	for _, name := range readTables {
+		key := strings.ToLower(name)
+		if _, exists := db.tables[key]; !exists {
+			continue
+		}
+		if _, present := mode[key]; !present {
+			mode[key] = false
 		}
 	}
 	keys := make([]string, 0, len(mode))

@@ -67,6 +67,26 @@ func (e *ConstraintError) Error() string {
 	return msg
 }
 
+// LockError reports access to a table outside a transaction's
+// declared lock set (or a write to a table locked read-only). It is a
+// distinct type so callers holding per-table locks — the compiled-plan
+// executors — can tell a coverage miss (fall back to the serialized
+// whole-database path) from a genuine execution error.
+type LockError struct {
+	Table string
+	// ReadOnly marks a write attempt on a shared-locked table; false
+	// means the table was not covered at all.
+	ReadOnly bool
+}
+
+// Error implements error.
+func (e *LockError) Error() string {
+	if e.ReadOnly {
+		return fmt.Sprintf("rdb: table %q is locked read-only in this transaction", e.Table)
+	}
+	return fmt.Sprintf("rdb: table %q is outside this transaction's lock set", e.Table)
+}
+
 // TableError reports access to a missing table or column.
 type TableError struct {
 	Table  string

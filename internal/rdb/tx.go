@@ -77,7 +77,17 @@ func (db *Database) Begin() *Tx {
 // must declare every table they will modify.
 func (db *Database) BeginWrite(writeTables ...string) *Tx {
 	db.mu.RLock()
-	return db.begin(db.lockPlan(writeTables))
+	return db.begin(db.lockPlan(writeTables, nil))
+}
+
+// BeginWriteRead is BeginWrite with an explicitly declared read set:
+// the named read tables are locked shared in addition to the write
+// set's foreign-key neighbourhood. Compiled MODIFY plans use it — the
+// WHERE SELECT may scan tables that are neither written nor
+// foreign-key neighbours of the written tables.
+func (db *Database) BeginWriteRead(writeTables, readTables []string) *Tx {
+	db.mu.RLock()
+	return db.begin(db.lockPlan(writeTables, readTables))
 }
 
 // release drops all table locks in reverse acquisition order plus the
@@ -178,10 +188,10 @@ func (tx *Tx) table(name string, write bool) (*table, error) {
 	}
 	e, covered := tx.mode[strings.ToLower(name)]
 	if !covered {
-		return nil, fmt.Errorf("rdb: table %q is outside this transaction's lock set", name)
+		return nil, &LockError{Table: name}
 	}
 	if write && !e.write {
-		return nil, fmt.Errorf("rdb: table %q is locked read-only in this transaction", name)
+		return nil, &LockError{Table: name, ReadOnly: true}
 	}
 	return t, nil
 }

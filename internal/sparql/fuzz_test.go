@@ -1,0 +1,46 @@
+package sparql
+
+import (
+	"testing"
+)
+
+// FuzzParseQuery feeds arbitrary query text through the SPARQL
+// parser: it must never panic, and whatever it accepts must be
+// structurally sound enough for the evaluator (a query form in range
+// and a non-nil WHERE group for SELECT/ASK).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?x ?m WHERE { ?x foaf:mbox ?m . }`,
+		`PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT * WHERE { ?x rdf:type foaf:Person ; foaf:family_name "Hert" . }`,
+		`SELECT DISTINCT ?x WHERE { ?x <http://b/p> ?y . FILTER (?y > 3) } ORDER BY DESC(?x) LIMIT 5 OFFSET 2`,
+		`ASK { <http://a/1> <http://b/p> "v" . }`,
+		`CONSTRUCT { ?x <http://b/q> ?y . } WHERE { ?x <http://b/p> ?y . }`,
+		`SELECT ?x WHERE { { ?x <http://b/p> "a" . } UNION { ?x <http://b/p> "b" . } }`,
+		`SELECT ?x WHERE { ?x <http://b/p> ?y . OPTIONAL { ?x <http://b/q> ?z . } }`,
+		`SELECT ?x WHERE { ?x <http://b/p> "2009"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
+		`SELECT`, `ASK {`, "\x00", `SELECT ?x WHERE`, `PREFIX : <u> SELECT ?x WHERE { :a :b ?x }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("nil query with nil error")
+		}
+		switch q.Form {
+		case FormSelect, FormAsk, FormConstruct:
+		default:
+			t.Fatalf("parsed query has invalid form %v", q.Form)
+		}
+		if q.Where == nil && q.Form != FormConstruct {
+			t.Fatalf("parsed %s query has nil WHERE", q.Form)
+		}
+	})
+}

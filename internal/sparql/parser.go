@@ -388,6 +388,11 @@ func (p *Parser) ParseGroupGraphPattern() (*GroupPattern, error) {
 				alts = append(alts, next)
 			}
 			g.Unions = append(g.Unions, alts)
+		case p.IsKeyword("UNION"):
+			// UNION is only valid between braced groups; ParseTriplesBlock
+			// treats it as a terminator, so reaching it here means it did
+			// not follow a group.
+			return nil, p.Errorf("UNION must follow a braced group pattern")
 		case p.tok.Kind == TokDot:
 			if err := p.Advance(); err != nil {
 				return nil, err
@@ -396,6 +401,11 @@ func (p *Parser) ParseGroupGraphPattern() (*GroupPattern, error) {
 			tps, err := p.ParseTriplesBlock()
 			if err != nil {
 				return nil, err
+			}
+			if len(tps) == 0 {
+				// ParseTriplesBlock made no progress; consuming nothing
+				// here would loop forever.
+				return nil, p.Errorf("expected a triple pattern, found %s %q", p.tok.Kind, p.tok.Val)
 			}
 			g.Triples = append(g.Triples, tps...)
 		}

@@ -121,6 +121,11 @@ type WhereSpec struct {
 	IsNull bool
 	// NotNull renders "column IS NOT NULL".
 	NotNull bool
+	// Param carries compiled-plan metadata: a non-zero value marks the
+	// condition's Value as a parameter slot (1-based index into the
+	// plan's bind sources) to be filled before rendering. The renderer
+	// itself ignores it.
+	Param int
 }
 
 // Select renders the specification as SQL text.

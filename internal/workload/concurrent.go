@@ -57,6 +57,29 @@ SELECT ?name WHERE { ex:team1 foaf:name ?name . }`,
 	return cs
 }
 
+// NewConcurrentModifyStream builds a driver whose workers execute the
+// MODIFY-heavy mix (ModifyHeavyStream) over disjoint id spaces — the
+// B7 MODIFY-mix experiment. Compiled MODIFYs on each worker's own
+// author rows run under per-table locks.
+func NewConcurrentModifyStream(seed int64, workers, perWorker int) *ConcurrentStream {
+	if workers < 1 {
+		workers = 1
+	}
+	cs := &ConcurrentStream{
+		Workers: workers,
+		Query: Prologue + `
+SELECT ?name WHERE { ex:team1 foaf:name ?name . }`,
+	}
+	for w := 0; w < workers; w++ {
+		g := NewGenerator(seed + int64(w))
+		if w == 0 {
+			cs.setup = g.SetupRequests()
+		}
+		cs.Streams = append(cs.Streams, g.ModifyHeavyStream(perWorker, w*workerIDSpace+1))
+	}
+	return cs
+}
+
 // Setup creates the shared pools; run it once before Run.
 func (cs *ConcurrentStream) Setup(m *core.Mediator) error {
 	for _, req := range cs.setup {

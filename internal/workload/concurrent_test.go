@@ -72,6 +72,54 @@ func TestConcurrentStreamDeterministicCounts(t *testing.T) {
 	}
 }
 
+// TestConcurrentModifyStream drives the MODIFY-heavy mix from several
+// goroutines — the -race gate for the compiled-MODIFY per-table
+// locking — and proves the compiled MODIFY path is hot under
+// concurrency.
+func TestConcurrentModifyStream(t *testing.T) {
+	m, err := NewMediator(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConcurrentModifyStream(19, 8, 25)
+	cs.QueryEvery = 6
+	if err := cs.Setup(m); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := cs.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 8*25 {
+		t.Errorf("ops = %d, want %d", ops, 8*25)
+	}
+	if s := m.ModifyPlanCacheStats(); s.Hits == 0 {
+		t.Errorf("modify plan cache never hit under concurrency: %+v", s)
+	}
+	// Serial re-execution of the same streams yields identical counts.
+	serial, err := NewMediator(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Setup(serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, stream := range cs.Streams {
+		for _, req := range stream {
+			if _, err := serial.ExecuteString(req); err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+		}
+	}
+	for _, table := range serial.DB().TableNames() {
+		sn, _ := serial.DB().RowCount(table)
+		cn, _ := m.DB().RowCount(table)
+		if sn != cn {
+			t.Errorf("table %s: serial %d rows vs concurrent %d", table, sn, cn)
+		}
+	}
+}
+
 // TestConcurrentStreamWithCacheOff is the same workload under the
 // whole-database lock (the control arm of B7).
 func TestConcurrentStreamWithCacheOff(t *testing.T) {

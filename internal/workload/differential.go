@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DifferentialStream is a deterministic, seeded, MODIFY-heavy request
+// stream for the differential harness: the same stream is executed
+// through every mediator execution mode (memoized plans, per-operation
+// plans, plan cache disabled) and natively against the triple-store
+// baseline, and all four must agree — on the generated SQL, on the
+// feedback, and on the final RDF view.
+//
+// Every INSERT DATA carries an explicit rdf:type triple and every
+// attribute-overwriting MODIFY deletes the value it replaces, so the
+// native graph and the mediated export stay literally equal (no
+// type-triple patching needed). The generator tracks mailbox state so
+// re-adds only target NULL columns — the one case where relational
+// overwrite semantics and RDF set semantics would otherwise diverge.
+type DifferentialStream struct {
+	// Setup creates the shared team pool; run before Requests.
+	Setup []string
+	// Requests is the mixed stream: typed author inserts, five MODIFY
+	// shapes (constant-subject BGP, typed variable-subject, delete-only,
+	// insert-only re-add, FILTER fallback), and invalid MODIFYs whose
+	// violation feedback must match across modes.
+	Requests []string
+}
+
+// diffAuthor is the generator's view of one author's mutable state.
+type diffAuthor struct {
+	id   int
+	last string
+	mbox string // "" while the email column is NULL
+}
+
+// NewDifferentialStream builds the stream for a seed; the same seed
+// yields the same stream.
+func NewDifferentialStream(seed int64, n int) *DifferentialStream {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &DifferentialStream{}
+	const teams = 4
+	for i := 1; i <= teams; i++ {
+		ds.Setup = append(ds.Setup, fmt.Sprintf(`%s
+INSERT DATA { ex:team%d rdf:type foaf:Group ; foaf:name "Team %d" ; ont:teamCode "T%d" . }`,
+			Prologue, i, i, i))
+	}
+	var authors []*diffAuthor
+	addAuthor := func() {
+		id := len(authors) + 1
+		a := &diffAuthor{id: id, last: fmt.Sprintf("Diff%d", id), mbox: fmt.Sprintf("mailto:d%d@example.org", id)}
+		authors = append(authors, a)
+		ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
+INSERT DATA {
+  ex:author%d rdf:type foaf:Person ;
+      foaf:firstName "F%d" ;
+      foaf:family_name "%s" ;
+      foaf:mbox <%s> ;
+      ont:team ex:team%d .
+}`, Prologue, id, id, a.last, a.mbox, rng.Intn(teams)+1))
+	}
+	for i := 0; i < 3; i++ {
+		addAuthor()
+	}
+	seq := 0
+	for len(ds.Requests) < n {
+		seq++
+		a := authors[rng.Intn(len(authors))]
+		fresh := fmt.Sprintf("mailto:r%d@example.org", seq)
+		switch k := rng.Intn(10); {
+		case k < 2:
+			addAuthor()
+		case k < 4: // constant-subject BGP rotate (the compiled hot shape)
+			if a.mbox == "" {
+				addAuthor()
+				continue
+			}
+			ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
+MODIFY
+DELETE { ex:author%d foaf:mbox ?m . }
+INSERT { ex:author%d foaf:mbox <%s> . }
+WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, a.id, a.id, fresh, a.id))
+			a.mbox = fresh
+		case k < 6: // typed variable-subject rotate (Listing 11 shape)
+			if a.mbox == "" {
+				addAuthor()
+				continue
+			}
+			ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x foaf:mbox <%s> . }
+WHERE { ?x rdf:type foaf:Person ; foaf:family_name "%s" ; foaf:mbox ?m . }`, Prologue, fresh, a.last))
+			a.mbox = fresh
+		case k < 7: // delete-only
+			if a.mbox == "" {
+				addAuthor()
+				continue
+			}
+			ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
+MODIFY
+DELETE { ex:author%d foaf:mbox ?m . }
+INSERT { }
+WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, a.id, a.id))
+			a.mbox = ""
+		case k < 8: // insert-only re-add onto the NULL column
+			if a.mbox != "" {
+				addAuthor()
+				continue
+			}
+			ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
+MODIFY
+DELETE { }
+INSERT { ?x foaf:mbox <%s> . }
+WHERE { ?x rdf:type foaf:Person ; foaf:family_name "%s" . }`, Prologue, fresh, a.last))
+			a.mbox = fresh
+		case k < 9: // FILTER WHERE: both paths fall back to virtual-view evaluation
+			if a.mbox == "" {
+				addAuthor()
+				continue
+			}
+			ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x foaf:mbox <%s> . }
+WHERE { ?x foaf:mbox ?m . FILTER (STR(?m) = "%s") }`, Prologue, fresh, a.mbox))
+			a.mbox = fresh
+		default: // invalid: ont:teamCode is a Group attribute, not a Person one
+			ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
+MODIFY
+DELETE { }
+INSERT { ?x ont:teamCode "X%d" . }
+WHERE { ?x rdf:type foaf:Person ; foaf:family_name "%s" . }`, Prologue, seq, a.last))
+		}
+	}
+	return ds
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ontoaccess/internal/core"
+	"ontoaccess/internal/feedback"
+	"ontoaccess/internal/triplestore"
+	"ontoaccess/internal/update"
+)
+
+// TestDifferentialModifyStreams executes seeded randomized MODIFY
+// streams three ways — memoized compiled plans (ExecuteString),
+// per-operation compiled plans without the parse memo
+// (ExecuteRequest), and the uncompiled whole-database path
+// (DisablePlanCache) — asserting byte-identical SQL, identical
+// feedback, and identical exported RDF views, with the native
+// triple-store baseline as the fourth, semantics-level referee.
+func TestDifferentialModifyStreams(t *testing.T) {
+	for _, seed := range []int64{3, 17, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runDifferential(t, seed, 140)
+		})
+	}
+}
+
+func runDifferential(t *testing.T, seed int64, n int) {
+	t.Helper()
+	newM := func(opts core.Options) *core.Mediator {
+		m, err := NewMediator(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	memoized := newM(core.Options{})
+	perOp := newM(core.Options{})
+	uncompiled := newM(core.Options{DisablePlanCache: true})
+	native := triplestore.New()
+
+	ds := NewDifferentialStream(seed, n)
+	modes := []struct {
+		name string
+		exec func(string) (*core.Result, error)
+	}{
+		{"memoized", memoized.ExecuteString},
+		{"per-op", func(src string) (*core.Result, error) {
+			req, err := update.Parse(src)
+			if err != nil {
+				return nil, err
+			}
+			return perOp.ExecuteRequest(req)
+		}},
+		{"uncompiled", uncompiled.ExecuteString},
+	}
+
+	divergences := 0
+	// A mode may legitimately return a nil Result alongside an error
+	// (parse failures); treat it as an empty statement list.
+	sqlOf := func(r *core.Result) []string {
+		if r == nil {
+			return nil
+		}
+		return r.SQL()
+	}
+	run := func(req string) {
+		results := make([]*core.Result, len(modes))
+		errs := make([]error, len(modes))
+		for i, mode := range modes {
+			results[i], errs[i] = mode.exec(req)
+		}
+		for i := 1; i < len(modes); i++ {
+			if (errs[i] == nil) != (errs[0] == nil) {
+				divergences++
+				t.Errorf("%s vs %s error divergence: %v vs %v\nrequest:\n%s",
+					modes[i].name, modes[0].name, errs[i], errs[0], req)
+				continue
+			}
+			if !reflect.DeepEqual(sqlOf(results[i]), sqlOf(results[0])) {
+				divergences++
+				t.Errorf("%s vs %s SQL divergence:\n%v\nvs\n%v\nrequest:\n%s",
+					modes[i].name, modes[0].name, results[i].SQL(), results[0].SQL(), req)
+			}
+			if errs[0] != nil {
+				var a, b *feedback.Violation
+				if errors.As(errs[0], &a) != errors.As(errs[i], &b) {
+					divergences++
+					t.Errorf("%s vs %s feedback divergence: %v vs %v", modes[i].name, modes[0].name, errs[0], errs[i])
+				} else if a != nil && (a.Constraint != b.Constraint || a.Table != b.Table ||
+					a.Column != b.Column || a.Property != b.Property || a.Subject != b.Subject) {
+					divergences++
+					t.Errorf("%s vs %s violation divergence:\n%+v\nvs\n%+v", modes[i].name, modes[0].name, a, b)
+				}
+				continue
+			}
+			if len(results[i].Ops) != len(results[0].Ops) {
+				divergences++
+				t.Errorf("%s vs %s op count divergence: %d vs %d\nrequest:\n%s",
+					modes[i].name, modes[0].name, len(results[i].Ops), len(results[0].Ops), req)
+				continue
+			}
+			for j := range results[0].Ops {
+				if results[i].Ops[j].Bindings != results[0].Ops[j].Bindings ||
+					results[i].Ops[j].RowsAffected != results[0].Ops[j].RowsAffected {
+					divergences++
+					t.Errorf("%s vs %s op %d divergence: %+v vs %+v",
+						modes[i].name, modes[0].name, j, results[i].Ops[j], results[0].Ops[j])
+				}
+			}
+		}
+		// The baseline only sees requests every mediator accepted, so a
+		// rejected request leaves all four states untouched.
+		if errs[0] == nil {
+			parsed, err := update.Parse(req)
+			if err != nil {
+				t.Fatalf("baseline parse: %v", err)
+			}
+			if _, err := update.Apply(native, parsed); err != nil {
+				t.Fatalf("baseline apply: %v\nrequest:\n%s", err, req)
+			}
+		}
+	}
+	for _, req := range ds.Setup {
+		run(req)
+	}
+	for _, req := range ds.Requests {
+		run(req)
+	}
+
+	g0, err := memoized.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*core.Mediator{perOp, uncompiled} {
+		g, err := m.Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g0.Equal(g) {
+			divergences++
+			t.Errorf("exported views diverge across modes.\nonly memoized:\n%v\nonly other:\n%v",
+				g0.Diff(g), g.Diff(g0))
+		}
+	}
+	if ng := native.Graph(); !g0.Equal(ng) {
+		divergences++
+		t.Errorf("mediated export diverges from the native baseline.\nonly mediated:\n%v\nonly native:\n%v",
+			g0.Diff(ng), ng.Diff(g0))
+	}
+	if divergences != 0 {
+		t.Fatalf("differential harness found %d divergence(s) for seed %d", divergences, seed)
+	}
+	// The harness must actually exercise the compiled MODIFY path.
+	if s := memoized.ModifyPlanCacheStats(); s.Hits == 0 {
+		t.Errorf("memoized mode never hit the MODIFY plan cache: %+v", s)
+	}
+	if s := perOp.ModifyPlanCacheStats(); s.Hits == 0 {
+		t.Errorf("per-op mode never hit the MODIFY plan cache: %+v", s)
+	}
+}

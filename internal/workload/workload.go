@@ -283,6 +283,46 @@ WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, author, author))
 	return out
 }
 
+// ModifyHeavyStream produces an update stream dominated by MODIFY:
+// 30% author inserts, 55% mailbox-rotating BGP MODIFYs, 10% delete
+// MODIFYs, 5% publication inserts — the richest per-request workload
+// the compiled MODIFY pipeline serves (the B7 MODIFY-mix experiment).
+func (g *Generator) ModifyHeavyStream(n, startID int) []string {
+	var out []string
+	pubID := startID
+	var insertedAuthors []int
+	seq := 0
+	for len(out) < n {
+		r := g.rng.Float64()
+		switch {
+		case r < 0.30 || len(insertedAuthors) == 0:
+			id := startID + len(insertedAuthors)
+			insertedAuthors = append(insertedAuthors, id)
+			out = append(out, g.AuthorInsert(id))
+		case r < 0.85:
+			seq++
+			author := insertedAuthors[g.rng.Intn(len(insertedAuthors))]
+			out = append(out, fmt.Sprintf(`%s
+MODIFY
+DELETE { ex:author%d foaf:mbox ?m . }
+INSERT { ex:author%d foaf:mbox <mailto:rot%d_%d@example.org> . }
+WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, author, author, author, seq, author))
+		case r < 0.95:
+			author := insertedAuthors[g.rng.Intn(len(insertedAuthors))]
+			out = append(out, fmt.Sprintf(`%s
+MODIFY
+DELETE { ex:author%d foaf:mbox ?m . }
+INSERT { }
+WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, author, author))
+		default:
+			pubID++
+			author := insertedAuthors[g.rng.Intn(len(insertedAuthors))]
+			out = append(out, g.PublicationInsert(pubID+1000000, author))
+		}
+	}
+	return out
+}
+
 // CountRequestKinds summarizes a stream for reporting.
 func CountRequestKinds(stream []string) map[string]int {
 	out := map[string]int{}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race cover fuzz-smoke bench bench-smoke clean
+.PHONY: ci fmt-check vet build test race cover fuzz-smoke bench bench-smoke bench-json clean
 
 ci: fmt-check vet build race cover fuzz-smoke bench-smoke
 
@@ -44,6 +44,15 @@ bench-smoke:
 # The real measurement run (B-series + E-series).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Machine-readable benchmark record: runs the E- and B-series and
+# writes BENCH_E.json / BENCH_B.json (ns/op, allocs, custom metrics
+# like ops/sec) so the perf trajectory is recorded per PR. BENCHTIME
+# trades accuracy for speed: CI uses a short run to keep the gate
+# fast; use >=1s locally for numbers worth quoting.
+BENCHTIME ?= 100x
+bench-json:
+	$(GO) test -bench 'Benchmark[EB][0-9]' -benchmem -benchtime $(BENCHTIME) -run '^$$' . | $(GO) run ./cmd/benchjson -dir .
 
 clean:
 	$(GO) clean ./...

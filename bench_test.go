@@ -12,8 +12,10 @@ package ontoaccess
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ontoaccess/internal/core"
 	"ontoaccess/internal/r3m"
@@ -658,6 +660,183 @@ WHERE { ex:author%d foaf:mbox ?m . }`, workload.Prologue, author, author, seq, a
 	b.Run("Repeated/CacheOff", func(b *testing.B) { run(b, core.Options{DisablePlanCache: true}, false) })
 	b.Run("FreshParams/CacheOn", func(b *testing.B) { run(b, core.Options{}, true) })
 	b.Run("FreshParams/CacheOff", func(b *testing.B) { run(b, core.Options{DisablePlanCache: true}, true) })
+}
+
+// BenchmarkB10_ReadUnderWrite measures the MVCC read path: query
+// throughput on an idle database versus the same queries while a
+// concurrent MODIFY stream rewrites the queried table. The stream is
+// paced (a fixed delay between MODIFYs) so the comparison isolates
+// reader stalls from plain CPU sharing with the writer goroutines.
+// Queries evaluate against lock-free snapshots, so the two numbers
+// should sit within a few percent of each other — before the snapshot
+// refactor, a queued writer blocked every later reader on the table
+// lock, so the same stream degraded reads by its full lock-hold
+// footprint.
+func BenchmarkB10_ReadUnderWrite(b *testing.B) {
+	const preload = 500
+	setup := func(b *testing.B) *core.Mediator {
+		m := newMediator(b, core.Options{})
+		exec(b, m, seedTeams(1, 20))
+		for i := 0; i < preload; i++ {
+			exec(b, m, authorInsert(i+1, i%20+1))
+		}
+		return m
+	}
+	query := workload.Prologue + `
+SELECT ?x ?mbox WHERE {
+  ?x rdf:type foaf:Person ;
+     foaf:family_name "L250" ;
+     foaf:mbox ?mbox .
+}`
+	runReaders := func(b *testing.B, m *core.Mediator) {
+		var firstErr atomic.Value
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				res, err := m.Query(query)
+				if err == nil && len(res.Solutions) != 1 {
+					err = fmt.Errorf("solutions = %d, want 1", len(res.Solutions))
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err.Error())
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		if err := firstErr.Load(); err != nil {
+			b.Fatal(err)
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "queries/sec")
+		}
+	}
+	b.Run("Idle", func(b *testing.B) {
+		m := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		runReaders(b, m)
+	})
+	b.Run("UnderModifyStream", func(b *testing.B) {
+		m := setup(b)
+		const writers = 2
+		const pace = 200 * time.Microsecond // paced background MODIFY stream
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var writes atomic.Int64
+		var writeErr atomic.Value
+		g := workload.NewGenerator(5)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Each writer rotates the mailboxes of its own authors —
+				// same table as the queries, disjoint from the queried row.
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					case <-time.After(pace):
+					}
+					id := w*100 + i%100 + 1
+					if id == 250 {
+						continue // keep the queried row stable
+					}
+					if _, err := m.ExecuteString(g.EmailModifyBGP(id)); err != nil {
+						writeErr.CompareAndSwap(nil, err.Error())
+						return
+					}
+					writes.Add(1)
+				}
+			}(w)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		runReaders(b, m)
+		close(stop)
+		wg.Wait()
+		// A failed (or absent) write stream would silently turn this
+		// into a second idle measurement. Smoke runs (-benchtime 1x)
+		// end before the paced stream can fire, so the absence check
+		// only applies to real measurement windows.
+		if err := writeErr.Load(); err != nil {
+			b.Fatalf("background MODIFY stream failed: %v", err)
+		}
+		if writes.Load() == 0 && b.Elapsed() > time.Second {
+			b.Fatal("background MODIFY stream made no writes")
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(writes.Load())/secs, "bg-writes/sec")
+		}
+	})
+}
+
+// BenchmarkB11_BatchedSameTableWrites measures the group-commit
+// scheduler on the workload PR 2 left on the table: same-table
+// writers in the endpoint's steady state (a working set of request
+// shapes cycling through the parse memo and bound-plan cache, as in
+// B8/Repeated). Every worker writes authors — one table, one lock
+// signature — so without batching the workers serialize through
+// lock-plan/lock-handoff/commit/publish cycles per operation, while
+// with batching the leader drains whole queues through one
+// transaction and one snapshot publish.
+func BenchmarkB11_BatchedSameTableWrites(b *testing.B) {
+	const pool = 64
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"Batched", core.Options{}},
+		{"Unbatched", core.Options{DisableWriteBatching: true}},
+	} {
+		for _, workers := range []int{2, 8, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", variant.name, workers), func(b *testing.B) {
+				m := newMediator(b, variant.opts)
+				exec(b, m, seedTeams(1, 20))
+				// Per-worker request pools: the first round inserts the
+				// rows, every later round re-executes the same strings as
+				// INSERT-becomes-UPDATE — the hot compiled path.
+				reqs := make([][]string, workers)
+				for w := 0; w < workers; w++ {
+					reqs[w] = make([]string, pool)
+					for i := 0; i < pool; i++ {
+						reqs[w][i] = authorInsert(w*1_000_000+i+1, i%20+1)
+					}
+					for _, req := range reqs[w] {
+						exec(b, m, req)
+					}
+				}
+				perWorker := (b.N + workers - 1) / workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				var firstErr atomic.Value
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := 0; i < perWorker; i++ {
+							if _, err := m.ExecuteString(reqs[w][i%pool]); err != nil {
+								firstErr.CompareAndSwap(nil, err.Error())
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if err := firstErr.Load(); err != nil {
+					b.Fatal(err)
+				}
+				ops := workers * perWorker
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(ops)/secs, "ops/sec")
+				}
+				if s := m.SchedulerStats(); !variant.opts.DisableWriteBatching && s.Ops == 0 {
+					b.Fatal("scheduler never ran despite batching enabled")
+				}
+			})
+		}
+	}
 }
 
 // ---- request builders ----

@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` output into
+// machine-readable JSON, one file per benchmark series, so CI can
+// record the performance trajectory of every PR as artifacts
+// (BENCH_E.json for the paper's feasibility artifacts, BENCH_B.json
+// for the quantified claims; see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' . | go run ./cmd/benchjson -dir .
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in JSON form.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmarks,
+	// without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values (ops/sec, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory to write BENCH_*.json into")
+	flag.Parse()
+
+	series := map[string][]Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stay transparent in CI logs
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		key := seriesOf(r.Name)
+		series[key] = append(series[key], r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	for key, results := range series {
+		path := filepath.Join(*dir, "BENCH_"+key+".json")
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(results))
+	}
+}
+
+// seriesOf buckets a benchmark into its series: BenchmarkE* -> E,
+// BenchmarkB* -> B, everything else -> MISC.
+func seriesOf(name string) string {
+	rest := strings.TrimPrefix(name, "Benchmark")
+	if len(rest) > 0 && (rest[0] == 'E' || rest[0] == 'B') {
+		if len(rest) > 1 && rest[1] >= '0' && rest[1] <= '9' {
+			return rest[:1]
+		}
+	}
+	return "MISC"
+}
+
+// parseLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkB8/CacheOn-8  59772  5773 ns/op  123 ops/sec  4614 B/op  47 allocs/op
+func parseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -GOMAXPROCS suffix when it is numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	// The remainder alternates value/unit.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			n := int64(v)
+			r.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			r.AllocsPerOp = &n
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}

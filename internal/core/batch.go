@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ontoaccess/internal/rdb"
+)
+
+// This file implements the group-commit write scheduler. Compiled
+// data plans and MODIFY plans declare their exact lock sets; the
+// scheduler coalesces concurrently submitted operations with the same
+// lock signature — in particular, writers hammering the same table —
+// into one transaction: one lock acquisition, one snapshot publish.
+//
+// Without batching, N same-table writers serialize into N
+// lock-acquire/commit/release cycles with a full lock handoff (and a
+// snapshot publish) between each pair. With batching, the first
+// submitter becomes the batch leader, drains everything queued behind
+// it, and executes the whole batch under a single transaction while
+// later arrivals queue for the next batch. Per-operation atomicity is
+// preserved through savepoints: a failing operation rolls back to its
+// own savepoint and reports its error, without touching its batch
+// mates. Results are delivered only after the batch commit, so every
+// caller observes its own write.
+//
+// The same decoupling pattern — many producers, one batched writer
+// per target — is what streaming SQL pipelines such as metadb use to
+// keep ingest at hardware speed; here it rides on the MVCC layer,
+// whose savepoints are O(1) pointer copies.
+
+// maxBatchOps bounds one batch (and therefore lock hold time); jobs
+// beyond it wait for the next batch of the same queue.
+const maxBatchOps = 64
+
+// SchedulerStats reports group-commit effectiveness.
+type SchedulerStats struct {
+	// Batches is the number of committed batch transactions; Ops the
+	// operations executed through the scheduler. Ops/Batches is the
+	// achieved coalescing factor.
+	Batches, Ops uint64
+	// MaxBatch is the largest batch committed so far.
+	MaxBatch uint64
+}
+
+type jobResult struct {
+	res *OpResult
+	err error
+}
+
+// writeJob is one queued operation: an executor to run inside the
+// batch transaction and a channel for its post-commit result.
+type writeJob struct {
+	exec func(tx *rdb.Tx) (*OpResult, error)
+	done chan jobResult
+}
+
+// writeQueue collects jobs that share one lock signature.
+type writeQueue struct {
+	write, read []string
+
+	mu     sync.Mutex
+	jobs   []*writeJob
+	leader bool
+}
+
+// writeScheduler owns one queue per lock signature.
+type writeScheduler struct {
+	db *rdb.Database
+
+	mu     sync.Mutex
+	queues map[string]*writeQueue
+
+	batches  atomic.Uint64
+	ops      atomic.Uint64
+	maxBatch atomic.Uint64
+}
+
+func newWriteScheduler(db *rdb.Database) *writeScheduler {
+	return &writeScheduler{db: db, queues: make(map[string]*writeQueue)}
+}
+
+// lockSignature canonicalizes a lock set; plans precompute it at
+// compile time so the per-operation scheduler path allocates nothing
+// for routing. Lock sets are sorted at compile time, so equal sets
+// produce equal signatures.
+func lockSignature(write, read []string) string {
+	return strings.Join(write, "\x00") + "\x01" + strings.Join(read, "\x00")
+}
+
+// queue returns (creating if needed) the queue for a lock signature.
+func (s *writeScheduler) queue(sig string, write, read []string) *writeQueue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[sig]
+	if !ok {
+		q = &writeQueue{write: write, read: read}
+		s.queues[sig] = q
+	}
+	return q
+}
+
+// run executes one operation through the scheduler and returns its
+// result after the batch containing it committed. The calling
+// goroutine either becomes the leader of a new batch (executing its
+// own operation plus everything queued meanwhile) or enqueues behind
+// the active leader and waits.
+func (s *writeScheduler) run(sig string, write, read []string, exec func(tx *rdb.Tx) (*OpResult, error)) (*OpResult, error) {
+	q := s.queue(sig, write, read)
+	q.mu.Lock()
+	if q.leader {
+		job := &writeJob{exec: exec, done: make(chan jobResult, 1)}
+		q.jobs = append(q.jobs, job)
+		q.mu.Unlock()
+		r := <-job.done
+		return r.res, r.err
+	}
+	q.leader = true
+	q.mu.Unlock()
+
+	res, err := s.commitBatch(q, exec)
+
+	// Jobs that queued while this batch ran have no goroutine of their
+	// own executing the queue; hand the leadership on.
+	q.mu.Lock()
+	if len(q.jobs) > 0 {
+		go s.leadLoop(q)
+	} else {
+		q.leader = false
+	}
+	q.mu.Unlock()
+	return res, err
+}
+
+// leadLoop drains a queue batch by batch until it is empty, then
+// releases leadership.
+func (s *writeScheduler) leadLoop(q *writeQueue) {
+	for {
+		q.mu.Lock()
+		if len(q.jobs) == 0 {
+			q.leader = false
+			q.mu.Unlock()
+			return
+		}
+		q.mu.Unlock()
+		s.commitBatch(q, nil)
+	}
+}
+
+// commitBatch runs the leader's own operation (when non-nil) plus up
+// to maxBatchOps queued jobs inside one transaction and delivers the
+// queued jobs' results after the commit.
+func (s *writeScheduler) commitBatch(q *writeQueue, own func(tx *rdb.Tx) (*OpResult, error)) (*OpResult, error) {
+	q.mu.Lock()
+	batch := q.jobs
+	if len(batch) > maxBatchOps {
+		q.jobs = append([]*writeJob(nil), batch[maxBatchOps:]...)
+		batch = batch[:maxBatchOps]
+	} else {
+		q.jobs = nil
+	}
+	q.mu.Unlock()
+
+	tx := s.db.BeginWriteRead(q.write, q.read)
+	defer tx.Rollback()
+
+	var ownRes *OpResult
+	var ownErr error
+	n := uint64(len(batch))
+	if own != nil {
+		ownRes, ownErr = runSavepointed(tx, own)
+		n++
+	}
+	results := make([]jobResult, len(batch))
+	for i, job := range batch {
+		res, err := runSavepointed(tx, job.exec)
+		results[i] = jobResult{res: res, err: err}
+	}
+	if cerr := tx.Commit(); cerr != nil {
+		// Commit failure loses the whole batch; surface it everywhere.
+		if ownErr == nil {
+			ownErr = cerr
+		}
+		for i := range results {
+			if results[i].err == nil {
+				results[i].err = cerr
+			}
+		}
+	}
+	// Deliver only after the commit, so every submitter observes its
+	// own write as soon as it resumes.
+	for i, job := range batch {
+		job.done <- results[i]
+	}
+	s.batches.Add(1)
+	s.ops.Add(n)
+	for {
+		cur := s.maxBatch.Load()
+		if n <= cur || s.maxBatch.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	return ownRes, ownErr
+}
+
+// runSavepointed brackets one operation with a savepoint so a failure
+// (including a stale-plan abort) leaves its batch mates untouched. A
+// panicking operation is converted into an error for the same reason:
+// if it unwound the leader, every queued job would block forever on a
+// result that never comes and the queue's leadership would wedge.
+func runSavepointed(tx *rdb.Tx, exec func(tx *rdb.Tx) (*OpResult, error)) (res *OpResult, err error) {
+	sp := tx.Savepoint()
+	defer func() {
+		if r := recover(); r != nil {
+			tx.RollbackTo(sp)
+			res, err = nil, fmt.Errorf("core: batched operation panicked: %v", r)
+		}
+	}()
+	res, err = exec(tx)
+	if err != nil {
+		tx.RollbackTo(sp)
+	}
+	return res, err
+}
+
+// SchedulerStats reports the group-commit scheduler's counters; zero
+// when batching is disabled.
+func (m *Mediator) SchedulerStats() SchedulerStats {
+	if m.sched == nil {
+		return SchedulerStats{}
+	}
+	return SchedulerStats{
+		Batches:  m.sched.batches.Load(),
+		Ops:      m.sched.ops.Load(),
+		MaxBatch: m.sched.maxBatch.Load(),
+	}
+}

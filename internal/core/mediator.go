@@ -52,6 +52,12 @@ type Options struct {
 	// PlanCacheSize bounds the number of cached plans (shapes); 0
 	// means DefaultPlanCacheSize.
 	PlanCacheSize int
+	// DisableWriteBatching turns off the group-commit scheduler:
+	// every compiled plan commits in its own transaction instead of
+	// being coalesced with concurrent operations that share its lock
+	// signature (see batch.go). The B11 benchmark measures the
+	// difference.
+	DisableWriteBatching bool
 }
 
 // Default cache sizes for the compiled-plan pipeline.
@@ -79,6 +85,10 @@ type Mediator struct {
 	mplans  *lruCache[*ModifyPlan]
 	parses  *lruCache[*cachedRequest]
 	topoPos map[string]int
+
+	// sched is the group-commit write scheduler; nil when
+	// Options.DisableWriteBatching is set.
+	sched *writeScheduler
 }
 
 // New builds a mediator and cross-validates the mapping against the
@@ -99,6 +109,9 @@ func New(db *rdb.Database, mapping *r3m.Mapping, opts Options) (*Mediator, error
 	m.plans = newLRU[*UpdatePlan](size)
 	m.mplans = newLRU[*ModifyPlan](size)
 	m.parses = newLRU[*cachedRequest](defaultParseCacheSize)
+	if !opts.DisableWriteBatching {
+		m.sched = newWriteScheduler(db)
+	}
 	if order, err := db.TopologicalTableOrder(); err == nil {
 		m.topoPos = make(map[string]int, len(order))
 		for i, name := range order {

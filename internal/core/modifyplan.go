@@ -70,8 +70,10 @@ type ModifyPlan struct {
 	key   string
 	slots int
 	// writeTables is the exact write lock set: every table reachable
-	// from the DELETE and INSERT templates.
+	// from the DELETE and INSERT templates. lockSig is the precomputed
+	// scheduler routing key over both lock sets.
 	writeTables []string
+	lockSig     string
 	// readTables are the tables the WHERE SELECT scans (shared locks,
 	// on top of the write set's foreign-key closure).
 	readTables []string
@@ -207,6 +209,7 @@ func (m *Mediator) compileModifyPlan(key string, slots int, op update.Modify, nm
 	}
 	p.writeTables = sortedTableNames(writes)
 	p.readTables = sortedTableNames(reads)
+	p.lockSig = lockSignature(p.writeTables, p.readTables)
 	return p, nil
 }
 
@@ -419,22 +422,33 @@ func (m *Mediator) modifyPlanForShape(key string, slots int, op update.Modify, n
 	return plan, true
 }
 
-// runPlannedModify executes a bound MODIFY plan in its own
-// transaction, locking only the declared tables. handled is false when
+// runPlannedModify executes a bound MODIFY plan under the plan's
+// declared locks — through the group-commit scheduler when batching
+// is on, in its own transaction otherwise. handled is false when
 // execution went stale — the caller re-runs the operation uncompiled.
+// (In a batch the stale operation has already been rolled back to its
+// savepoint, so the fallback never double-applies.)
 func (m *Mediator) runPlannedModify(plan *ModifyPlan, bm *boundModify) (*OpResult, error, bool) {
-	tx := m.db.BeginWriteRead(plan.writeTables, plan.readTables)
-	defer tx.Rollback()
-	res, err := plan.execBound(m, tx, bm)
+	var res *OpResult
+	var err error
+	if m.sched != nil {
+		res, err = m.sched.run(plan.lockSig, plan.writeTables, plan.readTables, func(tx *rdb.Tx) (*OpResult, error) {
+			return plan.execBound(m, tx, bm)
+		})
+	} else {
+		tx := m.db.BeginWriteRead(plan.writeTables, plan.readTables)
+		defer tx.Rollback()
+		res, err = plan.execBound(m, tx, bm)
+		if err == nil {
+			err = tx.Commit()
+		}
+	}
 	if err != nil {
 		var le *rdb.LockError
 		if errors.Is(err, errPlanStale) || errors.As(err, &le) {
 			return nil, nil, false
 		}
 		return res, err, true
-	}
-	if cerr := tx.Commit(); cerr != nil {
-		return res, cerr, true
 	}
 	return res, nil, true
 }

@@ -239,8 +239,10 @@ type UpdatePlan struct {
 	key   string
 	kind  string // "INSERT DATA" or "DELETE DATA"
 	slots int
-	// writeTables is the exact write lock set for execution.
+	// writeTables is the exact write lock set for execution; lockSig
+	// is its precomputed scheduler routing key.
 	writeTables []string
+	lockSig     string
 	// topoPos ranks tables parents-first for statement sorting
 	// (Algorithm 1 step five), precomputed from the schema.
 	topoPos map[string]int
@@ -409,6 +411,7 @@ func (m *Mediator) compileDataPlan(kind, key string, slots int, nts []normTriple
 		}
 	}
 	sort.Strings(p.writeTables)
+	p.lockSig = lockSignature(p.writeTables, nil)
 	return p, nil
 }
 
@@ -996,14 +999,22 @@ func (m *Mediator) planForShape(kind, key string, slots int, nts []normTriple, l
 	return plan, true
 }
 
-// runPlanned executes a bound plan in its own transaction, locking
-// only the plan's tables. Staleness is fully decided during binding
-// (bindGroups), so a bound plan always executes to a result or a
-// genuine error.
+// runPlanned executes a bound plan under the plan's declared locks —
+// through the group-commit scheduler when batching is on (coalescing
+// it with concurrent operations sharing the lock signature), in its
+// own transaction otherwise. Staleness is fully decided during
+// binding (bindGroups), so a bound plan always executes to a result
+// or a genuine error.
 func (m *Mediator) runPlanned(plan *UpdatePlan, bound []boundGroup) (*OpResult, error) {
+	exec := func(tx *rdb.Tx) (*OpResult, error) {
+		return plan.execBound(m, tx, bound)
+	}
+	if m.sched != nil {
+		return m.sched.run(plan.lockSig, plan.writeTables, nil, exec)
+	}
 	tx := m.db.BeginWrite(plan.writeTables...)
 	defer tx.Rollback()
-	res, err := plan.execBound(m, tx, bound)
+	res, err := exec(tx)
 	if err != nil {
 		return res, err
 	}

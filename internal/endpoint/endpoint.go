@@ -17,7 +17,14 @@
 //	                returns Turtle.
 //	GET /export   — the full RDF view as Turtle or N-Triples.
 //	GET /mapping  — the active R3M mapping as Turtle.
-//	GET /healthz  — liveness probe with row counts.
+//	GET /healthz  — liveness probe with row counts, the published
+//	                snapshot version, and group-commit statistics.
+//
+// Request handling is fully concurrent: queries and exports evaluate
+// against lock-free database snapshots (they never wait for writers),
+// and updates flow through the mediator's group-commit scheduler,
+// which coalesces concurrent requests hitting the same tables into
+// shared transactions.
 package endpoint
 
 import (
@@ -189,9 +196,13 @@ func (s *Server) handleMapping(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok\ndatabase: %s\n", s.mediator.DB().Name())
-	for _, name := range s.mediator.DB().TableNames() {
-		n, _ := s.mediator.DB().RowCount(name)
+	db := s.mediator.DB()
+	fmt.Fprintf(w, "ok\ndatabase: %s\n", db.Name())
+	fmt.Fprintf(w, "snapshot version: %d\n", db.SnapshotVersion())
+	st := s.mediator.SchedulerStats()
+	fmt.Fprintf(w, "write batches: %d (%d ops, max batch %d)\n", st.Batches, st.Ops, st.MaxBatch)
+	for _, name := range db.TableNames() {
+		n, _ := db.RowCount(name)
 		fmt.Fprintf(w, "table %s: %d rows\n", name, n)
 	}
 }

@@ -5,22 +5,32 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Database is a named collection of tables. All access happens
 // through transactions (Begin / BeginWrite / View). Concurrency
-// control is two-level: a catalog RWMutex guards the table registry
-// (DDL takes it exclusively, transactions share it), and every table
-// carries its own RWMutex. Begin write-locks every table (the
-// serialized semantics of the paper's single-connection prototype);
-// BeginWrite locks only a declared write set plus its foreign-key
-// neighbourhood, so writers on disjoint tables proceed in parallel;
-// View read-locks all tables, so readers never block each other.
+// control is multi-versioned:
+//
+//   - Readers (View, Snapshot-backed queries) load the atomically
+//     published database snapshot and evaluate against immutable
+//     table versions. They take no locks, never block writers and are
+//     never blocked by them.
+//   - Writers use two-phase per-table locking for serializability: a
+//     catalog RWMutex guards the table registry (DDL takes it
+//     exclusively, write transactions share it), and every table
+//     carries a writer RWMutex. Begin write-locks every table (the
+//     serialized semantics of the paper's single-connection
+//     prototype); BeginWrite locks only a declared write set plus its
+//     foreign-key neighbourhood, so writers on disjoint tables
+//     proceed in parallel. Writers mutate copy-on-write table
+//     versions and commit by publishing a new snapshot, so rollback
+//     is simply discarding the derived versions.
 type Database struct {
 	name string
 
 	// mu is the catalog lock: it protects tables, order and
-	// referencedBy. Transactions hold it shared for their whole
+	// referencedBy. Write transactions hold it shared for their whole
 	// lifetime, which keeps the table registry stable under them.
 	mu     sync.RWMutex
 	tables map[string]*table
@@ -28,6 +38,11 @@ type Database struct {
 	// referencedBy maps a table name to the foreign keys (in other
 	// tables) that reference it, for RESTRICT checks on delete.
 	referencedBy map[string][]fkBackRef
+
+	// snap is the current committed snapshot; pubMu serializes
+	// publishes (concurrent committers with disjoint lock sets).
+	snap  atomic.Pointer[dbSnapshot]
+	pubMu sync.Mutex
 }
 
 type fkBackRef struct {
@@ -35,17 +50,82 @@ type fkBackRef struct {
 	column string
 }
 
+func lowerName(name string) string { return strings.ToLower(name) }
+
 // NewDatabase returns an empty database.
 func NewDatabase(name string) *Database {
-	return &Database{
+	db := &Database{
 		name:         name,
 		tables:       make(map[string]*table),
 		referencedBy: make(map[string][]fkBackRef),
 	}
+	db.snap.Store(&dbSnapshot{
+		tables:       make(map[string]*tableVersion),
+		referencedBy: make(map[string][]fkBackRef),
+	})
+	return db
 }
 
 // Name returns the database name.
 func (db *Database) Name() string { return db.name }
+
+// snapshot returns the current committed snapshot.
+func (db *Database) snapshot() *dbSnapshot { return db.snap.Load() }
+
+// SnapshotVersion returns the monotonically increasing version number
+// of the published snapshot — it advances on every commit that
+// changed data and on every DDL statement. Tooling uses it to observe
+// write progress without locking.
+func (db *Database) SnapshotVersion() uint64 { return db.snapshot().version }
+
+// publish installs new table versions as the next snapshot. Callers
+// hold the written tables' exclusive locks, so per-table versions
+// cannot conflict; pubMu only serializes the pointer swap between
+// writers of disjoint tables.
+func (db *Database) publish(updated map[string]*tableVersion) {
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
+	cur := db.snap.Load()
+	ns := &dbSnapshot{
+		version:      cur.version + 1,
+		tables:       make(map[string]*tableVersion, len(cur.tables)),
+		order:        cur.order,
+		referencedBy: cur.referencedBy,
+	}
+	for k, v := range cur.tables {
+		ns.tables[k] = v
+	}
+	for k, v := range updated {
+		ns.tables[k] = v
+	}
+	db.snap.Store(ns)
+}
+
+// publishCatalog rebuilds the snapshot from the catalog after DDL.
+// Callers hold the catalog lock exclusively, so no transactions are
+// open and no commit can race the rebuild.
+func (db *Database) publishCatalog() {
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
+	cur := db.snap.Load()
+	ns := &dbSnapshot{
+		version:      cur.version + 1,
+		tables:       make(map[string]*tableVersion, len(db.tables)),
+		order:        append([]string(nil), db.order...),
+		referencedBy: make(map[string][]fkBackRef, len(db.referencedBy)),
+	}
+	for key, t := range db.tables {
+		if v, ok := cur.tables[key]; ok {
+			ns.tables[key] = v
+		} else {
+			ns.tables[key] = newTableVersion(t.schema)
+		}
+	}
+	for ref, list := range db.referencedBy {
+		ns.referencedBy[ref] = append([]fkBackRef(nil), list...)
+	}
+	db.snap.Store(ns)
+}
 
 // CreateTable registers a new table. Referenced tables must either
 // already exist or be created later but before any data flows (the
@@ -57,16 +137,17 @@ func (db *Database) CreateTable(schema *TableSchema) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	key := strings.ToLower(schema.Name)
+	key := lowerName(schema.Name)
 	if _, exists := db.tables[key]; exists {
 		return fmt.Errorf("rdb: table %q already exists", schema.Name)
 	}
 	db.tables[key] = newTable(schema)
 	db.order = append(db.order, key)
 	for _, fk := range schema.ForeignKeys {
-		ref := strings.ToLower(fk.RefTable)
+		ref := lowerName(fk.RefTable)
 		db.referencedBy[ref] = append(db.referencedBy[ref], fkBackRef{table: key, column: fk.Column})
 	}
+	db.publishCatalog()
 	return nil
 }
 
@@ -75,7 +156,7 @@ func (db *Database) CreateTable(schema *TableSchema) error {
 func (db *Database) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	key := strings.ToLower(name)
+	key := lowerName(name)
 	if _, ok := db.tables[key]; !ok {
 		return &TableError{Table: name}
 	}
@@ -103,55 +184,44 @@ func (db *Database) DropTable(name string) error {
 			db.referencedBy[ref] = kept
 		}
 	}
+	db.publishCatalog()
 	return nil
 }
 
 // Schema returns the schema of the named table. Schemas are immutable
-// after CreateTable, so the catalog lock suffices.
+// after CreateTable, so the snapshot lookup suffices.
 func (db *Database) Schema(name string) (*TableSchema, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[strings.ToLower(name)]
+	v, ok := db.snapshot().table(name)
 	if !ok {
 		return nil, false
 	}
-	return t.schema, true
+	return v.schema, true
 }
 
 // TableNames returns all table names in creation order.
 func (db *Database) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, len(db.order))
-	for i, key := range db.order {
-		out[i] = db.tables[key].schema.Name
+	s := db.snapshot()
+	out := make([]string, len(s.order))
+	for i, key := range s.order {
+		out[i] = s.tables[key].schema.Name
 	}
 	return out
 }
 
 // RowCount returns the number of rows in the named table.
 func (db *Database) RowCount(name string) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[strings.ToLower(name)]
+	v, ok := db.snapshot().table(name)
 	if !ok {
 		return 0, &TableError{Table: name}
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows), nil
+	return v.rows.len(), nil
 }
 
 // TotalRows returns the number of rows across all tables.
 func (db *Database) TotalRows() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
-	for _, key := range db.order {
-		t := db.tables[key]
-		t.mu.RLock()
-		n += len(t.rows)
-		t.mu.RUnlock()
+	for _, v := range db.snapshot().tables {
+		n += v.rows.len()
 	}
 	return n
 }
@@ -164,24 +234,7 @@ func (db *Database) TotalRows() int {
 // an error since no valid insert order exists under immediate
 // constraint checking.
 func (db *Database) TopologicalTableOrder() ([]string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.topologicalLocked()
-}
-
-// topologicalLocked computes the order with the catalog lock already
-// held (used by open transactions, which hold it shared).
-func (db *Database) topologicalLocked() ([]string, error) {
-	return topoOrder(db.order, func(key string) []string {
-		var deps []string
-		for _, fk := range db.tables[key].schema.ForeignKeys {
-			ref := strings.ToLower(fk.RefTable)
-			if ref != key {
-				deps = append(deps, ref)
-			}
-		}
-		return deps
-	}, func(key string) string { return db.tables[key].schema.Name })
+	return db.snapshot().topological()
 }
 
 // topoOrder is a deterministic Kahn topological sort; nodes is the
@@ -239,16 +292,6 @@ func topoOrder(nodes []string, deps func(string) []string, display func(string) 
 	return out, nil
 }
 
-// getTable fetches a table by name; callers hold the catalog lock
-// (transactions hold it shared for their lifetime).
-func (db *Database) getTable(name string) (*table, error) {
-	t, ok := db.tables[strings.ToLower(name)]
-	if !ok {
-		return nil, &TableError{Table: name}
-	}
-	return t, nil
-}
-
 // lockPlanEntry is one table in a transaction's lock set.
 type lockPlanEntry struct {
 	key   string
@@ -268,7 +311,7 @@ type lockPlanEntry struct {
 func (db *Database) lockPlan(writeTables, readTables []string) []lockPlanEntry {
 	mode := make(map[string]bool, len(writeTables)*2)
 	for _, name := range writeTables {
-		key := strings.ToLower(name)
+		key := lowerName(name)
 		t, ok := db.tables[key]
 		if !ok {
 			continue
@@ -285,14 +328,14 @@ func (db *Database) lockPlan(writeTables, readTables []string) []lockPlanEntry {
 			}
 		}
 		for _, fk := range t.schema.ForeignKeys {
-			addRead(strings.ToLower(fk.RefTable))
+			addRead(lowerName(fk.RefTable))
 		}
 		for _, back := range db.referencedBy[key] {
 			addRead(back.table)
 		}
 	}
 	for _, name := range readTables {
-		key := strings.ToLower(name)
+		key := lowerName(name)
 		if _, exists := db.tables[key]; !exists {
 			continue
 		}

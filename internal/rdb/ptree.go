@@ -1,0 +1,259 @@
+package rdb
+
+import "math/bits"
+
+// This file provides the persistent (immutable, path-copying) data
+// structures the MVCC storage layer is built on. A table's committed
+// state is a tree of shared nodes; a writer derives the next version
+// by copying only the O(log n) nodes on the paths it touches, so
+// commits publish new versions without ever disturbing readers, and
+// rolling back is simply dropping the derived version.
+//
+//   - ptree[V]: a 32-way radix trie keyed by uint64, used for the row
+//     store (row id -> tuple) and for the id sets inside secondary
+//     indexes. Iteration is in ascending key order, which makes row-id
+//     order the stable scan order.
+//   - pmap[V]: a persistent string-keyed hash map layered over ptree
+//     (hash -> small collision bucket), used for the primary-key and
+//     secondary value indexes.
+
+const (
+	ptBits  = 5
+	ptWidth = 1 << ptBits
+	ptMask  = ptWidth - 1
+)
+
+// ptNode is one trie node. Inner nodes use kids, leaves use vals with
+// a presence bitmap; both slices have length ptWidth when allocated.
+type ptNode[V any] struct {
+	kids    []*ptNode[V]
+	vals    []V
+	present uint32
+}
+
+// ptree is a persistent uint64-keyed map. The zero value is empty.
+// All mutating operations return a new tree sharing structure with
+// the receiver; the receiver is never modified.
+type ptree[V any] struct {
+	root  *ptNode[V]
+	shift uint
+	size  int
+}
+
+// len returns the number of entries.
+func (t ptree[V]) len() int { return t.size }
+
+// get returns the value stored under k.
+func (t ptree[V]) get(k uint64) (V, bool) {
+	var zero V
+	n := t.root
+	if n == nil || k>>(t.shift+ptBits) != 0 {
+		return zero, false
+	}
+	for shift := t.shift; shift > 0; shift -= ptBits {
+		n = n.kids[(k>>shift)&ptMask]
+		if n == nil {
+			return zero, false
+		}
+	}
+	i := k & ptMask
+	if n.present&(1<<i) == 0 {
+		return zero, false
+	}
+	return n.vals[i], true
+}
+
+// with returns a tree that additionally maps k to v.
+func (t ptree[V]) with(k uint64, v V) ptree[V] {
+	if t.root == nil {
+		t.root = &ptNode[V]{vals: make([]V, ptWidth)}
+		t.shift = 0
+	}
+	// Grow the root until k is addressable.
+	for k>>(t.shift+ptBits) != 0 {
+		nr := &ptNode[V]{kids: make([]*ptNode[V], ptWidth)}
+		nr.kids[0] = t.root
+		t.root = nr
+		t.shift += ptBits
+	}
+	root, added := ptWith(t.root, t.shift, k, v)
+	nt := ptree[V]{root: root, shift: t.shift, size: t.size}
+	if added {
+		nt.size++
+	}
+	return nt
+}
+
+// ptWith path-copies the nodes from n down to k's leaf. A nil n
+// materializes a fresh subtree.
+func ptWith[V any](n *ptNode[V], shift uint, k uint64, v V) (*ptNode[V], bool) {
+	if shift == 0 {
+		c := &ptNode[V]{vals: make([]V, ptWidth)}
+		if n != nil {
+			copy(c.vals, n.vals)
+			c.present = n.present
+		}
+		i := k & ptMask
+		added := c.present&(1<<i) == 0
+		c.vals[i] = v
+		c.present |= 1 << i
+		return c, added
+	}
+	c := &ptNode[V]{kids: make([]*ptNode[V], ptWidth)}
+	if n != nil {
+		copy(c.kids, n.kids)
+	}
+	i := (k >> shift) & ptMask
+	child, added := ptWith(c.kids[i], shift-ptBits, k, v)
+	c.kids[i] = child
+	return c, added
+}
+
+// without returns a tree with k removed (a no-op if absent). Emptied
+// nodes are kept in place; the structure does not shrink.
+func (t ptree[V]) without(k uint64) ptree[V] {
+	if _, ok := t.get(k); !ok {
+		return t
+	}
+	return ptree[V]{root: ptWithout(t.root, t.shift, k), shift: t.shift, size: t.size - 1}
+}
+
+func ptWithout[V any](n *ptNode[V], shift uint, k uint64) *ptNode[V] {
+	if shift == 0 {
+		c := &ptNode[V]{vals: make([]V, ptWidth), present: n.present}
+		copy(c.vals, n.vals)
+		i := k & ptMask
+		var zero V
+		c.vals[i] = zero // release the value for GC
+		c.present &^= 1 << i
+		return c
+	}
+	c := &ptNode[V]{kids: make([]*ptNode[V], ptWidth)}
+	copy(c.kids, n.kids)
+	i := (k >> shift) & ptMask
+	c.kids[i] = ptWithout(c.kids[i], shift-ptBits, k)
+	return c
+}
+
+// ascend visits entries in ascending key order; fn returning false
+// stops the walk.
+func (t ptree[V]) ascend(fn func(k uint64, v V) bool) {
+	if t.root != nil {
+		ptAscend(t.root, t.shift, 0, fn)
+	}
+}
+
+func ptAscend[V any](n *ptNode[V], shift uint, prefix uint64, fn func(k uint64, v V) bool) bool {
+	if shift == 0 {
+		for p := n.present; p != 0; p &= p - 1 {
+			i := uint64(bits.TrailingZeros32(p))
+			if !fn(prefix|i, n.vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for i, c := range n.kids {
+		if c != nil && !ptAscend(c, shift-ptBits, prefix|uint64(i)<<shift, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// idset is a persistent set of row ids (the posting list of one
+// secondary-index key).
+type idset = ptree[struct{}]
+
+// ---- persistent string-keyed hash map ------------------------------
+
+// pmHashBits bounds the hash key space so the backing trie stays at
+// most pmHashBits/ptBits levels deep (four, for 20 bits); collisions
+// land in buckets and stay negligible up to roughly a million keys
+// per index, at the benefit of two fewer node copies per write.
+const pmHashBits = 20
+
+// pmHash is FNV-1a folded to pmHashBits bits.
+func pmHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return (h ^ h>>pmHashBits ^ h>>(2*pmHashBits)) & (1<<pmHashBits - 1)
+}
+
+type pmEntry[V any] struct {
+	key string
+	val V
+}
+
+// pmap is a persistent string-keyed map. The zero value is empty; all
+// mutating operations return a new map sharing structure.
+type pmap[V any] struct {
+	t ptree[[]pmEntry[V]]
+	n int
+}
+
+// len returns the number of entries.
+func (m pmap[V]) len() int { return m.n }
+
+// get returns the value stored under key.
+func (m pmap[V]) get(key string) (V, bool) {
+	bucket, ok := m.t.get(pmHash(key))
+	if ok {
+		for _, e := range bucket {
+			if e.key == key {
+				return e.val, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// with returns a map that additionally maps key to v.
+func (m pmap[V]) with(key string, v V) pmap[V] {
+	h := pmHash(key)
+	bucket, _ := m.t.get(h)
+	nb := make([]pmEntry[V], 0, len(bucket)+1)
+	added := true
+	for _, e := range bucket {
+		if e.key == key {
+			added = false
+			continue
+		}
+		nb = append(nb, e)
+	}
+	nb = append(nb, pmEntry[V]{key: key, val: v})
+	nm := pmap[V]{t: m.t.with(h, nb), n: m.n}
+	if added {
+		nm.n++
+	}
+	return nm
+}
+
+// without returns a map with key removed (a no-op if absent).
+func (m pmap[V]) without(key string) pmap[V] {
+	h := pmHash(key)
+	bucket, ok := m.t.get(h)
+	if !ok {
+		return m
+	}
+	found := false
+	nb := make([]pmEntry[V], 0, len(bucket))
+	for _, e := range bucket {
+		if e.key == key {
+			found = true
+			continue
+		}
+		nb = append(nb, e)
+	}
+	if !found {
+		return m
+	}
+	if len(nb) == 0 {
+		return pmap[V]{t: m.t.without(h), n: m.n - 1}
+	}
+	return pmap[V]{t: m.t.with(h, nb), n: m.n - 1}
+}

@@ -1,0 +1,301 @@
+package rdb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPtreeAgainstReferenceMap drives randomized with/without/get
+// against a plain map and verifies every intermediate version stays
+// intact (persistence) and iteration is ascending.
+func TestPtreeAgainstReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var cur ptree[int]
+	ref := make(map[uint64]int)
+	type gen struct {
+		t   ptree[int]
+		ref map[uint64]int
+	}
+	var history []gen
+	snapshotRef := func() map[uint64]int {
+		c := make(map[uint64]int, len(ref))
+		for k, v := range ref {
+			c[k] = v
+		}
+		return c
+	}
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(5000))
+		if rng.Intn(3) == 0 {
+			cur = cur.without(k)
+			delete(ref, k)
+		} else {
+			cur = cur.with(k, i)
+			ref[k] = i
+		}
+		if i%500 == 0 {
+			history = append(history, gen{t: cur, ref: snapshotRef()})
+		}
+	}
+	history = append(history, gen{t: cur, ref: snapshotRef()})
+	for gi, g := range history {
+		if g.t.len() != len(g.ref) {
+			t.Fatalf("generation %d: len = %d, want %d", gi, g.t.len(), len(g.ref))
+		}
+		for k, want := range g.ref {
+			if got, ok := g.t.get(k); !ok || got != want {
+				t.Fatalf("generation %d: get(%d) = %d,%v, want %d", gi, k, got, ok, want)
+			}
+		}
+		last := int64(-1)
+		n := 0
+		g.t.ascend(func(k uint64, v int) bool {
+			if int64(k) <= last {
+				t.Fatalf("generation %d: iteration not ascending: %d after %d", gi, k, last)
+			}
+			last = int64(k)
+			if want := g.ref[k]; v != want {
+				t.Fatalf("generation %d: ascend(%d) = %d, want %d", gi, k, v, want)
+			}
+			n++
+			return true
+		})
+		if n != len(g.ref) {
+			t.Fatalf("generation %d: ascend visited %d, want %d", gi, n, len(g.ref))
+		}
+	}
+}
+
+// TestPmapAgainstReferenceMap does the same for the string-keyed
+// persistent hash map, with keys dense enough to force bucket
+// collisions through the folded hash.
+func TestPmapAgainstReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var cur pmap[int]
+	ref := make(map[string]int)
+	keys := make([]string, 400)
+	for i := range keys {
+		keys[i] = string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i%7))
+	}
+	var old pmap[int]
+	var oldRef map[string]int
+	for i := 0; i < 4000; i++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(4) == 0 {
+			cur = cur.without(k)
+			delete(ref, k)
+		} else {
+			cur = cur.with(k, i)
+			ref[k] = i
+		}
+		if i == 2000 {
+			old = cur
+			oldRef = make(map[string]int, len(ref))
+			for k, v := range ref {
+				oldRef[k] = v
+			}
+		}
+	}
+	check := func(m pmap[int], ref map[string]int, label string) {
+		t.Helper()
+		if m.len() != len(ref) {
+			t.Fatalf("%s: len = %d, want %d", label, m.len(), len(ref))
+		}
+		for _, k := range keys {
+			got, ok := m.get(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || got != want {
+				t.Fatalf("%s: get(%q) = %d,%v, want %d,%v", label, k, got, ok, want, wantOK)
+			}
+		}
+	}
+	check(cur, ref, "current")
+	check(old, oldRef, "mid-run version (persistence)")
+}
+
+// TestSnapshotReadersNotBlockedByWriters is the MVCC contract: a View
+// completes — against the last committed state — while a writer holds
+// the whole-database write lock mid-transaction. Under the previous
+// lock-per-table reader design this deadlocked until commit.
+func TestSnapshotReadersNotBlockedByWriters(t *testing.T) {
+	db := paperSchema(t)
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("team", map[string]Value{"id": Int(1), "name": String_("A"), "code": String_("a")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin() // exclusive lock on every table
+	if err := tx.Insert("team", map[string]Value{"id": Int(2), "name": String_("B"), "code": String_("b")}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		var n int
+		db.View(func(vtx *Tx) error {
+			vtx.Scan("team", func(int64, []Value) bool { n++; return true })
+			return nil
+		})
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("reader saw %d committed rows mid-write, want 1", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("snapshot reader blocked behind an open write transaction")
+	}
+
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.RowCount("team"); n != 2 {
+		t.Fatalf("rows after commit = %d, want 2", n)
+	}
+}
+
+// TestViewPinsSnapshot: a View opened before a commit keeps seeing the
+// pre-commit state for its whole lifetime.
+func TestViewPinsSnapshot(t *testing.T) {
+	db := paperSchema(t)
+	db.Update(func(tx *Tx) error {
+		return tx.Insert("team", map[string]Value{"id": Int(1), "name": String_("A"), "code": String_("a")})
+	})
+	release := make(chan struct{})
+	counted := make(chan int, 2)
+	go db.View(func(tx *Tx) error {
+		n := 0
+		tx.Scan("team", func(int64, []Value) bool { n++; return true })
+		counted <- n
+		<-release // a commit happens while this View is open
+		n = 0
+		tx.Scan("team", func(int64, []Value) bool { n++; return true })
+		counted <- n
+		return nil
+	})
+	if n := <-counted; n != 1 {
+		t.Fatalf("first scan saw %d rows, want 1", n)
+	}
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("team", map[string]Value{"id": Int(2), "name": String_("B"), "code": String_("b")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if n := <-counted; n != 1 {
+		t.Fatalf("open View observed a concurrent commit: saw %d rows, want the pinned 1", n)
+	}
+	db.View(func(tx *Tx) error {
+		n := 0
+		tx.Scan("team", func(int64, []Value) bool { n++; return true })
+		if n != 2 {
+			t.Fatalf("fresh View saw %d rows, want 2", n)
+		}
+		return nil
+	})
+}
+
+// TestSavepointRollbackTo exercises the per-operation atomicity the
+// group-commit scheduler builds on: several logical ops in one
+// transaction, with a failed middle op rolled back to its savepoint.
+func TestSavepointRollbackTo(t *testing.T) {
+	db := paperSchema(t)
+	tx := db.BeginWrite("team")
+	if err := tx.Insert("team", map[string]Value{"id": Int(1), "name": String_("A"), "code": String_("a")}); err != nil {
+		t.Fatal(err)
+	}
+	sp := tx.Savepoint()
+	if err := tx.Insert("team", map[string]Value{"id": Int(2), "name": String_("B"), "code": String_("b")}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate key: the failed "operation" rolls back to its savepoint,
+	// taking the id=2 insert with it but keeping id=1.
+	if err := tx.Insert("team", map[string]Value{"id": Int(1), "name": String_("dup"), "code": String_("x")}); err == nil {
+		t.Fatal("duplicate primary key must fail")
+	}
+	tx.RollbackTo(sp)
+	if err := tx.Insert("team", map[string]Value{"id": Int(3), "name": String_("C"), "code": String_("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.View(func(tx *Tx) error {
+		for id, want := range map[int64]bool{1: true, 2: false, 3: true} {
+			_, _, found, _ := tx.LookupPK("team", []Value{Int(id)})
+			if found != want {
+				t.Errorf("team id=%d found=%v, want %v", id, found, want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestUpdateDeclaredWriteSet: Update with declared tables enforces
+// lock coverage like BeginWrite, and commits like before.
+func TestUpdateDeclaredWriteSet(t *testing.T) {
+	db := lockTestDB(t)
+	err := db.Update(func(tx *Tx) error {
+		return tx.Insert("parent", map[string]Value{"id": Int(1), "name": String_("p")})
+	}, "parent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writing outside the declared set fails with a LockError and the
+	// whole function's work rolls back.
+	err = db.Update(func(tx *Tx) error {
+		if err := tx.Insert("parent", map[string]Value{"id": Int(2), "name": String_("q")}); err != nil {
+			return err
+		}
+		return tx.Insert("loner", map[string]Value{"id": Int(1), "v": String_("x")})
+	}, "parent")
+	if _, ok := err.(*LockError); !ok {
+		t.Fatalf("want LockError for undeclared table, got %v", err)
+	}
+	if n, _ := db.RowCount("parent"); n != 1 {
+		t.Fatalf("failed Update leaked rows: parent = %d, want 1", n)
+	}
+	// Disjoint declared write sets commit in parallel without racing.
+	var wg sync.WaitGroup
+	for w, tbl := range []string{"parent", "loner"} {
+		wg.Add(1)
+		go func(w int, tbl string) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				db.Update(func(tx *Tx) error {
+					return tx.Insert(tbl, map[string]Value{"id": Int(int64(100 + w*1000 + i))})
+				}, tbl)
+			}
+		}(w, tbl)
+	}
+	wg.Wait()
+	if n, _ := db.RowCount("loner"); n != 50 {
+		t.Fatalf("loner rows = %d, want 50", n)
+	}
+}
+
+// TestSnapshotVersionAdvances: the published version moves on every
+// data commit and DDL, and read-only work leaves it unchanged.
+func TestSnapshotVersionAdvances(t *testing.T) {
+	db := paperSchema(t)
+	v0 := db.SnapshotVersion()
+	db.Update(func(tx *Tx) error {
+		return tx.Insert("team", map[string]Value{"id": Int(1), "name": String_("A"), "code": String_("a")})
+	})
+	v1 := db.SnapshotVersion()
+	if v1 != v0+1 {
+		t.Fatalf("version after commit = %d, want %d", v1, v0+1)
+	}
+	// A rolled-back transaction publishes nothing.
+	tx := db.Begin()
+	tx.Insert("team", map[string]Value{"id": Int(2), "name": String_("B"), "code": String_("b")})
+	tx.Rollback()
+	db.View(func(*Tx) error { return nil })
+	if v := db.SnapshotVersion(); v != v1 {
+		t.Fatalf("version after rollback+view = %d, want %d", v, v1)
+	}
+}

@@ -139,11 +139,27 @@ func Run(db *rdb.Database, script string) ([]Result, error) {
 			results = append(results, Result{})
 		default:
 			var res Result
-			err := db.Update(func(tx *rdb.Tx) error {
+			run := func(tx *rdb.Tx) error {
 				var e error
 				res, e = Exec(tx, stmt)
 				return e
-			})
+			}
+			// Each statement declares its write set, so script execution
+			// takes only the touched table's lock (SELECTs are lock-free
+			// snapshot reads).
+			var err error
+			switch st := stmt.(type) {
+			case sqlparser.Insert:
+				err = db.Update(run, st.Table)
+			case sqlparser.Update:
+				err = db.Update(run, st.Table)
+			case sqlparser.Delete:
+				err = db.Update(run, st.Table)
+			case sqlparser.Select:
+				err = db.View(run)
+			default:
+				err = db.Update(run)
+			}
 			if err != nil {
 				return results, fmt.Errorf("statement %d: %w", i+1, err)
 			}

@@ -2,159 +2,20 @@ package rdb
 
 import "sync"
 
-// table is the physical storage for one relation: rows addressed by
-// internal row ids, an insertion-order list for stable scans, a
-// primary-key index, and secondary indexes on foreign-key and UNIQUE
-// columns. Constraint enforcement lives in the transaction layer
-// (tx.go); this type only maintains storage and index consistency.
+// table is the catalog entry for one relation. Since the storage
+// moved to immutable versions (tableVersion in version.go, published
+// through the database snapshot), the catalog entry only carries what
+// cannot live in a snapshot: the writer lock.
 type table struct {
-	// mu is the per-table lock. Transactions acquire it exclusively
-	// for tables in their write set and shared for tables their
-	// integrity checks read; see Database.Begin/BeginWrite/View.
+	// mu serializes writers on this table. Transactions acquire it
+	// exclusively for tables in their write set and shared for tables
+	// their integrity checks read; see Database.Begin/BeginWrite.
+	// Readers (View and snapshot queries) never touch it — they work
+	// against the atomically published snapshot.
 	mu     sync.RWMutex
 	schema *TableSchema
-	// pkCols are the column indexes of the primary key.
-	pkCols []int
-	rows   map[int64][]Value
-	order  []int64
-	nextID int64
-	// nextAuto is the next AUTO_INCREMENT value (max inserted + 1).
-	nextAuto int64
-	// pk maps the encoded primary key to the row id.
-	pk map[string]int64
-	// secondary maps column index -> encoded value -> set of row ids.
-	// Maintained for FK columns and UNIQUE columns.
-	secondary map[int]map[string]map[int64]struct{}
 }
 
 func newTable(schema *TableSchema) *table {
-	t := &table{
-		schema:    schema,
-		rows:      make(map[int64][]Value),
-		pk:        make(map[string]int64),
-		secondary: make(map[int]map[string]map[int64]struct{}),
-		nextAuto:  1,
-	}
-	for _, pkName := range schema.PrimaryKey {
-		t.pkCols = append(t.pkCols, schema.ColumnIndex(pkName))
-	}
-	for _, fk := range schema.ForeignKeys {
-		t.secondary[schema.ColumnIndex(fk.Column)] = make(map[string]map[int64]struct{})
-	}
-	for i, c := range schema.Columns {
-		if c.Unique {
-			if _, ok := t.secondary[i]; !ok {
-				t.secondary[i] = make(map[string]map[int64]struct{})
-			}
-		}
-	}
-	return t
-}
-
-// pkKey extracts the encoded primary key of a row.
-func (t *table) pkKey(row []Value) string {
-	vals := make([]Value, len(t.pkCols))
-	for i, ci := range t.pkCols {
-		vals[i] = row[ci]
-	}
-	return encodeKey(vals)
-}
-
-// lookupPK returns the row id holding the given primary key values.
-func (t *table) lookupPK(vals []Value) (int64, bool) {
-	id, ok := t.pk[encodeKey(vals)]
-	return id, ok
-}
-
-// insert stores the row and indexes it; the caller has validated it.
-func (t *table) insert(row []Value) int64 {
-	id := t.nextID
-	t.nextID++
-	// Keep the AUTO_INCREMENT counter above every observed key, like
-	// MySQL does for explicit key inserts.
-	if len(t.pkCols) == 1 {
-		if v := row[t.pkCols[0]]; v.Kind == KInt && v.I >= t.nextAuto {
-			t.nextAuto = v.I + 1
-		}
-	}
-	t.rows[id] = row
-	t.order = append(t.order, id)
-	t.pk[t.pkKey(row)] = id
-	for ci, idx := range t.secondary {
-		addToIdx(idx, encodeKey(row[ci:ci+1]), id)
-	}
-	return id
-}
-
-// update replaces the row in place and refreshes the indexes.
-func (t *table) update(id int64, newRow []Value) {
-	old := t.rows[id]
-	oldKey, newKey := t.pkKey(old), t.pkKey(newRow)
-	if oldKey != newKey {
-		delete(t.pk, oldKey)
-		t.pk[newKey] = id
-	}
-	for ci, idx := range t.secondary {
-		ok, nk := encodeKey(old[ci:ci+1]), encodeKey(newRow[ci:ci+1])
-		if ok != nk {
-			removeFromIdx(idx, ok, id)
-			addToIdx(idx, nk, id)
-		}
-	}
-	t.rows[id] = newRow
-}
-
-// remove deletes the row and its index entries.
-func (t *table) remove(id int64) {
-	row := t.rows[id]
-	delete(t.pk, t.pkKey(row))
-	for ci, idx := range t.secondary {
-		removeFromIdx(idx, encodeKey(row[ci:ci+1]), id)
-	}
-	delete(t.rows, id)
-	for i, oid := range t.order {
-		if oid == id {
-			t.order = append(t.order[:i], t.order[i+1:]...)
-			break
-		}
-	}
-}
-
-// scan visits rows in insertion order; fn returning false stops.
-func (t *table) scan(fn func(id int64, row []Value) bool) {
-	for _, id := range t.order {
-		if row, ok := t.rows[id]; ok {
-			if !fn(id, row) {
-				return
-			}
-		}
-	}
-}
-
-// matchSecondary returns the row ids whose indexed column equals the
-// value, when a secondary index exists on that column.
-func (t *table) matchSecondary(colIdx int, v Value) (map[int64]struct{}, bool) {
-	idx, ok := t.secondary[colIdx]
-	if !ok {
-		return nil, false
-	}
-	return idx[encodeKey([]Value{v})], true
-}
-
-func addToIdx(idx map[string]map[int64]struct{}, key string, id int64) {
-	set, ok := idx[key]
-	if !ok {
-		set = make(map[int64]struct{})
-		idx[key] = set
-	}
-	set[id] = struct{}{}
-}
-
-func removeFromIdx(idx map[string]map[int64]struct{}, key string, id int64) {
-	if set, ok := idx[key]; ok {
-		delete(set, id)
-		if len(set) == 0 {
-			delete(idx, key)
-		}
-	}
+	return &table{schema: schema}
 }

@@ -5,14 +5,27 @@ import (
 	"strings"
 )
 
-// Tx is a database transaction. It holds its table locks from Begin /
-// BeginWrite / View until Commit or Rollback, providing serializable
-// isolation over the tables it covers. Constraint checking is
-// immediate: every Insert, Update and Delete validates NOT NULL,
-// type, PRIMARY KEY, UNIQUE, FOREIGN KEY and RESTRICT rules at
-// operation time — the behaviour of MySQL/InnoDB that makes statement
-// ordering inside a transaction matter (paper Section 5.1, step
-// five).
+// Tx is a database transaction over the multi-versioned store.
+//
+// Write transactions (Begin / BeginWrite / BeginWriteRead) hold their
+// table locks until Commit or Rollback, providing serializable
+// isolation over the tables they cover. They mutate copy-on-write
+// table versions derived from the committed snapshot; Commit
+// atomically publishes the derived versions as the next snapshot,
+// Rollback simply discards them. Savepoint/RollbackTo expose the same
+// mechanism mid-transaction, which is what lets the group-commit
+// scheduler run several logical operations inside one transaction
+// with per-operation atomicity.
+//
+// Read-only transactions (View) are lock-free: they pin the snapshot
+// current at creation and evaluate against it, never blocking or
+// being blocked by writers.
+//
+// Constraint checking is immediate: every Insert, Update and Delete
+// validates NOT NULL, type, PRIMARY KEY, UNIQUE, FOREIGN KEY and
+// RESTRICT rules at operation time — the behaviour of MySQL/InnoDB
+// that makes statement ordering inside a transaction matter (paper
+// Section 5.1, step five).
 //
 // Lock coverage is fixed at Begin time and acquired in one globally
 // sorted pass, so transactions cannot deadlock against each other. A
@@ -20,32 +33,24 @@ import (
 // error instead of racing.
 type Tx struct {
 	db   *Database
+	snap *dbSnapshot
 	done bool
-	undo []undoEntry
+	// readonly marks a lock-free snapshot transaction (View).
+	readonly bool
+	// working holds the derived (uncommitted) versions of the tables
+	// this transaction has written, keyed by lowercased name.
+	working map[string]*tableVersion
 	// locks is the acquired lock set in acquisition order; mode maps a
 	// lowercased table name to its lock entry.
 	locks []lockPlanEntry
 	mode  map[string]*lockPlanEntry
 }
 
-type undoKind int
-
-const (
-	undoInsert undoKind = iota // row was inserted: undo removes it
-	undoUpdate                 // row was updated: undo restores oldRow
-	undoDelete                 // row was deleted: undo reinserts oldRow
-)
-
-type undoEntry struct {
-	table  *table
-	kind   undoKind
-	id     int64
-	oldRow []Value
-}
-
 // begin acquires the given lock plan (already sorted) and returns the
 // transaction. The catalog lock is held shared for the transaction's
-// lifetime, keeping the table registry stable under it.
+// lifetime, keeping the table registry stable under it; the snapshot
+// is loaded after the locks are held, so every covered table's
+// version is the latest committed one and cannot move underneath.
 func (db *Database) begin(plan []lockPlanEntry) *Tx {
 	mode := make(map[string]*lockPlanEntry, len(plan))
 	for i := range plan {
@@ -57,7 +62,7 @@ func (db *Database) begin(plan []lockPlanEntry) *Tx {
 		}
 		mode[e.key] = e
 	}
-	return &Tx{db: db, locks: plan, mode: mode}
+	return &Tx{db: db, snap: db.snapshot(), locks: plan, mode: mode}
 }
 
 // Begin starts a transaction that write-locks every table — the
@@ -91,8 +96,11 @@ func (db *Database) BeginWriteRead(writeTables, readTables []string) *Tx {
 }
 
 // release drops all table locks in reverse acquisition order plus the
-// catalog lock.
+// catalog lock. Lock-free snapshot transactions hold neither.
 func (tx *Tx) release() {
+	if tx.readonly {
+		return
+	}
 	for i := len(tx.locks) - 1; i >= 0; i-- {
 		e := tx.locks[i]
 		if e.write {
@@ -106,64 +114,88 @@ func (tx *Tx) release() {
 	tx.db.mu.RUnlock()
 }
 
-// Commit makes the transaction's changes durable and releases its
-// locks.
+// Commit publishes the transaction's derived table versions as the
+// next database snapshot and releases its locks. Readers that loaded
+// the previous snapshot keep seeing it; new readers see this one.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("rdb: transaction already finished")
 	}
 	tx.done = true
-	tx.undo = nil
+	if len(tx.working) > 0 {
+		tx.db.publish(tx.working)
+		tx.working = nil
+	}
 	tx.release()
 	return nil
 }
 
-// Rollback reverts every change made in the transaction, in reverse
-// order, and releases its locks. Rolling back a finished transaction
-// is a no-op, so `defer tx.Rollback()` is safe.
+// Rollback discards every derived version and releases the locks —
+// with copy-on-write versions there is nothing to undo. Rolling back
+// a finished transaction is a no-op, so `defer tx.Rollback()` is
+// safe.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return nil
 	}
 	tx.done = true
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		e := tx.undo[i]
-		switch e.kind {
-		case undoInsert:
-			e.table.remove(e.id)
-		case undoUpdate:
-			e.table.update(e.id, e.oldRow)
-		case undoDelete:
-			// Reinsert with the original row id to keep undo entries
-			// that reference the id valid.
-			e.table.rows[e.id] = e.oldRow
-			e.table.order = append(e.table.order, e.id)
-			e.table.pk[e.table.pkKey(e.oldRow)] = e.id
-			for ci, idx := range e.table.secondary {
-				addToIdx(idx, encodeKey(e.oldRow[ci:ci+1]), e.id)
-			}
-		}
-	}
-	tx.undo = nil
+	tx.working = nil
 	tx.release()
 	return nil
 }
 
-// View runs fn inside a read-only transaction that is always rolled
-// back, providing a consistent read snapshot. Every table is locked
-// shared, so views run in parallel with each other and with writers
-// of nothing.
+// Savepoint captures the transaction's uncommitted state. Capturing
+// is O(written tables): the versions themselves are immutable, so the
+// savepoint is just the set of version pointers.
+type Savepoint struct {
+	working map[string]*tableVersion
+}
+
+// Savepoint returns a marker for the transaction's current state;
+// RollbackTo reverts to it. The group-commit scheduler brackets each
+// batched operation with one, giving per-operation atomicity inside a
+// shared transaction.
+func (tx *Tx) Savepoint() Savepoint {
+	sp := Savepoint{working: make(map[string]*tableVersion, len(tx.working))}
+	for k, v := range tx.working {
+		sp.working[k] = v
+	}
+	return sp
+}
+
+// RollbackTo reverts the transaction's uncommitted state to the
+// savepoint. The savepoint stays valid and can be rolled back to
+// again.
+func (tx *Tx) RollbackTo(sp Savepoint) {
+	working := make(map[string]*tableVersion, len(sp.working))
+	for k, v := range sp.working {
+		working[k] = v
+	}
+	tx.working = working
+}
+
+// View runs fn inside a lock-free read-only transaction pinned to the
+// snapshot current at the call: a consistent view of every table that
+// concurrent writers can neither block nor invalidate.
 func (db *Database) View(fn func(tx *Tx) error) error {
-	db.mu.RLock()
-	tx := db.begin(db.allTablesPlan(false))
+	tx := &Tx{db: db, snap: db.snapshot(), readonly: true}
 	defer tx.Rollback()
 	return fn(tx)
 }
 
 // Update runs fn inside a transaction, committing when fn returns nil
-// and rolling back otherwise.
-func (db *Database) Update(fn func(tx *Tx) error) error {
-	tx := db.Begin()
+// and rolling back otherwise. With no write tables declared it locks
+// the whole database (the paper's serialized semantics); declaring
+// them locks only those tables plus their foreign-key neighbourhood,
+// so library callers get the same per-table parallelism the compiled
+// plan pipeline uses.
+func (db *Database) Update(fn func(tx *Tx) error, writeTables ...string) error {
+	var tx *Tx
+	if len(writeTables) == 0 {
+		tx = db.Begin()
+	} else {
+		tx = db.BeginWrite(writeTables...)
+	}
 	if err := fn(tx); err != nil {
 		tx.Rollback()
 		return err
@@ -178,57 +210,77 @@ func (tx *Tx) check() error {
 	return nil
 }
 
-// table resolves a table and enforces the transaction's lock
-// coverage: reads need any lock on the table, writes need the
-// exclusive one.
-func (tx *Tx) table(name string, write bool) (*table, error) {
-	t, err := tx.db.getTable(name)
-	if err != nil {
-		return nil, err
+// table resolves the current version of a table — the derived working
+// version if this transaction wrote it, the snapshot version
+// otherwise — and enforces the transaction's lock coverage: reads
+// need any lock on the table, writes need the exclusive one.
+// Snapshot transactions read everything and write nothing.
+func (tx *Tx) table(name string, write bool) (*tableVersion, error) {
+	key := lowerName(name)
+	v, exists := tx.snap.tables[key]
+	if !exists {
+		return nil, &TableError{Table: name}
 	}
-	e, covered := tx.mode[strings.ToLower(name)]
+	if tx.readonly {
+		if write {
+			return nil, &LockError{Table: name, ReadOnly: true}
+		}
+		return v, nil
+	}
+	e, covered := tx.mode[key]
 	if !covered {
 		return nil, &LockError{Table: name}
 	}
 	if write && !e.write {
 		return nil, &LockError{Table: name, ReadOnly: true}
 	}
-	return t, nil
+	if w, ok := tx.working[key]; ok {
+		return w, nil
+	}
+	return v, nil
+}
+
+// set records a derived version as the table's uncommitted state.
+func (tx *Tx) set(name string, v *tableVersion) {
+	if tx.working == nil {
+		tx.working = make(map[string]*tableVersion, 4)
+	}
+	tx.working[lowerName(name)] = v
 }
 
 // Schema returns the schema of the named table. Schemas are immutable
-// after CreateTable, so no table lock is needed — but the transaction
-// must still be open, since the catalog lock is released on finish.
+// after CreateTable, so the pinned snapshot suffices — but the
+// transaction must still be open.
 func (tx *Tx) Schema(name string) (*TableSchema, error) {
 	if err := tx.check(); err != nil {
 		return nil, err
 	}
-	t, err := tx.db.getTable(name)
-	if err != nil {
-		return nil, err
+	v, ok := tx.snap.table(name)
+	if !ok {
+		return nil, &TableError{Table: name}
 	}
-	return t.schema, nil
+	return v.schema, nil
 }
 
 // TopologicalTableOrder returns tables sorted parents-first by
-// foreign-key dependency (see Database.TopologicalTableOrder), usable
-// while the transaction holds the lock.
+// foreign-key dependency (see Database.TopologicalTableOrder),
+// evaluated against the transaction's snapshot.
 func (tx *Tx) TopologicalTableOrder() ([]string, error) {
 	if err := tx.check(); err != nil {
 		return nil, err
 	}
-	return tx.db.topologicalLocked()
+	return tx.snap.topological()
 }
 
 // TableNames lists tables in creation order; nil after the
-// transaction finished (the catalog is no longer pinned).
+// transaction finished.
 func (tx *Tx) TableNames() []string {
 	if tx.done {
 		return nil
 	}
-	out := make([]string, len(tx.db.order))
-	for i, key := range tx.db.order {
-		out[i] = tx.db.tables[key].schema.Name
+	out := make([]string, len(tx.snap.order))
+	for i, key := range tx.snap.order {
+		out[i] = tx.snap.tables[key].schema.Name
 	}
 	return out
 }
@@ -240,19 +292,19 @@ func (tx *Tx) Insert(tableName string, vals map[string]Value) error {
 	if err := tx.check(); err != nil {
 		return err
 	}
-	t, err := tx.table(tableName, true)
+	v, err := tx.table(tableName, true)
 	if err != nil {
 		return err
 	}
-	s := t.schema
+	s := v.schema
 	row := make([]Value, len(s.Columns))
 	seen := make(map[int]bool, len(vals))
-	for name, v := range vals {
+	for name, val := range vals {
 		ci := s.ColumnIndex(name)
 		if ci < 0 {
 			return &TableError{Table: s.Name, Column: name}
 		}
-		row[ci] = v
+		row[ci] = val
 		seen[ci] = true
 	}
 	for i := range s.Columns {
@@ -261,20 +313,20 @@ func (tx *Tx) Insert(tableName string, vals map[string]Value) error {
 		}
 	}
 	// AUTO_INCREMENT: assign max+1 to a NULL integer primary key.
-	if len(t.pkCols) == 1 {
-		pi := t.pkCols[0]
+	if len(v.pkCols) == 1 {
+		pi := v.pkCols[0]
 		if row[pi].IsNull() && s.Columns[pi].AutoIncrement && s.Columns[pi].Type == TInt {
-			row[pi] = Int(t.nextAuto)
+			row[pi] = Int(v.nextAuto)
 		}
 	}
-	if err := tx.validateRow(t, row, -1); err != nil {
+	if err := tx.validateRow(v, row, -1); err != nil {
 		return err
 	}
 	for i := range row {
 		row[i] = coerce(row[i], &s.Columns[i])
 	}
-	id := t.insert(row)
-	tx.undo = append(tx.undo, undoEntry{table: t, kind: undoInsert, id: id})
+	nv, _ := v.insert(row)
+	tx.set(tableName, nv)
 	return nil
 }
 
@@ -284,45 +336,42 @@ func (tx *Tx) UpdateByID(tableName string, id int64, set map[string]Value) error
 	if err := tx.check(); err != nil {
 		return err
 	}
-	t, err := tx.table(tableName, true)
+	v, err := tx.table(tableName, true)
 	if err != nil {
 		return err
 	}
-	s := t.schema
-	old, ok := t.rows[id]
+	s := v.schema
+	old, ok := v.row(id)
 	if !ok {
 		return fmt.Errorf("rdb: table %q has no row with internal id %d", s.Name, id)
 	}
 	row := make([]Value, len(old))
 	copy(row, old)
 	pkChanged := false
-	for name, v := range set {
+	for name, val := range set {
 		ci := s.ColumnIndex(name)
 		if ci < 0 {
 			return &TableError{Table: s.Name, Column: name}
 		}
-		row[ci] = v
+		row[ci] = val
 		if s.IsPrimaryKey(name) {
 			pkChanged = true
 		}
 	}
-	if err := tx.validateRow(t, row, id); err != nil {
+	if err := tx.validateRow(v, row, id); err != nil {
 		return err
 	}
 	if pkChanged {
 		// Changing a referenced key is restricted, like ON UPDATE
 		// RESTRICT in SQL.
-		if err := tx.checkRestrict(t, old, "update"); err != nil {
+		if err := tx.checkRestrict(v, old, "update"); err != nil {
 			return err
 		}
 	}
 	for i := range row {
 		row[i] = coerce(row[i], &s.Columns[i])
 	}
-	oldCopy := make([]Value, len(old))
-	copy(oldCopy, old)
-	t.update(id, row)
-	tx.undo = append(tx.undo, undoEntry{table: t, kind: undoUpdate, id: id, oldRow: oldCopy})
+	tx.set(tableName, v.update(id, row))
 	return nil
 }
 
@@ -332,34 +381,33 @@ func (tx *Tx) DeleteByID(tableName string, id int64) error {
 	if err := tx.check(); err != nil {
 		return err
 	}
-	t, err := tx.table(tableName, true)
+	v, err := tx.table(tableName, true)
 	if err != nil {
 		return err
 	}
-	row, ok := t.rows[id]
+	row, ok := v.row(id)
 	if !ok {
-		return fmt.Errorf("rdb: table %q has no row with internal id %d", t.schema.Name, id)
+		return fmt.Errorf("rdb: table %q has no row with internal id %d", v.schema.Name, id)
 	}
-	if err := tx.checkRestrict(t, row, "delete"); err != nil {
+	if err := tx.checkRestrict(v, row, "delete"); err != nil {
 		return err
 	}
-	oldCopy := make([]Value, len(row))
-	copy(oldCopy, row)
-	t.remove(id)
-	tx.undo = append(tx.undo, undoEntry{table: t, kind: undoDelete, id: id, oldRow: oldCopy})
+	tx.set(tableName, v.remove(id))
 	return nil
 }
 
-// Scan visits all rows of a table in insertion order.
+// Scan visits all rows of a table in insertion order. The iteration
+// covers the version current at the call; rows the callback inserts
+// or deletes do not affect the walk.
 func (tx *Tx) Scan(tableName string, fn func(id int64, row []Value) bool) error {
 	if err := tx.check(); err != nil {
 		return err
 	}
-	t, err := tx.table(tableName, false)
+	v, err := tx.table(tableName, false)
 	if err != nil {
 		return err
 	}
-	t.scan(fn)
+	v.scan(fn)
 	return nil
 }
 
@@ -369,46 +417,47 @@ func (tx *Tx) LookupPK(tableName string, pkVals []Value) (int64, []Value, bool, 
 	if err := tx.check(); err != nil {
 		return 0, nil, false, err
 	}
-	t, err := tx.table(tableName, false)
+	v, err := tx.table(tableName, false)
 	if err != nil {
 		return 0, nil, false, err
 	}
-	if len(pkVals) != len(t.pkCols) {
+	if len(pkVals) != len(v.pkCols) {
 		return 0, nil, false, fmt.Errorf("rdb: table %q has a %d-column primary key, got %d values",
-			t.schema.Name, len(t.pkCols), len(pkVals))
+			v.schema.Name, len(v.pkCols), len(pkVals))
 	}
-	id, ok := t.lookupPK(pkVals)
+	id, ok := v.lookupPK(pkVals)
 	if !ok {
 		return 0, nil, false, nil
 	}
-	return id, t.rows[id], true, nil
+	row, _ := v.row(id)
+	return id, row, true, nil
 }
 
 // validateRow checks type, NOT NULL, PRIMARY KEY, UNIQUE and FOREIGN
 // KEY constraints for a candidate row. selfID identifies the row
 // being updated (so it does not collide with itself); -1 for inserts.
-func (tx *Tx) validateRow(t *table, row []Value, selfID int64) error {
-	s := t.schema
+func (tx *Tx) validateRow(v *tableVersion, row []Value, selfID int64) error {
+	s := v.schema
 	for i := range s.Columns {
 		c := &s.Columns[i]
-		v := row[i]
-		if v.IsNull() {
+		val := row[i]
+		if val.IsNull() {
 			if c.NotNull || s.IsPrimaryKey(c.Name) {
 				return &ConstraintError{Kind: ViolationNotNull, Table: s.Name, Column: c.Name,
 					Detail: "column requires a value"}
 			}
 			continue
 		}
-		if err := checkType(v, c); err != nil {
-			return &ConstraintError{Kind: ViolationType, Table: s.Name, Column: c.Name, Value: v,
+		if err := checkType(val, c); err != nil {
+			return &ConstraintError{Kind: ViolationType, Table: s.Name, Column: c.Name, Value: val,
 				Detail: err.Error()}
 		}
 	}
 	// PRIMARY KEY uniqueness.
-	key := t.pkKey(row)
-	if id, exists := t.pk[key]; exists && id != selfID {
+	key := v.pkKey(row)
+	if id, exists := v.pk.get(key); exists && id != selfID {
 		return &ConstraintError{Kind: ViolationPrimaryKey, Table: s.Name,
-			Column: strings.Join(s.PrimaryKey, ","), Value: row[t.pkCols[0]],
+			Column: strings.Join(s.PrimaryKey, ","), Value: row[v.pkCols[0]],
 			Detail: "duplicate primary key"}
 	}
 	// UNIQUE columns (NULLs exempt, as in SQL).
@@ -416,12 +465,18 @@ func (tx *Tx) validateRow(t *table, row []Value, selfID int64) error {
 		if !s.Columns[i].Unique || row[i].IsNull() {
 			continue
 		}
-		if set, ok := t.matchSecondary(i, row[i]); ok {
-			for id := range set {
-				if id != selfID {
-					return &ConstraintError{Kind: ViolationUnique, Table: s.Name,
-						Column: s.Columns[i].Name, Value: row[i], Detail: "duplicate value"}
+		if set, ok := v.matchSecondary(i, row[i]); ok {
+			dup := false
+			set.ascend(func(k uint64, _ struct{}) bool {
+				if int64(k) != selfID {
+					dup = true
+					return false
 				}
+				return true
+			})
+			if dup {
+				return &ConstraintError{Kind: ViolationUnique, Table: s.Name,
+					Column: s.Columns[i].Name, Value: row[i], Detail: "duplicate value"}
 			}
 		}
 	}
@@ -429,8 +484,8 @@ func (tx *Tx) validateRow(t *table, row []Value, selfID int64) error {
 	// table's primary key.
 	for _, fk := range s.ForeignKeys {
 		ci := s.ColumnIndex(fk.Column)
-		v := row[ci]
-		if v.IsNull() {
+		val := row[ci]
+		if val.IsNull() {
 			continue
 		}
 		ref, err := tx.table(fk.RefTable, false)
@@ -442,9 +497,9 @@ func (tx *Tx) validateRow(t *table, row []Value, selfID int64) error {
 			return fmt.Errorf("rdb: foreign key %s.%s references table %q with a composite primary key",
 				s.Name, fk.Column, fk.RefTable)
 		}
-		if _, ok := ref.lookupPK([]Value{coerce(v, &ref.schema.Columns[ref.pkCols[0]])}); !ok {
+		if _, ok := ref.lookupPK([]Value{coerce(val, &ref.schema.Columns[ref.pkCols[0]])}); !ok {
 			return &ConstraintError{Kind: ViolationForeignKey, Table: s.Name, Column: fk.Column,
-				Value: v, RefTable: ref.schema.Name,
+				Value: val, RefTable: ref.schema.Name,
 				Detail: "referenced row does not exist"}
 		}
 	}
@@ -453,12 +508,12 @@ func (tx *Tx) validateRow(t *table, row []Value, selfID int64) error {
 
 // checkRestrict fails when other rows reference the given row's
 // primary key (ON DELETE/UPDATE RESTRICT).
-func (tx *Tx) checkRestrict(t *table, row []Value, action string) error {
-	if len(t.pkCols) != 1 {
+func (tx *Tx) checkRestrict(v *tableVersion, row []Value, action string) error {
+	if len(v.pkCols) != 1 {
 		return nil // composite keys cannot be FK targets here
 	}
-	pkVal := row[t.pkCols[0]]
-	for _, back := range tx.db.referencedBy[strings.ToLower(t.schema.Name)] {
+	pkVal := row[v.pkCols[0]]
+	for _, back := range tx.snap.referencedBy[lowerName(v.schema.Name)] {
 		refTable, err := tx.table(back.table, false)
 		if err != nil {
 			// A vanished referencing table cannot hold references; any
@@ -470,9 +525,9 @@ func (tx *Tx) checkRestrict(t *table, row []Value, action string) error {
 			return err
 		}
 		ci := refTable.schema.ColumnIndex(back.column)
-		if set, ok := refTable.matchSecondary(ci, pkVal); ok && len(set) > 0 {
-			return &ConstraintError{Kind: ViolationRestrict, Table: t.schema.Name,
-				Column: t.schema.PrimaryKey[0], Value: pkVal, RefTable: refTable.schema.Name,
+		if set, ok := refTable.matchSecondary(ci, pkVal); ok && set.len() > 0 {
+			return &ConstraintError{Kind: ViolationRestrict, Table: v.schema.Name,
+				Column: v.schema.PrimaryKey[0], Value: pkVal, RefTable: refTable.schema.Name,
 				Detail: fmt.Sprintf("cannot %s row still referenced by %s.%s",
 					action, refTable.schema.Name, back.column)}
 		}
@@ -490,26 +545,31 @@ func (tx *Tx) Match(tableName string, eq map[string]Value) ([]int64, error) {
 	if err := tx.check(); err != nil {
 		return nil, err
 	}
-	t, err := tx.table(tableName, false)
+	v, err := tx.table(tableName, false)
 	if err != nil {
 		return nil, err
 	}
-	s := t.schema
+	s := v.schema
 	type cond struct {
 		ci int
 		v  Value
 	}
 	conds := make([]cond, 0, len(eq))
 	indexed := -1
-	for name, v := range eq {
+	for name, val := range eq {
 		ci := s.ColumnIndex(name)
 		if ci < 0 {
 			return nil, &TableError{Table: s.Name, Column: name}
 		}
-		cv := coerce(v, &s.Columns[ci])
+		cv := coerce(val, &s.Columns[ci])
 		conds = append(conds, cond{ci: ci, v: cv})
-		if _, ok := t.secondary[ci]; ok && indexed < 0 {
-			indexed = len(conds) - 1
+		if indexed < 0 {
+			for i := range v.sec {
+				if v.sec[i].col == ci {
+					indexed = len(conds) - 1
+					break
+				}
+			}
 		}
 	}
 	matches := func(row []Value) bool {
@@ -522,15 +582,16 @@ func (tx *Tx) Match(tableName string, eq map[string]Value) ([]int64, error) {
 	}
 	var out []int64
 	if indexed >= 0 {
-		set, _ := t.matchSecondary(conds[indexed].ci, conds[indexed].v)
-		for id := range set {
-			if row, ok := t.rows[id]; ok && matches(row) {
-				out = append(out, id)
+		set, _ := v.matchSecondary(conds[indexed].ci, conds[indexed].v)
+		set.ascend(func(k uint64, _ struct{}) bool {
+			if row, ok := v.row(int64(k)); ok && matches(row) {
+				out = append(out, int64(k))
 			}
-		}
+			return true
+		})
 		return out, nil
 	}
-	t.scan(func(id int64, row []Value) bool {
+	v.scan(func(id int64, row []Value) bool {
 		if matches(row) {
 			out = append(out, id)
 		}

@@ -1,0 +1,215 @@
+package rdb
+
+// tableVersion is one immutable, committed version of a table: the
+// row store, the primary-key index and the secondary indexes, all
+// built on persistent structures (ptree.go). Readers traverse a
+// version without any locking; writers derive the next version by
+// path copying under the table's write lock and publish it at commit
+// (db.publish). A version, once published, never changes.
+//
+// Row ids are assigned sequentially, so ascending-id iteration is
+// insertion order — the stable scan order the SQL layer relies on.
+type tableVersion struct {
+	schema *TableSchema
+	// pkCols are the column indexes of the primary key.
+	pkCols []int
+	// rows maps row id -> tuple.
+	rows   ptree[[]Value]
+	nextID int64
+	// nextAuto is the next AUTO_INCREMENT value (max inserted + 1).
+	nextAuto int64
+	// pk maps the encoded primary key to the row id.
+	pk pmap[int64]
+	// sec holds one posting-list index per indexed column (FK and
+	// UNIQUE columns), ordered by column index.
+	sec []secIndex
+}
+
+// secIndex is a secondary index: encoded column value -> id set.
+type secIndex struct {
+	col int
+	idx pmap[idset]
+}
+
+// newTableVersion builds the empty first version of a table.
+func newTableVersion(schema *TableSchema) *tableVersion {
+	v := &tableVersion{schema: schema, nextAuto: 1}
+	for _, pkName := range schema.PrimaryKey {
+		v.pkCols = append(v.pkCols, schema.ColumnIndex(pkName))
+	}
+	indexed := map[int]bool{}
+	for _, fk := range schema.ForeignKeys {
+		indexed[schema.ColumnIndex(fk.Column)] = true
+	}
+	for i, c := range schema.Columns {
+		if c.Unique {
+			indexed[i] = true
+		}
+	}
+	for i := range schema.Columns {
+		if indexed[i] {
+			v.sec = append(v.sec, secIndex{col: i})
+		}
+	}
+	return v
+}
+
+// derive shallow-copies the version so the copy's fields (including
+// the sec slice) can be reassigned without touching the receiver.
+func (v *tableVersion) derive() *tableVersion {
+	c := *v
+	c.sec = make([]secIndex, len(v.sec))
+	copy(c.sec, v.sec)
+	return &c
+}
+
+// pkKey extracts the encoded primary key of a row.
+func (v *tableVersion) pkKey(row []Value) string {
+	vals := make([]Value, len(v.pkCols))
+	for i, ci := range v.pkCols {
+		vals[i] = row[ci]
+	}
+	return encodeKey(vals)
+}
+
+// lookupPK returns the row id holding the given primary key values.
+func (v *tableVersion) lookupPK(vals []Value) (int64, bool) {
+	id, ok := v.pk.get(encodeKey(vals))
+	return id, ok
+}
+
+// row returns the tuple stored under the row id.
+func (v *tableVersion) row(id int64) ([]Value, bool) {
+	return v.rows.get(uint64(id))
+}
+
+// insert derives a version with the row added and indexed; the caller
+// has validated it.
+func (v *tableVersion) insert(row []Value) (*tableVersion, int64) {
+	n := v.derive()
+	id := n.nextID
+	n.nextID++
+	// Keep the AUTO_INCREMENT counter above every observed key, like
+	// MySQL does for explicit key inserts.
+	if len(n.pkCols) == 1 {
+		if val := row[n.pkCols[0]]; val.Kind == KInt && val.I >= n.nextAuto {
+			n.nextAuto = val.I + 1
+		}
+	}
+	n.rows = n.rows.with(uint64(id), row)
+	n.pk = n.pk.with(n.pkKey(row), id)
+	for si := range n.sec {
+		e := &n.sec[si]
+		e.idx = idxAdd(e.idx, encodeKey(row[e.col:e.col+1]), id)
+	}
+	return n, id
+}
+
+// update derives a version with the row replaced and the indexes
+// refreshed.
+func (v *tableVersion) update(id int64, newRow []Value) *tableVersion {
+	n := v.derive()
+	old, _ := n.rows.get(uint64(id))
+	oldKey, newKey := n.pkKey(old), n.pkKey(newRow)
+	if oldKey != newKey {
+		n.pk = n.pk.without(oldKey)
+		n.pk = n.pk.with(newKey, id)
+	}
+	for si := range n.sec {
+		e := &n.sec[si]
+		ok, nk := encodeKey(old[e.col:e.col+1]), encodeKey(newRow[e.col:e.col+1])
+		if ok != nk {
+			e.idx = idxRemove(e.idx, ok, id)
+			e.idx = idxAdd(e.idx, nk, id)
+		}
+	}
+	n.rows = n.rows.with(uint64(id), newRow)
+	return n
+}
+
+// remove derives a version without the row and its index entries.
+func (v *tableVersion) remove(id int64) *tableVersion {
+	n := v.derive()
+	row, _ := n.rows.get(uint64(id))
+	n.pk = n.pk.without(n.pkKey(row))
+	for si := range n.sec {
+		e := &n.sec[si]
+		e.idx = idxRemove(e.idx, encodeKey(row[e.col:e.col+1]), id)
+	}
+	n.rows = n.rows.without(uint64(id))
+	return n
+}
+
+// scan visits rows in insertion (ascending row id) order; fn
+// returning false stops.
+func (v *tableVersion) scan(fn func(id int64, row []Value) bool) {
+	v.rows.ascend(func(k uint64, row []Value) bool {
+		return fn(int64(k), row)
+	})
+}
+
+// matchSecondary returns the id set whose indexed column equals the
+// value, when a secondary index exists on that column.
+func (v *tableVersion) matchSecondary(colIdx int, val Value) (idset, bool) {
+	for i := range v.sec {
+		if v.sec[i].col == colIdx {
+			set, _ := v.sec[i].idx.get(encodeKey([]Value{val}))
+			return set, true
+		}
+	}
+	return idset{}, false
+}
+
+func idxAdd(idx pmap[idset], key string, id int64) pmap[idset] {
+	set, _ := idx.get(key)
+	return idx.with(key, set.with(uint64(id), struct{}{}))
+}
+
+func idxRemove(idx pmap[idset], key string, id int64) pmap[idset] {
+	set, ok := idx.get(key)
+	if !ok {
+		return idx
+	}
+	set = set.without(uint64(id))
+	if set.len() == 0 {
+		return idx.without(key)
+	}
+	return idx.with(key, set)
+}
+
+// dbSnapshot is one immutable, committed version of the whole
+// database: every table's current version plus the catalog metadata
+// (creation order and foreign-key back references) frozen with it.
+// The Database publishes snapshots through an atomic pointer; readers
+// load one and work lock-free against a consistent state of all
+// tables, entirely decoupled from writers.
+type dbSnapshot struct {
+	// version increments with every publish (commit or DDL).
+	version uint64
+	tables  map[string]*tableVersion
+	order   []string
+	// referencedBy maps a table name to the foreign keys (in other
+	// tables) that reference it, for RESTRICT checks on delete.
+	referencedBy map[string][]fkBackRef
+}
+
+// table returns the named table's version in this snapshot.
+func (s *dbSnapshot) table(name string) (*tableVersion, bool) {
+	v, ok := s.tables[lowerName(name)]
+	return v, ok
+}
+
+// topological returns the snapshot's tables sorted parents-first
+// along foreign-key dependencies (see Database.TopologicalTableOrder).
+func (s *dbSnapshot) topological() ([]string, error) {
+	return topoOrder(s.order, func(key string) []string {
+		var deps []string
+		for _, fk := range s.tables[key].schema.ForeignKeys {
+			ref := lowerName(fk.RefTable)
+			if ref != key {
+				deps = append(deps, ref)
+			}
+		}
+		return deps
+	}, func(key string) string { return s.tables[key].schema.Name })
+}

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ontoaccess/internal/core"
 )
@@ -127,4 +128,46 @@ func (cs *ConcurrentStream) Run(m *core.Mediator) (int, error) {
 		return ops, err
 	}
 	return ops, nil
+}
+
+// RunWithReaders executes the write streams like Run while `readers`
+// goroutines continuously evaluate cs.Query until the writers finish
+// — the B10 read-under-write experiment. Queries run against
+// lock-free database snapshots, so their throughput should stay at
+// idle-database levels regardless of the write stream. It returns the
+// number of update requests and of completed queries.
+func (cs *ConcurrentStream) RunWithReaders(m *core.Mediator, readers int) (int, int, error) {
+	stop := make(chan struct{})
+	var reads atomic.Int64
+	var rwg sync.WaitGroup
+	rerrs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := m.Query(cs.Query); err != nil {
+					rerrs <- fmt.Errorf("workload: reader query: %w", err)
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+	ops, err := cs.Run(m)
+	close(stop)
+	rwg.Wait()
+	close(rerrs)
+	if err == nil {
+		for rerr := range rerrs {
+			err = rerr
+			break
+		}
+	}
+	return ops, int(reads.Load()), err
 }

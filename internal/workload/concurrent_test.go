@@ -35,6 +35,35 @@ func TestConcurrentStreamMixed(t *testing.T) {
 	}
 }
 
+// TestConcurrentStreamWithReaders drives the MODIFY-heavy write mix
+// while dedicated reader goroutines query continuously — the -race
+// gate for snapshot reads under the group-commit scheduler. Readers
+// never block, so they must complete a healthy number of queries even
+// while every writer is streaming.
+func TestConcurrentStreamWithReaders(t *testing.T) {
+	m, err := NewMediator(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConcurrentModifyStream(31, 4, 40)
+	if err := cs.Setup(m); err != nil {
+		t.Fatal(err)
+	}
+	ops, reads, err := cs.RunWithReaders(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 4*40 {
+		t.Errorf("ops = %d, want %d", ops, 4*40)
+	}
+	if reads == 0 {
+		t.Error("readers completed no queries while writers streamed")
+	}
+	if s := m.SchedulerStats(); s.Ops == 0 {
+		t.Errorf("write scheduler saw no compiled operations: %+v", s)
+	}
+}
+
 // TestConcurrentStreamDeterministicCounts verifies every worker's
 // accepted updates land exactly once: the same streams executed
 // serially and concurrently produce identical row counts.

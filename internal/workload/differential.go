@@ -7,10 +7,11 @@ import (
 
 // DifferentialStream is a deterministic, seeded, MODIFY-heavy request
 // stream for the differential harness: the same stream is executed
-// through every mediator execution mode (memoized plans, per-operation
-// plans, plan cache disabled) and natively against the triple-store
-// baseline, and all four must agree — on the generated SQL, on the
-// feedback, and on the final RDF view.
+// through every mediator execution mode (memoized plans with
+// group-commit batching, per-operation plans, batching disabled, plan
+// cache disabled) and natively against the triple-store baseline, and
+// all five must agree — on the generated SQL, on the feedback, and on
+// the final RDF view.
 //
 // Every INSERT DATA carries an explicit rdf:type triple and every
 // attribute-overwriting MODIFY deletes the value it replaces, so the

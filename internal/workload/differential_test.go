@@ -13,12 +13,14 @@ import (
 )
 
 // TestDifferentialModifyStreams executes seeded randomized MODIFY
-// streams three ways — memoized compiled plans (ExecuteString),
-// per-operation compiled plans without the parse memo
-// (ExecuteRequest), and the uncompiled whole-database path
+// streams four ways — memoized compiled plans through the
+// group-commit scheduler (ExecuteString, the default snapshot+batched
+// mode), per-operation compiled plans without the parse memo
+// (ExecuteRequest), compiled plans committing one-by-one
+// (DisableWriteBatching), and the uncompiled whole-database path
 // (DisablePlanCache) — asserting byte-identical SQL, identical
 // feedback, and identical exported RDF views, with the native
-// triple-store baseline as the fourth, semantics-level referee.
+// triple-store baseline as the final, semantics-level referee.
 func TestDifferentialModifyStreams(t *testing.T) {
 	for _, seed := range []int64{3, 17, 42} {
 		seed := seed
@@ -39,6 +41,7 @@ func runDifferential(t *testing.T, seed int64, n int) {
 	}
 	memoized := newM(core.Options{})
 	perOp := newM(core.Options{})
+	unbatched := newM(core.Options{DisableWriteBatching: true})
 	uncompiled := newM(core.Options{DisablePlanCache: true})
 	native := triplestore.New()
 
@@ -55,6 +58,7 @@ func runDifferential(t *testing.T, seed int64, n int) {
 			}
 			return perOp.ExecuteRequest(req)
 		}},
+		{"unbatched", unbatched.ExecuteString},
 		{"uncompiled", uncompiled.ExecuteString},
 	}
 
@@ -135,7 +139,7 @@ func runDifferential(t *testing.T, seed int64, n int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []*core.Mediator{perOp, uncompiled} {
+	for _, m := range []*core.Mediator{perOp, unbatched, uncompiled} {
 		g, err := m.Export()
 		if err != nil {
 			t.Fatal(err)

@@ -25,16 +25,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Coverage gate: the translation core must stay above 70%.
+# Coverage gates: the translation core and the SQL executor (the
+# compiled read path's engine) must both stay above 70%.
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/core
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "core coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "core coverage %.1f%% (gate 70%%)\n", $$3 }'
+	$(GO) test -coverprofile=cover.out ./internal/rdb/sqlexec
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "sqlexec coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "sqlexec coverage %.1f%% (gate 70%%)\n", $$3 }'
 
-# 30s of native fuzzing across the three parsers/normalizer targets —
+# 40s of native fuzzing across the four parser/normalizer targets —
 # regressions land in testdata/fuzz/ as seeds.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParseUpdate -fuzztime 10s -run '^$$' ./internal/update
 	$(GO) test -fuzz FuzzParseQuery -fuzztime 10s -run '^$$' ./internal/sparql
+	$(GO) test -fuzz FuzzParseSelect -fuzztime 10s -run '^$$' ./internal/rdb/sqlparser
 	$(GO) test -fuzz FuzzNormalizeShape -fuzztime 10s -run '^$$' ./internal/core
 
 # One iteration of every benchmark: catches bit-rot without timing.

@@ -76,14 +76,17 @@ type Mediator struct {
 	mapping *r3m.Mapping
 	opts    Options
 
-	// plans caches compiled UpdatePlans and mplans compiled
-	// ModifyPlans, keyed on request shape; parses memoizes raw request
-	// strings to parsed-and-bound requests. topoPos ranks tables
-	// parents-first for plan-time statement sorting; nil disables
-	// planning (cyclic schemas).
+	// plans caches compiled UpdatePlans, mplans compiled ModifyPlans
+	// and qplans compiled QueryPlans, keyed on request shape; parses
+	// memoizes raw update strings and qparses raw query strings to
+	// parsed-and-bound requests. topoPos ranks tables parents-first for
+	// plan-time statement sorting; nil disables planning (cyclic
+	// schemas).
 	plans   *lruCache[*UpdatePlan]
 	mplans  *lruCache[*ModifyPlan]
+	qplans  *lruCache[*QueryPlan]
 	parses  *lruCache[*cachedRequest]
+	qparses *lruCache[*cachedQuery]
 	topoPos map[string]int
 
 	// sched is the group-commit write scheduler; nil when
@@ -108,7 +111,9 @@ func New(db *rdb.Database, mapping *r3m.Mapping, opts Options) (*Mediator, error
 	}
 	m.plans = newLRU[*UpdatePlan](size)
 	m.mplans = newLRU[*ModifyPlan](size)
+	m.qplans = newLRU[*QueryPlan](size)
 	m.parses = newLRU[*cachedRequest](defaultParseCacheSize)
+	m.qparses = newLRU[*cachedQuery](defaultParseCacheSize)
 	if !opts.DisableWriteBatching {
 		m.sched = newWriteScheduler(db)
 	}

@@ -237,13 +237,54 @@ func sortedTableNames(set map[string]bool) []string {
 // ---- binding -------------------------------------------------------
 
 // boundModify is a ModifyPlan instantiated with one argument vector:
-// the rendered SELECT (pre-parsed, so cached executions skip the SQL
-// parser) and the materialized templates. The per-solution work stays
-// data-dependent and runs at execution time.
+// the WHERE SELECT lowered straight to the executable AST (the SQL
+// text is rendered for reporting only, never re-parsed) and the
+// materialized templates. The per-solution work stays data-dependent
+// and runs at execution time.
 type boundModify struct {
 	sql      string
 	stmt     sqlparser.Statement
 	del, ins []sparql.TriplePattern
+}
+
+// bindSpec instantiates a compiled SELECT template, verifying the
+// shape assumptions re-binding could break, and returns the spec with
+// every parameter slot filled. Shared by MODIFY and query plans.
+func (t *selectTemplate) bindSpec(m *Mediator, args []string) (sqlgen.SelectSpec, error) {
+	seen := make(map[string]bool, len(t.checks)+len(t.constURIs))
+	for _, uri := range t.constURIs {
+		seen[uri] = true
+	}
+	for _, occs := range t.checks {
+		uri := bindSegs(occs[0], args)
+		for _, occ := range occs[1:] {
+			if bindSegs(occ, args) != uri {
+				return sqlgen.SelectSpec{}, errPlanStale
+			}
+		}
+		// Subject nodes that were distinct at compile time must stay
+		// distinct: the translator merges equal subjects into one node,
+		// so colliding arguments change the SELECT's structure.
+		if seen[uri] {
+			return sqlgen.SelectSpec{}, errPlanStale
+		}
+		seen[uri] = true
+	}
+	where := make([]sqlgen.WhereSpec, len(t.spec.Where))
+	copy(where, t.spec.Where)
+	for i := range where {
+		if where[i].Param > 0 {
+			v, err := m.bindValue(&t.srcs[where[i].Param-1], "", args)
+			if err != nil {
+				return sqlgen.SelectSpec{}, err
+			}
+			where[i].Value = v
+			where[i].Param = 0
+		}
+	}
+	spec := t.spec
+	spec.Where = where
+	return spec, nil
 }
 
 // bind instantiates the plan, verifying the shape assumptions
@@ -256,46 +297,16 @@ func (p *ModifyPlan) bind(m *Mediator, args []string) (*boundModify, error) {
 	if len(args) != p.slots {
 		return nil, errPlanStale
 	}
-	seen := make(map[string]bool, len(p.sel.checks)+len(p.sel.constURIs))
-	for _, uri := range p.sel.constURIs {
-		seen[uri] = true
+	spec, err := p.sel.bindSpec(m, args)
+	if err != nil {
+		return nil, err
 	}
-	for _, occs := range p.sel.checks {
-		uri := bindSegs(occs[0], args)
-		for _, occ := range occs[1:] {
-			if bindSegs(occ, args) != uri {
-				return nil, errPlanStale
-			}
-		}
-		// Subject nodes that were distinct at compile time must stay
-		// distinct: the translator merges equal subjects into one node,
-		// so colliding arguments change the SELECT's structure.
-		if seen[uri] {
-			return nil, errPlanStale
-		}
-		seen[uri] = true
-	}
-	where := make([]sqlgen.WhereSpec, len(p.sel.spec.Where))
-	copy(where, p.sel.spec.Where)
-	for i := range where {
-		if where[i].Param > 0 {
-			v, err := m.bindValue(&p.sel.srcs[where[i].Param-1], "", args)
-			if err != nil {
-				return nil, err
-			}
-			where[i].Value = v
-			where[i].Param = 0
-		}
-	}
-	spec := p.sel.spec
-	spec.Where = where
-	sql := sqlgen.Select(spec)
-	stmt, err := sqlparser.ParseStatement(sql)
+	stmt, err := specSelect(&spec)
 	if err != nil {
 		return nil, err
 	}
 	return &boundModify{
-		sql:  sql,
+		sql:  sqlgen.Select(spec),
 		stmt: stmt,
 		del:  materializePatterns(p.del, args),
 		ins:  materializePatterns(p.ins, args),

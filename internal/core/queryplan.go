@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlparser"
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sparql"
+	"ontoaccess/internal/sqlgen"
+)
+
+// This file extends the compiled-plan pipeline to the read path — the
+// part of the paper's prototype that was only "under development". A
+// QueryPlan is the shape-level artifact of a SPARQL SELECT, ASK or
+// CONSTRUCT over a basic graph pattern: the WHERE clause is translated
+// once (through the same translateSelect engine MODIFY plans use) into
+// a parameterized SELECT template plus decode bindings, with literals
+// and IRI digit runs lifted into parameter slots. Re-executions bind
+// fresh arguments, lower the bound spec directly into the executable
+// sqlparser AST — no SQL text is rendered and re-parsed on the
+// compiled path — and stream it through the index-aware executor
+// against the transaction's pinned snapshot.
+//
+// ASK compiles with LIMIT 1, so the streaming executor stops at the
+// first witness row. CONSTRUCT templates are normalized like MODIFY
+// templates and instantiated per solution; blank-node templates stay
+// on the virtual-view path (their per-solution renaming is
+// data-dependent).
+//
+// Shapes the compiler cannot prove equivalent — FILTER / OPTIONAL /
+// UNION patterns, solution modifiers, variable predicates, unmapped
+// vocabulary — take the uncompiled path: first the text-SQL fast path,
+// then evaluation over the virtual RDF view, exactly the paper's
+// behaviour. That path also remains the parity baseline the
+// differential harness checks the compiled pipeline against.
+
+// normQuery is a query with its WHERE triples (and CONSTRUCT
+// template) parameterized.
+type normQuery struct {
+	where []normPattern
+	tmpl  []normPattern
+}
+
+// normalizeQuery parameterizes a query for the plan cache. Only
+// BGP-only queries without solution modifiers are plannable; ok is
+// false otherwise and the caller uses the uncompiled path.
+func normalizeQuery(q *sparql.Query) (key string, args []string, nq *normQuery, ok bool) {
+	w := q.Where
+	if w == nil || len(w.Triples) == 0 ||
+		len(w.Filters) > 0 || len(w.Optionals) > 0 || len(w.Unions) > 0 {
+		return "", nil, nil, false
+	}
+	if len(q.OrderBy) > 0 || q.Limit >= 0 || q.Offset >= 0 || q.Distinct {
+		return "", nil, nil, false
+	}
+	n := &normalizer{}
+	n.key.WriteString("QUERY")
+	n.key.WriteByte(shapeRecordSep)
+	nq = &normQuery{}
+	switch q.Form {
+	case sparql.FormSelect:
+		n.key.WriteByte('S')
+		if q.Star {
+			n.key.WriteByte('*')
+		} else {
+			for _, v := range q.Vars {
+				if !keySafe(v) {
+					return "", nil, nil, false
+				}
+				n.key.WriteByte(shapeFieldSep)
+				n.key.WriteString(v)
+			}
+		}
+	case sparql.FormAsk:
+		n.key.WriteByte('A')
+	case sparql.FormConstruct:
+		n.key.WriteByte('C')
+		if nq.tmpl, ok = n.normalizePatterns('T', q.Template); !ok {
+			return "", nil, nil, false
+		}
+	default:
+		return "", nil, nil, false
+	}
+	n.key.WriteByte(shapeRecordSep)
+	if nq.where, ok = n.normalizePatterns('W', w.Triples); !ok {
+		return "", nil, nil, false
+	}
+	return n.key.String(), n.args, nq, true
+}
+
+// QueryPlan is a compiled SPARQL query, keyed on the request shape and
+// re-executable with fresh parameter bindings. Like UpdatePlan and
+// ModifyPlan it pins mapping and schema pointers captured at compile
+// time; DDL on a mediated database is unsupported after construction.
+type QueryPlan struct {
+	key   string
+	form  sparql.QueryForm
+	slots int
+	sel   selectTemplate
+	tmpl  []normPattern // CONSTRUCT template
+}
+
+// Kind returns the query form the plan compiles.
+func (p *QueryPlan) Kind() string { return p.form.String() }
+
+// Key returns the normalized request shape the plan is cached under.
+func (p *QueryPlan) Key() string { return p.key }
+
+// Slots returns the number of parameter slots.
+func (p *QueryPlan) Slots() int { return p.slots }
+
+// ReadTables returns the tables the compiled SELECT reads.
+func (p *QueryPlan) ReadTables() []string {
+	out := []string{p.sel.spec.From}
+	for _, j := range p.sel.spec.Joins {
+		out = append(out, j.Table)
+	}
+	return out
+}
+
+// Explain renders the compiled shape with ?n parameter markers.
+func (p *QueryPlan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s plan: %d slot(s), reads %s\n",
+		p.form, p.slots, strings.Join(p.ReadTables(), ", "))
+	fmt.Fprintf(&b, "  SELECT template over %s (%d join(s), %d condition(s))\n",
+		p.sel.spec.From, len(p.sel.spec.Joins), len(p.sel.spec.Where))
+	for _, np := range p.tmpl {
+		fmt.Fprintf(&b, "  TEMPLATE %s %s %s\n",
+			describePatTerm(np.s), describePatTerm(np.p), describePatTerm(np.o))
+	}
+	return b.String()
+}
+
+// ---- compilation ---------------------------------------------------
+
+// compileQueryPlan builds a QueryPlan from a normalized query. Shapes
+// the translator rejects (unmapped vocabulary, disconnected patterns,
+// variable predicates) return errUnplannable.
+func (m *Mediator) compileQueryPlan(key string, slots int, q *sparql.Query, nq *normQuery) (*QueryPlan, error) {
+	p := &QueryPlan{key: key, form: q.Form, slots: slots, tmpl: nq.tmpl}
+	proj := projectionFor(q)
+	comp := &selectCompile{nm: nq.where}
+	var st *SelectTranslation
+	var spec *sqlgen.SelectSpec
+	err := m.db.View(func(tx *rdb.Tx) error {
+		var terr error
+		st, spec, terr = m.translateSelect(tx, q.Where, proj, comp)
+		return terr
+	})
+	if err != nil {
+		return nil, errUnplannable
+	}
+	if q.Form == sparql.FormAsk {
+		// One witness row decides the answer; the streaming executor
+		// terminates the scan as soon as it is found.
+		spec.Limit = 1
+	}
+	p.sel = selectTemplate{
+		spec: *spec, srcs: comp.srcs, checks: comp.checks, constURIs: comp.constURIs,
+		vars: st.Vars, bindings: st.bindings,
+	}
+	return p, nil
+}
+
+// projectionFor computes the SELECT column list the compiled query
+// needs: the query's projection for SELECT, nothing for ASK (the
+// translator emits its key-probe column), and for CONSTRUCT the
+// template variables the WHERE binds — template triples using other
+// variables never instantiate.
+func projectionFor(q *sparql.Query) []string {
+	switch q.Form {
+	case sparql.FormSelect:
+		if q.Star {
+			return q.Where.Vars()
+		}
+		return q.Vars
+	case sparql.FormConstruct:
+		bound := map[string]bool{}
+		for _, v := range q.Where.Vars() {
+			bound[v] = true
+		}
+		var proj []string
+		seen := map[string]bool{}
+		for _, tp := range q.Template {
+			for _, v := range tp.Vars() {
+				if bound[v] && !seen[v] {
+					seen[v] = true
+					proj = append(proj, v)
+				}
+			}
+		}
+		if proj == nil {
+			proj = []string{}
+		}
+		return proj
+	default: // ASK
+		return []string{}
+	}
+}
+
+// ---- binding -------------------------------------------------------
+
+// boundQuery is a QueryPlan instantiated with one argument vector: the
+// lowered sqlparser AST ready for direct execution, the rendered SQL
+// (reporting only — it is never re-parsed), and the materialized
+// CONSTRUCT template.
+type boundQuery struct {
+	sql  string
+	sel  sqlparser.Select
+	tmpl []sparql.TriplePattern
+}
+
+// bind instantiates the plan, verifying the shape assumptions
+// re-binding could break (see selectTemplate.bindSpec). Callers treat
+// every error as "not plannable for these parameters" and fall back to
+// the uncompiled path.
+func (p *QueryPlan) bind(m *Mediator, args []string) (*boundQuery, error) {
+	if len(args) != p.slots {
+		return nil, errPlanStale
+	}
+	spec, err := p.sel.bindSpec(m, args)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := specSelect(&spec)
+	if err != nil {
+		return nil, err
+	}
+	return &boundQuery{
+		sql:  sqlgen.Select(spec),
+		sel:  sel,
+		tmpl: materializePatterns(p.tmpl, args),
+	}, nil
+}
+
+// specSelect lowers a fully bound SelectSpec into the executable
+// sqlparser AST — the structured twin of rendering the spec with
+// sqlgen.Select and re-parsing it, which is exactly what the parity
+// tests assert. Param-marked conditions must already be bound.
+func specSelect(spec *sqlgen.SelectSpec) (sqlparser.Select, error) {
+	sel := sqlparser.Select{Distinct: spec.Distinct, Limit: -1, Offset: -1}
+	if len(spec.Columns) == 0 {
+		sel.Items = []sqlparser.SelectItem{{Star: true}}
+	} else {
+		for _, c := range spec.Columns {
+			sel.Items = append(sel.Items, sqlparser.SelectItem{Expr: colRefOf(c)})
+		}
+	}
+	sel.From = sqlparser.TableRef{Table: spec.From, Alias: spec.FromAs}
+	for _, j := range spec.Joins {
+		sel.Joins = append(sel.Joins, sqlparser.Join{
+			Ref: sqlparser.TableRef{Table: j.Table, Alias: j.As},
+			On:  sqlparser.Binary{Op: sqlparser.OpEq, Left: colRefOf(j.Left), Right: colRefOf(j.Right)},
+		})
+	}
+	var where sqlparser.Expr
+	for _, w := range spec.Where {
+		var cond sqlparser.Expr
+		col := colRefOf(w.Column)
+		switch {
+		case w.Param > 0:
+			return sqlparser.Select{}, fmt.Errorf("core: unbound parameter %d in SELECT spec", w.Param)
+		case w.IsNull:
+			cond = sqlparser.IsNull{Inner: col}
+		case w.NotNull:
+			cond = sqlparser.IsNull{Inner: col, Negate: true}
+		case w.OtherColumn != "":
+			cond = sqlparser.Binary{Op: sqlparser.OpEq, Left: col, Right: colRefOf(w.OtherColumn)}
+		default:
+			cond = sqlparser.Binary{Op: sqlparser.OpEq, Left: col, Right: sqlparser.Lit{Value: w.Value}}
+		}
+		if where == nil {
+			where = cond
+		} else {
+			where = sqlparser.Binary{Op: sqlparser.OpAnd, Left: where, Right: cond}
+		}
+	}
+	sel.Where = where
+	if spec.Limit > 0 {
+		sel.Limit = spec.Limit
+	}
+	return sel, nil
+}
+
+func colRefOf(qualified string) sqlparser.ColRef {
+	if i := strings.IndexByte(qualified, '.'); i >= 0 {
+		return sqlparser.ColRef{Table: qualified[:i], Column: qualified[i+1:]}
+	}
+	return sqlparser.ColRef{Column: qualified}
+}
+
+// ---- execution -----------------------------------------------------
+
+// exec runs the bound plan against the transaction's pinned snapshot.
+func (p *QueryPlan) exec(m *Mediator, tx *rdb.Tx, bq *boundQuery) (*QueryResult, error) {
+	out := &QueryResult{Form: p.form, SQL: bq.sql}
+	st := &SelectTranslation{SQL: bq.sql, Vars: p.sel.vars, bindings: p.sel.bindings, m: m}
+	sols, err := st.runParsed(tx, bq.sel)
+	if err != nil {
+		return nil, err
+	}
+	switch p.form {
+	case sparql.FormSelect:
+		out.Vars = st.Vars
+		out.Solutions = sols
+	case sparql.FormAsk:
+		out.Bool = len(sols) > 0
+	case sparql.FormConstruct:
+		g := rdf.NewGraph()
+		for _, b := range sols {
+			for _, tp := range bq.tmpl {
+				if t, ok := tp.Instantiate(b); ok {
+					g.Add(t)
+				}
+			}
+		}
+		out.Graph = g
+	}
+	return out, nil
+}
+
+// ---- mediator integration ------------------------------------------
+
+// cachedQuery is a query parse-memo entry: the parsed query plus the
+// bound plan when the shape compiled (nil plan/bound entries take the
+// uncompiled path directly).
+type cachedQuery struct {
+	q     *sparql.Query
+	plan  *QueryPlan
+	bound *boundQuery
+}
+
+// buildCachedQuery compiles and binds a parsed query; unplannable
+// shapes and stale bindings leave the plan unset.
+func (m *Mediator) buildCachedQuery(q *sparql.Query) *cachedQuery {
+	cq := &cachedQuery{q: q}
+	key, args, nq, ok := normalizeQuery(q)
+	if !ok {
+		return cq
+	}
+	plan, ok := m.queryPlanForShape(key, len(args), q, nq)
+	if !ok {
+		return cq
+	}
+	bq, err := plan.bind(m, args)
+	if err != nil {
+		return cq
+	}
+	cq.plan, cq.bound = plan, bq
+	return cq
+}
+
+// queryPlanForShape returns the cached or freshly compiled plan for a
+// query shape, with negative caching for unplannable shapes.
+func (m *Mediator) queryPlanForShape(key string, slots int, q *sparql.Query, nq *normQuery) (*QueryPlan, bool) {
+	if plan, hit := m.qplans.get(key); hit {
+		return plan, plan != nil
+	}
+	plan, err := m.compileQueryPlan(key, slots, q, nq)
+	if err != nil {
+		m.qplans.put(key, nil)
+		return nil, false
+	}
+	m.qplans.put(key, plan)
+	return plan, true
+}
+
+// runCachedQuery executes a memoized query's bound plan inside a
+// lock-free snapshot view. handled is false when the entry is
+// uncompiled or the compiled execution failed — the uncompiled path is
+// then authoritative, mirroring the text fast path's silent fallback.
+func (m *Mediator) runCachedQuery(cq *cachedQuery) (*QueryResult, error, bool) {
+	if cq.bound == nil {
+		return nil, nil, false
+	}
+	var out *QueryResult
+	err := m.db.View(func(tx *rdb.Tx) error {
+		var e error
+		out, e = cq.plan.exec(m, tx, cq.bound)
+		return e
+	})
+	if err != nil {
+		return nil, nil, false
+	}
+	return out, nil, true
+}
+
+// QueryPlanCacheStats reports the query plan cache's counters.
+func (m *Mediator) QueryPlanCacheStats() CacheStats {
+	if m.qplans == nil {
+		return CacheStats{}
+	}
+	return m.qplans.snapshot()
+}
+
+// QueryParseCacheStats reports the query parse memo's counters.
+func (m *Mediator) QueryParseCacheStats() CacheStats {
+	if m.qparses == nil {
+		return CacheStats{}
+	}
+	return m.qparses.snapshot()
+}
+
+// QueryPlanFor compiles (or fetches) the plan for the given query
+// without executing it — introspection for tests and tooling.
+func (m *Mediator) QueryPlanFor(src string) (*QueryPlan, error) {
+	q, err := sparql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	key, args, nq, ok := normalizeQuery(q)
+	if !ok {
+		return nil, errUnplannable
+	}
+	plan, ok := m.queryPlanForShape(key, len(args), q, nq)
+	if !ok {
+		return nil, errUnplannable
+	}
+	return plan, nil
+}

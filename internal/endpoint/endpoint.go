@@ -18,13 +18,18 @@
 //	GET /export   — the full RDF view as Turtle or N-Triples.
 //	GET /mapping  — the active R3M mapping as Turtle.
 //	GET /healthz  — liveness probe with row counts, the published
-//	                snapshot version, and group-commit statistics.
+//	                snapshot version, group-commit statistics, and
+//	                plan-cache effectiveness (update, MODIFY and
+//	                query plans).
 //
 // Request handling is fully concurrent: queries and exports evaluate
 // against lock-free database snapshots (they never wait for writers),
 // and updates flow through the mediator's group-commit scheduler,
 // which coalesces concurrent requests hitting the same tables into
-// shared transactions.
+// shared transactions. Repeated /sparql requests are served from
+// compiled query plans: the shape is translated once, re-executions
+// bind parameters and stream the index-aware SELECT off the pinned
+// snapshot.
 package endpoint
 
 import (
@@ -201,6 +206,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "snapshot version: %d\n", db.SnapshotVersion())
 	st := s.mediator.SchedulerStats()
 	fmt.Fprintf(w, "write batches: %d (%d ops, max batch %d)\n", st.Batches, st.Ops, st.MaxBatch)
+	for _, c := range []struct {
+		name  string
+		stats core.CacheStats
+	}{
+		{"update plans", s.mediator.PlanCacheStats()},
+		{"modify plans", s.mediator.ModifyPlanCacheStats()},
+		{"query plans", s.mediator.QueryPlanCacheStats()},
+		{"query parses", s.mediator.QueryParseCacheStats()},
+	} {
+		fmt.Fprintf(w, "%s: %d cached, %d hits, %d misses, %d evictions\n",
+			c.name, c.stats.Size, c.stats.Hits, c.stats.Misses, c.stats.Evictions)
+	}
 	for _, name := range db.TableNames() {
 		n, _ := db.RowCount(name)
 		fmt.Fprintf(w, "table %s: %d rows\n", name, n)

@@ -3,6 +3,7 @@ package sqlexec
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ontoaccess/internal/rdb"
@@ -239,7 +240,866 @@ func boolOf(v rdb.Value) (bool, bool) {
 
 func isTrue(v rdb.Value) bool { return v.Kind == rdb.KBool && v.B }
 
+// ---- streaming executor ---------------------------------------------
+//
+// execSelect plans and runs a SELECT as a streaming pipeline of scans
+// and joins instead of materializing the full cross product:
+//
+//   - single-table WHERE conjuncts are pushed down to the scan that
+//     produces their table's rows (an equality against an indexed
+//     column turns the base scan into an index probe);
+//   - equi-joins probe the joined table's primary-key or secondary
+//     index per outer row, falling back to a one-time hash build when
+//     the join column carries no index, and to a filtered nested loop
+//     when the ON clause is not a typed equi-join;
+//   - join order is planned greedily: among the joins whose ON
+//     dependencies are satisfied, index-backed ones are placed first,
+//     ties keeping textual order;
+//   - with no ORDER BY, execution stops as soon as LIMIT/OFFSET is
+//     satisfied — an ASK probe compiled as LIMIT 1 touches one row.
+//
+// While placement keeps textual order — always the case for
+// translator-emitted SQL, whose joins are all index-backed and
+// therefore tie — rows stream in exactly the order the nested-loop
+// baseline produces (scans and index probes both visit ascending
+// internal ids), so the compiled and uncompiled read paths return
+// byte-identical result sets. A reorder (an indexed join overtaking a
+// textually-earlier hash join, reachable only from hand-written SQL)
+// changes the inter-row order but never the row multiset; it stays
+// deterministic for a given statement. SelectNaive keeps the original
+// executor as the comparison baseline.
+
+type accessKind int
+
+const (
+	accessScan accessKind = iota
+	accessProbe
+	accessHash
+)
+
+type colLoc struct{ ti, ci int }
+
+// selStep is one table of the pipeline in placement order.
+type selStep struct {
+	ti     int // index into refs/schemas (original position)
+	access accessKind
+	// probe/hash: the joined table's column and the outer column
+	// feeding the probe value.
+	probeCol  int
+	probeName string
+	probeType rdb.ColType
+	left      colLoc
+	// base-table literal probe (already normalized to storage kind).
+	lit *rdb.Value
+	// impossible short-circuits the whole query (a typed equality that
+	// can never hold, e.g. probing an INTEGER key with 5.5).
+	impossible bool
+	// preds are single-table conjuncts pushed down to this step;
+	// residual are multi-table or unresolvable conjuncts assigned to
+	// the earliest step where their tables are all placed.
+	preds    []sqlparser.Expr
+	residual []sqlparser.Expr
+}
+
+type tableMeta struct {
+	eff    string // effective name as written
+	lower  string
+	schema *rdb.TableSchema
+}
+
+type selPlan struct {
+	st      sqlparser.Select
+	refs    []sqlparser.TableRef
+	schemas []*rdb.TableSchema
+	metas   []tableMeta
+	steps   []selStep
+	// textual records that placement order equals textual order, so a
+	// step's visible environment is a prefix of the full one (needed
+	// when conjuncts could not be statically resolved).
+	textual    bool
+	countAlias string // COUNT(*) aggregation when non-empty
+}
+
 func execSelect(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
+	p, err := planSelect(tx, st)
+	if err != nil {
+		return nil, err
+	}
+	return p.run(tx)
+}
+
+// conjuncts flattens top-level ANDs: a row passes the conjunction iff
+// every conjunct evaluates to true, which matches SQL's three-valued
+// AND for filtering purposes.
+func conjunctsOf(e sqlparser.Expr, out []sqlparser.Expr) []sqlparser.Expr {
+	if b, ok := e.(sqlparser.Binary); ok && b.Op == sqlparser.OpAnd {
+		return conjunctsOf(b.Right, conjunctsOf(b.Left, out))
+	}
+	return append(out, e)
+}
+
+// qualifyExpr rewrites every column reference to its qualified form
+// and reports the set of tables the expression reads. ok is false
+// when a reference is ambiguous or unknown; such conjuncts keep their
+// original form and are evaluated late, where evalExpr reproduces the
+// exact resolution error.
+func qualifyExpr(e sqlparser.Expr, metas []tableMeta) (sqlparser.Expr, uint64, bool) {
+	switch x := e.(type) {
+	case sqlparser.Lit:
+		return x, 0, true
+	case sqlparser.ColRef:
+		if x.Table != "" {
+			want := strings.ToLower(x.Table)
+			for i := range metas {
+				if metas[i].lower == want {
+					if metas[i].schema.ColumnIndex(x.Column) < 0 {
+						return x, 0, false
+					}
+					return x, 1 << uint(i), true
+				}
+			}
+			return x, 0, false
+		}
+		found := -1
+		for i := range metas {
+			if metas[i].schema.ColumnIndex(x.Column) >= 0 {
+				if found >= 0 {
+					return x, 0, false
+				}
+				found = i
+			}
+		}
+		if found < 0 {
+			return x, 0, false
+		}
+		return sqlparser.ColRef{Table: metas[found].eff, Column: x.Column}, 1 << uint(found), true
+	case sqlparser.Neg:
+		in, m, ok := qualifyExpr(x.Inner, metas)
+		return sqlparser.Neg{Inner: in}, m, ok
+	case sqlparser.Not:
+		in, m, ok := qualifyExpr(x.Inner, metas)
+		return sqlparser.Not{Inner: in}, m, ok
+	case sqlparser.IsNull:
+		in, m, ok := qualifyExpr(x.Inner, metas)
+		return sqlparser.IsNull{Inner: in, Negate: x.Negate}, m, ok
+	case sqlparser.InList:
+		in, m, ok := qualifyExpr(x.Inner, metas)
+		return sqlparser.InList{Inner: in, Values: x.Values, Negate: x.Negate}, m, ok
+	case sqlparser.Binary:
+		l, lm, lok := qualifyExpr(x.Left, metas)
+		r, rm, rok := qualifyExpr(x.Right, metas)
+		return sqlparser.Binary{Op: x.Op, Left: l, Right: r}, lm | rm, lok && rok
+	default:
+		return e, 0, false
+	}
+}
+
+// typeClass groups column types by comparison semantics; equality
+// across classes is a type error in evalExpr, so index and hash paths
+// only engage within one class.
+func typeClass(t rdb.ColType) int {
+	switch t {
+	case rdb.TInt, rdb.TFloat:
+		return 1
+	case rdb.TVarchar, rdb.TText:
+		return 2
+	case rdb.TBool:
+		return 3
+	}
+	return 0
+}
+
+func litClass(v rdb.Value) int {
+	switch v.Kind {
+	case rdb.KInt, rdb.KFloat:
+		return 1
+	case rdb.KString:
+		return 2
+	case rdb.KBool:
+		return 3
+	}
+	return 0
+}
+
+// probeKey normalizes a probe value to the joined column's storage
+// representation with Compare-equivalent semantics. ok=false means
+// the equality can never hold (no error: Compare would simply return
+// non-zero for every row).
+func probeKey(v rdb.Value, t rdb.ColType) (rdb.Value, bool) {
+	if v.IsNull() {
+		return rdb.Null, false
+	}
+	switch t {
+	case rdb.TInt:
+		switch v.Kind {
+		case rdb.KInt:
+			return v, true
+		case rdb.KFloat:
+			if v.F == float64(int64(v.F)) {
+				return rdb.Int(int64(v.F)), true
+			}
+			return rdb.Null, false
+		}
+	case rdb.TFloat:
+		if f, err := v.AsFloat(); err == nil {
+			return rdb.Float(f), true
+		}
+	case rdb.TVarchar, rdb.TText:
+		if v.Kind == rdb.KString {
+			return v, true
+		}
+	case rdb.TBool:
+		if v.Kind == rdb.KBool {
+			return v, true
+		}
+	}
+	return rdb.Null, false
+}
+
+// hashKey normalizes a value for hash-join bucketing within one type
+// class (numerics compare as floats, mirroring rdb.Compare).
+func hashKey(v rdb.Value, class int) (string, bool) {
+	if v.IsNull() {
+		return "", false
+	}
+	switch class {
+	case 1:
+		f, err := v.AsFloat()
+		if err != nil {
+			return "", false
+		}
+		if f == 0 {
+			f = 0 // -0.0 buckets with 0.0, matching rdb.Compare
+		}
+		return strconv.FormatFloat(f, 'b', -1, 64), true
+	case 2:
+		if v.Kind != rdb.KString {
+			return "", false
+		}
+		return v.S, true
+	case 3:
+		if v.Kind != rdb.KBool {
+			return "", false
+		}
+		if v.B {
+			return "t", true
+		}
+		return "f", true
+	}
+	return "", false
+}
+
+type conjunct struct {
+	expr       sqlparser.Expr
+	mask       uint64
+	resolvable bool
+	used       bool
+}
+
+func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
+	p := &selPlan{st: st}
+	p.refs = []sqlparser.TableRef{st.From}
+	for _, j := range st.Joins {
+		p.refs = append(p.refs, j.Ref)
+	}
+	p.schemas = make([]*rdb.TableSchema, len(p.refs))
+	p.metas = make([]tableMeta, len(p.refs))
+	for i, r := range p.refs {
+		s, err := tx.Schema(r.Table)
+		if err != nil {
+			return nil, err
+		}
+		p.schemas[i] = s
+		p.metas[i] = tableMeta{eff: r.EffectiveName(), lower: strings.ToLower(r.EffectiveName()), schema: s}
+	}
+	for _, item := range st.Items {
+		if item.Count {
+			if len(st.Items) != 1 {
+				return nil, fmt.Errorf("sqlexec: COUNT(*) cannot be combined with other select items")
+			}
+			p.countAlias = item.Alias
+		}
+	}
+
+	// Classify WHERE conjuncts and each join's ON conjuncts.
+	var wheres []conjunct
+	if st.Where != nil {
+		for _, e := range conjunctsOf(st.Where, nil) {
+			q, m, ok := qualifyExpr(e, p.metas)
+			if !ok {
+				q = e // keep the original form for faithful errors
+			}
+			wheres = append(wheres, conjunct{expr: q, mask: m, resolvable: ok})
+		}
+	}
+	ons := make([][]conjunct, len(st.Joins))
+	allResolved := true
+	for ji, j := range st.Joins {
+		for _, e := range conjunctsOf(j.On, nil) {
+			q, m, ok := qualifyExpr(e, p.metas)
+			if !ok {
+				q = e
+				allResolved = false
+			}
+			ons[ji] = append(ons[ji], conjunct{expr: q, mask: m, resolvable: ok})
+		}
+	}
+	for i := range wheres {
+		if !wheres[i].resolvable {
+			allResolved = false
+		}
+	}
+
+	// Placement: greedy join ordering when everything resolved (the
+	// environment is then safe at any placement), textual order
+	// otherwise. Within the candidates whose ON dependencies are
+	// placed, index-backed equi-joins go first; ties keep textual
+	// order, preserving the baseline's row order.
+	order := make([]int, 0, len(st.Joins))
+	if allResolved {
+		placed := uint64(1) // base table
+		remaining := make([]int, len(st.Joins))
+		for i := range remaining {
+			remaining[i] = i
+		}
+		for len(remaining) > 0 {
+			best, bestScore := -1, -1
+			for _, ji := range remaining {
+				deps := uint64(0)
+				self := uint64(1) << uint(ji+1)
+				for _, c := range ons[ji] {
+					deps |= c.mask &^ self
+				}
+				if deps&^placed != 0 {
+					continue
+				}
+				score := 0
+				if _, pc, ok := p.equiJoinFor(ji, ons[ji], placed); ok {
+					score = 1
+					if has, err := tx.HasIndex(p.refs[ji+1].Table, p.schemas[ji+1].Columns[pc].Name); err == nil && has {
+						score = 2
+					}
+				}
+				if score > bestScore {
+					best, bestScore = ji, score
+				}
+			}
+			if best < 0 {
+				// A join references a table placed after it; fall back to
+				// textual order (its ON will fail at evaluation time with
+				// the evaluator's own error).
+				order = order[:0]
+				for i := range st.Joins {
+					order = append(order, i)
+				}
+				p.textual = true
+				break
+			}
+			order = append(order, best)
+			placed |= uint64(1) << uint(best+1)
+			for i, ji := range remaining {
+				if ji == best {
+					remaining = append(remaining[:i], remaining[i+1:]...)
+					break
+				}
+			}
+		}
+		if !p.textual {
+			for i, ji := range order {
+				if ji != i {
+					break
+				}
+				if i == len(order)-1 {
+					p.textual = true // placement happens to be textual
+				}
+			}
+			if len(order) == 0 {
+				p.textual = true
+			}
+		}
+	} else {
+		p.textual = true
+		for i := range st.Joins {
+			order = append(order, i)
+		}
+	}
+
+	// Build the step list: base scan first, joins in placement order.
+	p.steps = make([]selStep, 0, len(p.refs))
+	p.steps = append(p.steps, selStep{ti: 0})
+	placed := uint64(1)
+	for _, ji := range order {
+		step := selStep{ti: ji + 1}
+		if eqIdx, pc, ok := p.equiJoinFor(ji, ons[ji], placed); ok {
+			step.probeCol = pc
+			step.probeName = p.schemas[ji+1].Columns[pc].Name
+			step.probeType = p.schemas[ji+1].Columns[pc].Type
+			step.left = p.leftLocOf(ons[ji][eqIdx], ji+1)
+			ons[ji][eqIdx].used = true
+			if has, err := tx.HasIndex(p.refs[ji+1].Table, step.probeName); err == nil && has {
+				step.access = accessProbe
+			} else {
+				step.access = accessHash
+			}
+		}
+		for _, c := range ons[ji] {
+			if !c.used {
+				step.residual = append(step.residual, c.expr)
+			}
+		}
+		placed |= uint64(1) << uint(ji+1)
+		p.steps = append(p.steps, step)
+	}
+
+	// Assign WHERE conjuncts to the earliest step where their tables
+	// are placed: single-table conjuncts become scan predicates, the
+	// rest residual filters. Unresolvable conjuncts run at the last
+	// step, where the full environment reproduces the evaluator's
+	// resolution errors.
+	for _, c := range wheres {
+		si := len(p.steps) - 1
+		if c.resolvable {
+			placed := uint64(0)
+			for i := range p.steps {
+				placed |= uint64(1) << uint(p.steps[i].ti)
+				if c.mask&^placed == 0 {
+					si = i
+					break
+				}
+			}
+			if c.mask != 0 && c.mask == uint64(1)<<uint(p.steps[si].ti) {
+				p.steps[si].preds = append(p.steps[si].preds, c.expr)
+				continue
+			}
+		}
+		p.steps[si].residual = append(p.steps[si].residual, c.expr)
+	}
+
+	// Base access: a pushed-down "col = literal" on an indexed column
+	// turns the scan into a point probe.
+	base := &p.steps[0]
+	for _, e := range base.preds {
+		b, ok := e.(sqlparser.Binary)
+		if !ok || b.Op != sqlparser.OpEq {
+			continue
+		}
+		var cr sqlparser.ColRef
+		var lit sqlparser.Lit
+		if c, cok := b.Left.(sqlparser.ColRef); cok {
+			if l, lok := b.Right.(sqlparser.Lit); lok {
+				cr, lit = c, l
+			} else {
+				continue
+			}
+		} else if c, cok := b.Right.(sqlparser.ColRef); cok {
+			if l, lok := b.Left.(sqlparser.Lit); lok {
+				cr, lit = c, l
+			} else {
+				continue
+			}
+		} else {
+			continue
+		}
+		ci := p.schemas[0].ColumnIndex(cr.Column)
+		if ci < 0 {
+			continue
+		}
+		col := &p.schemas[0].Columns[ci]
+		if litClass(lit.Value) == 0 || litClass(lit.Value) != typeClass(col.Type) {
+			continue // cross-class equality errors row by row; keep it a filter
+		}
+		has, err := tx.HasIndex(p.refs[0].Table, col.Name)
+		if err != nil || !has {
+			continue
+		}
+		key, ok := probeKey(lit.Value, col.Type)
+		if !ok {
+			base.impossible = true // e.g. 5.5 against an INTEGER key
+			break
+		}
+		base.lit = &key
+		base.probeName = col.Name
+		break
+	}
+	return p, nil
+}
+
+// equiJoinFor finds the first ON conjunct of join ji usable as a typed
+// equi-join: newTable.col = placedTable.col with both columns in the
+// same comparison class. It returns the conjunct index and the new
+// table's column index.
+func (p *selPlan) equiJoinFor(ji int, cs []conjunct, placed uint64) (int, int, bool) {
+	self := ji + 1
+	for i, c := range cs {
+		if !c.resolvable {
+			continue
+		}
+		b, ok := c.expr.(sqlparser.Binary)
+		if !ok || b.Op != sqlparser.OpEq {
+			continue
+		}
+		l, lok := b.Left.(sqlparser.ColRef)
+		r, rok := b.Right.(sqlparser.ColRef)
+		if !lok || !rok {
+			continue
+		}
+		lt, lc := p.locOf(l)
+		rt, rc := p.locOf(r)
+		if lt < 0 || rt < 0 {
+			continue
+		}
+		var selfCol, otherT, otherC int
+		switch {
+		case lt == self && rt != self && placed&(1<<uint(rt)) != 0:
+			selfCol, otherT, otherC = lc, rt, rc
+		case rt == self && lt != self && placed&(1<<uint(lt)) != 0:
+			selfCol, otherT, otherC = rc, lt, lc
+		default:
+			continue
+		}
+		if typeClass(p.schemas[self].Columns[selfCol].Type) == 0 ||
+			typeClass(p.schemas[self].Columns[selfCol].Type) != typeClass(p.schemas[otherT].Columns[otherC].Type) {
+			continue
+		}
+		return i, selfCol, true
+	}
+	return -1, -1, false
+}
+
+func (p *selPlan) locOf(cr sqlparser.ColRef) (int, int) {
+	want := strings.ToLower(cr.Table)
+	for i := range p.metas {
+		if p.metas[i].lower == want {
+			return i, p.metas[i].schema.ColumnIndex(cr.Column)
+		}
+	}
+	return -1, -1
+}
+
+// leftLocOf extracts the outer side of a used equi-join conjunct.
+func (p *selPlan) leftLocOf(c conjunct, self int) colLoc {
+	b := c.expr.(sqlparser.Binary)
+	l := b.Left.(sqlparser.ColRef)
+	r := b.Right.(sqlparser.ColRef)
+	lt, lc := p.locOf(l)
+	if lt == self {
+		rt, rc := p.locOf(r)
+		return colLoc{ti: rt, ci: rc}
+	}
+	return colLoc{ti: lt, ci: lc}
+}
+
+// selExec is the runtime state of one execution.
+type selExec struct {
+	p    *selPlan
+	tx   *rdb.Tx
+	full *env // all tables in original order; rows filled as placed
+	// stepEnvs[i] is the environment visible at step i: a prefix of
+	// full in textual mode, full otherwise (safe because every
+	// early-evaluated conjunct is statically qualified).
+	stepEnvs []*env
+	hashes   []map[string][][]rdb.Value // per step, built lazily
+
+	project func(*env) ([]rdb.Value, error)
+	cols    []string
+
+	// streaming collection
+	rows    [][]rdb.Value
+	seen    map[string]bool // DISTINCT
+	target  int             // stop after this many rows (offset+limit); -1 = unbounded
+	count   int             // COUNT(*) mode
+	sorting bool
+	envs    []*env // materialized for ORDER BY
+}
+
+func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
+	x := &selExec{p: p, tx: tx, target: -1}
+	x.full = &env{tables: make([]envTable, len(p.refs))}
+	for i := range p.refs {
+		x.full.tables[i] = envTable{name: p.metas[i].lower, schema: p.schemas[i]}
+	}
+	x.stepEnvs = make([]*env, len(p.steps))
+	for i := range p.steps {
+		if p.textual {
+			x.stepEnvs[i] = &env{tables: x.full.tables[:i+1]}
+		} else {
+			x.stepEnvs[i] = x.full
+		}
+	}
+	x.hashes = make([]map[string][][]rdb.Value, len(p.steps))
+
+	st := p.st
+	if p.countAlias == "" {
+		cols, project, err := buildProjection(st, p.schemas, p.refs)
+		if err != nil {
+			return nil, err
+		}
+		x.cols, x.project = cols, project
+		x.sorting = len(st.OrderBy) > 0
+		if st.Distinct {
+			x.seen = map[string]bool{}
+		}
+		if !x.sorting && st.Limit >= 0 {
+			off := st.Offset
+			if off < 0 {
+				off = 0
+			}
+			x.target = off + st.Limit
+		}
+	}
+
+	if !p.steps[0].impossible && (x.target != 0 || x.sorting || p.countAlias != "") {
+		if _, err := x.step(0); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.countAlias != "" {
+		return &ResultSet{Columns: []string{p.countAlias}, Rows: [][]rdb.Value{{rdb.Int(int64(x.count))}}}, nil
+	}
+	if x.sorting {
+		if err := sortEnvs(x.envs, st.OrderBy); err != nil {
+			return nil, err
+		}
+		for _, e := range x.envs {
+			row, err := x.project(e)
+			if err != nil {
+				return nil, err
+			}
+			if x.seen != nil {
+				k := rdb.KeyOf(row)
+				if x.seen[k] {
+					continue
+				}
+				x.seen[k] = true
+			}
+			x.rows = append(x.rows, row)
+		}
+	}
+	rs := &ResultSet{Columns: x.cols, Rows: x.rows}
+	if st.Offset > 0 {
+		if st.Offset >= len(rs.Rows) {
+			rs.Rows = nil
+		} else {
+			rs.Rows = rs.Rows[st.Offset:]
+		}
+	}
+	if st.Limit >= 0 && st.Limit < len(rs.Rows) {
+		rs.Rows = rs.Rows[:st.Limit]
+	}
+	return rs, nil
+}
+
+// step produces the rows of step si and recurses; it returns false to
+// stop the whole pipeline (LIMIT satisfied).
+func (x *selExec) step(si int) (bool, error) {
+	if si == len(x.p.steps) {
+		return x.emit()
+	}
+	s := &x.p.steps[si]
+	if s.impossible {
+		return true, nil
+	}
+	var iterErr error
+	visit := func(row []rdb.Value) bool {
+		x.full.tables[s.ti].row = row
+		ok, err := x.filterAndDescend(si)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		return ok
+	}
+	cont := true
+	switch s.access {
+	case accessProbe:
+		left := x.full.tables[s.left.ti].row[s.left.ci]
+		key, ok := probeKey(left, s.probeType)
+		if !ok {
+			return true, nil // NULL or unrepresentable: no match, no error
+		}
+		err := x.tx.MatchColumn(x.p.refs[s.ti].Table, s.probeName, key, func(_ int64, row []rdb.Value) bool {
+			cont = visit(row)
+			return cont
+		})
+		if err != nil {
+			return false, err
+		}
+	case accessHash:
+		h, err := x.hashFor(si)
+		if err != nil {
+			return false, err
+		}
+		left := x.full.tables[s.left.ti].row[s.left.ci]
+		key, ok := hashKey(left, typeClass(s.probeType))
+		if !ok {
+			return true, nil
+		}
+		for _, row := range h[key] {
+			if cont = visit(row); !cont {
+				break
+			}
+		}
+	default:
+		var err error
+		if s.lit != nil {
+			err = x.tx.MatchColumn(x.p.refs[s.ti].Table, s.probeName, *s.lit, func(_ int64, row []rdb.Value) bool {
+				cont = visit(row)
+				return cont
+			})
+		} else {
+			err = x.tx.Scan(x.p.refs[s.ti].Table, func(_ int64, row []rdb.Value) bool {
+				cont = visit(row)
+				return cont
+			})
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+	if iterErr != nil {
+		return false, iterErr
+	}
+	return cont, nil
+}
+
+// filterAndDescend applies the step's pushed predicates and residual
+// conditions to the current row, then recurses into the next step.
+func (x *selExec) filterAndDescend(si int) (bool, error) {
+	e := x.stepEnvs[si]
+	s := &x.p.steps[si]
+	for _, pred := range s.preds {
+		v, err := evalExpr(e, pred)
+		if err != nil {
+			return false, err
+		}
+		if !isTrue(v) {
+			return true, nil
+		}
+	}
+	for _, res := range s.residual {
+		v, err := evalExpr(e, res)
+		if err != nil {
+			return false, err
+		}
+		if !isTrue(v) {
+			return true, nil
+		}
+	}
+	return x.step(si + 1)
+}
+
+// hashFor lazily builds the hash table of a hash-join step, applying
+// the step's pushed predicates while building (rows stay in scan
+// order inside each bucket, preserving the baseline's row order).
+func (x *selExec) hashFor(si int) (map[string][][]rdb.Value, error) {
+	if x.hashes[si] != nil {
+		return x.hashes[si], nil
+	}
+	s := &x.p.steps[si]
+	h := make(map[string][][]rdb.Value)
+	scratch := singleEnv(x.p.refs[s.ti].EffectiveName(), x.p.schemas[s.ti], nil)
+	class := typeClass(s.probeType)
+	var buildErr error
+	err := x.tx.Scan(x.p.refs[s.ti].Table, func(_ int64, row []rdb.Value) bool {
+		key, ok := hashKey(row[s.probeCol], class)
+		if !ok {
+			return true // NULL join keys match nothing
+		}
+		scratch.tables[0].row = row
+		for _, pred := range s.preds {
+			v, err := evalExpr(scratch, pred)
+			if err != nil {
+				buildErr = err
+				return false
+			}
+			if !isTrue(v) {
+				return true
+			}
+		}
+		h[key] = append(h[key], row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	x.hashes[si] = h
+	return h, nil
+}
+
+// emit handles one fully joined row.
+func (x *selExec) emit() (bool, error) {
+	if x.p.countAlias != "" {
+		x.count++
+		return true, nil
+	}
+	if x.sorting {
+		snap := make([]envTable, len(x.full.tables))
+		copy(snap, x.full.tables)
+		x.envs = append(x.envs, &env{tables: snap})
+		return true, nil
+	}
+	row, err := x.project(x.full)
+	if err != nil {
+		return false, err
+	}
+	if x.seen != nil {
+		k := rdb.KeyOf(row)
+		if x.seen[k] {
+			return true, nil
+		}
+		x.seen[k] = true
+	}
+	x.rows = append(x.rows, row)
+	return x.target < 0 || len(x.rows) < x.target, nil
+}
+
+// sortEnvs orders materialized rows by the ORDER BY keys. The first
+// evaluation error wins — earlier versions let later comparisons
+// overwrite it, losing errors raised by all but the last failing key.
+func sortEnvs(envs []*env, keys []sqlparser.OrderKey) error {
+	var sortErr error
+	sort.SliceStable(envs, func(i, j int) bool {
+		for _, k := range keys {
+			a, err := evalExpr(envs[i], k.Expr)
+			if err != nil {
+				if sortErr == nil {
+					sortErr = err
+				}
+				return false
+			}
+			b, err := evalExpr(envs[j], k.Expr)
+			if err != nil {
+				if sortErr == nil {
+					sortErr = err
+				}
+				return false
+			}
+			c := compareForSort(a, b)
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+// ---- nested-loop baseline -------------------------------------------
+
+// SelectNaive executes a SELECT with the original
+// materialize-everything nested-loop strategy: every table is scanned
+// in full, joins build the filtered cross product in memory, and
+// WHERE applies last. It is kept as the measurement baseline for the
+// streaming executor (BenchmarkB12_QueryJoin) and as a second referee
+// in differential tests.
+func SelectNaive(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
 	// Build the joined row set with nested loops.
 	refs := []sqlparser.TableRef{st.From}
 	for _, j := range st.Joins {
@@ -317,31 +1177,8 @@ func execSelect(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
 
 	// ORDER BY before projection so keys may use any column.
 	if len(st.OrderBy) > 0 {
-		var sortErr error
-		sort.SliceStable(envs, func(i, j int) bool {
-			for _, k := range st.OrderBy {
-				a, err := evalExpr(envs[i], k.Expr)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				b, err := evalExpr(envs[j], k.Expr)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				c := compareForSort(a, b)
-				if c != 0 {
-					if k.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-		if sortErr != nil {
-			return nil, sortErr
+		if err := sortEnvs(envs, st.OrderBy); err != nil {
+			return nil, err
 		}
 	}
 

@@ -536,11 +536,11 @@ func (tx *Tx) checkRestrict(v *tableVersion, row []Value, action string) error {
 }
 
 // Match returns the internal row ids whose columns equal the given
-// values, using a secondary index when one exists on any of the
-// condition columns. Values are coerced to the column storage type
-// before comparison, so lexically equivalent keys match. This is the
-// index-backed probe the compiled-plan executor uses instead of
-// re-parsing a generated SELECT.
+// values, using the primary-key index or a secondary index when one
+// exists on any of the condition columns. Values are coerced to the
+// column storage type before comparison, so lexically equivalent keys
+// match. This is the index-backed probe the compiled-plan executor
+// uses instead of re-parsing a generated SELECT.
 func (tx *Tx) Match(tableName string, eq map[string]Value) ([]int64, error) {
 	if err := tx.check(); err != nil {
 		return nil, err
@@ -555,7 +555,7 @@ func (tx *Tx) Match(tableName string, eq map[string]Value) ([]int64, error) {
 		v  Value
 	}
 	conds := make([]cond, 0, len(eq))
-	indexed := -1
+	pkCond, indexed := -1, -1
 	for name, val := range eq {
 		ci := s.ColumnIndex(name)
 		if ci < 0 {
@@ -563,6 +563,9 @@ func (tx *Tx) Match(tableName string, eq map[string]Value) ([]int64, error) {
 		}
 		cv := coerce(val, &s.Columns[ci])
 		conds = append(conds, cond{ci: ci, v: cv})
+		if pkCond < 0 && len(v.pkCols) == 1 && v.pkCols[0] == ci {
+			pkCond = len(conds) - 1
+		}
 		if indexed < 0 {
 			for i := range v.sec {
 				if v.sec[i].col == ci {
@@ -581,6 +584,15 @@ func (tx *Tx) Match(tableName string, eq map[string]Value) ([]int64, error) {
 		return true
 	}
 	var out []int64
+	if pkCond >= 0 {
+		// The primary key holds at most one row: a direct point lookup.
+		if id, ok := v.lookupPK([]Value{conds[pkCond].v}); ok {
+			if row, rok := v.row(id); rok && matches(row) {
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
 	if indexed >= 0 {
 		set, _ := v.matchSecondary(conds[indexed].ci, conds[indexed].v)
 		set.ascend(func(k uint64, _ struct{}) bool {
@@ -598,4 +610,84 @@ func (tx *Tx) Match(tableName string, eq map[string]Value) ([]int64, error) {
 		return true
 	})
 	return out, nil
+}
+
+// HasIndex reports whether equality probes on the named column are
+// index-backed: true for a single-column primary key and for columns
+// carrying a secondary index (foreign keys and UNIQUE columns). The
+// SQL executor consults it when planning join access paths.
+func (tx *Tx) HasIndex(tableName, column string) (bool, error) {
+	if err := tx.check(); err != nil {
+		return false, err
+	}
+	v, err := tx.table(tableName, false)
+	if err != nil {
+		return false, err
+	}
+	ci := v.schema.ColumnIndex(column)
+	if ci < 0 {
+		return false, &TableError{Table: v.schema.Name, Column: column}
+	}
+	if len(v.pkCols) == 1 && v.pkCols[0] == ci {
+		return true, nil
+	}
+	for i := range v.sec {
+		if v.sec[i].col == ci {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// MatchColumn streams the rows whose named column equals val, in
+// ascending internal-id (insertion) order — the same visit order a
+// full Scan has, so index-backed and scan-backed execution produce
+// identical row sequences. It probes the primary-key index for a
+// single-column primary key, a secondary index when one covers the
+// column, and falls back to a filtered scan otherwise. The value is
+// coerced to the column storage type first; fn returning false stops
+// the iteration.
+func (tx *Tx) MatchColumn(tableName, column string, val Value, fn func(id int64, row []Value) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	v, err := tx.table(tableName, false)
+	if err != nil {
+		return err
+	}
+	ci := v.schema.ColumnIndex(column)
+	if ci < 0 {
+		return &TableError{Table: v.schema.Name, Column: column}
+	}
+	cv := coerce(val, &v.schema.Columns[ci])
+	if cv.IsNull() {
+		return nil // NULL equals nothing
+	}
+	if len(v.pkCols) == 1 && v.pkCols[0] == ci {
+		if id, ok := v.lookupPK([]Value{cv}); ok {
+			if row, rok := v.row(id); rok && Equal(row[ci], cv) {
+				fn(id, row)
+			}
+		}
+		return nil
+	}
+	for i := range v.sec {
+		if v.sec[i].col == ci {
+			set, _ := v.sec[i].idx.get(encodeKey([]Value{cv}))
+			set.ascend(func(k uint64, _ struct{}) bool {
+				if row, ok := v.row(int64(k)); ok && Equal(row[ci], cv) {
+					return fn(int64(k), row)
+				}
+				return true
+			})
+			return nil
+		}
+	}
+	v.scan(func(id int64, row []Value) bool {
+		if Equal(row[ci], cv) {
+			return fn(id, row)
+		}
+		return true
+	})
+	return nil
 }

@@ -196,7 +196,11 @@ func encodeKey(vals []Value) string {
 			b.WriteString(strconv.FormatInt(v.I, 10))
 		case KFloat:
 			b.WriteByte('f')
-			b.WriteString(strconv.FormatFloat(v.F, 'b', -1, 64))
+			f := v.F
+			if f == 0 {
+				f = 0 // -0.0 keys like 0.0: Compare treats them as equal
+			}
+			b.WriteString(strconv.FormatFloat(f, 'b', -1, 64))
 		case KString:
 			b.WriteByte('s')
 			b.WriteString(v.S)

@@ -7,6 +7,7 @@
 package sqlgen
 
 import (
+	"strconv"
 	"strings"
 
 	"ontoaccess/internal/rdb"
@@ -101,6 +102,9 @@ type SelectSpec struct {
 	FromAs   string
 	Joins    []JoinSpec
 	Where    []WhereSpec
+	// Limit caps the result rows when positive (0 renders no LIMIT
+	// clause). Compiled ASK probes set 1: one row decides the answer.
+	Limit int
 }
 
 // JoinSpec is one "JOIN table alias ON left = right".
@@ -177,6 +181,10 @@ func Select(spec SelectSpec) string {
 			b.WriteString(" = ")
 			b.WriteString(w.Value.String())
 		}
+	}
+	if spec.Limit > 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(spec.Limit))
 	}
 	b.WriteString(";")
 	return b.String()

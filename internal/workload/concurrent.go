@@ -28,6 +28,10 @@ type ConcurrentStream struct {
 	// Query is the SPARQL query used by QueryEvery; a team lookup by
 	// default.
 	Query string
+	// Queries, when non-empty, replaces Query with a pool the workers
+	// cycle through — the query-heavy mix uses several shapes so the
+	// plan cache serves SELECT, join and ASK plans concurrently.
+	Queries []string
 
 	setup []string
 }
@@ -81,6 +85,29 @@ SELECT ?name WHERE { ex:team1 foaf:name ?name . }`,
 	return cs
 }
 
+// NewConcurrentQueryStream builds the query-heavy driver: each worker
+// interleaves every update of the standard mix with a query from a
+// pool of compiled shapes (point SELECT, multi-table join, ASK), so
+// the read path dominates the request stream — the B7/B12 serving
+// profile of a read-mostly endpoint. Queries run against lock-free
+// snapshots and compiled query plans; the same seed yields the same
+// workload.
+func NewConcurrentQueryStream(seed int64, workers, perWorker int) *ConcurrentStream {
+	cs := NewConcurrentStream(seed, workers, perWorker)
+	cs.QueryEvery = 1
+	cs.Queries = []string{
+		Prologue + `
+SELECT ?name WHERE { ex:team1 foaf:name ?name . }`,
+		Prologue + `
+SELECT ?a ?mbox WHERE { ?a foaf:mbox ?mbox ; ont:team ex:team1 . }`,
+		Prologue + `
+SELECT ?last ?team WHERE { ?a foaf:family_name ?last ; ont:team ?t . ?t foaf:name ?team . }`,
+		Prologue + `
+ASK { ex:team1 ont:teamCode "T1" . }`,
+	}
+	return cs
+}
+
 // Setup creates the shared pools; run it once before Run.
 func (cs *ConcurrentStream) Setup(m *core.Mediator) error {
 	for _, req := range cs.setup {
@@ -104,7 +131,7 @@ func (cs *ConcurrentStream) Run(m *core.Mediator) (int, error) {
 	}
 	for w := 0; w < cs.Workers; w++ {
 		wg.Add(1)
-		go func(stream []string) {
+		go func(w int, stream []string) {
 			defer wg.Done()
 			var firstErr error
 			for i, req := range stream {
@@ -112,7 +139,11 @@ func (cs *ConcurrentStream) Run(m *core.Mediator) (int, error) {
 					firstErr = fmt.Errorf("workload: concurrent request %d: %w", i, err)
 				}
 				if cs.QueryEvery > 0 && (i+1)%cs.QueryEvery == 0 {
-					if _, err := m.Query(cs.Query); err != nil && firstErr == nil {
+					q := cs.Query
+					if len(cs.Queries) > 0 {
+						q = cs.Queries[(w+i)%len(cs.Queries)]
+					}
+					if _, err := m.Query(q); err != nil && firstErr == nil {
 						firstErr = fmt.Errorf("workload: concurrent query: %w", err)
 					}
 				}
@@ -120,7 +151,7 @@ func (cs *ConcurrentStream) Run(m *core.Mediator) (int, error) {
 			if firstErr != nil {
 				errs <- firstErr
 			}
-		}(cs.Streams[w])
+		}(w, cs.Streams[w])
 	}
 	wg.Wait()
 	close(errs)

@@ -218,3 +218,37 @@ func TestConcurrentSameShapeWriters(t *testing.T) {
 		t.Errorf("author rows = %d, want %d", n, workers*perWorker)
 	}
 }
+
+// TestConcurrentQueryStream drives the query-heavy mix: every worker
+// interleaves each update with a pooled query, so compiled query plans
+// are compiled once and then served concurrently from many goroutines
+// against moving snapshots (the -race CI run guards the plan and parse
+// caches on the read path).
+func TestConcurrentQueryStream(t *testing.T) {
+	m, err := NewMediator(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConcurrentQueryStream(11, 4, 25)
+	if len(cs.Queries) == 0 || cs.QueryEvery != 1 {
+		t.Fatalf("query-heavy mix misconfigured: %+v", cs)
+	}
+	if err := cs.Setup(m); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := cs.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 4*25 {
+		t.Errorf("ops = %d, want 100", ops)
+	}
+	// Every pooled shape compiles once; repeated strings are then
+	// served by the parse memo's bound plans.
+	if s := m.QueryPlanCacheStats(); s.Size == 0 {
+		t.Errorf("query plan cache never compiled the mix: %+v", s)
+	}
+	if s := m.QueryParseCacheStats(); s.Hits == 0 {
+		t.Errorf("query parse memo never hit: %+v", s)
+	}
+}

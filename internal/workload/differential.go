@@ -29,6 +29,52 @@ type DifferentialStream struct {
 	Requests []string
 }
 
+// QueryStream is the read-side companion of DifferentialStream: a
+// deterministic, seeded random SPARQL query stream over the same
+// entity universe, executed by the differential harness through the
+// compiled query pipeline, the uncompiled text-SQL/virtual-view path,
+// and natively against the triple-store baseline — with zero
+// divergence on solutions, ASK booleans and CONSTRUCT graphs. The mix
+// covers every planner regime: constant-subject point lookups, typed
+// lastname lookups (the compiled hot shape), author-team joins,
+// foreign-key object pins, hit-and-miss ASKs, CONSTRUCT rewrites, and
+// FILTER / solution-modifier queries that must fall back to the
+// virtual view on both mediator paths.
+func QueryStream(seed int64, n, maxAuthor int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var out []string
+	for len(out) < n {
+		a := rng.Intn(maxAuthor+2) + 1 // beyond-universe ids probe the miss paths
+		switch rng.Intn(8) {
+		case 0: // constant-subject point SELECT (pk probe)
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?m WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, a))
+		case 1: // typed lastname lookup
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x ?m WHERE { ?x rdf:type foaf:Person ; foaf:family_name "Diff%d" ; foaf:mbox ?m . }`, Prologue, a))
+		case 2: // author-team join (pk index probe on team)
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x ?name WHERE { ?x foaf:family_name "Diff%d" ; ont:team ?t . ?t foaf:name ?name . }`, Prologue, a))
+		case 3: // foreign-key object pin (secondary index)
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x WHERE { ?x ont:team ex:team%d . }`, Prologue, rng.Intn(4)+1))
+		case 4: // ASK, hit or miss (LIMIT 1 early termination)
+			out = append(out, fmt.Sprintf(`%s
+ASK { ex:author%d rdf:type foaf:Person . }`, Prologue, a))
+		case 5: // CONSTRUCT rewrite over a join
+			out = append(out, Prologue+`
+CONSTRUCT { ?x ont:memberOf ?t . } WHERE { ?x rdf:type foaf:Person ; ont:team ?t . }`)
+		case 6: // FILTER: both mediator paths fall back to the virtual view
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x WHERE { ?x foaf:mbox ?m . FILTER (STR(?m) = "mailto:d%d@example.org") }`, Prologue, a))
+		default: // solution modifiers: unplannable, virtual path (lastnames are unique, so LIMIT is deterministic)
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x ?l WHERE { ?x foaf:family_name ?l . } ORDER BY ?l LIMIT %d`, Prologue, rng.Intn(5)+1))
+		}
+	}
+	return out
+}
+
 // diffAuthor is the generator's view of one author's mutable state.
 type diffAuthor struct {
 	id   int

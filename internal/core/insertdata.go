@@ -339,6 +339,8 @@ func (m *Mediator) linkRowExists(tx *rdb.Tx, link resolvedLink) (bool, error) {
 			{Column: link.lt.SubjectAttr.Name, Value: link.subjKey},
 			{Column: link.lt.ObjectAttr.Name, Value: link.objKey},
 		},
+		Limit:  -1,
+		Offset: -1,
 	})
 	r, err := sqlexec.ExecSQL(tx, sql)
 	if err != nil {

@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"ontoaccess/internal/feedback"
 	"ontoaccess/internal/r3m"
@@ -92,6 +93,11 @@ type Mediator struct {
 	// sched is the group-commit write scheduler; nil when
 	// Options.DisableWriteBatching is set.
 	sched *writeScheduler
+
+	// queryCompiled / queryFallback count Query calls served by a
+	// bound plan vs the uncompiled fallback (see QueryExecStats).
+	queryCompiled atomic.Uint64
+	queryFallback atomic.Uint64
 }
 
 // New builds a mediator and cross-validates the mapping against the

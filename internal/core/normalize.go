@@ -227,6 +227,53 @@ type normModify struct {
 	del, ins, where []normPattern
 }
 
+// normFilterCond is one lowered FILTER conjunct of a query shape: the
+// left side is always a variable (lowerFilterConds canonicalizes the
+// orientation), the right side a variable or a parameterized literal.
+type normFilterCond struct {
+	op sparql.BinOp
+	l  string
+	r  normPatTerm
+}
+
+// normalizeFilters parameterizes the lowered FILTER conjuncts into the
+// shared normalizer: operators and variable names are structural,
+// literal constants lift their lexical forms into slots (datatype and
+// language tag stay in the key — they select the comparison semantics
+// at compile time).
+func (n *normalizer) normalizeFilters(conds []filterCond) ([]normFilterCond, bool) {
+	n.key.WriteByte('F')
+	out := make([]normFilterCond, 0, len(conds))
+	for _, c := range conds {
+		if !keySafe(c.l.v) {
+			return nil, false
+		}
+		n.key.WriteByte(shapeFieldSep)
+		n.key.WriteByte(byte('0' + c.op))
+		n.key.WriteString("V:")
+		n.key.WriteString(c.l.v)
+		n.key.WriteByte(shapeFieldSep)
+		nc := normFilterCond{op: c.op, l: c.l.v}
+		if c.r.isVar {
+			if !keySafe(c.r.v) {
+				return nil, false
+			}
+			n.key.WriteString("V:")
+			n.key.WriteString(c.r.v)
+			nc.r = normPatTerm{isVar: true, v: c.r.v}
+		} else {
+			t, ok := n.normTermFor(c.r.term, false)
+			if !ok {
+				return nil, false
+			}
+			nc.r = normPatTerm{term: t.term, segs: t.segs}
+		}
+		n.key.WriteByte(shapeRecordSep)
+		out = append(out, nc)
+	}
+	return out, true
+}
+
 // normPatTermFor parameterizes one pattern term. Variables contribute
 // their name to the key (renaming a variable is a different shape —
 // correct, if occasionally conservative). constOnly marks positions

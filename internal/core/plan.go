@@ -119,10 +119,12 @@ func (c *lruCache[V]) snapshot() CacheStats {
 type convKind uint8
 
 const (
-	convConst     convKind = iota // value precomputed at compile time
-	convLiteral                   // literal lexical -> column type
-	convIRIPrefix                 // IRI with ValuePrefix stripped
-	convKey                       // instance URI -> referenced key
+	convConst       convKind = iota // value precomputed at compile time
+	convLiteral                     // literal lexical -> column type
+	convIRIPrefix                   // IRI with ValuePrefix stripped
+	convKey                         // instance URI -> referenced key
+	convFilterNum                   // numeric FILTER constant -> Int/Float
+	convFilterCanon                 // string-family FILTER constant -> canonical column value
 )
 
 // valueSrc produces one column value at bind time.
@@ -176,6 +178,20 @@ func (m *Mediator) bindValue(v *valueSrc, subject string, args []string) (rdb.Va
 			}
 		}
 		return m.keyValueFromPattern(v.refSch, vals, subject, v.prop)
+	case convFilterNum:
+		// A FILTER constant that no longer parses numerically (or, for
+		// convFilterCanon, is no longer canonical) makes the bound plan
+		// stale, never wrong: the uncompiled path re-decides from
+		// scratch.
+		if val, ok := filterNumericValue(v.lexical(args)); ok {
+			return val, nil
+		}
+		return rdb.Null, errPlanStale
+	case convFilterCanon:
+		if val, ok := filterCanonValue(v.lexical(args), v.col); ok {
+			return val, nil
+		}
+		return rdb.Null, errPlanStale
 	}
 	return rdb.Null, fmt.Errorf("core: unknown conversion")
 }

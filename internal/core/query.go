@@ -25,7 +25,11 @@ type SelectTranslation struct {
 	Vars []string
 
 	bindings []varBinding
-	m        *Mediator
+	// binds maps every variable the pattern binds (projected or not) to
+	// its binding — ORDER BY keys and FILTER operands may use variables
+	// outside the projection.
+	binds map[string]varBinding
+	m     *Mediator
 }
 
 type bindKind int
@@ -40,7 +44,9 @@ type varBinding struct {
 	kind  bindKind
 	alias string
 	col   string
-	// subject bindings reconstruct an instance URI of tm.
+	// subject bindings reconstruct an instance URI of tm; schema is
+	// also set for data-attribute bindings, where FILTER and ORDER BY
+	// lowering needs the column type.
 	tm     *r3m.TableMap
 	schema *rdb.TableSchema
 	// column bindings: refTM reconstructs a referenced-instance URI;
@@ -64,12 +70,14 @@ type qnode struct {
 
 // selectCompile switches the translator into plan-compilation mode:
 // constant terms whose normalized form carries parameter slots (nm is
-// aligned with the WHERE triples) contribute deferred value sources
-// instead of compile-time values, and the resulting SelectSpec marks
-// their conditions with 1-based indices into srcs.
+// aligned with the WHERE triples, fconds with the lowered FILTER
+// conjuncts) contribute deferred value sources instead of compile-time
+// values, and the resulting SelectSpec marks their conditions with
+// 1-based indices into srcs.
 type selectCompile struct {
-	nm   []normPattern
-	srcs []valueSrc
+	nm     []normPattern
+	fconds []normFilterCond
+	srcs   []valueSrc
 	// checks lists, per parameterized constant subject, the templates
 	// of all its occurrences; binding verifies they agree — and that
 	// distinct subject nodes stay distinct, also against constURIs,
@@ -82,6 +90,16 @@ type selectCompile struct {
 
 func (c *selectCompile) subjSegs(ti int) []shapeSeg { return c.nm[ti].s.segs }
 func (c *selectCompile) objSegs(ti int) []shapeSeg  { return c.nm[ti].o.segs }
+
+// filterSegs returns the parameter template of filter conjunct fi's
+// constant side, nil when the conjunct is variable-vs-variable or the
+// compile carries no filter normalization.
+func (c *selectCompile) filterSegs(fi int) []shapeSeg {
+	if fi >= len(c.fconds) {
+		return nil
+	}
+	return c.fconds[fi].r.segs
+}
 
 // addSrc registers a deferred value source and returns its 1-based
 // parameter mark.
@@ -109,14 +127,19 @@ type linkUse struct {
 	lt    *r3m.LinkTableMap
 }
 
-// TranslateSelect translates a BGP-only group pattern into one SQL
-// SELECT over the mapped schema. Patterns using FILTER, OPTIONAL,
-// UNION, variable predicates, or variable classes are not
-// translatable and return an error; callers fall back to evaluation
-// over the virtual RDF view.
+// TranslateSelect translates a group pattern of triple patterns and
+// comparison FILTERs into one SQL SELECT over the mapped schema.
+// Patterns using OPTIONAL, UNION, variable predicates, variable
+// classes, or FILTER shapes the lowering cannot prove equivalent are
+// not translatable and return an error; callers fall back to
+// evaluation over the virtual RDF view.
 func (m *Mediator) TranslateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projVars []string) (*SelectTranslation, error) {
-	st, _, err := m.translateSelect(tx, where, projVars, nil)
-	return st, err
+	st, spec, err := m.translateSelect(tx, where, projVars, nil)
+	if err != nil {
+		return nil, err
+	}
+	st.SQL = sqlgen.Select(*spec)
+	return st, nil
 }
 
 // translateSelect is the shared translation engine. With a non-nil
@@ -129,7 +152,7 @@ func (m *Mediator) translateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projV
 	if where == nil {
 		return nil, nil, fmt.Errorf("core: nil WHERE pattern")
 	}
-	if len(where.Filters) > 0 || len(where.Optionals) > 0 || len(where.Unions) > 0 {
+	if len(where.Optionals) > 0 || len(where.Unions) > 0 {
 		return nil, nil, fmt.Errorf("core: only basic graph patterns are translatable to a single SELECT")
 	}
 	if len(where.Triples) == 0 {
@@ -164,10 +187,14 @@ func (m *Mediator) translateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projV
 			return nil, nil, err
 		}
 	}
+	// Pass three: FILTER constraints lower onto the bound variables.
+	if err := tr.addFilters(where.Filters); err != nil {
+		return nil, nil, err
+	}
 	if projVars == nil {
 		projVars = tr.bindSeq
 	}
-	st := &SelectTranslation{m: m}
+	st := &SelectTranslation{m: m, binds: tr.bind}
 	var cols []string
 	for _, v := range projVars {
 		b, ok := tr.bind[v]
@@ -187,12 +214,10 @@ func (m *Mediator) translateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projV
 	if err != nil {
 		return nil, nil, err
 	}
-	if comp == nil {
-		// In compile mode Param-marked conditions carry no values yet;
-		// the plan re-renders the SQL per argument vector, so a half-
-		// bound string here would only mislead.
-		st.SQL = sqlgen.Select(*spec)
-	}
+	// The SQL text is rendered by the caller once the spec is final:
+	// the uncompiled read path first lowers the query's solution
+	// modifiers onto it, and in compile mode Param-marked conditions
+	// carry no values yet.
 	return st, spec, nil
 }
 
@@ -392,7 +417,7 @@ func (tr *translator) addPattern(ti int, tp sparql.TriplePattern) error {
 			return nil
 		}
 		tr.bindVar(tp.O.Var, varBinding{
-			name: tp.O.Var, kind: bindColumn, alias: n.alias, col: am.Name, am: am,
+			name: tp.O.Var, kind: bindColumn, alias: n.alias, col: am.Name, am: am, schema: n.schema,
 		})
 		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: col, NotNull: true})
 	default:
@@ -506,6 +531,8 @@ func (tr *translator) buildSpec(cols []string) (*sqlgen.SelectSpec, error) {
 		From:    first.tm.Name,
 		FromAs:  first.alias,
 		Joins:   tr.joins,
+		Limit:   -1,
+		Offset:  -1,
 	}
 	joined := map[string]bool{first.alias: true}
 	for _, j := range tr.joins {
@@ -523,8 +550,8 @@ func (tr *translator) buildSpec(cols []string) (*sqlgen.SelectSpec, error) {
 			n := tr.nodes[key]
 			found := -1
 			for ci, c := range conds {
-				if c.OtherColumn == "" {
-					continue
+				if c.OtherColumn == "" || c.Op != sqlgen.CmpEq {
+					continue // ordered FILTER conds never join tables
 				}
 				la, _ := splitAlias(c.Column)
 				ra, _ := splitAlias(c.OtherColumn)
@@ -650,22 +677,26 @@ type QueryResult struct {
 	SQL string
 }
 
-// Query evaluates a SPARQL query against the mapped database. Basic
-// graph patterns compile once per shape into a QueryPlan — the WHERE
-// translated to a parameterized SELECT spec executed directly by the
+// Query evaluates a SPARQL query against the mapped database. Graph
+// patterns with comparison FILTERs and solution modifiers compile once
+// per shape into a QueryPlan — the WHERE translated to a parameterized
+// SELECT spec (FILTER conjuncts as typed WHERE conditions, DISTINCT /
+// ORDER BY / LIMIT / OFFSET lowered onto it) executed directly by the
 // streaming index-aware executor over the pinned snapshot — and
 // repeated query strings skip straight to the bound plan through the
-// parse memo. Richer queries (FILTER, OPTIONAL, UNION, solution
-// modifiers), and every query when Options.DisablePlanCache is set,
-// take the uncompiled path: the text-SQL fast path for plain BGP
+// parse memo. Richer queries (OPTIONAL, UNION, non-comparison FILTER
+// shapes), and every query when Options.DisablePlanCache is set, take
+// the uncompiled path: the text-SQL fast path for translatable
 // SELECTs, then evaluation over the virtual RDF view, exactly the
 // paper's read path.
 func (m *Mediator) Query(src string) (*QueryResult, error) {
 	if !m.opts.DisablePlanCache {
 		if cq, hit := m.qparses.get(src); hit {
 			if out, err, handled := m.runCachedQuery(cq); handled {
+				m.queryCompiled.Add(1)
 				return out, err
 			}
+			m.queryFallback.Add(1)
 			return m.queryUncompiled(cq.q)
 		}
 	}
@@ -677,33 +708,47 @@ func (m *Mediator) Query(src string) (*QueryResult, error) {
 		cq := m.buildCachedQuery(q)
 		m.qparses.put(src, cq)
 		if out, err, handled := m.runCachedQuery(cq); handled {
+			m.queryCompiled.Add(1)
 			return out, err
 		}
 	}
+	m.queryFallback.Add(1)
 	return m.queryUncompiled(q)
 }
 
-// queryUncompiled is the paper-faithful read path: translate plain BGP
-// SELECTs to SQL text, parse and execute it; everything else (and any
-// translation failure) evaluates over the virtual RDF view. It stays
-// byte-for-byte what the seed did, serving as the parity baseline for
-// the compiled pipeline.
+// QueryExecStats reports how many Query calls were served by a bound
+// compiled plan versus the uncompiled fallback (text fast path or
+// virtual-view evaluation) — the read-path effectiveness counter
+// /healthz exposes.
+func (m *Mediator) QueryExecStats() (compiled, fallback uint64) {
+	return m.queryCompiled.Load(), m.queryFallback.Load()
+}
+
+// queryUncompiled is the paper-faithful read path: translate SELECTs —
+// including comparison FILTERs and solution modifiers since the
+// compiled pipeline learned them — to SQL text, parse and execute it;
+// everything else (and any translation failure) evaluates over the
+// virtual RDF view. It executes the exact SQL the compiled path lowers
+// structurally, serving as the parity baseline for the plan pipeline.
 func (m *Mediator) queryUncompiled(q *sparql.Query) (*QueryResult, error) {
 	out := &QueryResult{Form: q.Form}
 	err := m.db.View(func(tx *rdb.Tx) error {
-		// Fast path: plain BGP SELECT without solution modifiers.
-		if q.Form == sparql.FormSelect && len(q.OrderBy) == 0 && q.Limit < 0 && q.Offset < 0 && !q.Distinct {
+		// Fast path: SELECT over a translatable pattern.
+		if q.Form == sparql.FormSelect {
 			proj := q.Vars
 			if q.Star {
 				proj = q.Where.Vars()
 			}
-			if st, terr := m.TranslateSelect(tx, q.Where, proj); terr == nil {
-				sols, rerr := st.Run(tx)
-				if rerr == nil {
-					out.Vars = st.Vars
-					out.Solutions = sols
-					out.SQL = st.SQL
-					return nil
+			if st, spec, terr := m.translateSelect(tx, q.Where, proj, nil); terr == nil {
+				if merr := applyQueryModifiers(st, q, spec); merr == nil {
+					st.SQL = sqlgen.Select(*spec)
+					sols, rerr := st.Run(tx)
+					if rerr == nil {
+						out.Vars = st.Vars
+						out.Solutions = sols
+						out.SQL = st.SQL
+						return nil
+					}
 				}
 			}
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"ontoaccess/internal/rdb"
@@ -29,36 +30,55 @@ import (
 // on the virtual-view path (their per-solution renaming is
 // data-dependent).
 //
-// Shapes the compiler cannot prove equivalent — FILTER / OPTIONAL /
-// UNION patterns, solution modifiers, variable predicates, unmapped
-// vocabulary — take the uncompiled path: first the text-SQL fast path,
+// Comparison FILTERs lower to typed WHERE conjuncts with their
+// constants in parameter slots (filter.go), and a SELECT's solution
+// modifiers lower onto the spec: DISTINCT and ORDER BY keys are
+// structural, LIMIT and OFFSET values are parameter slots — "LIMIT 3"
+// and "LIMIT 30" share one plan. Shapes the compiler cannot prove
+// equivalent — OPTIONAL / UNION patterns, non-comparison FILTERs,
+// variable predicates, unmapped vocabulary, modifiers on ASK or
+// CONSTRUCT — take the uncompiled path: first the text-SQL fast path,
 // then evaluation over the virtual RDF view, exactly the paper's
 // behaviour. That path also remains the parity baseline the
 // differential harness checks the compiled pipeline against.
 
-// normQuery is a query with its WHERE triples (and CONSTRUCT
-// template) parameterized.
+// normQuery is a query with its WHERE triples, FILTER constants,
+// LIMIT/OFFSET values (and CONSTRUCT template) parameterized. The
+// limit/offset slots index the argument vector; -1 means the query
+// carries no such clause.
 type normQuery struct {
-	where []normPattern
-	tmpl  []normPattern
+	where   []normPattern
+	fconds  []normFilterCond
+	tmpl    []normPattern
+	limSlot int
+	offSlot int
 }
 
-// normalizeQuery parameterizes a query for the plan cache. Only
-// BGP-only queries without solution modifiers are plannable; ok is
-// false otherwise and the caller uses the uncompiled path.
+// normalizeQuery parameterizes a query for the plan cache. Queries
+// with OPTIONAL/UNION patterns, non-comparison FILTER shapes, or
+// solution modifiers on non-SELECT forms are not plannable; ok is
+// false and the caller uses the uncompiled path.
 func normalizeQuery(q *sparql.Query) (key string, args []string, nq *normQuery, ok bool) {
 	w := q.Where
 	if w == nil || len(w.Triples) == 0 ||
-		len(w.Filters) > 0 || len(w.Optionals) > 0 || len(w.Unions) > 0 {
+		len(w.Optionals) > 0 || len(w.Unions) > 0 {
 		return "", nil, nil, false
 	}
-	if len(q.OrderBy) > 0 || q.Limit >= 0 || q.Offset >= 0 || q.Distinct {
+	if q.Form != sparql.FormSelect &&
+		(len(q.OrderBy) > 0 || q.Limit >= 0 || q.Offset >= 0 || q.Distinct) {
+		// Modifiers interact with ASK/CONSTRUCT through evaluation
+		// order (an ASK OFFSET needs offset+1 witnesses); the virtual
+		// path is authoritative there.
+		return "", nil, nil, false
+	}
+	conds, ok := lowerFilterConds(w.Filters)
+	if !ok {
 		return "", nil, nil, false
 	}
 	n := &normalizer{}
 	n.key.WriteString("QUERY")
 	n.key.WriteByte(shapeRecordSep)
-	nq = &normQuery{}
+	nq = &normQuery{limSlot: -1, offSlot: -1}
 	switch q.Form {
 	case sparql.FormSelect:
 		n.key.WriteByte('S')
@@ -87,6 +107,44 @@ func normalizeQuery(q *sparql.Query) (key string, args []string, nq *normQuery, 
 	if nq.where, ok = n.normalizePatterns('W', w.Triples); !ok {
 		return "", nil, nil, false
 	}
+	if len(conds) > 0 {
+		if nq.fconds, ok = n.normalizeFilters(conds); !ok {
+			return "", nil, nil, false
+		}
+	}
+	if q.Form == sparql.FormSelect {
+		n.key.WriteByte(shapeRecordSep)
+		n.key.WriteByte('M')
+		if q.Distinct {
+			n.key.WriteByte('D')
+		}
+		for _, k := range q.OrderBy {
+			if !keySafe(k.Var) {
+				return "", nil, nil, false
+			}
+			n.key.WriteByte(shapeFieldSep)
+			if k.Desc {
+				n.key.WriteByte('-')
+			} else {
+				n.key.WriteByte('+')
+			}
+			n.key.WriteString(k.Var)
+		}
+		if q.Limit >= 0 {
+			n.key.WriteByte(shapeFieldSep)
+			n.key.WriteByte('L')
+			n.key.WriteByte(shapeSlotMark)
+			nq.limSlot = len(n.args)
+			n.args = append(n.args, strconv.Itoa(q.Limit))
+		}
+		if q.Offset >= 0 {
+			n.key.WriteByte(shapeFieldSep)
+			n.key.WriteByte('O')
+			n.key.WriteByte(shapeSlotMark)
+			nq.offSlot = len(n.args)
+			n.args = append(n.args, strconv.Itoa(q.Offset))
+		}
+	}
 	return n.key.String(), n.args, nq, true
 }
 
@@ -100,6 +158,10 @@ type QueryPlan struct {
 	slots int
 	sel   selectTemplate
 	tmpl  []normPattern // CONSTRUCT template
+	// limSlot/offSlot index the argument vector for LIMIT/OFFSET
+	// values; -1 means the shape carries no such clause.
+	limSlot int
+	offSlot int
 }
 
 // Kind returns the query form the plan compiles.
@@ -140,9 +202,10 @@ func (p *QueryPlan) Explain() string {
 // the translator rejects (unmapped vocabulary, disconnected patterns,
 // variable predicates) return errUnplannable.
 func (m *Mediator) compileQueryPlan(key string, slots int, q *sparql.Query, nq *normQuery) (*QueryPlan, error) {
-	p := &QueryPlan{key: key, form: q.Form, slots: slots, tmpl: nq.tmpl}
+	p := &QueryPlan{key: key, form: q.Form, slots: slots, tmpl: nq.tmpl,
+		limSlot: nq.limSlot, offSlot: nq.offSlot}
 	proj := projectionFor(q)
-	comp := &selectCompile{nm: nq.where}
+	comp := &selectCompile{nm: nq.where, fconds: nq.fconds}
 	var st *SelectTranslation
 	var spec *sqlgen.SelectSpec
 	err := m.db.View(func(tx *rdb.Tx) error {
@@ -153,10 +216,18 @@ func (m *Mediator) compileQueryPlan(key string, slots int, q *sparql.Query, nq *
 	if err != nil {
 		return nil, errUnplannable
 	}
-	if q.Form == sparql.FormAsk {
+	switch q.Form {
+	case sparql.FormAsk:
 		// One witness row decides the answer; the streaming executor
 		// terminates the scan as soon as it is found.
 		spec.Limit = 1
+	case sparql.FormSelect:
+		// DISTINCT and ORDER BY are structural; the exemplar
+		// LIMIT/OFFSET values land in the spec here and re-bind from
+		// the argument vector per execution.
+		if err := applyQueryModifiers(st, q, spec); err != nil {
+			return nil, errUnplannable
+		}
 	}
 	p.sel = selectTemplate{
 		spec: *spec, srcs: comp.srcs, checks: comp.checks, constURIs: comp.constURIs,
@@ -225,6 +296,20 @@ func (p *QueryPlan) bind(m *Mediator, args []string) (*boundQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.limSlot >= 0 {
+		n, err := strconv.Atoi(args[p.limSlot])
+		if err != nil || n < 0 {
+			return nil, errPlanStale
+		}
+		spec.Limit = n
+	}
+	if p.offSlot >= 0 {
+		n, err := strconv.Atoi(args[p.offSlot])
+		if err != nil || n < 0 {
+			return nil, errPlanStale
+		}
+		spec.Offset = n
+	}
 	sel, err := specSelect(&spec)
 	if err != nil {
 		return nil, err
@@ -268,9 +353,9 @@ func specSelect(spec *sqlgen.SelectSpec) (sqlparser.Select, error) {
 		case w.NotNull:
 			cond = sqlparser.IsNull{Inner: col, Negate: true}
 		case w.OtherColumn != "":
-			cond = sqlparser.Binary{Op: sqlparser.OpEq, Left: col, Right: colRefOf(w.OtherColumn)}
+			cond = sqlparser.Binary{Op: cmpToParserOp[w.Op], Left: col, Right: colRefOf(w.OtherColumn)}
 		default:
-			cond = sqlparser.Binary{Op: sqlparser.OpEq, Left: col, Right: sqlparser.Lit{Value: w.Value}}
+			cond = sqlparser.Binary{Op: cmpToParserOp[w.Op], Left: col, Right: sqlparser.Lit{Value: w.Value}}
 		}
 		if where == nil {
 			where = cond
@@ -279,10 +364,25 @@ func specSelect(spec *sqlgen.SelectSpec) (sqlparser.Select, error) {
 		}
 	}
 	sel.Where = where
-	if spec.Limit > 0 {
-		sel.Limit = spec.Limit
+	for _, k := range spec.OrderBy {
+		sel.OrderBy = append(sel.OrderBy, sqlparser.OrderKey{Expr: colRefOf(k.Column), Desc: k.Desc})
+	}
+	if spec.Limit >= 0 {
+		sel.Limit = spec.Limit // 0 is a real LIMIT 0; -1 alone means unset
+	}
+	if spec.Offset >= 0 {
+		sel.Offset = spec.Offset
 	}
 	return sel, nil
+}
+
+// cmpToParserOp maps the renderer's comparison operators onto the SQL
+// parser's, so the lowered AST stays DeepEqual to parsing the rendered
+// text.
+var cmpToParserOp = map[sqlgen.CmpOp]sqlparser.BinOp{
+	sqlgen.CmpEq: sqlparser.OpEq, sqlgen.CmpNe: sqlparser.OpNe,
+	sqlgen.CmpLt: sqlparser.OpLt, sqlgen.CmpLe: sqlparser.OpLe,
+	sqlgen.CmpGt: sqlparser.OpGt, sqlgen.CmpGe: sqlparser.OpGe,
 }
 
 func colRefOf(qualified string) sqlparser.ColRef {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -31,6 +32,21 @@ var queryParityCases = []struct{ name, q string }{
 	{"ask miss", `ASK { ex:author6 foaf:family_name "Nobody" . }`},
 	{"construct", `CONSTRUCT { ?a <http://e/wrote> ?p . } WHERE { ?p dc:creator ?a . }`},
 	{"construct ground", `CONSTRUCT { ex:author6 rdf:type foaf:Person . } WHERE { ex:author6 foaf:family_name "Hert" . }`},
+	// FILTER / solution-modifier shapes the pipeline compiles since PR 5.
+	{"filter string eq", `SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (?l = "Hert") }`},
+	{"filter string ne", `SELECT ?x ?l WHERE { ?x foaf:family_name ?l . FILTER (?l != "Nobody") }`},
+	{"filter string range", `SELECT ?l WHERE { ?x foaf:family_name ?l . FILTER (?l >= "A" && ?l < "Z") }`},
+	{"filter canonical year eq", `SELECT ?p WHERE { ?p ont:pubYear ?y . FILTER (?y = "2009") }`},
+	{"filter on join", `SELECT ?l ?name WHERE { ?x foaf:family_name ?l ; ont:team ?t . ?t foaf:name ?name . FILTER (?name = "Software Engineering") }`},
+	{"ask with filter", `ASK { ?x foaf:family_name ?l . FILTER (?l = "Hert") }`},
+	{"construct with filter", `CONSTRUCT { ?x <http://e/named> ?l . } WHERE { ?x foaf:family_name ?l . FILTER (?l >= "H") }`},
+	{"order by", `SELECT ?t WHERE { ?p dc:title ?t . } ORDER BY ?t`},
+	{"order by desc limit", `SELECT ?t WHERE { ?p dc:title ?t . } ORDER BY DESC(?t) LIMIT 2`},
+	{"order by non-projected", `SELECT ?x WHERE { ?x foaf:family_name ?l . } ORDER BY ?l`},
+	{"distinct", `SELECT DISTINCT ?name WHERE { ?x ont:team ?t . ?t foaf:name ?name . }`},
+	{"limit offset", `SELECT ?t WHERE { ?p dc:title ?t . } ORDER BY ?t LIMIT 1 OFFSET 1`},
+	{"limit zero", `SELECT ?t WHERE { ?p dc:title ?t . } LIMIT 0`},
+	{"filter order limit", `SELECT ?l WHERE { ?x foaf:family_name ?l . FILTER (?l > "A") } ORDER BY DESC(?l) LIMIT 3`},
 }
 
 // TestQueryPlanParity runs every case through the compiled pipeline
@@ -153,10 +169,22 @@ func TestQueryPlanIntrospection(t *testing.T) {
 		t.Errorf("ASK plan = kind %s, limit %d (want LIMIT 1)", ask.Kind(), ask.sel.spec.Limit)
 	}
 	for _, unplannable := range []string{
+		// Ordering "2009" lexically against an INTEGER-stored, plainly
+		// decoded attribute cannot compile: SQL would order numerically
+		// while SPARQL type-errors the comparison.
 		`SELECT ?p WHERE { ?p ont:pubYear ?y . FILTER (?y >= "2009") }`,
-		`SELECT ?t WHERE { ?p dc:title ?t . } ORDER BY ?t`,
-		`SELECT ?t WHERE { ?p dc:title ?t . } LIMIT 2`,
-		`SELECT DISTINCT ?t WHERE { ?p dc:title ?t . }`,
+		// A numeric constant against a plainly decoded attribute is a
+		// SPARQL type error (xsd:string vs xsd:integer), not a numeric
+		// comparison; only numerically datatyped attributes compile.
+		`SELECT ?p WHERE { ?p ont:pubYear ?y . FILTER (?y > 2005) }`,
+		// IRI-valued positions (subjects, foaf:mbox) and richer
+		// expression shapes stay on the virtual path.
+		`SELECT ?x WHERE { ?x foaf:mbox ?m . FILTER (?m = "mailto:x") }`,
+		`SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (?l = "A" || ?l = "B") }`,
+		`SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (STR(?l) = "Hert") }`,
+		`SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (?l = "Hert"@en) }`,
+		`SELECT ?x WHERE { ?x foaf:family_name ?l . } ORDER BY ?x`,
+		`CONSTRUCT { ?x <http://e/p> ?x . } WHERE { ?x foaf:family_name ?l . } LIMIT 1`,
 		`SELECT ?p WHERE { ?x ?p ?o . }`,
 		`CONSTRUCT { _:b <http://e/p> ?x . } WHERE { ?x foaf:family_name "Hert" . }`,
 	} {
@@ -167,6 +195,88 @@ func TestQueryPlanIntrospection(t *testing.T) {
 		if _, err := m.Query(paperPrologue + unplannable); err != nil {
 			t.Errorf("%s: fallback failed: %v", unplannable, err)
 		}
+	}
+}
+
+// TestQueryPlanLimitSlots pins the LIMIT/OFFSET parameterization: the
+// values are argument slots, so "LIMIT 1" and "LIMIT 30" share one
+// compiled plan, and a compiled "LIMIT 0" returns no solutions (the
+// regression the sqlgen -1 sentinel fixes: 0 used to render no LIMIT
+// clause and return everything).
+func TestQueryPlanLimitSlots(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, listing15)
+	mustExec(t, m, paperPrologue+`INSERT DATA { ex:team9 foaf:name "Nine" ; ont:teamCode "N9" . }`)
+	counts := map[int]int{0: 0, 1: 1, 30: 2}
+	var keys []string
+	for limit, want := range counts {
+		q := fmt.Sprintf(`%sSELECT ?name WHERE { ?t foaf:name ?name . } ORDER BY ?name LIMIT %d`, paperPrologue, limit)
+		res, err := m.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Solutions) != want {
+			t.Errorf("LIMIT %d returned %d solutions, want %d: %v", limit, len(res.Solutions), want, res.Solutions)
+		}
+		plan, err := m.QueryPlanFor(q)
+		if err != nil {
+			t.Fatalf("LIMIT %d did not compile: %v", limit, err)
+		}
+		keys = append(keys, plan.Key())
+	}
+	for _, k := range keys[1:] {
+		if k != keys[0] {
+			t.Errorf("LIMIT variants landed in different shapes:\n%q\nvs\n%q", keys[0], k)
+		}
+	}
+}
+
+// TestQueryPlanFilterCanonicalStale pins the canonicality re-check on
+// re-binding: the "?y = <string>" shape compiles from a canonical
+// lexical form, and a later non-canonical parameter ("02009", which
+// would convert to the same stored integer but is a different RDF
+// term) must fall back to the uncompiled path and return the SPARQL
+// answer — no solutions — rather than the SQL value match.
+func TestQueryPlanFilterCanonicalStale(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, listing15)
+	hit, err := m.Query(paperPrologue + `SELECT ?p WHERE { ?p ont:pubYear ?y . FILTER (?y = "2009") }`)
+	if err != nil || len(hit.Solutions) != 1 {
+		t.Fatalf("canonical filter: %v, %v", hit, err)
+	}
+	miss, err := m.Query(paperPrologue + `SELECT ?p WHERE { ?p ont:pubYear ?y . FILTER (?y = "02009") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(miss.Solutions) != 0 {
+		t.Errorf("non-canonical lexical matched through the compiled plan: %v", miss.Solutions)
+	}
+	// Integers at or beyond 2^53 also go stale: rdb.Compare goes
+	// through float64, where term identity and value equality part
+	// ways. The fallback answers (no match against "2009").
+	big, err := m.Query(paperPrologue + `SELECT ?p WHERE { ?p ont:pubYear ?y . FILTER (?y = "9007199254740992") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Solutions) != 0 {
+		t.Errorf("2^53 lexical matched: %v", big.Solutions)
+	}
+}
+
+// TestQueryExecStats checks the /healthz effectiveness counters: a
+// compiled query counts as compiled, an OPTIONAL query as fallback.
+func TestQueryExecStats(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, listing15)
+	if _, err := m.Query(paperPrologue + `SELECT ?name WHERE { ex:team5 foaf:name ?name . }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(paperPrologue + `SELECT ?x WHERE { ?x foaf:family_name "Hert" . OPTIONAL { ?x foaf:mbox ?m . } }`); err != nil {
+		t.Fatal(err)
+	}
+	compiled, fallback := m.QueryExecStats()
+	if compiled != 1 || fallback != 1 {
+		t.Errorf("exec stats = %d compiled, %d fallback; want 1/1", compiled, fallback)
 	}
 }
 

@@ -206,6 +206,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "snapshot version: %d\n", db.SnapshotVersion())
 	st := s.mediator.SchedulerStats()
 	fmt.Fprintf(w, "write batches: %d (%d ops, max batch %d)\n", st.Batches, st.Ops, st.MaxBatch)
+	compiled, fallback := s.mediator.QueryExecStats()
+	fmt.Fprintf(w, "query executions: %d compiled, %d fallback\n", compiled, fallback)
 	for _, c := range []struct {
 		name  string
 		stats core.CacheStats

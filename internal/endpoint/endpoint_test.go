@@ -189,10 +189,36 @@ func TestMappingAndHealthEndpoints(t *testing.T) {
 	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	for _, want := range []string{"table author: 0 rows", "snapshot version: ", "write batches: "} {
+	for _, want := range []string{"table author: 0 rows", "snapshot version: ", "write batches: ",
+		"query executions: 0 compiled, 0 fallback"} {
 		if !strings.Contains(rec.Body.String(), want) {
 			t.Errorf("health body lacks %q:\n%s", want, rec.Body)
 		}
+	}
+}
+
+// TestHealthQueryExecStats checks that /healthz tracks the read path's
+// plan effectiveness: a compiled FILTER+ORDER BY query counts as
+// compiled, an OPTIONAL query as fallback.
+func TestHealthQueryExecStats(t *testing.T) {
+	s, _ := newServer(t)
+	post(t, s, "/update", "application/sparql-update", workload.Listing15)
+	for _, q := range []string{
+		`SELECT ?l WHERE { ?x foaf:family_name ?l . FILTER (?l >= "A") } ORDER BY ?l LIMIT 2`,
+		`SELECT ?x WHERE { ?x foaf:family_name "Hert" . OPTIONAL { ?x foaf:mbox ?m . } }`,
+	} {
+		req := httptest.NewRequest(http.MethodGet, "/sparql?query="+url.QueryEscape(workload.Prologue+q), nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %q status %d:\n%s", q, rec.Code, rec.Body)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "query executions: 1 compiled, 1 fallback") {
+		t.Errorf("health body lacks the exec split:\n%s", rec.Body)
 	}
 }
 

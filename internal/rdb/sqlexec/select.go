@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"strconv"
@@ -256,7 +257,9 @@ func isTrue(v rdb.Value) bool { return v.Kind == rdb.KBool && v.B }
 //     dependencies are satisfied, index-backed ones are placed first,
 //     ties keeping textual order;
 //   - with no ORDER BY, execution stops as soon as LIMIT/OFFSET is
-//     satisfied — an ASK probe compiled as LIMIT 1 touches one row.
+//     satisfied — an ASK probe compiled as LIMIT 1 touches one row;
+//   - ORDER BY + LIMIT keeps only the top offset+limit rows in a
+//     bounded heap instead of materializing and sorting everything.
 //
 // While placement keeps textual order — always the case for
 // translator-emitted SQL, whose joins are all index-backed and
@@ -268,6 +271,35 @@ func isTrue(v rdb.Value) bool { return v.Kind == rdb.KBool && v.B }
 // changes the inter-row order but never the row multiset; it stays
 // deterministic for a given statement. SelectNaive keeps the original
 // executor as the comparison baseline.
+//
+// Error parity. The optimizations above reorder *evaluation*, and an
+// expression evaluation can fail (cross-type comparison, LIKE on a
+// non-string, division by zero, unknown column). The naive executor
+// materializes every join, then evaluates the whole WHERE expression
+// on every surviving row — so it surfaces the first error in (row,
+// textual) order, and a conjunct that is false does not suppress an
+// error in its neighbour. To return exactly the same errors (and the
+// same first error), the planner statically classifies every
+// expression as infallible — provably unable to raise an evaluation
+// error for any row, given the column types — or fallible:
+//
+//   - a fallible or unresolvable ON conjunct delegates the whole
+//     statement to SelectNaive (join-phase errors depend on the
+//     naive executor's breadth-first join construction order);
+//   - a fallible WHERE conjunct switches off predicate pushdown and
+//     early LIMIT termination: placement stays textual and the
+//     original WHERE expression is evaluated on each fully joined
+//     row, in baseline row order — deferring every per-row predicate
+//     error to exactly the point where the naive executor would
+//     raise it;
+//   - fallible projection items or ORDER BY keys switch off early
+//     termination and the top-K heap respectively (the baseline
+//     projects and sorts everything, surfacing errors past the
+//     LIMIT cutoff).
+//
+// Translator-emitted SQL is infallible by construction (typed
+// same-class comparisons only), so the compiled read path always runs
+// the fully optimized pipeline.
 
 type accessKind int
 
@@ -318,6 +350,20 @@ type selPlan struct {
 	// when conjuncts could not be statically resolved).
 	textual    bool
 	countAlias string // COUNT(*) aggregation when non-empty
+	// naive delegates the whole statement to SelectNaive: an ON
+	// conjunct is fallible, and join-phase errors depend on the naive
+	// executor's breadth-first join order.
+	naive bool
+	// deferredWhere evaluates the original WHERE expression per fully
+	// joined row (no pushdown, no early termination): a WHERE conjunct
+	// is fallible, and its per-row errors must surface exactly where
+	// the naive executor raises them.
+	deferredWhere bool
+	// projFallible / keysFallible disable early termination and the
+	// top-K heap: the baseline projects and sorts every row, so errors
+	// past the LIMIT cutoff must still surface.
+	projFallible bool
+	keysFallible bool
 }
 
 func execSelect(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
@@ -393,6 +439,12 @@ func qualifyExpr(e sqlparser.Expr, metas []tableMeta) (sqlparser.Expr, uint64, b
 		return e, 0, false
 	}
 }
+
+// TypeClass exposes the executor's comparison-class grouping to the
+// translation layer: the FILTER/ORDER BY compilation proofs are stated
+// in terms of exactly these classes, so sharing the function keeps the
+// compiler and the executor in lockstep by construction.
+func TypeClass(t rdb.ColType) int { return typeClass(t) }
 
 // typeClass groups column types by comparison semantics; equality
 // across classes is a type error in evalExpr, so index and hash paths
@@ -496,6 +548,140 @@ type conjunct struct {
 	used       bool
 }
 
+// ---- static fallibility analysis ------------------------------------
+
+// classNull marks an expression that always evaluates to NULL (a NULL
+// literal, or arithmetic over one): NULL short-circuits comparisons,
+// LIKE and arithmetic before any type check, so such operands never
+// raise errors.
+const classNull = -1
+
+// colRefClass resolves a column reference to its comparison class,
+// mirroring the evaluator's resolution rules (qualified lookup, or a
+// unique unqualified match). ok is false for unknown or ambiguous
+// references — which error at evaluation time.
+func colRefClass(cr sqlparser.ColRef, metas []tableMeta) (int, bool) {
+	if cr.Table != "" {
+		want := strings.ToLower(cr.Table)
+		for i := range metas {
+			if metas[i].lower == want {
+				ci := metas[i].schema.ColumnIndex(cr.Column)
+				if ci < 0 {
+					return 0, false
+				}
+				return typeClass(metas[i].schema.Columns[ci].Type), true
+			}
+		}
+		return 0, false
+	}
+	found := -1
+	for i := range metas {
+		if metas[i].schema.ColumnIndex(cr.Column) >= 0 {
+			if found >= 0 {
+				return 0, false
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, false
+	}
+	ci := metas[found].schema.ColumnIndex(cr.Column)
+	return typeClass(metas[found].schema.Columns[ci].Type), true
+}
+
+// analyzeExpr classifies an expression by its result class (classNull,
+// 0 unknown, or a typeClass) and whether evaluating it can raise an
+// error for *any* row, given the schemas. The analysis is
+// conservative: fallible means "might error", infallible is a proof
+// that evalExpr returns (value, nil) for every possible row, which is
+// what licenses predicate pushdown and early termination without
+// changing which errors the statement surfaces.
+func analyzeExpr(e sqlparser.Expr, metas []tableMeta) (class int, fallible bool) {
+	switch x := e.(type) {
+	case sqlparser.Lit:
+		if x.Value.IsNull() {
+			return classNull, false
+		}
+		return litClass(x.Value), false
+	case sqlparser.ColRef:
+		c, ok := colRefClass(x, metas)
+		if !ok {
+			return 0, true
+		}
+		return c, false
+	case sqlparser.Neg:
+		c, f := analyzeExpr(x.Inner, metas)
+		if c == classNull {
+			return classNull, f
+		}
+		return 1, f || c != 1
+	case sqlparser.Not:
+		c, f := analyzeExpr(x.Inner, metas)
+		if c == classNull {
+			return classNull, f
+		}
+		return 3, f || c != 3
+	case sqlparser.IsNull:
+		_, f := analyzeExpr(x.Inner, metas)
+		return 3, f
+	case sqlparser.InList:
+		// rdb.Equal never errors; mixed-kind list values are simply
+		// unequal.
+		_, f := analyzeExpr(x.Inner, metas)
+		return 3, f
+	case sqlparser.Binary:
+		lc, lf := analyzeExpr(x.Left, metas)
+		rc, rf := analyzeExpr(x.Right, metas)
+		f := lf || rf
+		switch x.Op {
+		case sqlparser.OpAnd, sqlparser.OpOr:
+			// Three-valued AND/OR never errors on non-boolean operands;
+			// it yields NULL instead.
+			return 3, f
+		case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+			ok := lc == classNull || rc == classNull || (lc > 0 && lc == rc)
+			return 3, f || !ok
+		case sqlparser.OpLike:
+			ok := (lc == 2 || lc == classNull) && (rc == 2 || rc == classNull)
+			return 3, f || !ok
+		case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul:
+			if lc == classNull || rc == classNull {
+				return classNull, f
+			}
+			return 1, f || lc != 1 || rc != 1
+		case sqlparser.OpDiv:
+			if lc == classNull || rc == classNull {
+				return classNull, f
+			}
+			// Division only proves infallible against a non-zero numeric
+			// literal divisor; any column divisor may hold zero.
+			nonZero := false
+			if lit, ok := x.Right.(sqlparser.Lit); ok {
+				if fv, err := lit.Value.AsFloat(); err == nil && fv != 0 {
+					nonZero = true
+				}
+			}
+			return 1, f || lc != 1 || rc != 1 || !nonZero
+		}
+	}
+	return 0, true
+}
+
+// anyFallible reports whether any conjunct in the list is unresolvable
+// or can raise a per-row evaluation error.
+func anyFallible(cs []conjunct, metas []tableMeta) bool {
+	for _, c := range cs {
+		if !c.resolvable {
+			return true
+		}
+		if _, f := analyzeExpr(c.expr, metas); f {
+			return true
+		}
+	}
+	return false
+}
+
 func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 	p := &selPlan{st: st}
 	p.refs = []sqlparser.TableRef{st.From}
@@ -533,30 +719,51 @@ func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 		}
 	}
 	ons := make([][]conjunct, len(st.Joins))
-	allResolved := true
 	for ji, j := range st.Joins {
 		for _, e := range conjunctsOf(j.On, nil) {
 			q, m, ok := qualifyExpr(e, p.metas)
 			if !ok {
 				q = e
-				allResolved = false
 			}
 			ons[ji] = append(ons[ji], conjunct{expr: q, mask: m, resolvable: ok})
 		}
 	}
-	for i := range wheres {
-		if !wheres[i].resolvable {
-			allResolved = false
+
+	// Error-parity modes (see the package comment): fallible ON
+	// conjuncts delegate to the naive executor; fallible WHERE
+	// conjuncts defer the whole WHERE to the emit point; fallible
+	// projections or sort keys disable early termination / the top-K
+	// heap.
+	for ji := range ons {
+		if anyFallible(ons[ji], p.metas) {
+			p.naive = true
+			return p, nil
+		}
+	}
+	p.deferredWhere = anyFallible(wheres, p.metas)
+	for _, item := range st.Items {
+		if item.Star || item.Count {
+			continue
+		}
+		if _, f := analyzeExpr(item.Expr, p.metas); f {
+			p.projFallible = true
+		}
+	}
+	for _, k := range st.OrderBy {
+		if _, f := analyzeExpr(k.Expr, p.metas); f {
+			p.keysFallible = true
 		}
 	}
 
-	// Placement: greedy join ordering when everything resolved (the
-	// environment is then safe at any placement), textual order
-	// otherwise. Within the candidates whose ON dependencies are
-	// placed, index-backed equi-joins go first; ties keep textual
+	// Placement: greedy join ordering when the WHERE runs at the
+	// planned steps (every conjunct is then statically resolved, so
+	// the environment is safe at any placement); textual order in
+	// deferred mode, where emit-time evaluation must see rows in the
+	// baseline's order. Within the candidates whose ON dependencies
+	// are placed, index-backed equi-joins go first; ties keep textual
 	// order, preserving the baseline's row order.
 	order := make([]int, 0, len(st.Joins))
-	if allResolved {
+	if !p.deferredWhere {
 		placed := uint64(1) // base table
 		remaining := make([]int, len(st.Joins))
 		for i := range remaining {
@@ -653,12 +860,12 @@ func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 
 	// Assign WHERE conjuncts to the earliest step where their tables
 	// are placed: single-table conjuncts become scan predicates, the
-	// rest residual filters. Unresolvable conjuncts run at the last
-	// step, where the full environment reproduces the evaluator's
-	// resolution errors.
-	for _, c := range wheres {
-		si := len(p.steps) - 1
-		if c.resolvable {
+	// rest residual filters. In deferred mode the WHERE is not split
+	// at all — the original expression evaluates per fully joined row
+	// at the emit point, reproducing the baseline's errors exactly.
+	if !p.deferredWhere {
+		for _, c := range wheres {
+			si := len(p.steps) - 1
 			placed := uint64(0)
 			for i := range p.steps {
 				placed |= uint64(1) << uint(p.steps[i].ti)
@@ -671,8 +878,8 @@ func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 				p.steps[si].preds = append(p.steps[si].preds, c.expr)
 				continue
 			}
+			p.steps[si].residual = append(p.steps[si].residual, c.expr)
 		}
-		p.steps[si].residual = append(p.steps[si].residual, c.expr)
 	}
 
 	// Base access: a pushed-down "col = literal" on an indexed column
@@ -809,10 +1016,19 @@ type selExec struct {
 	target  int             // stop after this many rows (offset+limit); -1 = unbounded
 	count   int             // COUNT(*) mode
 	sorting bool
-	envs    []*env // materialized for ORDER BY
+	envs    []*env         // materialized for ORDER BY
+	topk    *topkCollector // bounded heap for ORDER BY + LIMIT
+	seq     int            // emission sequence, the heap's stability tiebreak
+	keyBuf  []rdb.Value    // reusable sort-key scratch: rejected rows stay allocation-free
 }
 
 func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
+	if p.naive {
+		// A fallible ON conjunct: join-phase errors depend on the
+		// breadth-first join construction order, which only the
+		// baseline reproduces exactly.
+		return SelectNaive(tx, p.st)
+	}
 	x := &selExec{p: p, tx: tx, target: -1}
 	x.full = &env{tables: make([]envTable, len(p.refs))}
 	for i := range p.refs {
@@ -839,16 +1055,35 @@ func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
 		if st.Distinct {
 			x.seen = map[string]bool{}
 		}
-		if !x.sorting && st.Limit >= 0 {
-			off := st.Offset
-			if off < 0 {
-				off = 0
-			}
+		off := st.Offset
+		if off < 0 {
+			off = 0
+		}
+		switch {
+		case x.sorting && st.Limit >= 0 && !st.Distinct && !p.keysFallible && !p.projFallible &&
+			off+st.Limit >= st.Limit: // offset+limit must not overflow to a bogus capacity
+			// Top-K: only the first offset+limit rows of the sorted
+			// output survive, so a bounded heap replaces the full
+			// materialize-and-sort. DISTINCT is excluded (dedup after
+			// projection can need more than K sorted rows), as are
+			// fallible keys/projections (the baseline evaluates them on
+			// every row).
+			x.topk = &topkCollector{keys: st.OrderBy, cap: off + st.Limit}
+			x.keyBuf = make([]rdb.Value, len(st.OrderBy))
+		case !x.sorting && st.Limit >= 0 && !p.deferredWhere && !p.projFallible:
 			x.target = off + st.Limit
 		}
 	}
 
-	if !p.steps[0].impossible && (x.target != 0 || x.sorting || p.countAlias != "") {
+	runPipeline := x.target != 0 || x.sorting || p.countAlias != ""
+	if x.topk != nil && x.topk.cap == 0 && !p.deferredWhere {
+		// ORDER BY + LIMIT 0 with nothing fallible: the result is
+		// provably empty and no error can surface, so skip the scan
+		// (deferred WHERE must still run — its per-row errors surface
+		// regardless of the cutoff).
+		runPipeline = false
+	}
+	if !p.steps[0].impossible && runPipeline {
 		if _, err := x.step(0); err != nil {
 			return nil, err
 		}
@@ -857,7 +1092,15 @@ func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
 	if p.countAlias != "" {
 		return &ResultSet{Columns: []string{p.countAlias}, Rows: [][]rdb.Value{{rdb.Int(int64(x.count))}}}, nil
 	}
-	if x.sorting {
+	if x.topk != nil {
+		for _, r := range x.topk.finish() {
+			row, err := x.project(r.env)
+			if err != nil {
+				return nil, err
+			}
+			x.rows = append(x.rows, row)
+		}
+	} else if x.sorting {
 		if err := sortEnvs(x.envs, st.OrderBy); err != nil {
 			return nil, err
 		}
@@ -1032,8 +1275,42 @@ func (x *selExec) hashFor(si int) (map[string][][]rdb.Value, error) {
 
 // emit handles one fully joined row.
 func (x *selExec) emit() (bool, error) {
+	if x.p.deferredWhere {
+		// Deferred mode: evaluate the original WHERE expression on the
+		// complete row, exactly as the baseline does after
+		// materializing the joins — same errors, same first error,
+		// same three-valued filtering.
+		v, err := evalExpr(x.full, x.p.st.Where)
+		if err != nil {
+			return false, err
+		}
+		if !isTrue(v) {
+			return true, nil
+		}
+	}
 	if x.p.countAlias != "" {
 		x.count++
+		return true, nil
+	}
+	if x.topk != nil {
+		for i, k := range x.topk.keys {
+			v, err := evalExpr(x.full, k.Expr)
+			if err != nil {
+				return false, err // unreachable: heap requires infallible keys
+			}
+			x.keyBuf[i] = v
+		}
+		// Admission is decided on the scratch keys alone; the key copy
+		// and environment snapshot happen only for rows the heap
+		// actually keeps — once it is full, the common case is
+		// rejection with zero allocations.
+		if x.topk.admits(x.keyBuf, x.seq) {
+			keys := append([]rdb.Value(nil), x.keyBuf...)
+			snap := make([]envTable, len(x.full.tables))
+			copy(snap, x.full.tables)
+			x.topk.add(topkRow{keys: keys, seq: x.seq, env: &env{tables: snap}})
+		}
+		x.seq++
 		return true, nil
 	}
 	if x.sorting {
@@ -1055,6 +1332,85 @@ func (x *selExec) emit() (bool, error) {
 	}
 	x.rows = append(x.rows, row)
 	return x.target < 0 || len(x.rows) < x.target, nil
+}
+
+// ---- bounded top-K for ORDER BY + LIMIT -----------------------------
+
+// topkRow is one candidate row: its evaluated sort keys, the emission
+// sequence number (the stable-sort tiebreak), and a snapshot of the
+// joined environment for projection.
+type topkRow struct {
+	keys []rdb.Value
+	seq  int
+	env  *env
+}
+
+// topkCollector keeps the first cap rows of the stable sort order in a
+// max-heap: the root is the worst kept row, so an incoming row either
+// displaces it or is discarded in O(log cap). Because ties break on
+// the emission sequence, the comparison is a total order and the final
+// output is byte-identical to stably sorting everything and slicing.
+type topkCollector struct {
+	keys  []sqlparser.OrderKey
+	cap   int
+	items []topkRow
+}
+
+// cmp orders rows by the sort keys (DESC inverting per key) with the
+// emission sequence as the final tiebreak; it never returns 0 for
+// distinct rows.
+func (h *topkCollector) cmp(a, b topkRow) int {
+	for i, k := range h.keys {
+		c := compareForSort(a.keys[i], b.keys[i])
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return a.seq - b.seq
+}
+
+func (h *topkCollector) Len() int           { return len(h.items) }
+func (h *topkCollector) Less(i, j int) bool { return h.cmp(h.items[i], h.items[j]) > 0 } // max-heap
+func (h *topkCollector) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topkCollector) Push(v any)         { h.items = append(h.items, v.(topkRow)) }
+func (h *topkCollector) Pop() (v any) {
+	n := len(h.items)
+	v, h.items = h.items[n-1], h.items[:n-1]
+	return v
+}
+
+// admits reports whether a row with these keys would be kept — the
+// pre-snapshot check that keeps rejected rows allocation-free.
+func (h *topkCollector) admits(keys []rdb.Value, seq int) bool {
+	if h.cap <= 0 {
+		return false
+	}
+	if len(h.items) < h.cap {
+		return true
+	}
+	return h.cmp(h.items[0], topkRow{keys: keys, seq: seq}) > 0
+}
+
+// add offers a row to the collector.
+func (h *topkCollector) add(r topkRow) {
+	if !h.admits(r.keys, r.seq) {
+		return
+	}
+	if len(h.items) < h.cap {
+		heap.Push(h, r)
+		return
+	}
+	h.items[0] = r
+	heap.Fix(h, 0)
+}
+
+// finish returns the kept rows in final sorted order.
+func (h *topkCollector) finish() []topkRow {
+	sort.Slice(h.items, func(i, j int) bool { return h.cmp(h.items[i], h.items[j]) < 0 })
+	return h.items
 }
 
 // sortEnvs orders materialized rows by the ORDER BY keys. The first

@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"strconv"
@@ -81,6 +82,26 @@ func TestStreamingMatchesNaive(t *testing.T) {
 		`SELECT COUNT(*) AS n FROM author a JOIN team t ON a.team = t.id`,
 		`SELECT lastname FROM author WHERE lastname LIKE '%er%'`,
 		`SELECT id FROM publication WHERE year IN (2008, 2010) ORDER BY id`,
+		// comparison pushdown (the compiled FILTER shapes)
+		`SELECT id FROM publication WHERE year > 2008`,
+		`SELECT id FROM publication WHERE year >= 2008 AND year <> 2009`,
+		`SELECT p.id, a.id FROM publication p JOIN publication_author pa ON pa.publication = p.id JOIN author a ON a.id = pa.author WHERE p.year <= 2009`,
+		`SELECT id FROM team WHERE name < code`,
+		// top-K heap: ORDER BY + LIMIT/OFFSET, ties at the boundary,
+		// DESC keys, exceeding limits, LIMIT 0
+		`SELECT id FROM team ORDER BY name LIMIT 2`, // two teams tie on the key
+		`SELECT id FROM team ORDER BY name LIMIT 1 OFFSET 1`,
+		`SELECT id FROM author ORDER BY team DESC, lastname LIMIT 2 OFFSET 1`,
+		`SELECT a.id, t.id FROM author a JOIN team t ON a.team = t.id ORDER BY t.name DESC, a.id LIMIT 3`,
+		`SELECT id, email FROM author ORDER BY email LIMIT 10 OFFSET 2`, // NULL keys inside the heap
+		`SELECT id FROM author ORDER BY lastname LIMIT 0`,
+		`SELECT id FROM publication WHERE year > 2008 ORDER BY year DESC, id LIMIT 2`,
+		// offset+limit overflowing int must not produce a bogus heap
+		// capacity; the full-sort path takes over
+		`SELECT id FROM author ORDER BY lastname LIMIT 9223372036854775806 OFFSET 2`,
+		// deferred WHERE: fallible conjuncts evaluate per joined row
+		`SELECT id FROM team WHERE id = 99 AND name = 5`,
+		`SELECT a.id FROM author a JOIN team t ON a.team = t.id WHERE t.name = 5`,
 	}
 	for _, q := range queries {
 		q := q
@@ -142,6 +163,123 @@ func TestStreamingErrorParity(t *testing.T) {
 			_, werr := SelectNaive(tx, sel)
 			if gerr == nil || werr == nil {
 				t.Errorf("%s: expected both executors to fail, got streaming=%v naive=%v", q, gerr, werr)
+			}
+			return nil
+		})
+	}
+}
+
+// TestPushdownDeferredErrorParity is the regression test for the two
+// formerly documented streaming-vs-naive divergences (DESIGN.md §5):
+//
+//  1. predicate pushdown surfaced a per-row type error on a row the
+//     naive join order would have eliminated first;
+//  2. conjunct short-circuiting let a false conjunct suppress the
+//     error its neighbour raises on the same row.
+//
+// Both must now behave exactly like the baseline: the planner defers
+// fallible WHERE conjuncts to the fully joined row.
+func TestPushdownDeferredErrorParity(t *testing.T) {
+	db := paperDB(t)
+	if _, err := Run(db, `
+INSERT INTO team (id, name, code) VALUES (1, 'T', 'c');
+INSERT INTO author (id, email, lastname, team) VALUES
+  (1, 'x@example.org', 'Solo', NULL),
+  (2, NULL, 'Joined', 1);
+`); err != nil {
+		t.Fatal(err)
+	}
+	// Divergence 1: author 1 has the only non-NULL email but joins
+	// nothing (NULL team). The naive executor joins first and never
+	// evaluates "email = 5" on it — the old pushdown evaluated it in
+	// the base scan and errored. Both must now succeed with no rows.
+	q := `SELECT a.id FROM author a JOIN team t ON a.team = t.id WHERE a.email = 5`
+	stmt, err := sqlparser.ParseStatement(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.View(func(tx *rdb.Tx) error {
+		got, gerr := execSelect(tx, stmt.(sqlparser.Select))
+		want, werr := SelectNaive(tx, stmt.(sqlparser.Select))
+		if gerr != nil || werr != nil {
+			t.Fatalf("pushdown type-error divergence: streaming %v vs naive %v", gerr, werr)
+		}
+		if len(got.Rows) != 0 || len(want.Rows) != 0 {
+			t.Fatalf("rows: %v vs %v", got.Rows, want.Rows)
+		}
+		return nil
+	})
+	// Divergence 2: "id = 99" is false for every author, but the
+	// baseline still evaluates "email = 5" on each row and errors on
+	// author 1. The old pushdown turned id = 99 into a pk probe, found
+	// nothing, and returned an empty result with no error.
+	q = `SELECT id FROM author WHERE id = 99 AND email = 5`
+	stmt, err = sqlparser.ParseStatement(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.View(func(tx *rdb.Tx) error {
+		_, gerr := execSelect(tx, stmt.(sqlparser.Select))
+		_, werr := SelectNaive(tx, stmt.(sqlparser.Select))
+		if gerr == nil || werr == nil {
+			t.Fatalf("conjunct short-circuit divergence: streaming %v vs naive %v", gerr, werr)
+		}
+		if gerr.Error() != werr.Error() {
+			t.Fatalf("first error diverges: streaming %q vs naive %q", gerr, werr)
+		}
+		return nil
+	})
+	// An error past the LIMIT cutoff must still surface: the baseline
+	// filters every row before slicing.
+	q = `SELECT id FROM author WHERE email = 5 LIMIT 0`
+	stmt, err = sqlparser.ParseStatement(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.View(func(tx *rdb.Tx) error {
+		_, gerr := execSelect(tx, stmt.(sqlparser.Select))
+		_, werr := SelectNaive(tx, stmt.(sqlparser.Select))
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("LIMIT 0 error divergence: streaming %v vs naive %v", gerr, werr)
+		}
+		return nil
+	})
+}
+
+// TestTopKMatchesFullSort drives the bounded ORDER BY + LIMIT heap
+// over a data set large enough for real evictions and requires
+// byte-identical output to the full-sort baseline, including stable
+// tie-breaks among equal keys.
+func TestTopKMatchesFullSort(t *testing.T) {
+	db := paperDB(t)
+	var b strings.Builder
+	b.WriteString("INSERT INTO author (id, lastname, team) VALUES (1, 'L1', NULL)")
+	for i := 2; i <= 500; i++ {
+		// Only a handful of distinct keys: ties dominate, so a heap
+		// without the sequence tiebreak would emit a different order.
+		fmt.Fprintf(&b, ", (%d, 'L%d', NULL)", i, i%7)
+	}
+	if _, err := Run(db, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`SELECT id FROM author ORDER BY lastname LIMIT 10`,
+		`SELECT id FROM author ORDER BY lastname DESC LIMIT 25 OFFSET 5`,
+		`SELECT id, lastname FROM author ORDER BY lastname, id DESC LIMIT 3 OFFSET 490`,
+	} {
+		stmt, err := sqlparser.ParseStatement(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := stmt.(sqlparser.Select)
+		db.View(func(tx *rdb.Tx) error {
+			got, gerr := execSelect(tx, sel)
+			want, werr := SelectNaive(tx, sel)
+			if gerr != nil || werr != nil {
+				t.Fatalf("%s: %v / %v", q, gerr, werr)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Errorf("%s: top-K diverges from full sort:\n%v\nvs\n%v", q, got.Rows, want.Rows)
 			}
 			return nil
 		})

@@ -26,6 +26,10 @@ func FuzzParseSelect(f *testing.F) {
 		`SELECT t0.id FROM author t0 WHERE t0.id = 6 AND t0.lastname = 'Hert' LIMIT 1;`,
 		`SELECT l0.author, t0.id FROM publication t0 JOIN publication_author l0 ON l0.publication = t0.id;`,
 		`SELECT t0.id, t0.email FROM author t0 WHERE t0.email IS NOT NULL AND t0.lastname = 'O''Brien';`,
+		// compiled FILTER / solution-modifier renderings (PR 5)
+		`SELECT t0.id FROM publication t0 WHERE t0.year IS NOT NULL AND t0.year >= 2008 AND t0.year <> 2009 ORDER BY t0.year DESC, t0.id LIMIT 5 OFFSET 2;`,
+		`SELECT t0.lastname FROM author t0 WHERE t0.lastname IS NOT NULL AND t0.lastname >= 'A' AND t0.lastname < 'M' ORDER BY t0.lastname LIMIT 0;`,
+		`SELECT DISTINCT t1.name FROM author t0 JOIN team t1 ON t0.team = t1.id WHERE t1.name <> 'X';`,
 		// broader SELECT surface
 		`SELECT DISTINCT a.lastname AS l FROM author a JOIN team t ON a.team = t.id WHERE t.name LIKE 'S%' ORDER BY l DESC, a.id LIMIT 10 OFFSET 2;`,
 		`SELECT COUNT(*) AS n FROM author WHERE team IN (1, 2, 3);`,

@@ -16,6 +16,11 @@ SELECT ?x ?m WHERE { ?x foaf:mbox ?m . }`,
 PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
 SELECT * WHERE { ?x rdf:type foaf:Person ; foaf:family_name "Hert" . }`,
 		`SELECT DISTINCT ?x WHERE { ?x <http://b/p> ?y . FILTER (?y > 3) } ORDER BY DESC(?x) LIMIT 5 OFFSET 2`,
+		// the comparison-FILTER / solution-modifier shapes the plan
+		// pipeline compiles since PR 5
+		`SELECT ?x ?l WHERE { ?x <http://b/name> ?l . FILTER (?l >= "A" && ?l < "M" && ?l != "F") } ORDER BY ?l LIMIT 0`,
+		`SELECT ?a WHERE { ?a <http://b/y> ?y ; <http://b/r> ?r . FILTER (?y < ?r) } ORDER BY DESC(?y) OFFSET 3`,
+		`SELECT ?p WHERE { ?p <http://b/year> ?y . FILTER (?y = "2009") }`,
 		`ASK { <http://a/1> <http://b/p> "v" . }`,
 		`CONSTRUCT { ?x <http://b/q> ?y . } WHERE { ?x <http://b/p> ?y . }`,
 		`SELECT ?x WHERE { { ?x <http://b/p> "a" . } UNION { ?x <http://b/p> "b" . } }`,

@@ -94,7 +94,7 @@ func writeWhere(b *strings.Builder, where []Cond) {
 
 // SelectSpec describes a SELECT statement for rendering: projected
 // columns (already qualified), a FROM table with alias, JOIN clauses,
-// and equality/IS NULL conditions.
+// comparison/IS NULL conditions, and solution modifiers.
 type SelectSpec struct {
 	Columns  []string
 	Distinct bool
@@ -102,9 +102,23 @@ type SelectSpec struct {
 	FromAs   string
 	Joins    []JoinSpec
 	Where    []WhereSpec
-	// Limit caps the result rows when positive (0 renders no LIMIT
-	// clause). Compiled ASK probes set 1: one row decides the answer.
+	// OrderBy lists the sort keys in priority order.
+	OrderBy []OrderSpec
+	// Limit caps the result rows when non-negative; -1 renders no
+	// LIMIT clause. Zero is a real "LIMIT 0" (no rows) — the unset
+	// state is the sentinel, not the zero value, so a compiled SPARQL
+	// "LIMIT 0" cannot silently return everything. Compiled ASK probes
+	// set 1: one row decides the answer.
 	Limit int
+	// Offset skips leading rows when non-negative; -1 renders no
+	// OFFSET clause.
+	Offset int
+}
+
+// OrderSpec is one ORDER BY key: a qualified column and direction.
+type OrderSpec struct {
+	Column string
+	Desc   bool
 }
 
 // JoinSpec is one "JOIN table alias ON left = right".
@@ -115,12 +129,31 @@ type JoinSpec struct {
 	Right string // qualified column
 }
 
+// CmpOp is the comparison operator of a WhereSpec. The zero value is
+// equality, so pattern-derived conditions need not set it; FILTER
+// compilation lowers the SPARQL comparison operators onto it.
+type CmpOp int
+
+// Comparison operators, in sqlparser-compatible order.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+var cmpOpText = [...]string{" = ", " <> ", " < ", " <= ", " > ", " >= "}
+
 // WhereSpec is one condition: either column-vs-value (Value set) or
-// column-vs-column (OtherColumn set).
+// column-vs-column (OtherColumn set), compared with Op.
 type WhereSpec struct {
 	Column      string
 	Value       rdb.Value
 	OtherColumn string
+	// Op selects the comparison operator; the zero value is equality.
+	Op CmpOp
 	// IsNull renders "column IS NULL" (Value ignored).
 	IsNull bool
 	// NotNull renders "column IS NOT NULL".
@@ -175,16 +208,31 @@ func Select(spec SelectSpec) string {
 		case w.NotNull:
 			b.WriteString(" IS NOT NULL")
 		case w.OtherColumn != "":
-			b.WriteString(" = ")
+			b.WriteString(cmpOpText[w.Op])
 			b.WriteString(w.OtherColumn)
 		default:
-			b.WriteString(" = ")
+			b.WriteString(cmpOpText[w.Op])
 			b.WriteString(w.Value.String())
 		}
 	}
-	if spec.Limit > 0 {
+	for i, k := range spec.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(k.Column)
+		if k.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if spec.Limit >= 0 {
 		b.WriteString(" LIMIT ")
 		b.WriteString(strconv.Itoa(spec.Limit))
+	}
+	if spec.Offset >= 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.Itoa(spec.Offset))
 	}
 	b.WriteString(";")
 	return b.String()

@@ -87,11 +87,12 @@ SELECT ?name WHERE { ex:team1 foaf:name ?name . }`,
 
 // NewConcurrentQueryStream builds the query-heavy driver: each worker
 // interleaves every update of the standard mix with a query from a
-// pool of compiled shapes (point SELECT, multi-table join, ASK), so
-// the read path dominates the request stream — the B7/B12 serving
-// profile of a read-mostly endpoint. Queries run against lock-free
-// snapshots and compiled query plans; the same seed yields the same
-// workload.
+// pool of compiled shapes (point SELECT, multi-table join, ASK, and
+// the FILTER / ORDER BY / LIMIT shapes the pipeline compiles since
+// PR 5), so the read path dominates the request stream — the B7/B12
+// serving profile of a read-mostly endpoint. Queries run against
+// lock-free snapshots and compiled query plans; the same seed yields
+// the same workload.
 func NewConcurrentQueryStream(seed int64, workers, perWorker int) *ConcurrentStream {
 	cs := NewConcurrentStream(seed, workers, perWorker)
 	cs.QueryEvery = 1
@@ -104,6 +105,10 @@ SELECT ?a ?mbox WHERE { ?a foaf:mbox ?mbox ; ont:team ex:team1 . }`,
 SELECT ?last ?team WHERE { ?a foaf:family_name ?last ; ont:team ?t . ?t foaf:name ?team . }`,
 		Prologue + `
 ASK { ex:team1 ont:teamCode "T1" . }`,
+		Prologue + `
+SELECT ?last WHERE { ?a foaf:family_name ?last . FILTER (?last >= "A" && ?last < "M") } ORDER BY ?last LIMIT 5`,
+		Prologue + `
+SELECT DISTINCT ?name WHERE { ?a ont:team ?t . ?t foaf:name ?name . }`,
 	}
 	return cs
 }

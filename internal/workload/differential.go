@@ -36,16 +36,21 @@ type DifferentialStream struct {
 // and natively against the triple-store baseline — with zero
 // divergence on solutions, ASK booleans and CONSTRUCT graphs. The mix
 // covers every planner regime: constant-subject point lookups, typed
-// lastname lookups (the compiled hot shape), author-team joins,
-// foreign-key object pins, hit-and-miss ASKs, CONSTRUCT rewrites, and
-// FILTER / solution-modifier queries that must fall back to the
-// virtual view on both mediator paths.
+// lastname lookups, author-team joins, foreign-key object pins,
+// hit-and-miss ASKs, CONSTRUCT rewrites, and — compiled since PR 5 —
+// FILTER equality and range conjuncts, DISTINCT, ORDER BY and
+// LIMIT/OFFSET (including LIMIT 0). Non-comparison FILTER shapes
+// (STR) keep exercising the virtual-view fallback on both mediator
+// paths. LIMIT/OFFSET regimes always order by the unique lastname so
+// the selected window is engine-independent — the solution-order
+// contract only binds the two mediator paths, not the native
+// evaluator.
 func QueryStream(seed int64, n, maxAuthor int) []string {
 	rng := rand.New(rand.NewSource(seed))
 	var out []string
 	for len(out) < n {
 		a := rng.Intn(maxAuthor+2) + 1 // beyond-universe ids probe the miss paths
-		switch rng.Intn(8) {
+		switch rng.Intn(12) {
 		case 0: // constant-subject point SELECT (pk probe)
 			out = append(out, fmt.Sprintf(`%s
 SELECT ?m WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, a))
@@ -64,12 +69,26 @@ ASK { ex:author%d rdf:type foaf:Person . }`, Prologue, a))
 		case 5: // CONSTRUCT rewrite over a join
 			out = append(out, Prologue+`
 CONSTRUCT { ?x ont:memberOf ?t . } WHERE { ?x rdf:type foaf:Person ; ont:team ?t . }`)
-		case 6: // FILTER: both mediator paths fall back to the virtual view
+		case 6: // non-comparison FILTER: both mediator paths fall back to the virtual view
 			out = append(out, fmt.Sprintf(`%s
 SELECT ?x WHERE { ?x foaf:mbox ?m . FILTER (STR(?m) = "mailto:d%d@example.org") }`, Prologue, a))
-		default: // solution modifiers: unplannable, virtual path (lastnames are unique, so LIMIT is deterministic)
+		case 7: // compiled FILTER equality (pushed into the scan)
 			out = append(out, fmt.Sprintf(`%s
-SELECT ?x ?l WHERE { ?x foaf:family_name ?l . } ORDER BY ?l LIMIT %d`, Prologue, rng.Intn(5)+1))
+SELECT ?x ?m WHERE { ?x foaf:family_name ?l ; foaf:mbox ?m . FILTER (?l = "Diff%d") }`, Prologue, a))
+		case 8: // compiled FILTER string range, ordered
+			lo, hi := rng.Intn(maxAuthor)+1, rng.Intn(maxAuthor)+1
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x ?l WHERE { ?x foaf:family_name ?l . FILTER (?l >= "Diff%d" && ?l < "Diff%d") } ORDER BY ?l`, Prologue, lo, hi))
+		case 9: // compiled DISTINCT over a foreign-key variable
+			out = append(out, Prologue+`
+SELECT DISTINCT ?t WHERE { ?x ont:team ?t . }`)
+		case 10: // compiled FILTER + ORDER BY DESC + LIMIT over a join
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?l WHERE { ?x foaf:family_name ?l ; ont:team ?t . ?t foaf:name ?n . FILTER (?n != "Team %d") } ORDER BY DESC(?l) LIMIT %d`,
+				Prologue, rng.Intn(4)+1, rng.Intn(5)))
+		default: // compiled ORDER BY + LIMIT/OFFSET window (unique key)
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x ?l WHERE { ?x foaf:family_name ?l . } ORDER BY ?l LIMIT %d OFFSET %d`, Prologue, rng.Intn(5)+1, rng.Intn(3)))
 		}
 	}
 	return out

@@ -79,6 +79,15 @@ func runQueryDifferential(t *testing.T, seed int64, nUpdates, nQueries int) {
 		}
 		switch parsed.Form {
 		case sparql.FormSelect:
+			// The deterministic solution-order contract binds the two
+			// mediator paths: compiled and uncompiled execute the same
+			// SELECT structure, so their solution sequences must be
+			// byte-identical, order included.
+			if !reflect.DeepEqual(rc.Solutions, ru.Solutions) {
+				divergences++
+				t.Errorf("solution-order contract broken:\ncompiled %v\nuncompiled %v\nquery:\n%s",
+					rc.Solutions, ru.Solutions, q)
+			}
 			ns, err := sparql.Eval(native, parsed)
 			if err != nil {
 				t.Fatalf("native eval: %v\nquery:\n%s", err, q)

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race cover fuzz-smoke bench bench-smoke bench-json clean
+.PHONY: ci fmt-check vet build test race cover crash-recovery fuzz-smoke bench bench-smoke bench-json clean
 
-ci: fmt-check vet build race cover fuzz-smoke bench-smoke
+ci: fmt-check vet build race cover crash-recovery fuzz-smoke bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -25,13 +25,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Coverage gates: the translation core and the SQL executor (the
-# compiled read path's engine) must both stay above 70%.
+# Coverage gates: the translation core, the SQL executor (the
+# compiled read path's engine) and the write-ahead log must all stay
+# above 70%.
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/core
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "core coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "core coverage %.1f%% (gate 70%%)\n", $$3 }'
 	$(GO) test -coverprofile=cover.out ./internal/rdb/sqlexec
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "sqlexec coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "sqlexec coverage %.1f%% (gate 70%%)\n", $$3 }'
+	$(GO) test -coverprofile=cover.out ./internal/rdb/wal
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "wal coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "wal coverage %.1f%% (gate 70%%)\n", $$3 }'
+
+# The durability gate: recovery replay, torn-tail handling and the
+# kill-and-recover differential (hard stop mid-stream, reopen, compare
+# byte-for-byte against a memory reference fed the acked prefix).
+crash-recovery:
+	$(GO) test -run 'Recover|Torn|Checkpoint|Wal|WAL' ./internal/rdb ./internal/rdb/wal
+	$(GO) test -run TestKillAndRecoverDifferential ./internal/workload
 
 # 40s of native fuzzing across the four parser/normalizer targets —
 # regressions land in testdata/fuzz/ as seeds.

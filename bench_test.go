@@ -1073,6 +1073,81 @@ SELECT ?l ?team WHERE {
 	})
 }
 
+// BenchmarkB15_FsyncBatching measures what group commit buys once
+// every acknowledgement carries an fsync: the same same-table writer
+// workload as B11, but on a durable store (rdb.Options.DataDir), so
+// each commit is a WAL append + fsync before any caller resumes. With
+// batching, a drained batch commits as one record and one fsync shared
+// by every operation in it; without batching, every operation pays its
+// own fsync. fsyncs/op makes the amortization visible alongside the
+// throughput delta (experiment B15; DESIGN.md section 8).
+func BenchmarkB15_FsyncBatching(b *testing.B) {
+	const pool = 64
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"Batched", core.Options{}},
+		{"Unbatched", core.Options{DisableWriteBatching: true}},
+	} {
+		for _, workers := range []int{2, 8, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", variant.name, workers), func(b *testing.B) {
+				m, recovered, err := workload.NewPersistentMediator(b.TempDir(), variant.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if recovered {
+					b.Fatal("fresh bench directory reported recovered state")
+				}
+				defer m.Close()
+				exec(b, m, seedTeams(1, 20))
+				reqs := make([][]string, workers)
+				for w := 0; w < workers; w++ {
+					reqs[w] = make([]string, pool)
+					for i := 0; i < pool; i++ {
+						reqs[w][i] = authorInsert(w*1_000_000+i+1, i%20+1)
+					}
+					for _, req := range reqs[w] {
+						exec(b, m, req)
+					}
+				}
+				baseFsyncs := m.DurabilityStats().Fsyncs
+				perWorker := (b.N + workers - 1) / workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				var firstErr atomic.Value
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := 0; i < perWorker; i++ {
+							if _, err := m.ExecuteString(reqs[w][i%pool]); err != nil {
+								firstErr.CompareAndSwap(nil, err.Error())
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if err := firstErr.Load(); err != nil {
+					b.Fatal(err)
+				}
+				ops := workers * perWorker
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(ops)/secs, "ops/sec")
+				}
+				fsyncs := m.DurabilityStats().Fsyncs - baseFsyncs
+				if fsyncs == 0 {
+					b.Fatal("durable benchmark performed no fsyncs")
+				}
+				b.ReportMetric(float64(fsyncs)/float64(ops), "fsyncs/op")
+			})
+		}
+	}
+}
+
 // ---- request builders ----
 
 func seedTeams(from, to int) string {

@@ -3,9 +3,13 @@
 // SPARQL/Update + SPARQL interface through an R3M mapping.
 //
 // With no flags it serves the paper's publication use case (Figure 1
-// schema, Table 1 mapping). Custom deployments pass their own DDL and
-// mapping:
+// schema, Table 1 mapping) from memory. Passing -data-dir makes the
+// store durable: committed writes go to a write-ahead log before they
+// are acknowledged, and a restart (clean or after a crash) recovers
+// the acknowledged state from the checkpoint + WAL. Custom
+// deployments pass their own DDL and mapping:
 //
+//	ontoaccessd -addr :8080 -data-dir /var/lib/ontoaccess
 //	ontoaccessd -addr :8080 -ddl schema.sql -mapping mapping.ttl
 //
 // Routes: POST /update, GET/POST /sparql, GET /export, GET /mapping,
@@ -18,6 +22,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"ontoaccess/internal/core"
 	"ontoaccess/internal/endpoint"
@@ -31,19 +37,38 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	ddlPath := flag.String("ddl", "", "SQL DDL file (default: the paper's Figure 1 schema)")
 	mappingPath := flag.String("mapping", "", "R3M mapping Turtle file (default: the paper's Table 1 mapping)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty runs memory-only")
 	seed := flag.Bool("seed", false, "preload the paper's Listing 15 data set")
 	flag.Parse()
 
-	m, err := buildMediator(*ddlPath, *mappingPath)
+	m, recovered, err := buildMediator(*ddlPath, *mappingPath, *dataDir)
 	if err != nil {
 		log.Fatalf("ontoaccessd: %v", err)
 	}
-	if *seed {
+	if recovered {
+		st := m.DurabilityStats()
+		log.Printf("recovered %d rows from %s (%d WAL records replayed, checkpoint at version %d)",
+			m.DB().TotalRows(), *dataDir, st.RecoveredRecords, st.LastCheckpointVersion)
+	}
+	if *seed && !recovered {
 		if _, err := m.ExecuteString(workload.Listing15); err != nil {
 			log.Fatalf("ontoaccessd: seeding: %v", err)
 		}
 		log.Printf("seeded the Listing 15 data set (%d rows)", m.DB().TotalRows())
 	}
+	// On SIGINT/SIGTERM, checkpoint and close the WAL so the next
+	// start recovers without replay. A hard kill is also safe — that
+	// is the point of the WAL — it just replays more on reopen.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		if err := m.Close(); err != nil {
+			log.Printf("ontoaccessd: shutdown: %v", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
 	srv := endpoint.New(m)
 	log.Printf("OntoAccess endpoint listening on %s (tables: %v)", *addr, m.DB().TableNames())
 	if err := http.ListenAndServe(*addr, srv); err != nil {
@@ -51,28 +76,47 @@ func main() {
 	}
 }
 
-func buildMediator(ddlPath, mappingPath string) (*core.Mediator, error) {
+func buildMediator(ddlPath, mappingPath, dataDir string) (*core.Mediator, bool, error) {
 	if ddlPath == "" && mappingPath == "" {
-		return workload.NewMediator(core.Options{})
+		if dataDir != "" {
+			return workload.NewPersistentMediator(dataDir, core.Options{})
+		}
+		m, err := workload.NewMediator(core.Options{})
+		return m, false, err
 	}
 	if ddlPath == "" || mappingPath == "" {
-		return nil, fmt.Errorf("provide both -ddl and -mapping, or neither")
+		return nil, false, fmt.Errorf("provide both -ddl and -mapping, or neither")
 	}
 	ddl, err := os.ReadFile(ddlPath)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	db := rdb.NewDatabase("ontoaccess")
-	if _, err := sqlexec.Run(db, string(ddl)); err != nil {
-		return nil, fmt.Errorf("applying DDL: %w", err)
+	db, recovered, err := rdb.Open("ontoaccess", rdb.Options{DataDir: dataDir})
+	if err != nil {
+		return nil, false, err
+	}
+	// Recovery replays the original DDL from the checkpoint/WAL, so
+	// the schema file only applies to a fresh data directory.
+	if !recovered {
+		if _, err := sqlexec.Run(db, string(ddl)); err != nil {
+			db.Close()
+			return nil, false, fmt.Errorf("applying DDL: %w", err)
+		}
 	}
 	ttl, err := os.ReadFile(mappingPath)
 	if err != nil {
-		return nil, err
+		db.Close()
+		return nil, false, err
 	}
 	mapping, err := r3m.Load(string(ttl))
 	if err != nil {
-		return nil, err
+		db.Close()
+		return nil, false, err
 	}
-	return core.New(db, mapping, core.Options{})
+	m, err := core.New(db, mapping, core.Options{})
+	if err != nil {
+		db.Close()
+		return nil, false, err
+	}
+	return m, recovered, nil
 }

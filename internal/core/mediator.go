@@ -138,6 +138,17 @@ func (m *Mediator) DB() *rdb.Database { return m.db }
 // Mapping exposes the R3M mapping.
 func (m *Mediator) Mapping() *r3m.Mapping { return m.mapping }
 
+// DurabilityStats reports the backing database's durability counters
+// (WAL size, checkpoints, fsyncs); zero-valued with Enabled=false for
+// a memory-only database. The /healthz endpoint renders these.
+func (m *Mediator) DurabilityStats() rdb.DurabilityStats { return m.db.DurabilityStats() }
+
+// Close flushes the backing database's durability state (final
+// checkpoint + WAL close) and must be called on shutdown of a durable
+// mediator; it is a no-op for a memory-only one. The mediator must
+// not be used afterwards.
+func (m *Mediator) Close() error { return m.db.Close() }
+
 // checkSchemaAlignment verifies the mapping matches the live schema.
 func (m *Mediator) checkSchemaAlignment() error {
 	for _, tm := range m.mapping.Tables {

@@ -35,9 +35,13 @@ import (
 // dropRedundantDeletes as the uncompiled path, so the two paths stay
 // in lockstep statement for statement.
 //
-// Anything the compiler cannot prove equivalent — non-BGP WHERE
-// patterns, blank nodes, templates whose target tables cannot be
-// determined from the shape — takes the uncompiled path. A compiled
+// The WHERE clause may carry comparison FILTERs: they lower into the
+// parameterized SELECT template through the same filter machinery as
+// compiled queries, with the literal constants lifted into parameter
+// slots. Anything the compiler cannot prove equivalent — OPTIONAL and
+// UNION patterns, non-comparison FILTER shapes, blank nodes, templates
+// whose target tables cannot be determined from the shape — takes the
+// uncompiled path. A compiled
 // execution that discovers a shape assumption broken by its parameters
 // (a URI identifying a different table, an operation reaching outside
 // the declared lock set) aborts with errPlanStale and is transparently
@@ -144,7 +148,7 @@ func (m *Mediator) compileModifyPlan(key string, slots int, op update.Modify, nm
 		return nil, errUnplannable
 	}
 	p := &ModifyPlan{key: key, slots: slots, del: nm.del, ins: nm.ins}
-	comp := &selectCompile{nm: nm.where}
+	comp := &selectCompile{nm: nm.where, fconds: nm.fconds}
 	var st *SelectTranslation
 	var spec *sqlgen.SelectSpec
 	err := m.db.View(func(tx *rdb.Tx) error {

@@ -221,10 +221,11 @@ type normPattern struct {
 	s, p, o normPatTerm
 }
 
-// normModify is a MODIFY request with its templates and WHERE triples
-// parameterized.
+// normModify is a MODIFY request with its templates, WHERE triples and
+// lowered FILTER conjuncts parameterized.
 type normModify struct {
 	del, ins, where []normPattern
+	fconds          []normFilterCond
 }
 
 // normFilterCond is one lowered FILTER conjunct of a query shape: the
@@ -331,15 +332,21 @@ func (n *normalizer) normalizePatterns(tag byte, pats []sparql.TriplePattern) ([
 }
 
 // normalizeModify parameterizes a MODIFY operation: literals and IRI
-// digit runs in the templates and the WHERE triples become parameter
-// slots; variables, predicates and rdf:type objects stay structural.
-// Only BGP-only WHERE clauses are plannable — FILTER, OPTIONAL and
-// UNION patterns evaluate data-dependently and take the uncompiled
-// path, as do blank nodes anywhere in the request.
+// digit runs in the templates, the WHERE triples and the comparison
+// FILTER constants become parameter slots; variables, predicates and
+// rdf:type objects stay structural. Comparison FILTERs lower into the
+// compiled WHERE SELECT exactly as they do for queries; non-comparison
+// FILTER shapes (STR(...) and friends), OPTIONAL and UNION patterns
+// evaluate data-dependently and take the uncompiled path, as do blank
+// nodes anywhere in the request.
 func normalizeModify(op update.Modify) (key string, args []string, nm *normModify, ok bool) {
 	w := op.Where
 	if w == nil || len(w.Triples) == 0 ||
-		len(w.Filters) > 0 || len(w.Optionals) > 0 || len(w.Unions) > 0 {
+		len(w.Optionals) > 0 || len(w.Unions) > 0 {
+		return "", nil, nil, false
+	}
+	conds, ok := lowerFilterConds(w.Filters)
+	if !ok {
 		return "", nil, nil, false
 	}
 	n := &normalizer{}
@@ -354,6 +361,11 @@ func normalizeModify(op update.Modify) (key string, args []string, nm *normModif
 	}
 	if nm.where, ok = n.normalizePatterns('W', w.Triples); !ok {
 		return "", nil, nil, false
+	}
+	if len(conds) > 0 {
+		if nm.fconds, ok = n.normalizeFilters(conds); !ok {
+			return "", nil, nil, false
+		}
 	}
 	return n.key.String(), n.args, nm, true
 }

@@ -241,9 +241,10 @@ MODIFY DELETE { ?x foaf:title "Mr" . } INSERT { } WHERE { ?x foaf:title "Mr" . }
 }
 
 // TestModifyPlanIntrospection covers the compiled-MODIFY plan surface:
-// BGP-only MODIFYs compile, declare their lock sets, and re-executions
-// hit the cache; FILTER/OPTIONAL WHERE clauses stay unplannable and
-// fall back to the uncompiled path.
+// BGP WHERE clauses (with comparison FILTERs) compile, declare their
+// lock sets, and re-executions hit the cache; non-comparison FILTER
+// and OPTIONAL WHERE clauses stay unplannable and fall back to the
+// uncompiled path.
 func TestModifyPlanIntrospection(t *testing.T) {
 	m := paperMediator(t, Options{})
 	bgp := paperPrologue + `
@@ -282,7 +283,21 @@ WHERE { ?p rdf:type foaf:Document . }`)
 	if got := lp.Tables(); !reflect.DeepEqual(got, []string{"publication", "publication_author"}) {
 		t.Errorf("link write set = %v", got)
 	}
-	// Unplannable WHERE shapes: FILTER and OPTIONAL fall back.
+	// Comparison FILTERs lower into the compiled WHERE SELECT; the
+	// filter constant becomes a parameter slot like any pattern literal.
+	fp, err := m.ModifyPlanFor(paperPrologue + `
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { }
+WHERE { ?x foaf:family_name ?l ; foaf:mbox ?m . FILTER (?l = "Hert") }`)
+	if err != nil {
+		t.Fatalf("comparison-FILTER MODIFY did not compile: %v", err)
+	}
+	if fp.Slots() == 0 {
+		t.Error("expected the FILTER constant to become a parameter slot")
+	}
+	// Unplannable WHERE shapes: non-comparison FILTER (STR) and
+	// OPTIONAL fall back.
 	for _, src := range []string{
 		paperPrologue + `
 MODIFY DELETE { ?x foaf:mbox ?m . } INSERT { }
@@ -406,7 +421,22 @@ MODIFY
 DELETE { ?p dc:creator ex:author7 . }
 INSERT { }
 WHERE { ?p dc:creator ex:author7 . }`,
-		// Non-BGP WHERE: both paths use virtual-view evaluation.
+		// Comparison-FILTER WHERE: lowers into the compiled SELECT on
+		// the planned side, into the uncompiled translation on the
+		// other — identical SQL either way.
+		paperPrologue + `
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x foaf:mbox <mailto:eq@example.org> . }
+WHERE { ?x foaf:family_name ?l ; foaf:mbox ?m . FILTER (?l = "Hert") }`,
+		// Range FILTER over the publication year.
+		paperPrologue + `
+MODIFY
+DELETE { }
+INSERT { ?p dc:creator ex:author7 . }
+WHERE { ?p ont:pubYear ?y . FILTER (?y >= "2009") }`,
+		// Non-comparison FILTER (STR): both paths use virtual-view
+		// evaluation.
 		paperPrologue + `
 MODIFY
 DELETE { ?x foaf:title "Dr" . }

@@ -206,6 +206,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "snapshot version: %d\n", db.SnapshotVersion())
 	st := s.mediator.SchedulerStats()
 	fmt.Fprintf(w, "write batches: %d (%d ops, max batch %d)\n", st.Batches, st.Ops, st.MaxBatch)
+	if ds := s.mediator.DurabilityStats(); ds.Enabled {
+		fmt.Fprintf(w, "durability: %s\n", ds.DataDir)
+		fmt.Fprintf(w, "wal: %d bytes, %d records, %d segments\n", ds.WALBytes, ds.WALRecords, ds.WALSegments)
+		fmt.Fprintf(w, "checkpoints: %d (last at version %d)\n", ds.Checkpoints, ds.LastCheckpointVersion)
+		fmt.Fprintf(w, "recovered records: %d\n", ds.RecoveredRecords)
+		if st.Batches > 0 {
+			fmt.Fprintf(w, "fsyncs: %d (%.2f per batch)\n", ds.Fsyncs, float64(ds.Fsyncs)/float64(st.Batches))
+		} else {
+			fmt.Fprintf(w, "fsyncs: %d\n", ds.Fsyncs)
+		}
+	} else {
+		fmt.Fprintf(w, "durability: disabled (memory-only)\n")
+	}
 	compiled, fallback := s.mediator.QueryExecStats()
 	fmt.Fprintf(w, "query executions: %d compiled, %d fallback\n", compiled, fallback)
 	for _, c := range []struct {

@@ -43,6 +43,10 @@ type Database struct {
 	// publishes (concurrent committers with disjoint lock sets).
 	snap  atomic.Pointer[dbSnapshot]
 	pubMu sync.Mutex
+
+	// persist is the durability layer (persist.go); nil for an
+	// ephemeral, memory-only database.
+	persist *persister
 }
 
 type fkBackRef struct {
@@ -82,10 +86,22 @@ func (db *Database) SnapshotVersion() uint64 { return db.snapshot().version }
 // hold the written tables' exclusive locks, so per-table versions
 // cannot conflict; pubMu only serializes the pointer swap between
 // writers of disjoint tables.
-func (db *Database) publish(updated map[string]*tableVersion) {
+//
+// On a durable database the commit record is appended and fsynced
+// BEFORE the snapshot is stored (the write-ahead rule): a commit the
+// caller acknowledges is on disk, and an fsync failure aborts the
+// publish — the error propagates out of Commit and the snapshot never
+// moves. Records are written under pubMu so their sequence numbers
+// land in the log in order.
+func (db *Database) publish(updated map[string]*tableVersion, changes []walChange) error {
 	db.pubMu.Lock()
 	defer db.pubMu.Unlock()
 	cur := db.snap.Load()
+	if db.persist != nil {
+		if err := db.persist.append(encodeCommitRecord(cur.version+1, changes)); err != nil {
+			return err
+		}
+	}
 	ns := &dbSnapshot{
 		version:      cur.version + 1,
 		tables:       make(map[string]*tableVersion, len(cur.tables)),
@@ -99,6 +115,10 @@ func (db *Database) publish(updated map[string]*tableVersion) {
 		ns.tables[k] = v
 	}
 	db.snap.Store(ns)
+	if db.persist != nil {
+		db.persist.maybeCheckpoint(db)
+	}
+	return nil
 }
 
 // publishCatalog rebuilds the snapshot from the catalog after DDL.
@@ -141,6 +161,14 @@ func (db *Database) CreateTable(schema *TableSchema) error {
 	if _, exists := db.tables[key]; exists {
 		return fmt.Errorf("rdb: table %q already exists", schema.Name)
 	}
+	// Log the DDL before mutating the registry. The exclusive catalog
+	// lock keeps writers out, so the snapshot version cannot move
+	// between assigning the record's sequence number and publishing.
+	if db.persist != nil {
+		if err := db.persist.append(encodeCreateRecord(db.snapshot().version+1, schema)); err != nil {
+			return err
+		}
+	}
 	db.tables[key] = newTable(schema)
 	db.order = append(db.order, key)
 	for _, fk := range schema.ForeignKeys {
@@ -162,6 +190,11 @@ func (db *Database) DropTable(name string) error {
 	}
 	if refs := db.referencedBy[key]; len(refs) > 0 {
 		return fmt.Errorf("rdb: cannot drop %q: referenced by %s.%s", name, refs[0].table, refs[0].column)
+	}
+	if db.persist != nil {
+		if err := db.persist.append(encodeDropRecord(db.snapshot().version+1, name)); err != nil {
+			return err
+		}
 	}
 	delete(db.tables, key)
 	for i, n := range db.order {

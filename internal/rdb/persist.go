@@ -1,0 +1,712 @@
+package rdb
+
+// Durability for the MVCC engine: logical write-ahead logging,
+// snapshot checkpointing, and crash recovery.
+//
+// The unit of logging is the *publish* — the commit step that installs
+// the next database snapshot. Every publish appends exactly one record
+// whose sequence number equals the version of the snapshot it
+// produces, and fsyncs it before the snapshot becomes visible
+// (write-ahead rule). Because the group-commit scheduler runs a whole
+// drained batch inside one transaction and therefore one publish, the
+// WAL inherits its amortization for free: one record and one fsync
+// cover every operation in the batch, the same way one lock
+// acquisition already does.
+//
+// Records carry logical operations, not pages: for a commit, the
+// tables touched and the per-row inserts/updates/deletes with their
+// typed, post-coercion values and internal row ids; for DDL, the
+// serialized schema. Replay re-applies them at the tableVersion level
+// without re-validating constraints — the rows were validated and
+// coerced when the original commit ran, and re-deriving the exact same
+// versions (asserted via the logged row ids) is what makes the
+// recovered export byte-identical to the acknowledged prefix.
+//
+// Sequence numbers are dense: every publish is logged, so replay can
+// demand seq == version+1 and detect a lost record as a hard error
+// rather than silently skipping history. Records at or below the
+// checkpoint version are skipped — they can legitimately linger in old
+// segments when a crash lands between checkpoint write and segment
+// removal.
+//
+// Checkpointing rotates the log under the publish lock (so every
+// record not covered by the checkpoint lives in segments at or after
+// the returned index), serializes the immutable snapshot outside any
+// lock, atomically replaces the checkpoint file, and only then removes
+// the covered segments. A crash at any point leaves either the old
+// checkpoint plus a longer log, or the new checkpoint plus a log whose
+// stale prefix replay skips.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"ontoaccess/internal/rdb/wal"
+)
+
+const (
+	recCommit byte = 'C'
+	recCreate byte = 'T'
+	recDrop   byte = 'X'
+
+	walInsert byte = 'i'
+	walUpdate byte = 'u'
+	walDelete byte = 'd'
+
+	checkpointFile  = "checkpoint.db"
+	checkpointMagic = "OACP1"
+
+	// DefaultCheckpointBytes is the WAL growth between automatic
+	// checkpoints when Options.CheckpointBytes is zero.
+	DefaultCheckpointBytes = 4 << 20
+)
+
+// Options configures persistence for Open.
+type Options struct {
+	// DataDir roots the WAL segments and the checkpoint file. Empty
+	// means ephemeral: a memory-only database identical to NewDatabase.
+	DataDir string
+	// CheckpointBytes is the WAL growth that triggers an automatic
+	// background checkpoint; zero selects DefaultCheckpointBytes,
+	// negative disables automatic checkpointing (Checkpoint can still
+	// be called explicitly).
+	CheckpointBytes int64
+}
+
+// walChange is one logical row mutation captured by a transaction for
+// the commit record: the post-coercion row exactly as the derived
+// tableVersion stores it.
+type walChange struct {
+	table string
+	op    byte
+	id    int64
+	row   []Value // nil for deletes
+}
+
+// persister holds a database's durability state.
+type persister struct {
+	log *wal.Log
+	dir string
+
+	checkpointBytes int64
+	bytesSinceCkpt  atomic.Int64
+	lastCkptVersion atomic.Uint64
+	checkpoints     atomic.Uint64
+	recovered       atomic.Uint64
+	checkpointing   atomic.Bool
+	// ckptMu serializes Checkpoint against itself (explicit calls vs
+	// the automatic background trigger).
+	ckptMu sync.Mutex
+}
+
+// append writes one record and makes it durable. Callers hold
+// whatever lock fixes the record's sequence number (pubMu for
+// commits, the exclusive catalog lock for DDL), so records land in
+// the log in sequence order.
+func (p *persister) append(payload []byte) error {
+	if err := p.log.Append(payload); err != nil {
+		return err
+	}
+	if err := p.log.Sync(); err != nil {
+		return err
+	}
+	p.bytesSinceCkpt.Add(int64(len(payload)))
+	return nil
+}
+
+// maybeCheckpoint kicks off a background checkpoint when the WAL has
+// grown past the threshold and none is already running. A failed
+// background checkpoint leaves the counters untouched, so the next
+// publish over the threshold simply retries.
+func (p *persister) maybeCheckpoint(db *Database) {
+	if p.checkpointBytes <= 0 || p.bytesSinceCkpt.Load() < p.checkpointBytes {
+		return
+	}
+	if !p.checkpointing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer p.checkpointing.Store(false)
+		db.Checkpoint() //nolint:errcheck // retried on the next trigger
+	}()
+}
+
+// DurabilityStats is the operator-facing view of the durability
+// layer, surfaced through /healthz.
+type DurabilityStats struct {
+	Enabled bool
+	DataDir string
+	// WALBytes / WALRecords / WALSegments describe the live log;
+	// Fsyncs counts physical fsyncs (compare against the scheduler's
+	// batch count for the amortization ratio).
+	WALBytes    int64
+	WALRecords  uint64
+	WALSegments uint64
+	Fsyncs      uint64
+	// LastCheckpointVersion is the snapshot version the newest durable
+	// checkpoint covers; Checkpoints counts completed checkpoints.
+	LastCheckpointVersion uint64
+	Checkpoints           uint64
+	// RecoveredRecords counts WAL records replayed by Open.
+	RecoveredRecords uint64
+}
+
+// DurabilityStats reports the durability layer's counters; the zero
+// value (Enabled=false) for an ephemeral database.
+func (db *Database) DurabilityStats() DurabilityStats {
+	p := db.persist
+	if p == nil {
+		return DurabilityStats{}
+	}
+	ls := p.log.Stats()
+	return DurabilityStats{
+		Enabled:               true,
+		DataDir:               p.dir,
+		WALBytes:              ls.Bytes,
+		WALRecords:            ls.Records,
+		WALSegments:           ls.Segments,
+		Fsyncs:                ls.Fsyncs,
+		LastCheckpointVersion: p.lastCkptVersion.Load(),
+		Checkpoints:           p.checkpoints.Load(),
+		RecoveredRecords:      p.recovered.Load(),
+	}
+}
+
+// Open returns a database backed by the data directory in o,
+// recovering any state a previous process left there: the newest
+// valid checkpoint is loaded, the WAL tail is replayed on top of it,
+// and a torn final frame (a crash mid-append) is truncated away. The
+// recovered result reports whether any prior state was found — when
+// true the schema already exists and callers must not re-apply DDL.
+// With an empty DataDir, Open degenerates to NewDatabase.
+func Open(name string, o Options) (*Database, bool, error) {
+	db := NewDatabase(name)
+	if o.DataDir == "" {
+		return db, false, nil
+	}
+	p := &persister{dir: o.DataDir, checkpointBytes: o.CheckpointBytes}
+	if p.checkpointBytes == 0 {
+		p.checkpointBytes = DefaultCheckpointBytes
+	}
+	l, err := wal.Open(o.DataDir)
+	if err != nil {
+		return nil, false, err
+	}
+	p.log = l
+
+	hadState := false
+	var ckptVersion uint64
+	if data, rerr := os.ReadFile(filepath.Join(o.DataDir, checkpointFile)); rerr == nil {
+		hadState = true
+		ckptVersion, err = db.restoreCheckpoint(data)
+		if err != nil {
+			l.Close()
+			return nil, false, fmt.Errorf("rdb: loading checkpoint: %w", err)
+		}
+	} else if !os.IsNotExist(rerr) {
+		l.Close()
+		return nil, false, rerr
+	}
+
+	var replayed uint64
+	if _, err := l.Replay(func(payload []byte) error {
+		return db.replayRecord(payload, &replayed)
+	}); err != nil {
+		l.Close()
+		return nil, false, fmt.Errorf("rdb: replaying WAL: %w", err)
+	}
+	p.recovered.Store(replayed)
+	p.lastCkptVersion.Store(ckptVersion)
+	db.persist = p
+	return db, hadState || replayed > 0, nil
+}
+
+// Checkpoint serializes the current snapshot to the checkpoint file
+// and prunes the WAL segments it covers. Safe to call concurrently
+// with commits; a no-op on an ephemeral database.
+func (db *Database) Checkpoint() error {
+	p := db.persist
+	if p == nil {
+		return nil
+	}
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	// Under pubMu no publish can intervene between reading the
+	// snapshot and rotating, so every record not covered by this
+	// checkpoint lives in segments >= seg.
+	db.pubMu.Lock()
+	snap := db.snap.Load()
+	seg, err := p.log.Rotate()
+	db.pubMu.Unlock()
+	if err != nil {
+		return err
+	}
+	// The snapshot is immutable: serialization needs no lock.
+	data := encodeCheckpoint(snap)
+	if err := wal.WriteFileAtomic(filepath.Join(p.dir, checkpointFile), data); err != nil {
+		return err
+	}
+	p.lastCkptVersion.Store(snap.version)
+	p.bytesSinceCkpt.Store(0)
+	p.checkpoints.Add(1)
+	return p.log.RemoveBefore(seg)
+}
+
+// Close checkpoints and closes the WAL. The database must not be used
+// afterwards. A no-op on an ephemeral database.
+func (db *Database) Close() error {
+	p := db.persist
+	if p == nil {
+		return nil
+	}
+	err := db.Checkpoint()
+	if cerr := p.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Record and checkpoint encoding. Everything is varint-based except
+// floats (fixed 8-byte IEEE bits); strings are length-prefixed.
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v Value) []byte {
+	b = append(b, byte(v.Kind))
+	switch v.Kind {
+	case KInt:
+		b = binary.AppendVarint(b, v.I)
+	case KFloat:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F))
+	case KString:
+		b = appendString(b, v.S)
+	case KBool:
+		if v.B {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func appendRow(b []byte, row []Value) []byte {
+	b = binary.AppendUvarint(b, uint64(len(row)))
+	for _, v := range row {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func appendSchema(b []byte, s *TableSchema) []byte {
+	b = appendString(b, s.Name)
+	b = binary.AppendUvarint(b, uint64(len(s.Columns)))
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		b = appendString(b, c.Name)
+		b = append(b, byte(c.Type))
+		b = binary.AppendUvarint(b, uint64(c.Length))
+		flags := byte(0)
+		if c.NotNull {
+			flags |= 1
+		}
+		if c.Unique {
+			flags |= 2
+		}
+		if c.AutoIncrement {
+			flags |= 4
+		}
+		if c.Default != nil {
+			flags |= 8
+		}
+		b = append(b, flags)
+		if c.Default != nil {
+			b = appendValue(b, *c.Default)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.PrimaryKey)))
+	for _, pk := range s.PrimaryKey {
+		b = appendString(b, pk)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.ForeignKeys)))
+	for _, fk := range s.ForeignKeys {
+		b = appendString(b, fk.Column)
+		b = appendString(b, fk.RefTable)
+	}
+	return b
+}
+
+// encodeCommitRecord serializes one publish: the changes grouped by
+// table in first-touch order, preserving the per-table operation
+// order (which is what fixes replayed insert-id assignment).
+func encodeCommitRecord(seq uint64, changes []walChange) []byte {
+	var order []string
+	groups := make(map[string][]walChange)
+	for _, c := range changes {
+		if _, ok := groups[c.table]; !ok {
+			order = append(order, c.table)
+		}
+		groups[c.table] = append(groups[c.table], c)
+	}
+	b := []byte{recCommit}
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(len(order)))
+	for _, t := range order {
+		b = appendString(b, t)
+		g := groups[t]
+		b = binary.AppendUvarint(b, uint64(len(g)))
+		for _, c := range g {
+			b = append(b, c.op)
+			b = binary.AppendUvarint(b, uint64(c.id))
+			if c.op != walDelete {
+				b = appendRow(b, c.row)
+			}
+		}
+	}
+	return b
+}
+
+func encodeCreateRecord(seq uint64, s *TableSchema) []byte {
+	b := []byte{recCreate}
+	b = binary.AppendUvarint(b, seq)
+	return appendSchema(b, s)
+}
+
+func encodeDropRecord(seq uint64, name string) []byte {
+	b := []byte{recDrop}
+	b = binary.AppendUvarint(b, seq)
+	return appendString(b, name)
+}
+
+// encodeCheckpoint serializes a whole snapshot: magic, version, every
+// table in creation order (schema, id counters, rows), and a trailing
+// CRC-32C over everything before it.
+func encodeCheckpoint(s *dbSnapshot) []byte {
+	b := []byte(checkpointMagic)
+	b = binary.AppendUvarint(b, s.version)
+	b = binary.AppendUvarint(b, uint64(len(s.order)))
+	for _, key := range s.order {
+		v := s.tables[key]
+		b = appendSchema(b, v.schema)
+		b = binary.AppendVarint(b, v.nextID)
+		b = binary.AppendVarint(b, v.nextAuto)
+		b = binary.AppendUvarint(b, uint64(v.rows.len()))
+		v.scan(func(id int64, row []Value) bool {
+			b = binary.AppendUvarint(b, uint64(id))
+			b = appendRow(b, row)
+			return true
+		})
+	}
+	sum := crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
+	return binary.LittleEndian.AppendUint32(b, sum)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+
+// walDec is a cursor over an encoded record; the first failed read
+// poisons it, so callers check err once at the end.
+type walDec struct {
+	b   []byte
+	err error
+}
+
+func (d *walDec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("rdb: truncated or corrupt record")
+	}
+}
+
+func (d *walDec) u64() uint64 {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *walDec) i64() int64 {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *walDec) byte_() byte {
+	if len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *walDec) str() string {
+	n := d.u64()
+	if uint64(len(d.b)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *walDec) value() Value {
+	switch ValueKind(d.byte_()) {
+	case KNull:
+		return Null
+	case KInt:
+		return Int(d.i64())
+	case KFloat:
+		if len(d.b) < 8 {
+			d.fail()
+			return Null
+		}
+		bits := binary.LittleEndian.Uint64(d.b)
+		d.b = d.b[8:]
+		return Float(math.Float64frombits(bits))
+	case KString:
+		return String_(d.str())
+	case KBool:
+		return Bool(d.byte_() != 0)
+	}
+	d.fail()
+	return Null
+}
+
+func (d *walDec) row() []Value {
+	n := d.u64()
+	if d.err != nil || n > uint64(len(d.b)) { // each value takes >= 1 byte
+		d.fail()
+		return nil
+	}
+	row := make([]Value, n)
+	for i := range row {
+		row[i] = d.value()
+	}
+	return row
+}
+
+func (d *walDec) schema() *TableSchema {
+	s := &TableSchema{Name: d.str()}
+	ncols := d.u64()
+	if d.err != nil || ncols > uint64(len(d.b)) {
+		d.fail()
+		return s
+	}
+	s.Columns = make([]Column, ncols)
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		c.Name = d.str()
+		c.Type = ColType(d.byte_())
+		c.Length = int(d.u64())
+		flags := d.byte_()
+		c.NotNull = flags&1 != 0
+		c.Unique = flags&2 != 0
+		c.AutoIncrement = flags&4 != 0
+		if flags&8 != 0 {
+			v := d.value()
+			c.Default = &v
+		}
+	}
+	npk := d.u64()
+	for i := uint64(0); i < npk && d.err == nil; i++ {
+		s.PrimaryKey = append(s.PrimaryKey, d.str())
+	}
+	nfk := d.u64()
+	for i := uint64(0); i < nfk && d.err == nil; i++ {
+		col := d.str()
+		ref := d.str()
+		s.ForeignKeys = append(s.ForeignKeys, ForeignKey{Column: col, RefTable: ref})
+	}
+	return s
+}
+
+// restoreCheckpoint rebuilds the database from a checkpoint blob and
+// returns the snapshot version it covers. Runs single-threaded during
+// Open, before the database is shared.
+func (db *Database) restoreCheckpoint(data []byte) (uint64, error) {
+	if len(data) < len(checkpointMagic)+4 || string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return 0, fmt.Errorf("not a checkpoint file")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)) != binary.LittleEndian.Uint32(tail) {
+		return 0, fmt.Errorf("checkpoint checksum mismatch")
+	}
+	d := &walDec{b: body[len(checkpointMagic):]}
+	version := d.u64()
+	ntables := d.u64()
+	restored := make(map[string]*tableVersion, ntables)
+	for i := uint64(0); i < ntables && d.err == nil; i++ {
+		s := d.schema()
+		nextID := d.i64()
+		nextAuto := d.i64()
+		nrows := d.u64()
+		if d.err != nil {
+			break
+		}
+		if err := db.CreateTable(s); err != nil {
+			return 0, err
+		}
+		v := newTableVersion(s)
+		for r := uint64(0); r < nrows && d.err == nil; r++ {
+			id := int64(d.u64())
+			row := d.row()
+			if d.err != nil {
+				break
+			}
+			v.rows = v.rows.with(uint64(id), row)
+			v.pk = v.pk.with(v.pkKey(row), id)
+			for si := range v.sec {
+				e := &v.sec[si]
+				e.idx = idxAdd(e.idx, encodeKey(row[e.col:e.col+1]), id)
+			}
+		}
+		v.nextID = nextID
+		v.nextAuto = nextAuto
+		restored[lowerName(s.Name)] = v
+	}
+	if d.err != nil {
+		return 0, d.err
+	}
+	db.installSnapshot(restored, version)
+	return version, nil
+}
+
+// installSnapshot overwrites table versions and pins the snapshot
+// version — recovery's replacement for publish, which would assign
+// version+1 and (once persistence is attached) re-log the records.
+func (db *Database) installSnapshot(updated map[string]*tableVersion, version uint64) {
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
+	cur := db.snap.Load()
+	ns := &dbSnapshot{
+		version:      version,
+		tables:       make(map[string]*tableVersion, len(cur.tables)),
+		order:        cur.order,
+		referencedBy: cur.referencedBy,
+	}
+	for k, v := range cur.tables {
+		ns.tables[k] = v
+	}
+	for k, v := range updated {
+		ns.tables[k] = v
+	}
+	db.snap.Store(ns)
+}
+
+// replayRecord applies one WAL record during Open. Records at or
+// below the current version are stale (their effects are inside the
+// checkpoint); beyond that, sequence numbers must be dense — a gap
+// means a lost record and recovery refuses to guess.
+func (db *Database) replayRecord(payload []byte, replayed *uint64) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	d := &walDec{b: payload[1:]}
+	kind := payload[0]
+	seq := d.u64()
+	if d.err != nil {
+		return d.err
+	}
+	cur := db.snapshot()
+	if seq <= cur.version {
+		return nil // covered by the checkpoint
+	}
+	if seq != cur.version+1 {
+		return fmt.Errorf("sequence gap: have version %d, next record is %d", cur.version, seq)
+	}
+	switch kind {
+	case recCommit:
+		ntables := d.u64()
+		updated := make(map[string]*tableVersion, ntables)
+		for t := uint64(0); t < ntables && d.err == nil; t++ {
+			name := d.str()
+			key := lowerName(name)
+			v, ok := updated[key]
+			if !ok {
+				if v, ok = cur.tables[key]; !ok {
+					return fmt.Errorf("record %d touches unknown table %q", seq, name)
+				}
+			}
+			nchanges := d.u64()
+			for c := uint64(0); c < nchanges && d.err == nil; c++ {
+				op := d.byte_()
+				id := int64(d.u64())
+				switch op {
+				case walInsert:
+					row := d.row()
+					if d.err != nil {
+						break
+					}
+					nv, gotID := v.insert(row)
+					if gotID != id {
+						return fmt.Errorf("record %d: replayed insert into %q got id %d, logged %d",
+							seq, name, gotID, id)
+					}
+					v = nv
+				case walUpdate:
+					row := d.row()
+					if d.err != nil {
+						break
+					}
+					if _, ok := v.row(id); !ok {
+						return fmt.Errorf("record %d: update of missing row %d in %q", seq, id, name)
+					}
+					v = v.update(id, row)
+				case walDelete:
+					if _, ok := v.row(id); !ok {
+						return fmt.Errorf("record %d: delete of missing row %d in %q", seq, id, name)
+					}
+					v = v.remove(id)
+				default:
+					return fmt.Errorf("record %d: unknown op %q", seq, op)
+				}
+			}
+			updated[key] = v
+		}
+		if d.err != nil {
+			return d.err
+		}
+		db.installSnapshot(updated, seq)
+	case recCreate:
+		s := d.schema()
+		if d.err != nil {
+			return d.err
+		}
+		// persist is still nil during replay, so CreateTable does not
+		// re-log; its publishCatalog assigns version+1 == seq.
+		if err := db.CreateTable(s); err != nil {
+			return err
+		}
+	case recDrop:
+		name := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		if err := db.DropTable(name); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown record kind %q", kind)
+	}
+	*replayed++
+	return nil
+}

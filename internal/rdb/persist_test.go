@@ -1,0 +1,466 @@
+package rdb
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ontoaccess/internal/rdb/wal"
+)
+
+// personSchema returns the schema the persistence tests reuse: an
+// AUTO_INCREMENT integer key, a UNIQUE column, a nullable column with
+// a DEFAULT, and (via groupSchema) a foreign key target.
+func personSchema() *TableSchema {
+	def := String_("unset")
+	return &TableSchema{
+		Name: "person",
+		Columns: []Column{
+			{Name: "id", Type: TInt, NotNull: true, AutoIncrement: true},
+			{Name: "lastname", Type: TVarchar, Length: 50, NotNull: true, Unique: true},
+			{Name: "email", Type: TVarchar, Length: 100},
+			{Name: "note", Type: TText, Default: &def},
+			{Name: "grp", Type: TInt},
+			{Name: "score", Type: TFloat},
+			{Name: "active", Type: TBool},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []ForeignKey{{Column: "grp", RefTable: "grp"}},
+	}
+}
+
+func groupSchema() *TableSchema {
+	return &TableSchema{
+		Name: "grp",
+		Columns: []Column{
+			{Name: "id", Type: TInt, NotNull: true},
+			{Name: "name", Type: TVarchar, Length: 50},
+		},
+		PrimaryKey: []string{"id"},
+	}
+}
+
+// mustOpen opens a durable database or fails the test.
+func mustOpen(t *testing.T, dir string, opts Options) (*Database, bool) {
+	t.Helper()
+	opts.DataDir = dir
+	db, recovered, err := Open("persisttest", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, recovered
+}
+
+// dump snapshots every table's rows (in creation then insertion
+// order) plus the id counters, for state comparison across restarts.
+func dump(t *testing.T, db *Database) map[string][][]Value {
+	t.Helper()
+	out := make(map[string][][]Value)
+	s := db.snapshot()
+	for _, key := range s.order {
+		v := s.tables[key]
+		rows := [][]Value{{Int(v.nextID), Int(v.nextAuto)}}
+		v.scan(func(id int64, row []Value) bool {
+			rows = append(rows, append([]Value{Int(id)}, row...))
+			return true
+		})
+		out[key] = rows
+	}
+	return out
+}
+
+func seedGroups(t *testing.T, db *Database) {
+	t.Helper()
+	if err := db.CreateTable(groupSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(personSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("grp", map[string]Value{"id": Int(1), "name": String_("Team 1")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	db, recovered := mustOpen(t, dir, Options{})
+	if recovered {
+		t.Fatal("fresh directory reported recovered state")
+	}
+	seedGroups(t, db)
+	if err := db.Update(func(tx *Tx) error {
+		if err := tx.Insert("person", map[string]Value{
+			"lastname": String_("Hert"), "email": String_("mailto:h@x.org"),
+			"grp": Int(1), "score": Float(1.5), "active": Bool(true),
+		}); err != nil {
+			return err
+		}
+		return tx.Insert("person", map[string]Value{"lastname": String_("Reif")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(func(tx *Tx) error {
+		return tx.UpdateByID("person", 0, map[string]Value{"email": String_("mailto:h2@x.org")})
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, db)
+	wantVersion := db.SnapshotVersion()
+	// Hard stop: no Close, no checkpoint — recovery must come from the
+	// WAL alone.
+
+	db2, recovered := mustOpen(t, dir, Options{})
+	if !recovered {
+		t.Fatal("reopen found no state")
+	}
+	if got := db2.SnapshotVersion(); got != wantVersion {
+		t.Fatalf("recovered version %d, want %d", got, wantVersion)
+	}
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state diverges:\n got %v\nwant %v", got, want)
+	}
+	// AUTO_INCREMENT and row-id assignment must continue where the
+	// crashed process stopped.
+	if err := db2.Update(func(tx *Tx) error {
+		return tx.Insert("person", map[string]Value{"lastname": String_("Ghidini")})
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	if db2.DurabilityStats().RecoveredRecords == 0 {
+		t.Fatal("no WAL records reported recovered")
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverFromCheckpointPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := mustOpen(t, dir, Options{})
+	seedGroups(t, db)
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("person", map[string]Value{"lastname": String_("Before")})
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint tail: an insert, an update, a delete.
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("person", map[string]Value{"lastname": String_("After")})
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(func(tx *Tx) error {
+		return tx.UpdateByID("person", 0, map[string]Value{"note": String_("tail")})
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(func(tx *Tx) error {
+		return tx.DeleteByID("person", 1)
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, db)
+	st := db.DurabilityStats()
+	if st.Checkpoints != 1 || st.LastCheckpointVersion == 0 {
+		t.Fatalf("checkpoint stats = %+v", st)
+	}
+
+	db2, recovered := mustOpen(t, dir, Options{})
+	if !recovered {
+		t.Fatal("reopen found no state")
+	}
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state diverges:\n got %v\nwant %v", got, want)
+	}
+	if got, wantV := db2.SnapshotVersion(), db.SnapshotVersion(); got != wantV {
+		t.Fatalf("recovered version %d, want %d", got, wantV)
+	}
+}
+
+func TestRecoverAfterCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := mustOpen(t, dir, Options{})
+	seedGroups(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, db)
+
+	db2, recovered := mustOpen(t, dir, Options{})
+	if !recovered {
+		t.Fatal("reopen found no state")
+	}
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state diverges:\n got %v\nwant %v", got, want)
+	}
+	// A clean close checkpointed everything: nothing to replay.
+	if st := db2.DurabilityStats(); st.RecoveredRecords != 0 {
+		t.Fatalf("replayed %d records after clean close, want 0", st.RecoveredRecords)
+	}
+}
+
+func TestTornFinalFrameDropsOnlyLastCommit(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := mustOpen(t, dir, Options{})
+	seedGroups(t, db)
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("person", map[string]Value{"lastname": String_("Acked")})
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, db)
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("person", map[string]Value{"lastname": String_("Torn")})
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash tearing the final frame: chop bytes off the
+	// newest segment so its last record (the "Torn" insert) is partial.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	newest := segs[len(segs)-1]
+	info, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, recovered := mustOpen(t, dir, Options{})
+	if !recovered {
+		t.Fatal("reopen found no state")
+	}
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("state after torn-frame recovery diverges:\n got %v\nwant %v", got, want)
+	}
+	// The log is repaired in place: new commits append cleanly and a
+	// third open sees them.
+	if err := db2.Update(func(tx *Tx) error {
+		return tx.Insert("person", map[string]Value{"lastname": String_("Fresh")})
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	want = dump(t, db2)
+	db3, _ := mustOpen(t, dir, Options{})
+	if got := dump(t, db3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("state after repair+append diverges:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestRolledBackOpsLeaveNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := mustOpen(t, dir, Options{})
+	seedGroups(t, db)
+	// Mimic the group-commit scheduler: several savepointed operations
+	// inside one transaction, one of which rolls back.
+	tx := db.BeginWrite("person")
+	if err := tx.Insert("person", map[string]Value{"lastname": String_("Keep1")}); err != nil {
+		t.Fatal(err)
+	}
+	sp := tx.Savepoint()
+	if err := tx.Insert("person", map[string]Value{"lastname": String_("Keep1")}); err == nil {
+		t.Fatal("duplicate unique insert succeeded")
+	} else {
+		tx.RollbackTo(sp)
+	}
+	if err := tx.Insert("person", map[string]Value{"lastname": String_("Keep2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, db)
+
+	db2, _ := mustOpen(t, dir, Options{})
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay of savepointed batch diverges:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestDDLReplayAndDrop(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := mustOpen(t, dir, Options{})
+	seedGroups(t, db)
+	if err := db.CreateTable(&TableSchema{
+		Name:       "scratch",
+		Columns:    []Column{{Name: "id", Type: TInt, NotNull: true}},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("scratch"); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, db)
+	wantNames := db.TableNames()
+
+	db2, _ := mustOpen(t, dir, Options{})
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("DDL replay diverges:\n got %v\nwant %v", got, want)
+	}
+	if got := db2.TableNames(); !reflect.DeepEqual(got, wantNames) {
+		t.Fatalf("table names after replay = %v, want %v", got, wantNames)
+	}
+}
+
+func TestAutoCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny threshold so the background checkpoint fires quickly.
+	db, _ := mustOpen(t, dir, Options{CheckpointBytes: 256})
+	seedGroups(t, db)
+	for i := 0; i < 50; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			return tx.Insert("person", map[string]Value{
+				"lastname": String_("Bulk" + string(rune('A'+i%26)) + string(rune('0'+i/26))),
+			})
+		}, "person"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil { // waits on nothing, but forces a final checkpoint
+		t.Fatal(err)
+	}
+	st := db.DurabilityStats()
+	if st.Checkpoints < 2 {
+		t.Fatalf("expected automatic checkpoints to fire, got %+v", st)
+	}
+	want := dump(t, db)
+	db2, _ := mustOpen(t, dir, Options{})
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state diverges after auto-checkpoints")
+	}
+}
+
+func TestCorruptCheckpointRefused(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := mustOpen(t, dir, Options{})
+	seedGroups(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpointFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open("persisttest", Options{DataDir: dir}); err == nil {
+		t.Fatal("open of a corrupt checkpoint succeeded")
+	}
+}
+
+func TestStaleSegmentAfterCrashedCheckpointSkipped(t *testing.T) {
+	// A crash between checkpoint write and segment removal leaves old
+	// segments whose records the checkpoint already covers; replay
+	// must skip them instead of double-applying.
+	dir := t.TempDir()
+	db, _ := mustOpen(t, dir, Options{})
+	seedGroups(t, db)
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("person", map[string]Value{"lastname": String_("Covered")})
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	// Write the checkpoint by hand without pruning segments — exactly
+	// the state a crash mid-Checkpoint leaves.
+	snap := db.snapshot()
+	if err := wal.WriteFileAtomic(filepath.Join(dir, checkpointFile), encodeCheckpoint(snap)); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, db)
+
+	db2, recovered := mustOpen(t, dir, Options{})
+	if !recovered {
+		t.Fatal("reopen found no state")
+	}
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("stale-segment recovery diverges:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestValueAndSchemaRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null, Int(-42), Int(1 << 40), Float(3.25), Float(-0.0),
+		String_(""), String_("héllo\x00world"), Bool(true), Bool(false),
+	}
+	var b []byte
+	for _, v := range vals {
+		b = appendValue(b, v)
+	}
+	d := &walDec{b: b}
+	for i, want := range vals {
+		if got := d.value(); got != want {
+			t.Fatalf("value %d round-tripped to %v, want %v", i, got, want)
+		}
+	}
+	if d.err != nil || len(d.b) != 0 {
+		t.Fatalf("decoder state after round trip: err=%v rest=%d", d.err, len(d.b))
+	}
+
+	s := personSchema()
+	sd := &walDec{b: appendSchema(nil, s)}
+	got := sd.schema()
+	if sd.err != nil {
+		t.Fatal(sd.err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("schema round-tripped to %+v, want %+v", got, s)
+	}
+}
+
+func TestEphemeralOpenHasNoDurability(t *testing.T) {
+	db, recovered, err := Open("mem", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered {
+		t.Fatal("ephemeral open reported recovery")
+	}
+	if st := db.DurabilityStats(); st.Enabled {
+		t.Fatal("ephemeral database reports durability enabled")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsyncsAmortizedAcrossBatchedOps(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := mustOpen(t, dir, Options{})
+	seedGroups(t, db)
+	before := db.DurabilityStats().Fsyncs
+	// Ten operations in one transaction = one publish = one record =
+	// one fsync. This is the property the group-commit scheduler
+	// builds on.
+	if err := db.Update(func(tx *Tx) error {
+		for i := 0; i < 10; i++ {
+			if err := tx.Insert("person", map[string]Value{
+				"lastname": String_("Batch" + string(rune('A'+i))),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, "person"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.DurabilityStats().Fsyncs - before; got != 1 {
+		t.Fatalf("10 batched ops cost %d fsyncs, want 1", got)
+	}
+}

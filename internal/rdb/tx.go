@@ -40,6 +40,9 @@ type Tx struct {
 	// working holds the derived (uncommitted) versions of the tables
 	// this transaction has written, keyed by lowercased name.
 	working map[string]*tableVersion
+	// changes records the logical row mutations for the WAL commit
+	// record, in execution order; only populated on a durable database.
+	changes []walChange
 	// locks is the acquired lock set in acquisition order; mode maps a
 	// lowercased table name to its lock entry.
 	locks []lockPlanEntry
@@ -116,18 +119,23 @@ func (tx *Tx) release() {
 
 // Commit publishes the transaction's derived table versions as the
 // next database snapshot and releases its locks. Readers that loaded
-// the previous snapshot keep seeing it; new readers see this one.
+// the previous snapshot keep seeing it; new readers see this one. On
+// a durable database the commit is fsynced to the WAL before it
+// becomes visible; if that fails, the commit is discarded (nothing
+// was published) and the error is returned.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("rdb: transaction already finished")
 	}
 	tx.done = true
+	var err error
 	if len(tx.working) > 0 {
-		tx.db.publish(tx.working)
+		err = tx.db.publish(tx.working, tx.changes)
 		tx.working = nil
+		tx.changes = nil
 	}
 	tx.release()
-	return nil
+	return err
 }
 
 // Rollback discards every derived version and releases the locks —
@@ -140,6 +148,7 @@ func (tx *Tx) Rollback() error {
 	}
 	tx.done = true
 	tx.working = nil
+	tx.changes = nil
 	tx.release()
 	return nil
 }
@@ -149,6 +158,10 @@ func (tx *Tx) Rollback() error {
 // savepoint is just the set of version pointers.
 type Savepoint struct {
 	working map[string]*tableVersion
+	// nchanges is the WAL change-list length at capture time;
+	// RollbackTo truncates back to it so a rolled-back operation
+	// leaves no trace in the commit record.
+	nchanges int
 }
 
 // Savepoint returns a marker for the transaction's current state;
@@ -156,7 +169,10 @@ type Savepoint struct {
 // batched operation with one, giving per-operation atomicity inside a
 // shared transaction.
 func (tx *Tx) Savepoint() Savepoint {
-	sp := Savepoint{working: make(map[string]*tableVersion, len(tx.working))}
+	sp := Savepoint{
+		working:  make(map[string]*tableVersion, len(tx.working)),
+		nchanges: len(tx.changes),
+	}
 	for k, v := range tx.working {
 		sp.working[k] = v
 	}
@@ -172,6 +188,7 @@ func (tx *Tx) RollbackTo(sp Savepoint) {
 		working[k] = v
 	}
 	tx.working = working
+	tx.changes = tx.changes[:sp.nchanges]
 }
 
 // View runs fn inside a lock-free read-only transaction pinned to the
@@ -246,6 +263,17 @@ func (tx *Tx) set(name string, v *tableVersion) {
 		tx.working = make(map[string]*tableVersion, 4)
 	}
 	tx.working[lowerName(name)] = v
+}
+
+// logChange captures one row mutation for the WAL commit record. The
+// row is the post-coercion slice the derived version stores — both
+// sides treat it as immutable, so no copy is needed. Ephemeral
+// databases skip capture entirely.
+func (tx *Tx) logChange(table string, op byte, id int64, row []Value) {
+	if tx.db.persist == nil {
+		return
+	}
+	tx.changes = append(tx.changes, walChange{table: table, op: op, id: id, row: row})
 }
 
 // Schema returns the schema of the named table. Schemas are immutable
@@ -325,8 +353,9 @@ func (tx *Tx) Insert(tableName string, vals map[string]Value) error {
 	for i := range row {
 		row[i] = coerce(row[i], &s.Columns[i])
 	}
-	nv, _ := v.insert(row)
+	nv, id := v.insert(row)
 	tx.set(tableName, nv)
+	tx.logChange(s.Name, walInsert, id, row)
 	return nil
 }
 
@@ -372,6 +401,7 @@ func (tx *Tx) UpdateByID(tableName string, id int64, set map[string]Value) error
 		row[i] = coerce(row[i], &s.Columns[i])
 	}
 	tx.set(tableName, v.update(id, row))
+	tx.logChange(s.Name, walUpdate, id, row)
 	return nil
 }
 
@@ -393,6 +423,7 @@ func (tx *Tx) DeleteByID(tableName string, id int64) error {
 		return err
 	}
 	tx.set(tableName, v.remove(id))
+	tx.logChange(v.schema.Name, walDelete, id, nil)
 	return nil
 }
 

@@ -22,10 +22,11 @@ import (
 type DifferentialStream struct {
 	// Setup creates the shared team pool; run before Requests.
 	Setup []string
-	// Requests is the mixed stream: typed author inserts, five MODIFY
+	// Requests is the mixed stream: typed author inserts, six MODIFY
 	// shapes (constant-subject BGP, typed variable-subject, delete-only,
-	// insert-only re-add, FILTER fallback), and invalid MODIFYs whose
-	// violation feedback must match across modes.
+	// insert-only re-add, STR-FILTER fallback, compiled comparison
+	// FILTER), and invalid MODIFYs whose violation feedback must match
+	// across modes.
 	Requests []string
 }
 
@@ -134,7 +135,7 @@ INSERT DATA {
 		seq++
 		a := authors[rng.Intn(len(authors))]
 		fresh := fmt.Sprintf("mailto:r%d@example.org", seq)
-		switch k := rng.Intn(10); {
+		switch k := rng.Intn(11); {
 		case k < 2:
 			addAuthor()
 		case k < 4: // constant-subject BGP rotate (the compiled hot shape)
@@ -181,7 +182,7 @@ DELETE { }
 INSERT { ?x foaf:mbox <%s> . }
 WHERE { ?x rdf:type foaf:Person ; foaf:family_name "%s" . }`, Prologue, fresh, a.last))
 			a.mbox = fresh
-		case k < 9: // FILTER WHERE: both paths fall back to virtual-view evaluation
+		case k < 9: // non-comparison FILTER (STR): both paths fall back to virtual-view evaluation
 			if a.mbox == "" {
 				addAuthor()
 				continue
@@ -191,6 +192,17 @@ MODIFY
 DELETE { ?x foaf:mbox ?m . }
 INSERT { ?x foaf:mbox <%s> . }
 WHERE { ?x foaf:mbox ?m . FILTER (STR(?m) = "%s") }`, Prologue, fresh, a.mbox))
+			a.mbox = fresh
+		case k < 10: // comparison FILTER: lowers into the compiled MODIFY SELECT
+			if a.mbox == "" {
+				addAuthor()
+				continue
+			}
+			ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x foaf:mbox <%s> . }
+WHERE { ?x foaf:family_name ?l ; foaf:mbox ?m . FILTER (?l = "%s") }`, Prologue, fresh, a.last))
 			a.mbox = fresh
 		default: // invalid: ont:teamCode is a Group attribute, not a Person one
 			ds.Requests = append(ds.Requests, fmt.Sprintf(`%s

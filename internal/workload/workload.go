@@ -116,6 +116,24 @@ func NewDatabase() (*rdb.Database, error) {
 	return db, nil
 }
 
+// OpenDatabase opens (or creates) a durable Figure 1 database rooted
+// at dataDir: prior state is recovered from the checkpoint + WAL, and
+// the schema DDL is applied only when nothing was recovered (recovery
+// replays the original CREATE TABLEs itself).
+func OpenDatabase(dataDir string) (*rdb.Database, bool, error) {
+	db, recovered, err := rdb.Open("publications", rdb.Options{DataDir: dataDir})
+	if err != nil {
+		return nil, false, err
+	}
+	if !recovered {
+		if _, err := sqlexec.Run(db, SchemaSQL); err != nil {
+			db.Close()
+			return nil, false, fmt.Errorf("workload: creating schema: %w", err)
+		}
+	}
+	return db, recovered, nil
+}
+
 // LoadMapping parses the canonical Table 1 mapping.
 func LoadMapping() (*r3m.Mapping, error) {
 	return r3m.Load(MappingTTL)
@@ -132,6 +150,27 @@ func NewMediator(opts core.Options) (*core.Mediator, error) {
 		return nil, err
 	}
 	return core.New(db, mapping, opts)
+}
+
+// NewPersistentMediator is NewMediator on a durable database rooted
+// at dataDir; it reports whether prior state was recovered. Callers
+// own the shutdown: m.Close() checkpoints and closes the WAL.
+func NewPersistentMediator(dataDir string, opts core.Options) (*core.Mediator, bool, error) {
+	db, recovered, err := OpenDatabase(dataDir)
+	if err != nil {
+		return nil, false, err
+	}
+	mapping, err := LoadMapping()
+	if err != nil {
+		db.Close()
+		return nil, false, err
+	}
+	m, err := core.New(db, mapping, opts)
+	if err != nil {
+		db.Close()
+		return nil, false, err
+	}
+	return m, recovered, nil
 }
 
 // Generator produces deterministic synthetic update streams shaped

@@ -53,6 +53,9 @@ type (
 	Mapping = r3m.Mapping
 	// Database is the embedded relational engine.
 	Database = rdb.Database
+	// StorageOptions configures the embedded engine's durability: a
+	// DataDir enables the write-ahead log and checkpointing.
+	StorageOptions = rdb.Options
 	// Violation is a semantically rich constraint violation.
 	Violation = feedback.Violation
 	// Report is the feedback report of a request.
@@ -78,6 +81,27 @@ func NewDatabase(name, ddl string) (*Database, error) {
 		}
 	}
 	return db, nil
+}
+
+// Open creates or reopens an embedded database. With a DataDir in
+// opts the database is durable: committed writes hit the write-ahead
+// log (append + fsync) before they are acknowledged, and reopening
+// the directory recovers the acknowledged state — after a clean Close
+// or a crash. recovered reports whether existing state was loaded;
+// the DDL script only applies to a fresh store (recovery replays the
+// original DDL from the checkpoint and log).
+func Open(name, ddl string, opts StorageOptions) (*Database, bool, error) {
+	db, recovered, err := rdb.Open(name, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if !recovered && ddl != "" {
+		if _, err := sqlexec.Run(db, ddl); err != nil {
+			db.Close()
+			return nil, false, err
+		}
+	}
+	return db, recovered, nil
 }
 
 // LoadMapping parses an R3M mapping from Turtle and validates it.

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race cover crash-recovery fuzz-smoke bench bench-smoke bench-json clean
+.PHONY: ci fmt-check vet build test race cover crash-recovery metamorphic fuzz-smoke bench bench-smoke bench-json clean
 
-ci: fmt-check vet build race cover crash-recovery fuzz-smoke bench-smoke
+ci: fmt-check vet build race cover crash-recovery metamorphic fuzz-smoke bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -26,8 +26,9 @@ race:
 	$(GO) test -race ./...
 
 # Coverage gates: the translation core, the SQL executor (the
-# compiled read path's engine) and the write-ahead log must all stay
-# above 70%.
+# compiled read path's engine), the write-ahead log, the storage
+# engine (statistics included) and the SPARQL engine (aggregation
+# included) must all stay above 70%.
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/core
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "core coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "core coverage %.1f%% (gate 70%%)\n", $$3 }'
@@ -35,6 +36,10 @@ cover:
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "sqlexec coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "sqlexec coverage %.1f%% (gate 70%%)\n", $$3 }'
 	$(GO) test -coverprofile=cover.out ./internal/rdb/wal
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "wal coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "wal coverage %.1f%% (gate 70%%)\n", $$3 }'
+	$(GO) test -coverprofile=cover.out ./internal/rdb
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "rdb coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "rdb coverage %.1f%% (gate 70%%)\n", $$3 }'
+	$(GO) test -coverprofile=cover.out ./internal/sparql
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "sparql coverage %.1f%% is below the 70%% gate\n", $$3; exit 1 } else printf "sparql coverage %.1f%% (gate 70%%)\n", $$3 }'
 
 # The durability gate: recovery replay, torn-tail handling and the
 # kill-and-recover differential (hard stop mid-stream, reopen, compare
@@ -43,13 +48,20 @@ crash-recovery:
 	$(GO) test -run 'Recover|Torn|Checkpoint|Wal|WAL' ./internal/rdb ./internal/rdb/wal
 	$(GO) test -run TestKillAndRecoverDifferential ./internal/workload
 
-# 40s of native fuzzing across the four parser/normalizer targets —
-# regressions land in testdata/fuzz/ as seeds.
+# The read-path metamorphic invariants: query-to-query relations
+# (UNION vs OR, always-false OPTIONAL, COUNT(*) vs length, LIMIT
+# prefix) that hold in every execution mode.
+metamorphic:
+	$(GO) test -run 'TestMetamorphic' -v ./internal/workload
+
+# 50s of native fuzzing across the parser/normalizer targets and the
+# statistics invariant — regressions land in testdata/fuzz/ as seeds.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParseUpdate -fuzztime 10s -run '^$$' ./internal/update
 	$(GO) test -fuzz FuzzParseQuery -fuzztime 10s -run '^$$' ./internal/sparql
 	$(GO) test -fuzz FuzzParseSelect -fuzztime 10s -run '^$$' ./internal/rdb/sqlparser
 	$(GO) test -fuzz FuzzNormalizeShape -fuzztime 10s -run '^$$' ./internal/core
+	$(GO) test -fuzz FuzzStatsInvariant -fuzztime 10s -run '^$$' ./internal/rdb
 
 # One iteration of every benchmark: catches bit-rot without timing.
 bench-smoke:

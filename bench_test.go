@@ -1148,6 +1148,140 @@ func BenchmarkB15_FsyncBatching(b *testing.B) {
 	}
 }
 
+// BenchmarkB16_JoinOrdering measures what the cost-based join
+// placement buys on a skewed three-table join. The SQL is written in
+// the worst textual order: scan every publication, probe the link
+// table, probe the author — when the WHERE pins a single author by
+// primary key. Textual placement pays the full publication scan per
+// query; cost-based placement reads the statistics off the snapshot
+// (row counts, per-index distinct counts), starts from the one-row
+// author probe, fans out through the link table's author index, and
+// touches only that author's publications. Results are byte-identical
+// by the ordering contract (experiment B16; DESIGN.md section 5).
+func BenchmarkB16_JoinOrdering(b *testing.B) {
+	const (
+		pubs          = 3000
+		authors       = 200
+		pubsPerAuthor = pubs / authors
+	)
+	db, err := workload.NewDatabase()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	for a := 1; a <= authors; a++ {
+		fmt.Fprintf(&sb, "INSERT INTO author (id, lastname) VALUES (%d, 'L%d');\n", a, a)
+	}
+	for p := 1; p <= pubs; p++ {
+		fmt.Fprintf(&sb, "INSERT INTO publication (id, title, year) VALUES (%d, 'T%d', %d);\n", p, p, 2000+p%10)
+		// Skew: publications spread evenly, so one author matches
+		// pubsPerAuthor of them and textual order overscans by pubs/pubsPerAuthor.
+		fmt.Fprintf(&sb, "INSERT INTO publication_author (publication, author) VALUES (%d, %d);\n", p, p%authors+1)
+	}
+	if _, err := sqlexec.Run(db, sb.String()); err != nil {
+		b.Fatal(err)
+	}
+	query := fmt.Sprintf(`SELECT t0.title FROM publication t0 JOIN publication_author l0 ON l0.publication = t0.id JOIN author a0 ON l0.author = a0.id WHERE a0.id = %d;`, authors/2)
+	stmt, err := sqlparser.ParseStatement(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := stmt.(sqlparser.Select)
+	for _, mode := range []struct {
+		name string
+		run  func(tx *rdb.Tx) (*sqlexec.ResultSet, error)
+	}{
+		{"CostBased", func(tx *rdb.Tx) (*sqlexec.ResultSet, error) { return sqlexec.Select(tx, sel) }},
+		{"Textual", func(tx *rdb.Tx) (*sqlexec.ResultSet, error) { return sqlexec.SelectTextual(tx, sel) }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := db.View(func(tx *rdb.Tx) error {
+					rs, rerr := mode.run(tx)
+					if rerr != nil {
+						return rerr
+					}
+					if len(rs.Rows) != pubsPerAuthor {
+						b.Fatalf("rows = %d, want %d", len(rs.Rows), pubsPerAuthor)
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkB17_StreamingAggregate measures the compiled aggregate
+// path — GROUP BY and COUNT/SUM folded into one streaming pass over
+// the scan — against evaluating the same query natively over the
+// exported virtual RDF view, which materializes every pubYear triple
+// before aggregating (experiment B17; DESIGN.md section 5).
+func BenchmarkB17_StreamingAggregate(b *testing.B) {
+	const pubs = 2000
+	query := workload.Prologue + `
+SELECT ?y (COUNT(?p) AS ?n) (SUM(?y) AS ?s) WHERE { ?p ont:pubYear ?y . } GROUP BY ?y`
+	setup := func(b *testing.B, opts core.Options) *core.Mediator {
+		m := newMediator(b, opts)
+		for i := 0; i < pubs; i += 50 {
+			var sb strings.Builder
+			sb.WriteString(workload.Prologue)
+			sb.WriteString("\nINSERT DATA {\n")
+			for j := i + 1; j <= i+50; j++ {
+				fmt.Fprintf(&sb, "  ex:pub%d dc:title \"Title %d\" ; ont:pubYear \"%d\" .\n", j, j, 2000+j%10)
+			}
+			sb.WriteString("}")
+			exec(b, m, sb.String())
+		}
+		return m
+	}
+	check := func(b *testing.B, n int) {
+		if n != 10 {
+			b.Fatalf("groups = %d, want 10", n)
+		}
+	}
+	b.Run("Compiled", func(b *testing.B) {
+		m := setup(b, core.Options{})
+		if _, err := m.QueryPlanFor(query); err != nil {
+			b.Fatalf("aggregate query did not compile: %v", err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := m.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, len(res.Solutions))
+		}
+	})
+	b.Run("ExportAndEval", func(b *testing.B) {
+		m := setup(b, core.Options{})
+		q, err := sparql.ParseQuery(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := m.DB().View(func(tx *rdb.Tx) error {
+				sols, serr := sparql.Eval(m.VirtualGraph(tx), q)
+				if serr != nil {
+					return serr
+				}
+				check(b, len(sols))
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---- request builders ----
 
 func seedTeams(from, to int) string {

@@ -60,10 +60,13 @@ type filterSide struct {
 
 // filterCond is one FILTER conjunct in canonical orientation: the left
 // side is always a variable (a constant-vs-variable comparison is
-// flipped, inverting the operator).
+// flipped, inverting the operator). When alts is non-empty the
+// conjunct is a disjunction of those simple comparisons (a || chain)
+// and the direct fields are unused.
 type filterCond struct {
 	op   sparql.BinOp
 	l, r filterSide
+	alts []filterCond
 }
 
 // flipOp mirrors a comparison operator around its operands.
@@ -112,6 +115,16 @@ func lowerFilterExpr(e sparql.Expr, out []filterCond) ([]filterCond, bool) {
 		}
 		return lowerFilterExpr(b.Right, out)
 	}
+	if b.Op == sparql.OpOr {
+		// A || chain becomes one disjunctive conjunct whose branches are
+		// all simple comparisons. OR of AND stays uncompiled: SQL would
+		// need nested parenthesization the lowering doesn't prove out.
+		alts, ok := lowerOrChain(e, nil)
+		if !ok {
+			return nil, false
+		}
+		return append(out, filterCond{alts: alts}), true
+	}
 	switch b.Op {
 	case sparql.OpEq, sparql.OpNe, sparql.OpLt, sparql.OpLe, sparql.OpGt, sparql.OpGe:
 	default:
@@ -131,6 +144,27 @@ func lowerFilterExpr(e sparql.Expr, out []filterCond) ([]filterCond, bool) {
 		op = flipOp(op)
 	}
 	return append(out, filterCond{op: op, l: l, r: r}), true
+}
+
+// lowerOrChain flattens a || chain into its simple comparison
+// disjuncts, in textual order.
+func lowerOrChain(e sparql.Expr, alts []filterCond) ([]filterCond, bool) {
+	b, ok := e.(sparql.ExprBinary)
+	if !ok {
+		return nil, false
+	}
+	if b.Op == sparql.OpOr {
+		alts, ok = lowerOrChain(b.Left, alts)
+		if !ok {
+			return nil, false
+		}
+		return lowerOrChain(b.Right, alts)
+	}
+	sub, ok := lowerFilterExpr(e, nil)
+	if !ok || len(sub) != 1 || len(sub[0].alts) > 0 {
+		return nil, false
+	}
+	return append(alts, sub[0]), true
 }
 
 func filterSideOf(e sparql.Expr) (filterSide, bool) {
@@ -262,13 +296,53 @@ func (tr *translator) addFilters(filters []sparql.Expr) error {
 }
 
 func (tr *translator) addFilterCond(fi int, c filterCond) error {
+	if len(c.alts) > 0 {
+		// Disjunctions only reach translation on the structural paths
+		// (comp == nil): normalizeFilters refuses them, so parameterized
+		// plans never contain one. Every branch is proven independently;
+		// the operands are non-null, comparable values on both sides, so
+		// SQL's three-valued OR collapses to SPARQL's logical-or.
+		if tr.comp != nil {
+			return fmt.Errorf("core: FILTER disjunction in a parameterized plan")
+		}
+		or := make([]sqlgen.WhereSpec, 0, len(c.alts))
+		for _, alt := range c.alts {
+			w, err := tr.filterCondSpec(fi, alt)
+			if err != nil {
+				return err
+			}
+			or = append(or, w)
+		}
+		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Or: or})
+		return nil
+	}
+	w, err := tr.filterCondSpec(fi, c)
+	if err != nil {
+		return err
+	}
+	tr.wheres = append(tr.wheres, w)
+	return nil
+}
+
+// filterCondSpec lowers one simple comparison conjunct to a WHERE
+// condition, proving SQL evaluation decides like SPARQL first.
+func (tr *translator) filterCondSpec(fi int, c filterCond) (sqlgen.WhereSpec, error) {
+	none := sqlgen.WhereSpec{}
 	lb, ok := tr.bind[c.l.v]
 	if !ok {
-		return fmt.Errorf("core: FILTER uses unbound variable ?%s", c.l.v)
+		return none, fmt.Errorf("core: FILTER uses unbound variable ?%s", c.l.v)
+	}
+	if lb.nullable {
+		// Possibly-unbound (OPTIONAL) variables stay uncompiled: SPARQL
+		// filter evaluation on an unbound variable errors the row away
+		// only after the optional has already extended it, a two-stage
+		// semantics the single WHERE clause cannot reproduce for every
+		// placement.
+		return none, fmt.Errorf("core: FILTER on optional variable ?%s is not translatable", c.l.v)
 	}
 	lcol, ok := filterableBinding(lb)
 	if !ok {
-		return fmt.Errorf("core: FILTER variable ?%s is not a comparable data attribute", c.l.v)
+		return none, fmt.Errorf("core: FILTER variable ?%s is not a comparable data attribute", c.l.v)
 	}
 	ordered := c.op != sparql.OpEq && c.op != sparql.OpNe
 	column := lb.alias + "." + lb.col
@@ -276,11 +350,14 @@ func (tr *translator) addFilterCond(fi int, c filterCond) error {
 	if c.r.isVar {
 		rb, ok := tr.bind[c.r.v]
 		if !ok {
-			return fmt.Errorf("core: FILTER uses unbound variable ?%s", c.r.v)
+			return none, fmt.Errorf("core: FILTER uses unbound variable ?%s", c.r.v)
+		}
+		if rb.nullable {
+			return none, fmt.Errorf("core: FILTER on optional variable ?%s is not translatable", c.r.v)
 		}
 		rcol, ok := filterableBinding(rb)
 		if !ok {
-			return fmt.Errorf("core: FILTER variable ?%s is not a comparable data attribute", c.r.v)
+			return none, fmt.Errorf("core: FILTER variable ?%s is not a comparable data attribute", c.r.v)
 		}
 		// Equal decode datatypes collapse SPARQL term *identity* to
 		// value comparison on both sides; the classes must agree for
@@ -293,7 +370,7 @@ func (tr *translator) addFilterCond(fi int, c filterCond) error {
 		// order lexically exactly like the stored booleans).
 		cls := colClass(lcol.Type)
 		if cls == 0 || cls != colClass(rcol.Type) || lb.am.Datatype != rb.am.Datatype {
-			return fmt.Errorf("core: FILTER compares incomparable attributes")
+			return none, fmt.Errorf("core: FILTER compares incomparable attributes")
 		}
 		if cls == 1 && !numericDatatype(lb.am.Datatype) {
 			// Numeric storage with lexically decoding terms: SPARQL
@@ -301,7 +378,7 @@ func (tr *translator) addFilterCond(fi int, c filterCond) error {
 			// goes through float64, which collapses distinct integers
 			// beyond 2^53 — the comparison semantics cannot be proven
 			// equal for any operator.
-			return fmt.Errorf("core: FILTER compares numerically stored but lexically decoded attributes")
+			return none, fmt.Errorf("core: FILTER compares numerically stored but lexically decoded attributes")
 		}
 		if ordered {
 			dt := lb.am.Datatype
@@ -309,59 +386,56 @@ func (tr *translator) addFilterCond(fi int, c filterCond) error {
 				(cls == 2 && (stringishDatatype(dt) || dateDatatype(dt))) ||
 				(cls == 3 && stringishDatatype(dt))
 			if !orderable {
-				return fmt.Errorf("core: FILTER orders attributes SPARQL cannot order")
+				return none, fmt.Errorf("core: FILTER orders attributes SPARQL cannot order")
 			}
 		}
-		tr.wheres = append(tr.wheres, sqlgen.WhereSpec{
+		return sqlgen.WhereSpec{
 			Column: column, OtherColumn: rb.alias + "." + rb.col, Op: sparqlToCmp[c.op],
-		})
-		return nil
+		}, nil
 	}
 
 	t := c.r.term
 	if t.Lang != "" {
-		return fmt.Errorf("core: FILTER against a language-tagged literal is not translatable")
+		return none, fmt.Errorf("core: FILTER against a language-tagged literal is not translatable")
 	}
 	var conv convKind
 	switch {
 	case t.IsNumeric():
 		if colClass(lcol.Type) != 1 || !numericDatatype(lb.am.Datatype) {
-			return fmt.Errorf("core: FILTER compares a numeric constant with a non-numeric attribute")
+			return none, fmt.Errorf("core: FILTER compares a numeric constant with a non-numeric attribute")
 		}
 		conv = convFilterNum
 	case stringishDatatype(t.Datatype):
 		if !stringishDatatype(lb.am.Datatype) {
-			return fmt.Errorf("core: FILTER compares a string constant with a typed attribute")
+			return none, fmt.Errorf("core: FILTER compares a string constant with a typed attribute")
 		}
 		if ordered && colClass(lcol.Type) != 2 {
-			return fmt.Errorf("core: FILTER orders a non-string column lexically")
+			return none, fmt.Errorf("core: FILTER orders a non-string column lexically")
 		}
 		conv = convFilterCanon
 	case dateDatatype(t.Datatype):
 		if lb.am.Datatype != t.Datatype || colClass(lcol.Type) != 2 {
-			return fmt.Errorf("core: FILTER compares a date constant with a non-matching attribute")
+			return none, fmt.Errorf("core: FILTER compares a date constant with a non-matching attribute")
 		}
 		conv = convFilterCanon
 	default:
-		return fmt.Errorf("core: FILTER constant %s is not translatable", t)
+		return none, fmt.Errorf("core: FILTER constant %s is not translatable", t)
 	}
 
 	if tr.comp != nil {
 		if segs := tr.comp.filterSegs(fi); segs != nil {
 			src := valueSrc{segs: segs, raw: t.Value, conv: conv, col: lcol}
-			tr.wheres = append(tr.wheres, sqlgen.WhereSpec{
+			return sqlgen.WhereSpec{
 				Column: column, Op: sparqlToCmp[c.op], Param: tr.comp.addSrc(src),
-			})
-			return nil
+			}, nil
 		}
 	}
 	src := valueSrc{raw: t.Value, conv: conv, col: lcol}
 	v, err := tr.m.bindValue(&src, "", nil)
 	if err != nil {
-		return fmt.Errorf("core: FILTER constant %s does not convert canonically", t)
+		return none, fmt.Errorf("core: FILTER constant %s does not convert canonically", t)
 	}
-	tr.wheres = append(tr.wheres, sqlgen.WhereSpec{Column: column, Op: sparqlToCmp[c.op], Value: v})
-	return nil
+	return sqlgen.WhereSpec{Column: column, Op: sparqlToCmp[c.op], Value: v}, nil
 }
 
 // ---- solution modifiers ---------------------------------------------
@@ -381,6 +455,12 @@ func applyQueryModifiers(st *SelectTranslation, q *sparql.Query, spec *sqlgen.Se
 		col, ok := filterableBinding(b)
 		if !ok {
 			return fmt.Errorf("core: ORDER BY variable ?%s is not an orderable data attribute", k.Var)
+		}
+		if b.nullable {
+			// SQL NULL ordering vs SPARQL unbound-first ordering is an
+			// equivalence this lowering does not prove; optional
+			// variables order on the uncompiled path.
+			return fmt.Errorf("core: ORDER BY on optional variable ?%s is not translatable", k.Var)
 		}
 		switch colClass(col.Type) {
 		case 2:

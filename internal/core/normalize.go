@@ -246,6 +246,11 @@ func (n *normalizer) normalizeFilters(conds []filterCond) ([]normFilterCond, boo
 	n.key.WriteByte('F')
 	out := make([]normFilterCond, 0, len(conds))
 	for _, c := range conds {
+		if len(c.alts) > 0 {
+			// Disjunctions stay off the parameterized pipeline; they
+			// compile on the structural (zero-slot) rich-shape path.
+			return nil, false
+		}
 		if !keySafe(c.l.v) {
 			return nil, false
 		}

@@ -37,6 +37,10 @@ type bindKind int
 const (
 	bindSubject bindKind = iota
 	bindColumn
+	// bindAgg marks an aggregate projection item: the column value is
+	// already the computed aggregate and decodes as a plain literal of
+	// its engine text.
+	bindAgg
 )
 
 type varBinding struct {
@@ -53,6 +57,10 @@ type varBinding struct {
 	// am renders data/IRI-valued attributes.
 	refTM *r3m.TableMap
 	am    *r3m.AttributeMap
+	// nullable marks OPTIONAL-bound variables: a NULL leaves the
+	// variable unbound instead of dropping the row. Aggregates are
+	// nullable too (SUM over no rows).
+	nullable bool
 }
 
 // node is one subject entity in the BGP, identified by variable name
@@ -120,6 +128,9 @@ type translator struct {
 	links   []linkUse
 	bind    map[string]varBinding
 	bindSeq []string
+	// leftJoins collects OPTIONAL lowerings; they attach after the
+	// inner joins so their ON clauses only reference joined aliases.
+	leftJoins []sqlgen.JoinSpec
 }
 
 type linkUse struct {
@@ -152,8 +163,13 @@ func (m *Mediator) translateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projV
 	if where == nil {
 		return nil, nil, fmt.Errorf("core: nil WHERE pattern")
 	}
-	if len(where.Optionals) > 0 || len(where.Unions) > 0 {
+	if len(where.Unions) > 0 {
 		return nil, nil, fmt.Errorf("core: only basic graph patterns are translatable to a single SELECT")
+	}
+	if len(where.Optionals) > 0 && comp != nil {
+		// Parameterized plans stay BGP-only; OPTIONAL queries compile on
+		// the structural (zero-slot) rich-shape path.
+		return nil, nil, fmt.Errorf("core: OPTIONAL is not translatable in a parameterized plan")
 	}
 	if len(where.Triples) == 0 {
 		return nil, nil, fmt.Errorf("core: empty basic graph pattern")
@@ -184,6 +200,14 @@ func (m *Mediator) translateSelect(tx *rdb.Tx, where *sparql.GroupPattern, projV
 	// Pass two: conditions, joins and variable bindings.
 	for ti, tp := range where.Triples {
 		if err := tr.addPattern(ti, tp); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Pass two-and-a-half: OPTIONAL groups lower to LEFT JOINs (or
+	// drop, when they bind nothing). Before FILTERs, which must see the
+	// nullable bindings to refuse them.
+	for _, og := range where.Optionals {
+		if err := tr.lowerOptional(og); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -577,6 +601,9 @@ func (tr *translator) buildSpec(cols []string) (*sqlgen.SelectSpec, error) {
 		}
 		remaining = still
 	}
+	// OPTIONAL left joins render last: their ON clauses reference inner
+	// aliases, never the other way around.
+	spec.Joins = append(spec.Joins, tr.leftJoins...)
 	spec.Where = conds
 	return spec, nil
 }
@@ -614,6 +641,9 @@ func (st *SelectTranslation) runParsed(tx *rdb.Tx, stmt sqlparser.Statement) (sp
 		for i, vb := range st.bindings {
 			v := row[i]
 			if v.IsNull() {
+				if vb.nullable {
+					continue // OPTIONAL/aggregate NULL: variable stays unbound
+				}
 				skip = true
 				break
 			}
@@ -637,6 +667,12 @@ func (st *SelectTranslation) runParsed(tx *rdb.Tx, stmt sqlparser.Statement) (sp
 // recursive read-lock.
 func (st *SelectTranslation) decodeValue(tx *rdb.Tx, vb varBinding, v rdb.Value) (rdf.Term, error) {
 	switch {
+	case vb.kind == bindAgg:
+		// Aggregate results decode as plain literals of their engine
+		// text — COUNT/integer SUM as base-10 integers, AVG/float SUM
+		// via strconv.FormatFloat(_, 'g', -1, 64) — which the native
+		// evaluator's aggregation reproduces byte-for-byte.
+		return rdf.Literal(v.Text()), nil
 	case vb.kind == bindSubject:
 		uri, err := st.m.mapping.InstanceURI(vb.tm, map[string]string{vb.col: v.Text()})
 		if err != nil {
@@ -705,7 +741,7 @@ func (m *Mediator) Query(src string) (*QueryResult, error) {
 		return nil, err
 	}
 	if !m.opts.DisablePlanCache {
-		cq := m.buildCachedQuery(q)
+		cq := m.buildCachedQuery(src, q)
 		m.qparses.put(src, cq)
 		if out, err, handled := m.runCachedQuery(cq); handled {
 			m.queryCompiled.Add(1)
@@ -733,21 +769,39 @@ func (m *Mediator) QueryExecStats() (compiled, fallback uint64) {
 func (m *Mediator) queryUncompiled(q *sparql.Query) (*QueryResult, error) {
 	out := &QueryResult{Form: q.Form}
 	err := m.db.View(func(tx *rdb.Tx) error {
-		// Fast path: SELECT over a translatable pattern.
-		if q.Form == sparql.FormSelect {
-			proj := q.Vars
-			if q.Star {
-				proj = q.Where.Vars()
-			}
-			if st, spec, terr := m.translateSelect(tx, q.Where, proj, nil); terr == nil {
-				if merr := applyQueryModifiers(st, q, spec); merr == nil {
-					st.SQL = sqlgen.Select(*spec)
-					sols, rerr := st.Run(tx)
-					if rerr == nil {
-						out.Vars = st.Vars
-						out.Solutions = sols
-						out.SQL = st.SQL
-						return nil
+		// Fast path: SELECT over a translatable pattern — aggregating,
+		// UNION-splitting, or plain, in that order of specificity.
+		if q.Form == sparql.FormSelect && q.Where != nil {
+			switch {
+			case q.Aggs != nil:
+				if st, sql, ok := m.runAggregateSelect(tx, q); ok {
+					out.Vars = st.vars
+					out.Solutions = st.sols
+					out.SQL = sql
+					return nil
+				}
+			case len(q.Where.Unions) == 1:
+				if st, sql, ok := m.runUnionSelect(tx, q); ok {
+					out.Vars = st.vars
+					out.Solutions = st.sols
+					out.SQL = sql
+					return nil
+				}
+			case len(q.Where.Unions) == 0:
+				proj := q.Vars
+				if q.Star {
+					proj = q.Where.Vars()
+				}
+				if st, spec, terr := m.translateSelect(tx, q.Where, proj, nil); terr == nil {
+					if merr := applyQueryModifiers(st, q, spec); merr == nil {
+						st.SQL = sqlgen.Select(*spec)
+						sols, rerr := st.Run(tx)
+						if rerr == nil {
+							out.Vars = st.Vars
+							out.Solutions = sols
+							out.SQL = st.SQL
+							return nil
+						}
 					}
 				}
 			}

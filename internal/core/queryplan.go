@@ -61,7 +61,8 @@ type normQuery struct {
 func normalizeQuery(q *sparql.Query) (key string, args []string, nq *normQuery, ok bool) {
 	w := q.Where
 	if w == nil || len(w.Triples) == 0 ||
-		len(w.Optionals) > 0 || len(w.Unions) > 0 {
+		len(w.Optionals) > 0 || len(w.Unions) > 0 ||
+		q.Aggs != nil || len(q.GroupBy) > 0 {
 		return "", nil, nil, false
 	}
 	if q.Form != sparql.FormSelect &&
@@ -162,6 +163,12 @@ type QueryPlan struct {
 	// values; -1 means the shape carries no such clause.
 	limSlot int
 	offSlot int
+	// Rich structural plans (OPTIONAL / UNION / aggregates / FILTER
+	// disjunctions) compile with zero parameter slots, keyed by source
+	// text. union holds one template per UNION branch; richQ pins the
+	// exemplar query for the solution-level union tail.
+	union []selectTemplate
+	richQ *sparql.Query
 }
 
 // Kind returns the query form the plan compiles.
@@ -175,8 +182,25 @@ func (p *QueryPlan) Slots() int { return p.slots }
 
 // ReadTables returns the tables the compiled SELECT reads.
 func (p *QueryPlan) ReadTables() []string {
-	out := []string{p.sel.spec.From}
-	for _, j := range p.sel.spec.Joins {
+	if len(p.union) > 0 {
+		var out []string
+		seen := map[string]bool{}
+		for _, br := range p.union {
+			for _, t := range append([]string{br.spec.From}, joinTables(br.spec.Joins)...) {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+		return out
+	}
+	return append([]string{p.sel.spec.From}, joinTables(p.sel.spec.Joins)...)
+}
+
+func joinTables(joins []sqlgen.JoinSpec) []string {
+	var out []string
+	for _, j := range joins {
 		out = append(out, j.Table)
 	}
 	return out
@@ -200,8 +224,12 @@ func (p *QueryPlan) Explain() string {
 
 // compileQueryPlan builds a QueryPlan from a normalized query. Shapes
 // the translator rejects (unmapped vocabulary, disconnected patterns,
-// variable predicates) return errUnplannable.
+// variable predicates) return errUnplannable. A nil normQuery requests
+// a rich structural plan instead.
 func (m *Mediator) compileQueryPlan(key string, slots int, q *sparql.Query, nq *normQuery) (*QueryPlan, error) {
+	if nq == nil {
+		return m.compileRichQueryPlan(key, q)
+	}
 	p := &QueryPlan{key: key, form: q.Form, slots: slots, tmpl: nq.tmpl,
 		limSlot: nq.limSlot, offSlot: nq.offSlot}
 	proj := projectionFor(q)
@@ -232,6 +260,82 @@ func (m *Mediator) compileQueryPlan(key string, slots int, q *sparql.Query, nq *
 	p.sel = selectTemplate{
 		spec: *spec, srcs: comp.srcs, checks: comp.checks, constURIs: comp.constURIs,
 		vars: st.Vars, bindings: st.bindings,
+	}
+	return p, nil
+}
+
+// richKey is the plan-cache key for a rich structural shape. These
+// shapes carry no parameter slots — every literal is fixed — so the
+// source text itself is the shape, and prefixing it with a marker the
+// record separator makes un-forgeable keeps the key space disjoint
+// from normalized "QUERY" keys without any keySafe screening.
+func richKey(src string) string {
+	return "RICHQ" + string(shapeRecordSep) + src
+}
+
+// richQueryEligible reports whether an un-normalizable query may still
+// compile as a rich structural plan: a SELECT whose WHERE carries
+// triples (or a single UNION whose branches do).
+func richQueryEligible(q *sparql.Query) bool {
+	w := q.Where
+	if q.Form != sparql.FormSelect || w == nil || len(w.Unions) > 1 {
+		return false
+	}
+	return len(w.Triples) > 0 || len(w.Unions) == 1
+}
+
+// compileRichQueryPlan compiles the rich SELECT surface — OPTIONAL
+// groups, one UNION construct, aggregate projections, FILTER
+// disjunctions — through the same comp=nil lowering the uncompiled
+// text fast path uses, so the two modes cannot diverge.
+func (m *Mediator) compileRichQueryPlan(key string, q *sparql.Query) (*QueryPlan, error) {
+	p := &QueryPlan{key: key, form: q.Form, richQ: q, limSlot: -1, offSlot: -1}
+	err := m.db.View(func(tx *rdb.Tx) error {
+		if branches, ok := unionBranchGroups(q); ok {
+			proj, ok := unionProjection(q)
+			if !ok {
+				return errUnplannable
+			}
+			for _, bg := range branches {
+				st, spec, terr := m.translateSelect(tx, bg, proj, nil)
+				if terr != nil {
+					return terr
+				}
+				p.union = append(p.union, selectTemplate{
+					spec: *spec, vars: st.Vars, bindings: st.bindings,
+				})
+			}
+			return nil
+		}
+		if len(q.Where.Unions) > 0 {
+			return errUnplannable
+		}
+		if q.Aggs != nil {
+			if len(q.Where.Optionals) > 0 {
+				return errUnplannable
+			}
+			st, spec, terr := m.translateSelect(tx, q.Where, aggNeededVars(q), nil)
+			if terr != nil {
+				return terr
+			}
+			if aerr := applyAggregates(st, q, spec); aerr != nil {
+				return aerr
+			}
+			p.sel = selectTemplate{spec: *spec, vars: st.Vars, bindings: st.bindings}
+			return nil
+		}
+		st, spec, terr := m.translateSelect(tx, q.Where, projectionFor(q), nil)
+		if terr != nil {
+			return terr
+		}
+		if merr := applyQueryModifiers(st, q, spec); merr != nil {
+			return merr
+		}
+		p.sel = selectTemplate{spec: *spec, vars: st.Vars, bindings: st.bindings}
+		return nil
+	})
+	if err != nil {
+		return nil, errUnplannable
 	}
 	return p, nil
 }
@@ -279,9 +383,10 @@ func projectionFor(q *sparql.Query) []string {
 // (reporting only — it is never re-parsed), and the materialized
 // CONSTRUCT template.
 type boundQuery struct {
-	sql  string
-	sel  sqlparser.Select
-	tmpl []sparql.TriplePattern
+	sql   string
+	sel   sqlparser.Select
+	union []sqlparser.Select // one per UNION branch for rich plans
+	tmpl  []sparql.TriplePattern
 }
 
 // bind instantiates the plan, verifying the shape assumptions
@@ -291,6 +396,24 @@ type boundQuery struct {
 func (p *QueryPlan) bind(m *Mediator, args []string) (*boundQuery, error) {
 	if len(args) != p.slots {
 		return nil, errPlanStale
+	}
+	if len(p.union) > 0 {
+		bq := &boundQuery{}
+		var sqls []string
+		for i := range p.union {
+			spec, err := p.union[i].bindSpec(m, args)
+			if err != nil {
+				return nil, err
+			}
+			sel, err := specSelect(&spec)
+			if err != nil {
+				return nil, err
+			}
+			bq.union = append(bq.union, sel)
+			sqls = append(sqls, sqlgen.Select(spec))
+		}
+		bq.sql = strings.Join(sqls, " UNION ")
+		return bq, nil
 	}
 	spec, err := p.sel.bindSpec(m, args)
 	if err != nil {
@@ -327,35 +450,55 @@ func (p *QueryPlan) bind(m *Mediator, args []string) (*boundQuery, error) {
 // tests assert. Param-marked conditions must already be bound.
 func specSelect(spec *sqlgen.SelectSpec) (sqlparser.Select, error) {
 	sel := sqlparser.Select{Distinct: spec.Distinct, Limit: -1, Offset: -1}
-	if len(spec.Columns) == 0 {
+	switch {
+	case len(spec.AggItems) > 0:
+		for _, it := range spec.AggItems {
+			if it.Fn == "" {
+				sel.Items = append(sel.Items, sqlparser.SelectItem{Expr: colRefOf(it.Column)})
+				continue
+			}
+			fn, ok := aggFuncOf[it.Fn]
+			if !ok {
+				return sqlparser.Select{}, fmt.Errorf("core: unknown aggregate %q in SELECT spec", it.Fn)
+			}
+			// The parser gives alias-less aggregate items the lowercase
+			// function name as default alias; mirror it for parity.
+			item := sqlparser.SelectItem{Agg: fn, Alias: strings.ToLower(it.Fn)}
+			if it.Column != "" {
+				item.Expr = colRefOf(it.Column)
+			}
+			sel.Items = append(sel.Items, item)
+		}
+	case len(spec.Columns) == 0:
 		sel.Items = []sqlparser.SelectItem{{Star: true}}
-	} else {
+	default:
 		for _, c := range spec.Columns {
 			sel.Items = append(sel.Items, sqlparser.SelectItem{Expr: colRefOf(c)})
 		}
 	}
 	sel.From = sqlparser.TableRef{Table: spec.From, Alias: spec.FromAs}
 	for _, j := range spec.Joins {
+		var on sqlparser.Expr = sqlparser.Binary{
+			Op: sqlparser.OpEq, Left: colRefOf(j.Left), Right: colRefOf(j.Right),
+		}
+		for _, w := range j.On {
+			cond, err := condExpr(w)
+			if err != nil {
+				return sqlparser.Select{}, err
+			}
+			on = sqlparser.Binary{Op: sqlparser.OpAnd, Left: on, Right: cond}
+		}
 		sel.Joins = append(sel.Joins, sqlparser.Join{
-			Ref: sqlparser.TableRef{Table: j.Table, Alias: j.As},
-			On:  sqlparser.Binary{Op: sqlparser.OpEq, Left: colRefOf(j.Left), Right: colRefOf(j.Right)},
+			Ref:       sqlparser.TableRef{Table: j.Table, Alias: j.As},
+			On:        on,
+			LeftOuter: j.LeftOuter,
 		})
 	}
 	var where sqlparser.Expr
 	for _, w := range spec.Where {
-		var cond sqlparser.Expr
-		col := colRefOf(w.Column)
-		switch {
-		case w.Param > 0:
-			return sqlparser.Select{}, fmt.Errorf("core: unbound parameter %d in SELECT spec", w.Param)
-		case w.IsNull:
-			cond = sqlparser.IsNull{Inner: col}
-		case w.NotNull:
-			cond = sqlparser.IsNull{Inner: col, Negate: true}
-		case w.OtherColumn != "":
-			cond = sqlparser.Binary{Op: cmpToParserOp[w.Op], Left: col, Right: colRefOf(w.OtherColumn)}
-		default:
-			cond = sqlparser.Binary{Op: cmpToParserOp[w.Op], Left: col, Right: sqlparser.Lit{Value: w.Value}}
+		cond, err := condExpr(w)
+		if err != nil {
+			return sqlparser.Select{}, err
 		}
 		if where == nil {
 			where = cond
@@ -364,6 +507,9 @@ func specSelect(spec *sqlgen.SelectSpec) (sqlparser.Select, error) {
 		}
 	}
 	sel.Where = where
+	for _, g := range spec.GroupBy {
+		sel.GroupBy = append(sel.GroupBy, colRefOf(g))
+	}
 	for _, k := range spec.OrderBy {
 		sel.OrderBy = append(sel.OrderBy, sqlparser.OrderKey{Expr: colRefOf(k.Column), Desc: k.Desc})
 	}
@@ -374,6 +520,47 @@ func specSelect(spec *sqlgen.SelectSpec) (sqlparser.Select, error) {
 		sel.Offset = spec.Offset
 	}
 	return sel, nil
+}
+
+// condExpr lowers one WHERE condition — possibly a disjunction of
+// simple conditions — into the parser's expression shape: OR chains
+// fold left-associatively, exactly how the parser reads the rendered
+// "(a OR b OR c)" text.
+func condExpr(w sqlgen.WhereSpec) (sqlparser.Expr, error) {
+	if len(w.Or) > 0 {
+		var or sqlparser.Expr
+		for _, alt := range w.Or {
+			cond, err := condExpr(alt)
+			if err != nil {
+				return nil, err
+			}
+			if or == nil {
+				or = cond
+			} else {
+				or = sqlparser.Binary{Op: sqlparser.OpOr, Left: or, Right: cond}
+			}
+		}
+		return or, nil
+	}
+	col := colRefOf(w.Column)
+	switch {
+	case w.Param > 0:
+		return nil, fmt.Errorf("core: unbound parameter %d in SELECT spec", w.Param)
+	case w.IsNull:
+		return sqlparser.IsNull{Inner: col}, nil
+	case w.NotNull:
+		return sqlparser.IsNull{Inner: col, Negate: true}, nil
+	case w.OtherColumn != "":
+		return sqlparser.Binary{Op: cmpToParserOp[w.Op], Left: col, Right: colRefOf(w.OtherColumn)}, nil
+	default:
+		return sqlparser.Binary{Op: cmpToParserOp[w.Op], Left: col, Right: sqlparser.Lit{Value: w.Value}}, nil
+	}
+}
+
+// aggFuncOf maps the renderer's aggregate names onto the SQL parser's.
+var aggFuncOf = map[string]sqlparser.AggFunc{
+	"COUNT": sqlparser.AggCount, "SUM": sqlparser.AggSum,
+	"AVG": sqlparser.AggAvg, "MIN": sqlparser.AggMin, "MAX": sqlparser.AggMax,
 }
 
 // cmpToParserOp maps the renderer's comparison operators onto the SQL
@@ -397,6 +584,22 @@ func colRefOf(qualified string) sqlparser.ColRef {
 // exec runs the bound plan against the transaction's pinned snapshot.
 func (p *QueryPlan) exec(m *Mediator, tx *rdb.Tx, bq *boundQuery) (*QueryResult, error) {
 	out := &QueryResult{Form: p.form, SQL: bq.sql}
+	if len(p.union) > 0 {
+		var all sparql.Solutions
+		for i := range p.union {
+			st := &SelectTranslation{
+				SQL: bq.sql, Vars: p.union[i].vars, bindings: p.union[i].bindings, m: m,
+			}
+			sols, err := st.runParsed(tx, bq.union[i])
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, sols...)
+		}
+		out.Vars = p.union[0].vars
+		out.Solutions = unionTail(all, p.richQ)
+		return out, nil
+	}
 	st := &SelectTranslation{SQL: bq.sql, Vars: p.sel.vars, bindings: p.sel.bindings, m: m}
 	sols, err := st.runParsed(tx, bq.sel)
 	if err != nil {
@@ -434,12 +637,17 @@ type cachedQuery struct {
 }
 
 // buildCachedQuery compiles and binds a parsed query; unplannable
-// shapes and stale bindings leave the plan unset.
-func (m *Mediator) buildCachedQuery(q *sparql.Query) *cachedQuery {
+// shapes and stale bindings leave the plan unset. Shapes normalization
+// rejects may still compile as rich structural plans keyed on the
+// source text.
+func (m *Mediator) buildCachedQuery(src string, q *sparql.Query) *cachedQuery {
 	cq := &cachedQuery{q: q}
 	key, args, nq, ok := normalizeQuery(q)
 	if !ok {
-		return cq
+		if !richQueryEligible(q) {
+			return cq
+		}
+		key, args, nq = richKey(src), nil, nil
 	}
 	plan, ok := m.queryPlanForShape(key, len(args), q, nq)
 	if !ok {
@@ -513,7 +721,10 @@ func (m *Mediator) QueryPlanFor(src string) (*QueryPlan, error) {
 	}
 	key, args, nq, ok := normalizeQuery(q)
 	if !ok {
-		return nil, errUnplannable
+		if !richQueryEligible(q) {
+			return nil, errUnplannable
+		}
+		key, args, nq = richKey(src), nil, nil
 	}
 	plan, ok := m.queryPlanForShape(key, len(args), q, nq)
 	if !ok {

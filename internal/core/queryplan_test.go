@@ -180,7 +180,6 @@ func TestQueryPlanIntrospection(t *testing.T) {
 		// IRI-valued positions (subjects, foaf:mbox) and richer
 		// expression shapes stay on the virtual path.
 		`SELECT ?x WHERE { ?x foaf:mbox ?m . FILTER (?m = "mailto:x") }`,
-		`SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (?l = "A" || ?l = "B") }`,
 		`SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (STR(?l) = "Hert") }`,
 		`SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (?l = "Hert"@en) }`,
 		`SELECT ?x WHERE { ?x foaf:family_name ?l . } ORDER BY ?x`,
@@ -194,6 +193,23 @@ func TestQueryPlanIntrospection(t *testing.T) {
 		// The full path still answers through the fallback.
 		if _, err := m.Query(paperPrologue + unplannable); err != nil {
 			t.Errorf("%s: fallback failed: %v", unplannable, err)
+		}
+	}
+	// Rich structural shapes — OPTIONAL, UNION, aggregates, FILTER
+	// disjunctions — compile as zero-slot plans keyed on the source.
+	for _, rich := range []string{
+		`SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (?l = "A" || ?l = "Hert") }`,
+		`SELECT ?x ?m WHERE { ?x foaf:family_name "Hert" . OPTIONAL { ?x foaf:mbox ?m . } }`,
+		`SELECT ?n WHERE { { ?t foaf:name ?n . } UNION { ?x foaf:family_name ?n . } }`,
+		`SELECT (COUNT(*) AS ?n) WHERE { ?x foaf:family_name ?l . }`,
+	} {
+		p, err := m.QueryPlanFor(paperPrologue + rich)
+		if err != nil {
+			t.Errorf("%s: rich shape did not compile: %v", rich, err)
+			continue
+		}
+		if p.Kind() != "SELECT" || p.Slots() != 0 || !strings.HasPrefix(p.Key(), "RICHQ") {
+			t.Errorf("%s: rich plan = kind %s, %d slots, key %q", rich, p.Kind(), p.Slots(), p.Key())
 		}
 	}
 }
@@ -264,14 +280,15 @@ func TestQueryPlanFilterCanonicalStale(t *testing.T) {
 }
 
 // TestQueryExecStats checks the /healthz effectiveness counters: a
-// compiled query counts as compiled, an OPTIONAL query as fallback.
+// compiled query counts as compiled, an expression shape the
+// translator cannot lower (STR) as fallback.
 func TestQueryExecStats(t *testing.T) {
 	m := paperMediator(t, Options{})
 	mustExec(t, m, listing15)
 	if _, err := m.Query(paperPrologue + `SELECT ?name WHERE { ex:team5 foaf:name ?name . }`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Query(paperPrologue + `SELECT ?x WHERE { ?x foaf:family_name "Hert" . OPTIONAL { ?x foaf:mbox ?m . } }`); err != nil {
+	if _, err := m.Query(paperPrologue + `SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (STR(?l) = "Hert") }`); err != nil {
 		t.Fatal(err)
 	}
 	compiled, fallback := m.QueryExecStats()

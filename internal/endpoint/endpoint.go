@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 
 	"ontoaccess/internal/core"
@@ -233,8 +234,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "%s: %d cached, %d hits, %d misses, %d evictions\n",
 			c.name, c.stats.Size, c.stats.Hits, c.stats.Misses, c.stats.Evictions)
 	}
+	// The statistics snapshot the cost-based join planner reads: row
+	// counts plus per-index distinct counts, O(1) off the snapshot.
+	stats := db.Stats()
 	for _, name := range db.TableNames() {
-		n, _ := db.RowCount(name)
-		fmt.Fprintf(w, "table %s: %d rows\n", name, n)
+		ts := stats.Tables[name]
+		fmt.Fprintf(w, "table %s: %d rows", name, ts.Rows)
+		cols := make([]string, 0, len(ts.Distinct))
+		for c := range ts.Distinct {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, c := range cols {
+			fmt.Fprintf(w, ", %s: %d distinct", c, ts.Distinct[c])
+		}
+		fmt.Fprintln(w)
 	}
 }

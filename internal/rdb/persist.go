@@ -101,8 +101,11 @@ type persister struct {
 	recovered       atomic.Uint64
 	checkpointing   atomic.Bool
 	// ckptMu serializes Checkpoint against itself (explicit calls vs
-	// the automatic background trigger).
+	// the automatic background trigger); ckptWG lets Close wait for an
+	// in-flight background checkpoint so it cannot recreate files
+	// after the caller tears the data directory down.
 	ckptMu sync.Mutex
+	ckptWG sync.WaitGroup
 }
 
 // append writes one record and makes it durable. Callers hold
@@ -131,7 +134,9 @@ func (p *persister) maybeCheckpoint(db *Database) {
 	if !p.checkpointing.CompareAndSwap(false, true) {
 		return
 	}
+	p.ckptWG.Add(1)
 	go func() {
+		defer p.ckptWG.Done()
 		defer p.checkpointing.Store(false)
 		db.Checkpoint() //nolint:errcheck // retried on the next trigger
 	}()
@@ -265,6 +270,9 @@ func (db *Database) Close() error {
 	if p == nil {
 		return nil
 	}
+	// Commits happen-before Close, so every background checkpoint has
+	// already been registered; wait it out before the final one.
+	p.ckptWG.Wait()
 	err := db.Checkpoint()
 	if cerr := p.log.Close(); err == nil {
 		err = cerr

@@ -300,6 +300,39 @@ func isTrue(v rdb.Value) bool { return v.Kind == rdb.KBool && v.B }
 // Translator-emitted SQL is infallible by construction (typed
 // same-class comparisons only), so the compiled read path always runs
 // the fully optimized pipeline.
+//
+// Cost-based join ordering. When every conjunct is statically
+// resolved and infallible, all joins are inner and no aggregation is
+// requested, the planner ignores textual order entirely: ON and
+// WHERE conjuncts are pooled (interchangeable across inner joins)
+// and tables — the FROM table included — are placed greedily by
+// estimated cardinality, computed from the statistics the MVCC table
+// versions maintain for free (row counts, per-index distinct counts;
+// see internal/rdb stats.go). An index-backed equality estimates
+// rows/distinct, a hash-joinable equality estimates the full row
+// count, and a table with no join condition to the placed set pays a
+// cartesian penalty. The solution-order contract survives
+// reordering: each fully joined row is collected with its per-table
+// internal row ids, the collection is sorted by the id tuple in
+// textual table order — exactly the order the textual nested loop
+// would have emitted, since every access path visits ascending ids —
+// and then replayed through the normal emission logic (projection,
+// DISTINCT, ORDER BY, LIMIT). A reordered plan therefore returns
+// byte-identical rows in byte-identical order to textual placement,
+// just faster. SelectTextual forces textual placement and is the
+// measurement baseline (BenchmarkB16_JoinOrdering).
+//
+// LEFT OUTER JOIN runs in textual placement: per outer row, the
+// candidate rows stream through the join's ON conditions; if none
+// matches, the row is extended with an all-NULL tuple. WHERE
+// conjuncts mentioning a left-joined table are never pushed into its
+// scan, hash build or probe — they filter after the match-or-null
+// extension, preserving SQL's ON-then-WHERE semantics.
+//
+// GROUP BY / COUNT / SUM / AVG / MIN / MAX aggregate in one
+// streaming pass at the emit point (groups in first-appearance
+// order), in both the pipeline and the naive baseline — the two
+// share the aggregator, so results and errors agree by construction.
 
 type accessKind int
 
@@ -326,9 +359,18 @@ type selStep struct {
 	// impossible short-circuits the whole query (a typed equality that
 	// can never hold, e.g. probing an INTEGER key with 5.5).
 	impossible bool
+	// leftOuter marks a LEFT OUTER JOIN step: outer rows with no
+	// ON-matching candidate survive, NULL-extended.
+	leftOuter bool
+	// on holds a left step's non-probe ON conjuncts — they decide
+	// matching, before the null extension; inner steps keep such
+	// conjuncts in residual instead (equivalent for inner joins).
+	on []sqlparser.Expr
 	// preds are single-table conjuncts pushed down to this step;
 	// residual are multi-table or unresolvable conjuncts assigned to
-	// the earliest step where their tables are all placed.
+	// the earliest step where their tables are all placed. On a left
+	// step, residual conjuncts run after the match-or-null extension
+	// (WHERE semantics) and preds stay empty.
 	preds    []sqlparser.Expr
 	residual []sqlparser.Expr
 }
@@ -350,6 +392,12 @@ type selPlan struct {
 	// when conjuncts could not be statically resolved).
 	textual    bool
 	countAlias string // COUNT(*) aggregation when non-empty
+	// agg is the GROUP BY / aggregate plan (nil without aggregation).
+	agg *aggPlan
+	// reordered marks a cost-based placement that differs from textual
+	// order: joined rows are collected with their internal row ids and
+	// replayed in baseline order (see the package comment).
+	reordered bool
 	// naive delegates the whole statement to SelectNaive: an ON
 	// conjunct is fallible, and join-phase errors depend on the naive
 	// executor's breadth-first join order.
@@ -368,6 +416,27 @@ type selPlan struct {
 
 func execSelect(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
 	p, err := planSelect(tx, st)
+	if err != nil {
+		return nil, err
+	}
+	return p.run(tx)
+}
+
+// Select executes a SELECT with the full optimized pipeline,
+// cost-based join ordering included — the exported twin of the
+// executor's internal entry point, paired with SelectTextual for the
+// join-ordering measurement.
+func Select(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
+	return execSelect(tx, st)
+}
+
+// SelectTextual executes a SELECT with cost-based join ordering
+// disabled: placement stays purely textual. It is the measurement
+// baseline for the join-ordering benchmark
+// (BenchmarkB16_JoinOrdering); results are byte-identical to
+// execSelect by the ordering contract.
+func SelectTextual(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
+	p, err := planSelectMode(tx, st, true)
 	if err != nil {
 		return nil, err
 	}
@@ -683,6 +752,10 @@ func anyFallible(cs []conjunct, metas []tableMeta) bool {
 }
 
 func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
+	return planSelectMode(tx, st, false)
+}
+
+func planSelectMode(tx *rdb.Tx, st sqlparser.Select, forceTextual bool) (*selPlan, error) {
 	p := &selPlan{st: st}
 	p.refs = []sqlparser.TableRef{st.From}
 	for _, j := range st.Joins {
@@ -698,13 +771,14 @@ func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 		p.schemas[i] = s
 		p.metas[i] = tableMeta{eff: r.EffectiveName(), lower: strings.ToLower(r.EffectiveName()), schema: s}
 	}
-	for _, item := range st.Items {
-		if item.Count {
-			if len(st.Items) != 1 {
-				return nil, fmt.Errorf("sqlexec: COUNT(*) cannot be combined with other select items")
-			}
-			p.countAlias = item.Alias
+	if len(st.Items) == 1 && st.Items[0].Agg == sqlparser.AggCount && st.Items[0].Expr == nil && len(st.GroupBy) == 0 {
+		p.countAlias = st.Items[0].Alias // lone COUNT(*): counting fast path
+	} else {
+		ap, err := newAggPlan(st)
+		if err != nil {
+			return nil, err
 		}
+		p.agg = ap
 	}
 
 	// Classify WHERE conjuncts and each join's ON conjuncts.
@@ -742,7 +816,7 @@ func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 	}
 	p.deferredWhere = anyFallible(wheres, p.metas)
 	for _, item := range st.Items {
-		if item.Star || item.Count {
+		if item.Star || item.Agg != sqlparser.AggNone {
 			continue
 		}
 		if _, f := analyzeExpr(item.Expr, p.metas); f {
@@ -754,89 +828,55 @@ func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 			p.keysFallible = true
 		}
 	}
-
-	// Placement: greedy join ordering when the WHERE runs at the
-	// planned steps (every conjunct is then statically resolved, so
-	// the environment is safe at any placement); textual order in
-	// deferred mode, where emit-time evaluation must see rows in the
-	// baseline's order. Within the candidates whose ON dependencies
-	// are placed, index-backed equi-joins go first; ties keep textual
-	// order, preserving the baseline's row order.
-	order := make([]int, 0, len(st.Joins))
-	if !p.deferredWhere {
-		placed := uint64(1) // base table
-		remaining := make([]int, len(st.Joins))
-		for i := range remaining {
-			remaining[i] = i
-		}
-		for len(remaining) > 0 {
-			best, bestScore := -1, -1
-			for _, ji := range remaining {
-				deps := uint64(0)
-				self := uint64(1) << uint(ji+1)
-				for _, c := range ons[ji] {
-					deps |= c.mask &^ self
-				}
-				if deps&^placed != 0 {
-					continue
-				}
-				score := 0
-				if _, pc, ok := p.equiJoinFor(ji, ons[ji], placed); ok {
-					score = 1
-					if has, err := tx.HasIndex(p.refs[ji+1].Table, p.schemas[ji+1].Columns[pc].Name); err == nil && has {
-						score = 2
-					}
-				}
-				if score > bestScore {
-					best, bestScore = ji, score
-				}
-			}
-			if best < 0 {
-				// A join references a table placed after it; fall back to
-				// textual order (its ON will fail at evaluation time with
-				// the evaluator's own error).
-				order = order[:0]
-				for i := range st.Joins {
-					order = append(order, i)
-				}
-				p.textual = true
-				break
-			}
-			order = append(order, best)
-			placed |= uint64(1) << uint(best+1)
-			for i, ji := range remaining {
-				if ji == best {
-					remaining = append(remaining[:i], remaining[i+1:]...)
-					break
-				}
-			}
-		}
-		if !p.textual {
-			for i, ji := range order {
-				if ji != i {
-					break
-				}
-				if i == len(order)-1 {
-					p.textual = true // placement happens to be textual
-				}
-			}
-			if len(order) == 0 {
-				p.textual = true
-			}
-		}
-	} else {
-		p.textual = true
-		for i := range st.Joins {
-			order = append(order, i)
+	hasLeft := false
+	for _, j := range st.Joins {
+		if j.LeftOuter {
+			hasLeft = true
 		}
 	}
 
-	// Build the step list: base scan first, joins in placement order.
+	// Placement strategy. Cost-based ordering engages when every
+	// conjunct is statically resolved and infallible (non-deferred
+	// mode — fallible ONs already delegated to the naive executor),
+	// all joins are inner, aggregation is off (streaming aggregation
+	// consumes rows in baseline order), and no ON conjunct references
+	// a textually later table (the baseline's prefix environment
+	// errors on such forward references, so the plan must too).
+	// Everything else runs in textual placement.
+	costBased := !forceTextual && !p.deferredWhere && !hasLeft &&
+		p.agg == nil && len(st.Joins) > 0
+	if costBased {
+	forward:
+		for ji := range ons {
+			later := ^uint64(0) << uint(ji+2)
+			for _, c := range ons[ji] {
+				if c.mask&later != 0 {
+					costBased = false
+					break forward
+				}
+			}
+		}
+	}
+	if costBased {
+		if err := p.planCostBased(tx, st, wheres, ons); err != nil {
+			return nil, err
+		}
+	} else {
+		p.planTextual(tx, st, wheres, ons)
+	}
+	return p, nil
+}
+
+// planTextual builds the step list in textual order: base scan
+// first, joins as written. Left steps collect their non-probe ON
+// conjuncts separately (they decide matching, not filtering).
+func (p *selPlan) planTextual(tx *rdb.Tx, st sqlparser.Select, wheres []conjunct, ons [][]conjunct) {
+	p.textual = true
 	p.steps = make([]selStep, 0, len(p.refs))
 	p.steps = append(p.steps, selStep{ti: 0})
 	placed := uint64(1)
-	for _, ji := range order {
-		step := selStep{ti: ji + 1}
+	for ji := range st.Joins {
+		step := selStep{ti: ji + 1, leftOuter: st.Joins[ji].LeftOuter}
 		if eqIdx, pc, ok := p.equiJoinFor(ji, ons[ji], placed); ok {
 			step.probeCol = pc
 			step.probeName = p.schemas[ji+1].Columns[pc].Name
@@ -851,40 +891,192 @@ func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 		}
 		for _, c := range ons[ji] {
 			if !c.used {
-				step.residual = append(step.residual, c.expr)
+				if step.leftOuter {
+					step.on = append(step.on, c.expr)
+				} else {
+					step.residual = append(step.residual, c.expr)
+				}
 			}
 		}
 		placed |= uint64(1) << uint(ji+1)
 		p.steps = append(p.steps, step)
 	}
+	p.assignConjunct(wheres)
+	p.planBaseProbe(tx)
+}
 
-	// Assign WHERE conjuncts to the earliest step where their tables
-	// are placed: single-table conjuncts become scan predicates, the
-	// rest residual filters. In deferred mode the WHERE is not split
-	// at all — the original expression evaluates per fully joined row
-	// at the emit point, reproducing the baseline's errors exactly.
-	if !p.deferredWhere {
-		for _, c := range wheres {
-			si := len(p.steps) - 1
-			placed := uint64(0)
-			for i := range p.steps {
-				placed |= uint64(1) << uint(p.steps[i].ti)
-				if c.mask&^placed == 0 {
-					si = i
-					break
-				}
-			}
-			if c.mask != 0 && c.mask == uint64(1)<<uint(p.steps[si].ti) {
-				p.steps[si].preds = append(p.steps[si].preds, c.expr)
+// planCostBased orders all tables — the FROM table included — by
+// estimated cardinality from the statistics the MVCC versions
+// maintain, pooling ON and WHERE conjuncts (interchangeable across
+// inner joins). When the chosen order differs from textual the plan
+// is marked reordered and execution re-sorts emission by internal
+// row ids (see the package comment).
+func (p *selPlan) planCostBased(tx *rdb.Tx, st sqlparser.Select, wheres []conjunct, ons [][]conjunct) error {
+	pool := append([]conjunct{}, wheres...)
+	for ji := range ons {
+		pool = append(pool, ons[ji]...)
+	}
+	n := len(p.refs)
+	rows := make([]float64, n)
+	for i := range p.refs {
+		r, err := tx.TableRows(p.refs[i].Table)
+		if err != nil {
+			return err
+		}
+		rows[i] = float64(r)
+	}
+	distinctOf := func(ti, ci int) (float64, bool) {
+		d, indexed, err := tx.DistinctCount(p.refs[ti].Table, p.schemas[ti].Columns[ci].Name)
+		if err != nil || !indexed || d <= 0 {
+			return 0, false
+		}
+		return float64(d), true
+	}
+	// estimateFor is the expected per-outer-row yield of placing
+	// table t next: an index-backed equality (join or literal)
+	// estimates rows/distinct, a hash-joinable equality the full row
+	// count, and no join condition at all a cartesian penalty.
+	estimateFor := func(t int, placed uint64) float64 {
+		est := rows[t]
+		hasJoin := false
+		for pi := range pool {
+			c := &pool[pi]
+			if c.used {
 				continue
 			}
-			p.steps[si].residual = append(p.steps[si].residual, c.expr)
+			if tc, _, _, ok := p.equiSides(c, t, placed); ok {
+				hasJoin = true
+				e := rows[t]
+				if d, okd := distinctOf(t, tc); okd {
+					e = rows[t] / d
+				}
+				if e < est {
+					est = e
+				}
+				continue
+			}
+			if tc, ok := p.litEqCol(c, t); ok {
+				if d, okd := distinctOf(t, tc); okd {
+					if e := rows[t] / d; e < est {
+						est = e
+					}
+				}
+			}
 		}
+		if placed != 0 && !hasJoin {
+			est = rows[t] * 1e12 // cartesian product: avoid at all costs
+		}
+		return est
 	}
 
-	// Base access: a pushed-down "col = literal" on an indexed column
-	// turns the scan into a point probe.
+	order := make([]int, 0, n)
+	placed := uint64(0)
+	for len(order) < n {
+		best, bestEst := -1, 0.0
+		for t := 0; t < n; t++ {
+			if placed&(1<<uint(t)) != 0 {
+				continue
+			}
+			if est := estimateFor(t, placed); best < 0 || est < bestEst {
+				best, bestEst = t, est // ties keep textual order
+			}
+		}
+		order = append(order, best)
+		placed |= 1 << uint(best)
+	}
+	p.reordered = false
+	for i, t := range order {
+		if t != i {
+			p.reordered = true
+			break
+		}
+	}
+	p.textual = !p.reordered
+
+	// Build the steps in placement order, picking each table's access
+	// path from the pool: an indexed typed equi-join probes, an
+	// unindexed one hash-joins, anything else scans.
+	p.steps = make([]selStep, 0, n)
+	p.steps = append(p.steps, selStep{ti: order[0]})
+	placed = uint64(1) << uint(order[0])
+	for _, t := range order[1:] {
+		step := selStep{ti: t}
+		best, bestIndexed := -1, false
+		var bestCol int
+		var bestLeft colLoc
+		for pi := range pool {
+			c := &pool[pi]
+			if c.used {
+				continue
+			}
+			tc, ot, oc, ok := p.equiSides(c, t, placed)
+			if !ok {
+				continue
+			}
+			has, err := tx.HasIndex(p.refs[t].Table, p.schemas[t].Columns[tc].Name)
+			indexed := err == nil && has
+			if best < 0 || (indexed && !bestIndexed) {
+				best, bestIndexed = pi, indexed
+				bestCol, bestLeft = tc, colLoc{ti: ot, ci: oc}
+			}
+		}
+		if best >= 0 {
+			pool[best].used = true
+			step.probeCol = bestCol
+			step.probeName = p.schemas[t].Columns[bestCol].Name
+			step.probeType = p.schemas[t].Columns[bestCol].Type
+			step.left = bestLeft
+			if bestIndexed {
+				step.access = accessProbe
+			} else {
+				step.access = accessHash
+			}
+		}
+		placed |= 1 << uint(t)
+		p.steps = append(p.steps, step)
+	}
+	p.assignConjunct(pool)
+	p.planBaseProbe(tx)
+	return nil
+}
+
+// assignConjunct assigns each unused conjunct to the earliest step
+// where its tables are all placed: single-table conjuncts become
+// scan predicates (except on left steps, where pushdown would
+// corrupt the match-or-null semantics), the rest residual filters.
+// In deferred mode the WHERE is not split at all — the original
+// expression evaluates per fully joined row at the emit point,
+// reproducing the baseline's errors exactly.
+func (p *selPlan) assignConjunct(cs []conjunct) {
+	if p.deferredWhere {
+		return
+	}
+	for _, c := range cs {
+		if c.used {
+			continue
+		}
+		si := len(p.steps) - 1
+		placed := uint64(0)
+		for i := range p.steps {
+			placed |= uint64(1) << uint(p.steps[i].ti)
+			if c.mask&^placed == 0 {
+				si = i
+				break
+			}
+		}
+		if c.mask != 0 && c.mask == uint64(1)<<uint(p.steps[si].ti) && !p.steps[si].leftOuter {
+			p.steps[si].preds = append(p.steps[si].preds, c.expr)
+			continue
+		}
+		p.steps[si].residual = append(p.steps[si].residual, c.expr)
+	}
+}
+
+// planBaseProbe turns a pushed-down "col = literal" on an indexed
+// column of the base table into a point probe.
+func (p *selPlan) planBaseProbe(tx *rdb.Tx) {
 	base := &p.steps[0]
+	ti := base.ti
 	for _, e := range base.preds {
 		b, ok := e.(sqlparser.Binary)
 		if !ok || b.Op != sqlparser.OpEq {
@@ -907,15 +1099,15 @@ func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 		} else {
 			continue
 		}
-		ci := p.schemas[0].ColumnIndex(cr.Column)
+		ci := p.schemas[ti].ColumnIndex(cr.Column)
 		if ci < 0 {
 			continue
 		}
-		col := &p.schemas[0].Columns[ci]
+		col := &p.schemas[ti].Columns[ci]
 		if litClass(lit.Value) == 0 || litClass(lit.Value) != typeClass(col.Type) {
 			continue // cross-class equality errors row by row; keep it a filter
 		}
-		has, err := tx.HasIndex(p.refs[0].Table, col.Name)
+		has, err := tx.HasIndex(p.refs[ti].Table, col.Name)
 		if err != nil || !has {
 			continue
 		}
@@ -928,7 +1120,79 @@ func planSelect(tx *rdb.Tx, st sqlparser.Select) (*selPlan, error) {
 		base.probeName = col.Name
 		break
 	}
-	return p, nil
+}
+
+// equiSides decomposes a conjunct as a typed equi-join between
+// table t and an already placed table: it returns t's column index
+// and the placed side's location.
+func (p *selPlan) equiSides(c *conjunct, t int, placed uint64) (tc, ot, oc int, ok bool) {
+	if !c.resolvable {
+		return 0, 0, 0, false
+	}
+	b, bok := c.expr.(sqlparser.Binary)
+	if !bok || b.Op != sqlparser.OpEq {
+		return 0, 0, 0, false
+	}
+	l, lok := b.Left.(sqlparser.ColRef)
+	r, rok := b.Right.(sqlparser.ColRef)
+	if !lok || !rok {
+		return 0, 0, 0, false
+	}
+	lt, lc := p.locOf(l)
+	rt, rc := p.locOf(r)
+	if lt < 0 || rt < 0 || lc < 0 || rc < 0 {
+		return 0, 0, 0, false
+	}
+	switch {
+	case lt == t && rt != t && placed&(1<<uint(rt)) != 0:
+		tc, ot, oc = lc, rt, rc
+	case rt == t && lt != t && placed&(1<<uint(lt)) != 0:
+		tc, ot, oc = rc, lt, lc
+	default:
+		return 0, 0, 0, false
+	}
+	if typeClass(p.schemas[t].Columns[tc].Type) == 0 ||
+		typeClass(p.schemas[t].Columns[tc].Type) != typeClass(p.schemas[ot].Columns[oc].Type) {
+		return 0, 0, 0, false
+	}
+	return tc, ot, oc, true
+}
+
+// litEqCol recognizes a conjunct of the form t.col = literal (either
+// side) with matching comparison class, returning t's column index.
+func (p *selPlan) litEqCol(c *conjunct, t int) (int, bool) {
+	if !c.resolvable {
+		return 0, false
+	}
+	b, bok := c.expr.(sqlparser.Binary)
+	if !bok || b.Op != sqlparser.OpEq {
+		return 0, false
+	}
+	var cr sqlparser.ColRef
+	var lit sqlparser.Lit
+	if cc, cok := b.Left.(sqlparser.ColRef); cok {
+		if l, lok := b.Right.(sqlparser.Lit); lok {
+			cr, lit = cc, l
+		} else {
+			return 0, false
+		}
+	} else if cc, cok := b.Right.(sqlparser.ColRef); cok {
+		if l, lok := b.Left.(sqlparser.Lit); lok {
+			cr, lit = cc, l
+		} else {
+			return 0, false
+		}
+	} else {
+		return 0, false
+	}
+	ct, ci := p.locOf(cr)
+	if ct != t || ci < 0 {
+		return 0, false
+	}
+	if litClass(lit.Value) == 0 || litClass(lit.Value) != typeClass(p.schemas[t].Columns[ci].Type) {
+		return 0, false
+	}
+	return ci, true
 }
 
 // equiJoinFor finds the first ON conjunct of join ji usable as a typed
@@ -996,6 +1260,21 @@ func (p *selPlan) leftLocOf(c conjunct, self int) colLoc {
 	return colLoc{ti: lt, ci: lc}
 }
 
+// idRow is one hash-bucket entry: the row and its internal id (the
+// ordering token reordered plans sort emission by).
+type idRow struct {
+	id  int64
+	row []rdb.Value
+}
+
+// collRow is one fully joined row collected under a reordered plan:
+// per-table internal row ids in textual table order plus the row
+// snapshots, replayed through emitRow after the id-tuple sort.
+type collRow struct {
+	ids  []int64
+	rows [][]rdb.Value
+}
+
 // selExec is the runtime state of one execution.
 type selExec struct {
 	p    *selPlan
@@ -1005,7 +1284,15 @@ type selExec struct {
 	// full in textual mode, full otherwise (safe because every
 	// early-evaluated conjunct is statically qualified).
 	stepEnvs []*env
-	hashes   []map[string][][]rdb.Value // per step, built lazily
+	hashes   []map[string][]idRow // per step, built lazily
+	// ids[ti] is the internal id of the row currently bound for table
+	// ti; nullRows[ti] is the all-NULL tuple a left join extends with.
+	ids      []int64
+	nullRows [][]rdb.Value
+	// collect buffers joined rows instead of emitting (reordered
+	// plans): emission happens in replayed baseline order afterwards.
+	collect   bool
+	collected []collRow
 
 	project func(*env) ([]rdb.Value, error)
 	cols    []string
@@ -1015,6 +1302,7 @@ type selExec struct {
 	seen    map[string]bool // DISTINCT
 	target  int             // stop after this many rows (offset+limit); -1 = unbounded
 	count   int             // COUNT(*) mode
+	agg     *aggregator     // GROUP BY / aggregate mode
 	sorting bool
 	envs    []*env         // materialized for ORDER BY
 	topk    *topkCollector // bounded heap for ORDER BY + LIMIT
@@ -1042,10 +1330,23 @@ func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
 			x.stepEnvs[i] = x.full
 		}
 	}
-	x.hashes = make([]map[string][][]rdb.Value, len(p.steps))
+	x.hashes = make([]map[string][]idRow, len(p.steps))
+	x.ids = make([]int64, len(p.refs))
+	x.nullRows = make([][]rdb.Value, len(p.refs))
+	for i := range p.refs {
+		x.nullRows[i] = make([]rdb.Value, len(p.schemas[i].Columns))
+	}
+	// Reordered plans buffer joined rows and replay them in baseline
+	// order; lone COUNT(*) is order-independent and skips the buffer.
+	x.collect = p.reordered && p.countAlias == ""
 
 	st := p.st
-	if p.countAlias == "" {
+	switch {
+	case p.countAlias != "":
+	case p.agg != nil:
+		x.cols = p.agg.cols
+		x.agg = newAggregator(p.agg)
+	default:
 		cols, project, err := buildProjection(st, p.schemas, p.refs)
 		if err != nil {
 			return nil, err
@@ -1075,7 +1376,7 @@ func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
 		}
 	}
 
-	runPipeline := x.target != 0 || x.sorting || p.countAlias != ""
+	runPipeline := x.target != 0 || x.sorting || p.countAlias != "" || p.agg != nil
 	if x.topk != nil && x.topk.cap == 0 && !p.deferredWhere {
 		// ORDER BY + LIMIT 0 with nothing fallible: the result is
 		// provably empty and no error can surface, so skip the scan
@@ -1089,8 +1390,40 @@ func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
 		}
 	}
 
+	if x.collect {
+		// Replay: sort by the id tuple in textual table order — the
+		// exact order the textual nested loop emits, since every access
+		// path visits ascending internal ids — then run each row
+		// through the normal emission logic (projection, DISTINCT,
+		// top-K, LIMIT target).
+		sort.Slice(x.collected, func(i, j int) bool {
+			a, b := x.collected[i], x.collected[j]
+			for t := range a.ids {
+				if a.ids[t] != b.ids[t] {
+					return a.ids[t] < b.ids[t]
+				}
+			}
+			return false
+		})
+		for _, cr := range x.collected {
+			for t := range cr.rows {
+				x.full.tables[t].row = cr.rows[t]
+			}
+			cont, err := x.emitRow()
+			if err != nil {
+				return nil, err
+			}
+			if !cont {
+				break
+			}
+		}
+	}
+
 	if p.countAlias != "" {
 		return &ResultSet{Columns: []string{p.countAlias}, Rows: [][]rdb.Value{{rdb.Int(int64(x.count))}}}, nil
+	}
+	if p.agg != nil {
+		return &ResultSet{Columns: x.cols, Rows: x.agg.finish()}, nil
 	}
 	if x.topk != nil {
 		for _, r := range x.topk.finish() {
@@ -1143,9 +1476,13 @@ func (x *selExec) step(si int) (bool, error) {
 	if s.impossible {
 		return true, nil
 	}
+	if s.leftOuter {
+		return x.stepLeft(si)
+	}
 	var iterErr error
-	visit := func(row []rdb.Value) bool {
+	visit := func(id int64, row []rdb.Value) bool {
 		x.full.tables[s.ti].row = row
+		x.ids[s.ti] = id
 		ok, err := x.filterAndDescend(si)
 		if err != nil {
 			iterErr = err
@@ -1161,8 +1498,8 @@ func (x *selExec) step(si int) (bool, error) {
 		if !ok {
 			return true, nil // NULL or unrepresentable: no match, no error
 		}
-		err := x.tx.MatchColumn(x.p.refs[s.ti].Table, s.probeName, key, func(_ int64, row []rdb.Value) bool {
-			cont = visit(row)
+		err := x.tx.MatchColumn(x.p.refs[s.ti].Table, s.probeName, key, func(id int64, row []rdb.Value) bool {
+			cont = visit(id, row)
 			return cont
 		})
 		if err != nil {
@@ -1178,21 +1515,21 @@ func (x *selExec) step(si int) (bool, error) {
 		if !ok {
 			return true, nil
 		}
-		for _, row := range h[key] {
-			if cont = visit(row); !cont {
+		for _, ir := range h[key] {
+			if cont = visit(ir.id, ir.row); !cont {
 				break
 			}
 		}
 	default:
 		var err error
 		if s.lit != nil {
-			err = x.tx.MatchColumn(x.p.refs[s.ti].Table, s.probeName, *s.lit, func(_ int64, row []rdb.Value) bool {
-				cont = visit(row)
+			err = x.tx.MatchColumn(x.p.refs[s.ti].Table, s.probeName, *s.lit, func(id int64, row []rdb.Value) bool {
+				cont = visit(id, row)
 				return cont
 			})
 		} else {
-			err = x.tx.Scan(x.p.refs[s.ti].Table, func(_ int64, row []rdb.Value) bool {
-				cont = visit(row)
+			err = x.tx.Scan(x.p.refs[s.ti].Table, func(id int64, row []rdb.Value) bool {
+				cont = visit(id, row)
 				return cont
 			})
 		}
@@ -1204,6 +1541,81 @@ func (x *selExec) step(si int) (bool, error) {
 		return false, iterErr
 	}
 	return cont, nil
+}
+
+// stepLeft runs a LEFT OUTER JOIN step: candidate rows stream through
+// the step's ON conjuncts (the probe or hash key already enforces the
+// used equality); if no candidate matches, the outer row survives
+// extended with the all-NULL tuple. The step's residual conditions
+// run in filterAndDescend after the extension — WHERE semantics.
+func (x *selExec) stepLeft(si int) (bool, error) {
+	s := &x.p.steps[si]
+	matched := false
+	cont := true
+	var iterErr error
+	tryRow := func(id int64, row []rdb.Value) bool {
+		x.full.tables[s.ti].row = row
+		x.ids[s.ti] = id
+		e := x.stepEnvs[si]
+		for _, c := range s.on {
+			v, err := evalExpr(e, c)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			if !isTrue(v) {
+				return true // candidate fails ON: not a match, keep looking
+			}
+		}
+		matched = true
+		ok, err := x.filterAndDescend(si)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		cont = ok
+		return ok
+	}
+	switch s.access {
+	case accessProbe:
+		left := x.full.tables[s.left.ti].row[s.left.ci]
+		if key, ok := probeKey(left, s.probeType); ok {
+			if err := x.tx.MatchColumn(x.p.refs[s.ti].Table, s.probeName, key, tryRow); err != nil {
+				return false, err
+			}
+		}
+		// A NULL or unrepresentable probe value means the ON equality
+		// matches nothing: fall through to the null extension.
+	case accessHash:
+		h, err := x.hashFor(si)
+		if err != nil {
+			return false, err
+		}
+		left := x.full.tables[s.left.ti].row[s.left.ci]
+		if key, ok := hashKey(left, typeClass(s.probeType)); ok {
+			for _, ir := range h[key] {
+				if !tryRow(ir.id, ir.row) {
+					break
+				}
+			}
+		}
+	default:
+		if err := x.tx.Scan(x.p.refs[s.ti].Table, tryRow); err != nil {
+			return false, err
+		}
+	}
+	if iterErr != nil {
+		return false, iterErr
+	}
+	if !cont {
+		return false, nil
+	}
+	if !matched {
+		x.full.tables[s.ti].row = x.nullRows[s.ti]
+		x.ids[s.ti] = -1
+		return x.filterAndDescend(si)
+	}
+	return true, nil
 }
 
 // filterAndDescend applies the step's pushed predicates and residual
@@ -1235,16 +1647,16 @@ func (x *selExec) filterAndDescend(si int) (bool, error) {
 // hashFor lazily builds the hash table of a hash-join step, applying
 // the step's pushed predicates while building (rows stay in scan
 // order inside each bucket, preserving the baseline's row order).
-func (x *selExec) hashFor(si int) (map[string][][]rdb.Value, error) {
+func (x *selExec) hashFor(si int) (map[string][]idRow, error) {
 	if x.hashes[si] != nil {
 		return x.hashes[si], nil
 	}
 	s := &x.p.steps[si]
-	h := make(map[string][][]rdb.Value)
+	h := make(map[string][]idRow)
 	scratch := singleEnv(x.p.refs[s.ti].EffectiveName(), x.p.schemas[s.ti], nil)
 	class := typeClass(s.probeType)
 	var buildErr error
-	err := x.tx.Scan(x.p.refs[s.ti].Table, func(_ int64, row []rdb.Value) bool {
+	err := x.tx.Scan(x.p.refs[s.ti].Table, func(id int64, row []rdb.Value) bool {
 		key, ok := hashKey(row[s.probeCol], class)
 		if !ok {
 			return true // NULL join keys match nothing
@@ -1260,7 +1672,7 @@ func (x *selExec) hashFor(si int) (map[string][][]rdb.Value, error) {
 				return true
 			}
 		}
-		h[key] = append(h[key], row)
+		h[key] = append(h[key], idRow{id: id, row: row})
 		return true
 	})
 	if err != nil {
@@ -1287,6 +1699,33 @@ func (x *selExec) emit() (bool, error) {
 		if !isTrue(v) {
 			return true, nil
 		}
+	}
+	if x.collect {
+		// Reordered plan: buffer the row with its id tuple; emission
+		// happens after the pipeline, in replayed baseline order. No
+		// early stop — the first target rows in placement order are
+		// not the first in baseline order.
+		ids := append([]int64(nil), x.ids...)
+		rows := make([][]rdb.Value, len(x.full.tables))
+		for t := range x.full.tables {
+			rows[t] = x.full.tables[t].row
+		}
+		x.collected = append(x.collected, collRow{ids: ids, rows: rows})
+		return true, nil
+	}
+	return x.emitRow()
+}
+
+// emitRow feeds the current full row into the output stage:
+// aggregation, counting, the top-K heap, sort materialization or
+// direct projection. It is called from emit in streaming plans and
+// from the replay loop in reordered ones.
+func (x *selExec) emitRow() (bool, error) {
+	if x.agg != nil {
+		if err := x.agg.add(x.full); err != nil {
+			return false, err
+		}
+		return true, nil
 	}
 	if x.p.countAlias != "" {
 		x.count++
@@ -1332,6 +1771,250 @@ func (x *selExec) emit() (bool, error) {
 	}
 	x.rows = append(x.rows, row)
 	return x.target < 0 || len(x.rows) < x.target, nil
+}
+
+// ---- GROUP BY / aggregate functions ---------------------------------
+
+// aggItem is one projected item of an aggregating SELECT: either an
+// aggregate over an expression (COUNT's expression may be nil for
+// COUNT(*)) or a pass-through of GROUP BY key gidx.
+type aggItem struct {
+	fn   sqlparser.AggFunc
+	expr sqlparser.Expr
+	gidx int
+}
+
+// aggPlan is the validated shape of an aggregating SELECT.
+type aggPlan struct {
+	groupBy []sqlparser.Expr
+	items   []aggItem
+	cols    []string
+}
+
+func aggName(fn sqlparser.AggFunc) string {
+	switch fn {
+	case sqlparser.AggCount:
+		return "COUNT"
+	case sqlparser.AggSum:
+		return "SUM"
+	case sqlparser.AggAvg:
+		return "AVG"
+	case sqlparser.AggMin:
+		return "MIN"
+	case sqlparser.AggMax:
+		return "MAX"
+	}
+	return "?"
+}
+
+// newAggPlan validates and compiles the aggregate shape of a SELECT.
+// It returns (nil, nil) when the statement does not aggregate. Every
+// non-aggregate item must be a GROUP BY column; DISTINCT, ORDER BY,
+// LIMIT and OFFSET do not combine with aggregation in this subset.
+func newAggPlan(st sqlparser.Select) (*aggPlan, error) {
+	agg := len(st.GroupBy) > 0
+	for _, item := range st.Items {
+		if item.Agg != sqlparser.AggNone {
+			agg = true
+		}
+	}
+	if !agg {
+		return nil, nil
+	}
+	if st.Distinct {
+		return nil, fmt.Errorf("sqlexec: DISTINCT cannot be combined with aggregation")
+	}
+	if len(st.OrderBy) > 0 || st.Limit >= 0 || st.Offset >= 0 {
+		return nil, fmt.Errorf("sqlexec: ORDER BY / LIMIT / OFFSET cannot be combined with aggregation")
+	}
+	groupRefs := make([]sqlparser.ColRef, len(st.GroupBy))
+	for i, g := range st.GroupBy {
+		cr, ok := g.(sqlparser.ColRef)
+		if !ok {
+			return nil, fmt.Errorf("sqlexec: GROUP BY supports column references only")
+		}
+		groupRefs[i] = cr
+	}
+	p := &aggPlan{groupBy: st.GroupBy}
+	for _, item := range st.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sqlexec: * cannot be combined with aggregation")
+		}
+		if item.Agg == sqlparser.AggNone {
+			cr, ok := item.Expr.(sqlparser.ColRef)
+			gidx := -1
+			if ok {
+				for gi, g := range groupRefs {
+					if strings.EqualFold(cr.Table, g.Table) && strings.EqualFold(cr.Column, g.Column) {
+						gidx = gi
+						break
+					}
+				}
+			}
+			if gidx < 0 {
+				return nil, fmt.Errorf("sqlexec: non-aggregate select item must be a GROUP BY column")
+			}
+			name := item.Alias
+			if name == "" {
+				name = cr.Column
+			}
+			p.items = append(p.items, aggItem{fn: sqlparser.AggNone, gidx: gidx})
+			p.cols = append(p.cols, name)
+			continue
+		}
+		if item.Agg != sqlparser.AggCount && item.Expr == nil {
+			return nil, fmt.Errorf("sqlexec: %s requires an argument", aggName(item.Agg))
+		}
+		name := item.Alias
+		if name == "" {
+			name = strings.ToLower(aggName(item.Agg))
+		}
+		p.items = append(p.items, aggItem{fn: item.Agg, expr: item.Expr})
+		p.cols = append(p.cols, name)
+	}
+	return p, nil
+}
+
+// aggAcc is one aggregate's accumulator within one group. SUM and AVG
+// accumulate int64 while every input is an integer and switch to the
+// float sum — accumulated per value in arrival order — once a float
+// appears, matching the mediator's native evaluation arithmetic
+// exactly.
+type aggAcc struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	isF   bool
+	mm    rdb.Value
+	has   bool
+}
+
+type aggGroup struct {
+	keys []rdb.Value
+	accs []aggAcc
+}
+
+// aggregator folds rows into groups in one streaming pass, keeping
+// groups in first-appearance order — which is baseline row order,
+// since aggregation forces textual placement.
+type aggregator struct {
+	p      *aggPlan
+	order  []string
+	groups map[string]*aggGroup
+}
+
+func newAggregator(p *aggPlan) *aggregator {
+	return &aggregator{p: p, groups: map[string]*aggGroup{}}
+}
+
+func (a *aggregator) add(e *env) error {
+	keys := make([]rdb.Value, len(a.p.groupBy))
+	for i, g := range a.p.groupBy {
+		v, err := evalExpr(e, g)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+	}
+	k := rdb.KeyOf(keys)
+	grp := a.groups[k]
+	if grp == nil {
+		grp = &aggGroup{keys: keys, accs: make([]aggAcc, len(a.p.items))}
+		a.groups[k] = grp
+		a.order = append(a.order, k)
+	}
+	for i, it := range a.p.items {
+		if it.fn == sqlparser.AggNone {
+			continue
+		}
+		acc := &grp.accs[i]
+		if it.fn == sqlparser.AggCount && it.expr == nil {
+			acc.count++ // COUNT(*) counts rows, NULLs included
+			continue
+		}
+		v, err := evalExpr(e, it.expr)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue // aggregates skip NULL inputs
+		}
+		acc.count++
+		switch it.fn {
+		case sqlparser.AggSum, sqlparser.AggAvg:
+			switch v.Kind {
+			case rdb.KInt:
+				acc.sumI += v.I
+				acc.sumF += float64(v.I)
+			case rdb.KFloat:
+				acc.isF = true
+				acc.sumF += v.F
+			default:
+				return fmt.Errorf("sqlexec: %s requires numeric values, got %s", aggName(it.fn), v.Kind)
+			}
+		case sqlparser.AggMin:
+			if !acc.has || compareForSort(v, acc.mm) < 0 {
+				acc.mm = v
+			}
+			acc.has = true
+		case sqlparser.AggMax:
+			if !acc.has || compareForSort(v, acc.mm) > 0 {
+				acc.mm = v
+			}
+			acc.has = true
+		}
+	}
+	return nil
+}
+
+// finish produces the result rows. Without GROUP BY an empty input
+// still yields one row (COUNT 0, other aggregates NULL); with GROUP
+// BY it yields none.
+func (a *aggregator) finish() [][]rdb.Value {
+	if len(a.p.groupBy) == 0 && len(a.order) == 0 {
+		a.groups[""] = &aggGroup{accs: make([]aggAcc, len(a.p.items))}
+		a.order = append(a.order, "")
+	}
+	rows := make([][]rdb.Value, 0, len(a.order))
+	for _, k := range a.order {
+		grp := a.groups[k]
+		row := make([]rdb.Value, len(a.p.items))
+		for i, it := range a.p.items {
+			acc := &grp.accs[i]
+			switch it.fn {
+			case sqlparser.AggNone:
+				row[i] = grp.keys[it.gidx]
+			case sqlparser.AggCount:
+				row[i] = rdb.Int(acc.count)
+			case sqlparser.AggSum:
+				switch {
+				case acc.count == 0:
+					row[i] = rdb.Null
+				case acc.isF:
+					row[i] = rdb.Float(acc.sumF)
+				default:
+					row[i] = rdb.Int(acc.sumI)
+				}
+			case sqlparser.AggAvg:
+				switch {
+				case acc.count == 0:
+					row[i] = rdb.Null
+				case acc.isF:
+					row[i] = rdb.Float(acc.sumF / float64(acc.count))
+				default:
+					row[i] = rdb.Float(float64(acc.sumI) / float64(acc.count))
+				}
+			case sqlparser.AggMin, sqlparser.AggMax:
+				if acc.has {
+					row[i] = acc.mm
+				} else {
+					row[i] = rdb.Null
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // ---- bounded top-K for ORDER BY + LIMIT -----------------------------
@@ -1489,19 +2172,30 @@ func SelectNaive(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
 		}); err != nil {
 			return nil, err
 		}
+		name := strings.ToLower(j.Ref.EffectiveName())
+		nullRow := make([]rdb.Value, len(schemas[ji+1].Columns))
 		var next []*env
 		for _, base := range envs {
+			matched := false
 			for _, row := range joinRows {
 				cand := &env{tables: append(append([]envTable{}, base.tables...), envTable{
-					name: strings.ToLower(j.Ref.EffectiveName()), schema: schemas[ji+1], row: row,
+					name: name, schema: schemas[ji+1], row: row,
 				})}
 				v, err := evalExpr(cand, j.On)
 				if err != nil {
 					return nil, err
 				}
 				if isTrue(v) {
+					matched = true
 					next = append(next, cand)
 				}
+			}
+			if !matched && j.LeftOuter {
+				// LEFT OUTER JOIN: the unmatched outer row survives,
+				// NULL-extended.
+				next = append(next, &env{tables: append(append([]envTable{}, base.tables...), envTable{
+					name: name, schema: schemas[ji+1], row: nullRow,
+				})})
 			}
 		}
 		envs = next
@@ -1521,14 +2215,23 @@ func SelectNaive(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
 		envs = kept
 	}
 
-	// COUNT(*) aggregation.
-	for _, item := range st.Items {
-		if item.Count {
-			if len(st.Items) != 1 {
-				return nil, fmt.Errorf("sqlexec: COUNT(*) cannot be combined with other select items")
+	// Aggregation: lone COUNT(*) keeps the counting fast path, every
+	// other aggregate shape folds through the shared aggregator — the
+	// same code the pipeline runs at its emit point, so results and
+	// errors agree by construction.
+	if len(st.Items) == 1 && st.Items[0].Agg == sqlparser.AggCount && st.Items[0].Expr == nil && len(st.GroupBy) == 0 {
+		return &ResultSet{Columns: []string{st.Items[0].Alias}, Rows: [][]rdb.Value{{rdb.Int(int64(len(envs)))}}}, nil
+	}
+	if ap, err := newAggPlan(st); err != nil {
+		return nil, err
+	} else if ap != nil {
+		agg := newAggregator(ap)
+		for _, e := range envs {
+			if err := agg.add(e); err != nil {
+				return nil, err
 			}
-			return &ResultSet{Columns: []string{item.Alias}, Rows: [][]rdb.Value{{rdb.Int(int64(len(envs)))}}}, nil
 		}
+		return &ResultSet{Columns: ap.cols, Rows: agg.finish()}, nil
 	}
 
 	// ORDER BY before projection so keys may use any column.

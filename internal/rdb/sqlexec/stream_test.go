@@ -102,6 +102,31 @@ func TestStreamingMatchesNaive(t *testing.T) {
 		// deferred WHERE: fallible conjuncts evaluate per joined row
 		`SELECT id FROM team WHERE id = 99 AND name = 5`,
 		`SELECT a.id FROM author a JOIN team t ON a.team = t.id WHERE t.name = 5`,
+		// LEFT OUTER JOIN: pk probe, secondary probe, hash, non-equi
+		// scan, extra ON conjuncts, WHERE after the null extension
+		`SELECT a.lastname, t.name FROM author a LEFT JOIN team t ON a.team = t.id`,
+		`SELECT a.lastname, t.name FROM author a LEFT OUTER JOIN team t ON a.team = t.id`,
+		`SELECT t.id, a.id FROM team t LEFT JOIN author a ON a.team = t.id`,
+		`SELECT t.name, p.name FROM team t LEFT JOIN publisher p ON t.name = p.name`,
+		`SELECT a.id, t.id FROM author a LEFT JOIN team t ON a.id < t.id`,
+		`SELECT a.id, t.id FROM author a LEFT JOIN team t ON a.team = t.id AND t.name = 'Software Engineering'`,
+		`SELECT a.lastname FROM author a LEFT JOIN team t ON a.team = t.id WHERE t.name IS NULL`,
+		`SELECT a.lastname, t.code FROM author a LEFT JOIN team t ON a.team = t.id WHERE t.code = 'SEAL'`,
+		`SELECT a.id, t.id FROM author a LEFT JOIN team t ON a.team = t.id ORDER BY t.id DESC, a.id LIMIT 3`,
+		`SELECT p.title, pa.author FROM publication p LEFT JOIN publication_author pa ON pa.publication = p.id JOIN author a ON a.team = 1`,
+		`SELECT COUNT(*) AS n FROM author a LEFT JOIN team t ON a.team = t.id`,
+		// aggregates and GROUP BY, with and without matching rows
+		`SELECT COUNT(*) AS n, MIN(year) AS mn, MAX(year) AS mx, SUM(year) AS s, AVG(year) AS a FROM publication`,
+		`SELECT COUNT(email) AS ne FROM author`,
+		`SELECT type, COUNT(*) AS n FROM publication GROUP BY type`,
+		`SELECT team, COUNT(email) AS ne, MIN(lastname) AS mn FROM author GROUP BY team`,
+		`SELECT t.name, COUNT(*) AS n FROM author a JOIN team t ON a.team = t.id GROUP BY t.name`,
+		`SELECT t.name, COUNT(a.email) AS n FROM team t LEFT JOIN author a ON a.team = t.id GROUP BY t.name`,
+		`SELECT AVG(year) AS a FROM publication WHERE year > 2100`,
+		`SELECT type, COUNT(*) AS n FROM publication WHERE year > 2100 GROUP BY type`,
+		`SELECT SUM(lastname) AS s FROM author`,                           // non-numeric: error in both
+		`SELECT lastname, COUNT(*) AS n FROM author`,                      // non-grouped item: error in both
+		`SELECT MAX(year) AS m FROM publication GROUP BY type ORDER BY m`, // modifier clash: error in both
 	}
 	for _, q := range queries {
 		q := q
@@ -394,30 +419,22 @@ func TestLimitStopsEarly(t *testing.T) {
 	}
 }
 
-// TestJoinReorderKeepsRowMultiset pins the one case where the greedy
-// planner departs from textual order: an index-backed join placed
-// ahead of a textually-earlier hash join. The result must be the same
-// row multiset as the nested-loop baseline (inner joins are
-// order-insensitive as sets) and deterministic across executions.
-func TestJoinReorderKeepsRowMultiset(t *testing.T) {
+// TestJoinReorderKeepsBaselineOrder pins the ordering contract on a
+// query the cost-based planner may reorder (a hash join mixed with
+// index-backed joins): the streaming executor must return
+// byte-identical rows in byte-identical order to both the textual
+// placement and the nested-loop baseline — reordered plans replay
+// their collected rows in baseline id order.
+func TestJoinReorderKeepsBaselineOrder(t *testing.T) {
 	db := paperDB(t)
 	seedJoinData(t, db)
-	// publisher 2 shares team 1/3's name, team 1 has two authors: the
-	// author join (secondary index, score 2) overtakes the publisher
-	// hash join (score 1).
+	// publisher 2 shares team 1/3's name, team 1 has two authors.
 	const q = `SELECT t.id, p.id, a.id FROM team t JOIN publisher p ON p.name = t.name JOIN author a ON a.team = t.id`
 	stmt, err := sqlparser.ParseStatement(q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sel := stmt.(sqlparser.Select)
-	asMultiset := func(rs *ResultSet) map[string]int {
-		out := map[string]int{}
-		for _, row := range rs.Rows {
-			out[rdb.KeyOf(row)]++
-		}
-		return out
-	}
 	db.View(func(tx *rdb.Tx) error {
 		first, err := execSelect(tx, sel)
 		if err != nil {
@@ -430,6 +447,10 @@ func TestJoinReorderKeepsRowMultiset(t *testing.T) {
 		if !reflect.DeepEqual(first.Rows, again.Rows) {
 			t.Errorf("streaming executor is not deterministic:\n%v\nvs\n%v", first.Rows, again.Rows)
 		}
+		textual, err := SelectTextual(tx, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want, err := SelectNaive(tx, sel)
 		if err != nil {
 			t.Fatal(err)
@@ -437,11 +458,126 @@ func TestJoinReorderKeepsRowMultiset(t *testing.T) {
 		if len(want.Rows) == 0 {
 			t.Fatal("battery query matched nothing; seed data drifted")
 		}
-		if !reflect.DeepEqual(asMultiset(first), asMultiset(want)) {
-			t.Errorf("row multisets diverge:\n%v\nvs\n%v", first.Rows, want.Rows)
+		if !reflect.DeepEqual(first.Rows, want.Rows) {
+			t.Errorf("rows diverge from the naive baseline:\n%v\nvs\n%v", first.Rows, want.Rows)
+		}
+		if !reflect.DeepEqual(first.Rows, textual.Rows) {
+			t.Errorf("rows diverge from textual placement:\n%v\nvs\n%v", first.Rows, textual.Rows)
 		}
 		return nil
 	})
+}
+
+// TestCostBasedReorderMatchesBaseline builds a skewed join — a large
+// fact table, a selective indexed literal filter on a late table —
+// where the cost-based planner provably departs from textual order,
+// and requires byte-identical output (rows AND order) to SelectTextual
+// and SelectNaive across modifier shapes.
+func TestCostBasedReorderMatchesBaseline(t *testing.T) {
+	db := paperDB(t)
+	var b strings.Builder
+	b.WriteString(`INSERT INTO team (id, name, code) VALUES (1, 'T1', 'c1'), (2, 'T2', 'c2'), (3, 'T3', 'c3');`)
+	b.WriteString("INSERT INTO author (id, lastname, team) VALUES (1, 'A1', 1)")
+	for i := 2; i <= 300; i++ {
+		fmt.Fprintf(&b, ", (%d, 'A%d', %d)", i, i, i%3+1)
+	}
+	b.WriteString(";")
+	if _, err := Run(db, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		// author (300 rows) is textually first, but the 3-row team
+		// table is the cheapest start; the FK index then probes author
+		// per team row. Cost-based placement inverts the textual order.
+		`SELECT a.id, t.id FROM author a JOIN team t ON a.team = t.id WHERE t.code = 'c2'`,
+		`SELECT a.lastname, t.code FROM author a JOIN team t ON a.team = t.id WHERE t.code = 'c2' ORDER BY a.lastname`,
+		`SELECT a.id, t.id FROM author a JOIN team t ON a.team = t.id WHERE t.code LIKE 'c%' LIMIT 5`,
+		`SELECT a.id, t.id FROM author a JOIN team t ON a.team = t.id WHERE t.code LIKE 'c%' LIMIT 7 OFFSET 3`,
+		`SELECT DISTINCT t.code FROM author a JOIN team t ON a.team = t.id WHERE t.code LIKE 'c%'`,
+		`SELECT COUNT(*) AS n FROM author a JOIN team t ON a.team = t.id WHERE t.code = 'c2'`,
+	}
+	reordered := 0
+	for _, q := range queries {
+		stmt, err := sqlparser.ParseStatement(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := stmt.(sqlparser.Select)
+		db.View(func(tx *rdb.Tx) error {
+			if p, err := planSelect(tx, sel); err != nil {
+				t.Fatal(err)
+			} else if p.reordered {
+				reordered++
+			}
+			got, err := execSelect(tx, sel)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			textual, err := SelectTextual(tx, sel)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			naive, err := SelectNaive(tx, sel)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			if !reflect.DeepEqual(got.Rows, textual.Rows) {
+				t.Errorf("%s: cost-based diverges from textual:\n%v\nvs\n%v", q, got.Rows, textual.Rows)
+			}
+			if !reflect.DeepEqual(got.Rows, naive.Rows) {
+				t.Errorf("%s: cost-based diverges from naive:\n%v\nvs\n%v", q, got.Rows, naive.Rows)
+			}
+			if !reflect.DeepEqual(got.Columns, textual.Columns) {
+				t.Errorf("%s: columns diverge: %v vs %v", q, got.Columns, textual.Columns)
+			}
+			return nil
+		})
+	}
+	if reordered == 0 {
+		t.Error("no query produced a reordered plan; the scenario no longer exercises cost-based ordering")
+	}
+}
+
+// TestAggregateFloatArithmetic pins SUM/AVG semantics on DOUBLE
+// columns and mixed inputs: integer accumulation switches to the
+// per-value float sum once a float appears, AVG divides as float64.
+func TestAggregateFloatArithmetic(t *testing.T) {
+	db := rdb.NewDatabase("agg")
+	if _, err := Run(db, `
+CREATE TABLE m (id INTEGER PRIMARY KEY, grp INTEGER, x DOUBLE, n INTEGER);
+INSERT INTO m (id, grp, x, n) VALUES
+  (1, 1, 1.5, 10), (2, 1, 2.25, 1), (3, 2, NULL, 4), (4, 2, 0.5, NULL), (5, 1, NULL, 2);
+`); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Query(db, `SELECT grp, SUM(x) AS sx, AVG(x) AS ax, SUM(n) AS sn, AVG(n) AS an, COUNT(x) AS cx FROM m GROUP BY grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	g1, g2 := rs.Rows[0], rs.Rows[1]
+	if g1[0] != rdb.Int(1) || g1[1] != rdb.Float(3.75) || g1[2] != rdb.Float(1.875) ||
+		g1[3] != rdb.Int(13) || g1[4] != rdb.Float(13.0/3.0) || g1[5] != rdb.Int(2) {
+		t.Errorf("group 1 = %v", g1)
+	}
+	if g2[0] != rdb.Int(2) || g2[1] != rdb.Float(0.5) || g2[3] != rdb.Int(4) || g2[4] != rdb.Float(4) {
+		t.Errorf("group 2 = %v", g2)
+	}
+	// All-NULL input: COUNT 0, SUM/AVG/MIN/MAX NULL — and with no
+	// GROUP BY an empty input still yields exactly one row.
+	rs, err = Query(db, `SELECT COUNT(x) AS c, SUM(x) AS s, AVG(x) AS a, MIN(x) AS mn, MAX(x) AS mx FROM m WHERE id > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("empty-input rows = %v", rs.Rows)
+	}
+	row := rs.Rows[0]
+	if row[0] != rdb.Int(0) || !row[1].IsNull() || !row[2].IsNull() || !row[3].IsNull() || !row[4].IsNull() {
+		t.Errorf("empty-input aggregates = %v", row)
+	}
 }
 
 // TestNegativeZeroJoinAndProbe guards the key normalization shared by

@@ -69,20 +69,38 @@ func (tr TableRef) EffectiveName() string {
 	return tr.Table
 }
 
-// Join is one JOIN clause (inner joins only).
+// Join is one JOIN clause: inner by default, a left outer join when
+// LeftOuter is set (unmatched left rows survive, the joined table's
+// columns NULL-extended).
 type Join struct {
-	Ref TableRef
-	On  Expr
+	Ref       TableRef
+	On        Expr
+	LeftOuter bool
 }
 
+// AggFunc identifies the aggregate function of a SELECT item.
+type AggFunc int
+
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
 // SelectItem is one projected column: an expression with an optional
-// alias. A nil Expr with Star set projects every column.
+// alias. A nil Expr with Star set projects every column. With Agg
+// set, the item is an aggregate over the expression — COUNT with a
+// nil Expr is COUNT(*).
 type SelectItem struct {
 	Expr  Expr
 	Alias string
 	Star  bool
-	// Count marks COUNT(*).
-	Count bool
+	// Agg marks an aggregate item: COUNT(*), COUNT(col), SUM, AVG,
+	// MIN or MAX.
+	Agg AggFunc
 }
 
 // OrderKey is one ORDER BY key.
@@ -98,6 +116,7 @@ type Select struct {
 	From     TableRef
 	Joins    []Join
 	Where    Expr // nil = all rows
+	GroupBy  []Expr
 	OrderBy  []OrderKey
 	Limit    int // -1 = unset
 	Offset   int // -1 = unset

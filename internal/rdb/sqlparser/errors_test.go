@@ -46,7 +46,9 @@ func TestParserErrorPaths(t *testing.T) {
 		`SELECT a FROM t LIMIT x`,                       // non-numeric limit
 		`SELECT a FROM t OFFSET 'x'`,                    // non-numeric offset
 		`SELECT a FROM t JOIN u`,                        // JOIN without ON
-		`SELECT COUNT(a) FROM t`,                        // COUNT requires *
+		`SELECT SUM(*) FROM t`,                          // * only valid in COUNT
+		`SELECT COUNT(a FROM t`,                         // unclosed aggregate
+		`SELECT a FROM t GROUP a`,                       // GROUP without BY
 		`SELECT a FROM t WHERE a IN 1`,                  // IN without parens
 		`SELECT a FROM t WHERE a IS 5`,                  // IS without NULL
 		`SELECT a FROM t WHERE (a = 1`,                  // unbalanced paren

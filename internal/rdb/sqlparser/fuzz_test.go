@@ -30,6 +30,12 @@ func FuzzParseSelect(f *testing.F) {
 		`SELECT t0.id FROM publication t0 WHERE t0.year IS NOT NULL AND t0.year >= 2008 AND t0.year <> 2009 ORDER BY t0.year DESC, t0.id LIMIT 5 OFFSET 2;`,
 		`SELECT t0.lastname FROM author t0 WHERE t0.lastname IS NOT NULL AND t0.lastname >= 'A' AND t0.lastname < 'M' ORDER BY t0.lastname LIMIT 0;`,
 		`SELECT DISTINCT t1.name FROM author t0 JOIN team t1 ON t0.team = t1.id WHERE t1.name <> 'X';`,
+		// rich plan renderings (PR 7): LEFT JOIN with compound ON,
+		// aggregate projections with GROUP BY, OR'd WHERE disjunctions
+		`SELECT t0.id, t1.name FROM author t0 LEFT JOIN team t1 ON t0.team = t1.id AND t1.name IS NOT NULL AND t1.code = 'T5';`,
+		`SELECT t0.team, COUNT(t0.id), SUM(t0.id) FROM author t0 WHERE t0.team IS NOT NULL GROUP BY t0.team;`,
+		`SELECT COUNT(*), SUM(t0.year), AVG(t0.year), MIN(t0.year), MAX(t0.year) FROM publication t0 WHERE t0.year IS NOT NULL;`,
+		`SELECT t0.lastname FROM author t0 WHERE t0.lastname IS NOT NULL AND (t0.lastname = 'A' OR t0.lastname = 'B' OR t0.lastname > 'X');`,
 		// broader SELECT surface
 		`SELECT DISTINCT a.lastname AS l FROM author a JOIN team t ON a.team = t.id WHERE t.name LIKE 'S%' ORDER BY l DESC, a.id LIMIT 10 OFFSET 2;`,
 		`SELECT COUNT(*) AS n FROM author WHERE team IN (1, 2, 3);`,
@@ -57,8 +63,11 @@ func FuzzParseSelect(f *testing.F) {
 			t.Fatal("accepted SELECT without items")
 		}
 		for _, item := range sel.Items {
-			if !item.Star && !item.Count && item.Expr == nil {
+			if !item.Star && item.Agg == AggNone && item.Expr == nil {
 				t.Fatal("accepted select item with no expression")
+			}
+			if item.Agg != AggNone && item.Agg != AggCount && item.Expr == nil {
+				t.Fatal("accepted argument-less aggregate other than COUNT(*)")
 			}
 		}
 		for _, j := range sel.Joins {

@@ -66,7 +66,8 @@ var sqlKeywords = map[string]bool{
 	"LIMIT": true, "OFFSET": true,
 	"AND": true, "OR": true, "IS": true, "LIKE": true, "IN": true,
 	"TRUE": true, "FALSE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
-	"COUNT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"OUTER": true, "GROUP": true,
 }
 
 type token struct {

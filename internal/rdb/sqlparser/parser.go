@@ -558,12 +558,26 @@ func (p *Parser) parseSelect() (Statement, error) {
 	}
 	sel.From = from
 	for {
+		leftOuter := false
 		if p.isKeyword("INNER") {
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
+		} else if p.isKeyword("LEFT") {
+			leftOuter = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isKeyword("OUTER") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
 		}
 		if !p.isKeyword("JOIN") {
+			if leftOuter {
+				return nil, p.errorf("expected JOIN after LEFT")
+			}
 			break
 		}
 		if err := p.advance(); err != nil {
@@ -580,7 +594,7 @@ func (p *Parser) parseSelect() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		sel.Joins = append(sel.Joins, Join{Ref: ref, On: on})
+		sel.Joins = append(sel.Joins, Join{Ref: ref, On: on, LeftOuter: leftOuter})
 	}
 	if p.isKeyword("WHERE") {
 		if err := p.advance(); err != nil {
@@ -591,6 +605,28 @@ func (p *Parser) parseSelect() (Statement, error) {
 			return nil, err
 		}
 		sel.Where = w
+	}
+	if p.isKeyword("GROUP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.tok.kind == tComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
 	}
 	if p.isKeyword("ORDER") {
 		if err := p.advance(); err != nil {
@@ -657,24 +693,50 @@ func (p *Parser) parseSelect() (Statement, error) {
 	}
 }
 
+// aggKeyword maps the current token to an aggregate function and its
+// default (lowercase) alias; AggNone when it is not an aggregate.
+func (p *Parser) aggKeyword() (AggFunc, string) {
+	switch {
+	case p.isKeyword("COUNT"):
+		return AggCount, "count"
+	case p.isKeyword("SUM"):
+		return AggSum, "sum"
+	case p.isKeyword("AVG"):
+		return AggAvg, "avg"
+	case p.isKeyword("MIN"):
+		return AggMin, "min"
+	case p.isKeyword("MAX"):
+		return AggMax, "max"
+	}
+	return AggNone, ""
+}
+
 func (p *Parser) parseSelectItem() (SelectItem, error) {
 	if p.tok.kind == tStar {
 		return SelectItem{Star: true}, p.advance()
 	}
-	if p.isKeyword("COUNT") {
+	if agg, name := p.aggKeyword(); agg != AggNone {
 		if err := p.advance(); err != nil {
 			return SelectItem{}, err
 		}
 		if _, err := p.expect(tLParen); err != nil {
 			return SelectItem{}, err
 		}
-		if _, err := p.expect(tStar); err != nil {
-			return SelectItem{}, err
+		item := SelectItem{Agg: agg, Alias: name}
+		if agg == AggCount && p.tok.kind == tStar {
+			if err := p.advance(); err != nil {
+				return SelectItem{}, err
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Expr = e
 		}
 		if _, err := p.expect(tRParen); err != nil {
 			return SelectItem{}, err
 		}
-		item := SelectItem{Count: true, Alias: "count"}
 		if p.isKeyword("AS") {
 			if err := p.advance(); err != nil {
 				return SelectItem{}, err

@@ -184,7 +184,7 @@ func TestParseSelectStarDistinctCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	sel := stmt.(Select)
-	if !sel.Items[0].Count || sel.Items[0].Alias != "n" {
+	if sel.Items[0].Agg != AggCount || sel.Items[0].Expr != nil || sel.Items[0].Alias != "n" {
 		t.Errorf("count item = %+v", sel.Items[0])
 	}
 	in, ok := sel.Where.(InList)

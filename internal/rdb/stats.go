@@ -1,0 +1,141 @@
+package rdb
+
+// Statistics are a free by-product of the MVCC design: every commit
+// publishes immutable table versions whose persistent structures
+// already track their own sizes, so per-table row counts and
+// per-index distinct-value counts are O(1) reads off the published
+// snapshot — no counters to maintain, no drift to repair. The SQL
+// executor's cost-based join ordering consumes them through the Tx
+// accessors below; /healthz exposes them for observability; and
+// RecomputeStats provides the from-scratch recount the statistics
+// invariant test (and FuzzStatsInvariant) compares against after
+// arbitrary update streams.
+
+// TableStats describes one table of a published snapshot.
+type TableStats struct {
+	// Rows is the committed row count.
+	Rows int
+	// Distinct maps each indexed column (single-column primary key,
+	// foreign keys, UNIQUE columns) to its distinct-value count. NULL
+	// counts as one value when present, mirroring the index itself.
+	Distinct map[string]int
+}
+
+// DBStats is a statistics snapshot of the whole database.
+type DBStats struct {
+	// SnapshotVersion identifies the published snapshot the counts
+	// were read from.
+	SnapshotVersion uint64
+	// Tables maps each table's declared name to its statistics.
+	Tables map[string]TableStats
+}
+
+// statsOf extracts the statistics of one table version. Row and
+// distinct counts are size fields of the persistent structures, so
+// this never scans.
+func statsOf(v *tableVersion) TableStats {
+	ts := TableStats{Rows: v.rows.len(), Distinct: make(map[string]int)}
+	if len(v.pkCols) == 1 {
+		// A single-column primary key is unique and NOT NULL, so its
+		// distinct count is the row count.
+		ts.Distinct[v.schema.Columns[v.pkCols[0]].Name] = v.rows.len()
+	}
+	for i := range v.sec {
+		ts.Distinct[v.schema.Columns[v.sec[i].col].Name] = v.sec[i].idx.len()
+	}
+	return ts
+}
+
+// Stats reads the statistics of the current published snapshot.
+func (db *Database) Stats() DBStats {
+	s := db.snapshot()
+	out := DBStats{SnapshotVersion: s.version, Tables: make(map[string]TableStats, len(s.order))}
+	for _, key := range s.order {
+		v := s.tables[key]
+		out.Tables[v.schema.Name] = statsOf(v)
+	}
+	return out
+}
+
+// RecomputeStats recounts the current published snapshot from
+// scratch by scanning every table: rows by iteration, distinct
+// values per indexed column by key-set construction. It exists as
+// the ground truth the incremental counts are checked against — the
+// two must be equal after any sequence of commits, rollbacks and
+// recovery reopens.
+func (db *Database) RecomputeStats() DBStats {
+	s := db.snapshot()
+	out := DBStats{SnapshotVersion: s.version, Tables: make(map[string]TableStats, len(s.order))}
+	for _, key := range s.order {
+		v := s.tables[key]
+		cols := []int(nil)
+		if len(v.pkCols) == 1 {
+			cols = append(cols, v.pkCols[0])
+		}
+		for i := range v.sec {
+			cols = append(cols, v.sec[i].col)
+		}
+		seen := make([]map[string]bool, len(cols))
+		for i := range seen {
+			seen[i] = make(map[string]bool)
+		}
+		rows := 0
+		v.scan(func(_ int64, row []Value) bool {
+			rows++
+			for i, ci := range cols {
+				seen[i][encodeKey(row[ci:ci+1])] = true
+			}
+			return true
+		})
+		ts := TableStats{Rows: rows, Distinct: make(map[string]int, len(cols))}
+		for i, ci := range cols {
+			ts.Distinct[v.schema.Columns[ci].Name] = len(seen[i])
+		}
+		out.Tables[v.schema.Name] = ts
+	}
+	return out
+}
+
+// TableRows returns the committed row count of the named table as
+// seen by this transaction (including its own uncommitted writes).
+// The cost-based join planner uses it as the base cardinality
+// estimate.
+func (tx *Tx) TableRows(name string) (int, error) {
+	if err := tx.check(); err != nil {
+		return 0, err
+	}
+	v, err := tx.table(name, false)
+	if err != nil {
+		return 0, err
+	}
+	return v.rows.len(), nil
+}
+
+// DistinctCount returns the number of distinct values in the named
+// column as seen by this transaction, and whether the column is
+// index-backed at all — only indexed columns (single-column primary
+// key, foreign keys, UNIQUE columns) maintain the count. The
+// cost-based join planner divides row count by it to estimate
+// equality-probe selectivity.
+func (tx *Tx) DistinctCount(name, column string) (int, bool, error) {
+	if err := tx.check(); err != nil {
+		return 0, false, err
+	}
+	v, err := tx.table(name, false)
+	if err != nil {
+		return 0, false, err
+	}
+	ci := v.schema.ColumnIndex(column)
+	if ci < 0 {
+		return 0, false, &TableError{Table: v.schema.Name, Column: column}
+	}
+	if len(v.pkCols) == 1 && v.pkCols[0] == ci {
+		return v.rows.len(), true, nil
+	}
+	for i := range v.sec {
+		if v.sec[i].col == ci {
+			return v.sec[i].idx.len(), true, nil
+		}
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,259 @@
+package rdb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// statsState tracks the driver's view of the person table across
+// applyStatsOps calls: surviving row ids and a monotonic counter for
+// unique keys and lastnames.
+type statsState struct {
+	live []int64
+	next int64
+}
+
+// applyStatsOps drives a byte-coded mutation stream against the
+// database: inserts, updates of indexed (lastname, grp) and
+// non-indexed (email) columns, deletes, whole-transaction rollbacks
+// and savepoint partial rollbacks. The same byte stream always
+// produces the same final state, so fuzz findings reproduce.
+func applyStatsOps(tb testing.TB, db *Database, ops []byte, st *statsState) {
+	tb.Helper()
+	for _, b := range ops {
+		switch b % 6 {
+		case 0, 1: // insert, sometimes with NULL grp/email
+			id := st.next
+			st.next++
+			vals := map[string]Value{
+				"id":       Int(id),
+				"lastname": String_(fmt.Sprintf("L%d", id)),
+			}
+			if b&0x08 == 0 {
+				vals["grp"] = Int(int64(b>>4)%2 + 1)
+			}
+			if b&0x40 == 0 {
+				vals["email"] = String_(fmt.Sprintf("e%d@x", id))
+			}
+			if err := db.Update(func(tx *Tx) error {
+				return tx.Insert("person", vals)
+			}); err != nil {
+				tb.Fatalf("insert: %v", err)
+			}
+			st.live = append(st.live, id)
+		case 2: // update: rotate indexed and non-indexed columns
+			if len(st.live) == 0 {
+				continue
+			}
+			id := st.live[int(b>>2)%len(st.live)]
+			set := map[string]Value{"email": String_(fmt.Sprintf("u%d@x", st.next))}
+			if b&0x08 == 0 {
+				set["grp"] = Int(int64(b>>4)%2 + 1)
+			} else if b&0x10 == 0 {
+				set["grp"] = Value{} // NULL out the foreign key
+			}
+			if b&0x40 == 0 {
+				set["lastname"] = String_(fmt.Sprintf("L%d-u", st.next))
+			}
+			st.next++
+			if err := db.Update(func(tx *Tx) error {
+				rid, _, ok, err := tx.LookupPK("person", []Value{Int(id)})
+				if err != nil || !ok {
+					return fmt.Errorf("lookup %d: ok=%v err=%v", id, ok, err)
+				}
+				return tx.UpdateByID("person", rid, set)
+			}); err != nil {
+				tb.Fatalf("update: %v", err)
+			}
+		case 3: // delete
+			if len(st.live) == 0 {
+				continue
+			}
+			i := int(b>>2) % len(st.live)
+			id := st.live[i]
+			st.live = append(st.live[:i], st.live[i+1:]...)
+			if err := db.Update(func(tx *Tx) error {
+				rid, _, ok, err := tx.LookupPK("person", []Value{Int(id)})
+				if err != nil || !ok {
+					return fmt.Errorf("lookup %d: ok=%v err=%v", id, ok, err)
+				}
+				return tx.DeleteByID("person", rid)
+			}); err != nil {
+				tb.Fatalf("delete: %v", err)
+			}
+		case 4: // whole-transaction rollback: no statistics movement
+			tx := db.Begin()
+			if err := tx.Insert("person", map[string]Value{
+				"id": Int(st.next), "lastname": String_(fmt.Sprintf("L%d", st.next)),
+			}); err != nil {
+				tx.Rollback()
+				tb.Fatalf("rollback insert: %v", err)
+			}
+			st.next++
+			tx.Rollback()
+		default: // savepoint partial rollback: first insert survives
+			tx := db.Begin()
+			keep := st.next
+			if err := tx.Insert("person", map[string]Value{
+				"id": Int(keep), "lastname": String_(fmt.Sprintf("L%d", keep)),
+			}); err != nil {
+				tx.Rollback()
+				tb.Fatalf("savepoint insert: %v", err)
+			}
+			sp := tx.Savepoint()
+			if err := tx.Insert("person", map[string]Value{
+				"id": Int(keep + 1), "lastname": String_(fmt.Sprintf("L%d", keep+1)),
+			}); err != nil {
+				tx.Rollback()
+				tb.Fatalf("savepoint insert 2: %v", err)
+			}
+			tx.RollbackTo(sp)
+			st.next += 2
+			if err := tx.Commit(); err != nil {
+				tb.Fatalf("savepoint commit: %v", err)
+			}
+			st.live = append(st.live, keep)
+		}
+	}
+}
+
+// checkStatsInvariant asserts that the incremental counts read off
+// the published snapshot equal a from-scratch recount of the same
+// data, and that the Tx accessors agree with both.
+func checkStatsInvariant(tb testing.TB, db *Database) {
+	tb.Helper()
+	inc, rec := db.Stats(), db.RecomputeStats()
+	if !reflect.DeepEqual(inc, rec) {
+		tb.Fatalf("incremental stats diverge from recount:\n inc: %+v\n rec: %+v", inc, rec)
+	}
+	if err := db.View(func(tx *Tx) error {
+		for name, ts := range inc.Tables {
+			rows, err := tx.TableRows(name)
+			if err != nil {
+				return err
+			}
+			if rows != ts.Rows {
+				return fmt.Errorf("TableRows(%s)=%d, Stats says %d", name, rows, ts.Rows)
+			}
+			for col, want := range ts.Distinct {
+				got, indexed, err := tx.DistinctCount(name, col)
+				if err != nil {
+					return err
+				}
+				if !indexed || got != want {
+					return fmt.Errorf("DistinctCount(%s,%s)=(%d,%v), Stats says %d", name, col, got, indexed, want)
+				}
+			}
+		}
+		// A non-indexed column reports indexed=false without error.
+		if _, indexed, err := tx.DistinctCount("person", "email"); err != nil || indexed {
+			return fmt.Errorf("DistinctCount(person,email)=(indexed=%v,err=%v), want unindexed", indexed, err)
+		}
+		return nil
+	}); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// setupStatsDB creates the two-table schema (FK + UNIQUE + pk) and
+// the group rows the mutation stream references.
+func setupStatsDB(tb testing.TB, db *Database) {
+	tb.Helper()
+	if err := db.CreateTable(groupSchema()); err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.CreateTable(personSchema()); err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.Update(func(tx *Tx) error {
+		if err := tx.Insert("grp", map[string]Value{"id": Int(1), "name": String_("Team 1")}); err != nil {
+			return err
+		}
+		return tx.Insert("grp", map[string]Value{"id": Int(2), "name": String_("Team 2")})
+	}); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// runStatsStream is the shared test body: apply the op stream in two
+// halves with invariant checks between, then close, recover from
+// disk and verify the invariant still holds over the recovered state
+// plus a post-recovery tail of operations.
+func runStatsStream(tb testing.TB, dir string, ops []byte) {
+	db, _, err := Open("statstest", Options{DataDir: dir})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	setupStatsDB(tb, db)
+	st := &statsState{next: 1}
+	half := len(ops) / 2
+	applyStatsOps(tb, db, ops[:half], st)
+	checkStatsInvariant(tb, db)
+	applyStatsOps(tb, db, ops[half:], st)
+	checkStatsInvariant(tb, db)
+	if err := db.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	db2, recovered, err := Open("statstest", Options{DataDir: dir})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer db2.Close()
+	if !recovered {
+		tb.Fatal("expected recovery to find prior state")
+	}
+	checkStatsInvariant(tb, db2)
+	applyStatsOps(tb, db2, ops[:half], st)
+	checkStatsInvariant(tb, db2)
+}
+
+func TestStatsInvariant(t *testing.T) {
+	// A fixed stream covering every op code, including the
+	// empty-live-set edge at the start.
+	ops := make([]byte, 0, 300)
+	for i := 0; i < 300; i++ {
+		ops = append(ops, byte(i*7+i/3))
+	}
+	runStatsStream(t, t.TempDir(), ops)
+}
+
+func TestStatsEmptyDatabase(t *testing.T) {
+	db := NewDatabase("empty")
+	checkStats := func() {
+		if inc, rec := db.Stats(), db.RecomputeStats(); !reflect.DeepEqual(inc, rec) {
+			t.Fatalf("stats diverge: %+v vs %+v", inc, rec)
+		}
+	}
+	checkStats()
+	setupStatsDB(t, db)
+	checkStats()
+	ts := db.Stats().Tables["person"]
+	if ts.Rows != 0 || ts.Distinct["id"] != 0 || ts.Distinct["lastname"] != 0 || ts.Distinct["grp"] != 0 {
+		t.Fatalf("empty person table has non-zero stats: %+v", ts)
+	}
+	if got := db.Stats().Tables["grp"]; got.Rows != 2 || got.Distinct["id"] != 2 {
+		t.Fatalf("grp stats wrong: %+v", got)
+	}
+}
+
+// FuzzStatsInvariant feeds arbitrary byte-coded op streams through
+// the driver: after any sequence of inserts, updates, deletes,
+// rollbacks, savepoints and a recovery reopen, the incremental
+// counts must equal the from-scratch recount.
+func FuzzStatsInvariant(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 3, 3, 3, 2, 4, 5, 1, 0x48, 0x08, 0x18})
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 11)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		runStatsStream(t, t.TempDir(), ops)
+	})
+}

@@ -1,0 +1,170 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ontoaccess/internal/rdf"
+)
+
+// SortSolutions sorts sols in place by the ORDER BY keys, using the
+// evaluator's comparator. Exported for the mediator's UNION lowering,
+// which concatenates per-branch SQL results and must then apply the
+// identical solution-level tail the native evaluator applies.
+func SortSolutions(sols Solutions, keys []OrderKey) { sortSolutions(sols, keys) }
+
+// DistinctSolutions removes duplicate bindings, keeping first
+// occurrences — the evaluator's DISTINCT step, exported for the same
+// reason as SortSolutions.
+func DistinctSolutions(sols Solutions) Solutions { return distinct(sols) }
+
+// aggAcc accumulates one aggregate within one group. SUM and AVG
+// accumulate int64 while every input parses as an integer and switch
+// to the float sum — accumulated per value in arrival order — once a
+// float appears. The SQL executor implements the identical
+// arithmetic, so both engines produce byte-identical lexical results
+// on integer-valued data.
+type aggAcc struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	isF   bool
+	mm    string // winning MIN/MAX lexical form
+	mmF   float64
+	mmNum bool
+	has   bool
+}
+
+type aggGroup struct {
+	key  Binding
+	accs []aggAcc
+}
+
+// aggregateSolutions folds the WHERE solutions into one solution per
+// group, in group first-appearance order. All aggregate results are
+// plain literals: COUNT and integer SUM format as base-10 integers,
+// AVG and float SUM with strconv.FormatFloat(_, 'g', -1, 64), and
+// MIN/MAX return the winning value's lexical form — exactly the
+// mediator's SQL decode of the executor's aggregation, which is what
+// keeps the two engines byte-identical.
+func aggregateSolutions(sols Solutions, q *Query) (Solutions, error) {
+	order := []string{}
+	groups := map[string]*aggGroup{}
+	for _, sol := range sols {
+		var kb strings.Builder
+		key := Binding{}
+		for _, gv := range q.GroupBy {
+			if t, ok := sol[gv]; ok {
+				key[gv] = t
+				kb.WriteString(t.String())
+			}
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		grp := groups[k]
+		if grp == nil {
+			grp = &aggGroup{key: key, accs: make([]aggAcc, len(q.Aggs))}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, a := range q.Aggs {
+			if a.Fn == "" {
+				continue
+			}
+			acc := &grp.accs[i]
+			if a.Fn == "COUNT" && a.Var == "" {
+				acc.count++ // COUNT(*) counts solutions, unbound included
+				continue
+			}
+			t, ok := sol[a.Var]
+			if !ok {
+				continue // aggregates skip unbound inputs
+			}
+			acc.count++
+			lex := t.Value
+			switch a.Fn {
+			case "SUM", "AVG":
+				if n, err := strconv.ParseInt(lex, 10, 64); err == nil {
+					acc.sumI += n
+					acc.sumF += float64(n)
+				} else if f, err := strconv.ParseFloat(lex, 64); err == nil {
+					acc.isF = true
+					acc.sumF += f
+				} else {
+					return nil, fmt.Errorf("sparql: %s requires numeric values, got %q", a.Fn, lex)
+				}
+			case "MIN", "MAX":
+				f, ferr := strconv.ParseFloat(lex, 64)
+				num := ferr == nil
+				better := false
+				switch {
+				case !acc.has:
+					better = true
+				case num && acc.mmNum:
+					if a.Fn == "MIN" {
+						better = f < acc.mmF
+					} else {
+						better = f > acc.mmF
+					}
+				default:
+					if a.Fn == "MIN" {
+						better = lex < acc.mm
+					} else {
+						better = lex > acc.mm
+					}
+				}
+				if better {
+					acc.mm, acc.mmF, acc.mmNum = lex, f, num
+				}
+				acc.has = true
+			}
+		}
+	}
+	// Without GROUP BY an empty input still yields one group (COUNT 0,
+	// other aggregates unbound); with GROUP BY it yields none.
+	if len(q.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &aggGroup{key: Binding{}, accs: make([]aggAcc, len(q.Aggs))}
+		order = append(order, "")
+	}
+	out := make(Solutions, 0, len(order))
+	for _, k := range order {
+		grp := groups[k]
+		b := Binding{}
+		for i, a := range q.Aggs {
+			name := q.Vars[i]
+			acc := &grp.accs[i]
+			switch a.Fn {
+			case "":
+				if t, ok := grp.key[name]; ok {
+					b[name] = t
+				}
+			case "COUNT":
+				b[name] = rdf.Literal(strconv.FormatInt(acc.count, 10))
+			case "SUM":
+				switch {
+				case acc.count == 0:
+					// unbound
+				case acc.isF:
+					b[name] = rdf.Literal(strconv.FormatFloat(acc.sumF, 'g', -1, 64))
+				default:
+					b[name] = rdf.Literal(strconv.FormatInt(acc.sumI, 10))
+				}
+			case "AVG":
+				if acc.count > 0 {
+					sum := acc.sumF
+					if !acc.isF {
+						sum = float64(acc.sumI)
+					}
+					b[name] = rdf.Literal(strconv.FormatFloat(sum/float64(acc.count), 'g', -1, 64))
+				}
+			case "MIN", "MAX":
+				if acc.has {
+					b[name] = rdf.Literal(acc.mm)
+				}
+			}
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

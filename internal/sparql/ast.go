@@ -177,6 +177,22 @@ type Query struct {
 	// Limit and Offset; negative means unset.
 	Limit  int
 	Offset int
+	// Aggs, when non-nil, is aligned index-for-index with Vars: entry i
+	// describes how projection variable Vars[i] is computed — a plain
+	// group-by variable (Fn empty) or an aggregate over Var. GroupBy
+	// lists the grouping variables. The parser guarantees aggregation
+	// never combines with DISTINCT, ORDER BY, LIMIT or OFFSET.
+	Aggs    []AggSpec
+	GroupBy []string
+}
+
+// AggSpec describes one SELECT projection item of an aggregating
+// query. Fn is COUNT, SUM, AVG, MIN or MAX — or empty for a plain
+// group-by variable. Var is the argument variable; empty Var with
+// COUNT means COUNT(*).
+type AggSpec struct {
+	Fn  string
+	Var string
 }
 
 // Binding maps variable names to RDF terms. A missing key means the

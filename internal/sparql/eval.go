@@ -45,6 +45,12 @@ func EvalWith(m Matcher, q *Query, opts EvalOptions) (Solutions, error) {
 	}
 	sols := evalGroup(m, where, Solutions{Binding{}})
 
+	if q.Aggs != nil {
+		// The parser guarantees aggregation never combines with the
+		// other solution modifiers, so grouping replaces the whole tail.
+		return aggregateSolutions(sols, q)
+	}
+
 	if len(q.OrderBy) > 0 {
 		sortSolutions(sols, q.OrderBy)
 	}

@@ -26,6 +26,17 @@ SELECT * WHERE { ?x rdf:type foaf:Person ; foaf:family_name "Hert" . }`,
 		`SELECT ?x WHERE { { ?x <http://b/p> "a" . } UNION { ?x <http://b/p> "b" . } }`,
 		`SELECT ?x WHERE { ?x <http://b/p> ?y . OPTIONAL { ?x <http://b/q> ?z . } }`,
 		`SELECT ?x WHERE { ?x <http://b/p> "2009"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
+		// the rich surface compiled since PR 7: aggregates, GROUP BY,
+		// FILTER disjunctions, OPTIONAL groups, UNION under modifiers
+		`SELECT (COUNT(*) AS ?n) WHERE { ?x <http://b/p> ?y . }`,
+		`SELECT ?t (COUNT(?x) AS ?n) (SUM(?y) AS ?s) (AVG(?y) AS ?a) WHERE { ?x <http://b/t> ?t ; <http://b/y> ?y . } GROUP BY ?t`,
+		`SELECT (MIN(?y) AS ?lo) (MAX(?y) AS ?hi) WHERE { ?p <http://b/y> ?y . }`,
+		`SELECT ?x WHERE { ?x <http://b/name> ?l . FILTER (?l = "A" || ?l = "B" || ?l > "X") }`,
+		`SELECT ?x ?z WHERE { ?x <http://b/p> ?y . OPTIONAL { ?x <http://b/fk> ?t . ?t <http://b/q> ?z . } }`,
+		`SELECT ?n WHERE { { ?t <http://b/name> ?n . } UNION { ?x <http://b/last> ?n . } } ORDER BY ?n LIMIT 4`,
+		`SELECT (COUNT(?x AS ?n) WHERE { ?x <http://b/p> ?y . }`,
+		`SELECT (SUM(*) AS ?s) WHERE { ?x <http://b/p> ?y . }`,
+		`SELECT ?x (COUNT(*) AS ?n) WHERE { ?x <http://b/p> ?y . } GROUP BY`,
 		`SELECT`, `ASK {`, "\x00", `SELECT ?x WHERE`, `PREFIX : <u> SELECT ?x WHERE { :a :b ?x }`,
 	}
 	for _, s := range seeds {

@@ -180,12 +180,31 @@ func (p *Parser) parseSelect(q *Query) (*Query, error) {
 		if err := p.Advance(); err != nil {
 			return nil, err
 		}
-	case TokVar:
-		for p.tok.Kind == TokVar {
-			q.Vars = append(q.Vars, p.tok.Val)
-			if err := p.Advance(); err != nil {
+	case TokVar, TokLParen:
+		var aggs []AggSpec
+		hasAgg := false
+		for {
+			if p.tok.Kind == TokVar {
+				q.Vars = append(q.Vars, p.tok.Val)
+				aggs = append(aggs, AggSpec{})
+				if err := p.Advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if p.tok.Kind != TokLParen {
+				break
+			}
+			alias, spec, err := p.parseAggItem()
+			if err != nil {
 				return nil, err
 			}
+			q.Vars = append(q.Vars, alias)
+			aggs = append(aggs, spec)
+			hasAgg = true
+		}
+		if hasAgg {
+			q.Aggs = aggs
 		}
 	default:
 		return nil, p.Errorf("expected '*' or variables after SELECT, found %s", p.tok.Kind)
@@ -206,7 +225,95 @@ func (p *Parser) parseSelect(q *Query) (*Query, error) {
 	if err := p.parseSolutionModifiers(q); err != nil {
 		return nil, err
 	}
+	if err := p.validateAggregates(q); err != nil {
+		return nil, err
+	}
 	return q, nil
+}
+
+// parseAggItem parses one parenthesized aggregate projection item:
+// "( COUNT(*) AS ?alias )" or "( SUM(?v) AS ?alias )". The opening
+// paren is the current token.
+func (p *Parser) parseAggItem() (string, AggSpec, error) {
+	var spec AggSpec
+	if err := p.Advance(); err != nil {
+		return "", spec, err
+	}
+	switch {
+	case p.IsKeyword("COUNT"), p.IsKeyword("SUM"), p.IsKeyword("AVG"),
+		p.IsKeyword("MIN"), p.IsKeyword("MAX"):
+		spec.Fn = p.tok.Val
+	default:
+		return "", spec, p.Errorf("expected aggregate function, found %s %q", p.tok.Kind, p.tok.Val)
+	}
+	if err := p.Advance(); err != nil {
+		return "", spec, err
+	}
+	if _, err := p.Expect(TokLParen); err != nil {
+		return "", spec, err
+	}
+	if p.tok.Kind == TokStar {
+		if spec.Fn != "COUNT" {
+			return "", spec, p.Errorf("'*' is only valid in COUNT(*)")
+		}
+		if err := p.Advance(); err != nil {
+			return "", spec, err
+		}
+	} else {
+		v, err := p.Expect(TokVar)
+		if err != nil {
+			return "", spec, err
+		}
+		spec.Var = v.Val
+	}
+	if _, err := p.Expect(TokRParen); err != nil {
+		return "", spec, err
+	}
+	if err := p.ExpectKeyword("AS"); err != nil {
+		return "", spec, err
+	}
+	alias, err := p.Expect(TokVar)
+	if err != nil {
+		return "", spec, err
+	}
+	if _, err := p.Expect(TokRParen); err != nil {
+		return "", spec, err
+	}
+	return alias.Val, spec, nil
+}
+
+// validateAggregates enforces the aggregation subset: aggregates do
+// not combine with other solution modifiers, plain projection items
+// must be GROUP BY variables, and GROUP BY requires an aggregate.
+func (p *Parser) validateAggregates(q *Query) error {
+	if q.Aggs == nil {
+		if len(q.GroupBy) > 0 {
+			return p.Errorf("GROUP BY requires an aggregate in the projection")
+		}
+		return nil
+	}
+	if q.Distinct {
+		return p.Errorf("DISTINCT cannot be combined with aggregation")
+	}
+	if len(q.OrderBy) > 0 || q.Limit >= 0 || q.Offset >= 0 {
+		return p.Errorf("ORDER BY / LIMIT / OFFSET cannot be combined with aggregation")
+	}
+	grouped := make(map[string]bool, len(q.GroupBy))
+	for _, v := range q.GroupBy {
+		grouped[v] = true
+	}
+	seen := make(map[string]bool, len(q.Vars))
+	for i, a := range q.Aggs {
+		name := q.Vars[i]
+		if seen[name] {
+			return p.Errorf("duplicate projection name ?%s", name)
+		}
+		seen[name] = true
+		if a.Fn == "" && !grouped[name] {
+			return p.Errorf("SELECT variable ?%s must appear in GROUP BY", name)
+		}
+	}
+	return nil
 }
 
 func (p *Parser) parseAsk(q *Query) (*Query, error) {
@@ -254,10 +361,30 @@ func (p *Parser) parseConstruct(q *Query) (*Query, error) {
 	if err := p.parseSolutionModifiers(q); err != nil {
 		return nil, err
 	}
+	if err := p.validateAggregates(q); err != nil {
+		return nil, err
+	}
 	return q, nil
 }
 
 func (p *Parser) parseSolutionModifiers(q *Query) error {
+	if p.IsKeyword("GROUP") {
+		if err := p.Advance(); err != nil {
+			return err
+		}
+		if err := p.ExpectKeyword("BY"); err != nil {
+			return err
+		}
+		for p.tok.Kind == TokVar {
+			q.GroupBy = append(q.GroupBy, p.tok.Val)
+			if err := p.Advance(); err != nil {
+				return err
+			}
+		}
+		if len(q.GroupBy) == 0 {
+			return p.Errorf("expected grouping variable after GROUP BY")
+		}
+	}
 	if p.IsKeyword("ORDER") {
 		if err := p.Advance(); err != nil {
 			return err

@@ -102,6 +102,11 @@ type SelectSpec struct {
 	FromAs   string
 	Joins    []JoinSpec
 	Where    []WhereSpec
+	// AggItems, when non-nil, replaces Columns as the projection list:
+	// plain group-by columns interleaved with aggregate calls. GroupBy
+	// lists the grouping columns (already qualified).
+	AggItems []AggItemSpec
+	GroupBy  []string
 	// OrderBy lists the sort keys in priority order.
 	OrderBy []OrderSpec
 	// Limit caps the result rows when non-negative; -1 renders no
@@ -121,12 +126,26 @@ type OrderSpec struct {
 	Desc   bool
 }
 
-// JoinSpec is one "JOIN table alias ON left = right".
+// JoinSpec is one "JOIN table alias ON left = right". LeftOuter
+// renders a LEFT JOIN instead, and On carries extra conditions ANDed
+// onto the join's ON clause — for OPTIONAL lowering the per-row match
+// conditions must live in the ON clause, not WHERE, so that non-
+// matching rows are null-extended rather than filtered out.
 type JoinSpec struct {
-	Table string
-	As    string
-	Left  string // qualified column
-	Right string // qualified column
+	Table     string
+	As        string
+	Left      string // qualified column
+	Right     string // qualified column
+	LeftOuter bool
+	On        []WhereSpec
+}
+
+// AggItemSpec is one projection item of an aggregating SELECT: a
+// plain group-by column when Fn is empty, otherwise an aggregate call
+// Fn(Column). COUNT with an empty Column renders COUNT(*).
+type AggItemSpec struct {
+	Fn     string
+	Column string
 }
 
 // CmpOp is the comparison operator of a WhereSpec. The zero value is
@@ -163,6 +182,39 @@ type WhereSpec struct {
 	// plan's bind sources) to be filled before rendering. The renderer
 	// itself ignores it.
 	Param int
+	// Or, when non-empty, turns this condition into the parenthesized
+	// disjunction of its elements (the other fields are ignored). The
+	// elements themselves must be simple conditions, not disjunctions.
+	Or []WhereSpec
+}
+
+// writeCond renders one condition; disjunctions get parentheses so
+// the rendered text re-parses with the intended precedence.
+func writeCond(b *strings.Builder, w WhereSpec) {
+	if len(w.Or) > 0 {
+		b.WriteString("(")
+		for i, alt := range w.Or {
+			if i > 0 {
+				b.WriteString(" OR ")
+			}
+			writeCond(b, alt)
+		}
+		b.WriteString(")")
+		return
+	}
+	b.WriteString(w.Column)
+	switch {
+	case w.IsNull:
+		b.WriteString(" IS NULL")
+	case w.NotNull:
+		b.WriteString(" IS NOT NULL")
+	case w.OtherColumn != "":
+		b.WriteString(cmpOpText[w.Op])
+		b.WriteString(w.OtherColumn)
+	default:
+		b.WriteString(cmpOpText[w.Op])
+		b.WriteString(w.Value.String())
+	}
 }
 
 // Select renders the specification as SQL text.
@@ -172,9 +224,28 @@ func Select(spec SelectSpec) string {
 	if spec.Distinct {
 		b.WriteString("DISTINCT ")
 	}
-	if len(spec.Columns) == 0 {
+	switch {
+	case spec.AggItems != nil:
+		for i, it := range spec.AggItems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if it.Fn == "" {
+				b.WriteString(it.Column)
+				continue
+			}
+			b.WriteString(it.Fn)
+			b.WriteString("(")
+			if it.Column == "" {
+				b.WriteString("*")
+			} else {
+				b.WriteString(it.Column)
+			}
+			b.WriteString(")")
+		}
+	case len(spec.Columns) == 0:
 		b.WriteString("*")
-	} else {
+	default:
 		b.WriteString(strings.Join(spec.Columns, ", "))
 	}
 	b.WriteString(" FROM ")
@@ -184,7 +255,11 @@ func Select(spec SelectSpec) string {
 		b.WriteString(spec.FromAs)
 	}
 	for _, j := range spec.Joins {
-		b.WriteString(" JOIN ")
+		if j.LeftOuter {
+			b.WriteString(" LEFT JOIN ")
+		} else {
+			b.WriteString(" JOIN ")
+		}
 		b.WriteString(j.Table)
 		if j.As != "" {
 			b.WriteString(" ")
@@ -194,6 +269,10 @@ func Select(spec SelectSpec) string {
 		b.WriteString(j.Left)
 		b.WriteString(" = ")
 		b.WriteString(j.Right)
+		for _, c := range j.On {
+			b.WriteString(" AND ")
+			writeCond(&b, c)
+		}
 	}
 	for i, w := range spec.Where {
 		if i == 0 {
@@ -201,19 +280,15 @@ func Select(spec SelectSpec) string {
 		} else {
 			b.WriteString(" AND ")
 		}
-		b.WriteString(w.Column)
-		switch {
-		case w.IsNull:
-			b.WriteString(" IS NULL")
-		case w.NotNull:
-			b.WriteString(" IS NOT NULL")
-		case w.OtherColumn != "":
-			b.WriteString(cmpOpText[w.Op])
-			b.WriteString(w.OtherColumn)
-		default:
-			b.WriteString(cmpOpText[w.Op])
-			b.WriteString(w.Value.String())
+		writeCond(&b, w)
+	}
+	for i, g := range spec.GroupBy {
+		if i == 0 {
+			b.WriteString(" GROUP BY ")
+		} else {
+			b.WriteString(", ")
 		}
+		b.WriteString(g)
 	}
 	for i, k := range spec.OrderBy {
 		if i == 0 {

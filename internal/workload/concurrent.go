@@ -109,6 +109,16 @@ ASK { ex:team1 ont:teamCode "T1" . }`,
 SELECT ?last WHERE { ?a foaf:family_name ?last . FILTER (?last >= "A" && ?last < "M") } ORDER BY ?last LIMIT 5`,
 		Prologue + `
 SELECT DISTINCT ?name WHERE { ?a ont:team ?t . ?t foaf:name ?name . }`,
+		// Rich structural shapes compiled since PR 7: OPTIONAL, UNION,
+		// FILTER disjunction, streaming aggregation.
+		Prologue + `
+SELECT ?a ?mbox WHERE { ?a foaf:family_name ?last . OPTIONAL { ?a foaf:mbox ?mbox . } }`,
+		Prologue + `
+SELECT ?n WHERE { { ?t rdf:type foaf:Group ; foaf:name ?n . } UNION { ?a foaf:family_name ?n . } } ORDER BY ?n LIMIT 8`,
+		Prologue + `
+SELECT ?last WHERE { ?a foaf:family_name ?last . FILTER (?last < "C" || ?last >= "R") }`,
+		Prologue + `
+SELECT ?t (COUNT(?a) AS ?n) WHERE { ?a ont:team ?t . } GROUP BY ?t`,
 	}
 	return cs
 }

@@ -40,18 +40,23 @@ type DifferentialStream struct {
 // lastname lookups, author-team joins, foreign-key object pins,
 // hit-and-miss ASKs, CONSTRUCT rewrites, and — compiled since PR 5 —
 // FILTER equality and range conjuncts, DISTINCT, ORDER BY and
-// LIMIT/OFFSET (including LIMIT 0). Non-comparison FILTER shapes
-// (STR) keep exercising the virtual-view fallback on both mediator
-// paths. LIMIT/OFFSET regimes always order by the unique lastname so
-// the selected window is engine-independent — the solution-order
-// contract only binds the two mediator paths, not the native
-// evaluator.
+// LIMIT/OFFSET (including LIMIT 0) — and, since PR 7, the rich
+// structural surface: OPTIONAL attribute reads and foreign-key hops
+// (alone and under FILTER), UNION (bare and under ORDER BY + LIMIT),
+// FILTER disjunctions, and COUNT / SUM / AVG / MIN / MAX with and
+// without GROUP BY. Non-comparison FILTER shapes (STR) keep
+// exercising the virtual-view fallback on both mediator paths.
+// LIMIT/OFFSET regimes always order by a unique key so the selected
+// window is engine-independent — the solution-order contract only
+// binds the two mediator paths, not the native evaluator. Aggregate
+// regimes target ont:pubYear, whose values are integer lexicals, so
+// the mirrored sum/avg arithmetic is exact in every engine.
 func QueryStream(seed int64, n, maxAuthor int) []string {
 	rng := rand.New(rand.NewSource(seed))
 	var out []string
 	for len(out) < n {
 		a := rng.Intn(maxAuthor+2) + 1 // beyond-universe ids probe the miss paths
-		switch rng.Intn(12) {
+		switch rng.Intn(19) {
 		case 0: // constant-subject point SELECT (pk probe)
 			out = append(out, fmt.Sprintf(`%s
 SELECT ?m WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, a))
@@ -87,9 +92,47 @@ SELECT DISTINCT ?t WHERE { ?x ont:team ?t . }`)
 			out = append(out, fmt.Sprintf(`%s
 SELECT ?l WHERE { ?x foaf:family_name ?l ; ont:team ?t . ?t foaf:name ?n . FILTER (?n != "Team %d") } ORDER BY DESC(?l) LIMIT %d`,
 				Prologue, rng.Intn(4)+1, rng.Intn(5)))
-		default: // compiled ORDER BY + LIMIT/OFFSET window (unique key)
+		case 11: // compiled ORDER BY + LIMIT/OFFSET window (unique key)
 			out = append(out, fmt.Sprintf(`%s
 SELECT ?x ?l WHERE { ?x foaf:family_name ?l . } ORDER BY ?l LIMIT %d OFFSET %d`, Prologue, rng.Intn(5)+1, rng.Intn(3)))
+		case 12: // OPTIONAL attribute read (mailboxes rotate to NULL and back)
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x ?m WHERE { ?x foaf:family_name "Diff%d" . OPTIONAL { ?x foaf:mbox ?m . } }`, Prologue, a))
+		case 13: // OPTIONAL foreign-key hop, hit or null-extending miss
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x ?tn WHERE { ?x rdf:type foaf:Person . OPTIONAL { ?x ont:team ?t . ?t foaf:name ?tn . ?t ont:teamCode "T%d" . } }`,
+				Prologue, rng.Intn(6)+1))
+		case 14: // OPTIONAL under a compiled FILTER on the outer pattern
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x ?l ?m WHERE { ?x foaf:family_name ?l . FILTER (?l >= "Diff%d") . OPTIONAL { ?x foaf:mbox ?m . } }`, Prologue, a))
+		case 15: // UNION of two classes, bare and under ORDER BY + LIMIT
+			q := `SELECT ?n WHERE { { ?t rdf:type foaf:Group ; foaf:name ?n . } UNION { ?x foaf:family_name ?n . } }`
+			if rng.Intn(2) == 1 {
+				// Team names and Diff-lastnames never collide, so the
+				// ordered window is tie-free in every engine.
+				q += fmt.Sprintf(` ORDER BY ?n LIMIT %d`, rng.Intn(6)+1)
+			}
+			out = append(out, Prologue+"\n"+q)
+		case 16: // FILTER disjunction lowered into one WHERE conjunct
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?x ?l WHERE { ?x foaf:family_name ?l . FILTER (?l = "Diff%d" || ?l = "Diff%d" || ?l > "Diff%d") }`,
+				Prologue, a, rng.Intn(maxAuthor)+1, maxAuthor-2))
+		case 17: // streaming aggregates over integer-valued years
+			if rng.Intn(2) == 0 {
+				out = append(out, Prologue+`
+SELECT (COUNT(*) AS ?n) (SUM(?y) AS ?s) (AVG(?y) AS ?a) (MIN(?y) AS ?lo) (MAX(?y) AS ?hi) WHERE { ?p ont:pubYear ?y . }`)
+			} else {
+				out = append(out, fmt.Sprintf(`%s
+SELECT (COUNT(?x) AS ?n) WHERE { ?x foaf:family_name "Diff%d" . }`, Prologue, a))
+			}
+		default: // GROUP BY partitions (team fan-out, year histogram)
+			if rng.Intn(2) == 0 {
+				out = append(out, Prologue+`
+SELECT ?t (COUNT(?x) AS ?n) WHERE { ?x ont:team ?t . } GROUP BY ?t`)
+			} else {
+				out = append(out, Prologue+`
+SELECT ?y (COUNT(?p) AS ?n) WHERE { ?p ont:pubYear ?y . } GROUP BY ?y`)
+			}
 		}
 	}
 	return out
@@ -113,6 +156,15 @@ func NewDifferentialStream(seed int64, n int) *DifferentialStream {
 INSERT DATA { ex:team%d rdf:type foaf:Group ; foaf:name "Team %d" ; ont:teamCode "T%d" . }`,
 			Prologue, i, i, i))
 	}
+	const pubtypes, publishers = 3, 2
+	for i := 1; i <= pubtypes; i++ {
+		ds.Setup = append(ds.Setup, fmt.Sprintf(`%s
+INSERT DATA { ex:pubtype%d rdf:type ont:PubType ; ont:type "kind%d" . }`, Prologue, i, i))
+	}
+	for i := 1; i <= publishers; i++ {
+		ds.Setup = append(ds.Setup, fmt.Sprintf(`%s
+INSERT DATA { ex:publisher%d rdf:type ont:Publisher ; ont:name "House %d" . }`, Prologue, i, i))
+	}
 	var authors []*diffAuthor
 	addAuthor := func() {
 		id := len(authors) + 1
@@ -131,11 +183,28 @@ INSERT DATA {
 		addAuthor()
 	}
 	seq := 0
+	pubs := 0
+	addPublication := func() {
+		pubs++
+		// Years stay integer lexicals so aggregate regimes sum exactly;
+		// dc:creator rides the publication_author link table.
+		ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
+INSERT DATA {
+  ex:pub%d rdf:type foaf:Document ;
+      dc:title "Paper %d" ;
+      ont:pubYear "%d" ;
+      ont:pubType ex:pubtype%d ;
+      dc:publisher ex:publisher%d ;
+      dc:creator ex:author%d .
+}`, Prologue, pubs, pubs, 2000+rng.Intn(10),
+			rng.Intn(pubtypes)+1, rng.Intn(publishers)+1,
+			authors[rng.Intn(len(authors))].id))
+	}
 	for len(ds.Requests) < n {
 		seq++
 		a := authors[rng.Intn(len(authors))]
 		fresh := fmt.Sprintf("mailto:r%d@example.org", seq)
-		switch k := rng.Intn(11); {
+		switch k := rng.Intn(12); {
 		case k < 2:
 			addAuthor()
 		case k < 4: // constant-subject BGP rotate (the compiled hot shape)
@@ -204,12 +273,14 @@ DELETE { ?x foaf:mbox ?m . }
 INSERT { ?x foaf:mbox <%s> . }
 WHERE { ?x foaf:family_name ?l ; foaf:mbox ?m . FILTER (?l = "%s") }`, Prologue, fresh, a.last))
 			a.mbox = fresh
-		default: // invalid: ont:teamCode is a Group attribute, not a Person one
+		case k < 11: // invalid: ont:teamCode is a Group attribute, not a Person one
 			ds.Requests = append(ds.Requests, fmt.Sprintf(`%s
 MODIFY
 DELETE { }
 INSERT { ?x ont:teamCode "X%d" . }
 WHERE { ?x rdf:type foaf:Person ; foaf:family_name "%s" . }`, Prologue, seq, a.last))
+		default: // typed publication insert (feeds the aggregate regimes)
+			addPublication()
 		}
 	}
 	return ds

@@ -54,14 +54,16 @@ crash-recovery:
 metamorphic:
 	$(GO) test -run 'TestMetamorphic' -v ./internal/workload
 
-# 50s of native fuzzing across the parser/normalizer targets and the
-# statistics invariant — regressions land in testdata/fuzz/ as seeds.
+# 60s of native fuzzing across the parser/normalizer targets, the
+# statistics invariant and the sharded publish protocol — regressions
+# land in testdata/fuzz/ as seeds.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParseUpdate -fuzztime 10s -run '^$$' ./internal/update
 	$(GO) test -fuzz FuzzParseQuery -fuzztime 10s -run '^$$' ./internal/sparql
 	$(GO) test -fuzz FuzzParseSelect -fuzztime 10s -run '^$$' ./internal/rdb/sqlparser
 	$(GO) test -fuzz FuzzNormalizeShape -fuzztime 10s -run '^$$' ./internal/core
 	$(GO) test -fuzz FuzzStatsInvariant -fuzztime 10s -run '^$$' ./internal/rdb
+	$(GO) test -fuzz FuzzShardedPublish -fuzztime 10s -run '^$$' ./internal/rdb
 
 # One iteration of every benchmark: catches bit-rot without timing.
 bench-smoke:
@@ -77,8 +79,13 @@ bench:
 # trades accuracy for speed: CI uses a short run to keep the gate
 # fast; use >=1s locally for numbers worth quoting.
 BENCHTIME ?= 100x
+# Concurrency benchmarks (B7 writer/reader throughput, B11 batched
+# same-table writes, B15 fsync batching) additionally sweep -cpu so
+# BENCH_B.json records a scaling curve, not just the 1-core story.
+CONCBENCH = BenchmarkB(7|11|15)_
 bench-json:
-	$(GO) test -bench 'Benchmark[EB][0-9]' -benchmem -benchtime $(BENCHTIME) -run '^$$' . | $(GO) run ./cmd/benchjson -dir .
+	( $(GO) test -bench 'Benchmark[EB][0-9]' -skip '$(CONCBENCH)' -benchmem -benchtime $(BENCHTIME) -run '^$$' . && \
+	  $(GO) test -bench '$(CONCBENCH)' -benchmem -benchtime $(BENCHTIME) -cpu 1,2,4,8 -run '^$$' . ) | $(GO) run ./cmd/benchjson -dir .
 
 clean:
 	$(GO) clean ./...

@@ -25,6 +25,10 @@ type Result struct {
 	// Name is the full benchmark name including sub-benchmarks,
 	// without the -GOMAXPROCS suffix.
 	Name string `json:"name"`
+	// Cpus is the GOMAXPROCS the benchmark ran under (the stripped
+	// name suffix) — a `-cpu 1,2,4,8` sweep yields one Result per
+	// setting, together forming the scaling curve.
+	Cpus int `json:"cpus,omitempty"`
 	// Iterations is the measured iteration count.
 	Iterations int64 `json:"iterations"`
 	// NsPerOp is the reported time per operation.
@@ -96,17 +100,18 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	name := f[0]
+	cpus := 0
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
 		// Strip the -GOMAXPROCS suffix when it is numeric.
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, cpus = name[:i], n
 		}
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: name, Iterations: iters}
+	r := Result{Name: name, Cpus: cpus, Iterations: iters}
 	// The remainder alternates value/unit.
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,16 @@ type SchedulerStats struct {
 	Batches, Ops uint64
 	// MaxBatch is the largest batch committed so far.
 	MaxBatch uint64
+	// ShardBatches counts, per lock shard, the batches whose write set
+	// claimed that shard exclusively (keyed writes); WholeTableBatches
+	// counts batches that took at least one whole-table write lock.
+	ShardBatches [rdb.NumShards]uint64
+	// WholeTableBatches counts batches holding a whole-table write lock.
+	WholeTableBatches uint64
+	// KeyedFallbacks counts keyed executions that reached outside their
+	// declared key shards at run time and were retried under whole-table
+	// locks (or the uncompiled path).
+	KeyedFallbacks uint64
 }
 
 type jobResult struct {
@@ -67,7 +78,8 @@ type writeJob struct {
 
 // writeQueue collects jobs that share one lock signature.
 type writeQueue struct {
-	write, read []string
+	writes []rdb.TableShards
+	read   []string
 
 	mu     sync.Mutex
 	jobs   []*writeJob
@@ -84,27 +96,63 @@ type writeScheduler struct {
 	batches  atomic.Uint64
 	ops      atomic.Uint64
 	maxBatch atomic.Uint64
+	// shardBatches[i] counts committed batches whose write set claimed
+	// shard i; wholeBatches counts batches with at least one whole-table
+	// write lock.
+	shardBatches [rdb.NumShards]atomic.Uint64
+	wholeBatches atomic.Uint64
 }
 
 func newWriteScheduler(db *rdb.Database) *writeScheduler {
 	return &writeScheduler{db: db, queues: make(map[string]*writeQueue)}
 }
 
-// lockSignature canonicalizes a lock set; plans precompute it at
-// compile time so the per-operation scheduler path allocates nothing
-// for routing. Lock sets are sorted at compile time, so equal sets
-// produce equal signatures.
+// lockSignature canonicalizes a whole-table lock set; plans precompute
+// it at compile time so the per-operation scheduler path allocates
+// nothing for routing. Lock sets are sorted at compile time, so equal
+// sets produce equal signatures.
 func lockSignature(write, read []string) string {
 	return strings.Join(write, "\x00") + "\x01" + strings.Join(read, "\x00")
 }
 
+// lockSignatureShards canonicalizes a keyed lock demand: the routing
+// key carries each write table's shard mask, so operations on disjoint
+// key ranges of the same table land in different queues — and their
+// batches, holding disjoint shard locks, commit in parallel.
+func lockSignatureShards(writes []rdb.TableShards, read []string) string {
+	var b strings.Builder
+	for i, w := range writes {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(w.Table)
+		if w.Shards != 0 {
+			b.WriteByte(2)
+			b.WriteString(strconv.FormatUint(uint64(w.Shards), 16))
+		}
+	}
+	b.WriteByte(1)
+	b.WriteString(strings.Join(read, "\x00"))
+	return b.String()
+}
+
+// wholeShards wraps a whole-table write set in the shard-aware form
+// (zero masks = whole-table locks).
+func wholeShards(tables []string) []rdb.TableShards {
+	out := make([]rdb.TableShards, len(tables))
+	for i, t := range tables {
+		out[i] = rdb.TableShards{Table: t}
+	}
+	return out
+}
+
 // queue returns (creating if needed) the queue for a lock signature.
-func (s *writeScheduler) queue(sig string, write, read []string) *writeQueue {
+func (s *writeScheduler) queue(sig string, writes []rdb.TableShards, read []string) *writeQueue {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	q, ok := s.queues[sig]
 	if !ok {
-		q = &writeQueue{write: write, read: read}
+		q = &writeQueue{writes: writes, read: read}
 		s.queues[sig] = q
 	}
 	return q
@@ -115,8 +163,8 @@ func (s *writeScheduler) queue(sig string, write, read []string) *writeQueue {
 // goroutine either becomes the leader of a new batch (executing its
 // own operation plus everything queued meanwhile) or enqueues behind
 // the active leader and waits.
-func (s *writeScheduler) run(sig string, write, read []string, exec func(tx *rdb.Tx) (*OpResult, error)) (*OpResult, error) {
-	q := s.queue(sig, write, read)
+func (s *writeScheduler) run(sig string, writes []rdb.TableShards, read []string, exec func(tx *rdb.Tx) (*OpResult, error)) (*OpResult, error) {
+	q := s.queue(sig, writes, read)
 	q.mu.Lock()
 	if q.leader {
 		job := &writeJob{exec: exec, done: make(chan jobResult, 1)}
@@ -171,7 +219,7 @@ func (s *writeScheduler) commitBatch(q *writeQueue, own func(tx *rdb.Tx) (*OpRes
 	}
 	q.mu.Unlock()
 
-	tx := s.db.BeginWriteRead(q.write, q.read)
+	tx := s.db.BeginWriteShards(q.writes, q.read)
 	defer tx.Rollback()
 
 	var ownRes *OpResult
@@ -204,6 +252,21 @@ func (s *writeScheduler) commitBatch(q *writeQueue, own func(tx *rdb.Tx) (*OpRes
 	}
 	s.batches.Add(1)
 	s.ops.Add(n)
+	whole := false
+	for _, w := range q.writes {
+		if w.Shards == 0 {
+			whole = true
+			continue
+		}
+		for i := 0; i < rdb.NumShards; i++ {
+			if w.Shards.Has(i) {
+				s.shardBatches[i].Add(1)
+			}
+		}
+	}
+	if whole {
+		s.wholeBatches.Add(1)
+	}
 	for {
 		cur := s.maxBatch.Load()
 		if n <= cur || s.maxBatch.CompareAndSwap(cur, n) {
@@ -233,15 +296,45 @@ func runSavepointed(tx *rdb.Tx, exec func(tx *rdb.Tx) (*OpResult, error)) (res *
 	return res, err
 }
 
-// SchedulerStats reports the group-commit scheduler's counters; zero
-// when batching is disabled.
+// runLocked executes exec under the given lock demand — through the
+// group-commit scheduler when batching is on, in its own transaction
+// otherwise. wholeSig is the plan's precomputed whole-table routing
+// signature; a non-nil shards narrows the write locks to key shards
+// and routes by a shard-aware signature, so operations on disjoint key
+// ranges of the same table batch — and commit — independently.
+func (m *Mediator) runLocked(wholeSig string, writeTables, readTables []string, shards []rdb.TableShards, exec func(tx *rdb.Tx) (*OpResult, error)) (*OpResult, error) {
+	sig, writes := wholeSig, shards
+	if writes == nil {
+		writes = wholeShards(writeTables)
+	} else {
+		sig = lockSignatureShards(writes, readTables)
+	}
+	if m.sched != nil {
+		return m.sched.run(sig, writes, readTables, exec)
+	}
+	tx := m.db.BeginWriteShards(writes, readTables)
+	defer tx.Rollback()
+	res, err := exec(tx)
+	if err != nil {
+		return res, err
+	}
+	return res, tx.Commit()
+}
+
+// SchedulerStats reports the group-commit scheduler's counters; the
+// batch counters are zero when batching is disabled (keyed fallbacks
+// are counted either way).
 func (m *Mediator) SchedulerStats() SchedulerStats {
+	st := SchedulerStats{KeyedFallbacks: m.keyedFallbacks.Load()}
 	if m.sched == nil {
-		return SchedulerStats{}
+		return st
 	}
-	return SchedulerStats{
-		Batches:  m.sched.batches.Load(),
-		Ops:      m.sched.ops.Load(),
-		MaxBatch: m.sched.maxBatch.Load(),
+	st.Batches = m.sched.batches.Load()
+	st.Ops = m.sched.ops.Load()
+	st.MaxBatch = m.sched.maxBatch.Load()
+	for i := range m.sched.shardBatches {
+		st.ShardBatches[i] = m.sched.shardBatches[i].Load()
 	}
+	st.WholeTableBatches = m.sched.wholeBatches.Load()
+	return st
 }

@@ -269,7 +269,7 @@ func TestSchedulerContainsPanics(t *testing.T) {
 	m := paperMediator(t, Options{})
 	s := m.sched
 	sig := lockSignature([]string{"team"}, nil)
-	_, err := s.run(sig, []string{"team"}, nil, func(tx *rdb.Tx) (*OpResult, error) {
+	_, err := s.run(sig, wholeShards([]string{"team"}), nil, func(tx *rdb.Tx) (*OpResult, error) {
 		tx.Insert("team", map[string]rdb.Value{
 			"id": rdb.Int(1), "name": rdb.String_("doomed"), "code": rdb.String_("d")})
 		panic("boom")
@@ -278,7 +278,7 @@ func TestSchedulerContainsPanics(t *testing.T) {
 		t.Fatalf("panicking job returned err = %v, want panic-derived error", err)
 	}
 	// The queue must still accept and commit work.
-	_, err = s.run(sig, []string{"team"}, nil, func(tx *rdb.Tx) (*OpResult, error) {
+	_, err = s.run(sig, wholeShards([]string{"team"}), nil, func(tx *rdb.Tx) (*OpResult, error) {
 		return &OpResult{}, tx.Insert("team", map[string]rdb.Value{
 			"id": rdb.Int(2), "name": rdb.String_("B"), "code": rdb.String_("b")})
 	})
@@ -303,15 +303,15 @@ func TestSchedulerContainsPanics(t *testing.T) {
 func TestSavepointedExecKeepsBatchMates(t *testing.T) {
 	m := paperMediator(t, Options{})
 	s := m.sched
-	ok1, err1 := s.run(lockSignature([]string{"team"}, nil), []string{"team"}, nil, func(tx *rdb.Tx) (*OpResult, error) {
+	ok1, err1 := s.run(lockSignature([]string{"team"}, nil), wholeShards([]string{"team"}), nil, func(tx *rdb.Tx) (*OpResult, error) {
 		return &OpResult{}, tx.Insert("team", map[string]rdb.Value{
 			"id": rdb.Int(1), "name": rdb.String_("A"), "code": rdb.String_("a")})
 	})
-	_, errBad := s.run(lockSignature([]string{"team"}, nil), []string{"team"}, nil, func(tx *rdb.Tx) (*OpResult, error) {
+	_, errBad := s.run(lockSignature([]string{"team"}, nil), wholeShards([]string{"team"}), nil, func(tx *rdb.Tx) (*OpResult, error) {
 		return &OpResult{}, tx.Insert("team", map[string]rdb.Value{
 			"id": rdb.Int(1), "name": rdb.String_("dup"), "code": rdb.String_("x")})
 	})
-	ok2, err2 := s.run(lockSignature([]string{"team"}, nil), []string{"team"}, nil, func(tx *rdb.Tx) (*OpResult, error) {
+	ok2, err2 := s.run(lockSignature([]string{"team"}, nil), wholeShards([]string{"team"}), nil, func(tx *rdb.Tx) (*OpResult, error) {
 		return &OpResult{}, tx.Insert("team", map[string]rdb.Value{
 			"id": rdb.Int(2), "name": rdb.String_("B"), "code": rdb.String_("b")})
 	})

@@ -41,8 +41,13 @@ import (
 //     and re-rendering reproduces it), which filterCanonValue checks
 //     — at compile time and again on every re-binding (a non-
 //     canonical parameter makes the plan stale, not wrong).
+//   - Arithmetic (+ - * /) lowers when every operand proves numeric
+//     on both engines — numerically stored attributes that decode
+//     numerically, finite numeric constants — and divisors are
+//     non-zero constants, so the whole expression is infallible and
+//     both sides compute the identical float64.
 //   - Anything else — language-tagged or boolean constants, IRI
-//     comparisons, OR, arithmetic, built-in calls — stays on the
+//     comparisons, OR of AND, built-in calls — stays on the
 //     uncompiled path, whose virtual-view evaluation is authoritative.
 //
 // Everything the lowering emits is an infallible typed comparison, so
@@ -50,12 +55,22 @@ import (
 // termination for compiled queries (see sqlexec's fallibility
 // analysis).
 
-// filterSide is one operand of a lowered FILTER comparison: a variable
-// or a literal constant.
+// filterSide is one operand of a lowered FILTER comparison: a
+// variable, a literal constant, or (arith non-nil) an arithmetic
+// expression over variables and numeric constants.
 type filterSide struct {
 	isVar bool
 	v     string
 	term  rdf.Term
+	arith *filterArith
+}
+
+// filterArith is an arithmetic operand tree: inner nodes carry one of
+// + - * / in op, leaves (op zero) a variable or numeric constant.
+type filterArith struct {
+	op   sparql.BinOp
+	l, r *filterArith
+	leaf filterSide
 }
 
 // filterCond is one FILTER conjunct in canonical orientation: the left
@@ -130,13 +145,13 @@ func lowerFilterExpr(e sparql.Expr, out []filterCond) ([]filterCond, bool) {
 	default:
 		return nil, false
 	}
-	l, lok := filterSideOf(b.Left)
-	r, rok := filterSideOf(b.Right)
+	l, lok := filterCmpSideOf(b.Left)
+	r, rok := filterCmpSideOf(b.Right)
 	if !lok || !rok {
 		return nil, false
 	}
 	op := b.Op
-	if !l.isVar {
+	if l.arith == nil && r.arith == nil && !l.isVar {
 		if !r.isVar {
 			return nil, false // constant-vs-constant: not worth a plan
 		}
@@ -144,6 +159,49 @@ func lowerFilterExpr(e sparql.Expr, out []filterCond) ([]filterCond, bool) {
 		op = flipOp(op)
 	}
 	return append(out, filterCond{op: op, l: l, r: r}), true
+}
+
+// filterCmpSideOf lowers one comparison operand: an arithmetic
+// expression becomes a filterArith side, anything else a plain side.
+func filterCmpSideOf(e sparql.Expr) (filterSide, bool) {
+	if b, ok := e.(sparql.ExprBinary); ok {
+		switch b.Op {
+		case sparql.OpAdd, sparql.OpSub, sparql.OpMul, sparql.OpDiv:
+			a, ok := lowerArith(e)
+			if !ok {
+				return filterSide{}, false
+			}
+			return filterSide{arith: a}, true
+		}
+	}
+	return filterSideOf(e)
+}
+
+// lowerArith flattens an arithmetic expression. Leaves must be
+// variables or numeric literal constants — anything else (nested
+// comparisons, strings, IRIs, built-ins) refuses the whole filter.
+func lowerArith(e sparql.Expr) (*filterArith, bool) {
+	if b, ok := e.(sparql.ExprBinary); ok {
+		switch b.Op {
+		case sparql.OpAdd, sparql.OpSub, sparql.OpMul, sparql.OpDiv:
+		default:
+			return nil, false
+		}
+		l, ok := lowerArith(b.Left)
+		if !ok {
+			return nil, false
+		}
+		r, ok := lowerArith(b.Right)
+		if !ok {
+			return nil, false
+		}
+		return &filterArith{op: b.Op, l: l, r: r}, true
+	}
+	s, ok := filterSideOf(e)
+	if !ok || (!s.isVar && !s.term.IsNumeric()) {
+		return nil, false
+	}
+	return &filterArith{leaf: s}, true
 }
 
 // lowerOrChain flattens a || chain into its simple comparison
@@ -327,6 +385,9 @@ func (tr *translator) addFilterCond(fi int, c filterCond) error {
 // filterCondSpec lowers one simple comparison conjunct to a WHERE
 // condition, proving SQL evaluation decides like SPARQL first.
 func (tr *translator) filterCondSpec(fi int, c filterCond) (sqlgen.WhereSpec, error) {
+	if c.l.arith != nil || c.r.arith != nil {
+		return tr.filterArithSpec(c)
+	}
 	none := sqlgen.WhereSpec{}
 	lb, ok := tr.bind[c.l.v]
 	if !ok {
@@ -436,6 +497,101 @@ func (tr *translator) filterCondSpec(fi int, c filterCond) (sqlgen.WhereSpec, er
 		return none, fmt.Errorf("core: FILTER constant %s does not convert canonically", t)
 	}
 	return sqlgen.WhereSpec{Column: column, Op: sparqlToCmp[c.op], Value: v}, nil
+}
+
+// filterArithSpec lowers a comparison with arithmetic on either side.
+// The equivalence proof is all-numeric: every variable must be a
+// numerically stored, numerically decoding attribute and every
+// constant a finite numeric literal, so both engines evaluate the
+// whole expression through float64 with identical rounding — SPARQL
+// parses the decoded lexical forms, SQL converts the stored values,
+// and the two conversions agree exactly for numeric columns with
+// numeric datatypes. Divisors must be non-zero constants: SPARQL's
+// division-by-zero error drops the row while the executor's deferred
+// WHERE error aborts the query, so only provably infallible
+// arithmetic may lower (the same proof that keeps the executor's
+// pushdown analysis on the fast path).
+func (tr *translator) filterArithSpec(c filterCond) (sqlgen.WhereSpec, error) {
+	none := sqlgen.WhereSpec{}
+	if tr.comp != nil {
+		// Arithmetic constants sit inside expression structure the
+		// normalizer cannot parameterize; normalizeFilters refuses them,
+		// so parameterized plans never contain one.
+		return none, fmt.Errorf("core: FILTER arithmetic in a parameterized plan")
+	}
+	l, err := tr.arithOperand(arithSideOf(c.l))
+	if err != nil {
+		return none, err
+	}
+	r, err := tr.arithOperand(arithSideOf(c.r))
+	if err != nil {
+		return none, err
+	}
+	return sqlgen.WhereSpec{LeftExpr: l, RightExpr: r, Op: sparqlToCmp[c.op]}, nil
+}
+
+// arithSideOf views a comparison side as an arithmetic tree: plain
+// variables and constants become leaves, so both sides of a mixed
+// comparison (?x + 1 > ?y) run through one proof.
+func arithSideOf(s filterSide) *filterArith {
+	if s.arith != nil {
+		return s.arith
+	}
+	return &filterArith{leaf: s}
+}
+
+var sparqlToArith = map[sparql.BinOp]sqlgen.ArithOp{
+	sparql.OpAdd: sqlgen.ArithAdd, sparql.OpSub: sqlgen.ArithSub,
+	sparql.OpMul: sqlgen.ArithMul, sparql.OpDiv: sqlgen.ArithDiv,
+}
+
+func (tr *translator) arithOperand(a *filterArith) (*sqlgen.ArithSpec, error) {
+	if a.op != 0 {
+		l, err := tr.arithOperand(a.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.arithOperand(a.r)
+		if err != nil {
+			return nil, err
+		}
+		if a.op == sparql.OpDiv {
+			if r.Op != 0 || r.Column != "" {
+				return nil, fmt.Errorf("core: FILTER division by a non-constant is not translatable")
+			}
+			if f, err := r.Value.AsFloat(); err != nil || f == 0 {
+				return nil, fmt.Errorf("core: FILTER division by zero is not translatable")
+			}
+		}
+		return &sqlgen.ArithSpec{Op: sparqlToArith[a.op], Left: l, Right: r}, nil
+	}
+	s := a.leaf
+	if s.isVar {
+		b, ok := tr.bind[s.v]
+		if !ok {
+			return nil, fmt.Errorf("core: FILTER uses unbound variable ?%s", s.v)
+		}
+		if b.nullable {
+			return nil, fmt.Errorf("core: FILTER on optional variable ?%s is not translatable", s.v)
+		}
+		col, ok := filterableBinding(b)
+		if !ok {
+			return nil, fmt.Errorf("core: FILTER variable ?%s is not a comparable data attribute", s.v)
+		}
+		if colClass(col.Type) != 1 || !numericDatatype(b.am.Datatype) {
+			return nil, fmt.Errorf("core: FILTER arithmetic over a non-numeric attribute ?%s", s.v)
+		}
+		return &sqlgen.ArithSpec{Column: b.alias + "." + b.col}, nil
+	}
+	t := s.term
+	if t.Lang != "" || !t.IsNumeric() {
+		return nil, fmt.Errorf("core: FILTER arithmetic constant %s is not numeric", t)
+	}
+	v, ok := filterNumericValue(t.Value)
+	if !ok {
+		return nil, fmt.Errorf("core: FILTER arithmetic constant %s is not finite", t)
+	}
+	return &sqlgen.ArithSpec{Value: v}, nil
 }
 
 // ---- solution modifiers ---------------------------------------------

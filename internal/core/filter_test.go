@@ -180,6 +180,93 @@ func TestNumericFilterCompiles(t *testing.T) {
 	}
 }
 
+// TestArithmeticFilterCompiles exercises the arithmetic FILTER branch:
+// + - * / over datatyped numeric attributes and finite constants, on
+// either or both sides of every comparison operator, must compile
+// (structurally — the rich zero-slot path) and agree with the
+// uncompiled mediator and with virtual-view evaluation.
+func TestArithmeticFilterCompiles(t *testing.T) {
+	m := eventMediator(t, Options{})
+	baseline := eventMediator(t, Options{DisablePlanCache: true})
+	queries := []string{
+		`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y . FILTER (?y + 10 > 2015) }`,
+		`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y ; ev:rank ?r . FILTER (?y - ?r > 0) }`,
+		`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y ; ev:rank ?r . FILTER (2 * ?y >= ?r + 2000) }`,
+		`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y . FILTER (?y / 2 < 1003.5) }`,
+		`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y . FILTER (?y * 1.5 <= 3007.5) }`,
+		`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y ; ev:rank ?r . FILTER ((?y + ?r) * 2 = 4012) }`,
+		`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y ; ev:rank ?r . FILTER (?y != ?r + 3) }`,
+		`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y ; ev:rank ?r . FILTER (?y + 1 > 2010 || ?r > 2000) }`,
+	}
+	for _, q := range queries {
+		src := eventPrologue + q
+		if _, err := m.QueryPlanFor(src); err != nil {
+			t.Errorf("did not compile: %v\n%s", err, q)
+			continue
+		}
+		got, err := m.Query(src)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want, err := baseline.Query(src)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", q, err)
+		}
+		if !reflect.DeepEqual(got.Solutions, want.Solutions) {
+			t.Errorf("%s:\ncompiled %v\nbaseline %v", q, got.Solutions, want.Solutions)
+		}
+		parsed, err := sparql.ParseQuery(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.DB().View(func(tx *rdb.Tx) error {
+			ns, err := sparql.Eval(m.VirtualGraph(tx), parsed)
+			if err != nil {
+				t.Fatalf("%s: virtual eval: %v", q, err)
+			}
+			if len(ns) != len(got.Solutions) {
+				t.Errorf("%s: compiled %d solutions, virtual %d:\n%v\nvs\n%v",
+					q, len(got.Solutions), len(ns), got.Solutions, ns)
+			}
+			return nil
+		})
+	}
+}
+
+// TestArithmeticFilterUnplannableShapes pins the conservative edges of
+// the arithmetic lowering: fallible divisions and non-numeric operands
+// stay uncompiled, and the virtual path decides them (dropping rows on
+// evaluation errors rather than failing the query).
+func TestArithmeticFilterUnplannableShapes(t *testing.T) {
+	m := eventMediator(t, Options{})
+	for _, tc := range []struct {
+		q    string
+		want int
+	}{
+		// Division by a column may hit zero: SPARQL drops the erroring
+		// row, the executor's deferred error would abort the query.
+		{`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y ; ev:rank ?r . FILTER (?y / ?r > 600) }`, 2},
+		// Division by the zero constant errors every row away.
+		{`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y . FILTER (?y / 0 > 1) }`, 0},
+		// Arithmetic over a plain string attribute is a type error on
+		// every row.
+		{`SELECT ?n WHERE { ?e ev:name ?n . FILTER (?n + 1 > 2) }`, 0},
+		// A string constant inside arithmetic refuses the lowering.
+		{`SELECT ?n WHERE { ?e ev:name ?n ; ev:year ?y . FILTER (?y + "x" > 5) }`, 0},
+	} {
+		if _, err := m.QueryPlanFor(eventPrologue + tc.q); err == nil {
+			t.Errorf("unexpectedly compiled: %s", tc.q)
+		}
+		res, err := m.Query(eventPrologue + tc.q)
+		if err != nil {
+			t.Fatalf("fallback failed: %v\n%s", err, tc.q)
+		}
+		if len(res.Solutions) != tc.want {
+			t.Errorf("%s: %d solutions, want %d: %v", tc.q, len(res.Solutions), tc.want, res.Solutions)
+		}
+	}
+}
+
 // TestNumericFilterUnplannableShapes pins the conservative edges of
 // the numeric lowering: a numeric constant against an undatatyped
 // attribute, lexical ordering of numeric storage, and a var-var

@@ -98,6 +98,11 @@ type Mediator struct {
 	// bound plan vs the uncompiled fallback (see QueryExecStats).
 	queryCompiled atomic.Uint64
 	queryFallback atomic.Uint64
+
+	// keyedFallbacks counts keyed (shard-locked) executions that
+	// reached outside their declared key shards at run time and were
+	// retried under whole-table locks.
+	keyedFallbacks atomic.Uint64
 }
 
 // New builds a mediator and cross-validates the mapping against the

@@ -81,8 +81,14 @@ type ModifyPlan struct {
 	// readTables are the tables the WHERE SELECT scans (shared locks,
 	// on top of the write set's foreign-key closure).
 	readTables []string
-	sel        selectTemplate
-	del, ins   []normPattern
+	// shardable marks write tables eligible for keyed (shard) write
+	// locks; constSubjects is true when every template subject is
+	// constant after binding, so the touched primary keys — and their
+	// lock shards — are known before execution.
+	shardable     map[string]bool
+	constSubjects bool
+	sel           selectTemplate
+	del, ins      []normPattern
 }
 
 // Kind returns the operation kind the plan compiles.
@@ -214,6 +220,24 @@ func (m *Mediator) compileModifyPlan(key string, slots int, op update.Modify, nm
 	p.writeTables = sortedTableNames(writes)
 	p.readTables = sortedTableNames(reads)
 	p.lockSig = lockSignature(p.writeTables, p.readTables)
+	p.constSubjects = true
+	for _, sec := range [][]normPattern{nm.del, nm.ins} {
+		for _, np := range sec {
+			if np.s.isVar {
+				p.constSubjects = false
+			}
+		}
+	}
+	if p.constSubjects {
+		for _, t := range p.writeTables {
+			if m.db.ShardableTable(t) {
+				if p.shardable == nil {
+					p.shardable = make(map[string]bool, len(p.writeTables))
+				}
+				p.shardable[t] = true
+			}
+		}
+	}
 	return p, nil
 }
 
@@ -249,6 +273,9 @@ type boundModify struct {
 	sql      string
 	stmt     sqlparser.Statement
 	del, ins []sparql.TriplePattern
+	// shards is the keyed lock demand computed from the bound template
+	// subjects; nil when the plan runs under whole-table locks.
+	shards []rdb.TableShards
 }
 
 // bindSpec instantiates a compiled SELECT template, verifying the
@@ -310,11 +337,63 @@ func (p *ModifyPlan) bind(m *Mediator, args []string) (*boundModify, error) {
 		return nil, err
 	}
 	return &boundModify{
-		sql:  sqlgen.Select(spec),
-		stmt: stmt,
-		del:  materializePatterns(p.del, args),
-		ins:  materializePatterns(p.ins, args),
+		sql:    sqlgen.Select(spec),
+		stmt:   stmt,
+		del:    materializePatterns(p.del, args),
+		ins:    materializePatterns(p.ins, args),
+		shards: p.writeShards(m, args),
 	}, nil
+}
+
+// writeShards computes the bound MODIFY's per-table lock demand from
+// the instantiated template subjects: shardable write tables narrow
+// to the shards their subjects' primary keys hash to, the rest stay
+// whole-table. Any subject that fails to identify its key bails to
+// nil (all whole-table) — always correct, never wrong. The WHERE
+// SELECT and the per-binding data operations are checked dynamically
+// by the transaction layer; an access outside the declared shards
+// surfaces as a lock error and the operation re-runs uncompiled.
+func (p *ModifyPlan) writeShards(m *Mediator, args []string) []rdb.TableShards {
+	if !p.constSubjects || len(p.shardable) == 0 {
+		return nil
+	}
+	masks := make(map[string]rdb.ShardSet, len(p.shardable))
+	for _, sec := range [][]normPattern{p.del, p.ins} {
+		for _, np := range sec {
+			uri := np.s.term.Value
+			if np.s.segs != nil {
+				uri = bindSegs(np.s.segs, args)
+			}
+			tm, vals, err := m.mapping.IdentifyTable(uri)
+			if err != nil {
+				return nil
+			}
+			if !p.shardable[tm.Name] {
+				continue
+			}
+			schema, ok := m.db.Schema(tm.Name)
+			if !ok {
+				return nil
+			}
+			pk, err := m.keyValueFromPattern(schema, vals, uri, "")
+			if err != nil {
+				return nil
+			}
+			s, ok := m.db.ShardOfPK(tm.Name, pk)
+			if !ok {
+				return nil
+			}
+			masks[tm.Name] = masks[tm.Name].With(s)
+		}
+	}
+	if len(masks) == 0 {
+		return nil
+	}
+	out := make([]rdb.TableShards, len(p.writeTables))
+	for i, t := range p.writeTables {
+		out[i] = rdb.TableShards{Table: t, Shards: masks[t]}
+	}
+	return out
 }
 
 // materializePatterns rebuilds concrete template patterns from their
@@ -444,23 +523,16 @@ func (m *Mediator) modifyPlanForShape(key string, slots int, op update.Modify, n
 // (In a batch the stale operation has already been rolled back to its
 // savepoint, so the fallback never double-applies.)
 func (m *Mediator) runPlannedModify(plan *ModifyPlan, bm *boundModify) (*OpResult, error, bool) {
-	var res *OpResult
-	var err error
-	if m.sched != nil {
-		res, err = m.sched.run(plan.lockSig, plan.writeTables, plan.readTables, func(tx *rdb.Tx) (*OpResult, error) {
+	res, err := m.runLocked(plan.lockSig, plan.writeTables, plan.readTables, bm.shards,
+		func(tx *rdb.Tx) (*OpResult, error) {
 			return plan.execBound(m, tx, bm)
 		})
-	} else {
-		tx := m.db.BeginWriteRead(plan.writeTables, plan.readTables)
-		defer tx.Rollback()
-		res, err = plan.execBound(m, tx, bm)
-		if err == nil {
-			err = tx.Commit()
-		}
-	}
 	if err != nil {
 		var le *rdb.LockError
 		if errors.Is(err, errPlanStale) || errors.As(err, &le) {
+			if bm.shards != nil && errors.As(err, &le) && le.Keyed {
+				m.keyedFallbacks.Add(1)
+			}
 			return nil, nil, false
 		}
 		return res, err, true

@@ -246,9 +246,10 @@ func (n *normalizer) normalizeFilters(conds []filterCond) ([]normFilterCond, boo
 	n.key.WriteByte('F')
 	out := make([]normFilterCond, 0, len(conds))
 	for _, c := range conds {
-		if len(c.alts) > 0 {
-			// Disjunctions stay off the parameterized pipeline; they
-			// compile on the structural (zero-slot) rich-shape path.
+		if len(c.alts) > 0 || c.l.arith != nil || c.r.arith != nil {
+			// Disjunctions and arithmetic stay off the parameterized
+			// pipeline; they compile on the structural (zero-slot)
+			// rich-shape path.
 			return nil, false
 		}
 		if !keySafe(c.l.v) {

@@ -259,6 +259,12 @@ type UpdatePlan struct {
 	// is its precomputed scheduler routing key.
 	writeTables []string
 	lockSig     string
+	// shardable marks the write tables eligible for keyed (shard)
+	// write locks — single-column primary key, no non-key UNIQUE
+	// column, no self-referencing foreign key (rdb.ShardableTable).
+	// Bound executions narrow those tables' locks to the shards their
+	// primary keys hash to; the rest stay whole-table.
+	shardable map[string]bool
 	// topoPos ranks tables parents-first for statement sorting
 	// (Algorithm 1 step five), precomputed from the schema.
 	topoPos map[string]int
@@ -428,6 +434,14 @@ func (m *Mediator) compileDataPlan(kind, key string, slots int, nts []normTriple
 	}
 	sort.Strings(p.writeTables)
 	p.lockSig = lockSignature(p.writeTables, nil)
+	for _, t := range p.writeTables {
+		if m.db.ShardableTable(t) {
+			if p.shardable == nil {
+				p.shardable = make(map[string]bool, len(p.writeTables))
+			}
+			p.shardable[t] = true
+		}
+	}
 	return p, nil
 }
 
@@ -1015,29 +1029,64 @@ func (m *Mediator) planForShape(kind, key string, slots int, nts []normTriple, l
 	return plan, true
 }
 
+// writeShards computes one bound execution's per-table lock demand:
+// write tables proven shardable at compile time narrow to the shards
+// their bound primary keys hash to; everything else — and any key
+// whose shard cannot be determined — demands the whole table (a zero
+// mask). A nil result means no table narrowed at all, so the caller
+// uses the precomputed whole-table signature.
+func (p *UpdatePlan) writeShards(m *Mediator, bound []boundGroup) []rdb.TableShards {
+	if len(p.shardable) == 0 {
+		return nil
+	}
+	masks := make(map[string]rdb.ShardSet, len(p.shardable))
+	whole := make(map[string]bool, len(p.shardable))
+	for i := range bound {
+		name := bound[i].g.tm.Name
+		if !p.shardable[name] || whole[name] {
+			continue
+		}
+		if s, ok := m.db.ShardOfPK(name, bound[i].pk); ok {
+			masks[name] = masks[name].With(s)
+		} else {
+			whole[name] = true
+			delete(masks, name)
+		}
+	}
+	if len(masks) == 0 {
+		return nil
+	}
+	out := make([]rdb.TableShards, len(p.writeTables))
+	for i, t := range p.writeTables {
+		out[i] = rdb.TableShards{Table: t, Shards: masks[t]}
+	}
+	return out
+}
+
 // runPlanned executes a bound plan under the plan's declared locks —
 // through the group-commit scheduler when batching is on (coalescing
 // it with concurrent operations sharing the lock signature), in its
-// own transaction otherwise. Staleness is fully decided during
-// binding (bindGroups), so a bound plan always executes to a result
-// or a genuine error.
+// own transaction otherwise. Shardable write tables are locked by key
+// shard, so executions on disjoint key ranges of the same table run in
+// parallel. Staleness is fully decided during binding (bindGroups); a
+// keyed execution that still reaches outside its declared shards at
+// run time (e.g. the probe path degenerated to a scan) is retried once
+// under whole-table locks — in a batch the stale operation has already
+// been rolled back to its savepoint, so the retry never double-applies.
 func (m *Mediator) runPlanned(plan *UpdatePlan, bound []boundGroup) (*OpResult, error) {
 	exec := func(tx *rdb.Tx) (*OpResult, error) {
 		return plan.execBound(m, tx, bound)
 	}
-	if m.sched != nil {
-		return m.sched.run(plan.lockSig, plan.writeTables, nil, exec)
+	shards := plan.writeShards(m, bound)
+	res, err := m.runLocked(plan.lockSig, plan.writeTables, nil, shards, exec)
+	if err != nil && shards != nil {
+		var le *rdb.LockError
+		if errors.As(err, &le) && le.Keyed {
+			m.keyedFallbacks.Add(1)
+			return m.runLocked(plan.lockSig, plan.writeTables, nil, nil, exec)
+		}
 	}
-	tx := m.db.BeginWrite(plan.writeTables...)
-	defer tx.Rollback()
-	res, err := exec(tx)
-	if err != nil {
-		return res, err
-	}
-	if err := tx.Commit(); err != nil {
-		return res, err
-	}
-	return res, nil
+	return res, err
 }
 
 // tryPlanned attempts the compiled path for one operation. handled is

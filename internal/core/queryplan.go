@@ -542,6 +542,11 @@ func condExpr(w sqlgen.WhereSpec) (sqlparser.Expr, error) {
 		}
 		return or, nil
 	}
+	if w.LeftExpr != nil {
+		return sqlparser.Binary{
+			Op: cmpToParserOp[w.Op], Left: arithExpr(w.LeftExpr), Right: arithExpr(w.RightExpr),
+		}, nil
+	}
 	col := colRefOf(w.Column)
 	switch {
 	case w.Param > 0:
@@ -561,6 +566,27 @@ func condExpr(w sqlgen.WhereSpec) (sqlparser.Expr, error) {
 var aggFuncOf = map[string]sqlparser.AggFunc{
 	"COUNT": sqlparser.AggCount, "SUM": sqlparser.AggSum,
 	"AVG": sqlparser.AggAvg, "MIN": sqlparser.AggMin, "MAX": sqlparser.AggMax,
+}
+
+// arithToParserOp maps the renderer's arithmetic operators onto the
+// SQL parser's.
+var arithToParserOp = map[sqlgen.ArithOp]sqlparser.BinOp{
+	sqlgen.ArithAdd: sqlparser.OpAdd, sqlgen.ArithSub: sqlparser.OpSub,
+	sqlgen.ArithMul: sqlparser.OpMul, sqlgen.ArithDiv: sqlparser.OpDiv,
+}
+
+// arithExpr lowers an arithmetic operand spec to the parser's AST —
+// the same tree the fully parenthesized rendering re-parses to.
+func arithExpr(a *sqlgen.ArithSpec) sqlparser.Expr {
+	if a.Op != 0 {
+		return sqlparser.Binary{
+			Op: arithToParserOp[a.Op], Left: arithExpr(a.Left), Right: arithExpr(a.Right),
+		}
+	}
+	if a.Column != "" {
+		return colRefOf(a.Column)
+	}
+	return sqlparser.Lit{Value: a.Value}
 }
 
 // cmpToParserOp maps the renderer's comparison operators onto the SQL

@@ -207,10 +207,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "snapshot version: %d\n", db.SnapshotVersion())
 	st := s.mediator.SchedulerStats()
 	fmt.Fprintf(w, "write batches: %d (%d ops, max batch %d)\n", st.Batches, st.Ops, st.MaxBatch)
+	var keyed uint64
+	var hot []string
+	for i, n := range st.ShardBatches {
+		keyed += n
+		if n > 0 {
+			hot = append(hot, fmt.Sprintf("%d:%d", i, n))
+		}
+	}
+	fmt.Fprintf(w, "shard batches: %d keyed claims, %d whole-table, %d keyed fallbacks\n",
+		keyed, st.WholeTableBatches, st.KeyedFallbacks)
+	if len(hot) > 0 {
+		fmt.Fprintf(w, "shard batch counts: %s\n", strings.Join(hot, " "))
+	}
 	if ds := s.mediator.DurabilityStats(); ds.Enabled {
 		fmt.Fprintf(w, "durability: %s\n", ds.DataDir)
 		fmt.Fprintf(w, "wal: %d bytes, %d records, %d segments\n", ds.WALBytes, ds.WALRecords, ds.WALSegments)
 		fmt.Fprintf(w, "checkpoints: %d (last at version %d)\n", ds.Checkpoints, ds.LastCheckpointVersion)
+		fmt.Fprintf(w, "checkpoint tables: %d written, %d unchanged\n",
+			ds.CheckpointTablesWritten, ds.CheckpointTablesSkipped)
 		fmt.Fprintf(w, "recovered records: %d\n", ds.RecoveredRecords)
 		if st.Batches > 0 {
 			fmt.Fprintf(w, "fsyncs: %d (%.2f per batch)\n", ds.Fsyncs, float64(ds.Fsyncs)/float64(st.Batches))

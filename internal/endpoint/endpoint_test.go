@@ -190,6 +190,7 @@ func TestMappingAndHealthEndpoints(t *testing.T) {
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	for _, want := range []string{"table author: 0 rows", "snapshot version: ", "write batches: ",
+		"shard batches: 0 keyed claims, 0 whole-table, 0 keyed fallbacks",
 		"query executions: 0 compiled, 0 fallback",
 		// the planner statistics: per-index distinct counts ride the row counts
 		"id: 0 distinct", "team: 0 distinct"} {

@@ -82,26 +82,32 @@ func (db *Database) snapshot() *dbSnapshot { return db.snap.Load() }
 // write progress without locking.
 func (db *Database) SnapshotVersion() uint64 { return db.snapshot().version }
 
-// publish installs new table versions as the next snapshot. Callers
-// hold the written tables' exclusive locks, so per-table versions
-// cannot conflict; pubMu only serializes the pointer swap between
-// writers of disjoint tables.
+// publish installs new table versions as the next snapshot, composing
+// one consistent dbSnapshot with a single dense commit seq out of
+// possibly concurrent writers.
 //
-// On a durable database the commit record is appended and fsynced
-// BEFORE the snapshot is stored (the write-ahead rule): a commit the
-// caller acknowledges is on disk, and an fsync failure aborts the
-// publish — the error propagates out of Commit and the snapshot never
-// moves. Records are written under pubMu so their sequence numbers
-// land in the log in order.
-func (db *Database) publish(updated map[string]*tableVersion, changes []walChange) error {
+// Writers of whole-locked tables own their tables exclusively, so
+// their derived versions install by pointer swap (the fast path: the
+// base version they derived from is still the published one). Writers
+// of shard-locked tables may race writers of *other* shards of the
+// same table; the loser's base version has moved, so its logical
+// change list is rebased — re-applied onto the latest published
+// version under pubMu, with row ids remapped to their final values —
+// before the snapshot is stored. Shard locks guarantee the change
+// lists touch disjoint keys, which is what makes the replay
+// conflict-free.
+//
+// On a durable database the commit record (carrying the final,
+// post-rebase row ids) is appended and fsynced BEFORE the snapshot is
+// stored (the write-ahead rule): a commit the caller acknowledges is
+// on disk, and an fsync failure aborts the publish — the error
+// propagates out of Commit and the snapshot never moves. Records are
+// written under pubMu so their sequence numbers land in the log in
+// order.
+func (db *Database) publish(base *dbSnapshot, updated map[string]*tableVersion, changes []walChange) error {
 	db.pubMu.Lock()
 	defer db.pubMu.Unlock()
 	cur := db.snap.Load()
-	if db.persist != nil {
-		if err := db.persist.append(encodeCommitRecord(cur.version+1, changes)); err != nil {
-			return err
-		}
-	}
 	ns := &dbSnapshot{
 		version:      cur.version + 1,
 		tables:       make(map[string]*tableVersion, len(cur.tables)),
@@ -111,14 +117,105 @@ func (db *Database) publish(updated map[string]*tableVersion, changes []walChang
 	for k, v := range cur.tables {
 		ns.tables[k] = v
 	}
+	rebased := map[string]*tableVersion{}
 	for k, v := range updated {
-		ns.tables[k] = v
+		if cur.tables[k] == base.tables[k] {
+			v.owner = nil // freeze before sharing
+			v.asOf = ns.version
+			ns.tables[k] = v
+		} else {
+			rebased[k] = nil // re-derive from cur below
+		}
+	}
+	if len(rebased) > 0 {
+		final, err := rebaseChanges(cur, rebased, changes, ns.version)
+		if err != nil {
+			return err
+		}
+		changes = final
+		for k, v := range rebased {
+			ns.tables[k] = v
+		}
+	}
+	if db.persist != nil {
+		if err := db.persist.append(encodeCommitRecord(ns.version, changes)); err != nil {
+			return err
+		}
 	}
 	db.snap.Store(ns)
 	if db.persist != nil {
 		db.persist.maybeCheckpoint(db)
 	}
 	return nil
+}
+
+// rebaseChanges re-applies a transaction's logical change list onto
+// the latest published versions of the tables in rebased (keyed by
+// lowercased name, values filled in by this call). Row ids assigned to
+// the transaction's own inserts are provisional — they were drawn from
+// a base version that has since moved — so they are remapped to the
+// ids the latest version assigns, and the returned change list carries
+// the final ids (what the WAL logs and replay regenerates). Changes on
+// tables not being rebased pass through untouched.
+func rebaseChanges(cur *dbSnapshot, rebased map[string]*tableVersion, changes []walChange, version uint64) ([]walChange, error) {
+	o := newOwner() // the replay owns every node it copies
+	remap := map[string]map[int64]int64{}
+	final := make([]walChange, len(changes))
+	for i, c := range changes {
+		key := lowerName(c.table)
+		if _, ok := rebased[key]; !ok {
+			final[i] = c
+			continue
+		}
+		v := rebased[key]
+		if v == nil {
+			base, ok := cur.tables[key]
+			if !ok {
+				return nil, fmt.Errorf("rdb: rebase: table %q vanished", c.table)
+			}
+			v = base.derive(o)
+			v.asOf = version
+		}
+		id := c.id
+		if m := remap[key]; m != nil {
+			if nid, ok := m[id]; ok {
+				id = nid
+			}
+		}
+		switch c.op {
+		case walInsert:
+			nv, gotID := v.insert(c.row, o)
+			v = nv
+			if gotID != id {
+				if remap[key] == nil {
+					remap[key] = map[int64]int64{}
+				}
+				remap[key][id] = gotID
+				id = gotID
+			}
+		case walUpdate:
+			if _, ok := v.row(id); !ok {
+				return nil, fmt.Errorf("rdb: rebase: update of missing row %d in %q", id, c.table)
+			}
+			v = v.update(id, c.row, o)
+		case walDelete:
+			if _, ok := v.row(id); !ok {
+				return nil, fmt.Errorf("rdb: rebase: delete of missing row %d in %q", id, c.table)
+			}
+			v = v.remove(id, o)
+		default:
+			return nil, fmt.Errorf("rdb: rebase: unknown op %q", c.op)
+		}
+		final[i] = walChange{table: c.table, op: c.op, id: id, row: c.row}
+		rebased[key] = v
+	}
+	for key, v := range rebased {
+		if v == nil {
+			return nil, fmt.Errorf("rdb: rebase: no changes captured for moved table %q", key)
+		}
+		v.owner = nil // freeze before sharing
+	}
+	return final, nil
 }
 
 // publishCatalog rebuilds the snapshot from the catalog after DDL.
@@ -138,7 +235,9 @@ func (db *Database) publishCatalog() {
 		if v, ok := cur.tables[key]; ok {
 			ns.tables[key] = v
 		} else {
-			ns.tables[key] = newTableVersion(t.schema)
+			nv := newTableVersion(t.schema)
+			nv.asOf = ns.version
+			ns.tables[key] = nv
 		}
 	}
 	for ref, list := range db.referencedBy {
@@ -325,12 +424,21 @@ func topoOrder(nodes []string, deps func(string) []string, display func(string) 
 	return out, nil
 }
 
-// lockPlanEntry is one table in a transaction's lock set.
+// lockPlanEntry is one table in a transaction's lock set. write with a
+// zero shard set is the whole-table exclusive lock; write with a
+// non-zero set is the keyed mode (table lock shared + the set's shard
+// locks exclusive); a read entry is the table lock shared + every
+// shard lock shared.
 type lockPlanEntry struct {
-	key   string
-	t     *table
-	write bool
+	key    string
+	t      *table
+	write  bool
+	shards ShardSet
 }
+
+// keyed reports whether the entry holds only a shard subset of the
+// table's write lock domain.
+func (e *lockPlanEntry) keyed() bool { return e.write && e.shards != 0 }
 
 // lockPlan computes the ordered lock set for a write transaction:
 // exclusive locks on the write set, shared locks on the tables the
@@ -342,14 +450,45 @@ type lockPlanEntry struct {
 // lock. Unknown names are ignored; touching them later fails with a
 // TableError as before.
 func (db *Database) lockPlan(writeTables, readTables []string) []lockPlanEntry {
-	mode := make(map[string]bool, len(writeTables)*2)
-	for _, name := range writeTables {
-		key := lowerName(name)
+	writes := make([]TableShards, len(writeTables))
+	for i, name := range writeTables {
+		writes[i] = TableShards{Table: name}
+	}
+	return db.lockPlanKeyed(writes, readTables)
+}
+
+// lockPlanKeyed is lockPlan with per-table shard declarations: a write
+// entry with a non-zero shard set is locked in keyed mode. Demanding
+// the same table whole and keyed (or keyed twice) unions towards the
+// whole-table lock, never narrows.
+func (db *Database) lockPlanKeyed(writes []TableShards, readTables []string) []lockPlanEntry {
+	type ent struct {
+		write  bool
+		keyed  bool
+		shards ShardSet
+	}
+	mode := make(map[string]*ent, len(writes)*2)
+	for _, w := range writes {
+		key := lowerName(w.Table)
 		t, ok := db.tables[key]
 		if !ok {
 			continue
 		}
-		mode[key] = true
+		e := mode[key]
+		if e == nil {
+			e = &ent{write: true, keyed: w.Shards != 0, shards: w.Shards}
+			mode[key] = e
+		} else {
+			if !e.write {
+				e.write = true
+				e.keyed = w.Shards != 0
+				e.shards = w.Shards
+			} else if e.keyed && w.Shards != 0 {
+				e.shards |= w.Shards
+			} else {
+				e.keyed, e.shards = false, 0 // whole-table wins
+			}
+		}
 		// Record read entries for the FK neighbourhood without ever
 		// downgrading an existing write entry.
 		addRead := func(ref string) {
@@ -357,7 +496,7 @@ func (db *Database) lockPlan(writeTables, readTables []string) []lockPlanEntry {
 				return
 			}
 			if _, present := mode[ref]; !present {
-				mode[ref] = false
+				mode[ref] = &ent{}
 			}
 		}
 		for _, fk := range t.schema.ForeignKeys {
@@ -373,7 +512,7 @@ func (db *Database) lockPlan(writeTables, readTables []string) []lockPlanEntry {
 			continue
 		}
 		if _, present := mode[key]; !present {
-			mode[key] = false
+			mode[key] = &ent{}
 		}
 	}
 	keys := make([]string, 0, len(mode))
@@ -383,7 +522,12 @@ func (db *Database) lockPlan(writeTables, readTables []string) []lockPlanEntry {
 	sort.Strings(keys)
 	plan := make([]lockPlanEntry, len(keys))
 	for i, key := range keys {
-		plan[i] = lockPlanEntry{key: key, t: db.tables[key], write: mode[key]}
+		e := mode[key]
+		shards := e.shards
+		if !e.keyed {
+			shards = 0
+		}
+		plan[i] = lockPlanEntry{key: key, t: db.tables[key], write: e.write, shards: shards}
 	}
 	return plan
 }

@@ -77,10 +77,18 @@ type LockError struct {
 	// ReadOnly marks a write attempt on a shared-locked table; false
 	// means the table was not covered at all.
 	ReadOnly bool
+	// Keyed marks an access outside a keyed (shard-locked)
+	// transaction's declared key shards — a point access to an
+	// undeclared key, or a scan/secondary probe that would read every
+	// key range.
+	Keyed bool
 }
 
 // Error implements error.
 func (e *LockError) Error() string {
+	if e.Keyed {
+		return fmt.Sprintf("rdb: access to table %q outside this transaction's declared key shards", e.Table)
+	}
 	if e.ReadOnly {
 		return fmt.Sprintf("rdb: table %q is locked read-only in this transaction", e.Table)
 	}

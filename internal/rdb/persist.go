@@ -44,6 +44,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -61,6 +62,14 @@ const (
 
 	checkpointFile  = "checkpoint.db"
 	checkpointMagic = "OACP1"
+	// Incremental checkpoints: checkpoint.db becomes a manifest
+	// (manifestMagic) referencing one immutable per-table file
+	// (tableFileMagic) per table, named by the snapshot version that
+	// last changed the table — so a checkpoint rewrites only the
+	// tables dirtied since the previous one. The legacy monolithic
+	// format (checkpointMagic) is still read for old data dirs.
+	manifestMagic  = "OACM1"
+	tableFileMagic = "OATB1"
 
 	// DefaultCheckpointBytes is the WAL growth between automatic
 	// checkpoints when Options.CheckpointBytes is zero.
@@ -100,6 +109,11 @@ type persister struct {
 	checkpoints     atomic.Uint64
 	recovered       atomic.Uint64
 	checkpointing   atomic.Bool
+	// ckptWritten / ckptSkipped count per-table checkpoint files
+	// written vs reused across incremental checkpoints (dirty-table
+	// skipping made observable).
+	ckptWritten atomic.Uint64
+	ckptSkipped atomic.Uint64
 	// ckptMu serializes Checkpoint against itself (explicit calls vs
 	// the automatic background trigger); ckptWG lets Close wait for an
 	// in-flight background checkpoint so it cannot recreate files
@@ -158,6 +172,11 @@ type DurabilityStats struct {
 	// checkpoint covers; Checkpoints counts completed checkpoints.
 	LastCheckpointVersion uint64
 	Checkpoints           uint64
+	// CheckpointTablesWritten / CheckpointTablesSkipped count per-table
+	// checkpoint files written vs reused unchanged across incremental
+	// checkpoints — skipped tables were clean since the last checkpoint.
+	CheckpointTablesWritten uint64
+	CheckpointTablesSkipped uint64
 	// RecoveredRecords counts WAL records replayed by Open.
 	RecoveredRecords uint64
 }
@@ -171,15 +190,17 @@ func (db *Database) DurabilityStats() DurabilityStats {
 	}
 	ls := p.log.Stats()
 	return DurabilityStats{
-		Enabled:               true,
-		DataDir:               p.dir,
-		WALBytes:              ls.Bytes,
-		WALRecords:            ls.Records,
-		WALSegments:           ls.Segments,
-		Fsyncs:                ls.Fsyncs,
-		LastCheckpointVersion: p.lastCkptVersion.Load(),
-		Checkpoints:           p.checkpoints.Load(),
-		RecoveredRecords:      p.recovered.Load(),
+		Enabled:                 true,
+		DataDir:                 p.dir,
+		WALBytes:                ls.Bytes,
+		WALRecords:              ls.Records,
+		WALSegments:             ls.Segments,
+		Fsyncs:                  ls.Fsyncs,
+		LastCheckpointVersion:   p.lastCkptVersion.Load(),
+		Checkpoints:             p.checkpoints.Load(),
+		CheckpointTablesWritten: p.ckptWritten.Load(),
+		CheckpointTablesSkipped: p.ckptSkipped.Load(),
+		RecoveredRecords:        p.recovered.Load(),
 	}
 }
 
@@ -209,7 +230,7 @@ func Open(name string, o Options) (*Database, bool, error) {
 	var ckptVersion uint64
 	if data, rerr := os.ReadFile(filepath.Join(o.DataDir, checkpointFile)); rerr == nil {
 		hadState = true
-		ckptVersion, err = db.restoreCheckpoint(data)
+		ckptVersion, err = db.restoreCheckpoint(o.DataDir, data)
 		if err != nil {
 			l.Close()
 			return nil, false, fmt.Errorf("rdb: loading checkpoint: %w", err)
@@ -252,15 +273,53 @@ func (db *Database) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	// The snapshot is immutable: serialization needs no lock.
-	data := encodeCheckpoint(snap)
-	if err := wal.WriteFileAtomic(filepath.Join(p.dir, checkpointFile), data); err != nil {
+	// The snapshot is immutable: serialization needs no lock. Each
+	// table serializes to its own immutable file named by the snapshot
+	// version that last changed it, so only tables dirtied since the
+	// previous checkpoint are rewritten; the manifest then flips the
+	// whole checkpoint atomically.
+	for _, key := range snap.order {
+		v := snap.tables[key]
+		path := filepath.Join(p.dir, tableFileName(key, v.asOf))
+		if _, serr := os.Stat(path); serr == nil {
+			p.ckptSkipped.Add(1)
+			continue
+		} else if !os.IsNotExist(serr) {
+			return serr
+		}
+		if err := wal.WriteFileAtomic(path, encodeTableFile(v)); err != nil {
+			return err
+		}
+		p.ckptWritten.Add(1)
+	}
+	if err := wal.WriteFileAtomic(filepath.Join(p.dir, checkpointFile), encodeManifest(snap)); err != nil {
 		return err
 	}
 	p.lastCkptVersion.Store(snap.version)
 	p.bytesSinceCkpt.Store(0)
 	p.checkpoints.Add(1)
+	// Prune table files the just-installed manifest no longer
+	// references. A crash before this point merely leaves extra files;
+	// a failure here is cosmetic, so it does not fail the checkpoint.
+	keep := make(map[string]bool, len(snap.order))
+	for _, key := range snap.order {
+		keep[tableFileName(key, snap.tables[key].asOf)] = true
+	}
+	if entries, derr := os.ReadDir(p.dir); derr == nil {
+		for _, e := range entries {
+			n := e.Name()
+			if strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".tbl") && !keep[n] {
+				os.Remove(filepath.Join(p.dir, n)) //nolint:errcheck // cosmetic
+			}
+		}
+	}
 	return p.log.RemoveBefore(seg)
+}
+
+// tableFileName names the immutable per-table checkpoint file for a
+// table key at the snapshot version that last changed it.
+func tableFileName(key string, asOf uint64) string {
+	return fmt.Sprintf("ckpt-%s-%d.tbl", key, asOf)
 }
 
 // Close checkpoints and closes the WAL. The database must not be used
@@ -396,25 +455,34 @@ func encodeDropRecord(seq uint64, name string) []byte {
 	return appendString(b, name)
 }
 
-// encodeCheckpoint serializes a whole snapshot: magic, version, every
-// table in creation order (schema, id counters, rows), and a trailing
-// CRC-32C over everything before it.
-func encodeCheckpoint(s *dbSnapshot) []byte {
-	b := []byte(checkpointMagic)
+// encodeManifest serializes a checkpoint manifest: magic, version,
+// every table key in creation order with the snapshot version that
+// last changed it (which names its table file), and a trailing CRC-32C.
+func encodeManifest(s *dbSnapshot) []byte {
+	b := []byte(manifestMagic)
 	b = binary.AppendUvarint(b, s.version)
 	b = binary.AppendUvarint(b, uint64(len(s.order)))
 	for _, key := range s.order {
-		v := s.tables[key]
-		b = appendSchema(b, v.schema)
-		b = binary.AppendVarint(b, v.nextID)
-		b = binary.AppendVarint(b, v.nextAuto)
-		b = binary.AppendUvarint(b, uint64(v.rows.len()))
-		v.scan(func(id int64, row []Value) bool {
-			b = binary.AppendUvarint(b, uint64(id))
-			b = appendRow(b, row)
-			return true
-		})
+		b = appendString(b, key)
+		b = binary.AppendUvarint(b, s.tables[key].asOf)
 	}
+	sum := crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
+	return binary.LittleEndian.AppendUint32(b, sum)
+}
+
+// encodeTableFile serializes one table version: magic, schema, id
+// counters, rows in insertion order, and a trailing CRC-32C.
+func encodeTableFile(v *tableVersion) []byte {
+	b := []byte(tableFileMagic)
+	b = appendSchema(b, v.schema)
+	b = binary.AppendVarint(b, v.nextID)
+	b = binary.AppendVarint(b, v.nextAuto)
+	b = binary.AppendUvarint(b, uint64(v.rows.len()))
+	v.scan(func(id int64, row []Value) bool {
+		b = binary.AppendUvarint(b, uint64(id))
+		b = appendRow(b, row)
+		return true
+	})
 	sum := crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
 	return binary.LittleEndian.AppendUint32(b, sum)
 }
@@ -547,10 +615,15 @@ func (d *walDec) schema() *TableSchema {
 	return s
 }
 
-// restoreCheckpoint rebuilds the database from a checkpoint blob and
-// returns the snapshot version it covers. Runs single-threaded during
-// Open, before the database is shared.
-func (db *Database) restoreCheckpoint(data []byte) (uint64, error) {
+// restoreCheckpoint rebuilds the database from the checkpoint file
+// blob — an incremental manifest referencing per-table files in dir,
+// or the legacy monolithic format — and returns the snapshot version
+// it covers. Runs single-threaded during Open, before the database is
+// shared.
+func (db *Database) restoreCheckpoint(dir string, data []byte) (uint64, error) {
+	if len(data) >= len(manifestMagic) && string(data[:len(manifestMagic)]) == manifestMagic {
+		return db.restoreManifest(dir, data)
+	}
 	if len(data) < len(checkpointMagic)+4 || string(data[:len(checkpointMagic)]) != checkpointMagic {
 		return 0, fmt.Errorf("not a checkpoint file")
 	}
@@ -563,39 +636,118 @@ func (db *Database) restoreCheckpoint(data []byte) (uint64, error) {
 	ntables := d.u64()
 	restored := make(map[string]*tableVersion, ntables)
 	for i := uint64(0); i < ntables && d.err == nil; i++ {
-		s := d.schema()
-		nextID := d.i64()
-		nextAuto := d.i64()
-		nrows := d.u64()
+		v, err := db.loadTableBody(d)
+		if err != nil {
+			return 0, err
+		}
 		if d.err != nil {
 			break
 		}
-		if err := db.CreateTable(s); err != nil {
-			return 0, err
-		}
-		v := newTableVersion(s)
-		for r := uint64(0); r < nrows && d.err == nil; r++ {
-			id := int64(d.u64())
-			row := d.row()
-			if d.err != nil {
-				break
-			}
-			v.rows = v.rows.with(uint64(id), row)
-			v.pk = v.pk.with(v.pkKey(row), id)
-			for si := range v.sec {
-				e := &v.sec[si]
-				e.idx = idxAdd(e.idx, encodeKey(row[e.col:e.col+1]), id)
-			}
-		}
-		v.nextID = nextID
-		v.nextAuto = nextAuto
-		restored[lowerName(s.Name)] = v
+		v.asOf = version // legacy format has no per-table versions
+		restored[lowerName(v.schema.Name)] = v
 	}
 	if d.err != nil {
 		return 0, d.err
 	}
 	db.installSnapshot(restored, version)
 	return version, nil
+}
+
+// restoreManifest rebuilds the database from an incremental manifest:
+// each listed table loads from its immutable per-table file, keeping
+// the per-table asOf version so the next checkpoint can reuse the
+// files of tables that stayed clean.
+func (db *Database) restoreManifest(dir string, data []byte) (uint64, error) {
+	if len(data) < len(manifestMagic)+4 {
+		return 0, fmt.Errorf("truncated checkpoint manifest")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)) != binary.LittleEndian.Uint32(tail) {
+		return 0, fmt.Errorf("checkpoint manifest checksum mismatch")
+	}
+	d := &walDec{b: body[len(manifestMagic):]}
+	version := d.u64()
+	ntables := d.u64()
+	restored := make(map[string]*tableVersion, ntables)
+	for i := uint64(0); i < ntables && d.err == nil; i++ {
+		key := d.str()
+		asOf := d.u64()
+		if d.err != nil {
+			break
+		}
+		v, err := db.loadTableFile(filepath.Join(dir, tableFileName(key, asOf)))
+		if err != nil {
+			return 0, err
+		}
+		v.asOf = asOf
+		restored[key] = v
+	}
+	if d.err != nil {
+		return 0, d.err
+	}
+	db.installSnapshot(restored, version)
+	return version, nil
+}
+
+// loadTableFile reads, verifies, and decodes one per-table checkpoint
+// file referenced by a manifest.
+func (db *Database) loadTableFile(path string) (*tableVersion, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := filepath.Base(path)
+	if len(data) < len(tableFileMagic)+4 || string(data[:len(tableFileMagic)]) != tableFileMagic {
+		return nil, fmt.Errorf("%s: not a checkpoint table file", name)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%s: checksum mismatch", name)
+	}
+	d := &walDec{b: body[len(tableFileMagic):]}
+	v, err := db.loadTableBody(d)
+	if err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%s: %w", name, d.err)
+	}
+	return v, nil
+}
+
+// loadTableBody decodes one table (schema, id counters, rows) from a
+// checkpoint stream, registers the table in the catalog, and builds
+// its version with bulk-load transient nodes (frozen by the caller's
+// installSnapshot).
+func (db *Database) loadTableBody(d *walDec) (*tableVersion, error) {
+	s := d.schema()
+	nextID := d.i64()
+	nextAuto := d.i64()
+	nrows := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := db.CreateTable(s); err != nil {
+		return nil, err
+	}
+	v := newTableVersion(s)
+	o := newOwner() // bulk load: transient nodes, frozen on return
+	for r := uint64(0); r < nrows && d.err == nil; r++ {
+		id := int64(d.u64())
+		row := d.row()
+		if d.err != nil {
+			break
+		}
+		v.rows = v.rows.withO(uint64(id), row, o)
+		v.pk = v.pk.withO(v.pkKey(row), id, o)
+		for si := range v.sec {
+			e := &v.sec[si]
+			e.idx = idxAdd(e.idx, encodeKey(row[e.col:e.col+1]), id, o)
+		}
+	}
+	v.nextID = nextID
+	v.nextAuto = nextAuto
+	return v, nil
 }
 
 // installSnapshot overwrites table versions and pins the snapshot
@@ -615,6 +767,7 @@ func (db *Database) installSnapshot(updated map[string]*tableVersion, version ui
 		ns.tables[k] = v
 	}
 	for k, v := range updated {
+		v.owner = nil // freeze before sharing; callers set asOf
 		ns.tables[k] = v
 	}
 	db.snap.Store(ns)
@@ -645,6 +798,7 @@ func (db *Database) replayRecord(payload []byte, replayed *uint64) error {
 	case recCommit:
 		ntables := d.u64()
 		updated := make(map[string]*tableVersion, ntables)
+		o := newOwner() // replay owns every node it copies
 		for t := uint64(0); t < ntables && d.err == nil; t++ {
 			name := d.str()
 			key := lowerName(name)
@@ -664,7 +818,7 @@ func (db *Database) replayRecord(payload []byte, replayed *uint64) error {
 					if d.err != nil {
 						break
 					}
-					nv, gotID := v.insert(row)
+					nv, gotID := v.insert(row, o)
 					if gotID != id {
 						return fmt.Errorf("record %d: replayed insert into %q got id %d, logged %d",
 							seq, name, gotID, id)
@@ -678,12 +832,12 @@ func (db *Database) replayRecord(payload []byte, replayed *uint64) error {
 					if _, ok := v.row(id); !ok {
 						return fmt.Errorf("record %d: update of missing row %d in %q", seq, id, name)
 					}
-					v = v.update(id, row)
+					v = v.update(id, row, o)
 				case walDelete:
 					if _, ok := v.row(id); !ok {
 						return fmt.Errorf("record %d: delete of missing row %d in %q", seq, id, name)
 					}
-					v = v.remove(id)
+					v = v.remove(id, o)
 				default:
 					return fmt.Errorf("record %d: unknown op %q", seq, op)
 				}
@@ -692,6 +846,9 @@ func (db *Database) replayRecord(payload []byte, replayed *uint64) error {
 		}
 		if d.err != nil {
 			return d.err
+		}
+		for _, v := range updated {
+			v.asOf = seq
 		}
 		db.installSnapshot(updated, seq)
 	case recCreate:

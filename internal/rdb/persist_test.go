@@ -1,6 +1,8 @@
 package rdb
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -377,7 +379,14 @@ func TestStaleSegmentAfterCrashedCheckpointSkipped(t *testing.T) {
 	// Write the checkpoint by hand without pruning segments — exactly
 	// the state a crash mid-Checkpoint leaves.
 	snap := db.snapshot()
-	if err := wal.WriteFileAtomic(filepath.Join(dir, checkpointFile), encodeCheckpoint(snap)); err != nil {
+	for _, key := range snap.order {
+		v := snap.tables[key]
+		path := filepath.Join(dir, tableFileName(key, v.asOf))
+		if err := wal.WriteFileAtomic(path, encodeTableFile(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wal.WriteFileAtomic(filepath.Join(dir, checkpointFile), encodeManifest(snap)); err != nil {
 		t.Fatal(err)
 	}
 	want := dump(t, db)
@@ -388,6 +397,75 @@ func TestStaleSegmentAfterCrashedCheckpointSkipped(t *testing.T) {
 	}
 	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
 		t.Fatalf("stale-segment recovery diverges:\n got %v\nwant %v", got, want)
+	}
+}
+
+// encodeLegacyCheckpoint reproduces the pre-incremental monolithic
+// checkpoint format, which restoreCheckpoint must keep reading so old
+// data directories survive an upgrade.
+func encodeLegacyCheckpoint(s *dbSnapshot) []byte {
+	b := []byte(checkpointMagic)
+	b = binary.AppendUvarint(b, s.version)
+	b = binary.AppendUvarint(b, uint64(len(s.order)))
+	for _, key := range s.order {
+		v := s.tables[key]
+		b = appendSchema(b, v.schema)
+		b = binary.AppendVarint(b, v.nextID)
+		b = binary.AppendVarint(b, v.nextAuto)
+		b = binary.AppendUvarint(b, uint64(v.rows.len()))
+		v.scan(func(id int64, row []Value) bool {
+			b = binary.AppendUvarint(b, uint64(id))
+			b = appendRow(b, row)
+			return true
+		})
+	}
+	sum := crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
+	return binary.LittleEndian.AppendUint32(b, sum)
+}
+
+func TestLegacyCheckpointRestored(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := mustOpen(t, dir, Options{})
+	seedGroups(t, db)
+	want := dump(t, db)
+	snap := db.snapshot()
+	if err := wal.WriteFileAtomic(filepath.Join(dir, checkpointFile), encodeLegacyCheckpoint(snap)); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the WAL so only the legacy checkpoint carries the state.
+	if err := db.persist.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db.persist = nil
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != checkpointFile {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	db2, recovered := mustOpen(t, dir, Options{})
+	if !recovered {
+		t.Fatal("reopen found no state")
+	}
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy checkpoint restore diverges:\n got %v\nwant %v", got, want)
+	}
+	// The next checkpoint must rewrite every table into the new format.
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:len(manifestMagic)]) != manifestMagic {
+		t.Fatalf("post-upgrade checkpoint is not a manifest: %q", data[:5])
 	}
 }
 

@@ -16,6 +16,16 @@ import "math/bits"
 //   - pmap[V]: a persistent string-keyed hash map layered over ptree
 //     (hash -> small collision bucket), used for the primary-key and
 //     secondary value indexes.
+//
+// Transient nodes: the *O mutators additionally take an ownership
+// token (*ptOwner). A node stamped with the caller's live token is
+// known to be reachable only through values derived since that token
+// was issued, so it is mutated in place instead of path-copied; any
+// other node (frozen, or owned by an older token) is copied and the
+// copy stamped. A transaction issues a fresh token at begin and again
+// at every savepoint, which makes repeated path copies within one
+// batch collapse into in-place writes while keeping every published
+// or savepoint-captured version immutable.
 
 const (
 	ptBits  = 5
@@ -23,12 +33,28 @@ const (
 	ptMask  = ptWidth - 1
 )
 
+// ptOwner is a transient-ownership token. Tokens are compared by
+// identity: a node whose owner field holds the caller's live token may
+// be mutated in place (see the package comment).
+type ptOwner struct{ _ byte }
+
+// newOwner issues a fresh ownership token.
+func newOwner() *ptOwner { return new(ptOwner) }
+
 // ptNode is one trie node. Inner nodes use kids, leaves use vals with
 // a presence bitmap; both slices have length ptWidth when allocated.
+// owner is the transient token the node was created under; nil marks
+// a frozen (shareable) node.
 type ptNode[V any] struct {
 	kids    []*ptNode[V]
 	vals    []V
 	present uint32
+	owner   *ptOwner
+}
+
+// editable reports whether n may be mutated in place under token o.
+func (n *ptNode[V]) editable(o *ptOwner) bool {
+	return n != nil && o != nil && n.owner == o
 }
 
 // ptree is a persistent uint64-keyed map. The zero value is empty.
@@ -64,19 +90,24 @@ func (t ptree[V]) get(k uint64) (V, bool) {
 }
 
 // with returns a tree that additionally maps k to v.
-func (t ptree[V]) with(k uint64, v V) ptree[V] {
+func (t ptree[V]) with(k uint64, v V) ptree[V] { return t.withO(k, v, nil) }
+
+// withO is with under an ownership token: nodes owned by a non-nil o
+// are mutated in place, everything else is path-copied (and the copy
+// stamped with o).
+func (t ptree[V]) withO(k uint64, v V, o *ptOwner) ptree[V] {
 	if t.root == nil {
-		t.root = &ptNode[V]{vals: make([]V, ptWidth)}
+		t.root = &ptNode[V]{vals: make([]V, ptWidth), owner: o}
 		t.shift = 0
 	}
 	// Grow the root until k is addressable.
 	for k>>(t.shift+ptBits) != 0 {
-		nr := &ptNode[V]{kids: make([]*ptNode[V], ptWidth)}
+		nr := &ptNode[V]{kids: make([]*ptNode[V], ptWidth), owner: o}
 		nr.kids[0] = t.root
 		t.root = nr
 		t.shift += ptBits
 	}
-	root, added := ptWith(t.root, t.shift, k, v)
+	root, added := ptWith(t.root, t.shift, k, v, o)
 	nt := ptree[V]{root: root, shift: t.shift, size: t.size}
 	if added {
 		nt.size++
@@ -84,14 +115,17 @@ func (t ptree[V]) with(k uint64, v V) ptree[V] {
 	return nt
 }
 
-// ptWith path-copies the nodes from n down to k's leaf. A nil n
-// materializes a fresh subtree.
-func ptWith[V any](n *ptNode[V], shift uint, k uint64, v V) (*ptNode[V], bool) {
+// ptWith path-copies (or, when owned, edits) the nodes from n down to
+// k's leaf. A nil n materializes a fresh subtree.
+func ptWith[V any](n *ptNode[V], shift uint, k uint64, v V, o *ptOwner) (*ptNode[V], bool) {
 	if shift == 0 {
-		c := &ptNode[V]{vals: make([]V, ptWidth)}
-		if n != nil {
-			copy(c.vals, n.vals)
-			c.present = n.present
+		c := n
+		if !n.editable(o) {
+			c = &ptNode[V]{vals: make([]V, ptWidth), owner: o}
+			if n != nil {
+				copy(c.vals, n.vals)
+				c.present = n.present
+			}
 		}
 		i := k & ptMask
 		added := c.present&(1<<i) == 0
@@ -99,39 +133,51 @@ func ptWith[V any](n *ptNode[V], shift uint, k uint64, v V) (*ptNode[V], bool) {
 		c.present |= 1 << i
 		return c, added
 	}
-	c := &ptNode[V]{kids: make([]*ptNode[V], ptWidth)}
-	if n != nil {
-		copy(c.kids, n.kids)
+	c := n
+	if !n.editable(o) {
+		c = &ptNode[V]{kids: make([]*ptNode[V], ptWidth), owner: o}
+		if n != nil {
+			copy(c.kids, n.kids)
+		}
 	}
 	i := (k >> shift) & ptMask
-	child, added := ptWith(c.kids[i], shift-ptBits, k, v)
+	child, added := ptWith(c.kids[i], shift-ptBits, k, v, o)
 	c.kids[i] = child
 	return c, added
 }
 
 // without returns a tree with k removed (a no-op if absent). Emptied
 // nodes are kept in place; the structure does not shrink.
-func (t ptree[V]) without(k uint64) ptree[V] {
+func (t ptree[V]) without(k uint64) ptree[V] { return t.withoutO(k, nil) }
+
+// withoutO is without under an ownership token (see withO).
+func (t ptree[V]) withoutO(k uint64, o *ptOwner) ptree[V] {
 	if _, ok := t.get(k); !ok {
 		return t
 	}
-	return ptree[V]{root: ptWithout(t.root, t.shift, k), shift: t.shift, size: t.size - 1}
+	return ptree[V]{root: ptWithout(t.root, t.shift, k, o), shift: t.shift, size: t.size - 1}
 }
 
-func ptWithout[V any](n *ptNode[V], shift uint, k uint64) *ptNode[V] {
+func ptWithout[V any](n *ptNode[V], shift uint, k uint64, o *ptOwner) *ptNode[V] {
 	if shift == 0 {
-		c := &ptNode[V]{vals: make([]V, ptWidth), present: n.present}
-		copy(c.vals, n.vals)
+		c := n
+		if !n.editable(o) {
+			c = &ptNode[V]{vals: make([]V, ptWidth), present: n.present, owner: o}
+			copy(c.vals, n.vals)
+		}
 		i := k & ptMask
 		var zero V
 		c.vals[i] = zero // release the value for GC
 		c.present &^= 1 << i
 		return c
 	}
-	c := &ptNode[V]{kids: make([]*ptNode[V], ptWidth)}
-	copy(c.kids, n.kids)
+	c := n
+	if !n.editable(o) {
+		c = &ptNode[V]{kids: make([]*ptNode[V], ptWidth), owner: o}
+		copy(c.kids, n.kids)
+	}
 	i := (k >> shift) & ptMask
-	c.kids[i] = ptWithout(c.kids[i], shift-ptBits, k)
+	c.kids[i] = ptWithout(c.kids[i], shift-ptBits, k, o)
 	return c
 }
 
@@ -213,7 +259,10 @@ func (m pmap[V]) get(key string) (V, bool) {
 }
 
 // with returns a map that additionally maps key to v.
-func (m pmap[V]) with(key string, v V) pmap[V] {
+func (m pmap[V]) with(key string, v V) pmap[V] { return m.withO(key, v, nil) }
+
+// withO is with under an ownership token (see ptree.withO).
+func (m pmap[V]) withO(key string, v V, o *ptOwner) pmap[V] {
 	h := pmHash(key)
 	bucket, _ := m.t.get(h)
 	nb := make([]pmEntry[V], 0, len(bucket)+1)
@@ -226,7 +275,7 @@ func (m pmap[V]) with(key string, v V) pmap[V] {
 		nb = append(nb, e)
 	}
 	nb = append(nb, pmEntry[V]{key: key, val: v})
-	nm := pmap[V]{t: m.t.with(h, nb), n: m.n}
+	nm := pmap[V]{t: m.t.withO(h, nb, o), n: m.n}
 	if added {
 		nm.n++
 	}
@@ -234,7 +283,10 @@ func (m pmap[V]) with(key string, v V) pmap[V] {
 }
 
 // without returns a map with key removed (a no-op if absent).
-func (m pmap[V]) without(key string) pmap[V] {
+func (m pmap[V]) without(key string) pmap[V] { return m.withoutO(key, nil) }
+
+// withoutO is without under an ownership token (see ptree.withO).
+func (m pmap[V]) withoutO(key string, o *ptOwner) pmap[V] {
 	h := pmHash(key)
 	bucket, ok := m.t.get(h)
 	if !ok {
@@ -253,7 +305,7 @@ func (m pmap[V]) without(key string) pmap[V] {
 		return m
 	}
 	if len(nb) == 0 {
-		return pmap[V]{t: m.t.without(h), n: m.n - 1}
+		return pmap[V]{t: m.t.withoutO(h, o), n: m.n - 1}
 	}
-	return pmap[V]{t: m.t.with(h, nb), n: m.n - 1}
+	return pmap[V]{t: m.t.withO(h, nb, o), n: m.n - 1}
 }

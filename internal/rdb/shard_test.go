@@ -1,0 +1,358 @@
+package rdb
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func kvSchema() *TableSchema {
+	return &TableSchema{
+		Name: "kv",
+		Columns: []Column{
+			{Name: "id", Type: TInt, NotNull: true},
+			{Name: "val", Type: TVarchar, Length: 100},
+		},
+		PrimaryKey: []string{"id"},
+	}
+}
+
+func newKVDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("shardtest")
+	if err := db.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// dumpKV exports the table in scan (row id) order, so two runs agree
+// only if their insert-id assignment agrees too.
+func dumpKV(t *testing.T, db *Database) [][]Value {
+	t.Helper()
+	var rows [][]Value
+	err := db.View(func(tx *Tx) error {
+		return tx.Scan("kv", func(id int64, row []Value) bool {
+			rows = append(rows, append([]Value(nil), row...))
+			return true
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestLockPlanKeyedOrderAndUnion pins the acquisition-order and
+// mode-union contract of the keyed lock planner: entries sorted by
+// table key (the global deadlock-freedom order), keyed masks unioned,
+// and a whole-table demand always winning over a keyed one.
+func TestLockPlanKeyedOrderAndUnion(t *testing.T) {
+	db := NewDatabase("lockplan")
+	for _, name := range []string{"beta", "alpha", "gamma"} {
+		s := kvSchema()
+		s.Name = name
+		if err := db.CreateTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan := db.lockPlanKeyed([]TableShards{
+		{Table: "beta", Shards: ShardSet(0).With(3)},
+		{Table: "alpha", Shards: ShardSet(0).With(1)},
+		{Table: "beta", Shards: ShardSet(0).With(5)},
+	}, []string{"gamma"})
+	if len(plan) != 3 {
+		t.Fatalf("plan has %d entries, want 3", len(plan))
+	}
+	for i, want := range []struct {
+		key    string
+		write  bool
+		shards ShardSet
+	}{
+		{"alpha", true, ShardSet(0).With(1)},
+		{"beta", true, ShardSet(0).With(3).With(5)},
+		{"gamma", false, 0},
+	} {
+		e := &plan[i]
+		if e.key != want.key || e.write != want.write || e.shards != want.shards {
+			t.Errorf("entry %d = {%s write=%v shards=%04x}, want {%s write=%v shards=%04x}",
+				i, e.key, e.write, e.shards, want.key, want.write, want.shards)
+		}
+	}
+
+	// Whole-table union: keyed + whole = whole, in either order.
+	for _, writes := range [][]TableShards{
+		{{Table: "alpha", Shards: ShardSet(0).With(1)}, {Table: "alpha"}},
+		{{Table: "alpha"}, {Table: "alpha", Shards: ShardSet(0).With(1)}},
+	} {
+		plan := db.lockPlanKeyed(writes, nil)
+		if len(plan) != 1 || plan[0].shards != 0 || !plan[0].write || plan[0].keyed() {
+			t.Errorf("whole+keyed union for %v = %+v, want one whole-table write entry", writes, plan)
+		}
+	}
+
+	// A read demand on a written table must not downgrade the write.
+	plan = db.lockPlanKeyed([]TableShards{{Table: "alpha", Shards: ShardSet(0).With(2)}}, []string{"alpha"})
+	if len(plan) != 1 || !plan[0].write || plan[0].shards != ShardSet(0).With(2) {
+		t.Fatalf("write+read union = %+v, want the keyed write entry", plan)
+	}
+}
+
+// TestShardOfPKCoherent: the exported shard mapping must agree with
+// the transaction layer's coverage check — a key inserted under its
+// declared ShardOfPK shard never trips the keyed enforcement.
+func TestShardOfPKCoherent(t *testing.T) {
+	db := newKVDB(t)
+	for i := 0; i < 200; i++ {
+		s, ok := db.ShardOfPK("kv", Int(int64(i)))
+		if !ok {
+			t.Fatalf("ShardOfPK failed for %d", i)
+		}
+		if s < 0 || s >= NumShards {
+			t.Fatalf("shard %d out of range for key %d", s, i)
+		}
+		tx := db.BeginWriteShards([]TableShards{{Table: "kv", Shards: ShardSet(0).With(s)}}, nil)
+		err := tx.Insert("kv", map[string]Value{"id": Int(int64(i)), "val": String_("x")})
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Rollback()
+		}
+		if err != nil {
+			t.Fatalf("keyed insert of %d under its own shard %d failed: %v", i, s, err)
+		}
+	}
+	if _, ok := db.ShardOfPK("missing", Int(1)); ok {
+		t.Fatal("ShardOfPK succeeded for unknown table")
+	}
+}
+
+// TestKeyedWriteOutsideShardFails: touching a key outside the declared
+// shard set must fail with a keyed LockError (the compiled pipeline's
+// fallback trigger), and must leave no partial state behind.
+func TestKeyedWriteOutsideShardFails(t *testing.T) {
+	db := newKVDB(t)
+	in, _ := db.ShardOfPK("kv", Int(1))
+	out := -1
+	var outKey int64
+	for k := int64(2); k < 1000; k++ {
+		if s, _ := db.ShardOfPK("kv", Int(k)); s != in {
+			out, outKey = s, k
+			break
+		}
+	}
+	if out == -1 {
+		t.Fatal("no key hashing outside the first shard found")
+	}
+	tx := db.BeginWriteShards([]TableShards{{Table: "kv", Shards: ShardSet(0).With(in)}}, nil)
+	defer tx.Rollback()
+	if err := tx.Insert("kv", map[string]Value{"id": Int(1), "val": String_("ok")}); err != nil {
+		t.Fatalf("in-shard insert failed: %v", err)
+	}
+	err := tx.Insert("kv", map[string]Value{"id": Int(outKey), "val": String_("nope")})
+	le, ok := err.(*LockError)
+	if !ok || !le.Keyed {
+		t.Fatalf("out-of-shard insert returned %v, want keyed *LockError", err)
+	}
+	// Scans read every key range, which a keyed transaction must not.
+	err = tx.Scan("kv", func(int64, []Value) bool { return true })
+	if le, ok := err.(*LockError); !ok || !le.Keyed {
+		t.Fatalf("scan under keyed locks returned %v, want keyed *LockError", err)
+	}
+}
+
+// TestSameTableDisjointShardWritersParallel is the storage-level race
+// test: concurrent writers on disjoint key ranges of one table, each
+// under its own keyed transaction, must all commit and produce exactly
+// the rows a serial run would.
+func TestSameTableDisjointShardWritersParallel(t *testing.T) {
+	db := newKVDB(t)
+	const workers = 8
+	const perWorker = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * 1_000_000)
+			for i := int64(0); i < perWorker; i++ {
+				key := base + i
+				s, ok := db.ShardOfPK("kv", Int(key))
+				if !ok {
+					errs <- fmt.Errorf("no shard for %d", key)
+					return
+				}
+				tx := db.BeginWriteShards([]TableShards{{Table: "kv", Shards: ShardSet(0).With(s)}}, nil)
+				err := tx.Insert("kv", map[string]Value{"id": Int(key), "val": String_(fmt.Sprintf("w%d-%d", w, i))})
+				if err == nil {
+					err = tx.Commit()
+				} else {
+					tx.Rollback()
+				}
+				if err != nil {
+					errs <- fmt.Errorf("worker %d key %d: %w", w, key, err)
+					return
+				}
+				// Update the key just written in a second keyed txn, so
+				// the rebase path sees updates referencing remapped rows.
+				tx = db.BeginWriteShards([]TableShards{{Table: "kv", Shards: ShardSet(0).With(s)}}, nil)
+				id, _, found, err := tx.LookupPK("kv", []Value{Int(key)})
+				if err == nil && !found {
+					err = fmt.Errorf("own write of %d invisible", key)
+				}
+				if err == nil {
+					err = tx.UpdateByID("kv", id, map[string]Value{"val": String_(fmt.Sprintf("w%d-%d'", w, i))})
+				}
+				if err == nil {
+					err = tx.Commit()
+				} else {
+					tx.Rollback()
+				}
+				if err != nil {
+					errs <- fmt.Errorf("worker %d update %d: %w", w, key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	var n int
+	seen := map[int64]string{}
+	db.View(func(tx *Tx) error {
+		return tx.Scan("kv", func(id int64, row []Value) bool {
+			n++
+			seen[row[0].I] = row[1].S
+			return true
+		})
+	})
+	if n != workers*perWorker {
+		t.Fatalf("kv rows = %d, want %d", n, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		for i := int64(0); i < perWorker; i++ {
+			key := int64(w*1_000_000) + i
+			if want := fmt.Sprintf("w%d-%d'", w, i); seen[key] != want {
+				t.Fatalf("key %d = %q, want %q", key, seen[key], want)
+			}
+		}
+	}
+}
+
+// FuzzShardedPublish drives two keyed transactions over disjoint shard
+// groups with a fuzz-chosen operation interleaving and commit order,
+// and pins the composed snapshot — including row-id assignment, which
+// the publish-time rebase remaps — to a sequential whole-table
+// reference run applying the same operations in commit order.
+func FuzzShardedPublish(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 200, 201, 5, 6}, false)
+	f.Add([]byte{10, 10, 10, 20, 20, 30}, true)
+	f.Add([]byte{0, 255, 128, 64, 32, 16, 8, 4, 2, 1}, true)
+	f.Fuzz(func(t *testing.T, stream []byte, commitBFirst bool) {
+		if len(stream) == 0 {
+			return
+		}
+		sharded := newKVDB(t)
+		reference := newKVDB(t)
+
+		// Split keys into two disjoint shard groups by their hash.
+		groupB := func(k int64) bool {
+			s, _ := sharded.ShardOfPK("kv", Int(k))
+			return s >= NumShards/2
+		}
+		var maskA, maskB ShardSet
+		for _, b := range stream {
+			k := int64(b)
+			s, _ := sharded.ShardOfPK("kv", Int(k))
+			if groupB(k) {
+				maskB = maskB.With(s)
+			} else {
+				maskA = maskA.With(s)
+			}
+		}
+		if maskA == 0 || maskB == 0 {
+			return // single-group input exercises nothing concurrent
+		}
+
+		txA := sharded.BeginWriteShards([]TableShards{{Table: "kv", Shards: maskA}}, nil)
+		txB := sharded.BeginWriteShards([]TableShards{{Table: "kv", Shards: maskB}}, nil)
+		defer txA.Rollback()
+		defer txB.Rollback()
+
+		// One op per byte: upsert, or delete when bit 7 of the position
+		// parity says so and the row exists in that transaction's view.
+		apply := func(tx *Tx, k int64, del bool) error {
+			id, _, found, err := tx.LookupPK("kv", []Value{Int(k)})
+			if err != nil {
+				return err
+			}
+			switch {
+			case del && found:
+				return tx.DeleteByID("kv", id)
+			case del:
+				return nil
+			case found:
+				return tx.UpdateByID("kv", id, map[string]Value{"val": String_(fmt.Sprintf("u%d", k))})
+			default:
+				return tx.Insert("kv", map[string]Value{"id": Int(k), "val": String_(fmt.Sprintf("i%d", k))})
+			}
+		}
+		var opsA, opsB []func(tx *Tx) error
+		for i, b := range stream {
+			k := int64(b)
+			del := i%5 == 4
+			op := func(tx *Tx) error { return apply(tx, k, del) }
+			if groupB(k) {
+				opsB = append(opsB, op)
+			} else {
+				opsA = append(opsA, op)
+			}
+			// Execute immediately in stream order on the open txns.
+			if groupB(k) {
+				if err := apply(txB, k, del); err != nil {
+					t.Fatalf("txB op %d: %v", i, err)
+				}
+			} else if err := apply(txA, k, del); err != nil {
+				t.Fatalf("txA op %d: %v", i, err)
+			}
+		}
+		first, second := txA, txB
+		firstOps, secondOps := opsA, opsB
+		if commitBFirst {
+			first, second = txB, txA
+			firstOps, secondOps = opsB, opsA
+		}
+		if err := first.Commit(); err != nil {
+			t.Fatalf("first commit: %v", err)
+		}
+		// The second commit's base snapshot has moved: publish must
+		// rebase its changes onto the first's result.
+		if err := second.Commit(); err != nil {
+			t.Fatalf("second commit (rebase): %v", err)
+		}
+
+		// Reference: the same per-group op sequences applied serially in
+		// commit order under whole-table locks.
+		for _, ops := range [][]func(tx *Tx) error{firstOps, secondOps} {
+			tx := reference.BeginWrite("kv")
+			for i, op := range ops {
+				if err := op(tx); err != nil {
+					tx.Rollback()
+					t.Fatalf("reference op %d: %v", i, err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("reference commit: %v", err)
+			}
+		}
+		got, want := dumpKV(t, sharded), dumpKV(t, reference)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sharded snapshot diverges from sequential reference:\n got %v\nwant %v", got, want)
+		}
+	})
+}

@@ -224,7 +224,11 @@ func evalBinary(e *env, x sqlparser.Binary) (rdb.Value, error) {
 			}
 			v = lf / rf
 		}
-		if l.Kind == rdb.KInt && r.Kind == rdb.KInt && x.Op != sqlparser.OpDiv {
+		// Integer operands keep integer typing only when the float64
+		// result converts back exactly — on overflow the conversion is
+		// implementation-defined, and the SPARQL evaluator's identical
+		// guard promotes to double there, so the engines stay aligned.
+		if l.Kind == rdb.KInt && r.Kind == rdb.KInt && x.Op != sqlparser.OpDiv && v == float64(int64(v)) {
 			return rdb.Int(int64(v)), nil
 		}
 		return rdb.Float(v), nil

@@ -12,7 +12,14 @@ type table struct {
 	// their integrity checks read; see Database.Begin/BeginWrite.
 	// Readers (View and snapshot queries) never touch it — they work
 	// against the atomically published snapshot.
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	// shards partitions the write lock domain by primary-key range
+	// (shard.go): a keyed writer holds mu shared plus its key shards
+	// exclusive, a shared reader holds mu shared plus every shard
+	// shared, and a whole-table writer holds mu exclusive (conflicting
+	// with both without touching the shard locks). Acquisition order
+	// within a table is mu first, then shards ascending.
+	shards [NumShards]sync.RWMutex
 	schema *TableSchema
 }
 

@@ -41,8 +41,14 @@ type Tx struct {
 	// this transaction has written, keyed by lowercased name.
 	working map[string]*tableVersion
 	// changes records the logical row mutations for the WAL commit
-	// record, in execution order; only populated on a durable database.
+	// record (and for rebasing keyed commits), in execution order;
+	// populated on a durable database and for keyed transactions.
 	changes []walChange
+	// capture records whether changes are being collected.
+	capture bool
+	// owner is the transient-trie ownership token (ptree.go): nodes
+	// created under it are mutated in place until the next savepoint.
+	owner *ptOwner
 	// locks is the acquired lock set in acquisition order; mode maps a
 	// lowercased table name to its lock entry.
 	locks []lockPlanEntry
@@ -54,18 +60,44 @@ type Tx struct {
 // lifetime, keeping the table registry stable under it; the snapshot
 // is loaded after the locks are held, so every covered table's
 // version is the latest committed one and cannot move underneath.
+//
+// Per entry the order is: table lock, then shard locks ascending —
+// with tables already sorted by name this is one global lock order, so
+// transactions cannot deadlock however their shard sets overlap.
 func (db *Database) begin(plan []lockPlanEntry) *Tx {
 	mode := make(map[string]*lockPlanEntry, len(plan))
+	keyed := false
 	for i := range plan {
 		e := &plan[i]
-		if e.write {
-			e.t.mu.Lock()
-		} else {
+		switch {
+		case e.keyed():
+			keyed = true
 			e.t.mu.RLock()
+			for s := 0; s < NumShards; s++ {
+				if e.shards.Has(s) {
+					e.t.shards[s].Lock()
+				}
+			}
+		case e.write:
+			e.t.mu.Lock()
+		default:
+			// Shared readers must conflict with every keyed writer of
+			// the table: integrity checks may read any key range.
+			e.t.mu.RLock()
+			for s := 0; s < NumShards; s++ {
+				e.t.shards[s].RLock()
+			}
 		}
 		mode[e.key] = e
 	}
-	return &Tx{db: db, snap: db.snapshot(), locks: plan, mode: mode}
+	return &Tx{
+		db:      db,
+		snap:    db.snapshot(),
+		locks:   plan,
+		mode:    mode,
+		owner:   newOwner(),
+		capture: db.persist != nil || keyed,
+	}
 }
 
 // Begin starts a transaction that write-locks every table — the
@@ -98,6 +130,20 @@ func (db *Database) BeginWriteRead(writeTables, readTables []string) *Tx {
 	return db.begin(db.lockPlan(writeTables, readTables))
 }
 
+// BeginWriteShards is BeginWriteRead with per-table shard
+// declarations: a write table with a non-zero shard set is locked in
+// keyed mode (table lock shared, declared shards exclusive), so
+// writers of the same table on disjoint key ranges run in parallel.
+// The transaction may then touch only rows whose primary keys hash
+// into the declared shards; any other access to that table fails with
+// a LockError, which the compiled-plan pipeline treats as a stale plan
+// and retries on the whole-table path. A zero shard set falls back to
+// the whole-table exclusive lock exactly like BeginWriteRead.
+func (db *Database) BeginWriteShards(writes []TableShards, readTables []string) *Tx {
+	db.mu.RLock()
+	return db.begin(db.lockPlanKeyed(writes, readTables))
+}
+
 // release drops all table locks in reverse acquisition order plus the
 // catalog lock. Lock-free snapshot transactions hold neither.
 func (tx *Tx) release() {
@@ -106,9 +152,20 @@ func (tx *Tx) release() {
 	}
 	for i := len(tx.locks) - 1; i >= 0; i-- {
 		e := tx.locks[i]
-		if e.write {
+		switch {
+		case e.keyed():
+			for s := NumShards - 1; s >= 0; s-- {
+				if e.shards.Has(s) {
+					e.t.shards[s].Unlock()
+				}
+			}
+			e.t.mu.RUnlock()
+		case e.write:
 			e.t.mu.Unlock()
-		} else {
+		default:
+			for s := NumShards - 1; s >= 0; s-- {
+				e.t.shards[s].RUnlock()
+			}
 			e.t.mu.RUnlock()
 		}
 	}
@@ -128,9 +185,10 @@ func (tx *Tx) Commit() error {
 		return fmt.Errorf("rdb: transaction already finished")
 	}
 	tx.done = true
+	tx.owner = nil
 	var err error
 	if len(tx.working) > 0 {
-		err = tx.db.publish(tx.working, tx.changes)
+		err = tx.db.publish(tx.snap, tx.working, tx.changes)
 		tx.working = nil
 		tx.changes = nil
 	}
@@ -168,6 +226,11 @@ type Savepoint struct {
 // RollbackTo reverts to it. The group-commit scheduler brackets each
 // batched operation with one, giving per-operation atomicity inside a
 // shared transaction.
+//
+// Capturing retires the transaction's transient-ownership token: the
+// version pointers the savepoint holds become frozen, and subsequent
+// operations path-copy off them under a fresh token instead of
+// mutating them in place.
 func (tx *Tx) Savepoint() Savepoint {
 	sp := Savepoint{
 		working:  make(map[string]*tableVersion, len(tx.working)),
@@ -176,12 +239,14 @@ func (tx *Tx) Savepoint() Savepoint {
 	for k, v := range tx.working {
 		sp.working[k] = v
 	}
+	tx.owner = newOwner()
 	return sp
 }
 
 // RollbackTo reverts the transaction's uncommitted state to the
 // savepoint. The savepoint stays valid and can be rolled back to
-// again.
+// again (operations after the rollback run under a fresh transient
+// token, so they cannot mutate the captured versions).
 func (tx *Tx) RollbackTo(sp Savepoint) {
 	working := make(map[string]*tableVersion, len(sp.working))
 	for k, v := range sp.working {
@@ -189,6 +254,7 @@ func (tx *Tx) RollbackTo(sp Savepoint) {
 	}
 	tx.working = working
 	tx.changes = tx.changes[:sp.nchanges]
+	tx.owner = newOwner()
 }
 
 // View runs fn inside a lock-free read-only transaction pinned to the
@@ -265,15 +331,48 @@ func (tx *Tx) set(name string, v *tableVersion) {
 	tx.working[lowerName(name)] = v
 }
 
-// logChange captures one row mutation for the WAL commit record. The
-// row is the post-coercion slice the derived version stores — both
-// sides treat it as immutable, so no copy is needed. Ephemeral
-// databases skip capture entirely.
+// logChange captures one row mutation for the WAL commit record and
+// for rebasing keyed commits whose base version moved. The row is the
+// post-coercion slice the derived version stores — both sides treat it
+// as immutable, so no copy is needed. Ephemeral databases without
+// keyed locks skip capture entirely.
 func (tx *Tx) logChange(table string, op byte, id int64, row []Value) {
-	if tx.db.persist == nil {
+	if !tx.capture {
 		return
 	}
 	tx.changes = append(tx.changes, walChange{table: table, op: op, id: id, row: row})
+}
+
+// shardOfVal returns the shard the (coerced, encoded) single-column
+// primary key value of table version v hashes to.
+func shardOfVal(v *tableVersion, pk Value) int {
+	cv := coerce(pk, &v.schema.Columns[v.pkCols[0]])
+	return shardOfKey(encodeKey([]Value{cv}))
+}
+
+// keyCovered enforces keyed-lock coverage for a point access to the
+// row holding the encoded primary key encKey: on a keyed entry the
+// key's shard must be one of the declared shards. Whole-table and
+// shared entries cover every key.
+func (tx *Tx) keyCovered(e *lockPlanEntry, encKey string) error {
+	if e == nil || !e.keyed() {
+		return nil
+	}
+	if !e.shards.Has(shardOfKey(encKey)) {
+		return &LockError{Table: e.t.schema.Name, Keyed: true}
+	}
+	return nil
+}
+
+// wholeCovered enforces coverage for an access that may read any key
+// range of the table (scans, secondary-index probes): it is not
+// permitted under a keyed entry — concurrent writers own the other
+// shards.
+func (tx *Tx) wholeCovered(e *lockPlanEntry) error {
+	if e != nil && e.keyed() {
+		return &LockError{Table: e.t.schema.Name, Keyed: true}
+	}
+	return nil
 }
 
 // Schema returns the schema of the named table. Schemas are immutable
@@ -353,7 +452,10 @@ func (tx *Tx) Insert(tableName string, vals map[string]Value) error {
 	for i := range row {
 		row[i] = coerce(row[i], &s.Columns[i])
 	}
-	nv, id := v.insert(row)
+	if err := tx.keyCovered(tx.mode[lowerName(tableName)], v.pkKey(row)); err != nil {
+		return err
+	}
+	nv, id := v.insert(row, tx.owner)
 	tx.set(tableName, nv)
 	tx.logChange(s.Name, walInsert, id, row)
 	return nil
@@ -400,7 +502,16 @@ func (tx *Tx) UpdateByID(tableName string, id int64, set map[string]Value) error
 	for i := range row {
 		row[i] = coerce(row[i], &s.Columns[i])
 	}
-	tx.set(tableName, v.update(id, row))
+	// Keyed coverage: both the row's old and new key shards must be
+	// declared (the old key's index entries move too).
+	e := tx.mode[lowerName(tableName)]
+	if err := tx.keyCovered(e, v.pkKey(old)); err != nil {
+		return err
+	}
+	if err := tx.keyCovered(e, v.pkKey(row)); err != nil {
+		return err
+	}
+	tx.set(tableName, v.update(id, row, tx.owner))
 	tx.logChange(s.Name, walUpdate, id, row)
 	return nil
 }
@@ -422,7 +533,10 @@ func (tx *Tx) DeleteByID(tableName string, id int64) error {
 	if err := tx.checkRestrict(v, row, "delete"); err != nil {
 		return err
 	}
-	tx.set(tableName, v.remove(id))
+	if err := tx.keyCovered(tx.mode[lowerName(tableName)], v.pkKey(row)); err != nil {
+		return err
+	}
+	tx.set(tableName, v.remove(id, tx.owner))
 	tx.logChange(v.schema.Name, walDelete, id, nil)
 	return nil
 }
@@ -436,6 +550,9 @@ func (tx *Tx) Scan(tableName string, fn func(id int64, row []Value) bool) error 
 	}
 	v, err := tx.table(tableName, false)
 	if err != nil {
+		return err
+	}
+	if err := tx.wholeCovered(tx.mode[lowerName(tableName)]); err != nil {
 		return err
 	}
 	v.scan(fn)
@@ -455,6 +572,9 @@ func (tx *Tx) LookupPK(tableName string, pkVals []Value) (int64, []Value, bool, 
 	if len(pkVals) != len(v.pkCols) {
 		return 0, nil, false, fmt.Errorf("rdb: table %q has a %d-column primary key, got %d values",
 			v.schema.Name, len(v.pkCols), len(pkVals))
+	}
+	if err := tx.keyCovered(tx.mode[lowerName(tableName)], encodeKey(pkVals)); err != nil {
+		return 0, nil, false, err
 	}
 	id, ok := v.lookupPK(pkVals)
 	if !ok {
@@ -491,10 +611,19 @@ func (tx *Tx) validateRow(v *tableVersion, row []Value, selfID int64) error {
 			Column: strings.Join(s.PrimaryKey, ","), Value: row[v.pkCols[0]],
 			Detail: "duplicate primary key"}
 	}
-	// UNIQUE columns (NULLs exempt, as in SQL).
+	// UNIQUE columns (NULLs exempt, as in SQL). The duplicate probe
+	// reads the whole table through the secondary index, so it is not
+	// sound under a keyed lock (another shard's writer could insert
+	// the same value concurrently) — except for the primary-key column
+	// itself, whose uniqueness the pk check above already covers under
+	// the key's own shard lock.
+	selfEntry := tx.mode[lowerName(s.Name)]
 	for i := range s.Columns {
 		if !s.Columns[i].Unique || row[i].IsNull() {
 			continue
+		}
+		if selfEntry != nil && selfEntry.keyed() && !(len(v.pkCols) == 1 && v.pkCols[0] == i) {
+			return &LockError{Table: s.Name, Keyed: true}
 		}
 		if set, ok := v.matchSecondary(i, row[i]); ok {
 			dup := false
@@ -528,6 +657,13 @@ func (tx *Tx) validateRow(v *tableVersion, row []Value, selfID int64) error {
 			return fmt.Errorf("rdb: foreign key %s.%s references table %q with a composite primary key",
 				s.Name, fk.Column, fk.RefTable)
 		}
+		// If the referenced table is itself keyed-write-locked in this
+		// transaction (e.g. a self-referencing key), the existence
+		// check is only sound for keys in the declared shards.
+		if err := tx.keyCovered(tx.mode[lowerName(fk.RefTable)],
+			encodeKey([]Value{coerce(val, &ref.schema.Columns[ref.pkCols[0]])})); err != nil {
+			return err
+		}
 		if _, ok := ref.lookupPK([]Value{coerce(val, &ref.schema.Columns[ref.pkCols[0]])}); !ok {
 			return &ConstraintError{Kind: ViolationForeignKey, Table: s.Name, Column: fk.Column,
 				Value: val, RefTable: ref.schema.Name,
@@ -553,6 +689,11 @@ func (tx *Tx) checkRestrict(v *tableVersion, row []Value, action string) error {
 			if _, missing := err.(*TableError); missing {
 				continue
 			}
+			return err
+		}
+		// The probe reads the whole referencing table through its FK
+		// index — not sound if that table is keyed-write-locked here.
+		if err := tx.wholeCovered(tx.mode[back.table]); err != nil {
 			return err
 		}
 		ci := refTable.schema.ColumnIndex(back.column)
@@ -617,12 +758,18 @@ func (tx *Tx) Match(tableName string, eq map[string]Value) ([]int64, error) {
 	var out []int64
 	if pkCond >= 0 {
 		// The primary key holds at most one row: a direct point lookup.
+		if err := tx.keyCovered(tx.mode[lowerName(tableName)], encodeKey([]Value{conds[pkCond].v})); err != nil {
+			return nil, err
+		}
 		if id, ok := v.lookupPK([]Value{conds[pkCond].v}); ok {
 			if row, rok := v.row(id); rok && matches(row) {
 				out = append(out, id)
 			}
 		}
 		return out, nil
+	}
+	if err := tx.wholeCovered(tx.mode[lowerName(tableName)]); err != nil {
+		return nil, err
 	}
 	if indexed >= 0 {
 		set, _ := v.matchSecondary(conds[indexed].ci, conds[indexed].v)
@@ -695,12 +842,18 @@ func (tx *Tx) MatchColumn(tableName, column string, val Value, fn func(id int64,
 		return nil // NULL equals nothing
 	}
 	if len(v.pkCols) == 1 && v.pkCols[0] == ci {
+		if err := tx.keyCovered(tx.mode[lowerName(tableName)], encodeKey([]Value{cv})); err != nil {
+			return err
+		}
 		if id, ok := v.lookupPK([]Value{cv}); ok {
 			if row, rok := v.row(id); rok && Equal(row[ci], cv) {
 				fn(id, row)
 			}
 		}
 		return nil
+	}
+	if err := tx.wholeCovered(tx.mode[lowerName(tableName)]); err != nil {
+		return err
 	}
 	for i := range v.sec {
 		if v.sec[i].col == ci {

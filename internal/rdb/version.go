@@ -23,6 +23,12 @@ type tableVersion struct {
 	// sec holds one posting-list index per indexed column (FK and
 	// UNIQUE columns), ordered by column index.
 	sec []secIndex
+	// owner is the transient token this (uncommitted) derivation was
+	// made under; nil for committed/frozen versions. See ptree.go.
+	owner *ptOwner
+	// asOf is the snapshot version that published this table version;
+	// incremental checkpoints skip tables unchanged since the last one.
+	asOf uint64
 }
 
 // secIndex is a secondary index: encoded column value -> id set.
@@ -55,9 +61,15 @@ func newTableVersion(schema *TableSchema) *tableVersion {
 }
 
 // derive shallow-copies the version so the copy's fields (including
-// the sec slice) can be reassigned without touching the receiver.
-func (v *tableVersion) derive() *tableVersion {
+// the sec slice) can be reassigned without touching the receiver. A
+// version already owned by the caller's live token o is returned
+// as-is and mutated in place — the transient fast path.
+func (v *tableVersion) derive(o *ptOwner) *tableVersion {
+	if o != nil && v.owner == o {
+		return v
+	}
 	c := *v
+	c.owner = o
 	c.sec = make([]secIndex, len(v.sec))
 	copy(c.sec, v.sec)
 	return &c
@@ -84,9 +96,10 @@ func (v *tableVersion) row(id int64) ([]Value, bool) {
 }
 
 // insert derives a version with the row added and indexed; the caller
-// has validated it.
-func (v *tableVersion) insert(row []Value) (*tableVersion, int64) {
-	n := v.derive()
+// has validated it. o is the transient ownership token (nil for fully
+// persistent path copying).
+func (v *tableVersion) insert(row []Value, o *ptOwner) (*tableVersion, int64) {
+	n := v.derive(o)
 	id := n.nextID
 	n.nextID++
 	// Keep the AUTO_INCREMENT counter above every observed key, like
@@ -96,47 +109,47 @@ func (v *tableVersion) insert(row []Value) (*tableVersion, int64) {
 			n.nextAuto = val.I + 1
 		}
 	}
-	n.rows = n.rows.with(uint64(id), row)
-	n.pk = n.pk.with(n.pkKey(row), id)
+	n.rows = n.rows.withO(uint64(id), row, o)
+	n.pk = n.pk.withO(n.pkKey(row), id, o)
 	for si := range n.sec {
 		e := &n.sec[si]
-		e.idx = idxAdd(e.idx, encodeKey(row[e.col:e.col+1]), id)
+		e.idx = idxAdd(e.idx, encodeKey(row[e.col:e.col+1]), id, o)
 	}
 	return n, id
 }
 
 // update derives a version with the row replaced and the indexes
 // refreshed.
-func (v *tableVersion) update(id int64, newRow []Value) *tableVersion {
-	n := v.derive()
+func (v *tableVersion) update(id int64, newRow []Value, o *ptOwner) *tableVersion {
+	n := v.derive(o)
 	old, _ := n.rows.get(uint64(id))
 	oldKey, newKey := n.pkKey(old), n.pkKey(newRow)
 	if oldKey != newKey {
-		n.pk = n.pk.without(oldKey)
-		n.pk = n.pk.with(newKey, id)
+		n.pk = n.pk.withoutO(oldKey, o)
+		n.pk = n.pk.withO(newKey, id, o)
 	}
 	for si := range n.sec {
 		e := &n.sec[si]
 		ok, nk := encodeKey(old[e.col:e.col+1]), encodeKey(newRow[e.col:e.col+1])
 		if ok != nk {
-			e.idx = idxRemove(e.idx, ok, id)
-			e.idx = idxAdd(e.idx, nk, id)
+			e.idx = idxRemove(e.idx, ok, id, o)
+			e.idx = idxAdd(e.idx, nk, id, o)
 		}
 	}
-	n.rows = n.rows.with(uint64(id), newRow)
+	n.rows = n.rows.withO(uint64(id), newRow, o)
 	return n
 }
 
 // remove derives a version without the row and its index entries.
-func (v *tableVersion) remove(id int64) *tableVersion {
-	n := v.derive()
+func (v *tableVersion) remove(id int64, o *ptOwner) *tableVersion {
+	n := v.derive(o)
 	row, _ := n.rows.get(uint64(id))
-	n.pk = n.pk.without(n.pkKey(row))
+	n.pk = n.pk.withoutO(n.pkKey(row), o)
 	for si := range n.sec {
 		e := &n.sec[si]
-		e.idx = idxRemove(e.idx, encodeKey(row[e.col:e.col+1]), id)
+		e.idx = idxRemove(e.idx, encodeKey(row[e.col:e.col+1]), id, o)
 	}
-	n.rows = n.rows.without(uint64(id))
+	n.rows = n.rows.withoutO(uint64(id), o)
 	return n
 }
 
@@ -160,21 +173,21 @@ func (v *tableVersion) matchSecondary(colIdx int, val Value) (idset, bool) {
 	return idset{}, false
 }
 
-func idxAdd(idx pmap[idset], key string, id int64) pmap[idset] {
+func idxAdd(idx pmap[idset], key string, id int64, o *ptOwner) pmap[idset] {
 	set, _ := idx.get(key)
-	return idx.with(key, set.with(uint64(id), struct{}{}))
+	return idx.withO(key, set.withO(uint64(id), struct{}{}, o), o)
 }
 
-func idxRemove(idx pmap[idset], key string, id int64) pmap[idset] {
+func idxRemove(idx pmap[idset], key string, id int64, o *ptOwner) pmap[idset] {
 	set, ok := idx.get(key)
 	if !ok {
 		return idx
 	}
-	set = set.without(uint64(id))
+	set = set.withoutO(uint64(id), o)
 	if set.len() == 0 {
-		return idx.without(key)
+		return idx.withoutO(key, o)
 	}
-	return idx.with(key, set)
+	return idx.withO(key, set, o)
 }
 
 // dbSnapshot is one immutable, committed version of the whole

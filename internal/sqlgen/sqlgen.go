@@ -165,6 +165,48 @@ const (
 
 var cmpOpText = [...]string{" = ", " <> ", " < ", " <= ", " > ", " >= "}
 
+// ArithOp is the operator of an inner ArithSpec node. The zero value
+// marks a leaf.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	ArithAdd ArithOp = iota + 1
+	ArithSub
+	ArithMul
+	ArithDiv
+)
+
+var arithOpText = [...]string{"", " + ", " - ", " * ", " / "}
+
+// ArithSpec is one operand of an arithmetic comparison: a qualified
+// column reference (Column set), a constant (otherwise), or — when Op
+// is non-zero — the combination of Left and Right under Op. Inner
+// nodes render fully parenthesized, so the text re-parses to exactly
+// the tree the plan lowers directly (the parser drops parentheses).
+type ArithSpec struct {
+	Column      string
+	Value       rdb.Value
+	Op          ArithOp
+	Left, Right *ArithSpec
+}
+
+func writeArith(b *strings.Builder, a *ArithSpec) {
+	if a.Op != 0 {
+		b.WriteString("(")
+		writeArith(b, a.Left)
+		b.WriteString(arithOpText[a.Op])
+		writeArith(b, a.Right)
+		b.WriteString(")")
+		return
+	}
+	if a.Column != "" {
+		b.WriteString(a.Column)
+		return
+	}
+	b.WriteString(a.Value.String())
+}
+
 // WhereSpec is one condition: either column-vs-value (Value set) or
 // column-vs-column (OtherColumn set), compared with Op.
 type WhereSpec struct {
@@ -186,6 +228,11 @@ type WhereSpec struct {
 	// disjunction of its elements (the other fields are ignored). The
 	// elements themselves must be simple conditions, not disjunctions.
 	Or []WhereSpec
+	// LeftExpr/RightExpr, when non-nil, replace the Column/Value
+	// operands with arithmetic expressions compared under Op
+	// (FILTER-arithmetic lowering; Column, Value and OtherColumn are
+	// ignored).
+	LeftExpr, RightExpr *ArithSpec
 }
 
 // writeCond renders one condition; disjunctions get parentheses so
@@ -200,6 +247,12 @@ func writeCond(b *strings.Builder, w WhereSpec) {
 			writeCond(b, alt)
 		}
 		b.WriteString(")")
+		return
+	}
+	if w.LeftExpr != nil {
+		writeArith(b, w.LeftExpr)
+		b.WriteString(cmpOpText[w.Op])
+		writeArith(b, w.RightExpr)
 		return
 	}
 	b.WriteString(w.Column)

@@ -44,8 +44,9 @@ type DifferentialStream struct {
 // structural surface: OPTIONAL attribute reads and foreign-key hops
 // (alone and under FILTER), UNION (bare and under ORDER BY + LIMIT),
 // FILTER disjunctions, and COUNT / SUM / AVG / MIN / MAX with and
-// without GROUP BY. Non-comparison FILTER shapes (STR) keep
-// exercising the virtual-view fallback on both mediator paths.
+// without GROUP BY. Non-comparison FILTER shapes (STR) and arithmetic
+// over undatatyped attributes keep exercising the virtual-view
+// fallback on both mediator paths.
 // LIMIT/OFFSET regimes always order by a unique key so the selected
 // window is engine-independent — the solution-order contract only
 // binds the two mediator paths, not the native evaluator. Aggregate
@@ -56,7 +57,7 @@ func QueryStream(seed int64, n, maxAuthor int) []string {
 	var out []string
 	for len(out) < n {
 		a := rng.Intn(maxAuthor+2) + 1 // beyond-universe ids probe the miss paths
-		switch rng.Intn(19) {
+		switch rng.Intn(20) {
 		case 0: // constant-subject point SELECT (pk probe)
 			out = append(out, fmt.Sprintf(`%s
 SELECT ?m WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, a))
@@ -125,6 +126,12 @@ SELECT (COUNT(*) AS ?n) (SUM(?y) AS ?s) (AVG(?y) AS ?a) (MIN(?y) AS ?lo) (MAX(?y
 				out = append(out, fmt.Sprintf(`%s
 SELECT (COUNT(?x) AS ?n) WHERE { ?x foaf:family_name "Diff%d" . }`, Prologue, a))
 			}
+		case 18: // arithmetic FILTER: pubYear decodes as a plain literal,
+			// so the lowering refuses (no numeric datatype proof) and both
+			// mediator paths must fall back to identical virtual-view
+			// evaluation, where AsFloat parses the lexical forms.
+			out = append(out, fmt.Sprintf(`%s
+SELECT ?p WHERE { ?p ont:pubYear ?y . FILTER (?y + %d > %d) }`, Prologue, rng.Intn(5), 2005+rng.Intn(10)))
 		default: // GROUP BY partitions (team fan-out, year histogram)
 			if rng.Intn(2) == 0 {
 				out = append(out, Prologue+`

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race cover crash-recovery metamorphic fuzz-smoke bench bench-smoke bench-json clean
+.PHONY: ci fmt-check vet build test race cover crash-recovery metamorphic fuzz-smoke load-smoke bench bench-smoke bench-json clean
 
-ci: fmt-check vet build race cover crash-recovery metamorphic fuzz-smoke bench-smoke
+ci: fmt-check vet build race cover crash-recovery metamorphic fuzz-smoke load-smoke bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -64,6 +64,12 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzNormalizeShape -fuzztime 10s -run '^$$' ./internal/core
 	$(GO) test -fuzz FuzzStatsInvariant -fuzztime 10s -run '^$$' ./internal/rdb
 	$(GO) test -fuzz FuzzShardedPublish -fuzztime 10s -run '^$$' ./internal/rdb
+
+# The HTTP load gate: the closed-loop harness (mixed reads/writes over
+# a live endpoint with shedding and deadlines armed) must come back
+# clean at low load — percentiles populated, nothing shed or timed out.
+load-smoke:
+	$(GO) test -run TestLoadSmoke -v .
 
 # One iteration of every benchmark: catches bit-rot without timing.
 bench-smoke:

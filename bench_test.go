@@ -10,7 +10,10 @@
 package ontoaccess
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,10 +21,13 @@ import (
 	"time"
 
 	"ontoaccess/internal/core"
+	"ontoaccess/internal/endpoint"
 	"ontoaccess/internal/r3m"
 	"ontoaccess/internal/rdb"
 	"ontoaccess/internal/rdb/sqlexec"
 	"ontoaccess/internal/rdb/sqlparser"
+	"ontoaccess/internal/rdb/wal"
+	"ontoaccess/internal/rdf"
 	"ontoaccess/internal/sparql"
 	"ontoaccess/internal/triplestore"
 	"ontoaccess/internal/update"
@@ -1280,6 +1286,234 @@ SELECT ?y (COUNT(?p) AS ?n) (SUM(?y) AS ?s) WHERE { ?p ont:pubYear ?y . } GROUP 
 			}
 		}
 	})
+}
+
+// discardJSONSink is the minimal core.StreamSink over the incremental
+// SPARQL-results-JSON writer — what the HTTP endpoint does per
+// request, minus the socket.
+type discardJSONSink struct {
+	w    io.Writer
+	jw   *sparql.ResultsJSONWriter
+	rows int
+}
+
+func (s *discardJSONSink) Head(vars []string) error {
+	jw, err := sparql.NewResultsJSONWriter(s.w, vars)
+	if err != nil {
+		return err
+	}
+	s.jw = jw
+	return nil
+}
+
+func (s *discardJSONSink) Solution(bnd sparql.Binding) error {
+	s.rows++
+	return s.jw.WriteSolution(bnd)
+}
+
+func (s *discardJSONSink) Ask(bool) error         { return fmt.Errorf("unexpected ASK result") }
+func (s *discardJSONSink) Graph(*rdf.Graph) error { return fmt.Errorf("unexpected graph result") }
+
+func (s *discardJSONSink) close() error {
+	if s.jw == nil {
+		return nil
+	}
+	return s.jw.Close()
+}
+
+// BenchmarkB18_StreamedSelect compares the seed's buffered SELECT
+// delivery (materialize every solution, render the complete JSON
+// document, write it out) against the end-to-end streaming pipeline
+// (QueryStream cursor -> reused binding -> incremental JSON writer)
+// on a 100k-row result (experiment B18). Both sinks write to
+// io.Discard, so bytes/op isolates response-path buffering: the
+// streamed path's allocations stay flat per row while the buffered
+// path retains the whole solution set plus the rendered document.
+func BenchmarkB18_StreamedSelect(b *testing.B) {
+	const authors = 100_000
+	m := newMediator(b, core.Options{})
+	exec(b, m, seedTeams(1, 20))
+	for i := 0; i < authors; i += 500 {
+		var sb strings.Builder
+		sb.WriteString(workload.Prologue)
+		sb.WriteString("\nINSERT DATA {\n")
+		for j := i + 1; j <= i+500; j++ {
+			fmt.Fprintf(&sb, "  ex:author%d foaf:title \"Dr\" ; foaf:firstName \"F%d\" ; foaf:family_name \"L%d\" ; foaf:mbox <mailto:a%d@example.org> ; ont:team ex:team%d .\n",
+				j, j, j, j, j%20+1)
+		}
+		sb.WriteString("}")
+		exec(b, m, sb.String())
+	}
+	query := workload.Prologue + `SELECT ?x ?m WHERE { ?x foaf:mbox ?m . }`
+
+	// Pin byte-identical output before timing anything.
+	res, err := m.Query(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Solutions) != authors {
+		b.Fatalf("query returned %d rows, want %d", len(res.Solutions), authors)
+	}
+	want, err := sparql.ResultsJSON(res.Vars, res.Solutions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := &discardJSONSink{w: &buf}
+	if err := m.QueryStream(query, sink); err != nil {
+		b.Fatal(err)
+	}
+	if err := sink.close(); err != nil {
+		b.Fatal(err)
+	}
+	if sink.rows != authors {
+		b.Fatalf("streamed %d rows, want %d", sink.rows, authors)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		b.Fatalf("streamed JSON differs from buffered (%d vs %d bytes)", buf.Len(), len(want))
+	}
+
+	b.Run("Buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := m.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data, err := sparql.ResultsJSON(res.Vars, res.Solutions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Discard.Write(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Streamed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := &discardJSONSink{w: io.Discard}
+			if err := m.QueryStream(query, sink); err != nil {
+				b.Fatal(err)
+			}
+			if err := sink.close(); err != nil {
+				b.Fatal(err)
+			}
+			if sink.rows != authors {
+				b.Fatalf("streamed %d rows, want %d", sink.rows, authors)
+			}
+		}
+	})
+}
+
+// BenchmarkB19_WALRecovery measures crash-recovery replay of a
+// multi-segment WAL (experiment B19): the sequential single-pass
+// reader against the segment-parallel decode + CRC verification that
+// rdb.Open now uses (the apply order is identical — only the I/O and
+// checksum work fans out). On GOMAXPROCS=1 hosts ReplayParallel
+// degrades to the sequential path, so the two sub-benchmarks tie.
+func BenchmarkB19_WALRecovery(b *testing.B) {
+	const (
+		segments = 8
+		perSeg   = 8000
+		frameLen = 512
+	)
+	dir := b.TempDir()
+	l, err := wal.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, frameLen)
+	for s := 0; s < segments; s++ {
+		if s > 0 {
+			if _, err := l.Rotate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < perSeg; i++ {
+			payload[0] = byte(i)
+			if err := l.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, parallel bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l, err := wal.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var n, total int
+			fn := func(p []byte) error { n++; total += len(p); return nil }
+			var torn bool
+			if parallel {
+				torn, err = l.ReplayParallel(fn)
+			} else {
+				torn, err = l.Replay(fn)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if torn || n != segments*perSeg || total != segments*perSeg*frameLen {
+				b.Fatalf("replayed %d frames (%d bytes, torn=%v), want %d clean", n, total, torn, segments*perSeg)
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Sequential", func(b *testing.B) { run(b, false) })
+	b.Run("Parallel", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkE9_HTTPClosedLoopLoad drives the full HTTP stack — the
+// hardened endpoint behind a real TCP listener — with the closed-loop
+// mixed read/write harness and reports end-to-end latency percentiles,
+// sustained throughput, and the process's peak RSS (experiment E9).
+// b.N is requests per worker; the traffic mix is 20% MODIFY, the rest
+// point lookups (JSON and table), full-scan SELECTs and ASKs.
+func BenchmarkE9_HTTPClosedLoopLoad(b *testing.B) {
+	const authorUniverse = 200
+	m := newMediator(b, core.Options{})
+	srv := endpoint.NewWithOptions(m, endpoint.Options{
+		MaxInFlight:    64,
+		RequestTimeout: 30 * time.Second,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if err := workload.SeedLoad(ts.URL, authorUniverse, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := workload.RunLoad(workload.LoadOptions{
+		BaseURL:           ts.URL,
+		Workers:           8,
+		RequestsPerWorker: b.N,
+		WriteFraction:     0.2,
+		Authors:           authorUniverse,
+		Seed:              42,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Errors > 0 || res.Shed > 0 || res.TimedOut > 0 {
+		b.Fatalf("load run: %d errors, %d shed, %d timed out of %d requests",
+			res.Errors, res.Shed, res.TimedOut, res.Requests)
+	}
+	b.ReportMetric(float64(res.P50)/1e6, "p50-ms")
+	b.ReportMetric(float64(res.P95)/1e6, "p95-ms")
+	b.ReportMetric(float64(res.P99)/1e6, "p99-ms")
+	b.ReportMetric(res.Throughput, "req/sec")
+	b.ReportMetric(res.PeakRSSMB, "peak-rss-mb")
 }
 
 // ---- request builders ----

@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ontoaccess/internal/core"
 	"ontoaccess/internal/endpoint"
@@ -39,6 +40,11 @@ func main() {
 	mappingPath := flag.String("mapping", "", "R3M mapping Turtle file (default: the paper's Table 1 mapping)")
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty runs memory-only")
 	seed := flag.Bool("seed", false, "preload the paper's Listing 15 data set")
+	maxInFlight := flag.Int("max-inflight", 256, "bound on concurrent /sparql, /export and /update requests; excess requests get fast 503s (0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline on the gated routes (0 = none)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: slow request senders are cut off (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout: slow response readers cannot hold a worker forever (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = none)")
 	flag.Parse()
 
 	m, recovered, err := buildMediator(*ddlPath, *mappingPath, *dataDir)
@@ -69,9 +75,23 @@ func main() {
 		}
 		os.Exit(0)
 	}()
-	srv := endpoint.New(m)
+	srv := endpoint.NewWithOptions(m, endpoint.Options{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *requestTimeout,
+	})
+	// The server-level timeouts defend the accept loop: ReadTimeout
+	// bounds slow senders, WriteTimeout bounds slow readers (a stalled
+	// client gets its connection closed instead of pinning a streaming
+	// response worker), IdleTimeout reaps dead keep-alives.
+	hs := &http.Server{
+		Addr:         *addr,
+		Handler:      srv,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
 	log.Printf("OntoAccess endpoint listening on %s (tables: %v)", *addr, m.DB().TableNames())
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := hs.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}
 }

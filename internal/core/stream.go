@@ -1,0 +1,163 @@
+package core
+
+import (
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlexec"
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sparql"
+)
+
+// StreamSink receives a query result incrementally. Exactly one of
+// the three shapes arrives per query: Head-then-Solutions for SELECT,
+// Ask for ASK, Graph for CONSTRUCT. Head is called exactly once,
+// before the first Solution, including for empty results.
+//
+// The Binding passed to Solution is only valid for the duration of
+// the call — the streaming decode path reuses one map across rows to
+// keep per-row allocations flat. Sinks that retain solutions must
+// copy them.
+type StreamSink interface {
+	Head(vars []string) error
+	Solution(b sparql.Binding) error
+	Ask(b bool) error
+	Graph(g *rdf.Graph) error
+}
+
+// QueryStream evaluates a SPARQL query and delivers the result
+// through sink instead of materializing a QueryResult. Result
+// content, order, and error outcomes match Query on the same source.
+//
+// Compiled non-UNION SELECT plans stream end-to-end: the sqlexec
+// cursor pins one MVCC snapshot for its whole lifetime (lock-free
+// readers never block writers, so a cursor held open across a
+// concurrent MODIFY stream is safe and sees a single consistent
+// version), each row decodes straight into a reused binding, and the
+// sink sees solutions as the executor produces them — O(1) result
+// buffering regardless of result size. Plans whose solution tail must
+// see every row first (ORDER BY, aggregation, DISTINCT-after-sort)
+// materialize inside the cursor exactly as Query does and replay.
+//
+// Error contract: before anything reaches the sink, errors behave as
+// in Query (compiled-path failures silently fall back to the
+// uncompiled path; its failure is authoritative). Once the sink has
+// received Head, an execution error aborts the stream mid-way and is
+// returned as-is — the sink has seen a valid prefix and the caller
+// owns the truncation semantics (the HTTP endpoint pins them; see
+// DESIGN.md §10).
+//
+// All other shapes — ASK, CONSTRUCT, UNION, uncompiled fallbacks, and
+// every query when Options.DisablePlanCache is set — evaluate through
+// the existing machinery and replay the materialized result through
+// the sink, so QueryStream is a strict superset interface over Query.
+func (m *Mediator) QueryStream(src string, sink StreamSink) error {
+	if m.opts.DisablePlanCache {
+		out, err := m.Query(src)
+		if err != nil {
+			return err
+		}
+		return replayResult(out, sink)
+	}
+	cq, hit := m.qparses.get(src)
+	if !hit {
+		q, err := sparql.ParseQuery(src)
+		if err != nil {
+			return err
+		}
+		cq = m.buildCachedQuery(src, q)
+		m.qparses.put(src, cq)
+	}
+	if cq.bound != nil && cq.plan.form == sparql.FormSelect && len(cq.plan.union) == 0 {
+		if handled, err := m.streamCompiled(cq, sink); handled {
+			m.queryCompiled.Add(1)
+			return err
+		}
+	} else if out, err, handled := m.runCachedQuery(cq); handled {
+		m.queryCompiled.Add(1)
+		if err != nil {
+			return err
+		}
+		return replayResult(out, sink)
+	}
+	m.queryFallback.Add(1)
+	out, err := m.queryUncompiled(cq.q)
+	if err != nil {
+		return err
+	}
+	return replayResult(out, sink)
+}
+
+// streamCompiled runs a bound non-UNION SELECT plan as a cursor over
+// one pinned snapshot, decoding rows into the sink on the fly.
+// handled is false when execution failed before anything reached the
+// sink — the uncompiled path is then authoritative, mirroring
+// runCachedQuery's silent fallback. Head is deferred until the first
+// surviving row (or successful completion), so head-of-stream
+// failures still fall back invisibly.
+func (m *Mediator) streamCompiled(cq *cachedQuery, sink StreamSink) (handled bool, err error) {
+	plan, bq := cq.plan, cq.bound
+	st := &SelectTranslation{SQL: bq.sql, Vars: plan.sel.vars, bindings: plan.sel.bindings, m: m}
+	delivered := false
+	b := make(sparql.Binding, len(st.bindings))
+	verr := m.db.View(func(tx *rdb.Tx) error {
+		return sqlexec.SelectFunc(tx, bq.sel,
+			func([]string) error { return nil },
+			func(row []rdb.Value) (bool, error) {
+				clear(b)
+				for i, vb := range st.bindings {
+					v := row[i]
+					if v.IsNull() {
+						if vb.nullable {
+							continue // OPTIONAL/aggregate NULL: variable stays unbound
+						}
+						return true, nil // non-nullable NULL: row yields no solution
+					}
+					term, derr := st.decodeValue(tx, vb, v)
+					if derr != nil {
+						return false, derr
+					}
+					b[vb.name] = term
+				}
+				if !delivered {
+					delivered = true
+					if herr := sink.Head(st.Vars); herr != nil {
+						return false, herr
+					}
+				}
+				if serr := sink.Solution(b); serr != nil {
+					return false, serr
+				}
+				return true, nil
+			})
+	})
+	if verr != nil {
+		if !delivered {
+			return false, nil
+		}
+		return true, verr
+	}
+	if !delivered {
+		return true, sink.Head(st.Vars)
+	}
+	return true, nil
+}
+
+// replayResult feeds an already-materialized QueryResult through a
+// sink — the bridge for every non-streaming execution path.
+func replayResult(out *QueryResult, sink StreamSink) error {
+	switch out.Form {
+	case sparql.FormAsk:
+		return sink.Ask(out.Bool)
+	case sparql.FormConstruct:
+		return sink.Graph(out.Graph)
+	default:
+		if err := sink.Head(out.Vars); err != nil {
+			return err
+		}
+		for _, b := range out.Solutions {
+			if err := sink.Solution(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ontoaccess/internal/rdf"
+	"ontoaccess/internal/sparql"
+)
+
+// collectSink copies each solution's ?t value; a small per-row sleep
+// stretches the cursor's lifetime so concurrent writers overlap it.
+type collectSink struct {
+	vars   []string
+	titles []string
+	delay  time.Duration
+}
+
+func (s *collectSink) Head(vars []string) error { s.vars = vars; return nil }
+func (s *collectSink) Solution(b sparql.Binding) error {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	t, ok := b["t"]
+	if !ok {
+		return fmt.Errorf("solution lacks ?t: %v", b)
+	}
+	s.titles = append(s.titles, t.Value) // copy: the binding is reused
+	return nil
+}
+func (s *collectSink) Ask(bool) error         { return fmt.Errorf("unexpected ASK") }
+func (s *collectSink) Graph(*rdf.Graph) error { return fmt.Errorf("unexpected graph") }
+
+// TestQueryStreamSnapshotUnderModifyStream holds streaming cursors
+// open across a concurrent MODIFY stream (run it with -race). The
+// writer rewrites every person's title to "S<k>" in one MODIFY per
+// step; because a cursor pins one MVCC snapshot for its whole
+// lifetime, every row of one stream must carry the same serial, and
+// serials must be non-decreasing across consecutive streams.
+func TestQueryStreamSnapshotUnderModifyStream(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	const authors = 40
+	var sb strings.Builder
+	sb.WriteString(paperPrologue)
+	sb.WriteString("INSERT DATA {\n")
+	for i := 1; i <= authors; i++ {
+		fmt.Fprintf(&sb, "  ex:author%d foaf:title \"S0\" ; foaf:family_name \"L%d\" ; foaf:mbox <mailto:a%d@example.org> ; ont:team ex:team5 .\n", i, i, i)
+	}
+	sb.WriteString("}")
+	mustExec(t, m, sb.String())
+
+	// The writer keeps rewriting titles until the reader has finished
+	// its streams, so every stream is held open across live MODIFYs.
+	const wantStreams = 5
+	var readerDone atomic.Bool
+	var steps atomic.Int64
+	writerErr := make(chan error, 1)
+	go func() {
+		for k := 1; !readerDone.Load(); k++ {
+			req := fmt.Sprintf(`%s
+MODIFY
+DELETE { ?x foaf:title ?t . }
+INSERT { ?x foaf:title "S%d" . }
+WHERE { ?x foaf:title ?t . }`, paperPrologue, k)
+			if _, err := m.ExecuteString(req); err != nil {
+				writerErr <- fmt.Errorf("step %d: %w", k, err)
+				return
+			}
+			steps.Store(int64(k))
+		}
+		writerErr <- nil
+	}()
+	defer func() {
+		readerDone.Store(true)
+		if err := <-writerErr; err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	query := paperPrologue + `SELECT ?x ?t WHERE { ?x foaf:title ?t . }`
+	lastSerial := -1
+	streams := 0
+	distinct := map[int]bool{}
+	for streams < wantStreams {
+		sink := &collectSink{delay: 100 * time.Microsecond}
+		if err := m.QueryStream(query, sink); err != nil {
+			t.Fatalf("stream %d: %v", streams, err)
+		}
+		if len(sink.titles) != authors {
+			t.Fatalf("stream %d: %d rows, want %d", streams, len(sink.titles), authors)
+		}
+		serial, err := strconv.Atoi(strings.TrimPrefix(sink.titles[0], "S"))
+		if err != nil {
+			t.Fatalf("stream %d: bad title %q", streams, sink.titles[0])
+		}
+		for i, title := range sink.titles {
+			if title != sink.titles[0] {
+				t.Fatalf("stream %d row %d: title %q differs from row 0's %q — cursor read across snapshots",
+					streams, i, title, sink.titles[0])
+			}
+		}
+		if serial < lastSerial {
+			t.Fatalf("stream %d: serial went backwards (%d after %d)", streams, serial, lastSerial)
+		}
+		lastSerial = serial
+		distinct[serial] = true
+		streams++
+	}
+	t.Logf("%d streams over %d MODIFY steps observed %d distinct snapshots",
+		streams, steps.Load(), len(distinct))
+}

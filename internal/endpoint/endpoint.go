@@ -18,9 +18,9 @@
 //	GET /export   — the full RDF view as Turtle or N-Triples.
 //	GET /mapping  — the active R3M mapping as Turtle.
 //	GET /healthz  — liveness probe with row counts, the published
-//	                snapshot version, group-commit statistics, and
+//	                snapshot version, group-commit statistics,
 //	                plan-cache effectiveness (update, MODIFY and
-//	                query plans).
+//	                query plans) and endpoint load counters.
 //
 // Request handling is fully concurrent: queries and exports evaluate
 // against lock-free database snapshots (they never wait for writers),
@@ -30,14 +30,28 @@
 // compiled query plans: the shape is translated once, re-executions
 // bind parameters and stream the index-aware SELECT off the pinned
 // snapshot.
+//
+// Responses stream: SELECT rows flow from the executor's cursor
+// through incremental serializers into a pooled bufio.Writer, so an
+// N-row result costs O(1) response memory instead of two full
+// payload copies. Load hardening rides the same surface — a bounded
+// in-flight semaphore sheds excess requests with fast 503s, and a
+// per-request context deadline turns runaway queries into 504s (see
+// Options and DESIGN.md §10 for the mid-stream error contract).
 package endpoint
 
 import (
+	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"ontoaccess/internal/core"
 	"ontoaccess/internal/ntriples"
@@ -46,26 +60,150 @@ import (
 	"ontoaccess/internal/turtle"
 )
 
+// Options tunes the endpoint's load hardening. The zero value keeps
+// the endpoint fully permissive (no shedding, no deadlines) — what
+// New installs and what unit tests use.
+type Options struct {
+	// MaxInFlight bounds concurrently served /sparql, /export and
+	// /update requests. Excess requests are shed immediately with
+	// 503 + Retry-After instead of queueing. 0 means unlimited.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline on the same routes;
+	// a request that exceeds it fails with 504 (or a pinned truncation
+	// if the response body is already underway). 0 means none.
+	RequestTimeout time.Duration
+}
+
 // Server wraps a mediator in HTTP handlers.
 type Server struct {
 	mediator *core.Mediator
 	mux      *http.ServeMux
+	opts     Options
+	sem      chan struct{}
+
+	inFlight  atomic.Int64
+	shed      atomic.Uint64
+	timedOut  atomic.Uint64
+	streamed  atomic.Uint64
+	buffered  atomic.Uint64
+	truncated atomic.Uint64
+	bytes     atomic.Uint64
 }
 
-// New builds the endpoint around a mediator.
+// Stats is a point-in-time snapshot of the endpoint's load counters,
+// also printed by /healthz.
+type Stats struct {
+	// InFlight is the number of requests currently being served on
+	// the gated routes (/sparql, /export, /update).
+	InFlight int64
+	// Shed counts requests rejected with 503 by the in-flight bound.
+	Shed uint64
+	// TimedOut counts requests that hit the per-request deadline.
+	TimedOut uint64
+	// Streamed counts responses whose body was produced incrementally
+	// (SELECT rows, CONSTRUCT/export graphs); Buffered counts
+	// whole-payload bodies (ASK, update feedback reports).
+	Streamed uint64
+	Buffered uint64
+	// Truncated counts streamed responses cut short after their first
+	// byte reached the client (mid-stream failure or timeout).
+	Truncated uint64
+	// BytesWritten totals response bytes on the gated routes.
+	BytesWritten uint64
+}
+
+// New builds the endpoint around a mediator with permissive Options.
 func New(m *core.Mediator) *Server {
-	s := &Server{mediator: m, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/update", s.handleUpdate)
-	s.mux.HandleFunc("/sparql", s.handleQuery)
-	s.mux.HandleFunc("/export", s.handleExport)
+	return NewWithOptions(m, Options{})
+}
+
+// NewWithOptions builds the endpoint with explicit load hardening.
+func NewWithOptions(m *core.Mediator, opts Options) *Server {
+	s := &Server{mediator: m, mux: http.NewServeMux(), opts: opts}
+	if opts.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opts.MaxInFlight)
+	}
+	s.mux.HandleFunc("/update", s.limited(s.handleUpdate))
+	s.mux.HandleFunc("/sparql", s.limited(s.handleQuery))
+	s.mux.HandleFunc("/export", s.limited(s.handleExport))
 	s.mux.HandleFunc("/mapping", s.handleMapping)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }
 
+// Stats snapshots the endpoint load counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		InFlight:     s.inFlight.Load(),
+		Shed:         s.shed.Load(),
+		TimedOut:     s.timedOut.Load(),
+		Streamed:     s.streamed.Load(),
+		Buffered:     s.buffered.Load(),
+		Truncated:    s.truncated.Load(),
+		BytesWritten: s.bytes.Load(),
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// limited applies the endpoint's load gates around a handler: the
+// non-blocking in-flight semaphore (full ⇒ immediate 503, so overload
+// turns into fast rejections instead of unbounded queueing), the
+// per-request deadline, and response byte accounting. /mapping and
+// /healthz stay ungated so operators can observe a saturated server.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "server overloaded; request shed", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		if s.opts.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		cw := &countingResponseWriter{ResponseWriter: w}
+		defer func() { s.bytes.Add(cw.n) }()
+		h(cw, r)
+	}
+}
+
+// countingResponseWriter tracks how many body bytes actually reached
+// the client connection — the commit point for the mid-stream error
+// contract (nothing sent yet ⇒ the buffered staging can be dropped
+// and a clean error status returned).
+type countingResponseWriter struct {
+	http.ResponseWriter
+	n uint64
+}
+
+func (c *countingResponseWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// committed reports whether any body byte reached the client.
+func (c *countingResponseWriter) committed() bool { return c.n > 0 }
+
+// bufPool recycles the per-response staging buffers of the streaming
+// serializers; 32 KiB batches tiny row writes into few socket writes
+// and keeps small responses entirely un-flushed until the handler
+// knows they succeeded.
+var bufPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) },
 }
 
 const turtleMIME = "text/turtle; charset=utf-8"
@@ -87,6 +225,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		// client needs is in the RDF feedback report.
 		w.WriteHeader(http.StatusUnprocessableEntity)
 	}
+	s.buffered.Add(1)
 	if res != nil && res.Report != nil {
 		io.WriteString(w, res.Report.Turtle())
 		return
@@ -140,44 +279,154 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing 'query' parameter", http.StatusBadRequest)
 		return
 	}
-	res, err := s.mediator.Query(query)
-	if err != nil {
+	wantJSON := strings.Contains(r.Header.Get("Accept"), "application/sparql-results+json") ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+
+	bw := bufPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Reset(io.Discard)
+		bufPool.Put(bw)
+	}()
+	sink := &querySink{w: w, bw: bw, ctx: r.Context(), wantJSON: wantJSON}
+	if err := s.mediator.QueryStream(query, sink); err != nil {
+		s.failStream(w, sink, err)
+		return
+	}
+	if err := sink.finish(); err != nil {
+		// The flush failed: the client is gone or stalled past the
+		// server's write deadline. Nothing to tell them.
+		s.truncated.Add(1)
+		return
+	}
+	if sink.incremental {
+		s.streamed.Add(1)
+	} else {
+		s.buffered.Add(1)
+	}
+}
+
+// failStream maps a QueryStream error onto the wire. Before the first
+// byte is committed the staged buffer is dropped and the client gets
+// a clean error status — exactly the buffered endpoint's behavior
+// (400 for query errors, 504 for deadline/cancel). After commit the
+// response cannot be unsent: text formats get a comment trailer
+// ("# ERROR: ... (response truncated)") and a clean close, JSON gets
+// an aborted chunked body (http.ErrAbortHandler), so clients never
+// mistake a truncated result for a complete one. Either post-commit
+// path counts as truncated.
+func (s *Server) failStream(w http.ResponseWriter, sink *querySink, err error) {
+	deadline := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+	if deadline {
+		s.timedOut.Add(1)
+	}
+	cw, _ := w.(*countingResponseWriter)
+	if cw == nil || !cw.committed() {
+		sink.bw.Reset(io.Discard) // drop staged output
+		if deadline {
+			http.Error(w, "query timed out: "+err.Error(), http.StatusGatewayTimeout)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	wantJSON := strings.Contains(r.Header.Get("Accept"), "application/sparql-results+json") ||
-		strings.Contains(r.Header.Get("Accept"), "application/json")
-	switch res.Form {
-	case sparql.FormSelect:
-		if wantJSON {
-			data, err := sparql.ResultsJSON(res.Vars, res.Solutions)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			w.Header().Set("Content-Type", "application/sparql-results+json")
-			w.Write(data)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, sparql.FormatTable(res.Vars, res.Solutions))
-	case sparql.FormAsk:
-		if wantJSON {
-			data, err := sparql.AskJSON(res.Bool)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			w.Header().Set("Content-Type", "application/sparql-results+json")
-			w.Write(data)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "%v\n", res.Bool)
-	case sparql.FormConstruct:
-		w.Header().Set("Content-Type", turtleMIME)
-		io.WriteString(w, turtle.Serialize(res.Graph, rdf.CommonPrefixes()))
+	s.truncated.Add(1)
+	if sink.wantJSON {
+		// A JSON prefix has reached the client; no valid way to signal
+		// failure in-band. Abort the chunked body so the transfer ends
+		// visibly mid-document instead of parsing as a complete result.
+		panic(http.ErrAbortHandler)
 	}
+	fmt.Fprintf(sink.bw, "\n# ERROR: %v (response truncated)\n", err)
+	sink.bw.Flush()
+}
+
+// querySink adapts core.StreamSink onto one HTTP response: Head picks
+// the serializer from the negotiated content type, Solution feeds it
+// row by row, Ask/Graph handle the other query forms. Per-row context
+// checks propagate the request deadline into the executor's cursor.
+type querySink struct {
+	w        http.ResponseWriter
+	bw       *bufio.Writer
+	ctx      context.Context
+	wantJSON bool
+	// incremental marks bodies produced row-/block-wise (SELECT,
+	// CONSTRUCT) as opposed to whole-payload writes (ASK).
+	incremental bool
+	jw          *sparql.ResultsJSONWriter
+	tw          *sparql.TableWriter
+}
+
+func (k *querySink) Head(vars []string) error {
+	if err := k.ctx.Err(); err != nil {
+		return err
+	}
+	k.incremental = true
+	if k.wantJSON {
+		k.w.Header().Set("Content-Type", "application/sparql-results+json")
+		jw, err := sparql.NewResultsJSONWriter(k.bw, vars)
+		if err != nil {
+			return err
+		}
+		k.jw = jw
+		return nil
+	}
+	k.w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	k.tw = sparql.NewTableWriter(k.bw, vars)
+	return nil
+}
+
+func (k *querySink) Solution(b sparql.Binding) error {
+	if err := k.ctx.Err(); err != nil {
+		return err
+	}
+	if k.jw != nil {
+		return k.jw.WriteSolution(b)
+	}
+	return k.tw.WriteSolution(b)
+}
+
+func (k *querySink) Ask(v bool) error {
+	if err := k.ctx.Err(); err != nil {
+		return err
+	}
+	if k.wantJSON {
+		data, err := sparql.AskJSON(v)
+		if err != nil {
+			return err
+		}
+		k.w.Header().Set("Content-Type", "application/sparql-results+json")
+		_, werr := k.bw.Write(data)
+		return werr
+	}
+	k.w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, err := fmt.Fprintf(k.bw, "%v\n", v)
+	return err
+}
+
+func (k *querySink) Graph(g *rdf.Graph) error {
+	if err := k.ctx.Err(); err != nil {
+		return err
+	}
+	k.incremental = true
+	k.w.Header().Set("Content-Type", turtleMIME)
+	return turtle.Write(k.bw, g, rdf.CommonPrefixes())
+}
+
+// finish closes the row serializer (writing its trailer) and flushes
+// the staging buffer.
+func (k *querySink) finish() error {
+	if k.jw != nil {
+		if err := k.jw.Close(); err != nil {
+			return err
+		}
+	}
+	if k.tw != nil {
+		if err := k.tw.Close(); err != nil {
+			return err
+		}
+	}
+	return k.bw.Flush()
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
@@ -186,13 +435,32 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if strings.Contains(r.Header.Get("Accept"), "application/n-triples") {
-		w.Header().Set("Content-Type", "application/n-triples")
-		io.WriteString(w, ntriples.Format(g))
+	if err := r.Context().Err(); err != nil {
+		s.timedOut.Add(1)
+		http.Error(w, "export timed out: "+err.Error(), http.StatusGatewayTimeout)
 		return
 	}
-	w.Header().Set("Content-Type", turtleMIME)
-	io.WriteString(w, turtle.Serialize(g, rdf.CommonPrefixes()))
+	bw := bufPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Reset(io.Discard)
+		bufPool.Put(bw)
+	}()
+	if strings.Contains(r.Header.Get("Accept"), "application/n-triples") {
+		w.Header().Set("Content-Type", "application/n-triples")
+		err = ntriples.Write(bw, g)
+	} else {
+		w.Header().Set("Content-Type", turtleMIME)
+		err = turtle.Write(bw, g, rdf.CommonPrefixes())
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		s.truncated.Add(1)
+		return
+	}
+	s.streamed.Add(1)
 }
 
 func (s *Server) handleMapping(w http.ResponseWriter, _ *http.Request) {
@@ -237,6 +505,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	compiled, fallback := s.mediator.QueryExecStats()
 	fmt.Fprintf(w, "query executions: %d compiled, %d fallback\n", compiled, fallback)
+	es := s.Stats()
+	fmt.Fprintf(w, "endpoint requests: %d in flight, %d shed, %d timed out\n",
+		es.InFlight, es.Shed, es.TimedOut)
+	fmt.Fprintf(w, "endpoint responses: %d streamed, %d buffered, %d truncated, %d bytes written\n",
+		es.Streamed, es.Buffered, es.Truncated, es.BytesWritten)
 	for _, c := range []struct {
 		name  string
 		stats core.CacheStats

@@ -240,8 +240,11 @@ func Open(name string, o Options) (*Database, bool, error) {
 		return nil, false, rerr
 	}
 
+	// Recovery decodes and CRC-verifies sealed segments in parallel;
+	// records still apply strictly in log order (replayRecord enforces
+	// the dense commit sequence).
 	var replayed uint64
-	if _, err := l.Replay(func(payload []byte) error {
+	if _, err := l.ReplayParallel(func(payload []byte) error {
 		return db.replayRecord(payload, &replayed)
 	}); err != nil {
 		l.Close()

@@ -87,6 +87,35 @@ func Exec(tx *rdb.Tx, stmt sqlparser.Statement) (Result, error) {
 	}
 }
 
+// SelectFunc executes a SELECT as a cursor inside the caller's
+// transaction: head receives the output column names once, then row
+// receives each result row in order; row returning false cancels the
+// rest of the stream without error. Column names, rows, their order
+// and any error are byte-identical to Exec on the same statement.
+//
+// Plans whose output stage needs every input row before the first
+// output one (ORDER BY, aggregation, the naive error-parity baseline)
+// materialize internally and replay — for those an execution error
+// always surfaces before head is called. Plain unordered plans
+// (DISTINCT, OFFSET/LIMIT, deferred-WHERE and reordered plans
+// included) stream with O(1) result buffering, so a per-row
+// evaluation error can surface mid-stream, after head and a prefix of
+// the rows. A cancelled or completed cursor never buffers more than
+// the rows already delivered.
+//
+// The rows are read off tx's MVCC snapshot, which stays pinned (and
+// immutable) for the transaction's lifetime: a cursor held open
+// across concurrent writers is safe and sees a single consistent
+// version. Row slices are owned by the callee only during the row
+// call; copy them to retain.
+func SelectFunc(tx *rdb.Tx, st sqlparser.Select, head func(cols []string) error, row func(vals []rdb.Value) (bool, error)) error {
+	p, err := planSelect(tx, st)
+	if err != nil {
+		return err
+	}
+	return p.runStream(tx, head, row)
+}
+
 // ExecSQL parses one statement and executes it in the transaction.
 func ExecSQL(tx *rdb.Tx, sql string) (Result, error) {
 	stmt, err := sqlparser.ParseStatement(sql)

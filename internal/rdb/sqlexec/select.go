@@ -1312,6 +1312,17 @@ type selExec struct {
 	topk    *topkCollector // bounded heap for ORDER BY + LIMIT
 	seq     int            // emission sequence, the heap's stability tiebreak
 	keyBuf  []rdb.Value    // reusable sort-key scratch: rejected rows stay allocation-free
+
+	// Streaming delivery (runStream): out receives each in-window row
+	// the moment the pipeline produces it instead of appending to rows.
+	// skip and limit apply OFFSET/LIMIT on the fly; emitted counts every
+	// row that buffered mode would have appended, so the target-based
+	// early stop fires at exactly the same point in both modes.
+	out     func([]rdb.Value) (bool, error)
+	skip    int
+	limit   int
+	sent    int
+	emitted int
 }
 
 func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
@@ -1321,6 +1332,63 @@ func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
 		// baseline reproduces exactly.
 		return SelectNaive(tx, p.st)
 	}
+	x, err := p.prepare(tx)
+	if err != nil {
+		return nil, err
+	}
+	if err := x.drive(); err != nil {
+		return nil, err
+	}
+	return x.finish()
+}
+
+// runStream executes the plan as a cursor: head receives the output
+// column names once, then row receives each result row in order. The
+// plain unordered path — DISTINCT, deferred WHERE and reordered plans
+// included — delivers each in-window row the moment the pipeline
+// produces it; paths that must see every row before the first output
+// one (ORDER BY, aggregation, the naive error-parity baseline) run
+// buffered and replay the materialized result. Either way the rows,
+// their order and any error are byte-identical to run; row returning
+// false cancels the remainder of the stream without error. On the
+// buffered paths an execution error surfaces before head is called;
+// on the streaming path it can surface mid-stream.
+func (p *selPlan) runStream(tx *rdb.Tx, head func(cols []string) error, row func(vals []rdb.Value) (bool, error)) error {
+	if p.naive || p.countAlias != "" || p.agg != nil || len(p.st.OrderBy) > 0 {
+		rs, err := p.run(tx)
+		if err != nil {
+			return err
+		}
+		if err := head(rs.Columns); err != nil {
+			return err
+		}
+		for _, r := range rs.Rows {
+			cont, err := row(r)
+			if err != nil || !cont {
+				return err
+			}
+		}
+		return nil
+	}
+	x, err := p.prepare(tx)
+	if err != nil {
+		return err
+	}
+	x.out = row
+	if p.st.Offset > 0 {
+		x.skip = p.st.Offset
+	}
+	x.limit = p.st.Limit
+	if err := head(x.cols); err != nil {
+		return err
+	}
+	return x.drive()
+}
+
+// prepare builds the runtime state of one execution: environments,
+// projection, and the output-stage mode (count, aggregate, top-K,
+// sort materialization or direct emission with a LIMIT target).
+func (p *selPlan) prepare(tx *rdb.Tx) (*selExec, error) {
 	x := &selExec{p: p, tx: tx, target: -1}
 	x.full = &env{tables: make([]envTable, len(p.refs))}
 	for i := range p.refs {
@@ -1380,6 +1448,14 @@ func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
 		}
 	}
 
+	return x, nil
+}
+
+// drive runs the join pipeline to completion: every produced row goes
+// through emitRow (aggregation, top-K, sort materialization, or
+// delivery — buffered append or the streaming out callback).
+func (x *selExec) drive() error {
+	p := x.p
 	runPipeline := x.target != 0 || x.sorting || p.countAlias != "" || p.agg != nil
 	if x.topk != nil && x.topk.cap == 0 && !p.deferredWhere {
 		// ORDER BY + LIMIT 0 with nothing fallible: the result is
@@ -1390,7 +1466,7 @@ func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
 	}
 	if !p.steps[0].impossible && runPipeline {
 		if _, err := x.step(0); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
@@ -1415,14 +1491,21 @@ func (p *selPlan) run(tx *rdb.Tx) (*ResultSet, error) {
 			}
 			cont, err := x.emitRow()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !cont {
 				break
 			}
 		}
 	}
+	return nil
+}
 
+// finish materializes the output stage into a ResultSet: the count
+// row, aggregate groups, the sorted/top-K emission, and OFFSET/LIMIT
+// slicing.
+func (x *selExec) finish() (*ResultSet, error) {
+	p, st := x.p, x.p.st
 	if p.countAlias != "" {
 		return &ResultSet{Columns: []string{p.countAlias}, Rows: [][]rdb.Value{{rdb.Int(int64(x.count))}}}, nil
 	}
@@ -1773,8 +1856,33 @@ func (x *selExec) emitRow() (bool, error) {
 		}
 		x.seen[k] = true
 	}
-	x.rows = append(x.rows, row)
-	return x.target < 0 || len(x.rows) < x.target, nil
+	return x.deliver(row)
+}
+
+// deliver hands a projected in-order row to the output stage: the
+// buffered append (run) or the streaming callback (runStream). In
+// streaming mode OFFSET/LIMIT apply on the fly; emitted counts every
+// row buffered mode would have appended, so the target-based early
+// stop fires at exactly the same point in both modes.
+func (x *selExec) deliver(row []rdb.Value) (bool, error) {
+	if x.out == nil {
+		x.rows = append(x.rows, row)
+		return x.target < 0 || len(x.rows) < x.target, nil
+	}
+	if x.skip > 0 {
+		x.skip--
+	} else if x.limit < 0 || x.sent < x.limit {
+		cont, err := x.out(row)
+		if err != nil {
+			return false, err
+		}
+		x.sent++
+		if !cont {
+			return false, nil
+		}
+	}
+	x.emitted++
+	return x.target < 0 || x.emitted < x.target, nil
 }
 
 // ---- GROUP BY / aggregate functions ---------------------------------

@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -141,6 +142,113 @@ func (l *Log) Replay(fn func(payload []byte) error) (torn bool, err error) {
 	if l.f != nil {
 		return false, fmt.Errorf("wal: Replay after Append")
 	}
+	return l.replayLocked(fn)
+}
+
+// ReplayParallel is Replay with segment-level parallelism: sealed
+// segments are read and CRC-verified concurrently (bounded by
+// GOMAXPROCS workers), while fn still observes every payload in exact
+// Replay order — segment order then file order — because application
+// waits on the per-segment results in sequence. Torn-tail handling,
+// the mid-log truncation error, and the returned flags are identical
+// to Replay; with one segment it degrades to the sequential path.
+// Memory is bounded by the in-flight window of decoded segments
+// (worker count × segment size), released as each segment applies.
+func (l *Log) ReplayParallel(fn func(payload []byte) error) (torn bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		return false, fmt.Errorf("wal: Replay after Append")
+	}
+	if len(l.segs) <= 1 || runtime.GOMAXPROCS(0) == 1 {
+		// Nothing to overlap — one segment, or one CPU (where the
+		// collect-then-apply buffering is pure overhead). Reuse the
+		// sequential logic without re-entering the lock.
+		return l.replayLocked(fn)
+	}
+
+	type segResult struct {
+		payloads [][]byte
+		valid    int64
+		torn     bool
+		err      error
+	}
+	results := make([]chan segResult, len(l.segs))
+	for i := range results {
+		results[i] = make(chan segResult, 1)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(l.segs) {
+		workers = len(l.segs)
+	}
+	sem := make(chan struct{}, workers)
+	for i, idx := range l.segs {
+		i, idx := i, idx
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			var r segResult
+			r.valid, r.torn, r.err = replaySegment(
+				filepath.Join(l.dir, segName(idx)),
+				func(payload []byte) error {
+					// replaySegment hands out slices of its own read
+					// buffer, so collecting without copying is safe.
+					r.payloads = append(r.payloads, payload)
+					return nil
+				})
+			results[i] <- r
+		}()
+	}
+
+	for i, idx := range l.segs {
+		last := i == len(l.segs)-1
+		r := <-results[i]
+		results[i] = nil // free the decoded segment once applied
+		if r.err != nil {
+			err = r.err
+		}
+		if err != nil {
+			continue // drain remaining workers, report the first error
+		}
+		if r.torn && !last {
+			err = fmt.Errorf("wal: segment %s is truncated mid-log", segName(idx))
+			continue
+		}
+		for _, payload := range r.payloads {
+			if ferr := fn(payload); ferr != nil {
+				err = ferr
+				break
+			}
+		}
+		if err != nil {
+			continue
+		}
+		if r.torn {
+			path := filepath.Join(l.dir, segName(idx))
+			info, statErr := os.Stat(path)
+			if statErr != nil {
+				err = statErr
+				continue
+			}
+			if terr := os.Truncate(path, r.valid); terr != nil {
+				err = fmt.Errorf("wal: truncating torn tail of %s: %w", segName(idx), terr)
+				continue
+			}
+			l.bytes -= info.Size() - r.valid
+			l.segSize = r.valid
+			torn = true
+		}
+	}
+	if err != nil {
+		return false, err
+	}
+	l.replayed = true
+	return torn, nil
+}
+
+// replayLocked is Replay's body, shared with ReplayParallel's
+// single-segment fallback. Caller holds l.mu.
+func (l *Log) replayLocked(fn func(payload []byte) error) (torn bool, err error) {
 	for i, idx := range l.segs {
 		last := i == len(l.segs)-1
 		path := filepath.Join(l.dir, segName(idx))

@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// forceParallel keeps the parallel replay machinery under test on
+// single-CPU hosts, where ReplayParallel would otherwise take its
+// GOMAXPROCS==1 sequential fallback.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old == 1 {
+		runtime.GOMAXPROCS(2)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+// buildSegmented writes frames across several segments via Rotate and
+// returns the payloads in append order.
+func buildSegmented(t *testing.T, dir string, segments, perSeg int) [][]byte {
+	t.Helper()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for s := 0; s < segments; s++ {
+		if s > 0 {
+			if _, err := l.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < perSeg; i++ {
+			p := []byte(fmt.Sprintf("seg%d-frame%d-%s", s, i, strings.Repeat("x", i%17)))
+			want = append(want, p)
+			if err := l.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// collectParallel replays via ReplayParallel into payload copies.
+func collectParallel(t *testing.T, dir string) (payloads [][]byte, torn bool) {
+	t.Helper()
+	forceParallel(t)
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	torn, err = l.ReplayParallel(func(p []byte) error {
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payloads, torn
+}
+
+// TestReplayParallelMatchesSequential pins the parallel replay to the
+// sequential one payload-for-payload, in order, across a multi-segment
+// log (empty segments from lazy rotation included).
+func TestReplayParallelMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	want := buildSegmented(t, dir, 5, 13)
+
+	seq, seqTorn := collect(t, dir)
+	par, parTorn := collectParallel(t, dir)
+	if seqTorn || parTorn {
+		t.Fatalf("clean log reported torn: seq=%v par=%v", seqTorn, parTorn)
+	}
+	if len(par) != len(want) || len(seq) != len(want) {
+		t.Fatalf("replayed seq=%d par=%d frames, want %d", len(seq), len(par), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(par[i], want[i]) {
+			t.Fatalf("parallel frame %d = %q, want %q", i, par[i], want[i])
+		}
+		if !bytes.Equal(par[i], seq[i]) {
+			t.Fatalf("parallel frame %d = %q, sequential %q", i, par[i], seq[i])
+		}
+	}
+}
+
+// TestReplayParallelSingleSegment exercises the sequential fallback.
+func TestReplayParallelSingleSegment(t *testing.T) {
+	dir := t.TempDir()
+	want := buildSegmented(t, dir, 1, 7)
+	got, torn := collectParallel(t, dir)
+	if torn || len(got) != len(want) {
+		t.Fatalf("got %d frames torn=%v, want %d clean", len(got), torn, len(want))
+	}
+}
+
+// TestReplayParallelTornFinalTail checks that the torn-tail repair
+// contract carries over: the newest segment's torn frame is truncated
+// away and reported, and the log accepts appends afterwards.
+func TestReplayParallelTornFinalTail(t *testing.T) {
+	forceParallel(t)
+	dir := t.TempDir()
+	buildSegmented(t, dir, 3, 4)
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := l.segs[len(l.segs)-1]
+	l.Close()
+	path := filepath.Join(dir, segName(last))
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	torn, err := l2.ReplayParallel(func([]byte) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Fatal("torn final tail not reported")
+	}
+	if n != 3*4-1 {
+		t.Fatalf("replayed %d frames, want %d", n, 3*4-1)
+	}
+	if err := l2.Append([]byte("after-repair")); err != nil {
+		t.Fatalf("append after parallel replay: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, torn := collect(t, dir)
+	if torn || len(got) != 3*4 || string(got[len(got)-1]) != "after-repair" {
+		t.Fatalf("post-repair replay = %d frames torn=%v", len(got), torn)
+	}
+}
+
+// TestReplayParallelTornSealedSegmentIsHardError mirrors the
+// sequential contract: damage in a sealed (non-final) segment aborts
+// recovery instead of silently dropping acknowledged records.
+func TestReplayParallelTornSealedSegmentIsHardError(t *testing.T) {
+	forceParallel(t)
+	dir := t.TempDir()
+	buildSegmented(t, dir, 3, 4)
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := l.segs[0]
+	l.Close()
+	path := filepath.Join(dir, segName(sealed))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // corrupt the sealed segment's last payload byte
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	_, err = l2.ReplayParallel(func([]byte) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "truncated mid-log") {
+		t.Fatalf("sealed corruption error = %v, want truncated mid-log", err)
+	}
+}
+
+// TestReplayParallelCallbackErrorAborts: fn's first error surfaces and
+// no later payload is applied, exactly as in the sequential replay.
+func TestReplayParallelCallbackErrorAborts(t *testing.T) {
+	forceParallel(t)
+	dir := t.TempDir()
+	want := buildSegmented(t, dir, 4, 3)
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	stopAt := 5
+	var seen int
+	boom := fmt.Errorf("boom")
+	_, err = l.ReplayParallel(func(p []byte) error {
+		if seen == stopAt {
+			return boom
+		}
+		if !bytes.Equal(p, want[seen]) {
+			t.Fatalf("frame %d = %q, want %q", seen, p, want[seen])
+		}
+		seen++
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("callback error = %v, want boom", err)
+	}
+	if seen != stopAt {
+		t.Fatalf("applied %d frames before abort, want %d", seen, stopAt)
+	}
+}

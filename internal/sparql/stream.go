@@ -1,0 +1,257 @@
+package sparql
+
+import (
+	"io"
+	"sort"
+	"strings"
+	"unicode/utf8"
+
+	"ontoaccess/internal/rdf"
+)
+
+// Incremental result writers: the streaming twins of ResultsJSON and
+// FormatTable. Each consumes one solution at a time and writes (or
+// stages) it immediately, so serializing an N-row result needs O(row)
+// transient memory instead of an O(N) solutions slice plus an O(N)
+// rendered payload. Output is byte-identical to the buffered
+// counterparts — the endpoint parity tests pin this.
+
+// ResultsJSONWriter emits the SPARQL results JSON format
+// incrementally. The byte stream is exactly what ResultsJSON produces
+// for the same head and solution sequence: same two-space indentation,
+// same alphabetical key order inside each binding object, same
+// HTML-escaped string encoding. Solutions are encoded into a reused
+// scratch buffer and handed to w row by row; nothing is retained, so
+// the caller may reuse the Binding between calls.
+type ResultsJSONWriter struct {
+	w       io.Writer
+	vars    []string // head order (written once)
+	sorted  []string // alphabetical — encoding/json map-key order
+	rows    int
+	scratch []byte
+	err     error
+}
+
+// NewResultsJSONWriter writes the document head and the opening of
+// results.bindings, and returns the writer for the rows.
+func NewResultsJSONWriter(w io.Writer, vars []string) (*ResultsJSONWriter, error) {
+	jw := &ResultsJSONWriter{w: w, vars: vars, scratch: make([]byte, 0, 256)}
+	jw.sorted = append([]string(nil), vars...)
+	sort.Strings(jw.sorted)
+	b := jw.scratch
+	b = append(b, "{\n  \"head\": {\n    \"vars\": ["...)
+	for i, v := range vars {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, "\n      "...)
+		b = appendJSONString(b, v)
+	}
+	if len(vars) > 0 {
+		b = append(b, "\n    "...)
+	}
+	b = append(b, "]\n  },\n  \"results\": {\n    \"bindings\": ["...)
+	jw.scratch = b[:0]
+	if _, err := w.Write(b); err != nil {
+		jw.err = err
+		return nil, err
+	}
+	return jw, nil
+}
+
+// WriteSolution encodes one binding object. Variables absent from the
+// binding are omitted, per the specification (and per ResultsJSON).
+func (jw *ResultsJSONWriter) WriteSolution(bnd Binding) error {
+	if jw.err != nil {
+		return jw.err
+	}
+	b := jw.scratch
+	if jw.rows > 0 {
+		b = append(b, ',')
+	}
+	b = append(b, "\n      {"...)
+	n := 0
+	for _, v := range jw.sorted {
+		t, ok := bnd[v]
+		if !ok {
+			continue
+		}
+		if n > 0 {
+			b = append(b, ',')
+		}
+		n++
+		b = append(b, "\n        "...)
+		b = appendJSONString(b, v)
+		b = append(b, ": {\n          \"type\": "...)
+		switch t.Kind {
+		case rdf.KindIRI:
+			b = append(b, `"uri"`...)
+		case rdf.KindBlank:
+			b = append(b, `"bnode"`...)
+		default:
+			b = append(b, `"literal"`...)
+		}
+		b = append(b, ",\n          \"value\": "...)
+		b = appendJSONString(b, t.Value)
+		if t.Kind != rdf.KindIRI && t.Kind != rdf.KindBlank {
+			if t.Lang != "" {
+				b = append(b, ",\n          \"xml:lang\": "...)
+				b = appendJSONString(b, t.Lang)
+			} else if t.Datatype != "" && t.Datatype != rdf.XSDString {
+				b = append(b, ",\n          \"datatype\": "...)
+				b = appendJSONString(b, t.Datatype)
+			}
+		}
+		b = append(b, "\n        }"...)
+	}
+	if n > 0 {
+		b = append(b, "\n      "...)
+	}
+	b = append(b, '}')
+	jw.rows++
+	jw.scratch = b[:0]
+	if _, err := jw.w.Write(b); err != nil {
+		jw.err = err
+		return err
+	}
+	return nil
+}
+
+// Close writes the document trailer. It does not close the underlying
+// writer.
+func (jw *ResultsJSONWriter) Close() error {
+	if jw.err != nil {
+		return jw.err
+	}
+	b := jw.scratch
+	if jw.rows > 0 {
+		b = append(b, "\n    "...)
+	}
+	b = append(b, "]\n  }\n}"...)
+	jw.scratch = b[:0]
+	if _, err := jw.w.Write(b); err != nil {
+		jw.err = err
+		return err
+	}
+	return nil
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string exactly as
+// encoding/json encodes it with HTML escaping on (the default the
+// buffered path uses): `"`/`\` backslash-escaped, \b \f \n \r \t
+// named, other control bytes and < > & as \u00xx, invalid UTF-8 as
+// �, and U+2028/U+2029 escaped. Pinned against json.Marshal by
+// TestAppendJSONStringMatchesEncodingJSON.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', jsonHex[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// TableWriter renders the aligned text table incrementally. Column
+// widths depend on every row, so the writer stages rendered cell
+// strings (one copy of the payload) and emits the aligned table at
+// Close — still strictly less memory than the buffered path's
+// solutions slice plus fully rendered string, and it never retains
+// the caller's bindings. Output is byte-identical to FormatTable.
+type TableWriter struct {
+	w      io.Writer
+	vars   []string
+	widths []int
+	rows   [][]string
+}
+
+// NewTableWriter stages a table with the given column order.
+func NewTableWriter(w io.Writer, vars []string) *TableWriter {
+	tw := &TableWriter{w: w, vars: vars, widths: make([]int, len(vars))}
+	for i, v := range vars {
+		tw.widths[i] = len(v) + 1
+	}
+	return tw
+}
+
+// WriteSolution stages one row; the binding is not retained.
+func (tw *TableWriter) WriteSolution(b Binding) error {
+	row := make([]string, len(tw.vars))
+	for i, v := range tw.vars {
+		if t, ok := b[v]; ok {
+			row[i] = t.String()
+		}
+		if len(row[i]) > tw.widths[i] {
+			tw.widths[i] = len(row[i])
+		}
+	}
+	tw.rows = append(tw.rows, row)
+	return nil
+}
+
+// Close writes the aligned table. It does not close the underlying
+// writer.
+func (tw *TableWriter) Close() error {
+	var sb strings.Builder
+	for i, v := range tw.vars {
+		sb.WriteString(pad("?"+v, tw.widths[i]+2))
+	}
+	sb.WriteByte('\n')
+	if _, err := io.WriteString(tw.w, sb.String()); err != nil {
+		return err
+	}
+	for _, row := range tw.rows {
+		sb.Reset()
+		for i, cell := range row {
+			sb.WriteString(pad(cell, tw.widths[i]+2))
+		}
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(tw.w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

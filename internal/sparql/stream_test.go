@@ -1,0 +1,152 @@
+package sparql
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/rdf"
+)
+
+// nastyStrings exercises every escaping branch: quotes, backslashes,
+// named control escapes, other control bytes, HTML-escaped <>&, line
+// and paragraph separators, invalid UTF-8, and plain multibyte runes.
+var nastyStrings = []string{
+	"",
+	"plain",
+	`with "quotes" and \backslash\`,
+	"newline\nreturn\rtab\t",
+	"control\x00\x01\x1f",
+	"html <b>&amp;</b> escape",
+	"seps and ",
+	"invalid \xff\xfe utf8",
+	"mixed ünïcødé 漢字 🙂",
+	"trailing backslash \\",
+	"\x7f del is fine",
+}
+
+func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
+	cases := append([]string(nil), nastyStrings...)
+	for i := 0; i < 256; i++ {
+		cases = append(cases, string(rune(i))+"x"+string([]byte{byte(i)}))
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", s, err)
+		}
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+// streamParityCases cover the result-shape space: empty heads, empty
+// results, unbound variables, every term kind, language tags,
+// datatypes (incl. xsd:string suppression) and nasty payloads.
+func streamParityCases() []struct {
+	name string
+	vars []string
+	sols Solutions
+} {
+	return []struct {
+		name string
+		vars []string
+		sols Solutions
+	}{
+		{"empty-both", nil, nil},
+		{"no-solutions", []string{"a", "b"}, nil},
+		{"empty-binding", []string{"a"}, Solutions{{}}},
+		{"plain", []string{"name", "mbox"}, Solutions{
+			{"name": rdf.Literal("Alice"), "mbox": rdf.IRI("mailto:alice@example.org")},
+			{"name": rdf.Literal("Bob")},
+		}},
+		{"kinds", []string{"x", "y", "z"}, Solutions{
+			{"x": rdf.IRI("http://example.org/s"), "y": rdf.Blank("b0"),
+				"z": rdf.TypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")},
+			{"x": rdf.LangLiteral("chat", "en"), "y": rdf.TypedLiteral("s", rdf.XSDString)},
+		}},
+		{"sort-order", []string{"zeta", "alpha", "mid"}, Solutions{
+			{"zeta": rdf.Literal("1"), "alpha": rdf.Literal("2"), "mid": rdf.Literal("3")},
+		}},
+		{"nasty", []string{"v"}, func() Solutions {
+			var s Solutions
+			for _, n := range nastyStrings {
+				s = append(s, Binding{"v": rdf.Literal(n)})
+			}
+			return s
+		}()},
+	}
+}
+
+func TestResultsJSONWriterParity(t *testing.T) {
+	for _, tc := range streamParityCases() {
+		want, err := ResultsJSON(tc.vars, tc.sols)
+		if err != nil {
+			t.Fatalf("%s: buffered: %v", tc.name, err)
+		}
+		var buf bytes.Buffer
+		jw, err := NewResultsJSONWriter(&buf, tc.vars)
+		if err != nil {
+			t.Fatalf("%s: new: %v", tc.name, err)
+		}
+		for _, b := range tc.sols {
+			if err := jw.WriteSolution(b); err != nil {
+				t.Fatalf("%s: row: %v", tc.name, err)
+			}
+		}
+		if err := jw.Close(); err != nil {
+			t.Fatalf("%s: close: %v", tc.name, err)
+		}
+		if got := buf.String(); got != string(want) {
+			t.Errorf("%s: streamed JSON differs\ngot:\n%s\nwant:\n%s", tc.name, got, want)
+		}
+	}
+}
+
+func TestTableWriterParity(t *testing.T) {
+	for _, tc := range streamParityCases() {
+		want := FormatTable(tc.vars, tc.sols)
+		var buf bytes.Buffer
+		tw := NewTableWriter(&buf, tc.vars)
+		for _, b := range tc.sols {
+			if err := tw.WriteSolution(b); err != nil {
+				t.Fatalf("%s: row: %v", tc.name, err)
+			}
+		}
+		if err := tw.Close(); err != nil {
+			t.Fatalf("%s: close: %v", tc.name, err)
+		}
+		if got := buf.String(); got != want {
+			t.Errorf("%s: streamed table differs\ngot:\n%q\nwant:\n%q", tc.name, got, want)
+		}
+	}
+}
+
+// The writers must not retain the binding: the streaming decode path
+// reuses one map across rows.
+func TestWritersDoNotRetainBinding(t *testing.T) {
+	var buf bytes.Buffer
+	jw, err := NewResultsJSONWriter(&buf, []string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Binding{"v": rdf.Literal("one")}
+	if err := jw.WriteSolution(b); err != nil {
+		t.Fatal(err)
+	}
+	clear(b)
+	b["v"] = rdf.Literal("two")
+	if err := jw.WriteSolution(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "one") || !strings.Contains(out, "two") {
+		t.Errorf("reused binding corrupted output:\n%s", out)
+	}
+}

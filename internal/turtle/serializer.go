@@ -1,6 +1,7 @@
 package turtle
 
 import (
+	"io"
 	"sort"
 	"strings"
 
@@ -15,6 +16,17 @@ import (
 // arbitrary graphs (cyclic blank structures included).
 func Serialize(g *rdf.Graph, prefixes *rdf.PrefixMap) string {
 	var b strings.Builder
+	_ = Write(&b, g, prefixes) // strings.Builder never errors
+	return b.String()
+}
+
+// Write streams the same Turtle document Serialize returns into w,
+// one subject block at a time: transient memory is bounded by the
+// largest block (plus the subject grouping index), not the rendered
+// document. The HTTP endpoint uses it to serve CONSTRUCT and /export
+// responses without buffering the payload.
+func Write(w io.Writer, g *rdf.Graph, prefixes *rdf.PrefixMap) error {
+	var b strings.Builder
 	if prefixes != nil {
 		for _, bind := range prefixes.Bindings() {
 			b.WriteString("@prefix ")
@@ -25,6 +37,9 @@ func Serialize(g *rdf.Graph, prefixes *rdf.PrefixMap) string {
 		}
 		if prefixes.Len() > 0 {
 			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
 		}
 	}
 
@@ -40,13 +55,17 @@ func Serialize(g *rdf.Graph, prefixes *rdf.PrefixMap) string {
 	sort.Slice(subjects, func(i, j int) bool { return rdf.CompareTerms(subjects[i], subjects[j]) < 0 })
 
 	for si, subj := range subjects {
+		b.Reset()
 		if si > 0 {
 			b.WriteByte('\n')
 		}
 		b.WriteString(renderTerm(subj, prefixes))
 		writeSubjectBlock(&b, bySubject[subj], prefixes)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
 	}
-	return b.String()
+	return nil
 }
 
 func writeSubjectBlock(b *strings.Builder, triples []rdf.Triple, prefixes *rdf.PrefixMap) {

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Closed-loop HTTP load harness: N workers issue mixed read/write
+// traffic against a running endpoint over its real HTTP surface, each
+// worker sending its next request only after the previous response is
+// fully read (closed loop — offered load adapts to the server instead
+// of queueing unboundedly, so latency percentiles measure the server,
+// not the client's backlog). The harness deliberately depends only on
+// net/http and a base URL: it drives ontoaccessd, httptest servers and
+// remote deployments alike, and the endpoint package's own tests can
+// import it without a cycle.
+
+// LoadOptions configures a load run.
+type LoadOptions struct {
+	// BaseURL is the endpoint root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers is the number of concurrent closed-loop clients.
+	Workers int
+	// RequestsPerWorker runs a fixed-count experiment; Duration (when
+	// set) runs a fixed-time one instead.
+	RequestsPerWorker int
+	Duration          time.Duration
+	// WriteFraction is the probability a request is a POST /update
+	// (the rest split between table and JSON SELECTs and ASKs).
+	WriteFraction float64
+	// Authors is the pre-seeded author universe queried/modified; see
+	// SeedLoad. Seed fixes the traffic mix's RNG.
+	Authors int
+	Seed    int64
+	// ClientTimeout bounds each request on the client side
+	// (default 30s).
+	ClientTimeout time.Duration
+}
+
+// LoadResult aggregates one run.
+type LoadResult struct {
+	Requests int           // responses received
+	Errors   int           // transport failures or unexpected statuses
+	Shed     int           // 503s (load shedding)
+	TimedOut int           // 504s (request deadline) + client timeouts
+	Elapsed  time.Duration // wall-clock of the whole run
+	// Latency percentiles over successful requests.
+	P50, P95, P99 time.Duration
+	// Throughput is successful requests per second.
+	Throughput float64
+	// PeakRSSMB is the process's VmHWM high-water mark in MiB (0 when
+	// /proc is unavailable). With an in-process httptest server it
+	// captures client and server together.
+	PeakRSSMB float64
+}
+
+// SeedLoad populates the endpoint with the generator's shared pools
+// plus `authors` authors through POST /update — the fixture RunLoad's
+// mixed traffic reads and rewrites.
+func SeedLoad(baseURL string, authors int, seed int64) error {
+	g := NewGenerator(seed)
+	client := &http.Client{Timeout: 30 * time.Second}
+	reqs := g.SetupRequests()
+	for i := 1; i <= authors; i++ {
+		reqs = append(reqs, g.AuthorInsert(i))
+	}
+	for _, body := range reqs {
+		resp, err := client.Post(baseURL+"/update", "application/sparql-update", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("workload: seeding update status %d", resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// RunLoad drives the closed-loop mixed workload and reports latency
+// percentiles, shed/timeout counts, throughput and peak RSS.
+func RunLoad(o LoadOptions) (*LoadResult, error) {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Authors <= 0 {
+		o.Authors = 100
+	}
+	if o.ClientTimeout <= 0 {
+		o.ClientTimeout = 30 * time.Second
+	}
+	if o.RequestsPerWorker <= 0 && o.Duration <= 0 {
+		return nil, fmt.Errorf("workload: RunLoad needs RequestsPerWorker or Duration")
+	}
+
+	type sample struct {
+		d      time.Duration
+		status int
+		err    bool
+	}
+	perWorker := make([][]sample, o.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := time.Time{}
+	if o.Duration > 0 {
+		deadline = start.Add(o.Duration)
+	}
+	for w := 0; w < o.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
+			client := &http.Client{Timeout: o.ClientTimeout}
+			serial := 0
+			for n := 0; ; n++ {
+				if o.Duration > 0 {
+					if !time.Now().Before(deadline) {
+						return
+					}
+				} else if n >= o.RequestsPerWorker {
+					return
+				}
+				author := rng.Intn(o.Authors) + 1
+				var (
+					resp *http.Response
+					err  error
+				)
+				t0 := time.Now()
+				if rng.Float64() < o.WriteFraction {
+					serial++
+					body := fmt.Sprintf(`%s
+MODIFY
+DELETE { ex:author%d foaf:mbox ?m . }
+INSERT { ex:author%d foaf:mbox <mailto:w%d-%d@example.org> . }
+WHERE { ex:author%d foaf:mbox ?m . }`, Prologue, author, author, w, serial, author)
+					resp, err = client.Post(o.BaseURL+"/update", "application/sparql-update", strings.NewReader(body))
+				} else {
+					var q string
+					accept := ""
+					switch rng.Intn(4) {
+					case 0: // point lookup, JSON
+						q = fmt.Sprintf(`SELECT ?f ?m WHERE { ex:author%d foaf:firstName ?f ; foaf:mbox ?m . }`, author)
+						accept = "application/sparql-results+json"
+					case 1: // point lookup, text table
+						q = fmt.Sprintf(`SELECT ?f ?m WHERE { ex:author%d foaf:firstName ?f ; foaf:mbox ?m . }`, author)
+					case 2: // scan: every mailbox, JSON
+						q = `SELECT ?x ?m WHERE { ?x foaf:mbox ?m . }`
+						accept = "application/sparql-results+json"
+					default: // ASK
+						q = fmt.Sprintf(`ASK { ex:author%d foaf:title "Dr" . }`, author)
+					}
+					req, rerr := http.NewRequest(http.MethodGet,
+						o.BaseURL+"/sparql?query="+url.QueryEscape(Prologue+q), nil)
+					if rerr != nil {
+						err = rerr
+					} else {
+						if accept != "" {
+							req.Header.Set("Accept", accept)
+						}
+						resp, err = client.Do(req)
+					}
+				}
+				s := sample{d: time.Since(t0)}
+				if err != nil {
+					s.err = true
+					if strings.Contains(err.Error(), "Client.Timeout") {
+						s.status = http.StatusGatewayTimeout
+					}
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					s.status = resp.StatusCode
+				}
+				perWorker[w] = append(perWorker[w], s)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{Elapsed: elapsed, PeakRSSMB: PeakRSSMB()}
+	var ok []time.Duration
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			res.Requests++
+			switch {
+			case s.status == http.StatusServiceUnavailable:
+				res.Shed++
+			case s.status == http.StatusGatewayTimeout:
+				res.TimedOut++
+			case s.err || s.status != http.StatusOK:
+				res.Errors++
+			default:
+				ok = append(ok, s.d)
+			}
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	res.P50 = percentile(ok, 0.50)
+	res.P95 = percentile(ok, 0.95)
+	res.P99 = percentile(ok, 0.99)
+	if elapsed > 0 {
+		res.Throughput = float64(len(ok)) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// percentile returns the q-th percentile of sorted durations.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// PeakRSSMB reads the process's resident-set high-water mark (VmHWM)
+// in MiB; 0 when /proc/self/status is unavailable (non-Linux).
+func PeakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "VmHWM:") {
+			f := strings.Fields(line)
+			if len(f) >= 2 {
+				if kb, err := strconv.ParseFloat(f[1], 64); err == nil {
+					return kb / 1024
+				}
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+package ontoaccess
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ontoaccess/internal/core"
+	"ontoaccess/internal/endpoint"
+	"ontoaccess/internal/workload"
+)
+
+// TestLoadSmoke runs the closed-loop HTTP load harness against the
+// hardened endpoint at a load well under its limits: every request
+// must succeed (no shedding, no timeouts), the latency percentiles
+// must be populated and ordered, and both run modes (fixed-count and
+// fixed-duration) must work. This is the CI gate (`make load-smoke`)
+// that keeps the measurement harness behind BenchmarkE9 honest.
+func TestLoadSmoke(t *testing.T) {
+	m, err := workload.NewMediator(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := endpoint.NewWithOptions(m, endpoint.Options{
+		MaxInFlight:    32,
+		RequestTimeout: 30 * time.Second,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	const authors = 50
+	if err := workload.SeedLoad(ts.URL, authors, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := workload.RunLoad(workload.LoadOptions{
+		BaseURL:           ts.URL,
+		Workers:           4,
+		RequestsPerWorker: 25,
+		WriteFraction:     0.25,
+		Authors:           authors,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4*25 {
+		t.Errorf("requests = %d, want %d", res.Requests, 4*25)
+	}
+	if res.Errors != 0 || res.Shed != 0 || res.TimedOut != 0 {
+		t.Errorf("unloaded run must be clean: %d errors, %d shed, %d timed out",
+			res.Errors, res.Shed, res.TimedOut)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+	if res.P50 <= 0 || res.P50 > res.P95 || res.P95 > res.P99 {
+		t.Errorf("percentiles unordered: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	st := srv.Stats()
+	if st.Shed != 0 || st.TimedOut != 0 || st.Truncated != 0 {
+		t.Errorf("endpoint stats after clean run: %+v", st)
+	}
+	if st.Streamed == 0 || st.Buffered == 0 || st.BytesWritten == 0 {
+		t.Errorf("mixed traffic should hit both response modes: %+v", st)
+	}
+
+	dres, err := workload.RunLoad(workload.LoadOptions{
+		BaseURL:       ts.URL,
+		Workers:       2,
+		Duration:      300 * time.Millisecond,
+		WriteFraction: 0.25,
+		Authors:       authors,
+		Seed:          11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Requests == 0 || dres.Errors != 0 {
+		t.Errorf("duration-mode run: %d requests, %d errors", dres.Requests, dres.Errors)
+	}
+
+	if _, err := workload.RunLoad(workload.LoadOptions{BaseURL: ts.URL}); err == nil {
+		t.Error("RunLoad without a count or duration must refuse to run")
+	}
+}

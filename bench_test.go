@@ -1474,6 +1474,56 @@ func BenchmarkB19_WALRecovery(b *testing.B) {
 	b.Run("Parallel", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkB20_HistoricalRead compares a head read against an AS OF
+// read of a retained historical snapshot (experiment B20). Both
+// targets resolve to an immutable snapshot and run the identical
+// compiled plan, so the historical read should stay within a small
+// constant factor of the head read — resolving through the history
+// ring instead of the head pointer is the only extra work.
+func BenchmarkB20_HistoricalRead(b *testing.B) {
+	const authors = 2000
+	m := newMediator(b, core.Options{})
+	exec(b, m, seedTeams(1, 20))
+	for i := 0; i < authors; i += 500 {
+		var sb strings.Builder
+		sb.WriteString(workload.Prologue)
+		sb.WriteString("\nINSERT DATA {\n")
+		for j := i + 1; j <= i+500; j++ {
+			fmt.Fprintf(&sb, "  ex:author%d foaf:family_name \"Name%d\" ; ont:team ex:team%d .\n",
+				j, j, 1+j%20)
+		}
+		sb.WriteString("}")
+		exec(b, m, sb.String())
+	}
+	pinned := m.DB().SnapshotVersion()
+	// Move the head past the pinned version (staying well inside the
+	// retention bound) so the AS OF read is genuinely historical.
+	for i := 0; i < 8; i++ {
+		exec(b, m, fmt.Sprintf(workload.Prologue+`
+MODIFY
+DELETE { ex:author1 foaf:family_name ?n . }
+INSERT { ex:author1 foaf:family_name "Rev%d" . }
+WHERE { ex:author1 foaf:family_name ?n . }`, i))
+	}
+	query := workload.Prologue + `SELECT ?a WHERE { ?a ont:team ex:team7 . }`
+	const wantRows = authors / 20
+	run := func(b *testing.B, target rdb.ReadTarget) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := m.QueryOn(query, target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Solutions) != wantRows {
+				b.Fatalf("rows = %d, want %d", len(res.Solutions), wantRows)
+			}
+		}
+	}
+	b.Run("Head", func(b *testing.B) { run(b, rdb.ReadTarget{}) })
+	b.Run("AsOf", func(b *testing.B) { run(b, rdb.ReadTarget{AsOf: pinned}) })
+}
+
 // BenchmarkE9_HTTPClosedLoopLoad drives the full HTTP stack — the
 // hardened endpoint behind a real TCP listener — with the closed-loop
 // mixed read/write harness and reports end-to-end latency percentiles,

@@ -13,7 +13,10 @@
 //	ontoaccessd -addr :8080 -ddl schema.sql -mapping mapping.ttl
 //
 // Routes: POST /update, GET/POST /sparql, GET /export, GET /mapping,
-// GET /healthz.
+// GET /healthz, GET/POST /branches. The read routes accept
+// ?asOf=<version> and ?branch=<name> time-travel targets; -history
+// bounds how many historical snapshots AS OF reads can reach, and
+// -shards tunes per-table write parallelism.
 package main
 
 import (
@@ -40,6 +43,8 @@ func main() {
 	mappingPath := flag.String("mapping", "", "R3M mapping Turtle file (default: the paper's Table 1 mapping)")
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty runs memory-only")
 	seed := flag.Bool("seed", false, "preload the paper's Listing 15 data set")
+	shards := flag.Int("shards", 0, "key-range lock shards per table, a power of two (0 = default)")
+	history := flag.Int("history", 0, "retained snapshots for ?asOf= reads (0 = default, negative disables)")
 	maxInFlight := flag.Int("max-inflight", 256, "bound on concurrent /sparql, /export and /update requests; excess requests get fast 503s (0 = unlimited)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline on the gated routes (0 = none)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: slow request senders are cut off (0 = none)")
@@ -47,14 +52,16 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = none)")
 	flag.Parse()
 
-	m, recovered, err := buildMediator(*ddlPath, *mappingPath, *dataDir)
+	dbOpts := rdb.Options{DataDir: *dataDir, ShardCount: *shards, HistoryDepth: *history}
+	m, recovered, err := buildMediator(*ddlPath, *mappingPath, dbOpts)
 	if err != nil {
 		log.Fatalf("ontoaccessd: %v", err)
 	}
 	if recovered {
 		st := m.DurabilityStats()
-		log.Printf("recovered %d rows from %s (%d WAL records replayed, checkpoint at version %d)",
-			m.DB().TotalRows(), *dataDir, st.RecoveredRecords, st.LastCheckpointVersion)
+		hs := m.DB().HistoryStats()
+		log.Printf("recovered %d rows from %s (%d WAL records replayed, checkpoint at version %d, %d branches)",
+			m.DB().TotalRows(), *dataDir, st.RecoveredRecords, st.LastCheckpointVersion, hs.Branches)
 	}
 	if *seed && !recovered {
 		if _, err := m.ExecuteString(workload.Listing15); err != nil {
@@ -96,13 +103,9 @@ func main() {
 	}
 }
 
-func buildMediator(ddlPath, mappingPath, dataDir string) (*core.Mediator, bool, error) {
+func buildMediator(ddlPath, mappingPath string, dbOpts rdb.Options) (*core.Mediator, bool, error) {
 	if ddlPath == "" && mappingPath == "" {
-		if dataDir != "" {
-			return workload.NewPersistentMediator(dataDir, core.Options{})
-		}
-		m, err := workload.NewMediator(core.Options{})
-		return m, false, err
+		return workload.NewMediatorWithOptions(core.Options{}, dbOpts)
 	}
 	if ddlPath == "" || mappingPath == "" {
 		return nil, false, fmt.Errorf("provide both -ddl and -mapping, or neither")
@@ -111,7 +114,7 @@ func buildMediator(ddlPath, mappingPath, dataDir string) (*core.Mediator, bool, 
 	if err != nil {
 		return nil, false, err
 	}
-	db, recovered, err := rdb.Open("ontoaccess", rdb.Options{DataDir: dataDir})
+	db, recovered, err := rdb.Open("ontoaccess", dbOpts)
 	if err != nil {
 		return nil, false, err
 	}

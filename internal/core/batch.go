@@ -53,9 +53,10 @@ type SchedulerStats struct {
 	// MaxBatch is the largest batch committed so far.
 	MaxBatch uint64
 	// ShardBatches counts, per lock shard, the batches whose write set
-	// claimed that shard exclusively (keyed writes); WholeTableBatches
-	// counts batches that took at least one whole-table write lock.
-	ShardBatches [rdb.NumShards]uint64
+	// claimed that shard exclusively (keyed writes); its length is the
+	// database's configured shard count. WholeTableBatches counts
+	// batches that took at least one whole-table write lock.
+	ShardBatches []uint64
 	// WholeTableBatches counts batches holding a whole-table write lock.
 	WholeTableBatches uint64
 	// KeyedFallbacks counts keyed executions that reached outside their
@@ -97,14 +98,18 @@ type writeScheduler struct {
 	ops      atomic.Uint64
 	maxBatch atomic.Uint64
 	// shardBatches[i] counts committed batches whose write set claimed
-	// shard i; wholeBatches counts batches with at least one whole-table
-	// write lock.
-	shardBatches [rdb.NumShards]atomic.Uint64
+	// shard i (sized to the database's shard count); wholeBatches counts
+	// batches with at least one whole-table write lock.
+	shardBatches []atomic.Uint64
 	wholeBatches atomic.Uint64
 }
 
 func newWriteScheduler(db *rdb.Database) *writeScheduler {
-	return &writeScheduler{db: db, queues: make(map[string]*writeQueue)}
+	return &writeScheduler{
+		db:           db,
+		queues:       make(map[string]*writeQueue),
+		shardBatches: make([]atomic.Uint64, db.NumShards()),
+	}
 }
 
 // lockSignature canonicalizes a whole-table lock set; plans precompute
@@ -258,7 +263,7 @@ func (s *writeScheduler) commitBatch(q *writeQueue, own func(tx *rdb.Tx) (*OpRes
 			whole = true
 			continue
 		}
-		for i := 0; i < rdb.NumShards; i++ {
+		for i := range s.shardBatches {
 			if w.Shards.Has(i) {
 				s.shardBatches[i].Add(1)
 			}
@@ -332,6 +337,7 @@ func (m *Mediator) SchedulerStats() SchedulerStats {
 	st.Batches = m.sched.batches.Load()
 	st.Ops = m.sched.ops.Load()
 	st.MaxBatch = m.sched.maxBatch.Load()
+	st.ShardBatches = make([]uint64, len(m.sched.shardBatches))
 	for i := range m.sched.shardBatches {
 		st.ShardBatches[i] = m.sched.shardBatches[i].Load()
 	}

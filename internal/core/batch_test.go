@@ -62,7 +62,7 @@ INSERT DATA {
 	if s.Batches == 0 || s.Batches > s.Ops {
 		t.Errorf("implausible batch count %d for %d ops", s.Batches, s.Ops)
 	}
-	if us := unbatched.SchedulerStats(); us != (SchedulerStats{}) {
+	if us := unbatched.SchedulerStats(); us.Batches != 0 || us.Ops != 0 || us.KeyedFallbacks != 0 {
 		t.Errorf("unbatched mediator reports scheduler stats %+v", us)
 	}
 	gb, err := batched.Export()
@@ -256,7 +256,7 @@ func TestUnbatchedOptionBypassesScheduler(t *testing.T) {
 	mustExec(t, m, seedTeam5)
 	mustExec(t, m, fmt.Sprintf(`%s
 INSERT DATA { ex:author1 foaf:family_name "A" ; ont:team ex:team5 . }`, paperPrologue))
-	if s := m.SchedulerStats(); s != (SchedulerStats{}) {
+	if s := m.SchedulerStats(); s.Batches != 0 || s.Ops != 0 || s.KeyedFallbacks != 0 {
 		t.Fatalf("scheduler ran despite DisableWriteBatching: %+v", s)
 	}
 }

@@ -154,6 +154,77 @@ func (m *Mediator) DurabilityStats() rdb.DurabilityStats { return m.db.Durabilit
 // not be used afterwards.
 func (m *Mediator) Close() error { return m.db.Close() }
 
+// viewOn runs fn inside a lock-free read-only transaction pinned to
+// the resolved read target: Database.View for the live head, a
+// historical or branch-head snapshot otherwise. Every read entry point
+// resolves its target exactly once, here, so a request never observes
+// two different versions.
+func (m *Mediator) viewOn(target rdb.ReadTarget, fn func(tx *rdb.Tx) error) error {
+	if target.IsHead() {
+		return m.db.View(fn)
+	}
+	s, err := m.db.Resolve(target)
+	if err != nil {
+		return err
+	}
+	return s.View(fn)
+}
+
+// ExecuteStringOn executes a SPARQL/Update request against a write
+// target. The zero target is the main head (identical to
+// ExecuteString, including the compiled-plan pipeline and the
+// group-commit scheduler). A branch target routes every operation
+// through the full translation path inside a branch-head transaction.
+// An AS OF target is read-only and fails with *rdb.NonHeadWriteError
+// before any operation runs.
+func (m *Mediator) ExecuteStringOn(src string, target rdb.ReadTarget) (*Result, error) {
+	if target.IsHead() {
+		return m.ExecuteString(src)
+	}
+	if target.AsOf != 0 {
+		err := &rdb.NonHeadWriteError{Target: target.String()}
+		return &Result{Report: feedback.Failure("request", err, nil)}, err
+	}
+	req, err := update.Parse(src)
+	if err != nil {
+		return &Result{Report: feedback.Failure("parse", err, nil)}, err
+	}
+	res := &Result{}
+	for _, op := range req.Ops {
+		opRes, err := m.executeBranchOp(target.Branch, op)
+		if opRes != nil {
+			res.Ops = append(res.Ops, *opRes)
+		}
+		if err != nil {
+			res.Report = feedback.Failure(op.Kind(), err, res.SQL())
+			return res, err
+		}
+	}
+	res.Report = feedback.Success("request", res.SQL())
+	return res, nil
+}
+
+// executeBranchOp runs one operation in its own transaction against a
+// branch head. Branch writes always take the uncompiled translation
+// path: compiled plans and the group-commit scheduler are bound to the
+// main head's lock domain, while a branch transaction serializes on
+// the branch ref itself.
+func (m *Mediator) executeBranchOp(branch string, op update.Operation) (*OpResult, error) {
+	tx, err := m.db.BeginBranch(branch)
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Rollback()
+	opRes, err := m.executeOpInTx(tx, op)
+	if err != nil {
+		return opRes, err
+	}
+	if err := tx.Commit(); err != nil {
+		return opRes, err
+	}
+	return opRes, nil
+}
+
 // checkSchemaAlignment verifies the mapping matches the live schema.
 func (m *Mediator) checkSchemaAlignment() error {
 	for _, tm := range m.mapping.Tables {

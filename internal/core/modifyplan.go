@@ -82,13 +82,27 @@ type ModifyPlan struct {
 	// on top of the write set's foreign-key closure).
 	readTables []string
 	// shardable marks write tables eligible for keyed (shard) write
-	// locks; constSubjects is true when every template subject is
-	// constant after binding, so the touched primary keys — and their
-	// lock shards — are known before execution.
-	shardable     map[string]bool
-	constSubjects bool
-	sel           selectTemplate
-	del, ins      []normPattern
+	// locks. The touched primary keys — and their lock shards — are
+	// known before execution for constant template subjects, and for
+	// variable subjects whose WHERE pattern pins the primary key through
+	// an equality condition (varKeys records that condition per
+	// variable). Shardable tables written by at least one subject whose
+	// key cannot be determined up front stay under whole-table locks
+	// (unkeyed).
+	shardable map[string]bool
+	varKeys   map[string]varKeyCond
+	unkeyed   map[string]bool
+	sel       selectTemplate
+	del, ins  []normPattern
+}
+
+// varKeyCond is the WHERE equality that pins a variable template
+// subject's primary key: the subject's table and either a compile-time
+// constant or a 1-based parameter mark into the plan's bind sources.
+type varKeyCond struct {
+	table string
+	value rdb.Value
+	param int
 }
 
 // Kind returns the operation kind the plan compiles.
@@ -220,25 +234,83 @@ func (m *Mediator) compileModifyPlan(key string, slots int, op update.Modify, nm
 	p.writeTables = sortedTableNames(writes)
 	p.readTables = sortedTableNames(reads)
 	p.lockSig = lockSignature(p.writeTables, p.readTables)
-	p.constSubjects = true
-	for _, sec := range [][]normPattern{nm.del, nm.ins} {
-		for _, np := range sec {
-			if np.s.isVar {
-				p.constSubjects = false
+	for _, t := range p.writeTables {
+		if m.db.ShardableTable(t) {
+			if p.shardable == nil {
+				p.shardable = make(map[string]bool, len(p.writeTables))
 			}
+			p.shardable[t] = true
 		}
 	}
-	if p.constSubjects {
-		for _, t := range p.writeTables {
-			if m.db.ShardableTable(t) {
-				if p.shardable == nil {
-					p.shardable = make(map[string]bool, len(p.writeTables))
-				}
-				p.shardable[t] = true
-			}
-		}
+	if len(p.shardable) > 0 {
+		p.compileSubjectKeys(varTM)
 	}
 	return p, nil
+}
+
+// compileSubjectKeys resolves, per variable template subject, the
+// WHERE condition that pins its primary key — the keyed-narrowing
+// analysis for variable-subject MODIFYs. A variable subject projects
+// its node's primary-key column, so an equality condition on that
+// column (lowered from a pattern like `?e :id "7"`, parameterized or
+// not) determines the row the templates touch before execution.
+// Shardable tables written through at least one subject with no such
+// condition are recorded in unkeyed and stay whole-table locked.
+func (p *ModifyPlan) compileSubjectKeys(varTM map[string]*r3m.TableMap) {
+	for _, sec := range [][]normPattern{p.del, p.ins} {
+		for _, np := range sec {
+			if !np.s.isVar {
+				continue
+			}
+			v := np.s.v
+			if _, done := p.varKeys[v]; done {
+				continue
+			}
+			tm := varTM[v]
+			if tm == nil || !p.shardable[tm.Name] {
+				continue
+			}
+			vk, ok := p.pinnedSubjectKey(v, tm.Name)
+			if !ok {
+				if p.unkeyed == nil {
+					p.unkeyed = make(map[string]bool)
+				}
+				p.unkeyed[tm.Name] = true
+				continue
+			}
+			if p.varKeys == nil {
+				p.varKeys = make(map[string]varKeyCond)
+			}
+			p.varKeys[v] = vk
+		}
+	}
+}
+
+// pinnedSubjectKey scans the compiled SELECT's conditions for a plain
+// equality on the subject variable's primary-key column. Conditions
+// promoted to JOIN ... ON never qualify (they carry OtherColumn), nor
+// do null tests, disjunctions or arithmetic comparisons.
+func (p *ModifyPlan) pinnedSubjectKey(v, table string) (varKeyCond, bool) {
+	for i, name := range p.sel.vars {
+		if name != v {
+			continue
+		}
+		b := p.sel.bindings[i]
+		if b.kind != bindSubject {
+			return varKeyCond{}, false
+		}
+		col := b.alias + "." + b.col
+		for _, w := range p.sel.spec.Where {
+			if w.Column != col || w.Op != sqlgen.CmpEq ||
+				w.OtherColumn != "" || w.IsNull || w.NotNull ||
+				len(w.Or) > 0 || w.LeftExpr != nil {
+				continue
+			}
+			return varKeyCond{table: table, value: w.Value, param: w.Param}, true
+		}
+		return varKeyCond{}, false
+	}
+	return varKeyCond{}, false
 }
 
 // patternNeverInstantiates reports whether a template triple uses a
@@ -348,18 +420,43 @@ func (p *ModifyPlan) bind(m *Mediator, args []string) (*boundModify, error) {
 // writeShards computes the bound MODIFY's per-table lock demand from
 // the instantiated template subjects: shardable write tables narrow
 // to the shards their subjects' primary keys hash to, the rest stay
-// whole-table. Any subject that fails to identify its key bails to
-// nil (all whole-table) — always correct, never wrong. The WHERE
-// SELECT and the per-binding data operations are checked dynamically
-// by the transaction layer; an access outside the declared shards
-// surfaces as a lock error and the operation re-runs uncompiled.
+// whole-table. Constant subjects identify their key through the
+// mapping; variable subjects use the primary-key equality their WHERE
+// pattern pinned at compile time (varKeys). Any subject that fails to
+// identify its key bails to nil (all whole-table) — always correct,
+// never wrong. The WHERE SELECT and the per-binding data operations
+// are checked dynamically by the transaction layer; an access outside
+// the declared shards surfaces as a lock error and the operation
+// re-runs uncompiled.
 func (p *ModifyPlan) writeShards(m *Mediator, args []string) []rdb.TableShards {
-	if !p.constSubjects || len(p.shardable) == 0 {
+	if len(p.shardable) == 0 {
 		return nil
 	}
 	masks := make(map[string]rdb.ShardSet, len(p.shardable))
 	for _, sec := range [][]normPattern{p.del, p.ins} {
 		for _, np := range sec {
+			if np.s.isVar {
+				vk, ok := p.varKeys[np.s.v]
+				if !ok {
+					// Unpinned subject: its table is excluded below (or was
+					// never shardable / never instantiates).
+					continue
+				}
+				pk := vk.value
+				if vk.param > 0 {
+					v, err := m.bindValue(&p.sel.srcs[vk.param-1], "", args)
+					if err != nil {
+						return nil
+					}
+					pk = v
+				}
+				s, ok := m.db.ShardOfPK(vk.table, pk)
+				if !ok {
+					return nil
+				}
+				masks[vk.table] = masks[vk.table].With(s)
+				continue
+			}
 			uri := np.s.term.Value
 			if np.s.segs != nil {
 				uri = bindSegs(np.s.segs, args)
@@ -385,6 +482,9 @@ func (p *ModifyPlan) writeShards(m *Mediator, args []string) []rdb.TableShards {
 			}
 			masks[tm.Name] = masks[tm.Name].With(s)
 		}
+	}
+	for t := range p.unkeyed {
+		delete(masks, t)
 	}
 	if len(masks) == 0 {
 		return nil

@@ -726,14 +726,24 @@ type QueryResult struct {
 // SELECTs, then evaluation over the virtual RDF view, exactly the
 // paper's read path.
 func (m *Mediator) Query(src string) (*QueryResult, error) {
+	return m.QueryOn(src, rdb.ReadTarget{})
+}
+
+// QueryOn evaluates a SPARQL query against a read target: the live
+// head (zero target), a retained historical version (AsOf), or a
+// branch head (Branch). Compiled plans, the parse memo and both
+// fallback paths all run against the same resolved snapshot, so the
+// result is byte-identical to what Query returned when that version
+// was the head.
+func (m *Mediator) QueryOn(src string, target rdb.ReadTarget) (*QueryResult, error) {
 	if !m.opts.DisablePlanCache {
 		if cq, hit := m.qparses.get(src); hit {
-			if out, err, handled := m.runCachedQuery(cq); handled {
+			if out, err, handled := m.runCachedQuery(cq, target); handled {
 				m.queryCompiled.Add(1)
 				return out, err
 			}
 			m.queryFallback.Add(1)
-			return m.queryUncompiled(cq.q)
+			return m.queryUncompiled(cq.q, target)
 		}
 	}
 	q, err := sparql.ParseQuery(src)
@@ -743,13 +753,13 @@ func (m *Mediator) Query(src string) (*QueryResult, error) {
 	if !m.opts.DisablePlanCache {
 		cq := m.buildCachedQuery(src, q)
 		m.qparses.put(src, cq)
-		if out, err, handled := m.runCachedQuery(cq); handled {
+		if out, err, handled := m.runCachedQuery(cq, target); handled {
 			m.queryCompiled.Add(1)
 			return out, err
 		}
 	}
 	m.queryFallback.Add(1)
-	return m.queryUncompiled(q)
+	return m.queryUncompiled(q, target)
 }
 
 // QueryExecStats reports how many Query calls were served by a bound
@@ -766,9 +776,9 @@ func (m *Mediator) QueryExecStats() (compiled, fallback uint64) {
 // everything else (and any translation failure) evaluates over the
 // virtual RDF view. It executes the exact SQL the compiled path lowers
 // structurally, serving as the parity baseline for the plan pipeline.
-func (m *Mediator) queryUncompiled(q *sparql.Query) (*QueryResult, error) {
+func (m *Mediator) queryUncompiled(q *sparql.Query, target rdb.ReadTarget) (*QueryResult, error) {
 	out := &QueryResult{Form: q.Form}
-	err := m.db.View(func(tx *rdb.Tx) error {
+	err := m.viewOn(target, func(tx *rdb.Tx) error {
 		// Fast path: SELECT over a translatable pattern — aggregating,
 		// UNION-splitting, or plain, in that order of specificity.
 		if q.Form == sparql.FormSelect && q.Where != nil {

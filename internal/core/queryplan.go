@@ -510,6 +510,17 @@ func specSelect(spec *sqlgen.SelectSpec) (sqlparser.Select, error) {
 	for _, g := range spec.GroupBy {
 		sel.GroupBy = append(sel.GroupBy, colRefOf(g))
 	}
+	for _, h := range spec.Having {
+		fn, ok := aggFuncOf[h.Fn]
+		if !ok {
+			return sqlparser.Select{}, fmt.Errorf("core: unknown aggregate %q in HAVING spec", h.Fn)
+		}
+		cond := sqlparser.HavingCond{Agg: fn, Op: cmpToParserOp[h.Op], Val: h.Value}
+		if h.Column != "" {
+			cond.Expr = colRefOf(h.Column)
+		}
+		sel.Having = append(sel.Having, cond)
+	}
 	for _, k := range spec.OrderBy {
 		sel.OrderBy = append(sel.OrderBy, sqlparser.OrderKey{Expr: colRefOf(k.Column), Desc: k.Desc})
 	}
@@ -706,12 +717,12 @@ func (m *Mediator) queryPlanForShape(key string, slots int, q *sparql.Query, nq 
 // lock-free snapshot view. handled is false when the entry is
 // uncompiled or the compiled execution failed — the uncompiled path is
 // then authoritative, mirroring the text fast path's silent fallback.
-func (m *Mediator) runCachedQuery(cq *cachedQuery) (*QueryResult, error, bool) {
+func (m *Mediator) runCachedQuery(cq *cachedQuery, target rdb.ReadTarget) (*QueryResult, error, bool) {
 	if cq.bound == nil {
 		return nil, nil, false
 	}
 	var out *QueryResult
-	err := m.db.View(func(tx *rdb.Tx) error {
+	err := m.viewOn(target, func(tx *rdb.Tx) error {
 		var e error
 		out, e = cq.plan.exec(m, tx, cq.bound)
 		return e

@@ -339,6 +339,9 @@ func aggNeededVars(q *sparql.Query) []string {
 			add(a.Var)
 		}
 	}
+	for _, hc := range q.Having {
+		add(hc.Agg.Var)
+	}
 	return out
 }
 
@@ -405,9 +408,63 @@ func applyAggregates(st *SelectTranslation, q *sparql.Query, spec *sqlgen.Select
 		}
 	}
 	spec.AggItems = items
+	for _, hc := range q.Having {
+		h, err := lowerHavingCond(st, hc)
+		if err != nil {
+			return err
+		}
+		spec.Having = append(spec.Having, h)
+	}
 	st.Vars = append([]string{}, q.Vars...)
 	st.bindings = outBinds
 	return nil
+}
+
+// lowerHavingCond compiles one HAVING conjunct onto the SQL tail. The
+// aggregate argument carries the same proof obligations as a projected
+// aggregate (the executor computes the identical accumulator either
+// way), and the literal side must be a plain numeric or string
+// constant — both engines then apply the same lexical comparison rule
+// to byte-identical operands.
+func lowerHavingCond(st *SelectTranslation, hc sparql.HavingCond) (sqlgen.HavingSpec, error) {
+	none := sqlgen.HavingSpec{}
+	h := sqlgen.HavingSpec{Fn: hc.Agg.Fn, Op: sparqlToCmp[hc.Op]}
+	if hc.Agg.Var != "" {
+		b, ok := st.binds[hc.Agg.Var]
+		if !ok {
+			return none, fmt.Errorf("core: HAVING uses unbound variable ?%s", hc.Agg.Var)
+		}
+		if b.nullable {
+			return none, fmt.Errorf("core: HAVING over optional variable ?%s is not translatable", hc.Agg.Var)
+		}
+		if hc.Agg.Fn != "COUNT" {
+			col, ok := filterableBinding(b)
+			if !ok {
+				return none, fmt.Errorf("core: HAVING argument ?%s is not a data attribute", hc.Agg.Var)
+			}
+			if colClass(col.Type) != 1 ||
+				!(stringishDatatype(b.am.Datatype) || numericDatatype(b.am.Datatype)) {
+				return none, fmt.Errorf("core: HAVING %s argument ?%s is not numerically stored", hc.Agg.Fn, hc.Agg.Var)
+			}
+		}
+		h.Column = b.alias + "." + b.col
+	}
+	t := hc.Lit
+	switch {
+	case t.Lang != "":
+		return none, fmt.Errorf("core: HAVING against a language-tagged literal is not translatable")
+	case t.IsNumeric():
+		v, ok := filterNumericValue(t.Value)
+		if !ok {
+			return none, fmt.Errorf("core: HAVING constant %s is not finite", t)
+		}
+		h.Value = v
+	case stringishDatatype(t.Datatype):
+		h.Value = rdb.String_(t.Value)
+	default:
+		return none, fmt.Errorf("core: HAVING constant %s is not translatable", t)
+	}
+	return h, nil
 }
 
 // runAggregateSelect is the uncompiled aggregate fast path. ok is

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"ontoaccess/internal/r3m"
+	"ontoaccess/internal/rdb"
+	"ontoaccess/internal/rdb/sqlexec"
 )
 
 // TestSameTableWritersDisjointKeyRanges drives concurrent writers that
@@ -102,5 +106,116 @@ WHERE { ex:author%d foaf:family_name ?old . }`, paperPrologue, id, id, id, id)
 			t.Logf("batches=%d ops=%d shard-batch-claims=%d whole-table=%d keyed-fallbacks=%d",
 				st.Batches, st.Ops, keyed, st.WholeTableBatches, st.KeyedFallbacks)
 		})
+	}
+}
+
+// pinnedPKMediator maps a schema whose primary key is itself exposed
+// as a data property (ont:personID) — the shape that lets a
+// variable-subject MODIFY pin its row inside the WHERE pattern.
+func pinnedPKMediator(t testing.TB) *Mediator {
+	t.Helper()
+	db := rdb.NewDatabase("people")
+	if _, err := sqlexec.Run(db, `CREATE TABLE person (id INTEGER PRIMARY KEY, nick VARCHAR NOT NULL);`); err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := r3m.Load(`
+@prefix r3m: <http://ontoaccess.org/r3m#> .
+@prefix map: <http://example.org/mapping#> .
+@prefix ont: <http://example.org/ontology#> .
+
+map:database a r3m:DatabaseMap ;
+    r3m:uriPrefix "http://example.org/db/" ;
+    r3m:hasTable map:person .
+
+map:person a r3m:TableMap ;
+    r3m:hasTableName "person" ;
+    r3m:mapsToClass ont:Person ;
+    r3m:uriPattern "person%%id%%" ;
+    r3m:hasAttribute map:person_id , map:person_nick .
+
+map:person_id a r3m:AttributeMap ;
+    r3m:hasAttributeName "id" ;
+    r3m:mapsToDataProperty ont:personID ;
+    r3m:hasConstraint [ a r3m:PrimaryKey ] .
+
+map:person_nick a r3m:AttributeMap ;
+    r3m:hasAttributeName "nick" ;
+    r3m:mapsToDataProperty ont:nick .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(db, mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestVariableSubjectModifyKeyedByPinnedPK drives variable-subject
+// MODIFYs whose WHERE pins the primary key through an ont:personID
+// pattern. The bind-time narrowing must lock only the pinned key's
+// shard — so the run claims shard batches, never takes a whole-table
+// write lock, and never trips the keyed-fallback retry.
+func TestVariableSubjectModifyKeyedByPinnedPK(t *testing.T) {
+	m := pinnedPKMediator(t)
+	const workers = 8
+	const perWorker = 20
+	prologue := "PREFIX ont: <http://example.org/ontology#>\nPREFIX ex: <http://example.org/db/>\n"
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * 1_000_000
+			for i := 0; i < perWorker; i++ {
+				id := base + i + 1
+				ins := fmt.Sprintf("%sINSERT DATA { ex:person%d ont:nick \"n%d\" . }", prologue, id, id)
+				if _, err := m.ExecuteString(ins); err != nil {
+					errs <- fmt.Errorf("insert %d: %w", id, err)
+					return
+				}
+				mod := fmt.Sprintf(`%sMODIFY
+DELETE { ?p ont:nick ?old . }
+INSERT { ?p ont:nick "m%d" . }
+WHERE { ?p ont:personID "%d" ; ont:nick ?old . }`, prologue, id, id)
+				if _, err := m.ExecuteString(mod); err != nil {
+					errs <- fmt.Errorf("modify %d: %w", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n, _ := m.DB().RowCount("person"); n != workers*perWorker {
+		t.Fatalf("person rows = %d, want %d", n, workers*perWorker)
+	}
+	rs, err := sqlexec.Query(m.DB(), `SELECT id, nick FROM person`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rs.Rows {
+		if want := "m" + row[0].Text(); row[1].Text() != want {
+			t.Errorf("person %s nick = %q, want %q", row[0].Text(), row[1].Text(), want)
+		}
+	}
+	st := m.SchedulerStats()
+	var keyed uint64
+	for _, n := range st.ShardBatches {
+		keyed += n
+	}
+	if keyed == 0 {
+		t.Errorf("no batch claimed a key shard; variable-subject narrowing is dead code (stats %+v)", st)
+	}
+	if st.WholeTableBatches != 0 {
+		t.Errorf("%d batches took whole-table locks; pinned-pk MODIFYs should all narrow", st.WholeTableBatches)
+	}
+	if st.KeyedFallbacks != 0 {
+		t.Errorf("%d keyed fallbacks; narrowing must cover the declared write set", st.KeyedFallbacks)
 	}
 }

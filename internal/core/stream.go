@@ -50,8 +50,17 @@ type StreamSink interface {
 // the existing machinery and replay the materialized result through
 // the sink, so QueryStream is a strict superset interface over Query.
 func (m *Mediator) QueryStream(src string, sink StreamSink) error {
+	return m.QueryStreamOn(src, sink, rdb.ReadTarget{})
+}
+
+// QueryStreamOn is QueryStream against a read target: the compiled
+// cursor (and every fallback path) pins the resolved historical or
+// branch-head snapshot instead of the live head. A pinned AS OF stream
+// is byte-stable under concurrent writes — the cursor's snapshot can
+// no longer change hands mid-stream by definition.
+func (m *Mediator) QueryStreamOn(src string, sink StreamSink, target rdb.ReadTarget) error {
 	if m.opts.DisablePlanCache {
-		out, err := m.Query(src)
+		out, err := m.QueryOn(src, target)
 		if err != nil {
 			return err
 		}
@@ -67,11 +76,11 @@ func (m *Mediator) QueryStream(src string, sink StreamSink) error {
 		m.qparses.put(src, cq)
 	}
 	if cq.bound != nil && cq.plan.form == sparql.FormSelect && len(cq.plan.union) == 0 {
-		if handled, err := m.streamCompiled(cq, sink); handled {
+		if handled, err := m.streamCompiled(cq, sink, target); handled {
 			m.queryCompiled.Add(1)
 			return err
 		}
-	} else if out, err, handled := m.runCachedQuery(cq); handled {
+	} else if out, err, handled := m.runCachedQuery(cq, target); handled {
 		m.queryCompiled.Add(1)
 		if err != nil {
 			return err
@@ -79,7 +88,7 @@ func (m *Mediator) QueryStream(src string, sink StreamSink) error {
 		return replayResult(out, sink)
 	}
 	m.queryFallback.Add(1)
-	out, err := m.queryUncompiled(cq.q)
+	out, err := m.queryUncompiled(cq.q, target)
 	if err != nil {
 		return err
 	}
@@ -93,12 +102,12 @@ func (m *Mediator) QueryStream(src string, sink StreamSink) error {
 // runCachedQuery's silent fallback. Head is deferred until the first
 // surviving row (or successful completion), so head-of-stream
 // failures still fall back invisibly.
-func (m *Mediator) streamCompiled(cq *cachedQuery, sink StreamSink) (handled bool, err error) {
+func (m *Mediator) streamCompiled(cq *cachedQuery, sink StreamSink, target rdb.ReadTarget) (handled bool, err error) {
 	plan, bq := cq.plan, cq.bound
 	st := &SelectTranslation{SQL: bq.sql, Vars: plan.sel.vars, bindings: plan.sel.bindings, m: m}
 	delivered := false
 	b := make(sparql.Binding, len(st.bindings))
-	verr := m.db.View(func(tx *rdb.Tx) error {
+	verr := m.viewOn(target, func(tx *rdb.Tx) error {
 		return sqlexec.SelectFunc(tx, bq.sel,
 			func([]string) error { return nil },
 			func(row []rdb.Value) (bool, error) {

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ontoaccess/internal/ntriples"
+	"ontoaccess/internal/rdb"
+)
+
+// TestAsOfCurrentEqualsPlainRead is the metamorphic anchor of the
+// read-target contract: addressing the current head version
+// explicitly must be indistinguishable from the plain read, across
+// compiled, aggregate and fallback query shapes.
+func TestAsOfCurrentEqualsPlainRead(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	mustExec(t, m, listing9)
+	head := m.DB().SnapshotVersion()
+	for _, q := range []string{
+		`SELECT ?m WHERE { ex:author6 foaf:mbox ?m . }`,
+		`SELECT ?f ?l WHERE { ?x foaf:firstName ?f ; foaf:family_name ?l . } ORDER BY ?l`,
+		`SELECT (COUNT(*) AS ?n) WHERE { ?x foaf:family_name ?l . }`,
+		`SELECT ?x WHERE { ?x foaf:family_name ?l . FILTER (STR(?l) = "Hert") }`,
+		`ASK { ex:author6 ont:team ex:team5 . }`,
+	} {
+		src := paperPrologue + q
+		plain, err := m.Query(src)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		pinned, err := m.QueryOn(src, rdb.ReadTarget{AsOf: head})
+		if err != nil {
+			t.Fatalf("%s: as of %d: %v", q, head, err)
+		}
+		if !reflect.DeepEqual(plain, pinned) {
+			t.Errorf("%s:\nplain  %+v\npinned %+v", q, plain, pinned)
+		}
+	}
+	// The branch target "spelled main" — resolved through the ref — is
+	// the same snapshot.
+	g1, err := m.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.ExportOn(rdb.ReadTarget{AsOf: head})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ntriples.Format(g1) != ntriples.Format(g2) {
+		t.Errorf("export differs:\n%s\nvs\n%s", ntriples.Format(g1), ntriples.Format(g2))
+	}
+}
+
+// TestPinnedAsOfStableUnderModifyStream pins a snapshot version and
+// asserts that re-reads of that version return byte-identical results
+// while a concurrent MODIFY stream rewrites the row — the isolation
+// half of the time-travel contract.
+func TestPinnedAsOfStableUnderModifyStream(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	mustExec(t, m, listing9)
+	pinned := m.DB().SnapshotVersion()
+	src := paperPrologue + `SELECT ?f ?m WHERE { ex:author6 foaf:firstName ?f ; foaf:mbox ?m . }`
+	want, err := m.QueryOn(src, rdb.ReadTarget{AsOf: pinned})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const modifies = 60
+	done := make(chan struct{})
+	var writerErr error
+	go func() {
+		defer close(done)
+		for i := 0; i < modifies; i++ {
+			_, err := m.ExecuteString(fmt.Sprintf(paperPrologue+`
+MODIFY
+DELETE { ex:author6 foaf:mbox ?m . }
+INSERT { ex:author6 foaf:mbox <mailto:v%d@example.org> . }
+WHERE { ex:author6 foaf:mbox ?m . }`, i))
+			if err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got, err := m.QueryOn(src, rdb.ReadTarget{AsOf: pinned})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got.Solutions, want.Solutions) {
+					errs <- fmt.Errorf("pinned read drifted: %v vs %v", got.Solutions, want.Solutions)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	if writerErr != nil {
+		t.Fatal(writerErr)
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The head moved past the pinned version.
+	head, err := m.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(head.Solutions, want.Solutions) {
+		t.Errorf("head did not move: %v", head.Solutions)
+	}
+}
+
+// TestNonHeadWriteRejected: updates addressed at a historical version
+// fail with the typed error before touching any table.
+func TestNonHeadWriteRejected(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	v := m.DB().SnapshotVersion()
+	mustExec(t, m, listing9)
+	_, err := m.ExecuteStringOn(listing9, rdb.ReadTarget{AsOf: v})
+	var nh *rdb.NonHeadWriteError
+	if !errors.As(err, &nh) {
+		t.Fatalf("err = %v, want NonHeadWriteError", err)
+	}
+	rows := m.DB().TotalRows()
+	if rows != 2 {
+		t.Errorf("rows = %d after rejected write", rows)
+	}
+}
+
+// TestBranchWriteRoutingAndMergeExport: a branch write lands on the
+// branch head only; after a fast-forward merge, the main export is
+// byte-identical to the branch export taken before the merge — the
+// merge metamorphic invariant.
+func TestBranchWriteRoutingAndMergeExport(t *testing.T) {
+	m := paperMediator(t, Options{})
+	mustExec(t, m, seedTeam5)
+	mustExec(t, m, listing9)
+	if err := m.DB().CreateBranch("work"); err != nil {
+		t.Fatal(err)
+	}
+	onBranch := rdb.ReadTarget{Branch: "work"}
+	if _, err := m.ExecuteStringOn(paperPrologue+`
+MODIFY
+DELETE { ex:author6 foaf:mbox ?m . }
+INSERT { ex:author6 foaf:mbox <mailto:branch@example.org> . }
+WHERE { ex:author6 foaf:mbox ?m . }`, onBranch); err != nil {
+		t.Fatal(err)
+	}
+
+	mainRes, err := m.Query(paperPrologue + `SELECT ?m WHERE { ex:author6 foaf:mbox ?m . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mainRes.Solutions) != 1 || mainRes.Solutions[0]["m"].Value != "mailto:hert@ifi.uzh.ch" {
+		t.Fatalf("main saw the branch write: %v", mainRes.Solutions)
+	}
+	branchRes, err := m.QueryOn(paperPrologue+`SELECT ?m WHERE { ex:author6 foaf:mbox ?m . }`, onBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branchRes.Solutions) != 1 || branchRes.Solutions[0]["m"].Value != "mailto:branch@example.org" {
+		t.Fatalf("branch missed its write: %v", branchRes.Solutions)
+	}
+
+	branchExport, err := m.ExportOn(onBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.DB().Merge("work", rdb.MainBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FastForward {
+		t.Errorf("merge = %+v, want fast-forward", res)
+	}
+	mainExport, err := m.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ntriples.Format(mainExport) != ntriples.Format(branchExport) {
+		t.Errorf("merged main differs from the branch:\n%s\nvs\n%s",
+			ntriples.Format(mainExport), ntriples.Format(branchExport))
+	}
+}

@@ -256,8 +256,15 @@ func (vg *VirtualGraph) scanLinkTableFiltered(lt *r3m.LinkTableMap, subjKey *rdb
 // graph a native triple store would hold after the same update
 // history (used by the sync example and the bijectivity tests).
 func (m *Mediator) Export() (*rdf.Graph, error) {
+	return m.ExportOn(rdb.ReadTarget{})
+}
+
+// ExportOn materializes the RDF view of a read target — the graph a
+// native triple store would have held when that version was the head
+// (AsOf), or holds on a branch head (Branch).
+func (m *Mediator) ExportOn(target rdb.ReadTarget) (*rdf.Graph, error) {
 	g := rdf.NewGraph()
-	err := m.db.View(func(tx *rdb.Tx) error {
+	err := m.viewOn(target, func(tx *rdb.Tx) error {
 		vg := m.VirtualGraph(tx)
 		vg.Match(rdf.Triple{}, func(t rdf.Triple) bool {
 			g.Add(t)

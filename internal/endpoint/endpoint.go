@@ -18,9 +18,20 @@
 //	GET /export   — the full RDF view as Turtle or N-Triples.
 //	GET /mapping  — the active R3M mapping as Turtle.
 //	GET /healthz  — liveness probe with row counts, the published
-//	                snapshot version, group-commit statistics,
-//	                plan-cache effectiveness (update, MODIFY and
-//	                query plans) and endpoint load counters.
+//	                snapshot version, commit-DAG history statistics,
+//	                group-commit statistics, plan-cache effectiveness
+//	                (update, MODIFY and query plans) and endpoint load
+//	                counters.
+//	/branches     — the time-travel admin surface: GET lists the named
+//	                refs (or diffs two targets with ?diff&from&to),
+//	                POST creates, drops or merges (?action=create|
+//	                drop|merge).
+//
+// Time travel rides the read routes as URL parameters: /sparql and
+// /export accept ?asOf=<version> (a retained historical snapshot) or
+// ?branch=<name> (a named branch head), and /update accepts ?branch=
+// to address writes at a branch head. An asOf target on /update is
+// rejected — historical snapshots are immutable.
 //
 // Request handling is fully concurrent: queries and exports evaluate
 // against lock-free database snapshots (they never wait for writers),
@@ -48,6 +59,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,6 +67,7 @@ import (
 
 	"ontoaccess/internal/core"
 	"ontoaccess/internal/ntriples"
+	"ontoaccess/internal/rdb"
 	"ontoaccess/internal/rdf"
 	"ontoaccess/internal/sparql"
 	"ontoaccess/internal/turtle"
@@ -126,6 +139,7 @@ func NewWithOptions(m *core.Mediator, opts Options) *Server {
 	s.mux.HandleFunc("/update", s.limited(s.handleUpdate))
 	s.mux.HandleFunc("/sparql", s.limited(s.handleQuery))
 	s.mux.HandleFunc("/export", s.limited(s.handleExport))
+	s.mux.HandleFunc("/branches", s.limited(s.handleBranches))
 	s.mux.HandleFunc("/mapping", s.handleMapping)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
@@ -208,9 +222,53 @@ var bufPool = sync.Pool{
 
 const turtleMIME = "text/turtle; charset=utf-8"
 
+// readTarget extracts the time-travel target from a request's URL
+// parameters: ?asOf=<version> pins a retained historical snapshot,
+// ?branch=<name> a named branch head. At most one may be given.
+func readTarget(r *http.Request) (rdb.ReadTarget, error) {
+	q := r.URL.Query()
+	asOf, branch := q.Get("asOf"), q.Get("branch")
+	if asOf != "" && branch != "" {
+		return rdb.ReadTarget{}, fmt.Errorf("endpoint: asOf and branch are mutually exclusive")
+	}
+	if asOf != "" {
+		v, err := strconv.ParseUint(asOf, 10, 64)
+		if err != nil || v == 0 {
+			return rdb.ReadTarget{}, fmt.Errorf("endpoint: invalid asOf version %q", asOf)
+		}
+		return rdb.ReadTarget{AsOf: v}, nil
+	}
+	if branch != "" && branch != rdb.MainBranch {
+		return rdb.ReadTarget{Branch: branch}, nil
+	}
+	return rdb.ReadTarget{}, nil
+}
+
+// targetStatus maps a resolution failure onto an HTTP status: targets
+// that do not exist (evicted or never-published versions, missing
+// branches) are 404s, everything else a client error.
+func targetStatus(err error) int {
+	var ve *rdb.VersionError
+	var be *rdb.BranchError
+	if errors.As(err, &ve) || errors.As(err, &be) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a SPARQL/Update request", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.URL.Query().Get("asOf") != "" {
+		http.Error(w, "historical snapshots are immutable; writes take ?branch=, not ?asOf=",
+			http.StatusBadRequest)
+		return
+	}
+	target, err := readTarget(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	src, err := readUpdateBody(r)
@@ -218,7 +276,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, execErr := s.mediator.ExecuteString(src)
+	res, execErr := s.mediator.ExecuteStringOn(src, target)
+	if execErr != nil && (res == nil || res.Report == nil) {
+		// No feedback report to render: the failure happened before
+		// translation (an unknown branch, a non-head target).
+		http.Error(w, execErr.Error(), targetStatus(execErr))
+		return
+	}
 	w.Header().Set("Content-Type", turtleMIME)
 	if execErr != nil {
 		// Constraint violations are client errors; everything the
@@ -279,6 +343,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing 'query' parameter", http.StatusBadRequest)
 		return
 	}
+	target, terr := readTarget(r)
+	if terr != nil {
+		http.Error(w, terr.Error(), http.StatusBadRequest)
+		return
+	}
 	wantJSON := strings.Contains(r.Header.Get("Accept"), "application/sparql-results+json") ||
 		strings.Contains(r.Header.Get("Accept"), "application/json")
 
@@ -289,7 +358,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		bufPool.Put(bw)
 	}()
 	sink := &querySink{w: w, bw: bw, ctx: r.Context(), wantJSON: wantJSON}
-	if err := s.mediator.QueryStream(query, sink); err != nil {
+	if err := s.mediator.QueryStreamOn(query, sink, target); err != nil {
 		s.failStream(w, sink, err)
 		return
 	}
@@ -327,7 +396,7 @@ func (s *Server) failStream(w http.ResponseWriter, sink *querySink, err error) {
 			http.Error(w, "query timed out: "+err.Error(), http.StatusGatewayTimeout)
 			return
 		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), targetStatus(err))
 		return
 	}
 	s.truncated.Add(1)
@@ -430,8 +499,17 @@ func (k *querySink) finish() error {
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
-	g, err := s.mediator.Export()
+	target, terr := readTarget(r)
+	if terr != nil {
+		http.Error(w, terr.Error(), http.StatusBadRequest)
+		return
+	}
+	g, err := s.mediator.ExportOn(target)
 	if err != nil {
+		if !target.IsHead() {
+			http.Error(w, err.Error(), targetStatus(err))
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -463,6 +541,124 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	s.streamed.Add(1)
 }
 
+// handleBranches is the time-travel admin surface.
+//
+//	GET  /branches                         — list named refs
+//	GET  /branches?diff&from=<t>&to=<t>    — structural diff of two
+//	                                         targets (a version number,
+//	                                         a branch name, or "main")
+//	POST /branches?action=create&name=<n>  — fork a branch off main
+//	POST /branches?action=drop&name=<n>    — remove a ref
+//	POST /branches?action=merge&from=<n>&into=<n> — merge refs (one
+//	                                         side must be "main")
+func (s *Server) handleBranches(w http.ResponseWriter, r *http.Request) {
+	db := s.mediator.DB()
+	q := r.URL.Query()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch r.Method {
+	case http.MethodGet:
+		if _, ok := q["diff"]; ok {
+			s.writeDiff(w, q.Get("from"), q.Get("to"))
+			return
+		}
+		hs := db.HistoryStats()
+		fmt.Fprintf(w, "main head=%d seq=%d\n", hs.Head, hs.Seq)
+		for _, b := range db.ListBranches() {
+			fmt.Fprintf(w, "%s head=%d parent=%d base=%d created=%d\n",
+				b.Name, b.Head, b.HeadParent, b.Base, b.CreatedAt)
+		}
+	case http.MethodPost:
+		switch action := q.Get("action"); action {
+		case "create":
+			if err := db.CreateBranch(q.Get("name")); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			fmt.Fprintf(w, "created %s\n", q.Get("name"))
+		case "drop":
+			if err := db.DropBranch(q.Get("name")); err != nil {
+				http.Error(w, err.Error(), targetStatus(err))
+				return
+			}
+			fmt.Fprintf(w, "dropped %s\n", q.Get("name"))
+		case "merge":
+			res, err := db.Merge(q.Get("from"), q.Get("into"))
+			if err != nil {
+				var conflict *rdb.MergeConflictError
+				var merr *rdb.MergeError
+				status := targetStatus(err)
+				if errors.As(err, &conflict) || errors.As(err, &merr) {
+					status = http.StatusConflict
+				}
+				http.Error(w, err.Error(), status)
+				return
+			}
+			switch {
+			case res.UpToDate:
+				fmt.Fprintf(w, "merge %s into %s: already up to date\n", res.From, res.Into)
+			case res.FastForward:
+				fmt.Fprintf(w, "merge %s into %s: fast-forward to version %d\n",
+					res.From, res.Into, res.Version)
+			default:
+				fmt.Fprintf(w, "merge %s into %s: version %d, %d rows applied\n",
+					res.From, res.Into, res.Version, res.Applied)
+			}
+		default:
+			http.Error(w, "unknown action; want create, drop or merge", http.StatusBadRequest)
+		}
+	default:
+		http.Error(w, "GET lists or diffs, POST mutates", http.StatusMethodNotAllowed)
+	}
+}
+
+// parseRefSpec reads a diff target: a decimal snapshot version, the
+// trunk name, or a branch name.
+func parseRefSpec(spec string) (rdb.ReadTarget, error) {
+	if spec == "" {
+		return rdb.ReadTarget{}, fmt.Errorf("endpoint: missing diff target")
+	}
+	if v, err := strconv.ParseUint(spec, 10, 64); err == nil {
+		return rdb.ReadTarget{AsOf: v}, nil
+	}
+	if spec == rdb.MainBranch {
+		return rdb.ReadTarget{}, nil
+	}
+	return rdb.ReadTarget{Branch: spec}, nil
+}
+
+func (s *Server) writeDiff(w http.ResponseWriter, fromSpec, toSpec string) {
+	from, err := parseRefSpec(fromSpec)
+	if err == nil {
+		var to rdb.ReadTarget
+		to, err = parseRefSpec(toSpec)
+		if err == nil {
+			var d *rdb.DatabaseDiff
+			d, err = s.mediator.DB().Diff(from, to)
+			if err == nil {
+				fmt.Fprintf(w, "diff %d..%d\n", d.From, d.To)
+				for _, t := range d.TablesAdded {
+					fmt.Fprintf(w, "table %s: added\n", t)
+				}
+				for _, t := range d.TablesRemoved {
+					fmt.Fprintf(w, "table %s: removed\n", t)
+				}
+				for _, t := range d.Tables {
+					fmt.Fprintf(w, "table %s: +%d -%d ~%d", t.Table, t.Added, t.Removed, t.Updated)
+					if len(t.SampleKeys) > 0 {
+						fmt.Fprintf(w, " keys %s", strings.Join(t.SampleKeys, " "))
+					}
+					fmt.Fprintln(w)
+				}
+				if d.Empty() {
+					fmt.Fprintf(w, "identical\n")
+				}
+				return
+			}
+		}
+	}
+	http.Error(w, err.Error(), targetStatus(err))
+}
+
 func (s *Server) handleMapping(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", turtleMIME)
 	io.WriteString(w, s.mediator.Mapping().Turtle())
@@ -473,6 +669,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	db := s.mediator.DB()
 	fmt.Fprintf(w, "ok\ndatabase: %s\n", db.Name())
 	fmt.Fprintf(w, "snapshot version: %d\n", db.SnapshotVersion())
+	hs := db.HistoryStats()
+	fmt.Fprintf(w, "history: seq %d, %d/%d snapshots retained", hs.Seq, hs.Retained, hs.Depth)
+	if hs.Retained > 0 {
+		fmt.Fprintf(w, " (versions %d..%d)", hs.Oldest, hs.Newest)
+	}
+	fmt.Fprintf(w, ", %d evicted\n", hs.Evictions)
+	fmt.Fprintf(w, "branches: %d named refs\n", hs.Branches)
 	st := s.mediator.SchedulerStats()
 	fmt.Fprintf(w, "write batches: %d (%d ops, max batch %d)\n", st.Batches, st.Ops, st.MaxBatch)
 	var keyed uint64

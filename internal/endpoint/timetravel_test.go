@@ -1,0 +1,154 @@
+package endpoint
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"ontoaccess/internal/workload"
+)
+
+func getPath(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+const mboxQuery = `SELECT ?m WHERE { ex:author6 foaf:mbox ?m . }`
+
+// TestTimeTravelQueryAndExport drives ?asOf= on /sparql and /export:
+// after a MODIFY, the head read shows the new state while an AS OF
+// read of the pre-MODIFY version reproduces the old response exactly.
+func TestTimeTravelQueryAndExport(t *testing.T) {
+	s, m := newServer(t)
+	if rec := post(t, s, "/update", "application/sparql-update", workload.Listing15); rec.Code != http.StatusOK {
+		t.Fatalf("seed status = %d:\n%s", rec.Code, rec.Body)
+	}
+	v1 := m.DB().SnapshotVersion()
+	q := url.QueryEscape(workload.Prologue + mboxQuery)
+	before := getPath(t, s, "/sparql?query="+q)
+	if !strings.Contains(before.Body.String(), "hert@ifi.uzh.ch") {
+		t.Fatalf("head before modify:\n%s", before.Body)
+	}
+
+	if rec := post(t, s, "/update", "application/sparql-update", workload.Listing11); rec.Code != http.StatusOK {
+		t.Fatalf("modify status = %d:\n%s", rec.Code, rec.Body)
+	}
+	if rec := getPath(t, s, "/sparql?query="+q); !strings.Contains(rec.Body.String(), "hert@example.com") {
+		t.Errorf("head after modify:\n%s", rec.Body)
+	}
+	// The pinned historical read is byte-identical to the pre-MODIFY
+	// response.
+	asOf := getPath(t, s, fmt.Sprintf("/sparql?query=%s&asOf=%d", q, v1))
+	if asOf.Code != http.StatusOK {
+		t.Fatalf("asOf status = %d:\n%s", asOf.Code, asOf.Body)
+	}
+	if asOf.Body.String() != before.Body.String() {
+		t.Errorf("asOf read differs from the original response:\n%s\nvs\n%s", asOf.Body, before.Body)
+	}
+
+	exp := getPath(t, s, fmt.Sprintf("/export?asOf=%d", v1))
+	if !strings.Contains(exp.Body.String(), "hert@ifi.uzh.ch") {
+		t.Errorf("asOf export:\n%s", exp.Body)
+	}
+	if rec := getPath(t, s, "/export"); !strings.Contains(rec.Body.String(), "hert@example.com") {
+		t.Errorf("head export:\n%s", rec.Body)
+	}
+
+	// Target validation.
+	if rec := getPath(t, s, "/sparql?query="+q+"&asOf=999999"); rec.Code != http.StatusNotFound {
+		t.Errorf("unpublished version: status = %d:\n%s", rec.Code, rec.Body)
+	}
+	if rec := getPath(t, s, "/sparql?query="+q+"&asOf=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed version: status = %d", rec.Code)
+	}
+	if rec := getPath(t, s, fmt.Sprintf("/sparql?query=%s&asOf=%d&branch=dev", q, v1)); rec.Code != http.StatusBadRequest {
+		t.Errorf("asOf+branch: status = %d", rec.Code)
+	}
+	if rec := getPath(t, s, "/export?branch=nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown branch export: status = %d", rec.Code)
+	}
+	if rec := post(t, s, "/update?asOf="+fmt.Sprint(v1), "application/sparql-update", workload.Listing11); rec.Code != http.StatusBadRequest {
+		t.Errorf("write to asOf target: status = %d:\n%s", rec.Code, rec.Body)
+	}
+}
+
+// TestBranchAdminSurface walks the /branches lifecycle: create, write
+// through /update?branch=, read isolation between branch and main,
+// diff, fast-forward merge, drop.
+func TestBranchAdminSurface(t *testing.T) {
+	s, _ := newServer(t)
+	if rec := post(t, s, "/update", "application/sparql-update", workload.Listing15); rec.Code != http.StatusOK {
+		t.Fatalf("seed status = %d:\n%s", rec.Code, rec.Body)
+	}
+	if rec := post(t, s, "/branches?action=create&name=dev", "text/plain", ""); rec.Code != http.StatusOK {
+		t.Fatalf("create: status = %d:\n%s", rec.Code, rec.Body)
+	}
+	if rec := getPath(t, s, "/branches"); !strings.Contains(rec.Body.String(), "dev head=") ||
+		!strings.Contains(rec.Body.String(), "main head=") {
+		t.Errorf("branch list:\n%s", rec.Body)
+	}
+
+	// A write addressed at the branch is invisible on main.
+	if rec := post(t, s, "/update?branch=dev", "application/sparql-update", workload.Listing11); rec.Code != http.StatusOK {
+		t.Fatalf("branch write: status = %d:\n%s", rec.Code, rec.Body)
+	}
+	q := url.QueryEscape(workload.Prologue + mboxQuery)
+	if rec := getPath(t, s, "/sparql?query="+q); !strings.Contains(rec.Body.String(), "hert@ifi.uzh.ch") {
+		t.Errorf("main sees the branch write:\n%s", rec.Body)
+	}
+	if rec := getPath(t, s, "/sparql?query="+q+"&branch=dev"); !strings.Contains(rec.Body.String(), "hert@example.com") {
+		t.Errorf("branch read misses its write:\n%s", rec.Body)
+	}
+
+	// The diff reports the changed author row.
+	diff := getPath(t, s, "/branches?diff&from=main&to=dev")
+	if diff.Code != http.StatusOK || !strings.Contains(diff.Body.String(), "table author: +0 -0 ~1") {
+		t.Errorf("diff status %d:\n%s", diff.Code, diff.Body)
+	}
+
+	// Main did not move since the fork, so the merge fast-forwards and
+	// main adopts the branch state.
+	merge := post(t, s, "/branches?action=merge&from=dev&into=main", "text/plain", "")
+	if merge.Code != http.StatusOK || !strings.Contains(merge.Body.String(), "fast-forward") {
+		t.Fatalf("merge status %d:\n%s", merge.Code, merge.Body)
+	}
+	if rec := getPath(t, s, "/sparql?query="+q); !strings.Contains(rec.Body.String(), "hert@example.com") {
+		t.Errorf("main after merge:\n%s", rec.Body)
+	}
+
+	if rec := post(t, s, "/branches?action=drop&name=dev", "text/plain", ""); rec.Code != http.StatusOK {
+		t.Fatalf("drop: status = %d:\n%s", rec.Code, rec.Body)
+	}
+	if rec := getPath(t, s, "/sparql?query="+q+"&branch=dev"); rec.Code != http.StatusNotFound {
+		t.Errorf("dropped branch read: status = %d", rec.Code)
+	}
+	if rec := post(t, s, "/branches?action=create&name=bad/name", "text/plain", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid name: status = %d", rec.Code)
+	}
+	if rec := post(t, s, "/branches?action=nonsense", "text/plain", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown action: status = %d", rec.Code)
+	}
+	if rec := post(t, s, "/branches?action=merge&from=ghost&into=main", "text/plain", ""); rec.Code < 400 {
+		t.Errorf("merge of unknown branch: status = %d", rec.Code)
+	}
+}
+
+// TestHealthHistoryStats checks the commit-DAG block on /healthz.
+func TestHealthHistoryStats(t *testing.T) {
+	s, _ := newServer(t)
+	post(t, s, "/update", "application/sparql-update", workload.Listing15)
+	post(t, s, "/branches?action=create&name=dev", "text/plain", "")
+	rec := getPath(t, s, "/healthz")
+	body := rec.Body.String()
+	for _, want := range []string{"history: seq ", "snapshots retained", "branches: 1 named refs"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("health body lacks %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Named branches (refs) over the commit DAG.
+//
+// A branch is a named ref pointing at a head snapshot plus the merge
+// base it last converged with main at. Creating a branch forks the
+// current main head by pointer — structural sharing makes that O(1) —
+// and branch writers then derive new heads exactly like main writers
+// do, except that the publish moves the ref instead of the database's
+// main snapshot pointer. Branch write transactions take no table
+// locks: the per-branch mutex serializes branch writers, and a branch
+// head is unreachable from any other transaction's lock set, so main
+// writers and writers of other branches proceed concurrently.
+//
+// Branch create, drop, branch commits and merges all consume global
+// commit sequence numbers and are WAL-logged ('R', 'Q', 'B', 'M'
+// records; persist.go), so recovery rebuilds the DAG exactly. DDL is
+// main-only: a branch pins the catalog of the snapshot it forked.
+
+// MainBranch is the reserved name of the trunk — the branch the
+// database's snapshot pointer publishes.
+const MainBranch = "main"
+
+// branch is one named ref. head and base are atomic so lock-free
+// readers can pin them; mu serializes writers (branch commits and
+// merges targeting this branch).
+type branch struct {
+	name      string
+	mu        sync.Mutex
+	head      atomic.Pointer[dbSnapshot]
+	base      atomic.Pointer[dbSnapshot]
+	createdAt uint64
+	// dropped flips under pubMu when the ref is removed, failing any
+	// in-flight commit against the branch at publish time.
+	dropped atomic.Bool
+}
+
+// BranchError reports a branch operation against a missing, duplicate
+// or invalid ref.
+type BranchError struct {
+	Branch string
+	Reason string
+}
+
+// Error implements error.
+func (e *BranchError) Error() string {
+	return fmt.Sprintf("rdb: branch %q: %s", e.Branch, e.Reason)
+}
+
+// NonHeadWriteError reports a write addressed at a read-only target —
+// an AS OF version, or a snapshot that is not a live branch head.
+// Writes are only valid against the head of main or of a named branch.
+type NonHeadWriteError struct {
+	Target string
+}
+
+// Error implements error.
+func (e *NonHeadWriteError) Error() string {
+	return fmt.Sprintf("rdb: cannot write to %s: writes must target a branch head", e.Target)
+}
+
+// validBranchName enforces the ref naming rules: nonempty, not the
+// reserved trunk name, at most 64 bytes of letters, digits, dot, dash
+// and underscore.
+func validBranchName(name string) error {
+	if name == "" {
+		return &BranchError{Branch: name, Reason: "empty name"}
+	}
+	if name == MainBranch {
+		return &BranchError{Branch: name, Reason: "reserved name"}
+	}
+	if len(name) > 64 {
+		return &BranchError{Branch: name, Reason: "name longer than 64 bytes"}
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '-' || c == '_' {
+			continue
+		}
+		return &BranchError{Branch: name, Reason: fmt.Sprintf("invalid character %q", c)}
+	}
+	return nil
+}
+
+// CreateBranch forks a named branch off the current main head. The
+// fork is O(1): the new ref shares every table version with the head
+// snapshot.
+func (db *Database) CreateBranch(name string) error {
+	if err := validBranchName(name); err != nil {
+		return err
+	}
+	db.mu.RLock() // exclude DDL: it assigns sequence numbers outside pubMu
+	defer db.mu.RUnlock()
+	db.refMu.Lock()
+	defer db.refMu.Unlock()
+	if _, exists := db.refs[name]; exists {
+		return &BranchError{Branch: name, Reason: "already exists"}
+	}
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
+	head := db.snap.Load()
+	seq := db.seq.Load() + 1
+	if db.persist != nil {
+		if err := db.persist.append(encodeBranchCreateRecord(seq, name, head.version)); err != nil {
+			return err
+		}
+	}
+	db.seq.Store(seq)
+	b := &branch{name: name, createdAt: seq}
+	b.head.Store(head)
+	b.base.Store(head)
+	db.refs[name] = b
+	return nil
+}
+
+// DropBranch removes a named branch. A branch transaction in flight
+// when the ref disappears fails at Commit instead of resurrecting it.
+func (db *Database) DropBranch(name string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.refMu.Lock()
+	defer db.refMu.Unlock()
+	b, exists := db.refs[name]
+	if !exists {
+		return &BranchError{Branch: name, Reason: "no such branch"}
+	}
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
+	seq := db.seq.Load() + 1
+	if db.persist != nil {
+		if err := db.persist.append(encodeBranchDropRecord(seq, name)); err != nil {
+			return err
+		}
+	}
+	db.seq.Store(seq)
+	b.dropped.Store(true)
+	delete(db.refs, name)
+	return nil
+}
+
+// BranchInfo describes one named ref for ListBranches and the
+// /branches admin surface.
+type BranchInfo struct {
+	// Name is the ref name; Head/HeadParent the branch head's commit
+	// and its parent; Base the snapshot the branch last diverged from
+	// main at (fork point or last merge); CreatedAt the sequence number
+	// the create consumed.
+	Name       string
+	Head       uint64
+	HeadParent uint64
+	Base       uint64
+	CreatedAt  uint64
+}
+
+// ListBranches returns the live refs sorted by name.
+func (db *Database) ListBranches() []BranchInfo {
+	db.refMu.RLock()
+	defer db.refMu.RUnlock()
+	out := make([]BranchInfo, 0, len(db.refs))
+	for _, b := range db.refs {
+		h := b.head.Load()
+		out = append(out, BranchInfo{
+			Name:       b.name,
+			Head:       h.version,
+			HeadParent: h.parent,
+			Base:       b.base.Load().version,
+			CreatedAt:  b.createdAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// lookupBranch resolves a live ref by name.
+func (db *Database) lookupBranch(name string) (*branch, error) {
+	db.refMu.RLock()
+	b := db.refs[name]
+	db.refMu.RUnlock()
+	if b == nil {
+		return nil, &BranchError{Branch: name, Reason: "no such branch"}
+	}
+	return b, nil
+}
+
+// BeginBranch starts a write transaction against the head of the
+// named branch. It blocks until the branch's writer mutex is
+// available; the transaction covers every table of the branch
+// snapshot (no table locks are taken — see the branch type).
+func (db *Database) BeginBranch(name string) (*Tx, error) {
+	b, err := db.lookupBranch(name)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	db.mu.RLock() // keep DDL out: branch publishes consume sequence numbers
+	if b.dropped.Load() {
+		db.mu.RUnlock()
+		b.mu.Unlock()
+		return nil, &BranchError{Branch: name, Reason: "no such branch"}
+	}
+	return &Tx{
+		db:      db,
+		snap:    b.head.Load(),
+		branch:  b,
+		owner:   newOwner(),
+		capture: db.persist != nil,
+	}, nil
+}
+
+// publishBranch installs a branch transaction's derived versions as
+// the branch's next head. The caller holds the branch mutex, so the
+// head cannot have moved since the transaction pinned it — no rebase
+// is ever needed. The WAL record ('B') is fsynced before the ref
+// moves, mirroring publish's write-ahead rule.
+func (db *Database) publishBranch(b *branch, updated map[string]*tableVersion, changes []walChange) error {
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
+	if b.dropped.Load() {
+		return &BranchError{Branch: b.name, Reason: "dropped while the transaction was open"}
+	}
+	cur := b.head.Load()
+	ns := &dbSnapshot{
+		version:      db.seq.Load() + 1,
+		parent:       cur.version,
+		branch:       b.name,
+		tables:       make(map[string]*tableVersion, len(cur.tables)),
+		order:        cur.order,
+		referencedBy: cur.referencedBy,
+	}
+	for k, v := range cur.tables {
+		ns.tables[k] = v
+	}
+	for k, v := range updated {
+		v.owner = nil // freeze before sharing
+		v.asOf = ns.version
+		ns.tables[k] = v
+	}
+	if db.persist != nil {
+		if err := db.persist.append(encodeBranchCommitRecord(ns.version, b.name, changes)); err != nil {
+			return err
+		}
+	}
+	db.seq.Store(ns.version)
+	b.head.Store(ns)
+	db.hist.record(ns)
+	if db.persist != nil {
+		db.persist.maybeCheckpoint(db)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Read targets.
+
+// ReadTarget addresses the state a read runs against: the zero value
+// is the main head, AsOf pins a retained historical version (by global
+// commit seq), Branch pins the head of a named ref. Setting both is an
+// error — a version already identifies a unique commit across all
+// branches.
+type ReadTarget struct {
+	AsOf   uint64
+	Branch string
+}
+
+// IsHead reports whether the target is the live main head.
+func (t ReadTarget) IsHead() bool {
+	return t.AsOf == 0 && (t.Branch == "" || t.Branch == MainBranch)
+}
+
+// String renders the target for error messages.
+func (t ReadTarget) String() string {
+	switch {
+	case t.AsOf != 0:
+		return fmt.Sprintf("version %d", t.AsOf)
+	case t.Branch != "" && t.Branch != MainBranch:
+		return fmt.Sprintf("branch %q", t.Branch)
+	default:
+		return "head"
+	}
+}
+
+// Snapshot is a pinned, immutable read handle over one published
+// database state — the resolution of a ReadTarget. It stays valid
+// (and byte-stable) for as long as the caller holds it, regardless of
+// concurrent writes, retention evictions or branch drops.
+type Snapshot struct {
+	db *Database
+	s  *dbSnapshot
+}
+
+// Resolve pins the snapshot a read target addresses: the main head for
+// the zero target, a retained historical version for AsOf, a branch
+// head for Branch.
+func (db *Database) Resolve(t ReadTarget) (*Snapshot, error) {
+	switch {
+	case t.AsOf != 0 && t.Branch != "" && t.Branch != MainBranch:
+		return nil, &BranchError{Branch: t.Branch, Reason: "a read target cannot combine asOf and branch"}
+	case t.AsOf != 0:
+		if cur := db.snap.Load(); cur.version == t.AsOf {
+			return &Snapshot{db: db, s: cur}, nil
+		}
+		if s, ok := db.hist.lookup(t.AsOf); ok {
+			return &Snapshot{db: db, s: s}, nil
+		}
+		return nil, &VersionError{Version: t.AsOf, Evicted: t.AsOf <= db.seq.Load()}
+	case t.Branch != "" && t.Branch != MainBranch:
+		b, err := db.lookupBranch(t.Branch)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{db: db, s: b.head.Load()}, nil
+	default:
+		return &Snapshot{db: db, s: db.snap.Load()}, nil
+	}
+}
+
+// Version returns the pinned snapshot's commit version.
+func (s *Snapshot) Version() uint64 { return s.s.version }
+
+// Parent returns the commit version the pinned snapshot was derived
+// from (0 for the initial empty snapshot).
+func (s *Snapshot) Parent() uint64 { return s.s.parent }
+
+// Branch returns the ref name the pinned snapshot was published on.
+func (s *Snapshot) Branch() string { return s.s.branch }
+
+// View runs fn inside a lock-free read-only transaction pinned to this
+// snapshot, exactly like Database.View but against the resolved target
+// instead of the live head.
+func (s *Snapshot) View(fn func(tx *Tx) error) error {
+	tx := &Tx{db: s.db, snap: s.s, readonly: true}
+	defer tx.Rollback()
+	return fn(tx)
+}
+
+// ViewAt runs fn against the retained snapshot published as the given
+// version — Database.View, time-traveled.
+func (db *Database) ViewAt(version uint64, fn func(tx *Tx) error) error {
+	s, err := db.Resolve(ReadTarget{AsOf: version})
+	if err != nil {
+		return err
+	}
+	return s.View(fn)
+}
+
+// ViewBranch runs fn against the current head of the named branch.
+func (db *Database) ViewBranch(name string, fn func(tx *Tx) error) error {
+	s, err := db.Resolve(ReadTarget{Branch: name})
+	if err != nil {
+		return err
+	}
+	return s.View(fn)
+}

@@ -39,10 +39,33 @@ type Database struct {
 	// tables) that reference it, for RESTRICT checks on delete.
 	referencedBy map[string][]fkBackRef
 
-	// snap is the current committed snapshot; pubMu serializes
-	// publishes (concurrent committers with disjoint lock sets).
+	// snap is the current committed snapshot of the main branch; pubMu
+	// serializes publishes (concurrent committers with disjoint lock
+	// sets, branch commits, merges, and branch ref changes).
 	snap  atomic.Pointer[dbSnapshot]
 	pubMu sync.Mutex
+
+	// seq is the global commit sequence: every publish on any branch —
+	// data commits, DDL, branch create/drop, merges — consumes the next
+	// value, and the snapshot it produces carries that value as its
+	// version. Main-branch versions therefore may skip numbers consumed
+	// by branch-side publishes. Writers assign it under pubMu (or the
+	// exclusive catalog lock for DDL, which excludes all publishers);
+	// readers load it atomically.
+	seq atomic.Uint64
+
+	// hist retains recently published snapshots (bounded ring,
+	// Options.HistoryDepth) for AS OF historical reads; see history.go.
+	hist history
+
+	// refMu guards refs, the named-branch table; see branch.go.
+	refMu sync.RWMutex
+	refs  map[string]*branch
+
+	// shardBits / numShards fix the per-table lock-shard domain
+	// (Options.ShardCount; see shard.go).
+	shardBits uint
+	numShards int
 
 	// persist is the durability layer (persist.go); nil for an
 	// ephemeral, memory-only database.
@@ -56,18 +79,45 @@ type fkBackRef struct {
 
 func lowerName(name string) string { return strings.ToLower(name) }
 
-// NewDatabase returns an empty database.
+// NewDatabase returns an empty database with default shard count and
+// history retention; Open applies Options for custom configurations.
 func NewDatabase(name string) *Database {
+	db, err := newDatabaseWith(name, Options{})
+	if err != nil {
+		panic(err) // zero Options always validate
+	}
+	return db
+}
+
+// newDatabaseWith builds an empty database configured by o (shard
+// count, history retention); the durability fields of o are handled by
+// Open on top of it.
+func newDatabaseWith(name string, o Options) (*Database, error) {
+	shards := o.ShardCount
+	if shards == 0 {
+		shards = DefaultShardCount
+	}
+	if shards < 1 || shards > MaxShardCount || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("rdb: ShardCount must be a power of two in [1,%d], got %d",
+			MaxShardCount, o.ShardCount)
+	}
 	db := &Database{
 		name:         name,
 		tables:       make(map[string]*table),
 		referencedBy: make(map[string][]fkBackRef),
+		refs:         make(map[string]*branch),
+		numShards:    shards,
 	}
+	for 1<<db.shardBits < shards {
+		db.shardBits++
+	}
+	db.hist.init(o.HistoryDepth)
 	db.snap.Store(&dbSnapshot{
+		branch:       MainBranch,
 		tables:       make(map[string]*tableVersion),
 		referencedBy: make(map[string][]fkBackRef),
 	})
-	return db
+	return db, nil
 }
 
 // Name returns the database name.
@@ -109,7 +159,9 @@ func (db *Database) publish(base *dbSnapshot, updated map[string]*tableVersion, 
 	defer db.pubMu.Unlock()
 	cur := db.snap.Load()
 	ns := &dbSnapshot{
-		version:      cur.version + 1,
+		version:      db.seq.Load() + 1,
+		parent:       cur.version,
+		branch:       MainBranch,
 		tables:       make(map[string]*tableVersion, len(cur.tables)),
 		order:        cur.order,
 		referencedBy: cur.referencedBy,
@@ -142,7 +194,9 @@ func (db *Database) publish(base *dbSnapshot, updated map[string]*tableVersion, 
 			return err
 		}
 	}
+	db.seq.Store(ns.version)
 	db.snap.Store(ns)
+	db.hist.record(ns)
 	if db.persist != nil {
 		db.persist.maybeCheckpoint(db)
 	}
@@ -226,7 +280,9 @@ func (db *Database) publishCatalog() {
 	defer db.pubMu.Unlock()
 	cur := db.snap.Load()
 	ns := &dbSnapshot{
-		version:      cur.version + 1,
+		version:      db.seq.Load() + 1,
+		parent:       cur.version,
+		branch:       MainBranch,
 		tables:       make(map[string]*tableVersion, len(db.tables)),
 		order:        append([]string(nil), db.order...),
 		referencedBy: make(map[string][]fkBackRef, len(db.referencedBy)),
@@ -243,7 +299,9 @@ func (db *Database) publishCatalog() {
 	for ref, list := range db.referencedBy {
 		ns.referencedBy[ref] = append([]fkBackRef(nil), list...)
 	}
+	db.seq.Store(ns.version)
 	db.snap.Store(ns)
+	db.hist.record(ns)
 }
 
 // CreateTable registers a new table. Referenced tables must either
@@ -261,14 +319,15 @@ func (db *Database) CreateTable(schema *TableSchema) error {
 		return fmt.Errorf("rdb: table %q already exists", schema.Name)
 	}
 	// Log the DDL before mutating the registry. The exclusive catalog
-	// lock keeps writers out, so the snapshot version cannot move
-	// between assigning the record's sequence number and publishing.
+	// lock keeps every publisher out (writers and branch operations
+	// hold it shared), so the commit sequence cannot move between
+	// assigning the record's sequence number and publishing.
 	if db.persist != nil {
-		if err := db.persist.append(encodeCreateRecord(db.snapshot().version+1, schema)); err != nil {
+		if err := db.persist.append(encodeCreateRecord(db.seq.Load()+1, schema)); err != nil {
 			return err
 		}
 	}
-	db.tables[key] = newTable(schema)
+	db.tables[key] = newTable(schema, db.numShards)
 	db.order = append(db.order, key)
 	for _, fk := range schema.ForeignKeys {
 		ref := lowerName(fk.RefTable)
@@ -291,7 +350,7 @@ func (db *Database) DropTable(name string) error {
 		return fmt.Errorf("rdb: cannot drop %q: referenced by %s.%s", name, refs[0].table, refs[0].column)
 	}
 	if db.persist != nil {
-		if err := db.persist.append(encodeDropRecord(db.snapshot().version+1, name)); err != nil {
+		if err := db.persist.append(encodeDropRecord(db.seq.Load()+1, name)); err != nil {
 			return err
 		}
 	}

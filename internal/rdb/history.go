@@ -1,0 +1,177 @@
+package rdb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Bounded snapshot history for AS OF reads.
+//
+// Every publish — on main or on a branch — already produces an
+// immutable dbSnapshot; structural sharing in the persistent tries
+// makes retaining one nearly free (a map of table-version pointers
+// plus the O(log n) trie nodes the commit touched). The history is a
+// ring of the most recent Options.HistoryDepth published snapshots,
+// keyed by version (the global commit seq), so ViewAt can pin any
+// retained version for a lock-free historical read. When the ring is
+// full the oldest retained snapshot is evicted; an AS OF read of an
+// evicted version fails with a VersionError that distinguishes
+// "evicted" from "never published".
+//
+// The ring is rebuilt on recovery from whatever the checkpoint and the
+// WAL replay re-publish: versions older than the newest checkpoint are
+// not retained across a restart (their snapshots were never serialized
+// row-by-row — only the refs a branch pins survive in the manifest).
+
+// DefaultHistoryDepth is the retained-snapshot count when
+// Options.HistoryDepth is zero.
+const DefaultHistoryDepth = 64
+
+// history is the bounded snapshot ring. A cap of 0 disables retention
+// (only the live heads are readable).
+type history struct {
+	mu        sync.Mutex
+	cap       int
+	ring      []*dbSnapshot
+	next      int
+	snaps     map[uint64]*dbSnapshot
+	evictions uint64
+}
+
+// init fixes the ring capacity from Options.HistoryDepth: zero means
+// DefaultHistoryDepth, negative disables retention.
+func (h *history) init(depth int) {
+	switch {
+	case depth == 0:
+		h.cap = DefaultHistoryDepth
+	case depth < 0:
+		h.cap = 0
+	default:
+		h.cap = depth
+	}
+	if h.cap > 0 {
+		h.snaps = make(map[uint64]*dbSnapshot, h.cap)
+	}
+}
+
+// record retains a just-published snapshot, evicting the oldest
+// retained one when the ring is full.
+func (h *history) record(s *dbSnapshot) {
+	if h.cap == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.ring) < h.cap {
+		h.ring = append(h.ring, s)
+	} else {
+		delete(h.snaps, h.ring[h.next].version)
+		h.evictions++
+		h.ring[h.next] = s
+	}
+	h.snaps[s.version] = s
+	h.next++
+	if h.next >= h.cap {
+		h.next = 0
+	}
+}
+
+// reset empties the ring (recovery discards the interim snapshots the
+// restore phase publishes and re-seeds with the restored heads).
+func (h *history) reset() {
+	if h.cap == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ring = h.ring[:0]
+	h.next = 0
+	h.evictions = 0
+	h.snaps = make(map[uint64]*dbSnapshot, h.cap)
+}
+
+// lookup returns the retained snapshot published as the given version.
+func (h *history) lookup(version uint64) (*dbSnapshot, bool) {
+	if h.cap == 0 {
+		return nil, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.snaps[version]
+	return s, ok
+}
+
+// stats reports the ring's occupancy under its lock.
+func (h *history) stats() (retained int, oldest, newest uint64, evictions uint64) {
+	if h.cap == 0 {
+		return 0, 0, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.ring {
+		if oldest == 0 || s.version < oldest {
+			oldest = s.version
+		}
+		if s.version > newest {
+			newest = s.version
+		}
+	}
+	return len(h.ring), oldest, newest, h.evictions
+}
+
+// VersionError reports an AS OF read of a version that is not
+// retained: either it was evicted from the bounded history ring (or
+// lost across a restart), or it was never published at all.
+type VersionError struct {
+	Version uint64
+	// Evicted is true when the version was published at some point but
+	// is no longer retained; false when it is beyond the current commit
+	// sequence.
+	Evicted bool
+}
+
+// Error implements error.
+func (e *VersionError) Error() string {
+	if e.Evicted {
+		return fmt.Sprintf("rdb: snapshot version %d is no longer retained", e.Version)
+	}
+	return fmt.Sprintf("rdb: snapshot version %d has not been published", e.Version)
+}
+
+// HistoryStats is the operator-facing view of the commit DAG layer,
+// surfaced through /healthz.
+type HistoryStats struct {
+	// Head and Seq identify the main head: Head is its snapshot
+	// version, Seq the global commit sequence (they differ when branch
+	// publishes consumed later numbers).
+	Head uint64
+	Seq  uint64
+	// Depth is the configured retention bound, Retained the snapshots
+	// currently held, Oldest/Newest their version range, Evictions the
+	// count of snapshots dropped because the ring was full.
+	Depth     int
+	Retained  int
+	Oldest    uint64
+	Newest    uint64
+	Evictions uint64
+	// Branches is the live named-ref count.
+	Branches int
+}
+
+// HistoryStats reports the snapshot-history and branch counters.
+func (db *Database) HistoryStats() HistoryStats {
+	retained, oldest, newest, evictions := db.hist.stats()
+	db.refMu.RLock()
+	branches := len(db.refs)
+	db.refMu.RUnlock()
+	return HistoryStats{
+		Head:      db.snapshot().version,
+		Seq:       db.seq.Load(),
+		Depth:     db.hist.cap,
+		Retained:  retained,
+		Oldest:    oldest,
+		Newest:    newest,
+		Evictions: evictions,
+		Branches:  branches,
+	}
+}

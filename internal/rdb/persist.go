@@ -44,6 +44,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,6 +56,15 @@ const (
 	recCommit byte = 'C'
 	recCreate byte = 'T'
 	recDrop   byte = 'X'
+	// Branch-DAG records: ref creation ('R') and removal ('Q'), a
+	// commit published on a branch head ('B'), and a merge between a
+	// branch and main ('M'). Like every record their sequence number is
+	// the global commit seq the operation consumed, so one dense
+	// sequence covers the whole DAG and replay rebuilds it exactly.
+	recBranchCreate byte = 'R'
+	recBranchDrop   byte = 'Q'
+	recBranchCommit byte = 'B'
+	recMerge        byte = 'M'
 
 	walInsert byte = 'i'
 	walUpdate byte = 'u'
@@ -66,10 +76,15 @@ const (
 	// (manifestMagic) referencing one immutable per-table file
 	// (tableFileMagic) per table, named by the snapshot version that
 	// last changed the table — so a checkpoint rewrites only the
-	// tables dirtied since the previous one. The legacy monolithic
-	// format (checkpointMagic) is still read for old data dirs.
-	manifestMagic  = "OACM1"
-	tableFileMagic = "OATB1"
+	// tables dirtied since the previous one. V2 manifests
+	// (manifestMagicV2) additionally carry the global commit seq and a
+	// refs block (every named branch with its head and base snapshots),
+	// so recovery restores the commit DAG, not just the main head. The
+	// legacy formats (manifestMagic, checkpointMagic) are still read
+	// for old data dirs.
+	manifestMagic   = "OACM1"
+	manifestMagicV2 = "OACM2"
+	tableFileMagic  = "OATB1"
 
 	// DefaultCheckpointBytes is the WAL growth between automatic
 	// checkpoints when Options.CheckpointBytes is zero.
@@ -86,6 +101,14 @@ type Options struct {
 	// negative disables automatic checkpointing (Checkpoint can still
 	// be called explicitly).
 	CheckpointBytes int64
+	// ShardCount is the number of key-range lock shards per table — a
+	// power of two in [1, MaxShardCount]; zero selects
+	// DefaultShardCount. More shards admit more concurrent keyed
+	// writers per table at the cost of wider reader lock fan-out.
+	ShardCount int
+	// HistoryDepth bounds the retained-snapshot ring for AS OF reads;
+	// zero selects DefaultHistoryDepth, negative disables retention.
+	HistoryDepth int
 }
 
 // walChange is one logical row mutation captured by a transaction for
@@ -212,7 +235,10 @@ func (db *Database) DurabilityStats() DurabilityStats {
 // true the schema already exists and callers must not re-apply DDL.
 // With an empty DataDir, Open degenerates to NewDatabase.
 func Open(name string, o Options) (*Database, bool, error) {
-	db := NewDatabase(name)
+	db, err := newDatabaseWith(name, o)
+	if err != nil {
+		return nil, false, err
+	}
 	if o.DataDir == "" {
 		return db, false, nil
 	}
@@ -266,24 +292,47 @@ func (db *Database) Checkpoint() error {
 	}
 	p.ckptMu.Lock()
 	defer p.ckptMu.Unlock()
-	// Under pubMu no publish can intervene between reading the
-	// snapshot and rotating, so every record not covered by this
-	// checkpoint lives in segments >= seg.
+	// Under pubMu no publish can intervene between reading the state
+	// and rotating, so every record not covered by this checkpoint
+	// lives in segments >= seg. The refs map only mutates under pubMu
+	// (branch create/drop hold it), so it is safe to capture here — and
+	// capturing it at the same instant as the seq is what keeps "record
+	// covered by checkpoint" and "branch present in manifest" in sync.
 	db.pubMu.Lock()
 	snap := db.snap.Load()
+	seq := db.seq.Load()
+	refs := make([]ckptRef, 0, len(db.refs))
+	for name, b := range db.refs {
+		refs = append(refs, ckptRef{name: name, createdAt: b.createdAt,
+			head: b.head.Load(), base: b.base.Load()})
+	}
 	seg, err := p.log.Rotate()
 	db.pubMu.Unlock()
 	if err != nil {
 		return err
 	}
-	// The snapshot is immutable: serialization needs no lock. Each
+	sort.Slice(refs, func(i, j int) bool { return refs[i].name < refs[j].name })
+	// The snapshots are immutable: serialization needs no lock. Each
 	// table serializes to its own immutable file named by the snapshot
 	// version that last changed it, so only tables dirtied since the
 	// previous checkpoint are rewritten; the manifest then flips the
-	// whole checkpoint atomically.
-	for _, key := range snap.order {
-		v := snap.tables[key]
-		path := filepath.Join(p.dir, tableFileName(key, v.asOf))
+	// whole checkpoint atomically. Branch heads and bases share almost
+	// every table version with main or with each other, and the
+	// (key, asOf) naming dedupes those files for free.
+	need := make(map[string]*tableVersion)
+	collect := func(s *dbSnapshot) {
+		for _, key := range s.order {
+			v := s.tables[key]
+			need[tableFileName(key, v.asOf)] = v
+		}
+	}
+	collect(snap)
+	for _, r := range refs {
+		collect(r.head)
+		collect(r.base)
+	}
+	for name, v := range need {
+		path := filepath.Join(p.dir, name)
 		if _, serr := os.Stat(path); serr == nil {
 			p.ckptSkipped.Add(1)
 			continue
@@ -295,7 +344,7 @@ func (db *Database) Checkpoint() error {
 		}
 		p.ckptWritten.Add(1)
 	}
-	if err := wal.WriteFileAtomic(filepath.Join(p.dir, checkpointFile), encodeManifest(snap)); err != nil {
+	if err := wal.WriteFileAtomic(filepath.Join(p.dir, checkpointFile), encodeManifest(seq, snap, refs)); err != nil {
 		return err
 	}
 	p.lastCkptVersion.Store(snap.version)
@@ -304,14 +353,12 @@ func (db *Database) Checkpoint() error {
 	// Prune table files the just-installed manifest no longer
 	// references. A crash before this point merely leaves extra files;
 	// a failure here is cosmetic, so it does not fail the checkpoint.
-	keep := make(map[string]bool, len(snap.order))
-	for _, key := range snap.order {
-		keep[tableFileName(key, snap.tables[key].asOf)] = true
-	}
+	keep := need
 	if entries, derr := os.ReadDir(p.dir); derr == nil {
 		for _, e := range entries {
 			n := e.Name()
-			if strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".tbl") && !keep[n] {
+			if _, referenced := keep[n]; !referenced &&
+				strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".tbl") {
 				os.Remove(filepath.Join(p.dir, n)) //nolint:errcheck // cosmetic
 			}
 		}
@@ -416,10 +463,11 @@ func appendSchema(b []byte, s *TableSchema) []byte {
 	return b
 }
 
-// encodeCommitRecord serializes one publish: the changes grouped by
-// table in first-touch order, preserving the per-table operation
-// order (which is what fixes replayed insert-id assignment).
-func encodeCommitRecord(seq uint64, changes []walChange) []byte {
+// appendChanges serializes a change list grouped by table in
+// first-touch order, preserving the per-table operation order (which
+// is what fixes replayed insert-id assignment). Shared by commit,
+// branch-commit and merge records.
+func appendChanges(b []byte, changes []walChange) []byte {
 	var order []string
 	groups := make(map[string][]walChange)
 	for _, c := range changes {
@@ -428,8 +476,6 @@ func encodeCommitRecord(seq uint64, changes []walChange) []byte {
 		}
 		groups[c.table] = append(groups[c.table], c)
 	}
-	b := []byte{recCommit}
-	b = binary.AppendUvarint(b, seq)
 	b = binary.AppendUvarint(b, uint64(len(order)))
 	for _, t := range order {
 		b = appendString(b, t)
@@ -446,6 +492,54 @@ func encodeCommitRecord(seq uint64, changes []walChange) []byte {
 	return b
 }
 
+// encodeCommitRecord serializes one main-branch publish.
+func encodeCommitRecord(seq uint64, changes []walChange) []byte {
+	b := []byte{recCommit}
+	b = binary.AppendUvarint(b, seq)
+	return appendChanges(b, changes)
+}
+
+// encodeBranchCreateRecord serializes a branch create: the ref name
+// and the main head version it forked (logged for replay validation).
+func encodeBranchCreateRecord(seq uint64, name string, baseVersion uint64) []byte {
+	b := []byte{recBranchCreate}
+	b = binary.AppendUvarint(b, seq)
+	b = appendString(b, name)
+	return binary.AppendUvarint(b, baseVersion)
+}
+
+// encodeBranchDropRecord serializes a branch drop.
+func encodeBranchDropRecord(seq uint64, name string) []byte {
+	b := []byte{recBranchDrop}
+	b = binary.AppendUvarint(b, seq)
+	return appendString(b, name)
+}
+
+// encodeBranchCommitRecord serializes one publish on a branch head.
+func encodeBranchCommitRecord(seq uint64, name string, changes []walChange) []byte {
+	b := []byte{recBranchCommit}
+	b = binary.AppendUvarint(b, seq)
+	b = appendString(b, name)
+	return appendChanges(b, changes)
+}
+
+// encodeMergeRecord serializes a merge between a branch and main. A
+// fast-forward carries no changes (the merged head adopts the source's
+// tables); a three-way carries the transplanted change list, already
+// validated against the destination.
+func encodeMergeRecord(seq uint64, from, into string, ff bool, changes []walChange) []byte {
+	b := []byte{recMerge}
+	b = binary.AppendUvarint(b, seq)
+	b = appendString(b, from)
+	b = appendString(b, into)
+	if ff {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return appendChanges(b, changes)
+}
+
 func encodeCreateRecord(seq uint64, s *TableSchema) []byte {
 	b := []byte{recCreate}
 	b = binary.AppendUvarint(b, seq)
@@ -458,16 +552,43 @@ func encodeDropRecord(seq uint64, name string) []byte {
 	return appendString(b, name)
 }
 
-// encodeManifest serializes a checkpoint manifest: magic, version,
-// every table key in creation order with the snapshot version that
-// last changed it (which names its table file), and a trailing CRC-32C.
-func encodeManifest(s *dbSnapshot) []byte {
-	b := []byte(manifestMagic)
+// ckptRef is one named branch captured for a checkpoint manifest.
+type ckptRef struct {
+	name       string
+	createdAt  uint64
+	head, base *dbSnapshot
+}
+
+// appendSnapshotMeta serializes one snapshot's identity and table list:
+// version, parent, publishing branch, and every table key in creation
+// order with the snapshot version that last changed it (which names
+// its table file).
+func appendSnapshotMeta(b []byte, s *dbSnapshot) []byte {
 	b = binary.AppendUvarint(b, s.version)
+	b = binary.AppendUvarint(b, s.parent)
+	b = appendString(b, s.branch)
 	b = binary.AppendUvarint(b, uint64(len(s.order)))
 	for _, key := range s.order {
 		b = appendString(b, key)
 		b = binary.AppendUvarint(b, s.tables[key].asOf)
+	}
+	return b
+}
+
+// encodeManifest serializes a V2 checkpoint manifest: magic, the
+// global commit seq, the main head snapshot, the refs block (every
+// named branch with its head and base snapshots), and a trailing
+// CRC-32C.
+func encodeManifest(seq uint64, s *dbSnapshot, refs []ckptRef) []byte {
+	b := []byte(manifestMagicV2)
+	b = binary.AppendUvarint(b, seq)
+	b = appendSnapshotMeta(b, s)
+	b = binary.AppendUvarint(b, uint64(len(refs)))
+	for _, r := range refs {
+		b = appendString(b, r.name)
+		b = binary.AppendUvarint(b, r.createdAt)
+		b = appendSnapshotMeta(b, r.head)
+		b = appendSnapshotMeta(b, r.base)
 	}
 	sum := crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
 	return binary.LittleEndian.AppendUint32(b, sum)
@@ -619,11 +740,14 @@ func (d *walDec) schema() *TableSchema {
 }
 
 // restoreCheckpoint rebuilds the database from the checkpoint file
-// blob — an incremental manifest referencing per-table files in dir,
-// or the legacy monolithic format — and returns the snapshot version
-// it covers. Runs single-threaded during Open, before the database is
-// shared.
+// blob — a V2 manifest with a refs block, a legacy incremental
+// manifest, or the legacy monolithic format — and returns the main
+// head version it covers. Runs single-threaded during Open, before the
+// database is shared.
 func (db *Database) restoreCheckpoint(dir string, data []byte) (uint64, error) {
+	if len(data) >= len(manifestMagicV2) && string(data[:len(manifestMagicV2)]) == manifestMagicV2 {
+		return db.restoreManifestV2(dir, data)
+	}
 	if len(data) >= len(manifestMagic) && string(data[:len(manifestMagic)]) == manifestMagic {
 		return db.restoreManifest(dir, data)
 	}
@@ -646,20 +770,33 @@ func (db *Database) restoreCheckpoint(dir string, data []byte) (uint64, error) {
 		if d.err != nil {
 			break
 		}
+		if err := db.CreateTable(v.schema); err != nil {
+			return 0, err
+		}
 		v.asOf = version // legacy format has no per-table versions
 		restored[lowerName(v.schema.Name)] = v
 	}
 	if d.err != nil {
 		return 0, d.err
 	}
-	db.installSnapshot(restored, version)
+	db.installSnapshot(restored, version, legacyParent(version), MainBranch)
+	db.resetHistory()
 	return version, nil
 }
 
-// restoreManifest rebuilds the database from an incremental manifest:
-// each listed table loads from its immutable per-table file, keeping
-// the per-table asOf version so the next checkpoint can reuse the
-// files of tables that stayed clean.
+// legacyParent reconstructs the parent version for pre-DAG formats,
+// whose publishes were dense on one branch.
+func legacyParent(version uint64) uint64 {
+	if version == 0 {
+		return 0
+	}
+	return version - 1
+}
+
+// restoreManifest rebuilds the database from a legacy incremental
+// manifest (no refs block): each listed table loads from its immutable
+// per-table file, keeping the per-table asOf version so the next
+// checkpoint can reuse the files of tables that stayed clean.
 func (db *Database) restoreManifest(dir string, data []byte) (uint64, error) {
 	if len(data) < len(manifestMagic)+4 {
 		return 0, fmt.Errorf("truncated checkpoint manifest")
@@ -682,14 +819,184 @@ func (db *Database) restoreManifest(dir string, data []byte) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
+		if err := db.CreateTable(v.schema); err != nil {
+			return 0, err
+		}
 		v.asOf = asOf
 		restored[key] = v
 	}
 	if d.err != nil {
 		return 0, d.err
 	}
-	db.installSnapshot(restored, version)
+	db.installSnapshot(restored, version, legacyParent(version), MainBranch)
+	db.resetHistory()
 	return version, nil
+}
+
+// snapMeta is one decoded snapshot descriptor from a V2 manifest.
+type snapMeta struct {
+	version uint64
+	parent  uint64
+	branch  string
+	keys    []string
+	asOf    []uint64
+}
+
+func decodeSnapshotMeta(d *walDec) snapMeta {
+	m := snapMeta{version: d.u64(), parent: d.u64(), branch: d.str()}
+	n := d.u64()
+	if d.err != nil || n > uint64(len(d.b)) {
+		d.fail()
+		return m
+	}
+	m.keys = make([]string, 0, n)
+	m.asOf = make([]uint64, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.keys = append(m.keys, d.str())
+		m.asOf = append(m.asOf, d.u64())
+	}
+	return m
+}
+
+// buildReferencedBy rebuilds the FK back-reference map of a restored
+// snapshot from its schemas (a branch snapshot cannot borrow the
+// catalog's: it may pin tables dropped from main after the fork).
+func buildReferencedBy(s *dbSnapshot) map[string][]fkBackRef {
+	out := make(map[string][]fkBackRef)
+	for _, key := range s.order {
+		for _, fk := range s.tables[key].schema.ForeignKeys {
+			ref := lowerName(fk.RefTable)
+			out[ref] = append(out[ref], fkBackRef{table: key, column: fk.Column})
+		}
+	}
+	return out
+}
+
+// restoreManifestV2 rebuilds the database — main head, global commit
+// seq, and every named branch with its head and base snapshots — from
+// a V2 manifest. Table files are loaded once per (key, asOf) pair and
+// shared by pointer across every snapshot that references them, so the
+// restored DAG keeps the table-level structural sharing that makes
+// diffs and merges cheap.
+func (db *Database) restoreManifestV2(dir string, data []byte) (uint64, error) {
+	if len(data) < len(manifestMagicV2)+4 {
+		return 0, fmt.Errorf("truncated checkpoint manifest")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)) != binary.LittleEndian.Uint32(tail) {
+		return 0, fmt.Errorf("checkpoint manifest checksum mismatch")
+	}
+	d := &walDec{b: body[len(manifestMagicV2):]}
+	seq := d.u64()
+	main := decodeSnapshotMeta(d)
+	nrefs := d.u64()
+	type refMeta struct {
+		name       string
+		createdAt  uint64
+		head, base snapMeta
+	}
+	var refMetas []refMeta
+	for i := uint64(0); i < nrefs && d.err == nil; i++ {
+		rm := refMeta{name: d.str(), createdAt: d.u64()}
+		rm.head = decodeSnapshotMeta(d)
+		rm.base = decodeSnapshotMeta(d)
+		refMetas = append(refMetas, rm)
+	}
+	if d.err != nil {
+		return 0, d.err
+	}
+
+	loaded := make(map[string]*tableVersion)
+	load := func(key string, asOf uint64) (*tableVersion, error) {
+		fname := tableFileName(key, asOf)
+		if v, ok := loaded[fname]; ok {
+			return v, nil
+		}
+		v, err := db.loadTableFile(filepath.Join(dir, fname))
+		if err != nil {
+			return nil, err
+		}
+		v.asOf = asOf
+		v.owner = nil // frozen: shared across restored snapshots
+		loaded[fname] = v
+		return v, nil
+	}
+
+	restored := make(map[string]*tableVersion, len(main.keys))
+	for i, key := range main.keys {
+		v, err := load(key, main.asOf[i])
+		if err != nil {
+			return 0, err
+		}
+		if err := db.CreateTable(v.schema); err != nil {
+			return 0, err
+		}
+		restored[key] = v
+	}
+	db.installSnapshot(restored, main.version, main.parent, MainBranch)
+
+	snapByVersion := map[uint64]*dbSnapshot{main.version: db.snap.Load()}
+	buildSnap := func(m snapMeta) (*dbSnapshot, error) {
+		if s, ok := snapByVersion[m.version]; ok {
+			return s, nil // versions are unique: same version, same snapshot
+		}
+		s := &dbSnapshot{
+			version: m.version,
+			parent:  m.parent,
+			branch:  m.branch,
+			tables:  make(map[string]*tableVersion, len(m.keys)),
+			order:   append([]string(nil), m.keys...),
+		}
+		for i, key := range m.keys {
+			v, err := load(key, m.asOf[i])
+			if err != nil {
+				return nil, err
+			}
+			s.tables[key] = v
+		}
+		s.referencedBy = buildReferencedBy(s)
+		snapByVersion[m.version] = s
+		return s, nil
+	}
+	for _, rm := range refMetas {
+		head, err := buildSnap(rm.head)
+		if err != nil {
+			return 0, err
+		}
+		base, err := buildSnap(rm.base)
+		if err != nil {
+			return 0, err
+		}
+		b := &branch{name: rm.name, createdAt: rm.createdAt}
+		b.head.Store(head)
+		b.base.Store(base)
+		db.refs[rm.name] = b
+	}
+	if seq > db.seq.Load() {
+		db.seq.Store(seq)
+	}
+	db.resetHistory()
+	return main.version, nil
+}
+
+// resetHistory discards snapshots retained while the restore phase
+// rebuilt the catalog (those interim publishes never existed
+// historically) and re-seeds the ring with the restored heads, so AS
+// OF of the current version works immediately after recovery.
+func (db *Database) resetHistory() {
+	db.hist.reset()
+	seen := map[uint64]bool{}
+	rec := func(s *dbSnapshot) {
+		if s != nil && !seen[s.version] {
+			seen[s.version] = true
+			db.hist.record(s)
+		}
+	}
+	rec(db.snap.Load())
+	for _, b := range db.refs {
+		rec(b.head.Load())
+		rec(b.base.Load())
+	}
 }
 
 // loadTableFile reads, verifies, and decodes one per-table checkpoint
@@ -719,9 +1026,10 @@ func (db *Database) loadTableFile(path string) (*tableVersion, error) {
 }
 
 // loadTableBody decodes one table (schema, id counters, rows) from a
-// checkpoint stream, registers the table in the catalog, and builds
-// its version with bulk-load transient nodes (frozen by the caller's
-// installSnapshot).
+// checkpoint stream and builds its version with bulk-load transient
+// nodes (frozen by the caller). It does not register the table in the
+// catalog — branch snapshots may pin tables main has dropped, so
+// registration is the caller's call.
 func (db *Database) loadTableBody(d *walDec) (*tableVersion, error) {
 	s := d.schema()
 	nextID := d.i64()
@@ -729,9 +1037,6 @@ func (db *Database) loadTableBody(d *walDec) (*tableVersion, error) {
 	nrows := d.u64()
 	if d.err != nil {
 		return nil, d.err
-	}
-	if err := db.CreateTable(s); err != nil {
-		return nil, err
 	}
 	v := newTableVersion(s)
 	o := newOwner() // bulk load: transient nodes, frozen on return
@@ -753,15 +1058,18 @@ func (db *Database) loadTableBody(d *walDec) (*tableVersion, error) {
 	return v, nil
 }
 
-// installSnapshot overwrites table versions and pins the snapshot
-// version — recovery's replacement for publish, which would assign
-// version+1 and (once persistence is attached) re-log the records.
-func (db *Database) installSnapshot(updated map[string]*tableVersion, version uint64) {
+// installSnapshot overwrites table versions and pins the snapshot's
+// DAG coordinates — recovery's replacement for publish, which would
+// assign fresh sequence numbers and (once persistence is attached)
+// re-log the records.
+func (db *Database) installSnapshot(updated map[string]*tableVersion, version, parent uint64, branchName string) {
 	db.pubMu.Lock()
 	defer db.pubMu.Unlock()
 	cur := db.snap.Load()
 	ns := &dbSnapshot{
 		version:      version,
+		parent:       parent,
+		branch:       branchName,
 		tables:       make(map[string]*tableVersion, len(cur.tables)),
 		order:        cur.order,
 		referencedBy: cur.referencedBy,
@@ -773,12 +1081,103 @@ func (db *Database) installSnapshot(updated map[string]*tableVersion, version ui
 		v.owner = nil // freeze before sharing; callers set asOf
 		ns.tables[k] = v
 	}
+	if version > db.seq.Load() {
+		db.seq.Store(version)
+	}
 	db.snap.Store(ns)
+	db.hist.record(ns)
+}
+
+// installBranchSnapshot is installSnapshot for a branch head during
+// replay: it derives the next head from the current one and moves the
+// ref.
+func (db *Database) installBranchSnapshot(b *branch, updated map[string]*tableVersion, seq uint64) {
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
+	cur := b.head.Load()
+	ns := &dbSnapshot{
+		version:      seq,
+		parent:       cur.version,
+		branch:       b.name,
+		tables:       make(map[string]*tableVersion, len(cur.tables)),
+		order:        cur.order,
+		referencedBy: cur.referencedBy,
+	}
+	for k, v := range cur.tables {
+		ns.tables[k] = v
+	}
+	for k, v := range updated {
+		v.owner = nil // freeze before sharing; callers set asOf
+		ns.tables[k] = v
+	}
+	db.seq.Store(seq)
+	b.head.Store(ns)
+	db.hist.record(ns)
+}
+
+// decodeChanges re-derives table versions by replaying an encoded
+// change body (appendChanges) against base's versions.
+func decodeChanges(d *walDec, base *dbSnapshot, seq uint64) (map[string]*tableVersion, error) {
+	ntables := d.u64()
+	updated := make(map[string]*tableVersion, ntables)
+	o := newOwner() // replay owns every node it copies
+	for t := uint64(0); t < ntables && d.err == nil; t++ {
+		name := d.str()
+		key := lowerName(name)
+		v, ok := updated[key]
+		if !ok {
+			if v, ok = base.tables[key]; !ok {
+				return nil, fmt.Errorf("record %d touches unknown table %q", seq, name)
+			}
+		}
+		nchanges := d.u64()
+		for c := uint64(0); c < nchanges && d.err == nil; c++ {
+			op := d.byte_()
+			id := int64(d.u64())
+			switch op {
+			case walInsert:
+				row := d.row()
+				if d.err != nil {
+					break
+				}
+				nv, gotID := v.insert(row, o)
+				if gotID != id {
+					return nil, fmt.Errorf("record %d: replayed insert into %q got id %d, logged %d",
+						seq, name, gotID, id)
+				}
+				v = nv
+			case walUpdate:
+				row := d.row()
+				if d.err != nil {
+					break
+				}
+				if _, ok := v.row(id); !ok {
+					return nil, fmt.Errorf("record %d: update of missing row %d in %q", seq, id, name)
+				}
+				v = v.update(id, row, o)
+			case walDelete:
+				if _, ok := v.row(id); !ok {
+					return nil, fmt.Errorf("record %d: delete of missing row %d in %q", seq, id, name)
+				}
+				v = v.remove(id, o)
+			default:
+				return nil, fmt.Errorf("record %d: unknown op %q", seq, op)
+			}
+		}
+		updated[key] = v
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	for _, v := range updated {
+		v.asOf = seq
+	}
+	return updated, nil
 }
 
 // replayRecord applies one WAL record during Open. Records at or
-// below the current version are stale (their effects are inside the
-// checkpoint); beyond that, sequence numbers must be dense — a gap
+// below the recovered commit seq are stale (their effects are inside
+// the checkpoint); beyond that, sequence numbers must be dense — a gap
 // means a lost record and recovery refuses to guess.
 func (db *Database) replayRecord(payload []byte, replayed *uint64) error {
 	if len(payload) == 0 {
@@ -790,77 +1189,28 @@ func (db *Database) replayRecord(payload []byte, replayed *uint64) error {
 	if d.err != nil {
 		return d.err
 	}
-	cur := db.snapshot()
-	if seq <= cur.version {
+	have := db.seq.Load()
+	if seq <= have {
 		return nil // covered by the checkpoint
 	}
-	if seq != cur.version+1 {
-		return fmt.Errorf("sequence gap: have version %d, next record is %d", cur.version, seq)
+	if seq != have+1 {
+		return fmt.Errorf("sequence gap: have seq %d, next record is %d", have, seq)
 	}
 	switch kind {
 	case recCommit:
-		ntables := d.u64()
-		updated := make(map[string]*tableVersion, ntables)
-		o := newOwner() // replay owns every node it copies
-		for t := uint64(0); t < ntables && d.err == nil; t++ {
-			name := d.str()
-			key := lowerName(name)
-			v, ok := updated[key]
-			if !ok {
-				if v, ok = cur.tables[key]; !ok {
-					return fmt.Errorf("record %d touches unknown table %q", seq, name)
-				}
-			}
-			nchanges := d.u64()
-			for c := uint64(0); c < nchanges && d.err == nil; c++ {
-				op := d.byte_()
-				id := int64(d.u64())
-				switch op {
-				case walInsert:
-					row := d.row()
-					if d.err != nil {
-						break
-					}
-					nv, gotID := v.insert(row, o)
-					if gotID != id {
-						return fmt.Errorf("record %d: replayed insert into %q got id %d, logged %d",
-							seq, name, gotID, id)
-					}
-					v = nv
-				case walUpdate:
-					row := d.row()
-					if d.err != nil {
-						break
-					}
-					if _, ok := v.row(id); !ok {
-						return fmt.Errorf("record %d: update of missing row %d in %q", seq, id, name)
-					}
-					v = v.update(id, row, o)
-				case walDelete:
-					if _, ok := v.row(id); !ok {
-						return fmt.Errorf("record %d: delete of missing row %d in %q", seq, id, name)
-					}
-					v = v.remove(id, o)
-				default:
-					return fmt.Errorf("record %d: unknown op %q", seq, op)
-				}
-			}
-			updated[key] = v
+		cur := db.snapshot()
+		updated, err := decodeChanges(d, cur, seq)
+		if err != nil {
+			return err
 		}
-		if d.err != nil {
-			return d.err
-		}
-		for _, v := range updated {
-			v.asOf = seq
-		}
-		db.installSnapshot(updated, seq)
+		db.installSnapshot(updated, seq, cur.version, MainBranch)
 	case recCreate:
 		s := d.schema()
 		if d.err != nil {
 			return d.err
 		}
 		// persist is still nil during replay, so CreateTable does not
-		// re-log; its publishCatalog assigns version+1 == seq.
+		// re-log; its publishCatalog assigns seq+1 == the record's seq.
 		if err := db.CreateTable(s); err != nil {
 			return err
 		}
@@ -872,9 +1222,115 @@ func (db *Database) replayRecord(payload []byte, replayed *uint64) error {
 		if err := db.DropTable(name); err != nil {
 			return err
 		}
+	case recBranchCreate:
+		name := d.str()
+		baseVersion := d.u64()
+		if d.err != nil {
+			return d.err
+		}
+		if got := db.snapshot().version; got != baseVersion {
+			return fmt.Errorf("record %d: branch %q forked version %d, replay head is %d",
+				seq, name, baseVersion, got)
+		}
+		// Like recCreate: persist is nil, so CreateBranch assigns the
+		// record's seq without re-logging.
+		if err := db.CreateBranch(name); err != nil {
+			return err
+		}
+	case recBranchDrop:
+		name := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		if err := db.DropBranch(name); err != nil {
+			return err
+		}
+	case recBranchCommit:
+		name := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		b, err := db.lookupBranch(name)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", seq, err)
+		}
+		updated, err := decodeChanges(d, b.head.Load(), seq)
+		if err != nil {
+			return err
+		}
+		db.installBranchSnapshot(b, updated, seq)
+	case recMerge:
+		from := d.str()
+		into := d.str()
+		ff := d.byte_() != 0
+		if d.err != nil {
+			return d.err
+		}
+		if err := db.replayMerge(d, seq, from, into, ff); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown record kind %q", kind)
 	}
 	*replayed++
+	return nil
+}
+
+// replayMerge re-applies a logged merge. The record's change list was
+// derived against the heads as they stood when the merge published;
+// replay reproduces exactly those heads (records are dense and merges
+// publish under pubMu with the pinned main head verified), so the
+// transplant applies without re-running the three-way.
+func (db *Database) replayMerge(d *walDec, seq uint64, from, into string, ff bool) error {
+	adopt := func(src *dbSnapshot) (map[string]*tableVersion, error) {
+		if n := d.u64(); d.err != nil || n != 0 {
+			return nil, fmt.Errorf("record %d: fast-forward merge carries changes", seq)
+		}
+		updated := make(map[string]*tableVersion, len(src.tables))
+		for k, v := range src.tables {
+			updated[k] = v
+		}
+		return updated, nil
+	}
+	switch {
+	case into == MainBranch:
+		b, err := db.lookupBranch(from)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", seq, err)
+		}
+		cur := db.snapshot()
+		var updated map[string]*tableVersion
+		if ff {
+			updated, err = adopt(b.head.Load())
+		} else {
+			updated, err = decodeChanges(d, cur, seq)
+		}
+		if err != nil {
+			return err
+		}
+		db.installSnapshot(updated, seq, cur.version, MainBranch)
+		ns := db.snapshot()
+		b.head.Store(ns) // the branch converges on the merged head
+		b.base.Store(ns)
+	case from == MainBranch:
+		b, err := db.lookupBranch(into)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", seq, err)
+		}
+		main := db.snapshot()
+		var updated map[string]*tableVersion
+		if ff {
+			updated, err = adopt(main)
+		} else {
+			updated, err = decodeChanges(d, b.head.Load(), seq)
+		}
+		if err != nil {
+			return err
+		}
+		db.installBranchSnapshot(b, updated, seq)
+		b.base.Store(main)
+	default:
+		return fmt.Errorf("record %d: merge %q into %q has no main side", seq, from, into)
+	}
 	return nil
 }

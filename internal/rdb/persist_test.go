@@ -386,7 +386,7 @@ func TestStaleSegmentAfterCrashedCheckpointSkipped(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := wal.WriteFileAtomic(filepath.Join(dir, checkpointFile), encodeManifest(snap)); err != nil {
+	if err := wal.WriteFileAtomic(filepath.Join(dir, checkpointFile), encodeManifest(db.seq.Load(), snap, nil)); err != nil {
 		t.Fatal(err)
 	}
 	want := dump(t, db)
@@ -464,8 +464,8 @@ func TestLegacyCheckpointRestored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(data[:len(manifestMagic)]) != manifestMagic {
-		t.Fatalf("post-upgrade checkpoint is not a manifest: %q", data[:5])
+	if string(data[:len(manifestMagicV2)]) != manifestMagicV2 {
+		t.Fatalf("post-upgrade checkpoint is not a V2 manifest: %q", data[:5])
 	}
 }
 

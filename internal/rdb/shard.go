@@ -1,43 +1,46 @@
 package rdb
 
+import "math/bits"
+
 // Key-range sharding of the per-table lock domain (not of the data).
 //
 // A table's committed state stays one immutable tableVersion; what is
-// partitioned is the *write lock*: every table carries NumShards shard
-// RWMutexes next to its table-level RWMutex, and a write transaction
-// that declares the primary keys it will touch (BeginWriteShards)
-// acquires the table lock *shared* plus the declared shards
-// *exclusive*. Two writers on disjoint key ranges of the same table
-// therefore run in parallel; a writer without statically known keys
-// falls back to the table-level exclusive lock, which conflicts with
-// every shard holder. Shared readers of a table (foreign-key
-// neighbourhood, declared read tables) take the table lock shared plus
-// *all* shard locks shared, so they still conflict with every sharded
-// writer — the integrity checks they perform must not race row
-// mutations in any key range.
+// partitioned is the *write lock*: every table carries shardCount
+// shard RWMutexes next to its table-level RWMutex, and a write
+// transaction that declares the primary keys it will touch
+// (BeginWriteShards) acquires the table lock *shared* plus the
+// declared shards *exclusive*. Two writers on disjoint key ranges of
+// the same table therefore run in parallel; a writer without
+// statically known keys falls back to the table-level exclusive lock,
+// which conflicts with every shard holder. Shared readers of a table
+// (foreign-key neighbourhood, declared read tables) take the table
+// lock shared plus *all* shard locks shared, so they still conflict
+// with every sharded writer — the integrity checks they perform must
+// not race row mutations in any key range.
 //
-// A key's shard is the top ShardBits of its primary-key index hash
+// A key's shard is the top shardBits of its primary-key index hash
 // (pmHash), i.e. the top-level branch of the pk-index trie the key
 // lives under, so the lock partition follows the natural split of the
-// persistent radix structures.
+// persistent radix structures. The shard count is fixed per database
+// at Open time (Options.ShardCount, a power of two up to MaxShardCount,
+// default DefaultShardCount).
 //
 // Lock order stays globally sorted and deadlock-free: tables in
 // lexicographic key order (as before), and within a table the table
 // lock before its shard locks in ascending shard order.
 
 const (
-	// ShardBits is the number of key-hash bits that select a shard.
-	ShardBits = 4
-	// NumShards is the number of lock shards per table.
-	NumShards = 1 << ShardBits
+	// DefaultShardCount is the per-table lock-shard count when
+	// Options.ShardCount is zero.
+	DefaultShardCount = 16
+	// MaxShardCount bounds Options.ShardCount: a shard set is one
+	// uint64 bitmask.
+	MaxShardCount = 64
 )
 
 // ShardSet is a bitmask of shard indexes. The zero value means "no
 // declared shards" — i.e. the whole-table lock.
-type ShardSet uint16
-
-// AllShards covers every shard.
-const AllShards = ShardSet(1<<NumShards - 1)
+type ShardSet uint64
 
 // With returns the set with shard i added.
 func (s ShardSet) With(i int) ShardSet { return s | 1<<uint(i) }
@@ -46,19 +49,25 @@ func (s ShardSet) With(i int) ShardSet { return s | 1<<uint(i) }
 func (s ShardSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
 
 // Count returns the number of shards in the set.
-func (s ShardSet) Count() int {
-	n := 0
-	for m := s; m != 0; m &= m - 1 {
-		n++
+func (s ShardSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// shardOf maps an encoded primary key to its lock shard: the top
+// shardBits of the pk-index hash. Zero bits (a single shard) routes
+// every key to shard 0.
+func shardOf(encKey string, shardBits uint) int {
+	if shardBits == 0 {
+		return 0
 	}
-	return n
+	return int(pmHash(encKey) >> (pmHashBits - shardBits))
 }
 
-// shardOfKey maps an encoded primary key to its lock shard: the top
-// ShardBits of the pk-index hash.
-func shardOfKey(encKey string) int {
-	return int(pmHash(encKey) >> (pmHashBits - ShardBits))
-}
+// shardOfKey maps an encoded primary key to its lock shard under this
+// database's configured shard domain.
+func (db *Database) shardOfKey(encKey string) int { return shardOf(encKey, db.shardBits) }
+
+// NumShards returns the per-table lock-shard count this database was
+// configured with (Options.ShardCount; DefaultShardCount when unset).
+func (db *Database) NumShards() int { return db.numShards }
 
 // TableShards declares one write table of a keyed transaction together
 // with the shards its primary keys hash to. A zero Shards mask means
@@ -78,7 +87,7 @@ func (db *Database) ShardOfPK(table string, pk Value) (int, bool) {
 		return 0, false
 	}
 	cv := coerce(pk, &v.schema.Columns[v.pkCols[0]])
-	return shardOfKey(encodeKey([]Value{cv})), true
+	return db.shardOfKey(encodeKey([]Value{cv})), true
 }
 
 // ShardableTable reports whether keyed (sharded) write transactions

@@ -109,7 +109,7 @@ func TestShardOfPKCoherent(t *testing.T) {
 		if !ok {
 			t.Fatalf("ShardOfPK failed for %d", i)
 		}
-		if s < 0 || s >= NumShards {
+		if s < 0 || s >= db.NumShards() {
 			t.Fatalf("shard %d out of range for key %d", s, i)
 		}
 		tx := db.BeginWriteShards([]TableShards{{Table: "kv", Shards: ShardSet(0).With(s)}}, nil)
@@ -263,7 +263,7 @@ func FuzzShardedPublish(f *testing.F) {
 		// Split keys into two disjoint shard groups by their hash.
 		groupB := func(k int64) bool {
 			s, _ := sharded.ShardOfPK("kv", Int(k))
-			return s >= NumShards/2
+			return s >= sharded.NumShards()/2
 		}
 		var maskA, maskB ShardSet
 		for _, b := range stream {

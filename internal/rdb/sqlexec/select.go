@@ -775,7 +775,8 @@ func planSelectMode(tx *rdb.Tx, st sqlparser.Select, forceTextual bool) (*selPla
 		p.schemas[i] = s
 		p.metas[i] = tableMeta{eff: r.EffectiveName(), lower: strings.ToLower(r.EffectiveName()), schema: s}
 	}
-	if len(st.Items) == 1 && st.Items[0].Agg == sqlparser.AggCount && st.Items[0].Expr == nil && len(st.GroupBy) == 0 {
+	if len(st.Items) == 1 && st.Items[0].Agg == sqlparser.AggCount && st.Items[0].Expr == nil &&
+		len(st.GroupBy) == 0 && len(st.Having) == 0 {
 		p.countAlias = st.Items[0].Alias // lone COUNT(*): counting fast path
 	} else {
 		ap, err := newAggPlan(st)
@@ -1896,11 +1897,24 @@ type aggItem struct {
 	gidx int
 }
 
-// aggPlan is the validated shape of an aggregating SELECT.
+// aggPlan is the validated shape of an aggregating SELECT. items may
+// extend past the visible projection: HAVING constraints over
+// aggregates outside the SELECT list accumulate as hidden trailing
+// items, and finish truncates result rows to vis columns.
 type aggPlan struct {
 	groupBy []sqlparser.Expr
 	items   []aggItem
 	cols    []string
+	vis     int
+	having  []havingCheck
+}
+
+// havingCheck is one compiled HAVING conjunct: the accumulator item it
+// constrains and the comparison against its literal.
+type havingCheck struct {
+	item int
+	op   sqlparser.BinOp
+	val  rdb.Value
 }
 
 func aggName(fn sqlparser.AggFunc) string {
@@ -1924,7 +1938,7 @@ func aggName(fn sqlparser.AggFunc) string {
 // non-aggregate item must be a GROUP BY column; DISTINCT, ORDER BY,
 // LIMIT and OFFSET do not combine with aggregation in this subset.
 func newAggPlan(st sqlparser.Select) (*aggPlan, error) {
-	agg := len(st.GroupBy) > 0
+	agg := len(st.GroupBy) > 0 || len(st.Having) > 0
 	for _, item := range st.Items {
 		if item.Agg != sqlparser.AggNone {
 			agg = true
@@ -1984,7 +1998,47 @@ func newAggPlan(st sqlparser.Select) (*aggPlan, error) {
 		p.items = append(p.items, aggItem{fn: item.Agg, expr: item.Expr})
 		p.cols = append(p.cols, name)
 	}
+	p.vis = len(p.items)
+	for _, hc := range st.Having {
+		switch hc.Op {
+		case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt,
+			sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+		default:
+			return nil, fmt.Errorf("sqlexec: HAVING requires a comparison operator")
+		}
+		if hc.Agg == sqlparser.AggNone {
+			return nil, fmt.Errorf("sqlexec: HAVING requires an aggregate call")
+		}
+		if hc.Agg != sqlparser.AggCount && hc.Expr == nil {
+			return nil, fmt.Errorf("sqlexec: %s requires an argument", aggName(hc.Agg))
+		}
+		idx := -1
+		for i, it := range p.items {
+			if it.fn == hc.Agg && havingExprMatch(it.expr, hc.Expr) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// An aggregate outside the projection: accumulate it as a
+			// hidden trailing item.
+			idx = len(p.items)
+			p.items = append(p.items, aggItem{fn: hc.Agg, expr: hc.Expr})
+		}
+		p.having = append(p.having, havingCheck{item: idx, op: hc.Op, val: hc.Val})
+	}
 	return p, nil
+}
+
+// havingExprMatch reports whether a HAVING aggregate argument names
+// the same column as an existing aggregate item's.
+func havingExprMatch(a, b sqlparser.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	ac, aok := a.(sqlparser.ColRef)
+	bc, bok := b.(sqlparser.ColRef)
+	return aok && bok && strings.EqualFold(ac.Table, bc.Table) && strings.EqualFold(ac.Column, bc.Column)
 }
 
 // aggAcc is one aggregate's accumulator within one group. SUM and AVG
@@ -2081,13 +2135,16 @@ func (a *aggregator) add(e *env) error {
 
 // finish produces the result rows. Without GROUP BY an empty input
 // still yields one row (COUNT 0, other aggregates NULL); with GROUP
-// BY it yields none.
+// BY it yields none. HAVING constraints drop failing groups — the
+// synthetic empty group included — and hidden accumulator columns are
+// truncated off the emitted rows.
 func (a *aggregator) finish() [][]rdb.Value {
 	if len(a.p.groupBy) == 0 && len(a.order) == 0 {
 		a.groups[""] = &aggGroup{accs: make([]aggAcc, len(a.p.items))}
 		a.order = append(a.order, "")
 	}
 	rows := make([][]rdb.Value, 0, len(a.order))
+group:
 	for _, k := range a.order {
 		grp := a.groups[k]
 		row := make([]rdb.Value, len(a.p.items))
@@ -2124,9 +2181,54 @@ func (a *aggregator) finish() [][]rdb.Value {
 				}
 			}
 		}
-		rows = append(rows, row)
+		for _, hc := range a.p.having {
+			v := row[hc.item]
+			if v.IsNull() || !havingLexHolds(v.Text(), hc.val.Text(), hc.op) {
+				continue group
+			}
+		}
+		rows = append(rows, row[:a.p.vis])
 	}
 	return rows
+}
+
+// havingLexHolds decides one HAVING comparison over the two operands'
+// lexical forms: numeric when both parse as float64, string order when
+// neither does, false on a type-class mismatch. The rule deliberately
+// mirrors the mediator's native SPARQL evaluator byte for byte — both
+// engines must keep or drop exactly the same groups.
+func havingLexHolds(l, r string, op sqlparser.BinOp) bool {
+	lf, lerr := strconv.ParseFloat(l, 64)
+	rf, rerr := strconv.ParseFloat(r, 64)
+	var c int
+	switch {
+	case lerr == nil && rerr == nil:
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	case lerr != nil && rerr != nil:
+		c = strings.Compare(l, r)
+	default:
+		return false
+	}
+	switch op {
+	case sqlparser.OpEq:
+		return c == 0
+	case sqlparser.OpNe:
+		return c != 0
+	case sqlparser.OpLt:
+		return c < 0
+	case sqlparser.OpLe:
+		return c <= 0
+	case sqlparser.OpGt:
+		return c > 0
+	case sqlparser.OpGe:
+		return c >= 0
+	}
+	return false
 }
 
 // ---- bounded top-K for ORDER BY + LIMIT -----------------------------
@@ -2331,7 +2433,8 @@ func SelectNaive(tx *rdb.Tx, st sqlparser.Select) (*ResultSet, error) {
 	// other aggregate shape folds through the shared aggregator — the
 	// same code the pipeline runs at its emit point, so results and
 	// errors agree by construction.
-	if len(st.Items) == 1 && st.Items[0].Agg == sqlparser.AggCount && st.Items[0].Expr == nil && len(st.GroupBy) == 0 {
+	if len(st.Items) == 1 && st.Items[0].Agg == sqlparser.AggCount && st.Items[0].Expr == nil &&
+		len(st.GroupBy) == 0 && len(st.Having) == 0 {
 		return &ResultSet{Columns: []string{st.Items[0].Alias}, Rows: [][]rdb.Value{{rdb.Int(int64(len(envs)))}}}, nil
 	}
 	if ap, err := newAggPlan(st); err != nil {

@@ -109,6 +109,16 @@ type OrderKey struct {
 	Desc bool
 }
 
+// HavingCond is one HAVING conjunct: an aggregate call compared with
+// a literal. COUNT with a nil Expr is COUNT(*). Op is one of the six
+// comparison operators.
+type HavingCond struct {
+	Agg  AggFunc
+	Expr Expr
+	Op   BinOp
+	Val  rdb.Value
+}
+
 // Select is a SELECT statement over one or more joined tables.
 type Select struct {
 	Distinct bool
@@ -117,6 +127,7 @@ type Select struct {
 	Joins    []Join
 	Where    Expr // nil = all rows
 	GroupBy  []Expr
+	Having   []HavingCond
 	OrderBy  []OrderKey
 	Limit    int // -1 = unset
 	Offset   int // -1 = unset

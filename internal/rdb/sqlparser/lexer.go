@@ -67,7 +67,7 @@ var sqlKeywords = map[string]bool{
 	"AND": true, "OR": true, "IS": true, "LIKE": true, "IN": true,
 	"TRUE": true, "FALSE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	"OUTER": true, "GROUP": true,
+	"OUTER": true, "GROUP": true, "HAVING": true,
 }
 
 type token struct {

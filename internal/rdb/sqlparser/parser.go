@@ -628,6 +628,25 @@ func (p *Parser) parseSelect() (Statement, error) {
 			break
 		}
 	}
+	if p.isKeyword("HAVING") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			cond, err := p.parseHavingCond()
+			if err != nil {
+				return nil, err
+			}
+			sel.Having = append(sel.Having, cond)
+			if p.isKeyword("AND") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
 	if p.isKeyword("ORDER") {
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -691,6 +710,52 @@ func (p *Parser) parseSelect() (Statement, error) {
 			return sel, nil
 		}
 	}
+}
+
+// parseHavingCond parses one HAVING conjunct: an aggregate call
+// compared with a literal value.
+func (p *Parser) parseHavingCond() (HavingCond, error) {
+	var cond HavingCond
+	agg, _ := p.aggKeyword()
+	if agg == AggNone {
+		return cond, p.errorf("expected aggregate function in HAVING")
+	}
+	cond.Agg = agg
+	if err := p.advance(); err != nil {
+		return cond, err
+	}
+	if _, err := p.expect(tLParen); err != nil {
+		return cond, err
+	}
+	if agg == AggCount && p.tok.kind == tStar {
+		if err := p.advance(); err != nil {
+			return cond, err
+		}
+	} else {
+		e, err := p.parseExpr()
+		if err != nil {
+			return cond, err
+		}
+		cond.Expr = e
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return cond, err
+	}
+	ops := map[tokKind]BinOp{tEq: OpEq, tNe: OpNe, tLt: OpLt, tLe: OpLe, tGt: OpGt, tGe: OpGe}
+	op, ok := ops[p.tok.kind]
+	if !ok {
+		return cond, p.errorf("expected comparison operator in HAVING")
+	}
+	cond.Op = op
+	if err := p.advance(); err != nil {
+		return cond, err
+	}
+	v, err := p.parseLiteralValue()
+	if err != nil {
+		return cond, err
+	}
+	cond.Val = v
+	return cond, nil
 }
 
 // aggKeyword maps the current token to an aggregate function and its

@@ -17,12 +17,13 @@ type table struct {
 	// (shard.go): a keyed writer holds mu shared plus its key shards
 	// exclusive, a shared reader holds mu shared plus every shard
 	// shared, and a whole-table writer holds mu exclusive (conflicting
-	// with both without touching the shard locks). Acquisition order
-	// within a table is mu first, then shards ascending.
-	shards [NumShards]sync.RWMutex
+	// with both without touching the shard locks). The slice length is
+	// the database's configured shard count; acquisition order within a
+	// table is mu first, then shards ascending.
+	shards []sync.RWMutex
 	schema *TableSchema
 }
 
-func newTable(schema *TableSchema) *table {
-	return &table{schema: schema}
+func newTable(schema *TableSchema, shardCount int) *table {
+	return &table{schema: schema, shards: make([]sync.RWMutex, shardCount)}
 }

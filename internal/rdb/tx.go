@@ -53,6 +53,12 @@ type Tx struct {
 	// lowercased table name to its lock entry.
 	locks []lockPlanEntry
 	mode  map[string]*lockPlanEntry
+	// branch is non-nil for a branch-head write transaction
+	// (BeginBranch): the snapshot is the branch head, no table locks
+	// are taken (the branch mutex serializes branch writers, and the
+	// head is only reachable through the ref), and Commit publishes
+	// through publishBranch instead of moving the main snapshot.
+	branch *branch
 }
 
 // begin acquires the given lock plan (already sorted) and returns the
@@ -73,7 +79,7 @@ func (db *Database) begin(plan []lockPlanEntry) *Tx {
 		case e.keyed():
 			keyed = true
 			e.t.mu.RLock()
-			for s := 0; s < NumShards; s++ {
+			for s := 0; s < len(e.t.shards); s++ {
 				if e.shards.Has(s) {
 					e.t.shards[s].Lock()
 				}
@@ -84,7 +90,7 @@ func (db *Database) begin(plan []lockPlanEntry) *Tx {
 			// Shared readers must conflict with every keyed writer of
 			// the table: integrity checks may read any key range.
 			e.t.mu.RLock()
-			for s := 0; s < NumShards; s++ {
+			for s := 0; s < len(e.t.shards); s++ {
 				e.t.shards[s].RLock()
 			}
 		}
@@ -145,16 +151,23 @@ func (db *Database) BeginWriteShards(writes []TableShards, readTables []string) 
 }
 
 // release drops all table locks in reverse acquisition order plus the
-// catalog lock. Lock-free snapshot transactions hold neither.
+// catalog lock. Lock-free snapshot transactions hold neither; branch
+// transactions hold the catalog lock shared plus their branch mutex.
 func (tx *Tx) release() {
 	if tx.readonly {
+		return
+	}
+	if tx.branch != nil {
+		tx.db.mu.RUnlock()
+		tx.branch.mu.Unlock()
+		tx.branch = nil
 		return
 	}
 	for i := len(tx.locks) - 1; i >= 0; i-- {
 		e := tx.locks[i]
 		switch {
 		case e.keyed():
-			for s := NumShards - 1; s >= 0; s-- {
+			for s := len(e.t.shards) - 1; s >= 0; s-- {
 				if e.shards.Has(s) {
 					e.t.shards[s].Unlock()
 				}
@@ -163,7 +176,7 @@ func (tx *Tx) release() {
 		case e.write:
 			e.t.mu.Unlock()
 		default:
-			for s := NumShards - 1; s >= 0; s-- {
+			for s := len(e.t.shards) - 1; s >= 0; s-- {
 				e.t.shards[s].RUnlock()
 			}
 			e.t.mu.RUnlock()
@@ -188,7 +201,11 @@ func (tx *Tx) Commit() error {
 	tx.owner = nil
 	var err error
 	if len(tx.working) > 0 {
-		err = tx.db.publish(tx.snap, tx.working, tx.changes)
+		if tx.branch != nil {
+			err = tx.db.publishBranch(tx.branch, tx.working, tx.changes)
+		} else {
+			err = tx.db.publish(tx.snap, tx.working, tx.changes)
+		}
 		tx.working = nil
 		tx.changes = nil
 	}
@@ -310,6 +327,15 @@ func (tx *Tx) table(name string, write bool) (*tableVersion, error) {
 		}
 		return v, nil
 	}
+	if tx.branch != nil {
+		// A branch transaction covers every table of its snapshot: the
+		// branch mutex serializes branch writers, and the head is not
+		// reachable through any other transaction's lock set.
+		if w, ok := tx.working[key]; ok {
+			return w, nil
+		}
+		return v, nil
+	}
 	e, covered := tx.mode[key]
 	if !covered {
 		return nil, &LockError{Table: name}
@@ -343,13 +369,6 @@ func (tx *Tx) logChange(table string, op byte, id int64, row []Value) {
 	tx.changes = append(tx.changes, walChange{table: table, op: op, id: id, row: row})
 }
 
-// shardOfVal returns the shard the (coerced, encoded) single-column
-// primary key value of table version v hashes to.
-func shardOfVal(v *tableVersion, pk Value) int {
-	cv := coerce(pk, &v.schema.Columns[v.pkCols[0]])
-	return shardOfKey(encodeKey([]Value{cv}))
-}
-
 // keyCovered enforces keyed-lock coverage for a point access to the
 // row holding the encoded primary key encKey: on a keyed entry the
 // key's shard must be one of the declared shards. Whole-table and
@@ -358,7 +377,7 @@ func (tx *Tx) keyCovered(e *lockPlanEntry, encKey string) error {
 	if e == nil || !e.keyed() {
 		return nil
 	}
-	if !e.shards.Has(shardOfKey(encKey)) {
+	if !e.shards.Has(tx.db.shardOfKey(encKey)) {
 		return &LockError{Table: e.t.schema.Name, Keyed: true}
 	}
 	return nil

@@ -197,10 +197,19 @@ func idxRemove(idx pmap[idset], key string, id int64, o *ptOwner) pmap[idset] {
 // load one and work lock-free against a consistent state of all
 // tables, entirely decoupled from writers.
 type dbSnapshot struct {
-	// version increments with every publish (commit or DDL).
+	// version is the global commit sequence number this publish
+	// consumed (commit, DDL, branch commit or merge). Versions are
+	// unique across all branches; within a branch they increase but may
+	// skip numbers consumed by publishes on other branches.
 	version uint64
-	tables  map[string]*tableVersion
-	order   []string
+	// parent is the version of the snapshot this one was derived from
+	// (0 for the initial empty snapshot) and branch names the ref the
+	// publish happened on; together with version they form the commit
+	// DAG the history ring and the named refs expose.
+	parent uint64
+	branch string
+	tables map[string]*tableVersion
+	order  []string
 	// referencedBy maps a table name to the foreign keys (in other
 	// tables) that reference it, for RESTRICT checks on delete.
 	referencedBy map[string][]fkBackRef

@@ -49,6 +49,28 @@ type aggGroup struct {
 // mediator's SQL decode of the executor's aggregation, which is what
 // keeps the two engines byte-identical.
 func aggregateSolutions(sols Solutions, q *Query) (Solutions, error) {
+	// HAVING constraints may reference aggregates outside the
+	// projection; those accumulate as hidden trailing entries. hidx
+	// maps each constraint to its accumulator index.
+	aggs := q.Aggs
+	hidx := make([]int, len(q.Having))
+	if len(q.Having) > 0 {
+		aggs = append([]AggSpec{}, q.Aggs...)
+		for hi, hc := range q.Having {
+			idx := -1
+			for i, a := range aggs {
+				if a.Fn == hc.Agg.Fn && a.Var == hc.Agg.Var {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				idx = len(aggs)
+				aggs = append(aggs, hc.Agg)
+			}
+			hidx[hi] = idx
+		}
+	}
 	order := []string{}
 	groups := map[string]*aggGroup{}
 	for _, sol := range sols {
@@ -64,11 +86,11 @@ func aggregateSolutions(sols Solutions, q *Query) (Solutions, error) {
 		k := kb.String()
 		grp := groups[k]
 		if grp == nil {
-			grp = &aggGroup{key: key, accs: make([]aggAcc, len(q.Aggs))}
+			grp = &aggGroup{key: key, accs: make([]aggAcc, len(aggs))}
 			groups[k] = grp
 			order = append(order, k)
 		}
-		for i, a := range q.Aggs {
+		for i, a := range aggs {
 			if a.Fn == "" {
 				continue
 			}
@@ -122,49 +144,111 @@ func aggregateSolutions(sols Solutions, q *Query) (Solutions, error) {
 		}
 	}
 	// Without GROUP BY an empty input still yields one group (COUNT 0,
-	// other aggregates unbound); with GROUP BY it yields none.
+	// other aggregates unbound); with GROUP BY it yields none. HAVING
+	// applies to the synthetic group like any other.
 	if len(q.GroupBy) == 0 && len(order) == 0 {
-		groups[""] = &aggGroup{key: Binding{}, accs: make([]aggAcc, len(q.Aggs))}
+		groups[""] = &aggGroup{key: Binding{}, accs: make([]aggAcc, len(aggs))}
 		order = append(order, "")
 	}
 	out := make(Solutions, 0, len(order))
+group:
 	for _, k := range order {
 		grp := groups[k]
+		for hi, hc := range q.Having {
+			lex, bound := accLexical(aggs[hidx[hi]].Fn, &grp.accs[hidx[hi]])
+			if !bound || !havingLexHolds(lex, hc.Lit.Value, hc.Op) {
+				continue group
+			}
+		}
 		b := Binding{}
 		for i, a := range q.Aggs {
 			name := q.Vars[i]
-			acc := &grp.accs[i]
-			switch a.Fn {
-			case "":
+			if a.Fn == "" {
 				if t, ok := grp.key[name]; ok {
 					b[name] = t
 				}
-			case "COUNT":
-				b[name] = rdf.Literal(strconv.FormatInt(acc.count, 10))
-			case "SUM":
-				switch {
-				case acc.count == 0:
-					// unbound
-				case acc.isF:
-					b[name] = rdf.Literal(strconv.FormatFloat(acc.sumF, 'g', -1, 64))
-				default:
-					b[name] = rdf.Literal(strconv.FormatInt(acc.sumI, 10))
-				}
-			case "AVG":
-				if acc.count > 0 {
-					sum := acc.sumF
-					if !acc.isF {
-						sum = float64(acc.sumI)
-					}
-					b[name] = rdf.Literal(strconv.FormatFloat(sum/float64(acc.count), 'g', -1, 64))
-				}
-			case "MIN", "MAX":
-				if acc.has {
-					b[name] = rdf.Literal(acc.mm)
-				}
+				continue
+			}
+			if lex, bound := accLexical(a.Fn, &grp.accs[i]); bound {
+				b[name] = rdf.Literal(lex)
 			}
 		}
 		out = append(out, b)
 	}
 	return out, nil
+}
+
+// accLexical renders one aggregate accumulator's final lexical form;
+// bound is false when the result is unbound (SUM/AVG/MIN/MAX over no
+// inputs). The formatting here is the single source of the native
+// engine's aggregate lexical forms — the projection and the HAVING
+// filter both read it, so a group can never pass a constraint on a
+// value different from the one it projects.
+func accLexical(fn string, acc *aggAcc) (string, bool) {
+	switch fn {
+	case "COUNT":
+		return strconv.FormatInt(acc.count, 10), true
+	case "SUM":
+		switch {
+		case acc.count == 0:
+			return "", false
+		case acc.isF:
+			return strconv.FormatFloat(acc.sumF, 'g', -1, 64), true
+		default:
+			return strconv.FormatInt(acc.sumI, 10), true
+		}
+	case "AVG":
+		if acc.count == 0 {
+			return "", false
+		}
+		sum := acc.sumF
+		if !acc.isF {
+			sum = float64(acc.sumI)
+		}
+		return strconv.FormatFloat(sum/float64(acc.count), 'g', -1, 64), true
+	case "MIN", "MAX":
+		if acc.has {
+			return acc.mm, true
+		}
+	}
+	return "", false
+}
+
+// havingLexHolds decides one HAVING comparison over two lexical forms:
+// numeric when both parse as float64, string order when neither does,
+// false on a type-class mismatch. The SQL executor implements the
+// identical rule over its aggregate values' lexical renderings, so the
+// engines keep or drop exactly the same groups.
+func havingLexHolds(l, r string, op BinOp) bool {
+	lf, lerr := strconv.ParseFloat(l, 64)
+	rf, rerr := strconv.ParseFloat(r, 64)
+	var c int
+	switch {
+	case lerr == nil && rerr == nil:
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	case lerr != nil && rerr != nil:
+		c = strings.Compare(l, r)
+	default:
+		return false
+	}
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
 }

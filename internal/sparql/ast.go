@@ -184,6 +184,20 @@ type Query struct {
 	// never combines with DISTINCT, ORDER BY, LIMIT or OFFSET.
 	Aggs    []AggSpec
 	GroupBy []string
+	// Having lists the HAVING constraints, one per conjunct: groups
+	// whose aggregate value fails the comparison are dropped. Non-nil
+	// only when Aggs is.
+	Having []HavingCond
+}
+
+// HavingCond is one HAVING conjunct: an aggregate call compared with a
+// literal. The comparison is lexical-numeric — both sides compare as
+// float64 when both lexical forms parse as one, as strings when
+// neither does, and fail otherwise (so do unbound aggregate results).
+type HavingCond struct {
+	Agg AggSpec
+	Op  BinOp
+	Lit rdf.Term
 }
 
 // AggSpec describes one SELECT projection item of an aggregating

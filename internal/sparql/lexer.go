@@ -97,7 +97,7 @@ var keywords = map[string]bool{
 	"ORDER": true, "BY": true, "ASC": true, "DESC": true,
 	"LIMIT": true, "OFFSET": true, "FROM": true, "NAMED": true, "GRAPH": true,
 	// Aggregation (SPARQL 1.1 subset):
-	"GROUP": true, "AS": true, "COUNT": true, "SUM": true,
+	"GROUP": true, "HAVING": true, "AS": true, "COUNT": true, "SUM": true,
 	"AVG": true, "MIN": true, "MAX": true,
 	// SPARQL/Update member submission:
 	"MODIFY": true, "INSERT": true, "DELETE": true, "DATA": true,

@@ -282,6 +282,73 @@ func (p *Parser) parseAggItem() (string, AggSpec, error) {
 	return alias.Val, spec, nil
 }
 
+// parseHavingCond parses one HAVING conjunct: an aggregate call,
+// a comparison operator, and a literal right-hand side.
+func (p *Parser) parseHavingCond() (HavingCond, error) {
+	var cond HavingCond
+	switch {
+	case p.IsKeyword("COUNT"), p.IsKeyword("SUM"), p.IsKeyword("AVG"),
+		p.IsKeyword("MIN"), p.IsKeyword("MAX"):
+		cond.Agg.Fn = p.tok.Val
+	default:
+		return cond, p.Errorf("expected aggregate function in HAVING, found %s %q", p.tok.Kind, p.tok.Val)
+	}
+	if err := p.Advance(); err != nil {
+		return cond, err
+	}
+	if _, err := p.Expect(TokLParen); err != nil {
+		return cond, err
+	}
+	if p.tok.Kind == TokStar {
+		if cond.Agg.Fn != "COUNT" {
+			return cond, p.Errorf("'*' is only valid in COUNT(*)")
+		}
+		if err := p.Advance(); err != nil {
+			return cond, err
+		}
+	} else {
+		v, err := p.Expect(TokVar)
+		if err != nil {
+			return cond, err
+		}
+		cond.Agg.Var = v.Val
+	}
+	if _, err := p.Expect(TokRParen); err != nil {
+		return cond, err
+	}
+	ops := map[TokKind]BinOp{
+		TokEq: OpEq, TokNe: OpNe, TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe,
+	}
+	op, ok := ops[p.tok.Kind]
+	if !ok {
+		return cond, p.Errorf("expected comparison operator in HAVING, found %s", p.tok.Kind)
+	}
+	cond.Op = op
+	if err := p.Advance(); err != nil {
+		return cond, err
+	}
+	switch p.tok.Kind {
+	case TokString:
+		pt, err := p.parseLiteralTerm()
+		if err != nil {
+			return cond, err
+		}
+		cond.Lit = pt.Term
+	case TokInteger:
+		cond.Lit = rdf.TypedLiteral(p.tok.Val, rdf.XSDInteger)
+		return cond, p.Advance()
+	case TokDecimal:
+		cond.Lit = rdf.TypedLiteral(p.tok.Val, rdf.XSDDecimal)
+		return cond, p.Advance()
+	case TokDouble:
+		cond.Lit = rdf.TypedLiteral(p.tok.Val, rdf.XSDDouble)
+		return cond, p.Advance()
+	default:
+		return cond, p.Errorf("expected literal after HAVING comparison, found %s", p.tok.Kind)
+	}
+	return cond, nil
+}
+
 // validateAggregates enforces the aggregation subset: aggregates do
 // not combine with other solution modifiers, plain projection items
 // must be GROUP BY variables, and GROUP BY requires an aggregate.
@@ -289,6 +356,9 @@ func (p *Parser) validateAggregates(q *Query) error {
 	if q.Aggs == nil {
 		if len(q.GroupBy) > 0 {
 			return p.Errorf("GROUP BY requires an aggregate in the projection")
+		}
+		if len(q.Having) > 0 {
+			return p.Errorf("HAVING requires an aggregate in the projection")
 		}
 		return nil
 	}
@@ -383,6 +453,36 @@ func (p *Parser) parseSolutionModifiers(q *Query) error {
 		}
 		if len(q.GroupBy) == 0 {
 			return p.Errorf("expected grouping variable after GROUP BY")
+		}
+	}
+	if p.IsKeyword("HAVING") {
+		if err := p.Advance(); err != nil {
+			return err
+		}
+		for p.tok.Kind == TokLParen {
+			if err := p.Advance(); err != nil {
+				return err
+			}
+			for {
+				cond, err := p.parseHavingCond()
+				if err != nil {
+					return err
+				}
+				q.Having = append(q.Having, cond)
+				if p.tok.Kind == TokAndAnd {
+					if err := p.Advance(); err != nil {
+						return err
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.Expect(TokRParen); err != nil {
+				return err
+			}
+		}
+		if len(q.Having) == 0 {
+			return p.Errorf("expected '(' constraint after HAVING")
 		}
 	}
 	if p.IsKeyword("ORDER") {

@@ -107,6 +107,9 @@ type SelectSpec struct {
 	// lists the grouping columns (already qualified).
 	AggItems []AggItemSpec
 	GroupBy  []string
+	// Having lists the HAVING conjuncts (aggregating SELECTs only),
+	// rendered after GROUP BY and joined with AND.
+	Having []HavingSpec
 	// OrderBy lists the sort keys in priority order.
 	OrderBy []OrderSpec
 	// Limit caps the result rows when non-negative; -1 renders no
@@ -146,6 +149,16 @@ type JoinSpec struct {
 type AggItemSpec struct {
 	Fn     string
 	Column string
+}
+
+// HavingSpec is one HAVING conjunct: the aggregate call Fn(Column) —
+// COUNT with an empty Column renders COUNT(*) — compared with a
+// literal value under Op.
+type HavingSpec struct {
+	Fn     string
+	Column string
+	Op     CmpOp
+	Value  rdb.Value
 }
 
 // CmpOp is the comparison operator of a WhereSpec. The zero value is
@@ -342,6 +355,23 @@ func Select(spec SelectSpec) string {
 			b.WriteString(", ")
 		}
 		b.WriteString(g)
+	}
+	for i, h := range spec.Having {
+		if i == 0 {
+			b.WriteString(" HAVING ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(h.Fn)
+		b.WriteString("(")
+		if h.Column == "" {
+			b.WriteString("*")
+		} else {
+			b.WriteString(h.Column)
+		}
+		b.WriteString(")")
+		b.WriteString(cmpOpText[h.Op])
+		b.WriteString(h.Value.String())
 	}
 	for i, k := range spec.OrderBy {
 		if i == 0 {

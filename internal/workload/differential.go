@@ -44,7 +44,9 @@ type DifferentialStream struct {
 // structural surface: OPTIONAL attribute reads and foreign-key hops
 // (alone and under FILTER), UNION (bare and under ORDER BY + LIMIT),
 // FILTER disjunctions, and COUNT / SUM / AVG / MIN / MAX with and
-// without GROUP BY. Non-comparison FILTER shapes (STR) and arithmetic
+// without GROUP BY — since PR 10 including HAVING constraints over
+// projected and hidden aggregates. Non-comparison FILTER shapes
+// (STR) and arithmetic
 // over undatatyped attributes keep exercising the virtual-view
 // fallback on both mediator paths.
 // LIMIT/OFFSET regimes always order by a unique key so the selected
@@ -132,13 +134,22 @@ SELECT (COUNT(?x) AS ?n) WHERE { ?x foaf:family_name "Diff%d" . }`, Prologue, a)
 			// evaluation, where AsFloat parses the lexical forms.
 			out = append(out, fmt.Sprintf(`%s
 SELECT ?p WHERE { ?p ont:pubYear ?y . FILTER (?y + %d > %d) }`, Prologue, rng.Intn(5), 2005+rng.Intn(10)))
-		default: // GROUP BY partitions (team fan-out, year histogram)
-			if rng.Intn(2) == 0 {
+		default: // GROUP BY partitions (team fan-out, year histogram),
+			// since PR 10 also under HAVING constraints — a threshold on
+			// the projected COUNT and a hidden (unprojected) aggregate
+			switch rng.Intn(4) {
+			case 0:
 				out = append(out, Prologue+`
 SELECT ?t (COUNT(?x) AS ?n) WHERE { ?x ont:team ?t . } GROUP BY ?t`)
-			} else {
+			case 1:
 				out = append(out, Prologue+`
 SELECT ?y (COUNT(?p) AS ?n) WHERE { ?p ont:pubYear ?y . } GROUP BY ?y`)
+			case 2:
+				out = append(out, fmt.Sprintf(`%s
+SELECT ?t (COUNT(?x) AS ?n) WHERE { ?x ont:team ?t . } GROUP BY ?t HAVING (COUNT(?x) >= %d)`, Prologue, rng.Intn(3)+1))
+			default:
+				out = append(out, fmt.Sprintf(`%s
+SELECT ?y (COUNT(?p) AS ?n) WHERE { ?p ont:pubYear ?y . } GROUP BY ?y HAVING (MAX(?y) > %d)`, Prologue, 2000+rng.Intn(12)))
 			}
 		}
 	}

@@ -152,6 +152,35 @@ func NewMediator(opts core.Options) (*core.Mediator, error) {
 	return core.New(db, mapping, opts)
 }
 
+// NewMediatorWithOptions wires the canonical mapping over a database
+// opened with explicit storage options (data directory, shard count,
+// snapshot history depth). It reports whether prior durable state was
+// recovered; with an empty DataDir it is memory-only and recovered is
+// always false.
+func NewMediatorWithOptions(opts core.Options, dbOpts rdb.Options) (*core.Mediator, bool, error) {
+	db, recovered, err := rdb.Open("publications", dbOpts)
+	if err != nil {
+		return nil, false, err
+	}
+	if !recovered {
+		if _, err := sqlexec.Run(db, SchemaSQL); err != nil {
+			db.Close()
+			return nil, false, fmt.Errorf("workload: creating schema: %w", err)
+		}
+	}
+	mapping, err := LoadMapping()
+	if err != nil {
+		db.Close()
+		return nil, false, err
+	}
+	m, err := core.New(db, mapping, opts)
+	if err != nil {
+		db.Close()
+		return nil, false, err
+	}
+	return m, recovered, nil
+}
+
 // NewPersistentMediator is NewMediator on a durable database rooted
 // at dataDir; it reports whether prior state was recovered. Callers
 // own the shutdown: m.Close() checkpoints and closes the WAL.
